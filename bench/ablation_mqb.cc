@@ -1,0 +1,63 @@
+// Ablation of MQB's design choices (DESIGN.md E8):
+//
+//  * subtract_self_work: does removing the candidate's own remaining work
+//    from its queue in the hypothetical snapshot matter?  (The paper is
+//    silent; this is our documented reading.)
+//  * balance rule: the paper's lexicographic order over sorted
+//    x-utilizations vs a min-only rule vs sum-of-squared-deviation.
+//
+// Run on the three layered panels that separate policies the most.
+#include <iostream>
+
+#include "exp/configs.hh"
+#include "exp/report.hh"
+#include "support/cli.hh"
+
+int main(int argc, char** argv) {
+  using namespace fhs;
+  CliFlags flags;
+  flags.define_int("instances", 200, "job instances per panel");
+  flags.define_int("seed", 42, "master RNG seed");
+  flags.define_int("threads", 0, "worker threads (0 = auto)");
+  flags.define_int("k", 4, "number of resource types");
+  flags.define_bool("csv", false, "emit CSV instead of aligned tables");
+  try {
+    if (!flags.parse(argc, argv)) return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "ablation_mqb: " << error.what() << '\n';
+    return 1;
+  }
+
+  std::cout << "MQB design ablation (avg completion time ratio)\n\n";
+  const std::vector<std::string> variants = {
+      "kgreedy",      // context
+      "mqb",          // paper configuration
+      "mqb+noself",   // keep candidate's own work in its queue
+      "mqb+minonly",  // compare only the smallest x-utilization
+      "mqb+sumsq",    // minimize squared deviation instead
+      "edd",          // ShiftBT minus the bottleneck iterations...
+      "shiftbt",      // ...vs the full procedure
+  };
+  std::vector<ExperimentResult> results;
+  for (const Fig4Panel& panel :
+       layered_panels(static_cast<ResourceType>(flags.get_int("k")))) {
+    ExperimentSpec spec;
+    spec.name = panel.name;
+    spec.workload = panel.workload;
+    spec.cluster = panel.cluster;
+    spec.schedulers = variants;
+    spec.instances = static_cast<std::size_t>(flags.get_int("instances"));
+    spec.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    spec.threads = static_cast<std::size_t>(flags.get_int("threads"));
+    results.push_back(run_experiment(spec));
+    print_result(std::cout, results.back(), flags.get_bool("csv"));
+  }
+  std::cout << "== summary ==\n";
+  const Table summary = comparison_table(results);
+  if (flags.get_bool("csv")) {
+    summary.print_csv(std::cout);
+  } else {
+    summary.print(std::cout);
+  }
+  return 0;
+}

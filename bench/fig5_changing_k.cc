@@ -1,0 +1,70 @@
+// Figure 5 (paper §V-D): average completion-time ratio as the number of
+// resource types K grows from 1 to 6, on (a) small layered EP,
+// (b) medium layered tree, (c) medium layered IR.
+//
+// Expected shape: KGreedy's ratio grows with K (the online penalty);
+// offline policies -- MQB in particular -- stay near 1 (EP, tree) or
+// roughly halve KGreedy (IR).
+#include <iostream>
+
+#include "exp/configs.hh"
+#include "exp/report.hh"
+#include "sched/registry.hh"
+#include "support/cli.hh"
+#include "support/table.hh"
+
+int main(int argc, char** argv) {
+  using namespace fhs;
+  CliFlags flags;
+  flags.define_int("instances", 200, "job instances per (panel, K) point");
+  flags.define_int("seed", 42, "master RNG seed");
+  flags.define_int("threads", 0, "worker threads (0 = auto)");
+  flags.define_int("kmin", 1, "smallest K");
+  flags.define_int("kmax", 6, "largest K");
+  flags.define_bool("csv", false, "emit CSV instead of aligned tables");
+  try {
+    if (!flags.parse(argc, argv)) return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "fig5_changing_k: " << error.what() << '\n';
+    return 1;
+  }
+  const auto kmin = static_cast<ResourceType>(flags.get_int("kmin"));
+  const auto kmax = static_cast<ResourceType>(flags.get_int("kmax"));
+
+  std::cout << "Figure 5: impact of the number of resource types K "
+            << "(avg completion time ratio)\n\n";
+  for (const Fig4Panel& base_panel : layered_panels(kmin)) {
+    std::vector<std::string> header{"scheduler"};
+    for (ResourceType k = kmin; k <= kmax; ++k) {
+      header.push_back("K=" + std::to_string(k));
+    }
+    Table table(std::move(header));
+    std::vector<ExperimentResult> per_k;
+    for (ResourceType k = kmin; k <= kmax; ++k) {
+      ExperimentSpec spec;
+      spec.name = base_panel.name + " K=" + std::to_string(k);
+      spec.workload = with_num_types(base_panel.workload, k);
+      spec.cluster = base_panel.cluster;
+      spec.cluster.num_types = k;
+      spec.schedulers = paper_scheduler_names();
+      spec.instances = static_cast<std::size_t>(flags.get_int("instances"));
+      spec.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+      spec.threads = static_cast<std::size_t>(flags.get_int("threads"));
+      per_k.push_back(run_experiment(spec));
+    }
+    for (std::size_t s = 0; s < paper_scheduler_names().size(); ++s) {
+      table.begin_row().add_cell(per_k.front().outcomes[s].scheduler);
+      for (const ExperimentResult& result : per_k) {
+        table.add_cell(result.outcomes[s].ratio.mean());
+      }
+    }
+    std::cout << "== " << base_panel.name << " ==\n";
+    if (flags.get_bool("csv")) {
+      table.print_csv(std::cout);
+    } else {
+      table.print(std::cout);
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}

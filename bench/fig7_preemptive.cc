@@ -1,0 +1,66 @@
+// Figure 7 (paper §V-F): non-preemptive vs preemptive scheduling for all
+// six policies on (a) small layered EP, (b) medium layered tree,
+// (c) medium layered IR.
+//
+// Expected shape: preemptive versions are comparable to or slightly
+// better than non-preemptive ones (early correction of bad decisions),
+// but preemption does NOT rescue online KGreedy from its offline gap.
+#include <iostream>
+
+#include "exp/configs.hh"
+#include "exp/report.hh"
+#include "sched/registry.hh"
+#include "support/cli.hh"
+#include "support/table.hh"
+
+int main(int argc, char** argv) {
+  using namespace fhs;
+  CliFlags flags;
+  flags.define_int("instances", 150, "job instances per panel (paper: 5000)");
+  flags.define_int("seed", 42, "master RNG seed");
+  flags.define_int("threads", 0, "worker threads (0 = auto)");
+  flags.define_int("k", 4, "number of resource types");
+  flags.define_bool("csv", false, "emit CSV instead of aligned tables");
+  try {
+    if (!flags.parse(argc, argv)) return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "fig7_preemptive: " << error.what() << '\n';
+    return 1;
+  }
+
+  std::cout << "Figure 7: non-preemptive vs preemptive scheduling "
+            << "(avg completion time ratio)\n\n";
+  for (const Fig4Panel& panel :
+       layered_panels(static_cast<ResourceType>(flags.get_int("k")))) {
+    ExperimentSpec spec;
+    spec.name = panel.name;
+    spec.workload = panel.workload;
+    spec.cluster = panel.cluster;
+    spec.schedulers = paper_scheduler_names();
+    spec.instances = static_cast<std::size_t>(flags.get_int("instances"));
+    spec.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    spec.threads = static_cast<std::size_t>(flags.get_int("threads"));
+
+    spec.mode = ExecutionMode::kNonPreemptive;
+    const ExperimentResult non_preemptive = run_experiment(spec);
+    spec.mode = ExecutionMode::kPreemptive;
+    const ExperimentResult preemptive = run_experiment(spec);
+
+    Table table({"scheduler", "non-preemptive", "preemptive", "avg preemptions"});
+    for (std::size_t s = 0; s < spec.schedulers.size(); ++s) {
+      table.begin_row()
+          .add_cell(non_preemptive.outcomes[s].scheduler)
+          .add_cell(non_preemptive.outcomes[s].ratio.mean())
+          .add_cell(preemptive.outcomes[s].ratio.mean())
+          .add_cell(preemptive.outcomes[s].preemptions.mean(), 1);
+    }
+    std::cout << "== " << panel.name << " ==\n";
+    if (flags.get_bool("csv")) {
+      table.print_csv(std::cout);
+    } else {
+      table.print(std::cout);
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Engine/scheduler throughput microbenchmarks (google-benchmark).
+//
+// Not a paper figure: these quantify the simulator itself -- events per
+// second per policy and the cost of the offline analyses -- so regressions
+// in the substrate are caught independently of experiment shapes.
+#include <benchmark/benchmark.h>
+
+#include "graph/analysis.hh"
+#include "sched/registry.hh"
+#include "sim/engine.hh"
+#include "support/rng.hh"
+#include "workload/workload.hh"
+
+namespace {
+
+using namespace fhs;
+
+KDag make_tree_job(std::size_t max_tasks) {
+  Rng rng(1234);
+  TreeParams params;
+  params.num_types = 4;
+  params.max_tasks = max_tasks;
+  params.min_fanout_prob = 0.9;
+  params.max_fanout_prob = 0.9;
+  return generate_tree(params, rng);
+}
+
+KDag make_ir_job() {
+  Rng rng(99);
+  IrParams params;
+  params.num_types = 4;
+  return generate_ir(params, rng);
+}
+
+void BM_SimulateScheduler(benchmark::State& state, const std::string& name) {
+  const KDag dag = make_tree_job(512);
+  const Cluster cluster({4, 4, 4, 4});
+  for (auto _ : state) {
+    auto sched = make_scheduler(name);
+    const SimResult result = simulate(dag, cluster, *sched);
+    benchmark::DoNotOptimize(result.completion_time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dag.task_count()));
+}
+
+void BM_KGreedy(benchmark::State& state) { BM_SimulateScheduler(state, "kgreedy"); }
+void BM_LSpan(benchmark::State& state) { BM_SimulateScheduler(state, "lspan"); }
+void BM_MaxDp(benchmark::State& state) { BM_SimulateScheduler(state, "maxdp"); }
+void BM_DType(benchmark::State& state) { BM_SimulateScheduler(state, "dtype"); }
+void BM_ShiftBt(benchmark::State& state) { BM_SimulateScheduler(state, "shiftbt"); }
+void BM_Mqb(benchmark::State& state) { BM_SimulateScheduler(state, "mqb"); }
+
+BENCHMARK(BM_KGreedy);
+BENCHMARK(BM_LSpan);
+BENCHMARK(BM_MaxDp);
+BENCHMARK(BM_DType);
+BENCHMARK(BM_ShiftBt);
+BENCHMARK(BM_Mqb);
+
+void BM_EngineScaling(benchmark::State& state) {
+  const KDag dag = make_tree_job(static_cast<std::size_t>(state.range(0)));
+  const Cluster cluster({8, 8, 8, 8});
+  for (auto _ : state) {
+    auto sched = make_scheduler("kgreedy");
+    const SimResult result = simulate(dag, cluster, *sched);
+    benchmark::DoNotOptimize(result.completion_time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dag.task_count()));
+}
+BENCHMARK(BM_EngineScaling)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_JobAnalysis(benchmark::State& state) {
+  const KDag dag = make_tree_job(2048);
+  for (auto _ : state) {
+    const JobAnalysis analysis(dag);
+    benchmark::DoNotOptimize(analysis.job_span());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dag.task_count()));
+}
+BENCHMARK(BM_JobAnalysis);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  Rng rng(7);
+  IrParams params;
+  params.num_types = 4;
+  for (auto _ : state) {
+    const KDag dag = generate_ir(params, rng);
+    benchmark::DoNotOptimize(dag.task_count());
+  }
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+void BM_PreemptiveOverhead(benchmark::State& state) {
+  const KDag dag = make_ir_job();
+  const Cluster cluster({4, 4, 4, 4});
+  for (auto _ : state) {
+    auto sched = make_scheduler("lspan");
+    SimOptions options;
+    options.mode = ExecutionMode::kPreemptive;
+    const SimResult result = simulate(dag, cluster, *sched, options);
+    benchmark::DoNotOptimize(result.completion_time);
+  }
+}
+BENCHMARK(BM_PreemptiveOverhead);
+
+}  // namespace

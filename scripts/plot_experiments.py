@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Plot fhs-sched experiment results.
+
+Turns the JSON emitted by ``fhs_experiment --json`` (or several such
+documents concatenated into one file / passed as separate files) into
+bar charts in the style of the paper's Figure 4.
+
+Usage:
+    build/tools/fhs_experiment --workload=ir --json > ir.json
+    build/tools/fhs_experiment --workload=ep --cluster=small --json > ep.json
+    scripts/plot_experiments.py ir.json ep.json -o figure.png
+
+Requires matplotlib (not needed by anything else in the repo).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_documents(paths):
+    """Loads one JSON object per file; tolerates concatenated objects."""
+    documents = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        decoder = json.JSONDecoder()
+        position = 0
+        while position < len(text):
+            stripped = text[position:].lstrip()
+            if not stripped:
+                break
+            offset = len(text) - len(stripped) - position
+            obj, consumed = decoder.raw_decode(text, position + offset)
+            documents.append(obj)
+            position += offset + consumed
+    return documents
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("inputs", nargs="+", help="JSON files from fhs_experiment --json")
+    parser.add_argument("-o", "--output", default="experiments.png",
+                        help="output image path (default: experiments.png)")
+    parser.add_argument("--metric", default="ratio",
+                        choices=["ratio", "completion_time", "mean_utilization"],
+                        help="which statistic to plot (default: ratio)")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("plot_experiments.py: matplotlib is required (pip install matplotlib)")
+
+    documents = load_documents(args.inputs)
+    if not documents:
+        sys.exit("plot_experiments.py: no JSON documents found")
+
+    fig, axes = plt.subplots(1, len(documents),
+                             figsize=(4.2 * len(documents), 3.6), squeeze=False)
+    for axis, doc in zip(axes[0], documents):
+        names = [s["name"] for s in doc["schedulers"]]
+        means = [s[args.metric].get("mean", 0.0) for s in doc["schedulers"]]
+        errors = [s[args.metric].get("ci95", 0.0) for s in doc["schedulers"]]
+        axis.bar(range(len(names)), means, yerr=errors, capsize=3,
+                 color="#4e79a7", edgecolor="black", linewidth=0.5)
+        axis.set_xticks(range(len(names)))
+        axis.set_xticklabels(names, rotation=45, ha="right", fontsize=8)
+        axis.set_title(doc.get("name", ""), fontsize=10)
+        if args.metric == "ratio":
+            axis.axhline(1.0, color="#888", linewidth=0.8, linestyle="--")
+            axis.set_ylabel("avg completion time ratio")
+        else:
+            axis.set_ylabel(args.metric.replace("_", " "))
+        axis.grid(axis="y", alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(args.output, dpi=150)
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

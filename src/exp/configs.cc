@@ -1,0 +1,86 @@
+#include "exp/configs.hh"
+
+namespace fhs {
+
+ClusterParams small_cluster(ResourceType num_types) {
+  ClusterParams params;
+  params.num_types = num_types;
+  params.min_processors = 1;
+  params.max_processors = 5;
+  return params;
+}
+
+ClusterParams medium_cluster(ResourceType num_types) {
+  ClusterParams params;
+  params.num_types = num_types;
+  params.min_processors = 10;
+  params.max_processors = 20;
+  return params;
+}
+
+WorkloadParams ep_workload(TypeAssignment assignment, ResourceType num_types) {
+  EpParams params;
+  params.num_types = num_types;
+  params.assignment = assignment;
+  return params;
+}
+
+WorkloadParams tree_workload(TypeAssignment assignment, ResourceType num_types) {
+  TreeParams params;
+  params.num_types = num_types;
+  params.assignment = assignment;
+  return params;
+}
+
+WorkloadParams ir_workload(TypeAssignment assignment, ResourceType num_types) {
+  IrParams params;
+  params.num_types = num_types;
+  params.assignment = assignment;
+  return params;
+}
+
+std::vector<Fig4Panel> fig4_panels(ResourceType num_types) {
+  return {
+      {"small random EP", ep_workload(TypeAssignment::kRandom, num_types),
+       small_cluster(num_types)},
+      {"medium random tree", tree_workload(TypeAssignment::kRandom, num_types),
+       medium_cluster(num_types)},
+      {"medium random IR", ir_workload(TypeAssignment::kRandom, num_types),
+       medium_cluster(num_types)},
+      {"small layered EP", ep_workload(TypeAssignment::kLayered, num_types),
+       small_cluster(num_types)},
+      {"medium layered tree", tree_workload(TypeAssignment::kLayered, num_types),
+       medium_cluster(num_types)},
+      {"medium layered IR", ir_workload(TypeAssignment::kLayered, num_types),
+       medium_cluster(num_types)},
+  };
+}
+
+std::vector<Fig4Panel> layered_panels(ResourceType num_types) {
+  return {
+      {"small layered EP", ep_workload(TypeAssignment::kLayered, num_types),
+       small_cluster(num_types)},
+      {"medium layered tree", tree_workload(TypeAssignment::kLayered, num_types),
+       medium_cluster(num_types)},
+      {"medium layered IR", ir_workload(TypeAssignment::kLayered, num_types),
+       medium_cluster(num_types)},
+  };
+}
+
+std::vector<Fig4Panel> fig6_panels(ResourceType num_types) {
+  auto skewed = [&](ClusterParams cluster) {
+    // Paper §V-E: "reducing the number of machines for type 1 resources
+    // to 1/5 of the original" (type 0 here; we index from zero).
+    cluster.skew_type = 0;
+    cluster.skew_factor = 0.2;
+    return cluster;
+  };
+  return {
+      {"medium layered tree (skewed)", tree_workload(TypeAssignment::kLayered, num_types),
+       skewed(medium_cluster(num_types))},
+      {"medium layered IR (skewed)", ir_workload(TypeAssignment::kLayered, num_types),
+       skewed(medium_cluster(num_types))},
+  };
+}
+
+}  // namespace fhs

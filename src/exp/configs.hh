@@ -1,0 +1,49 @@
+// Canonical experiment configurations matching the paper's evaluation
+// setup (§V-A/B): K = 4 by default, "small" systems with P_alpha ~
+// U[1,5], "medium" systems with P_alpha ~ U[10,20], and the six workload
+// x system combinations of Figure 4.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/runner.hh"
+
+namespace fhs {
+
+inline constexpr ResourceType kDefaultNumTypes = 4;
+
+/// P_alpha ~ U[1,5] (paper: "small system").
+[[nodiscard]] ClusterParams small_cluster(ResourceType num_types = kDefaultNumTypes);
+/// P_alpha ~ U[10,20] (paper: "medium system").
+[[nodiscard]] ClusterParams medium_cluster(ResourceType num_types = kDefaultNumTypes);
+
+[[nodiscard]] WorkloadParams ep_workload(TypeAssignment assignment,
+                                         ResourceType num_types = kDefaultNumTypes);
+[[nodiscard]] WorkloadParams tree_workload(TypeAssignment assignment,
+                                           ResourceType num_types = kDefaultNumTypes);
+[[nodiscard]] WorkloadParams ir_workload(TypeAssignment assignment,
+                                         ResourceType num_types = kDefaultNumTypes);
+
+/// One named (workload, cluster) combination of Figure 4.
+struct Fig4Panel {
+  std::string name;
+  WorkloadParams workload;
+  ClusterParams cluster;
+};
+
+/// The six panels of Figure 4, in the paper's order:
+/// (a) small random EP, (b) medium random tree, (c) medium random IR,
+/// (d) small layered EP, (e) medium layered tree, (f) medium layered IR.
+[[nodiscard]] std::vector<Fig4Panel> fig4_panels(ResourceType num_types = kDefaultNumTypes);
+
+/// The three panels reused by Figures 5, 7 and 8:
+/// (a) small layered EP, (b) medium layered tree, (c) medium layered IR.
+[[nodiscard]] std::vector<Fig4Panel> layered_panels(
+    ResourceType num_types = kDefaultNumTypes);
+
+/// The two skewed panels of Figure 6 (medium layered tree / IR with
+/// type-0 processors cut to 1/5).
+[[nodiscard]] std::vector<Fig4Panel> fig6_panels(ResourceType num_types = kDefaultNumTypes);
+
+}  // namespace fhs

@@ -1,0 +1,97 @@
+#include "exp/json.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace fhs {
+
+std::string json_quote(const std::string& text) {
+  std::string quoted = "\"";
+  for (char ch : text) {
+    switch (ch) {
+      case '"': quoted += "\\\""; break;
+      case '\\': quoted += "\\\\"; break;
+      case '\n': quoted += "\\n"; break;
+      case '\r': quoted += "\\r"; break;
+      case '\t': quoted += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          std::ostringstream escape;
+          escape << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+                 << static_cast<int>(static_cast<unsigned char>(ch));
+          quoted += escape.str();
+        } else {
+          quoted += ch;
+        }
+    }
+  }
+  quoted += '"';
+  return quoted;
+}
+
+namespace {
+
+void write_number(std::ostream& out, double value) {
+  if (!std::isfinite(value)) {
+    out << "null";  // JSON has no Inf/NaN
+    return;
+  }
+  out << std::setprecision(10) << value;
+}
+
+void write_stats(std::ostream& out, const RunningStats& stats) {
+  out << "{\"count\": " << stats.count();
+  if (!stats.empty()) {
+    out << ", \"mean\": ";
+    write_number(out, stats.mean());
+    out << ", \"ci95\": ";
+    write_number(out, stats.ci95());
+    out << ", \"min\": ";
+    write_number(out, stats.min());
+    out << ", \"max\": ";
+    write_number(out, stats.max());
+    out << ", \"stddev\": ";
+    write_number(out, stats.stddev());
+  }
+  out << '}';
+}
+
+}  // namespace
+
+void write_json(std::ostream& out, const ExperimentResult& result) {
+  const ExperimentSpec& spec = result.spec;
+  out << "{\n  \"name\": " << json_quote(spec.name)
+      << ",\n  \"workload\": " << json_quote(workload_name(spec.workload))
+      << ",\n  \"cluster\": " << json_quote(spec.cluster.describe())
+      << ",\n  \"mode\": "
+      << (spec.mode == ExecutionMode::kPreemptive ? "\"preemptive\""
+                                                  : "\"non-preemptive\"")
+      << ",\n  \"instances\": " << spec.instances << ",\n  \"seed\": " << spec.seed
+      << ",\n  \"schedulers\": [";
+  for (std::size_t s = 0; s < result.outcomes.size(); ++s) {
+    const SchedulerOutcome& o = result.outcomes[s];
+    out << (s ? ",\n    {" : "\n    {") << "\"name\": " << json_quote(o.scheduler)
+        << ", \"ratio\": ";
+    write_stats(out, o.ratio);
+    out << ", \"completion_time\": ";
+    write_stats(out, o.completion_time);
+    out << ", \"mean_utilization\": ";
+    write_stats(out, o.mean_utilization);
+    out << ", \"preemptions\": ";
+    write_stats(out, o.preemptions);
+    out << ", \"reduction_vs_baseline\": ";
+    write_stats(out, o.reduction_vs_baseline);
+    out << '}';
+  }
+  out << "\n  ]\n}\n";
+}
+
+std::string to_json(const ExperimentResult& result) {
+  std::ostringstream out;
+  write_json(out, result);
+  return out.str();
+}
+
+}  // namespace fhs

@@ -1,0 +1,31 @@
+// JSON export of experiment results (no external dependencies).
+//
+// The bench binaries print human-readable tables; downstream plotting
+// (regenerating the paper's figures with matplotlib or similar) wants a
+// machine format.  The emitted document is stable and self-describing:
+//
+// {
+//   "name": "...", "workload": "...", "cluster": "...",
+//   "mode": "non-preemptive", "instances": N, "seed": S,
+//   "schedulers": [ {"name": "...",
+//                    "ratio": {"mean":..,"ci95":..,"min":..,"max":..,"count":..},
+//                    "completion_time": {...}, "mean_utilization": {...},
+//                    "preemptions": {...}, "reduction_vs_baseline": {...}}, ... ]
+// }
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "exp/runner.hh"
+
+namespace fhs {
+
+/// Serializes one experiment result as a JSON object.
+void write_json(std::ostream& out, const ExperimentResult& result);
+[[nodiscard]] std::string to_json(const ExperimentResult& result);
+
+/// Escapes a string for inclusion in a JSON document (quotes included).
+[[nodiscard]] std::string json_quote(const std::string& text);
+
+}  // namespace fhs

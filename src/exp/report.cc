@@ -1,0 +1,67 @@
+#include "exp/report.hh"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace fhs {
+
+Table result_table(const ExperimentResult& result) {
+  const std::string baseline =
+      result.outcomes.empty() ? "baseline" : result.outcomes.front().scheduler;
+  Table table({"scheduler", "mean ratio", "ci95", "max ratio", "mean T", "mean util",
+               "preempt", "vs " + baseline});
+  for (const SchedulerOutcome& o : result.outcomes) {
+    table.begin_row()
+        .add_cell(o.scheduler)
+        .add_cell(o.ratio.mean())
+        .add_cell(o.ratio.ci95())
+        .add_cell(o.ratio.max())
+        .add_cell(o.completion_time.mean(), 1)
+        .add_cell(o.mean_utilization.mean())
+        .add_cell(o.preemptions.mean(), 1);
+    if (o.reduction_vs_baseline.empty()) {
+      table.add_cell("-");
+    } else {
+      table.add_cell(format_double(100.0 * o.reduction_vs_baseline.mean(), 1) + "%");
+    }
+  }
+  return table;
+}
+
+Table comparison_table(const std::vector<ExperimentResult>& results,
+                       const std::string& row_header) {
+  if (results.empty()) throw std::invalid_argument("comparison_table: no results");
+  std::vector<std::string> header{row_header};
+  for (const ExperimentResult& r : results) header.push_back(r.spec.name);
+  Table table(std::move(header));
+  const auto& schedulers = results.front().spec.schedulers;
+  for (const ExperimentResult& r : results) {
+    if (r.spec.schedulers != schedulers) {
+      throw std::invalid_argument("comparison_table: scheduler lists differ");
+    }
+  }
+  for (std::size_t s = 0; s < schedulers.size(); ++s) {
+    table.begin_row().add_cell(results.front().outcomes[s].scheduler);
+    for (const ExperimentResult& r : results) {
+      table.add_cell(r.outcomes[s].ratio.mean());
+    }
+  }
+  return table;
+}
+
+void print_result(std::ostream& out, const ExperimentResult& result, bool csv) {
+  out << "== " << result.spec.name << "  [" << workload_name(result.spec.workload)
+      << ", " << result.spec.cluster.describe() << ", "
+      << (result.spec.mode == ExecutionMode::kPreemptive ? "preemptive"
+                                                         : "non-preemptive")
+      << ", n=" << result.spec.instances << ", seed=" << result.spec.seed << "]\n";
+  const Table table = result_table(result);
+  if (csv) {
+    table.print_csv(out);
+  } else {
+    table.print(out);
+  }
+  out << '\n';
+}
+
+}  // namespace fhs

@@ -1,0 +1,25 @@
+// Rendering of experiment results as the tables the paper's figures plot.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hh"
+#include "support/table.hh"
+
+namespace fhs {
+
+/// One experiment as rows "scheduler | mean ratio | ci95 | max | ...".
+[[nodiscard]] Table result_table(const ExperimentResult& result);
+
+/// Several experiments side by side: rows = schedulers, columns = one
+/// "mean ratio" column per experiment (the layout of Fig. 4 bars).
+/// All results must share the same scheduler list.
+[[nodiscard]] Table comparison_table(const std::vector<ExperimentResult>& results,
+                                     const std::string& row_header = "scheduler");
+
+/// Prints a result with a heading, in table and (optionally) CSV form.
+void print_result(std::ostream& out, const ExperimentResult& result, bool csv = false);
+
+}  // namespace fhs

@@ -1,0 +1,82 @@
+// Experiment runner: evaluates a set of schedulers over a distribution of
+// (job, cluster) instances and reports completion-time-ratio statistics,
+// exactly the quantity plotted in the paper's Figures 4-8.
+//
+// Per instance i, the runner derives an independent RNG stream from
+// (seed, i), draws ONE job and ONE cluster, and runs EVERY scheduler on
+// that same pair (paired comparison, like the paper's per-workload
+// plots).  Instances execute in parallel; per-thread accumulators merge
+// at the end, so results are bitwise independent of the thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "machine/cluster.hh"
+#include "sim/engine.hh"
+#include "support/stats.hh"
+#include "workload/workload.hh"
+
+namespace fhs {
+
+/// How clusters are sampled per instance.
+struct ClusterParams {
+  ResourceType num_types = 4;
+  std::uint32_t min_processors = 1;
+  std::uint32_t max_processors = 5;
+  /// Optional skew (§V-E): after sampling, scale this type's processor
+  /// count by the factor (e.g. {0, 0.2} cuts type 0 to 1/5).
+  std::optional<ResourceType> skew_type;
+  double skew_factor = 1.0;
+
+  [[nodiscard]] Cluster sample(Rng& rng) const;
+  [[nodiscard]] std::string describe() const;
+};
+
+struct ExperimentSpec {
+  std::string name;
+  WorkloadParams workload;
+  ClusterParams cluster;
+  /// Scheduler specs (see sched/registry.hh).
+  std::vector<std::string> schedulers;
+  std::size_t instances = 300;
+  ExecutionMode mode = ExecutionMode::kNonPreemptive;
+  std::uint64_t seed = 42;
+  /// Worker threads (0 = hardware concurrency).
+  std::size_t threads = 0;
+};
+
+struct SchedulerOutcome {
+  std::string scheduler;
+  /// Completion-time ratio T(J)/L(J) across instances.
+  RunningStats ratio;
+  /// Raw completion times (ticks).
+  RunningStats completion_time;
+  /// Average utilization over all types (busy ticks / (P * T)).
+  RunningStats mean_utilization;
+  /// Preemptions per instance (0 in non-preemptive mode).
+  RunningStats preemptions;
+  /// Paired per-instance execution-time reduction over the FIRST
+  /// scheduler of the spec: (T_first - T_this) / T_first.  This is the
+  /// quantity behind the paper's "MQB reduces the execution time of
+  /// online greedy algorithms up to 40%".  Zero-sample for the first
+  /// scheduler itself.
+  RunningStats reduction_vs_baseline;
+};
+
+struct ExperimentResult {
+  ExperimentSpec spec;
+  std::vector<SchedulerOutcome> outcomes;
+
+  [[nodiscard]] const SchedulerOutcome& outcome(const std::string& scheduler) const;
+};
+
+/// Runs the experiment.  Throws on invalid scheduler names or workload
+/// parameters; individual simulation failures propagate (they indicate
+/// bugs, not data).
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentSpec& spec);
+
+}  // namespace fhs

@@ -1,0 +1,287 @@
+#include "flex/flex_engine.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/kdag_algorithms.hh"
+
+namespace fhs {
+
+namespace {
+
+struct FlexRunning {
+  TaskId task;
+  std::uint32_t processor;
+  ResourceType type;
+  Work remaining;
+  Time started;
+};
+
+class FlexSimulation final : public FlexDispatchContext {
+ public:
+  FlexSimulation(const FlexKDag& job, const Cluster& cluster, ExecutionTrace* trace)
+      : job_(job), cluster_(cluster), trace_(trace) {
+    if (cluster.num_types() < job.num_types()) {
+      throw std::invalid_argument(
+          "flex_simulate: job uses more resource types than the cluster provides");
+    }
+    const std::size_t n = job.task_count();
+    const KDag& dag = job.native();
+    remaining_parents_.resize(n);
+    for (TaskId v = 0; v < n; ++v) {
+      remaining_parents_[v] = static_cast<std::uint32_t>(dag.parent_count(v));
+    }
+    native_queue_work_.assign(job.num_types(), 0);
+    free_procs_.resize(job.num_types());
+    for (ResourceType a = 0; a < job.num_types(); ++a) {
+      const std::uint32_t p = cluster.processors(a);
+      free_procs_[a].reserve(p);
+      for (std::uint32_t i = p; i-- > 0;) {
+        free_procs_[a].push_back(cluster.offset(a) + i);
+      }
+    }
+    result_.busy_ticks_per_type.assign(job.num_types(), 0);
+    for (TaskId root : dag.roots()) make_ready(root);
+  }
+
+  // --- FlexDispatchContext -------------------------------------------------
+  [[nodiscard]] ResourceType num_types() const noexcept override {
+    return job_.num_types();
+  }
+  [[nodiscard]] Time now() const noexcept override { return now_; }
+  [[nodiscard]] std::uint32_t free_processors(ResourceType alpha) const override {
+    return static_cast<std::uint32_t>(free_procs_.at(alpha).size());
+  }
+  [[nodiscard]] std::uint32_t total_processors(ResourceType alpha) const override {
+    return cluster_.processors(alpha);
+  }
+  [[nodiscard]] std::span<const TaskId> ready() const override { return queue_; }
+  [[nodiscard]] Work native_queue_work(ResourceType alpha) const override {
+    return native_queue_work_.at(alpha);
+  }
+
+  void assign(std::size_t index, std::size_t option_index) override {
+    if (index >= queue_.size()) {
+      throw std::logic_error("FlexScheduler::dispatch assigned a bad queue index");
+    }
+    const TaskId task = queue_[index];
+    const auto options = job_.options(task);
+    if (option_index >= options.size()) {
+      throw std::logic_error("FlexScheduler::dispatch assigned a bad option index");
+    }
+    const ExecutionOption option = options[option_index];
+    auto& frees = free_procs_.at(option.type);
+    if (frees.empty()) {
+      throw std::logic_error(
+          "FlexScheduler::dispatch assigned to a type with no free processor");
+    }
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
+    native_queue_work_[job_.native().type(task)] -= job_.native().work(task);
+    const std::uint32_t proc = frees.back();
+    frees.pop_back();
+    running_.push_back(FlexRunning{task, proc, option.type, option.work, now_});
+    if (option_index != 0) {
+      ++result_.migrations;
+      result_.migration_overhead += option.work - options[0].work;
+    }
+  }
+
+  // --- main loop -------------------------------------------------------------
+  FlexSimResult run(FlexScheduler& scheduler) {
+    scheduler.prepare(job_, cluster_);
+    const std::size_t n = job_.task_count();
+    while (completed_ < n) {
+      scheduler.dispatch(*this);
+      ++result_.decision_points;
+      enforce_work_conservation();
+      if (running_.empty()) {
+        throw std::logic_error("flex_simulate: no runnable task but job incomplete");
+      }
+      advance();
+    }
+    result_.completion_time = now_;
+    return std::move(result_);
+  }
+
+ private:
+  void make_ready(TaskId task) {
+    queue_.push_back(task);
+    native_queue_work_[job_.native().type(task)] += job_.native().work(task);
+  }
+
+  void enforce_work_conservation() const {
+    // Enforced for *native* options only: every reasonable policy runs a
+    // ready task when its native pool has a free slot, but declining a
+    // slower non-native option to wait for the native pool is a
+    // legitimate decision (it can beat greedy), so it is discretionary.
+    for (const TaskId task : queue_) {
+      const ResourceType native = job_.native().type(task);
+      if (!free_procs_[native].empty()) {
+        throw std::logic_error(
+            "FlexScheduler::dispatch left a free processor idle while ready task " +
+            std::to_string(task) + "'s native type matches it");
+      }
+    }
+  }
+
+  void advance() {
+    Work dt = std::numeric_limits<Work>::max();
+    for (const FlexRunning& r : running_) dt = std::min(dt, r.remaining);
+    assert(dt > 0);
+    now_ += dt;
+    for (FlexRunning& r : running_) {
+      result_.busy_ticks_per_type[r.type] += dt;
+      r.remaining -= dt;
+    }
+    std::sort(running_.begin(), running_.end(), [](const auto& a, const auto& b) {
+      return a.processor < b.processor;
+    });
+    std::vector<FlexRunning> still_running;
+    still_running.reserve(running_.size());
+    for (const FlexRunning& r : running_) {
+      if (r.remaining > 0) {
+        still_running.push_back(r);
+        continue;
+      }
+      if (trace_ != nullptr) trace_->add(r.task, r.processor, r.started, now_);
+      auto& frees = free_procs_[r.type];
+      const auto pos = std::lower_bound(frees.begin(), frees.end(), r.processor,
+                                        std::greater<std::uint32_t>{});
+      frees.insert(pos, r.processor);
+      ++completed_;
+      for (TaskId child : job_.native().children(r.task)) {
+        assert(remaining_parents_[child] > 0);
+        if (--remaining_parents_[child] == 0) make_ready(child);
+      }
+    }
+    running_ = std::move(still_running);
+  }
+
+  const FlexKDag& job_;
+  const Cluster& cluster_;
+  ExecutionTrace* trace_;
+
+  Time now_ = 0;
+  std::size_t completed_ = 0;
+  std::vector<std::uint32_t> remaining_parents_;
+  std::vector<TaskId> queue_;
+  std::vector<Work> native_queue_work_;
+  std::vector<std::vector<std::uint32_t>> free_procs_;
+  std::vector<FlexRunning> running_;
+  FlexSimResult result_;
+};
+
+}  // namespace
+
+FlexSimResult flex_simulate(const FlexKDag& job, const Cluster& cluster,
+                            FlexScheduler& scheduler, ExecutionTrace* trace) {
+  if (trace != nullptr) trace->clear();
+  FlexSimulation sim(job, cluster, trace);
+  return sim.run(scheduler);
+}
+
+Time flex_lower_bound(const FlexKDag& job, const Cluster& cluster) {
+  if (cluster.num_types() < job.num_types()) {
+    throw std::invalid_argument("flex_lower_bound: cluster has too few types");
+  }
+  // Span over per-task min works.
+  const KDag& dag = job.native();
+  std::vector<Work> best_chain(job.task_count(), 0);
+  Time span_bound = 0;
+  const auto order = dag.topological_order();
+  for (TaskId v : order) {
+    Work best_parent = 0;
+    for (TaskId parent : dag.parents(v)) {
+      best_parent = std::max(best_parent, best_chain[parent]);
+    }
+    best_chain[v] = job.min_work(v) + best_parent;
+    span_bound = std::max(span_bound, best_chain[v]);
+  }
+  const auto total_procs = static_cast<Work>(cluster.total_processors());
+  const Work work_bound = (job.total_min_work() + total_procs - 1) / total_procs;
+  return std::max(span_bound, work_bound);
+}
+
+std::vector<std::string> check_flex_schedule(const FlexKDag& job, const Cluster& cluster,
+                                             const ExecutionTrace& trace) {
+  std::vector<std::string> violations;
+  const auto& segments = trace.segments();
+  const KDag& dag = job.native();
+
+  std::vector<Time> first_start(job.task_count(), std::numeric_limits<Time>::max());
+  std::vector<Time> last_end(job.task_count(), -1);
+  std::vector<Work> executed(job.task_count(), 0);
+  std::vector<std::size_t> segment_count(job.task_count(), 0);
+  std::vector<std::uint32_t> processor_of(job.task_count(), 0);
+
+  for (const TraceSegment& seg : segments) {
+    std::ostringstream where;
+    where << "task " << seg.task << " on p" << seg.processor << " [" << seg.start
+          << ", " << seg.end << ")";
+    if (seg.task >= job.task_count()) {
+      violations.push_back("unknown task: " + where.str());
+      continue;
+    }
+    if (seg.processor >= cluster.total_processors()) {
+      violations.push_back("unknown processor: " + where.str());
+      continue;
+    }
+    const ResourceType proc_type = cluster.type_of_processor(seg.processor);
+    std::size_t option_index = 0;
+    if (!job.find_option(seg.task, proc_type, option_index)) {
+      violations.push_back("no option for processor type " +
+                           std::to_string(proc_type) + ": " + where.str());
+    }
+    executed[seg.task] += seg.end - seg.start;
+    first_start[seg.task] = std::min(first_start[seg.task], seg.start);
+    last_end[seg.task] = std::max(last_end[seg.task], seg.end);
+    processor_of[seg.task] = seg.processor;
+    ++segment_count[seg.task];
+  }
+  if (!violations.empty()) return violations;
+
+  // No overlap per processor.
+  std::vector<TraceSegment> by_proc(segments.begin(), segments.end());
+  std::sort(by_proc.begin(), by_proc.end(), [](const auto& a, const auto& b) {
+    return std::make_pair(a.processor, a.start) < std::make_pair(b.processor, b.start);
+  });
+  for (std::size_t i = 1; i < by_proc.size(); ++i) {
+    if (by_proc[i - 1].processor == by_proc[i].processor &&
+        by_proc[i].start < by_proc[i - 1].end) {
+      violations.push_back("overlap on p" + std::to_string(by_proc[i].processor));
+    }
+  }
+
+  for (TaskId v = 0; v < job.task_count(); ++v) {
+    if (segment_count[v] != 1) {
+      violations.push_back("task " + std::to_string(v) + " has " +
+                           std::to_string(segment_count[v]) +
+                           " segments (flex schedules are non-preemptive)");
+      continue;
+    }
+    // The contiguous run must match the work of the option whose type is
+    // the processor's type.
+    const ResourceType proc_type = cluster.type_of_processor(processor_of[v]);
+    std::size_t option_index = 0;
+    if (job.find_option(v, proc_type, option_index) &&
+        executed[v] != job.options(v)[option_index].work) {
+      violations.push_back("task " + std::to_string(v) + " executed " +
+                           std::to_string(executed[v]) + " ticks but its type-" +
+                           std::to_string(proc_type) + " option needs " +
+                           std::to_string(job.options(v)[option_index].work));
+    }
+    for (TaskId parent : dag.parents(v)) {
+      if (first_start[v] < last_end[parent]) {
+        violations.push_back("task " + std::to_string(v) + " starts before parent " +
+                             std::to_string(parent) + " finishes");
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace fhs

@@ -1,0 +1,89 @@
+// Simulation engine for flexible K-DAGs (paper §VII extension).
+//
+// Differences from the rigid engine (sim/engine.hh):
+//  * a ready task may be assigned to any type it has an option for; the
+//    scheduler chooses the (task, option) pair;
+//  * the executed work is the chosen option's work;
+//  * non-preemptive only (a JIT-compiled binary runs to completion).
+//
+// Work conservation here means: no processor may idle while a ready task
+// has its *native* option on that type.  Using a slower non-native option
+// is discretionary -- declining it to wait for the native pool is a
+// legitimate scheduling decision.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "flex/flex_kdag.hh"
+#include "machine/cluster.hh"
+#include "sim/trace.hh"
+
+namespace fhs {
+
+/// Engine-provided view of a flexible decision point.  ready() is
+/// invalidated by assign(); re-fetch after every assignment.
+class FlexDispatchContext {
+ public:
+  virtual ~FlexDispatchContext() = default;
+
+  [[nodiscard]] virtual ResourceType num_types() const noexcept = 0;
+  [[nodiscard]] virtual Time now() const noexcept = 0;
+  [[nodiscard]] virtual std::uint32_t free_processors(ResourceType alpha) const = 0;
+  [[nodiscard]] virtual std::uint32_t total_processors(ResourceType alpha) const = 0;
+
+  /// All ready tasks, oldest first (one global queue -- a flexible task
+  /// does not belong to a single type).
+  [[nodiscard]] virtual std::span<const TaskId> ready() const = 0;
+
+  /// Total *native-option* work of ready tasks whose native type is
+  /// alpha (offline info; the flexible analogue of l_alpha).
+  [[nodiscard]] virtual Work native_queue_work(ResourceType alpha) const = 0;
+
+  /// Assigns ready task at `index` using its `option_index`-th option.
+  /// The option's type must have a free processor.
+  virtual void assign(std::size_t index, std::size_t option_index) = 0;
+};
+
+class FlexScheduler {
+ public:
+  virtual ~FlexScheduler() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual void prepare(const FlexKDag& job, const Cluster& cluster) = 0;
+  virtual void dispatch(FlexDispatchContext& ctx) = 0;
+};
+
+struct FlexSimResult {
+  Time completion_time = 0;
+  std::vector<Time> busy_ticks_per_type;
+  std::uint64_t decision_points = 0;
+  /// Tasks executed on a non-native option (JIT migrations).
+  std::uint64_t migrations = 0;
+  /// Extra ticks spent because of non-native execution (sum of chosen
+  /// work minus native work).
+  Work migration_overhead = 0;
+};
+
+/// Runs `scheduler` on the flexible job.  Same validation rules as the
+/// rigid simulate(); throws std::logic_error on non-work-conserving
+/// policies.
+FlexSimResult flex_simulate(const FlexKDag& job, const Cluster& cluster,
+                            FlexScheduler& scheduler, ExecutionTrace* trace = nullptr);
+
+/// Lower bound for flexible jobs:
+///   max( span over per-task MIN works,
+///        ceil(total min work / total processors) ).
+/// Weaker than the rigid bound (per-type work bounds no longer apply),
+/// but valid for every option assignment.
+[[nodiscard]] Time flex_lower_bound(const FlexKDag& job, const Cluster& cluster);
+
+/// Replay checker for flexible traces: each task must run contiguously
+/// on one processor whose type it has an option for, for exactly that
+/// option's work; precedence and per-processor exclusivity as usual.
+[[nodiscard]] std::vector<std::string> check_flex_schedule(const FlexKDag& job,
+                                                           const Cluster& cluster,
+                                                           const ExecutionTrace& trace);
+
+}  // namespace fhs

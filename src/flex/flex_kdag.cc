@@ -1,0 +1,114 @@
+#include "flex/flex_kdag.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "support/rng.hh"
+
+namespace fhs {
+
+FlexKDagBuilder::FlexKDagBuilder(ResourceType num_types)
+    : num_types_(num_types), base_(num_types) {}
+
+TaskId FlexKDagBuilder::add_task(std::vector<ExecutionOption> options) {
+  if (options.empty()) {
+    throw std::invalid_argument("FlexKDagBuilder: task needs at least one option");
+  }
+  for (std::size_t i = 0; i < options.size(); ++i) {
+    if (options[i].type >= num_types_) {
+      throw std::invalid_argument("FlexKDagBuilder: option type out of range");
+    }
+    if (options[i].work < 1) {
+      throw std::invalid_argument("FlexKDagBuilder: option work must be >= 1");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (options[j].type == options[i].type) {
+        throw std::invalid_argument("FlexKDagBuilder: duplicate option type");
+      }
+    }
+  }
+  const TaskId id = base_.add_task(options.front().type, options.front().work);
+  options_.push_back(std::move(options));
+  return id;
+}
+
+void FlexKDagBuilder::add_edge(TaskId from, TaskId to) { base_.add_edge(from, to); }
+
+FlexKDag FlexKDagBuilder::build() && {
+  FlexKDag flex;
+  flex.native_ = std::move(base_).build();
+  const std::size_t n = options_.size();
+  flex.option_offset_.reserve(n + 1);
+  flex.option_offset_.push_back(0);
+  flex.min_work_.reserve(n);
+  for (const auto& task_options : options_) {
+    Work best = task_options.front().work;
+    for (const ExecutionOption& option : task_options) {
+      best = std::min(best, option.work);
+      flex.option_list_.push_back(option);
+    }
+    flex.option_offset_.push_back(static_cast<std::uint32_t>(flex.option_list_.size()));
+    flex.min_work_.push_back(best);
+    flex.total_min_work_ += best;
+  }
+  return flex;
+}
+
+bool FlexKDag::find_option(TaskId v, ResourceType alpha, std::size_t& option_index) const {
+  const auto opts = options(v);
+  for (std::size_t i = 0; i < opts.size(); ++i) {
+    if (opts[i].type == alpha) {
+      option_index = i;
+      return true;
+    }
+  }
+  return false;
+}
+
+double FlexKDag::flexibility() const noexcept {
+  if (task_count() == 0) return 0.0;
+  std::size_t flexible = 0;
+  for (TaskId v = 0; v < task_count(); ++v) {
+    if (option_count(v) > 1) ++flexible;
+  }
+  return static_cast<double>(flexible) / static_cast<double>(task_count());
+}
+
+FlexKDag flexify(const KDag& dag, double flex_probability, double slowdown, Rng& rng) {
+  if (flex_probability < 0.0 || flex_probability > 1.0) {
+    throw std::invalid_argument("flexify: flex_probability must be in [0, 1]");
+  }
+  if (slowdown < 1.0) {
+    throw std::invalid_argument("flexify: slowdown must be >= 1");
+  }
+  FlexKDagBuilder builder(dag.num_types());
+  for (TaskId v = 0; v < dag.task_count(); ++v) {
+    std::vector<ExecutionOption> options{{dag.type(v), dag.work(v)}};
+    if (dag.num_types() > 1 && rng.bernoulli(flex_probability)) {
+      // Uniform over the other K-1 types.
+      auto other = static_cast<ResourceType>(rng.uniform_below(dag.num_types() - 1));
+      if (other >= dag.type(v)) ++other;
+      const auto slowed = static_cast<Work>(
+          std::ceil(static_cast<double>(dag.work(v)) * slowdown));
+      options.push_back({other, slowed});
+    }
+    (void)builder.add_task(std::move(options));
+  }
+  for (TaskId v = 0; v < dag.task_count(); ++v) {
+    for (TaskId child : dag.children(v)) builder.add_edge(v, child);
+  }
+  return std::move(builder).build();
+}
+
+FlexKDag make_rigid(const KDag& dag) {
+  FlexKDagBuilder builder(dag.num_types());
+  for (TaskId v = 0; v < dag.task_count(); ++v) {
+    (void)builder.add_task({{dag.type(v), dag.work(v)}});
+  }
+  for (TaskId v = 0; v < dag.task_count(); ++v) {
+    for (TaskId child : dag.children(v)) builder.add_edge(v, child);
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace fhs

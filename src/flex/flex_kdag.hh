@@ -1,0 +1,108 @@
+// Flexible K-DAGs: the paper's §VII open problem.
+//
+// "With the support of JIT [compilation], a task can be compiled to
+// different binaries at run time and flexibly executed on different
+// types of resources.  Here, a scheduler requires additional
+// functionality and must choose appropriate resource types to compile
+// the task for and execute it."
+//
+// A FlexKDag extends the K-DAG model: each task carries one or more
+// *execution options* (type, work).  Option 0 is the task's *native*
+// option (the architecture it was written for); further options model
+// JIT-compiled binaries, typically with larger work (the slowdown of
+// running off the native resource).  A rigid K-DAG is the special case
+// where every task has exactly one option.
+//
+// Structure (edges, topological order, spans) is independent of option
+// choice, so FlexKDag wraps a rigid KDag built from the native options
+// and adds the option table.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/kdag.hh"
+
+namespace fhs {
+
+class Rng;
+
+struct ExecutionOption {
+  ResourceType type = 0;
+  Work work = 1;
+
+  friend bool operator==(const ExecutionOption&, const ExecutionOption&) = default;
+};
+
+class FlexKDag;
+
+class FlexKDagBuilder {
+ public:
+  explicit FlexKDagBuilder(ResourceType num_types);
+
+  /// Adds a task with the given options.  Requires at least one option;
+  /// option types must be distinct and in range; works >= 1.  Option 0
+  /// is the native option.
+  TaskId add_task(std::vector<ExecutionOption> options);
+
+  void add_edge(TaskId from, TaskId to);
+
+  [[nodiscard]] std::size_t task_count() const noexcept { return options_.size(); }
+
+  [[nodiscard]] FlexKDag build() &&;
+
+ private:
+  ResourceType num_types_;
+  std::vector<std::vector<ExecutionOption>> options_;
+  KDagBuilder base_;
+};
+
+class FlexKDag {
+ public:
+  FlexKDag() = default;
+
+  /// The rigid K-DAG under native options (structure + native types and
+  /// works).  All structural queries (children, parents, topological
+  /// order, spans of native works) go through here.
+  [[nodiscard]] const KDag& native() const noexcept { return native_; }
+
+  [[nodiscard]] ResourceType num_types() const noexcept { return native_.num_types(); }
+  [[nodiscard]] std::size_t task_count() const noexcept { return native_.task_count(); }
+
+  [[nodiscard]] std::span<const ExecutionOption> options(TaskId v) const {
+    return {option_list_.data() + option_offset_.at(v),
+            option_list_.data() + option_offset_.at(v + 1)};
+  }
+  /// Number of options of task v (>= 1).
+  [[nodiscard]] std::size_t option_count(TaskId v) const { return options(v).size(); }
+  /// True if the task can execute on type alpha; fills `option_index`.
+  [[nodiscard]] bool find_option(TaskId v, ResourceType alpha,
+                                 std::size_t& option_index) const;
+  /// Smallest work over all options of v.
+  [[nodiscard]] Work min_work(TaskId v) const { return min_work_.at(v); }
+  /// Total of min_work over all tasks (for lower bounds).
+  [[nodiscard]] Work total_min_work() const noexcept { return total_min_work_; }
+  /// Fraction of tasks with more than one option.
+  [[nodiscard]] double flexibility() const noexcept;
+
+ private:
+  friend class FlexKDagBuilder;
+
+  KDag native_;
+  std::vector<std::uint32_t> option_offset_;  // size n+1
+  std::vector<ExecutionOption> option_list_;
+  std::vector<Work> min_work_;
+  Work total_min_work_ = 0;
+};
+
+/// Adds flexibility to a rigid job: each task keeps its native option
+/// and, with probability `flex_probability`, gains one extra option on a
+/// uniformly chosen *other* type with work = ceil(native work *
+/// `slowdown`).  slowdown >= 1.  With K == 1 the job is returned rigid.
+[[nodiscard]] FlexKDag flexify(const KDag& dag, double flex_probability, double slowdown,
+                               Rng& rng);
+
+/// Wraps a rigid job without adding any options.
+[[nodiscard]] FlexKDag make_rigid(const KDag& dag);
+
+}  // namespace fhs

@@ -1,0 +1,162 @@
+#include "flex/flex_schedulers.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+#include <vector>
+
+namespace fhs {
+
+// --- FlexNative --------------------------------------------------------------
+
+void FlexNativeScheduler::prepare(const FlexKDag& job, const Cluster& cluster) {
+  (void)cluster;
+  job_ = &job;
+}
+
+void FlexNativeScheduler::dispatch(FlexDispatchContext& ctx) {
+  // FIFO per native type; never uses non-native options.
+  bool assigned = true;
+  while (assigned) {
+    assigned = false;
+    const auto queue = ctx.ready();
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      const ResourceType native = job_->native().type(queue[i]);
+      if (ctx.free_processors(native) > 0) {
+        ctx.assign(i, 0);
+        assigned = true;
+        break;  // queue invalidated; re-fetch
+      }
+    }
+  }
+}
+
+// --- FlexGreedy --------------------------------------------------------------
+
+void FlexGreedyScheduler::prepare(const FlexKDag& job, const Cluster& cluster) {
+  (void)cluster;
+  job_ = &job;
+}
+
+void FlexGreedyScheduler::dispatch(FlexDispatchContext& ctx) {
+  // Two passes: first satisfy native matches (no slowdown), then fill
+  // remaining free processors with the oldest task that has ANY option
+  // there.  Both passes are oldest-first (online FIFO).
+  bool assigned = true;
+  while (assigned) {
+    assigned = false;
+    const auto queue = ctx.ready();
+    for (std::size_t i = 0; i < queue.size() && !assigned; ++i) {
+      const ResourceType native = job_->native().type(queue[i]);
+      if (ctx.free_processors(native) > 0) {
+        ctx.assign(i, 0);
+        assigned = true;
+      }
+    }
+    if (assigned) continue;
+    for (std::size_t i = 0; i < queue.size() && !assigned; ++i) {
+      const auto options = job_->options(queue[i]);
+      for (std::size_t o = 1; o < options.size() && !assigned; ++o) {
+        if (ctx.free_processors(options[o].type) > 0) {
+          ctx.assign(i, o);
+          assigned = true;
+        }
+      }
+    }
+  }
+}
+
+// --- FlexMqb -----------------------------------------------------------------
+
+FlexMqbScheduler::FlexMqbScheduler(bool count_slowdown_in_balance)
+    : count_slowdown_(count_slowdown_in_balance) {}
+
+std::string FlexMqbScheduler::name() const {
+  return count_slowdown_ ? "FlexMQB+slowpay" : "FlexMQB";
+}
+
+void FlexMqbScheduler::prepare(const FlexKDag& job, const Cluster& cluster) {
+  (void)cluster;
+  job_ = &job;
+  analysis_ = std::make_unique<JobAnalysis>(job.native());
+}
+
+void FlexMqbScheduler::dispatch(FlexDispatchContext& ctx) {
+  const ResourceType k = ctx.num_types();
+  std::vector<double> inv_procs(k);
+  for (ResourceType a = 0; a < k; ++a) {
+    inv_procs[a] = 1.0 / static_cast<double>(ctx.total_processors(a));
+  }
+
+  // Hypothetical native queue-work vector (MQB's l_alpha generalized).
+  std::vector<double> hypo(k);
+  for (ResourceType a = 0; a < k; ++a) {
+    hypo[a] = static_cast<double>(ctx.native_queue_work(a));
+  }
+
+  auto sorted_utilization = [&](const std::vector<double>& queues) {
+    std::vector<double> r(k);
+    for (ResourceType a = 0; a < k; ++a) r[a] = queues[a] * inv_procs[a];
+    std::sort(r.begin(), r.end());
+    return r;
+  };
+
+  bool assigned = true;
+  while (assigned) {
+    assigned = false;
+    const auto queue = ctx.ready();
+    // Candidates: every (task, option) whose type has a free processor.
+    std::size_t best_index = 0;
+    std::size_t best_option = 0;
+    std::vector<double> best_snapshot;
+    std::vector<double> best_sorted;
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      const TaskId task = queue[i];
+      const ResourceType native = job_->native().type(task);
+      const auto options = job_->options(task);
+      for (std::size_t o = 0; o < options.size(); ++o) {
+        if (ctx.free_processors(options[o].type) == 0) continue;
+        std::vector<double> candidate = hypo;
+        // The task leaves the ready set: its native work leaves the
+        // native queue.  Running off-native adds the slowdown to the
+        // executing pool's hypothetical load.
+        candidate[native] -= static_cast<double>(job_->native().work(task));
+        const auto row = analysis_->descendant_row(task);
+        for (ResourceType b = 0; b < k; ++b) candidate[b] += row[b];
+        if (count_slowdown_ && o != 0) {
+          candidate[options[o].type] +=
+              static_cast<double>(options[o].work - options[0].work);
+        }
+        std::vector<double> sorted = sorted_utilization(candidate);
+        if (best_snapshot.empty() ||
+            std::lexicographical_compare(best_sorted.begin(), best_sorted.end(),
+                                         sorted.begin(), sorted.end())) {
+          best_snapshot = std::move(candidate);
+          best_sorted = std::move(sorted);
+          best_index = i;
+          best_option = o;
+        }
+      }
+    }
+    if (!best_snapshot.empty()) {
+      hypo = best_snapshot;
+      ctx.assign(best_index, best_option);
+      assigned = true;
+    }
+  }
+}
+
+std::unique_ptr<FlexScheduler> make_flex_scheduler(const std::string& spec) {
+  std::string name = spec;
+  std::transform(name.begin(), name.end(), name.begin(),
+                 [](unsigned char ch) { return static_cast<char>(std::tolower(ch)); });
+  if (name == "flexnative") return std::make_unique<FlexNativeScheduler>();
+  if (name == "flexgreedy") return std::make_unique<FlexGreedyScheduler>();
+  if (name == "flexmqb") return std::make_unique<FlexMqbScheduler>();
+  if (name == "flexmqb+slowpay") {
+    return std::make_unique<FlexMqbScheduler>(/*count_slowdown_in_balance=*/true);
+  }
+  throw std::invalid_argument("make_flex_scheduler: unknown scheduler '" + spec + "'");
+}
+
+}  // namespace fhs

@@ -1,0 +1,68 @@
+// Scheduling policies for flexible K-DAGs (paper §VII extension).
+//
+//  * FlexNative  -- ignores flexibility: every task runs on its native
+//    option, FIFO per type.  Equivalent to KGreedy on the rigid job;
+//    the baseline every flexible policy must beat.
+//  * FlexGreedy  -- online: a free processor takes the oldest ready task
+//    that has an option on its type.  Uses flexibility opportunistically
+//    but never weighs the slowdown.
+//  * FlexMqb     -- MQB generalized to (task, option) choices: a
+//    candidate's hypothetical snapshot moves the task's native work out
+//    of its native queue and adds its typed descendant values (computed
+//    on native types); the best-balanced (task, option) wins.  Ties
+//    resolve toward the oldest task's native option, so migrations
+//    happen exactly when balance (or work conservation) demands them.
+#pragma once
+
+#include <memory>
+
+#include "flex/flex_engine.hh"
+#include "graph/analysis.hh"
+
+namespace fhs {
+
+class FlexNativeScheduler final : public FlexScheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "FlexNative"; }
+  void prepare(const FlexKDag& job, const Cluster& cluster) override;
+  void dispatch(FlexDispatchContext& ctx) override;
+
+ private:
+  const FlexKDag* job_ = nullptr;
+};
+
+class FlexGreedyScheduler final : public FlexScheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "FlexGreedy"; }
+  void prepare(const FlexKDag& job, const Cluster& cluster) override;
+  void dispatch(FlexDispatchContext& ctx) override;
+
+ private:
+  const FlexKDag* job_ = nullptr;
+};
+
+class FlexMqbScheduler final : public FlexScheduler {
+ public:
+  /// `count_slowdown_in_balance` adds a non-native option's extra work to
+  /// the hypothetical queue of the executing pool.  Under the
+  /// lexicographic "bigger is better" balance order this makes wasteful
+  /// migrations look attractive (the scheduler pays slowdown to inflate
+  /// its own snapshot) -- kept as an ablation knob, default off; see
+  /// bench/flex_jit.
+  explicit FlexMqbScheduler(bool count_slowdown_in_balance = false);
+
+  [[nodiscard]] std::string name() const override;
+  void prepare(const FlexKDag& job, const Cluster& cluster) override;
+  void dispatch(FlexDispatchContext& ctx) override;
+
+ private:
+  bool count_slowdown_;
+  const FlexKDag* job_ = nullptr;
+  std::unique_ptr<JobAnalysis> analysis_;
+};
+
+/// Factory mirroring sched/registry.hh for the flexible policies:
+/// "flexnative" | "flexgreedy" | "flexmqb".
+[[nodiscard]] std::unique_ptr<FlexScheduler> make_flex_scheduler(const std::string& spec);
+
+}  // namespace fhs

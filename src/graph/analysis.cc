@@ -1,0 +1,100 @@
+#include "graph/analysis.hh"
+
+#include <algorithm>
+
+#include "graph/kdag_algorithms.hh"
+
+namespace fhs {
+
+std::vector<double> typed_descendant_values(const KDag& dag) {
+  const std::size_t n = dag.task_count();
+  const std::size_t k = dag.num_types();
+  std::vector<double> d(n * k, 0.0);
+  const auto order = dag.topological_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const TaskId v = *it;
+    double* row = d.data() + static_cast<std::size_t>(v) * k;
+    for (TaskId u : dag.children(v)) {
+      const double share = 1.0 / static_cast<double>(dag.parent_count(u));
+      const double* child_row = d.data() + static_cast<std::size_t>(u) * k;
+      for (std::size_t a = 0; a < k; ++a) row[a] += child_row[a] * share;
+      row[dag.type(u)] += static_cast<double>(dag.work(u)) * share;
+    }
+  }
+  return d;
+}
+
+std::vector<double> one_step_typed_descendant_values(const KDag& dag) {
+  const std::size_t n = dag.task_count();
+  const std::size_t k = dag.num_types();
+  std::vector<double> d(n * k, 0.0);
+  for (TaskId v = 0; v < n; ++v) {
+    double* row = d.data() + static_cast<std::size_t>(v) * k;
+    for (TaskId u : dag.children(v)) {
+      const double share = 1.0 / static_cast<double>(dag.parent_count(u));
+      row[dag.type(u)] += static_cast<double>(dag.work(u)) * share;
+    }
+  }
+  return d;
+}
+
+std::vector<double> untyped_descendant_values(const KDag& dag) {
+  const std::size_t n = dag.task_count();
+  std::vector<double> d(n, 0.0);
+  const auto order = dag.topological_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const TaskId v = *it;
+    for (TaskId u : dag.children(v)) {
+      const double share = 1.0 / static_cast<double>(dag.parent_count(u));
+      d[v] += (d[u] + static_cast<double>(dag.work(u))) * share;
+    }
+  }
+  return d;
+}
+
+std::vector<std::size_t> different_child_distance(const KDag& dag) {
+  const std::size_t n = dag.task_count();
+  std::vector<std::size_t> dist(n, kNoDifferentDescendant);
+  const auto order = dag.topological_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const TaskId v = *it;
+    for (TaskId u : dag.children(v)) {
+      std::size_t via;
+      if (dag.type(u) != dag.type(v)) {
+        via = 1;
+      } else if (dist[u] != kNoDifferentDescendant) {
+        via = dist[u] + 1;
+      } else {
+        continue;
+      }
+      dist[v] = std::min(dist[v], via);
+    }
+  }
+  return dist;
+}
+
+std::vector<Time> due_dates(const KDag& dag) {
+  const std::vector<Work> rem = remaining_span(dag);
+  const Work total_span = *std::max_element(rem.begin(), rem.end());
+  std::vector<Time> due(dag.task_count());
+  for (std::size_t v = 0; v < dag.task_count(); ++v) {
+    due[v] = total_span - rem[v];
+  }
+  return due;
+}
+
+JobAnalysis::JobAnalysis(const KDag& dag)
+    : dag_(&dag),
+      typed_desc_(typed_descendant_values(dag)),
+      one_step_desc_(one_step_typed_descendant_values(dag)),
+      untyped_desc_(untyped_descendant_values(dag)),
+      remaining_span_(remaining_span(dag)),
+      diff_child_dist_(different_child_distance(dag)) {
+  span_ = *std::max_element(remaining_span_.begin(), remaining_span_.end());
+  due_dates_.resize(dag.task_count());
+  for (std::size_t v = 0; v < dag.task_count(); ++v) {
+    due_dates_[v] = span_ - remaining_span_[v];
+  }
+}
+
+}  // namespace fhs

@@ -1,0 +1,100 @@
+// Offline static analyses over a K-DAG (paper §IV).
+//
+// These are the quantities the offline heuristics consume:
+//
+//  * typed descendant values d_alpha(v)  -- MQB (§IV-A):
+//        d_alpha(v) = sum over children u of (d_alpha(u) + w_alpha(u)) / pr(u)
+//    where pr(u) is u's parent count and w_alpha(u) = work(u) if u is an
+//    alpha-task else 0.  A child with multiple parents contributes each of
+//    them a 1/pr(u) share.
+//
+//  * untyped descendant values d(v)      -- MaxDP (§IV-B), same recursion
+//    with w(u) = work(u) for every type.
+//
+//  * different-child distance            -- DType (§IV-B): the minimum
+//    number of edges from v to any descendant whose type differs from
+//    v's; kNoDifferentDescendant if no such descendant exists.
+//
+//  * due dates                           -- ShiftBT (§IV-B):
+//        due(v) = T_inf(J) - remaining_span(v),
+//    the latest start time that cannot delay the job.
+//
+// All are computed in one reverse-topological pass each and are immutable
+// per job, so a JobAnalysis can be shared by concurrent simulations.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/kdag.hh"
+
+namespace fhs {
+
+inline constexpr std::size_t kNoDifferentDescendant =
+    std::numeric_limits<std::size_t>::max();
+
+/// Typed descendant values: row-major [task][type].
+[[nodiscard]] std::vector<double> typed_descendant_values(const KDag& dag);
+
+/// Untyped descendant values (MaxDP).
+[[nodiscard]] std::vector<double> untyped_descendant_values(const KDag& dag);
+
+/// One-step typed descendant values (MQB+1Step, §V-G): only immediate
+/// children are counted, d_alpha(v) = sum over children u of w_alpha(u)/pr(u).
+[[nodiscard]] std::vector<double> one_step_typed_descendant_values(const KDag& dag);
+
+/// Different-child distance per task (DType).
+[[nodiscard]] std::vector<std::size_t> different_child_distance(const KDag& dag);
+
+/// Due dates per task (ShiftBT).  due(v) = span(dag) - remaining_span(v).
+[[nodiscard]] std::vector<Time> due_dates(const KDag& dag);
+
+/// Bundle of every analysis a scheduler might request, computed lazily is
+/// not worth the branching here -- jobs are small; compute all eagerly.
+class JobAnalysis {
+ public:
+  explicit JobAnalysis(const KDag& dag);
+
+  [[nodiscard]] const KDag& dag() const noexcept { return *dag_; }
+  [[nodiscard]] ResourceType num_types() const noexcept { return dag_->num_types(); }
+
+  /// d_alpha(v); full-recursion values.
+  [[nodiscard]] double descendant(TaskId v, ResourceType alpha) const {
+    return typed_desc_[static_cast<std::size_t>(v) * num_types() + alpha];
+  }
+  /// Row of d(v, .) over all types.
+  [[nodiscard]] std::span<const double> descendant_row(TaskId v) const {
+    return {typed_desc_.data() + static_cast<std::size_t>(v) * num_types(),
+            num_types()};
+  }
+  /// One-step-lookahead variant.
+  [[nodiscard]] double one_step_descendant(TaskId v, ResourceType alpha) const {
+    return one_step_desc_[static_cast<std::size_t>(v) * num_types() + alpha];
+  }
+  [[nodiscard]] std::span<const double> one_step_descendant_row(TaskId v) const {
+    return {one_step_desc_.data() + static_cast<std::size_t>(v) * num_types(),
+            num_types()};
+  }
+  [[nodiscard]] double untyped_descendant(TaskId v) const { return untyped_desc_.at(v); }
+  [[nodiscard]] Work remaining_span_of(TaskId v) const { return remaining_span_.at(v); }
+  [[nodiscard]] std::size_t different_child_distance_of(TaskId v) const {
+    return diff_child_dist_.at(v);
+  }
+  [[nodiscard]] Time due_date(TaskId v) const { return due_dates_.at(v); }
+  [[nodiscard]] Work job_span() const noexcept { return span_; }
+
+ private:
+  const KDag* dag_;
+  Work span_ = 0;
+  std::vector<double> typed_desc_;
+  std::vector<double> one_step_desc_;
+  std::vector<double> untyped_desc_;
+  std::vector<Work> remaining_span_;
+  std::vector<std::size_t> diff_child_dist_;
+  std::vector<Time> due_dates_;
+};
+
+}  // namespace fhs

@@ -1,0 +1,33 @@
+#include "graph/dot.hh"
+
+#include <array>
+#include <ostream>
+#include <sstream>
+
+namespace fhs {
+
+void write_dot(std::ostream& out, const KDag& dag, const std::string& name) {
+  static constexpr std::array<const char*, 8> kPalette = {
+      "lightblue", "lightsalmon", "palegreen", "plum",
+      "khaki",     "lightcyan",   "mistyrose", "lavender"};
+  out << "digraph " << name << " {\n  rankdir=TB;\n  node [style=filled];\n";
+  for (TaskId v = 0; v < dag.task_count(); ++v) {
+    out << "  t" << v << " [label=\"t" << v << "\\na" << dag.type(v) << " w"
+        << dag.work(v) << "\", fillcolor=" << kPalette[dag.type(v) % kPalette.size()]
+        << "];\n";
+  }
+  for (TaskId v = 0; v < dag.task_count(); ++v) {
+    for (TaskId child : dag.children(v)) {
+      out << "  t" << v << " -> t" << child << ";\n";
+    }
+  }
+  out << "}\n";
+}
+
+std::string to_dot(const KDag& dag, const std::string& name) {
+  std::ostringstream out;
+  write_dot(out, dag, name);
+  return out.str();
+}
+
+}  // namespace fhs

@@ -1,0 +1,18 @@
+// Graphviz DOT export of a K-DAG, for documentation and debugging.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/kdag.hh"
+
+namespace fhs {
+
+/// Writes the DAG in DOT format.  Tasks are labelled "t<id> a<type> w<work>"
+/// and coloured per type (cycling an 8-colour palette).
+void write_dot(std::ostream& out, const KDag& dag, const std::string& name = "kdag");
+
+/// Convenience wrapper returning the DOT text.
+[[nodiscard]] std::string to_dot(const KDag& dag, const std::string& name = "kdag");
+
+}  // namespace fhs

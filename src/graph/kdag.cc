@@ -1,0 +1,128 @@
+#include "graph/kdag.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fhs {
+
+KDagBuilder::KDagBuilder(ResourceType num_types) : num_types_(num_types) {
+  if (num_types == 0 || num_types > kMaxResourceTypes) {
+    throw std::invalid_argument("KDagBuilder: K must be in [1, " +
+                                std::to_string(kMaxResourceTypes) + "]");
+  }
+}
+
+TaskId KDagBuilder::add_task(ResourceType type, Work work) {
+  if (type >= num_types_) {
+    throw std::invalid_argument("KDagBuilder: task type " + std::to_string(type) +
+                                " out of range (K=" + std::to_string(num_types_) + ")");
+  }
+  if (work < 1) {
+    throw std::invalid_argument("KDagBuilder: task work must be >= 1 tick");
+  }
+  if (types_.size() >= static_cast<std::size_t>(kInvalidTask)) {
+    throw std::length_error("KDagBuilder: too many tasks");
+  }
+  types_.push_back(type);
+  works_.push_back(work);
+  return static_cast<TaskId>(types_.size() - 1);
+}
+
+void KDagBuilder::add_edge(TaskId from, TaskId to) {
+  const auto n = static_cast<TaskId>(types_.size());
+  if (from >= n || to >= n) {
+    throw std::invalid_argument("KDagBuilder: edge endpoint out of range");
+  }
+  if (from == to) {
+    throw std::invalid_argument("KDagBuilder: self-loop on task " + std::to_string(from));
+  }
+  edges_.emplace_back(from, to);
+}
+
+KDag KDagBuilder::build() && {
+  if (types_.empty()) throw std::invalid_argument("KDagBuilder: job has no tasks");
+  const std::size_t n = types_.size();
+
+  // Collapse duplicate edges so parent counts are exact.
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  KDag dag;
+  dag.num_types_ = num_types_;
+  dag.types_ = std::move(types_);
+  dag.works_ = std::move(works_);
+
+  // CSR children (edges_ already sorted by `from`).
+  dag.child_offset_.assign(n + 1, 0);
+  for (const auto& [from, to] : edges_) {
+    (void)to;
+    ++dag.child_offset_[from + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) dag.child_offset_[i] += dag.child_offset_[i - 1];
+  dag.child_list_.reserve(edges_.size());
+  for (const auto& [from, to] : edges_) {
+    (void)from;
+    dag.child_list_.push_back(to);
+  }
+
+  // CSR parents via counting sort by `to`.
+  dag.parent_offset_.assign(n + 1, 0);
+  for (const auto& [from, to] : edges_) {
+    (void)from;
+    ++dag.parent_offset_[to + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) dag.parent_offset_[i] += dag.parent_offset_[i - 1];
+  dag.parent_list_.resize(edges_.size());
+  {
+    std::vector<std::uint32_t> cursor(dag.parent_offset_.begin(),
+                                      dag.parent_offset_.end() - 1);
+    for (const auto& [from, to] : edges_) {
+      dag.parent_list_[cursor[to]++] = from;
+    }
+  }
+
+  // Kahn's algorithm: topological order + acyclicity check + roots.
+  std::vector<std::uint32_t> indegree(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    indegree[v] = dag.parent_offset_[v + 1] - dag.parent_offset_[v];
+  }
+  dag.topo_order_.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (indegree[v] == 0) {
+      dag.topo_order_.push_back(static_cast<TaskId>(v));
+      dag.roots_.push_back(static_cast<TaskId>(v));
+    }
+  }
+  for (std::size_t head = 0; head < dag.topo_order_.size(); ++head) {
+    const TaskId v = dag.topo_order_[head];
+    for (TaskId child : dag.children(v)) {
+      if (--indegree[child] == 0) dag.topo_order_.push_back(child);
+    }
+  }
+  if (dag.topo_order_.size() != n) {
+    throw std::invalid_argument("KDagBuilder: precedence graph contains a cycle");
+  }
+
+  dag.work_per_type_.assign(num_types_, 0);
+  dag.count_per_type_.assign(num_types_, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    dag.work_per_type_[dag.types_[v]] += dag.works_[v];
+    ++dag.count_per_type_[dag.types_[v]];
+    dag.total_work_ += dag.works_[v];
+  }
+  return dag;
+}
+
+std::span<const TaskId> KDag::children(TaskId v) const {
+  if (v >= task_count()) throw std::out_of_range("KDag::children: bad task id");
+  return {child_list_.data() + child_offset_[v],
+          child_list_.data() + child_offset_[v + 1]};
+}
+
+std::span<const TaskId> KDag::parents(TaskId v) const {
+  if (v >= task_count()) throw std::out_of_range("KDag::parents: bad task id");
+  return {parent_list_.data() + parent_offset_[v],
+          parent_list_.data() + parent_offset_[v + 1]};
+}
+
+}  // namespace fhs

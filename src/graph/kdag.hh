@@ -1,0 +1,117 @@
+// K-DAG job model (paper §II).
+//
+// A job J is a directed acyclic graph whose tasks each carry a resource
+// type alpha in [0, K) and an integer work amount T1(v, alpha) >= 1.  An
+// alpha-task may execute only on an alpha-processor.  An edge (u, v)
+// means v cannot start before u completes, regardless of types.
+//
+// KDag is immutable after construction (via KDagBuilder::build), stores
+// its edges in CSR form (children and parents), and caches a topological
+// order.  All scheduling-time state (remaining parents, remaining work)
+// lives in the simulator, so one KDag can be scheduled many times and
+// shared across threads.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fhs {
+
+using TaskId = std::uint32_t;
+using ResourceType = std::uint32_t;
+using Work = std::int64_t;
+using Time = std::int64_t;
+
+inline constexpr TaskId kInvalidTask = std::numeric_limits<TaskId>::max();
+/// Hard cap on the number of resource types: keeps per-type arrays small
+/// and catches corrupted type values early.  The paper evaluates K <= 6.
+inline constexpr ResourceType kMaxResourceTypes = 64;
+
+class KDag;
+
+/// Incremental builder; validates and freezes into a KDag.
+class KDagBuilder {
+ public:
+  /// `num_types` is K, the number of resource types (>= 1).
+  explicit KDagBuilder(ResourceType num_types);
+
+  /// Adds a task of the given type with the given work (>= 1 tick).
+  /// Returns its id (ids are dense, starting at 0).
+  TaskId add_task(ResourceType type, Work work);
+
+  /// Adds a precedence edge from `from` to `to` (from must finish first).
+  /// Self-loops and out-of-range ids throw; duplicate edges are collapsed.
+  void add_edge(TaskId from, TaskId to);
+
+  [[nodiscard]] std::size_t task_count() const noexcept { return types_.size(); }
+
+  /// Validates (acyclicity, non-empty) and produces the immutable KDag.
+  /// Throws std::invalid_argument on a cyclic graph or an empty job.
+  [[nodiscard]] KDag build() &&;
+
+ private:
+  friend class KDag;
+  ResourceType num_types_;
+  std::vector<ResourceType> types_;
+  std::vector<Work> works_;
+  std::vector<std::pair<TaskId, TaskId>> edges_;
+};
+
+/// Immutable K-DAG.
+class KDag {
+ public:
+  KDag() = default;
+
+  [[nodiscard]] ResourceType num_types() const noexcept { return num_types_; }
+  [[nodiscard]] std::size_t task_count() const noexcept { return types_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return child_list_.size(); }
+
+  [[nodiscard]] ResourceType type(TaskId v) const { return types_.at(v); }
+  [[nodiscard]] Work work(TaskId v) const { return works_.at(v); }
+
+  /// Children of v (tasks that depend on v), in insertion order.
+  [[nodiscard]] std::span<const TaskId> children(TaskId v) const;
+  /// Parents of v (tasks v depends on).
+  [[nodiscard]] std::span<const TaskId> parents(TaskId v) const;
+  [[nodiscard]] std::size_t child_count(TaskId v) const { return children(v).size(); }
+  [[nodiscard]] std::size_t parent_count(TaskId v) const { return parents(v).size(); }
+
+  /// A topological order of all tasks (parents before children).
+  [[nodiscard]] std::span<const TaskId> topological_order() const noexcept {
+    return topo_order_;
+  }
+
+  /// Tasks with no parents (ready at time 0).
+  [[nodiscard]] std::span<const TaskId> roots() const noexcept { return roots_; }
+
+  /// Total work of alpha-tasks, T1(J, alpha) (paper §II).
+  [[nodiscard]] Work total_work(ResourceType alpha) const { return work_per_type_.at(alpha); }
+  /// Total work over all types, T1(J).
+  [[nodiscard]] Work total_work() const noexcept { return total_work_; }
+  /// Number of alpha-tasks, |V(J, alpha)|.
+  [[nodiscard]] std::size_t task_count(ResourceType alpha) const {
+    return count_per_type_.at(alpha);
+  }
+
+ private:
+  friend class KDagBuilder;
+
+  ResourceType num_types_ = 0;
+  std::vector<ResourceType> types_;
+  std::vector<Work> works_;
+  // CSR adjacency, children and parents.
+  std::vector<std::uint32_t> child_offset_;  // size n+1
+  std::vector<TaskId> child_list_;
+  std::vector<std::uint32_t> parent_offset_;  // size n+1
+  std::vector<TaskId> parent_list_;
+  std::vector<TaskId> topo_order_;
+  std::vector<TaskId> roots_;
+  std::vector<Work> work_per_type_;
+  std::vector<std::size_t> count_per_type_;
+  Work total_work_ = 0;
+};
+
+}  // namespace fhs

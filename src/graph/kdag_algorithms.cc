@@ -1,0 +1,132 @@
+#include "graph/kdag_algorithms.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fhs {
+
+std::vector<Work> remaining_span(const KDag& dag) {
+  std::vector<Work> result(dag.task_count(), 0);
+  const auto order = dag.topological_order();
+  // Reverse topological order: children before parents.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const TaskId v = *it;
+    Work best_child = 0;
+    for (TaskId child : dag.children(v)) {
+      best_child = std::max(best_child, result[child]);
+    }
+    result[v] = dag.work(v) + best_child;
+  }
+  return result;
+}
+
+std::vector<Work> top_span(const KDag& dag) {
+  std::vector<Work> result(dag.task_count(), 0);
+  for (TaskId v : dag.topological_order()) {
+    Work best_parent = 0;
+    for (TaskId parent : dag.parents(v)) {
+      best_parent = std::max(best_parent, result[parent]);
+    }
+    result[v] = dag.work(v) + best_parent;
+  }
+  return result;
+}
+
+Work span(const KDag& dag) {
+  Work best = 0;
+  for (Work s : top_span(dag)) best = std::max(best, s);
+  return best;
+}
+
+std::vector<std::size_t> depth(const KDag& dag) {
+  std::vector<std::size_t> result(dag.task_count(), 0);
+  for (TaskId v : dag.topological_order()) {
+    for (TaskId parent : dag.parents(v)) {
+      result[v] = std::max(result[v], result[parent] + 1);
+    }
+  }
+  return result;
+}
+
+std::size_t height(const KDag& dag) {
+  std::size_t best = 0;
+  for (std::size_t d : depth(dag)) best = std::max(best, d);
+  return best;
+}
+
+std::vector<std::size_t> exact_descendant_counts(const KDag& dag) {
+  const std::size_t n = dag.task_count();
+  const std::size_t words = (n + 63) / 64;
+  // reach[v] = bitset of tasks reachable from v (excluding v).
+  std::vector<std::uint64_t> reach(n * words, 0);
+  const auto order = dag.topological_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const TaskId v = *it;
+    std::uint64_t* row = reach.data() + static_cast<std::size_t>(v) * words;
+    for (TaskId child : dag.children(v)) {
+      const std::uint64_t* child_row =
+          reach.data() + static_cast<std::size_t>(child) * words;
+      for (std::size_t w = 0; w < words; ++w) row[w] |= child_row[w];
+      row[child / 64] |= (1ULL << (child % 64));
+    }
+  }
+  std::vector<std::size_t> counts(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::uint64_t* row = reach.data() + v * words;
+    std::size_t total = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+      total += static_cast<std::size_t>(__builtin_popcountll(row[w]));
+    }
+    counts[v] = total;
+  }
+  return counts;
+}
+
+std::vector<TaskId> critical_path(const KDag& dag) {
+  const std::vector<Work> rem = remaining_span(dag);
+  // Start at the root maximizing remaining span (smallest id on ties),
+  // then repeatedly step to the child continuing the longest chain.
+  TaskId current = kInvalidTask;
+  for (TaskId root : dag.roots()) {
+    if (current == kInvalidTask || rem[root] > rem[current]) current = root;
+  }
+  std::vector<TaskId> path;
+  path.push_back(current);
+  while (dag.child_count(current) > 0) {
+    TaskId next = kInvalidTask;
+    for (TaskId child : dag.children(current)) {
+      if (next == kInvalidTask || rem[child] > rem[next] ||
+          (rem[child] == rem[next] && child < next)) {
+        next = child;
+      }
+    }
+    path.push_back(next);
+    current = next;
+  }
+  return path;
+}
+
+bool precedes(const KDag& dag, TaskId u, TaskId v) {
+  if (u >= dag.task_count() || v >= dag.task_count()) {
+    throw std::out_of_range("precedes: bad task id");
+  }
+  if (u == v) return false;
+  // DFS from u looking for v.
+  std::vector<bool> visited(dag.task_count(), false);
+  std::vector<TaskId> stack{u};
+  visited[u] = true;
+  while (!stack.empty()) {
+    const TaskId cur = stack.back();
+    stack.pop_back();
+    for (TaskId child : dag.children(cur)) {
+      if (child == v) return true;
+      if (!visited[child]) {
+        visited[child] = true;
+        stack.push_back(child);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace fhs

@@ -1,0 +1,44 @@
+// Structural algorithms over K-DAGs that are independent of scheduling
+// policy: span (critical path), depth, reachability, and validation
+// helpers used by the workload generators and tests.
+#pragma once
+
+#include <vector>
+
+#include "graph/kdag.hh"
+
+namespace fhs {
+
+/// Critical-path length T-infinity(J): the maximum total work along any
+/// precedence chain (paper §II).
+[[nodiscard]] Work span(const KDag& dag);
+
+/// Remaining span of every task: the task's own work plus the longest
+/// chain of work through its descendants.  remaining_span[v] >= work(v).
+[[nodiscard]] std::vector<Work> remaining_span(const KDag& dag);
+
+/// Top span of every task: the longest chain of work ending at (and
+/// including) the task.  The job span is max over tasks of top_span.
+[[nodiscard]] std::vector<Work> top_span(const KDag& dag);
+
+/// Depth (number of edges on the longest path from a root) per task.
+[[nodiscard]] std::vector<std::size_t> depth(const KDag& dag);
+
+/// Number of tasks reachable from v (excluding v itself) -- exact
+/// descendant counts via bitsets; O(n^2/64).  Intended for tests and
+/// small graphs, not for scheduling (schedulers use the paper's
+/// approximate descendant values from graph/analysis.hh).
+[[nodiscard]] std::vector<std::size_t> exact_descendant_counts(const KDag& dag);
+
+/// True if u precedes v (u != v and there is a path u -> v).
+[[nodiscard]] bool precedes(const KDag& dag, TaskId u, TaskId v);
+
+/// Longest path measured in edges from any root to any sink.
+[[nodiscard]] std::size_t height(const KDag& dag);
+
+/// One concrete critical path: a root-to-sink task sequence whose total
+/// work equals span(dag).  Ties are broken toward the smallest task id,
+/// so the result is deterministic.
+[[nodiscard]] std::vector<TaskId> critical_path(const KDag& dag);
+
+}  // namespace fhs

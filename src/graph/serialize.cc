@@ -1,0 +1,95 @@
+#include "graph/serialize.hh"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fhs {
+
+void write_kdag(std::ostream& out, const KDag& dag) {
+  out << "kdag v1 " << static_cast<unsigned>(dag.num_types()) << ' ' << dag.task_count()
+      << ' ' << dag.edge_count() << '\n';
+  for (TaskId v = 0; v < dag.task_count(); ++v) {
+    out << "t " << static_cast<unsigned>(dag.type(v)) << ' ' << dag.work(v) << '\n';
+  }
+  for (TaskId v = 0; v < dag.task_count(); ++v) {
+    for (TaskId child : dag.children(v)) {
+      out << "e " << v << ' ' << child << '\n';
+    }
+  }
+}
+
+std::string kdag_to_string(const KDag& dag) {
+  std::ostringstream out;
+  write_kdag(out, dag);
+  return out.str();
+}
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::invalid_argument("read_kdag: " + message);
+}
+
+/// Reads the next content line (skipping blanks and '#' comments).
+bool next_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+KDag read_kdag(std::istream& in) {
+  std::string line;
+  if (!next_line(in, line)) fail("empty input");
+  std::istringstream header(line);
+  std::string magic;
+  std::string version;
+  std::uint64_t num_types = 0;
+  std::uint64_t num_tasks = 0;
+  std::uint64_t num_edges = 0;
+  header >> magic >> version >> num_types >> num_tasks >> num_edges;
+  if (header.fail() || magic != "kdag" || version != "v1") {
+    fail("bad header '" + line + "'");
+  }
+  if (num_types == 0 || num_types > kMaxResourceTypes) fail("bad K in header");
+
+  KDagBuilder builder(static_cast<ResourceType>(num_types));
+  for (std::uint64_t i = 0; i < num_tasks; ++i) {
+    if (!next_line(in, line)) fail("unexpected end of input in task section");
+    std::istringstream row(line);
+    std::string tag;
+    std::uint64_t type = 0;
+    Work work = 0;
+    row >> tag >> type >> work;
+    if (row.fail() || tag != "t") fail("bad task line '" + line + "'");
+    if (type >= num_types) fail("task type out of range in '" + line + "'");
+    (void)builder.add_task(static_cast<ResourceType>(type), work);
+  }
+  for (std::uint64_t i = 0; i < num_edges; ++i) {
+    if (!next_line(in, line)) fail("unexpected end of input in edge section");
+    std::istringstream row(line);
+    std::string tag;
+    std::uint64_t from = 0;
+    std::uint64_t to = 0;
+    row >> tag >> from >> to;
+    if (row.fail() || tag != "e") fail("bad edge line '" + line + "'");
+    if (from >= num_tasks || to >= num_tasks) fail("edge endpoint out of range");
+    builder.add_edge(static_cast<TaskId>(from), static_cast<TaskId>(to));
+  }
+  if (next_line(in, line)) fail("trailing content '" + line + "'");
+  return std::move(builder).build();
+}
+
+KDag kdag_from_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_kdag(in);
+}
+
+}  // namespace fhs

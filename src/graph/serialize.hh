@@ -1,0 +1,28 @@
+// Plain-text serialization of K-DAGs.
+//
+// Format (whitespace separated, '#' starts a comment line):
+//
+//   kdag v1 <K> <num_tasks> <num_edges>
+//   t <type> <work>          -- one line per task, ids assigned in order
+//   e <from> <to>            -- one line per edge
+//
+// The format is line-oriented and diff-friendly so job instances can be
+// checked into test fixtures and exchanged between tools.  read_kdag
+// validates through KDagBuilder, so a malformed or cyclic file throws.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/kdag.hh"
+
+namespace fhs {
+
+void write_kdag(std::ostream& out, const KDag& dag);
+[[nodiscard]] std::string kdag_to_string(const KDag& dag);
+
+/// Parses a K-DAG; throws std::invalid_argument on malformed input.
+[[nodiscard]] KDag read_kdag(std::istream& in);
+[[nodiscard]] KDag kdag_from_string(const std::string& text);
+
+}  // namespace fhs

@@ -1,0 +1,66 @@
+#include "machine/cluster.hh"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/rng.hh"
+
+namespace fhs {
+
+Cluster::Cluster(std::vector<std::uint32_t> per_type) : per_type_(std::move(per_type)) {
+  if (per_type_.empty() || per_type_.size() > kMaxResourceTypes) {
+    throw std::invalid_argument("Cluster: K must be in [1, " +
+                                std::to_string(kMaxResourceTypes) + "]");
+  }
+  offsets_.reserve(per_type_.size());
+  for (std::uint32_t p : per_type_) {
+    if (p == 0) throw std::invalid_argument("Cluster: every type needs >= 1 processor");
+    offsets_.push_back(total_);
+    total_ += p;
+    max_ = std::max(max_, p);
+  }
+}
+
+ResourceType Cluster::type_of_processor(std::uint32_t proc) const {
+  if (proc >= total_) throw std::out_of_range("Cluster: bad processor id");
+  // K <= 64, so a linear scan is fine.
+  for (ResourceType alpha = num_types(); alpha-- > 0;) {
+    if (proc >= offsets_[alpha]) return alpha;
+  }
+  throw std::logic_error("Cluster: unreachable");
+}
+
+Cluster Cluster::with_scaled_type(ResourceType alpha, double factor) const {
+  if (alpha >= num_types()) throw std::out_of_range("Cluster: bad type");
+  if (factor <= 0.0) throw std::invalid_argument("Cluster: factor must be positive");
+  std::vector<std::uint32_t> scaled = per_type_;
+  const double raw = std::ceil(static_cast<double>(scaled[alpha]) * factor);
+  scaled[alpha] = std::max<std::uint32_t>(1, static_cast<std::uint32_t>(raw));
+  return Cluster(std::move(scaled));
+}
+
+std::string Cluster::describe() const {
+  std::ostringstream out;
+  out << "K=" << static_cast<unsigned>(num_types()) << " P=[";
+  for (std::size_t a = 0; a < per_type_.size(); ++a) {
+    if (a) out << ',';
+    out << per_type_[a];
+  }
+  out << ']';
+  return out.str();
+}
+
+Cluster sample_uniform_cluster(ResourceType num_types, std::uint32_t lo, std::uint32_t hi,
+                               Rng& rng) {
+  if (lo == 0 || lo > hi) {
+    throw std::invalid_argument("sample_uniform_cluster: need 1 <= lo <= hi");
+  }
+  std::vector<std::uint32_t> per_type(num_types);
+  for (auto& p : per_type) {
+    p = static_cast<std::uint32_t>(rng.uniform_int(lo, hi));
+  }
+  return Cluster(std::move(per_type));
+}
+
+}  // namespace fhs

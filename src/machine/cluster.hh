@@ -1,0 +1,62 @@
+// Machine model (paper §II, §V-B).
+//
+// A functionally heterogeneous system is a set of K typed processor
+// pools: P_alpha identical alpha-processors for each type alpha.  Tasks
+// may only run on matching processors; there is no cross-type speedup
+// model (that would be performance heterogeneity, which the paper
+// explicitly excludes).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/kdag.hh"
+
+namespace fhs {
+
+class Rng;
+
+/// Immutable description of a cluster: processor counts per type.
+class Cluster {
+ public:
+  /// `per_type[alpha]` = P_alpha; every entry must be >= 1.
+  explicit Cluster(std::vector<std::uint32_t> per_type);
+
+  [[nodiscard]] ResourceType num_types() const noexcept {
+    return static_cast<ResourceType>(per_type_.size());
+  }
+  [[nodiscard]] std::uint32_t processors(ResourceType alpha) const {
+    return per_type_.at(alpha);
+  }
+  [[nodiscard]] std::span<const std::uint32_t> per_type() const noexcept {
+    return per_type_;
+  }
+  [[nodiscard]] std::uint32_t total_processors() const noexcept { return total_; }
+  [[nodiscard]] std::uint32_t max_processors() const noexcept { return max_; }
+
+  /// Global processor ids are dense: type alpha owns ids
+  /// [offset(alpha), offset(alpha) + P_alpha).
+  [[nodiscard]] std::uint32_t offset(ResourceType alpha) const { return offsets_.at(alpha); }
+  [[nodiscard]] ResourceType type_of_processor(std::uint32_t proc) const;
+
+  /// Returns a copy with type-`alpha` processors reduced to
+  /// ceil(P_alpha * factor), at least 1 (skewed-load experiments, §V-E).
+  [[nodiscard]] Cluster with_scaled_type(ResourceType alpha, double factor) const;
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::vector<std::uint32_t> per_type_;
+  std::vector<std::uint32_t> offsets_;
+  std::uint32_t total_ = 0;
+  std::uint32_t max_ = 0;
+};
+
+/// Samples P_alpha ~ U[lo, hi] independently per type (the paper's
+/// "small" systems use U[1,5], "medium" U[10,20]).
+[[nodiscard]] Cluster sample_uniform_cluster(ResourceType num_types, std::uint32_t lo,
+                                             std::uint32_t hi, Rng& rng);
+
+}  // namespace fhs

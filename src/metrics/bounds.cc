@@ -1,0 +1,52 @@
+#include "metrics/bounds.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/kdag_algorithms.hh"
+
+namespace fhs {
+
+namespace {
+void check_types(const KDag& dag, const Cluster& cluster) {
+  if (cluster.num_types() < dag.num_types()) {
+    throw std::invalid_argument("lower bound: cluster has too few resource types");
+  }
+}
+}  // namespace
+
+Time completion_time_lower_bound(const KDag& dag, const Cluster& cluster) {
+  check_types(dag, cluster);
+  Time bound = span(dag);
+  for (ResourceType alpha = 0; alpha < dag.num_types(); ++alpha) {
+    const Work total = dag.total_work(alpha);
+    const auto p = static_cast<Work>(cluster.processors(alpha));
+    bound = std::max(bound, (total + p - 1) / p);  // ceil
+  }
+  return bound;
+}
+
+double fractional_lower_bound(const KDag& dag, const Cluster& cluster) {
+  check_types(dag, cluster);
+  double bound = static_cast<double>(span(dag));
+  for (ResourceType alpha = 0; alpha < dag.num_types(); ++alpha) {
+    bound = std::max(bound, work_per_processor(dag, cluster, alpha));
+  }
+  return bound;
+}
+
+double completion_time_ratio(Time completion_time, const KDag& dag,
+                             const Cluster& cluster) {
+  const double bound = fractional_lower_bound(dag, cluster);
+  if (bound <= 0.0) throw std::logic_error("completion_time_ratio: empty job");
+  return static_cast<double>(completion_time) / bound;
+}
+
+double work_per_processor(const KDag& dag, const Cluster& cluster, ResourceType alpha) {
+  check_types(dag, cluster);
+  if (alpha >= dag.num_types()) throw std::out_of_range("work_per_processor: bad type");
+  return static_cast<double>(dag.total_work(alpha)) /
+         static_cast<double>(cluster.processors(alpha));
+}
+
+}  // namespace fhs

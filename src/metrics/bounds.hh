@@ -1,0 +1,34 @@
+// Completion-time lower bound and the paper's performance metric (§V-A).
+//
+//   L(J) = max( T_inf(J), max_alpha T1(J, alpha) / P_alpha )
+//
+// Any schedule needs at least the critical-path time and at least enough
+// time for the busiest resource type to chew through its total work.  The
+// paper reports the *completion time ratio* T(J)/L(J); since the offline
+// optimum satisfies L(J) <= T*(J), a ratio of 1 means provably optimal.
+#pragma once
+
+#include "graph/kdag.hh"
+#include "machine/cluster.hh"
+
+namespace fhs {
+
+/// Lower bound on the completion time of `dag` on `cluster` (in ticks,
+/// as an exact rational rounded up: ceil(T1/P) is itself a valid integer
+/// lower bound, and T-infinity is integral).
+[[nodiscard]] Time completion_time_lower_bound(const KDag& dag, const Cluster& cluster);
+
+/// The same bound without integer rounding (used for ratio reporting so
+/// results match the paper's real-valued L(J)).
+[[nodiscard]] double fractional_lower_bound(const KDag& dag, const Cluster& cluster);
+
+/// Completion-time ratio T(J)/L(J) (>= 1 up to rounding of T).
+[[nodiscard]] double completion_time_ratio(Time completion_time, const KDag& dag,
+                                           const Cluster& cluster);
+
+/// Work-per-processor ratio of one type: T1(J, alpha) / P_alpha (§V-E,
+/// used to quantify skew).
+[[nodiscard]] double work_per_processor(const KDag& dag, const Cluster& cluster,
+                                        ResourceType alpha);
+
+}  // namespace fhs

@@ -1,0 +1,104 @@
+#include "metrics/svg.hh"
+
+#include <algorithm>
+#include <array>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fhs {
+
+namespace {
+
+// One fill per resource type (cycled); chosen for contrast on white.
+constexpr std::array<const char*, 8> kPalette = {
+    "#4e79a7", "#f28e2b", "#59a14f", "#b07aa1",
+    "#edc948", "#76b7b2", "#e15759", "#9c755f"};
+
+std::string escape_xml(const std::string& text) {
+  std::string out;
+  for (char ch : text) {
+    switch (ch) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_svg_gantt(std::ostream& out, const KDag& dag, const Cluster& cluster,
+                     const ExecutionTrace& trace, const SvgOptions& options) {
+  for (const TraceSegment& seg : trace.segments()) {
+    if (seg.task >= dag.task_count() || seg.processor >= cluster.total_processors()) {
+      throw std::invalid_argument("write_svg_gantt: trace does not match job/cluster");
+    }
+  }
+  const Time horizon = std::max<Time>(trace.makespan(), 1);
+  const double left_margin = 64.0;
+  const double top_margin = options.title.empty() ? 8.0 : 28.0;
+  const double axis_height = 22.0;
+  const double lanes_height =
+      options.lane_height * static_cast<double>(cluster.total_processors());
+  const double total_width = left_margin + options.width + 8.0;
+  const double total_height = top_margin + lanes_height + axis_height;
+  const double x_per_tick = options.width / static_cast<double>(horizon);
+
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << total_width
+      << "\" height=\"" << total_height << "\" font-family=\"sans-serif\" "
+      << "font-size=\"10\">\n";
+  if (!options.title.empty()) {
+    out << "  <text x=\"" << left_margin << "\" y=\"18\" font-size=\"13\">"
+        << escape_xml(options.title) << "</text>\n";
+  }
+
+  // Lane backgrounds + labels, grouped by type.
+  for (std::uint32_t p = 0; p < cluster.total_processors(); ++p) {
+    const double y = top_margin + options.lane_height * static_cast<double>(p);
+    const ResourceType type = cluster.type_of_processor(p);
+    out << "  <rect x=\"" << left_margin << "\" y=\"" << y << "\" width=\""
+        << options.width << "\" height=\"" << options.lane_height
+        << "\" fill=\"" << (type % 2 == 0 ? "#f7f7f7" : "#efefef") << "\"/>\n";
+    out << "  <text x=\"4\" y=\"" << y + options.lane_height - 3 << "\">t"
+        << static_cast<unsigned>(type) << ".p" << p << "</text>\n";
+  }
+
+  // Segments.
+  for (const TraceSegment& seg : trace.segments()) {
+    const double x = left_margin + x_per_tick * static_cast<double>(seg.start);
+    const double w = x_per_tick * static_cast<double>(seg.end - seg.start);
+    const double y =
+        top_margin + options.lane_height * static_cast<double>(seg.processor) + 1.0;
+    const ResourceType type = dag.type(seg.task);
+    out << "  <rect x=\"" << x << "\" y=\"" << y << "\" width=\"" << std::max(w, 0.5)
+        << "\" height=\"" << options.lane_height - 2.0 << "\" fill=\""
+        << kPalette[type % kPalette.size()] << "\"><title>task " << seg.task << " ["
+        << seg.start << ", " << seg.end << ")</title></rect>\n";
+  }
+
+  // Time axis: 8 ticks.
+  const double axis_y = top_margin + lanes_height + 12.0;
+  for (int i = 0; i <= 8; ++i) {
+    const Time t = horizon * i / 8;
+    const double x = left_margin + x_per_tick * static_cast<double>(t);
+    out << "  <line x1=\"" << x << "\" y1=\"" << top_margin + lanes_height
+        << "\" x2=\"" << x << "\" y2=\"" << top_margin + lanes_height + 4.0
+        << "\" stroke=\"#888\"/>\n";
+    out << "  <text x=\"" << x << "\" y=\"" << axis_y + 6.0
+        << "\" text-anchor=\"middle\">" << t << "</text>\n";
+  }
+  out << "</svg>\n";
+}
+
+std::string svg_gantt_to_string(const KDag& dag, const Cluster& cluster,
+                                const ExecutionTrace& trace, const SvgOptions& options) {
+  std::ostringstream out;
+  write_svg_gantt(out, dag, cluster, trace, options);
+  return out.str();
+}
+
+}  // namespace fhs

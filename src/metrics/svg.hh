@@ -1,0 +1,36 @@
+// SVG rendering of execution traces (Gantt charts).
+//
+// Produces a self-contained SVG: one horizontal lane per processor,
+// lanes grouped and labelled by resource type, one rectangle per trace
+// segment coloured by the task's type, with a time axis.  No external
+// dependencies; the output opens in any browser.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/kdag.hh"
+#include "machine/cluster.hh"
+#include "sim/trace.hh"
+
+namespace fhs {
+
+struct SvgOptions {
+  /// Pixel width of the chart area (time axis scales to fit).
+  double width = 960.0;
+  /// Pixel height of one processor lane.
+  double lane_height = 14.0;
+  /// Chart title rendered above the lanes (empty = none).
+  std::string title;
+};
+
+/// Writes the trace as an SVG document.  Throws std::invalid_argument if
+/// the trace references tasks/processors outside the job/cluster.
+void write_svg_gantt(std::ostream& out, const KDag& dag, const Cluster& cluster,
+                     const ExecutionTrace& trace, const SvgOptions& options = {});
+
+[[nodiscard]] std::string svg_gantt_to_string(const KDag& dag, const Cluster& cluster,
+                                              const ExecutionTrace& trace,
+                                              const SvgOptions& options = {});
+
+}  // namespace fhs

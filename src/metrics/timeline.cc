@@ -1,0 +1,71 @@
+#include "metrics/timeline.hh"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace fhs {
+
+UtilizationTimeline::UtilizationTimeline(const KDag& dag, const Cluster& cluster,
+                                         const ExecutionTrace& trace,
+                                         std::size_t buckets)
+    : buckets_(buckets) {
+  if (buckets == 0) throw std::invalid_argument("UtilizationTimeline: buckets == 0");
+  if (cluster.num_types() < dag.num_types()) {
+    throw std::invalid_argument("UtilizationTimeline: cluster has too few types");
+  }
+  horizon_ = trace.makespan();
+  busy_fraction_.assign(dag.num_types(), std::vector<double>(buckets, 0.0));
+  if (horizon_ == 0) return;
+
+  // Split each segment analytically across the buckets it overlaps.
+  const double bucket_ticks = static_cast<double>(horizon_) / static_cast<double>(buckets);
+  for (const TraceSegment& seg : trace.segments()) {
+    if (seg.task >= dag.task_count()) {
+      throw std::invalid_argument("UtilizationTimeline: trace references unknown task");
+    }
+    const ResourceType alpha = dag.type(seg.task);
+    auto first = static_cast<std::size_t>(static_cast<double>(seg.start) / bucket_ticks);
+    first = std::min(first, buckets - 1);
+    for (std::size_t b = first; b < buckets; ++b) {
+      const double lo = static_cast<double>(b) * bucket_ticks;
+      const double hi = lo + bucket_ticks;
+      const double overlap = std::min(hi, static_cast<double>(seg.end)) -
+                             std::max(lo, static_cast<double>(seg.start));
+      if (overlap <= 0.0) break;
+      busy_fraction_[alpha][b] += overlap;
+    }
+  }
+  for (ResourceType a = 0; a < dag.num_types(); ++a) {
+    const double capacity = bucket_ticks * static_cast<double>(cluster.processors(a));
+    for (double& value : busy_fraction_[a]) {
+      value = std::min(1.0, value / capacity);
+    }
+  }
+}
+
+double UtilizationTimeline::mean_utilization(ResourceType alpha) const {
+  const auto& row = busy_fraction_.at(alpha);
+  double total = 0.0;
+  for (double value : row) total += value;
+  return total / static_cast<double>(row.size());
+}
+
+std::size_t UtilizationTimeline::idle_buckets(ResourceType alpha) const {
+  const auto& row = busy_fraction_.at(alpha);
+  return static_cast<std::size_t>(
+      std::count_if(row.begin(), row.end(), [](double v) { return v < 0.02; }));
+}
+
+void UtilizationTimeline::print(std::ostream& out) const {
+  for (ResourceType a = 0; a < num_types(); ++a) {
+    out << 't' << static_cast<unsigned>(a) << " |";
+    for (std::size_t b = 0; b < buckets_; ++b) {
+      const double f = busy_fraction_[a][b];
+      out << (f >= 0.85 ? '#' : f >= 0.5 ? '+' : f >= 0.15 ? '-' : f >= 0.02 ? '.' : ' ');
+    }
+    out << "|\n";
+  }
+}
+
+}  // namespace fhs

@@ -1,0 +1,55 @@
+// Per-type utilization timeline derived from an execution trace.
+//
+// The paper's whole argument is about *when* each resource pool is busy:
+// utilization balancing means every pool works throughout the schedule
+// instead of taking turns.  UtilizationTimeline buckets the schedule
+// horizon and reports, per resource type, the fraction of pool capacity
+// that was busy in each bucket -- the data behind the timeline plots in
+// EXPERIMENTS.md and the examples' ASCII charts.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "graph/kdag.hh"
+#include "machine/cluster.hh"
+#include "sim/trace.hh"
+
+namespace fhs {
+
+class UtilizationTimeline {
+ public:
+  /// Builds the timeline from a trace.  `buckets` >= 1; the horizon is
+  /// the trace makespan (an empty trace yields an all-zero timeline with
+  /// horizon 0).
+  UtilizationTimeline(const KDag& dag, const Cluster& cluster,
+                      const ExecutionTrace& trace, std::size_t buckets);
+
+  [[nodiscard]] ResourceType num_types() const noexcept {
+    return static_cast<ResourceType>(busy_fraction_.size());
+  }
+  [[nodiscard]] std::size_t buckets() const noexcept { return buckets_; }
+  [[nodiscard]] Time horizon() const noexcept { return horizon_; }
+
+  /// Busy capacity fraction of type `alpha` in bucket `b`, in [0, 1].
+  [[nodiscard]] double busy_fraction(ResourceType alpha, std::size_t bucket) const {
+    return busy_fraction_.at(alpha).at(bucket);
+  }
+
+  /// Mean utilization of a type over the whole horizon.
+  [[nodiscard]] double mean_utilization(ResourceType alpha) const;
+
+  /// Number of buckets in which the pool is essentially idle (< 2% busy).
+  [[nodiscard]] std::size_t idle_buckets(ResourceType alpha) const;
+
+  /// One ASCII line per type: ' ' idle, '.' <15%, '-' <50%, '+' <85%,
+  /// '#' >= 85% busy.
+  void print(std::ostream& out) const;
+
+ private:
+  std::size_t buckets_;
+  Time horizon_ = 0;
+  std::vector<std::vector<double>> busy_fraction_;  // [type][bucket]
+};
+
+}  // namespace fhs

@@ -1,0 +1,401 @@
+#include "multijob/multijob.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/analysis.hh"
+#include "support/rng.hh"
+
+namespace fhs {
+
+double MultiJobResult::mean_flow_time() const {
+  if (flow_time.empty()) return 0.0;
+  return std::accumulate(flow_time.begin(), flow_time.end(), 0.0) /
+         static_cast<double>(flow_time.size());
+}
+
+Time MultiJobResult::max_flow_time() const {
+  Time best = 0;
+  for (Time t : flow_time) best = std::max(best, t);
+  return best;
+}
+
+namespace {
+
+struct MultiRunning {
+  GlobalTask id;
+  std::uint32_t processor;
+  ResourceType type;
+  Work remaining;
+};
+
+class MultiSimulation final : public MultiDispatchContext {
+ public:
+  MultiSimulation(std::span<const JobArrival> jobs, const Cluster& cluster)
+      : jobs_(jobs), cluster_(cluster) {
+    if (jobs.empty()) throw std::invalid_argument("multi_simulate: no jobs");
+    ResourceType k = 1;
+    Time previous_arrival = 0;
+    total_tasks_ = 0;
+    for (const JobArrival& job : jobs) {
+      if (job.arrival < previous_arrival) {
+        throw std::invalid_argument("multi_simulate: jobs must be sorted by arrival");
+      }
+      previous_arrival = job.arrival;
+      if (job.arrival < 0) throw std::invalid_argument("multi_simulate: negative arrival");
+      if (cluster.num_types() < job.dag.num_types()) {
+        throw std::invalid_argument("multi_simulate: job K exceeds cluster K");
+      }
+      k = std::max(k, job.dag.num_types());
+      total_tasks_ += job.dag.task_count();
+    }
+    num_types_ = k;
+    queues_.resize(k);
+    queue_work_.assign(k, 0);
+    free_procs_.resize(k);
+    for (ResourceType a = 0; a < k; ++a) {
+      const std::uint32_t p = cluster.processors(a);
+      free_procs_[a].reserve(p);
+      for (std::uint32_t i = p; i-- > 0;) {
+        free_procs_[a].push_back(cluster.offset(a) + i);
+      }
+    }
+    remaining_parents_.resize(jobs.size());
+    remaining_job_work_.resize(jobs.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      const KDag& dag = jobs[j].dag;
+      remaining_parents_[j].resize(dag.task_count());
+      for (TaskId v = 0; v < dag.task_count(); ++v) {
+        remaining_parents_[j][v] = static_cast<std::uint32_t>(dag.parent_count(v));
+      }
+      remaining_job_work_[j] = dag.total_work();
+    }
+    result_.busy_ticks_per_type.assign(k, 0);
+    result_.completion.assign(jobs.size(), 0);
+    result_.flow_time.assign(jobs.size(), 0);
+    tasks_left_.resize(jobs.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      tasks_left_[j] = jobs[j].dag.task_count();
+    }
+  }
+
+  // --- MultiDispatchContext -------------------------------------------------
+  [[nodiscard]] ResourceType num_types() const noexcept override { return num_types_; }
+  [[nodiscard]] Time now() const noexcept override { return now_; }
+  [[nodiscard]] std::uint32_t free_processors(ResourceType alpha) const override {
+    return static_cast<std::uint32_t>(free_procs_.at(alpha).size());
+  }
+  [[nodiscard]] std::uint32_t total_processors(ResourceType alpha) const override {
+    return cluster_.processors(alpha);
+  }
+  [[nodiscard]] std::span<const GlobalTask> ready(ResourceType alpha) const override {
+    return queues_.at(alpha);
+  }
+  [[nodiscard]] Work queue_work(ResourceType alpha) const override {
+    return queue_work_.at(alpha);
+  }
+  [[nodiscard]] Work remaining_job_work(std::uint32_t job) const override {
+    return remaining_job_work_.at(job);
+  }
+
+  void assign(ResourceType alpha, std::size_t index) override {
+    auto& queue = queues_.at(alpha);
+    if (index >= queue.size()) {
+      throw std::logic_error("MultiJobScheduler::dispatch assigned a bad index");
+    }
+    auto& frees = free_procs_.at(alpha);
+    if (frees.empty()) {
+      throw std::logic_error(
+          "MultiJobScheduler::dispatch assigned with no free processor");
+    }
+    const GlobalTask id = queue[index];
+    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(index));
+    const Work work = jobs_[id.job].dag.work(id.task);
+    queue_work_[alpha] -= work;
+    const std::uint32_t proc = frees.back();
+    frees.pop_back();
+    running_.push_back(MultiRunning{id, proc, alpha, work});
+  }
+
+  // --- main loop --------------------------------------------------------------
+  MultiJobResult run(MultiJobScheduler& scheduler) {
+    scheduler.prepare(jobs_, cluster_);
+    std::size_t completed = 0;
+    admit_arrivals();
+    while (completed < total_tasks_) {
+      scheduler.dispatch(*this);
+      enforce_work_conservation();
+      // Next event: earliest completion or next arrival.
+      Time next_arrival = std::numeric_limits<Time>::max();
+      if (next_job_ < jobs_.size()) next_arrival = jobs_[next_job_].arrival;
+      if (running_.empty() && next_arrival == std::numeric_limits<Time>::max()) {
+        throw std::logic_error("multi_simulate: stalled with tasks outstanding");
+      }
+      Time next_completion = std::numeric_limits<Time>::max();
+      for (const MultiRunning& r : running_) {
+        next_completion = std::min(next_completion, now_ + r.remaining);
+      }
+      const Time next_event = std::min(next_arrival, next_completion);
+      assert(next_event > now_ || (running_.empty() && next_event >= now_));
+      const Time dt = next_event - now_;
+      now_ = next_event;
+      for (MultiRunning& r : running_) {
+        result_.busy_ticks_per_type[r.type] += dt;
+        r.remaining -= dt;
+        remaining_job_work_[r.id.job] -= dt;
+      }
+      // Completions in processor order.
+      std::sort(running_.begin(), running_.end(), [](const auto& a, const auto& b) {
+        return a.processor < b.processor;
+      });
+      std::vector<MultiRunning> still_running;
+      still_running.reserve(running_.size());
+      for (const MultiRunning& r : running_) {
+        if (r.remaining > 0) {
+          still_running.push_back(r);
+          continue;
+        }
+        auto& frees = free_procs_[r.type];
+        const auto pos = std::lower_bound(frees.begin(), frees.end(), r.processor,
+                                          std::greater<std::uint32_t>{});
+        frees.insert(pos, r.processor);
+        ++completed;
+        const KDag& dag = jobs_[r.id.job].dag;
+        if (--tasks_left_[r.id.job] == 0) {
+          result_.completion[r.id.job] = now_;
+          result_.flow_time[r.id.job] = now_ - jobs_[r.id.job].arrival;
+        }
+        for (TaskId child : dag.children(r.id.task)) {
+          if (--remaining_parents_[r.id.job][child] == 0) {
+            make_ready(GlobalTask{r.id.job, child});
+          }
+        }
+      }
+      running_ = std::move(still_running);
+      admit_arrivals();
+    }
+    result_.makespan = now_;
+    return std::move(result_);
+  }
+
+ private:
+  void make_ready(GlobalTask id) {
+    const ResourceType alpha = jobs_[id.job].dag.type(id.task);
+    queues_[alpha].push_back(id);
+    queue_work_[alpha] += jobs_[id.job].dag.work(id.task);
+  }
+
+  void admit_arrivals() {
+    while (next_job_ < jobs_.size() && jobs_[next_job_].arrival <= now_) {
+      const auto j = static_cast<std::uint32_t>(next_job_);
+      for (TaskId root : jobs_[next_job_].dag.roots()) {
+        make_ready(GlobalTask{j, root});
+      }
+      ++next_job_;
+    }
+  }
+
+  void enforce_work_conservation() const {
+    for (ResourceType a = 0; a < num_types_; ++a) {
+      if (!free_procs_[a].empty() && !queues_[a].empty()) {
+        throw std::logic_error(
+            "MultiJobScheduler::dispatch left a free processor idle");
+      }
+    }
+  }
+
+  std::span<const JobArrival> jobs_;
+  const Cluster& cluster_;
+  ResourceType num_types_ = 1;
+  std::size_t total_tasks_ = 0;
+
+  Time now_ = 0;
+  std::size_t next_job_ = 0;
+  std::vector<std::vector<std::uint32_t>> remaining_parents_;
+  std::vector<Work> remaining_job_work_;
+  std::vector<std::size_t> tasks_left_;
+  std::vector<std::vector<GlobalTask>> queues_;
+  std::vector<Work> queue_work_;
+  std::vector<std::vector<std::uint32_t>> free_procs_;
+  std::vector<MultiRunning> running_;
+  MultiJobResult result_;
+};
+
+// --- policies -------------------------------------------------------------------
+
+/// Shared dispatch loop: picks the max-scoring ready task per type;
+/// ties break oldest-ready first.
+class MultiPriorityScheduler : public MultiJobScheduler {
+ public:
+  void dispatch(MultiDispatchContext& ctx) final {
+    for (ResourceType alpha = 0; alpha < ctx.num_types(); ++alpha) {
+      while (ctx.free_processors(alpha) > 0) {
+        const auto queue = ctx.ready(alpha);
+        if (queue.empty()) break;
+        std::size_t best = 0;
+        double best_score = score(queue[0], ctx);
+        for (std::size_t i = 1; i < queue.size(); ++i) {
+          const double s = score(queue[i], ctx);
+          if (s > best_score) {
+            best_score = s;
+            best = i;
+          }
+        }
+        ctx.assign(alpha, best);
+      }
+    }
+  }
+
+ protected:
+  [[nodiscard]] virtual double score(GlobalTask id,
+                                     const MultiDispatchContext& ctx) const = 0;
+};
+
+class GlobalKGreedy final : public MultiPriorityScheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "KGreedy"; }
+  void prepare(std::span<const JobArrival>, const Cluster&) override {}
+
+ protected:
+  [[nodiscard]] double score(GlobalTask, const MultiDispatchContext&) const override {
+    return 0.0;  // FIFO
+  }
+};
+
+class FcfsJobs final : public MultiPriorityScheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "FCFS-jobs"; }
+  void prepare(std::span<const JobArrival>, const Cluster&) override {}
+
+ protected:
+  [[nodiscard]] double score(GlobalTask id, const MultiDispatchContext&) const override {
+    return -static_cast<double>(id.job);  // earliest-arrived job first
+  }
+};
+
+class Srjf final : public MultiPriorityScheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "SRJF"; }
+  void prepare(std::span<const JobArrival>, const Cluster&) override {}
+
+ protected:
+  [[nodiscard]] double score(GlobalTask id,
+                             const MultiDispatchContext& ctx) const override {
+    return -static_cast<double>(ctx.remaining_job_work(id.job));
+  }
+};
+
+class GlobalMqb final : public MultiJobScheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "MQB"; }
+
+  void prepare(std::span<const JobArrival> jobs, const Cluster&) override {
+    jobs_ = jobs;
+    analyses_.clear();
+    analyses_.reserve(jobs.size());
+    for (const JobArrival& job : jobs) {
+      analyses_.push_back(std::make_unique<JobAnalysis>(job.dag));
+    }
+  }
+
+  void dispatch(MultiDispatchContext& ctx) override {
+    const ResourceType k = ctx.num_types();
+    std::vector<double> inv_procs(k);
+    for (ResourceType a = 0; a < k; ++a) {
+      inv_procs[a] = 1.0 / static_cast<double>(ctx.total_processors(a));
+    }
+    std::vector<double> hypo(k);
+    for (ResourceType a = 0; a < k; ++a) {
+      hypo[a] = static_cast<double>(ctx.queue_work(a));
+    }
+    auto sorted_utilization = [&](const std::vector<double>& queues) {
+      std::vector<double> r(k);
+      for (ResourceType a = 0; a < k; ++a) r[a] = queues[a] * inv_procs[a];
+      std::sort(r.begin(), r.end());
+      return r;
+    };
+    for (ResourceType alpha = 0; alpha < k; ++alpha) {
+      while (ctx.free_processors(alpha) > 0) {
+        const auto queue = ctx.ready(alpha);
+        if (queue.empty()) break;
+        std::size_t best = 0;
+        std::vector<double> best_snapshot;
+        std::vector<double> best_sorted;
+        for (std::size_t i = 0; i < queue.size(); ++i) {
+          const GlobalTask id = queue[i];
+          const JobAnalysis& analysis = *analyses_[id.job];
+          std::vector<double> candidate = hypo;
+          candidate[alpha] -= static_cast<double>(jobs_[id.job].dag.work(id.task));
+          const auto row = analysis.descendant_row(id.task);
+          for (std::size_t b = 0; b < row.size(); ++b) candidate[b] += row[b];
+          std::vector<double> sorted = sorted_utilization(candidate);
+          if (best_snapshot.empty() ||
+              std::lexicographical_compare(best_sorted.begin(), best_sorted.end(),
+                                           sorted.begin(), sorted.end())) {
+            best_snapshot = std::move(candidate);
+            best_sorted = std::move(sorted);
+            best = i;
+          }
+        }
+        hypo = std::move(best_snapshot);
+        ctx.assign(alpha, best);
+      }
+    }
+  }
+
+ private:
+  std::span<const JobArrival> jobs_;
+  std::vector<std::unique_ptr<JobAnalysis>> analyses_;
+};
+
+}  // namespace
+
+MultiJobResult multi_simulate(std::span<const JobArrival> jobs, const Cluster& cluster,
+                              MultiJobScheduler& scheduler) {
+  MultiSimulation sim(jobs, cluster);
+  return sim.run(scheduler);
+}
+
+std::unique_ptr<MultiJobScheduler> make_global_kgreedy() {
+  return std::make_unique<GlobalKGreedy>();
+}
+std::unique_ptr<MultiJobScheduler> make_fcfs_jobs() {
+  return std::make_unique<FcfsJobs>();
+}
+std::unique_ptr<MultiJobScheduler> make_srjf() { return std::make_unique<Srjf>(); }
+std::unique_ptr<MultiJobScheduler> make_global_mqb() {
+  return std::make_unique<GlobalMqb>();
+}
+
+std::unique_ptr<MultiJobScheduler> make_multijob_scheduler(const std::string& spec) {
+  if (spec == "kgreedy") return make_global_kgreedy();
+  if (spec == "fcfs") return make_fcfs_jobs();
+  if (spec == "srjf") return make_srjf();
+  if (spec == "mqb") return make_global_mqb();
+  throw std::invalid_argument("make_multijob_scheduler: unknown scheduler '" + spec +
+                              "'");
+}
+
+std::vector<JobArrival> sample_stream(const WorkloadParams& workload,
+                                      const StreamParams& params, Rng& rng) {
+  if (params.count == 0) throw std::invalid_argument("sample_stream: zero jobs");
+  if (params.mean_interarrival < 0.0) {
+    throw std::invalid_argument("sample_stream: negative inter-arrival mean");
+  }
+  std::vector<JobArrival> jobs;
+  jobs.reserve(params.count);
+  double clock = 0.0;
+  for (std::size_t i = 0; i < params.count; ++i) {
+    JobArrival job;
+    job.dag = generate(workload, rng);
+    job.arrival = static_cast<Time>(clock);
+    jobs.push_back(std::move(job));
+    clock += rng.exponential(params.mean_interarrival);
+  }
+  return jobs;
+}
+
+}  // namespace fhs

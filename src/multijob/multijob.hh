@@ -1,0 +1,123 @@
+// Multi-job stream scheduling on an FHS (extension; paper §I motivation).
+//
+// The paper evaluates one K-DAG at a time, but motivates the problem
+// with Cosmos, which serves "over a thousand jobs" a day.  This module
+// simulates a *stream* of K-DAG jobs with release times sharing one
+// cluster, and asks whether utilization balancing helps beyond the
+// single-job setting.
+//
+// Model: job j arrives at time r_j; its roots become ready then.  Tasks
+// from different jobs may run concurrently (unlike job-shop/DAG-shop,
+// §VI).  Scheduling is non-preemptive.  Metrics: per-job flow time
+// (completion - arrival), stream makespan, utilization.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/kdag.hh"
+#include "machine/cluster.hh"
+#include "workload/workload.hh"
+
+namespace fhs {
+
+class Rng;
+
+/// One job of the stream.
+struct JobArrival {
+  KDag dag;
+  Time arrival = 0;
+};
+
+/// Identifies a task within a stream.
+struct GlobalTask {
+  std::uint32_t job = 0;
+  TaskId task = kInvalidTask;
+
+  friend bool operator==(const GlobalTask&, const GlobalTask&) = default;
+};
+
+/// Engine-provided view of a multi-job decision point.
+class MultiDispatchContext {
+ public:
+  virtual ~MultiDispatchContext() = default;
+
+  [[nodiscard]] virtual ResourceType num_types() const noexcept = 0;
+  [[nodiscard]] virtual Time now() const noexcept = 0;
+  [[nodiscard]] virtual std::uint32_t free_processors(ResourceType alpha) const = 0;
+  [[nodiscard]] virtual std::uint32_t total_processors(ResourceType alpha) const = 0;
+
+  /// Ready alpha-tasks across all arrived jobs, oldest-ready first.
+  [[nodiscard]] virtual std::span<const GlobalTask> ready(ResourceType alpha) const = 0;
+  /// Total work of ready alpha-tasks (offline info).
+  [[nodiscard]] virtual Work queue_work(ResourceType alpha) const = 0;
+  /// Remaining (un-run) work of job `j`, including not-yet-ready tasks
+  /// (offline info; used by shortest-remaining-job-first).
+  [[nodiscard]] virtual Work remaining_job_work(std::uint32_t job) const = 0;
+
+  virtual void assign(ResourceType alpha, std::size_t index) = 0;
+};
+
+class MultiJobScheduler {
+ public:
+  virtual ~MultiJobScheduler() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual void prepare(std::span<const JobArrival> jobs, const Cluster& cluster) = 0;
+  virtual void dispatch(MultiDispatchContext& ctx) = 0;
+};
+
+struct MultiJobResult {
+  /// Time the last job finishes.
+  Time makespan = 0;
+  /// Absolute completion time per job.
+  std::vector<Time> completion;
+  /// completion - arrival, per job.
+  std::vector<Time> flow_time;
+  std::vector<Time> busy_ticks_per_type;
+
+  [[nodiscard]] double mean_flow_time() const;
+  [[nodiscard]] Time max_flow_time() const;
+};
+
+/// Simulates the stream.  Jobs must be sorted by non-decreasing arrival
+/// (>= 0); every job's K must fit the cluster.  Work conservation is
+/// enforced across jobs.
+MultiJobResult multi_simulate(std::span<const JobArrival> jobs, const Cluster& cluster,
+                              MultiJobScheduler& scheduler);
+
+// --- policies -----------------------------------------------------------------
+
+/// Global FIFO across jobs (KGreedy on the union): the online baseline.
+[[nodiscard]] std::unique_ptr<MultiJobScheduler> make_global_kgreedy();
+
+/// First-come-first-served by job arrival: all ready tasks of the oldest
+/// unfinished job outrank every younger job's tasks (work-conserving:
+/// younger jobs fill leftover processors).
+[[nodiscard]] std::unique_ptr<MultiJobScheduler> make_fcfs_jobs();
+
+/// Shortest-remaining-job-first: tasks of the job with the least
+/// remaining total work outrank others (classic flow-time heuristic).
+[[nodiscard]] std::unique_ptr<MultiJobScheduler> make_srjf();
+
+/// MQB over the union: per-job typed descendant tables, one shared set
+/// of queues -- utilization balancing at stream scale.
+[[nodiscard]] std::unique_ptr<MultiJobScheduler> make_global_mqb();
+
+/// Factory by name: "kgreedy" | "fcfs" | "srjf" | "mqb".
+[[nodiscard]] std::unique_ptr<MultiJobScheduler> make_multijob_scheduler(
+    const std::string& spec);
+
+/// Samples a stream of `count` jobs with exponential (Poisson-process)
+/// inter-arrival times of the given mean, drawing each job from
+/// `generate(workload, rng)`.  Arrivals are sorted and start at 0.
+struct StreamParams {
+  std::size_t count = 20;
+  double mean_interarrival = 100.0;
+};
+[[nodiscard]] std::vector<JobArrival> sample_stream(const WorkloadParams& workload,
+                                                    const StreamParams& params, Rng& rng);
+
+}  // namespace fhs

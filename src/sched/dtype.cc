@@ -1,0 +1,19 @@
+#include "sched/dtype.hh"
+
+#include "graph/analysis.hh"
+
+namespace fhs {
+
+void DTypeScheduler::prepare(const KDag& dag, const Cluster& cluster) {
+  (void)cluster;
+  distance_ = different_child_distance(dag);
+}
+
+double DTypeScheduler::score(TaskId task, const DispatchContext& ctx) const {
+  (void)ctx;
+  const std::size_t d = distance_[task];
+  if (d == kNoDifferentDescendant) return -1e18;  // run last
+  return -static_cast<double>(d);  // smaller distance => higher score
+}
+
+}  // namespace fhs

@@ -1,0 +1,28 @@
+// DType -- different type first (paper §IV-B).
+//
+// Picks the ready task with the smallest *different-child distance*: the
+// shortest edge-distance to any descendant of a different type.  This
+// prioritizes tasks that unlock work for other resource types, a direct
+// (if myopic) form of utilization balancing.  Tasks with no
+// different-type descendant rank last.
+#pragma once
+
+#include <vector>
+
+#include "sched/priority_scheduler.hh"
+
+namespace fhs {
+
+class DTypeScheduler final : public PriorityScheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "DType"; }
+  void prepare(const KDag& dag, const Cluster& cluster) override;
+
+ protected:
+  [[nodiscard]] double score(TaskId task, const DispatchContext& ctx) const override;
+
+ private:
+  std::vector<std::size_t> distance_;
+};
+
+}  // namespace fhs

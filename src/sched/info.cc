@@ -1,0 +1,45 @@
+#include "sched/info.hh"
+
+#include "support/rng.hh"
+
+namespace fhs {
+
+std::string InfoModel::describe() const {
+  std::string text = scope == InfoScope::kAll ? "All" : "1Step";
+  switch (fidelity) {
+    case InfoFidelity::kPrecise: text += "+Pre"; break;
+    case InfoFidelity::kExponential: text += "+Exp"; break;
+    case InfoFidelity::kNoisy: text += "+Noise"; break;
+  }
+  return text;
+}
+
+DescendantTable::DescendantTable(const JobAnalysis& analysis, const InfoModel& model)
+    : num_types_(analysis.num_types()) {
+  const KDag& dag = analysis.dag();
+  const std::size_t n = dag.task_count();
+  values_.resize(n * num_types_);
+  for (TaskId v = 0; v < n; ++v) {
+    const auto row = model.scope == InfoScope::kAll
+                         ? analysis.descendant_row(v)
+                         : analysis.one_step_descendant_row(v);
+    std::copy(row.begin(), row.end(),
+              values_.begin() + static_cast<std::ptrdiff_t>(
+                                    static_cast<std::size_t>(v) * num_types_));
+  }
+  if (model.fidelity == InfoFidelity::kPrecise) return;
+
+  // Average task work of the job: the additive-noise magnitude (§V-G).
+  const double avg_work =
+      static_cast<double>(dag.total_work()) / static_cast<double>(n);
+  Rng rng(mix_seed(model.noise_seed, 0x6d71626e6f697365ULL));
+  for (double& value : values_) {
+    if (model.fidelity == InfoFidelity::kExponential) {
+      value = rng.exponential(value);
+    } else {
+      value = value * rng.uniform_real(0.5, 1.5) + rng.uniform_real(0.0, avg_work);
+    }
+  }
+}
+
+}  // namespace fhs

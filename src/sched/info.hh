@@ -1,0 +1,60 @@
+// Approximate offline information models (paper §V-G).
+//
+// MQB consumes per-task, per-type descendant values.  The paper studies
+// how MQB degrades when that information is partial or imprecise:
+//
+//   scope:    All   -- full recursive descendant values (MQB+All)
+//             1Step -- only immediate children (MQB+1Step)
+//
+//   fidelity: Precise -- true values
+//             Exp     -- each value replaced by an exponential random
+//                        variable whose mean is the true value
+//             Noise   -- true value * U(0.5, 1.5) + U(0, avg task work)
+//
+// A DescendantTable realizes one (scope, fidelity) combination for one
+// job.  Noise is sampled once per (task, type) at construction with a
+// caller-provided seed, so a given (job, seed) is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/analysis.hh"
+#include "graph/kdag.hh"
+
+namespace fhs {
+
+enum class InfoScope : std::uint8_t { kAll, kOneStep };
+enum class InfoFidelity : std::uint8_t { kPrecise, kExponential, kNoisy };
+
+struct InfoModel {
+  InfoScope scope = InfoScope::kAll;
+  InfoFidelity fidelity = InfoFidelity::kPrecise;
+  std::uint64_t noise_seed = 0;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Materialized descendant values under an InfoModel.
+class DescendantTable {
+ public:
+  DescendantTable(const JobAnalysis& analysis, const InfoModel& model);
+
+  [[nodiscard]] double value(TaskId v, ResourceType alpha) const {
+    return values_[static_cast<std::size_t>(v) * num_types_ + alpha];
+  }
+  [[nodiscard]] std::span<const double> row(TaskId v) const {
+    return {values_.data() + static_cast<std::size_t>(v) * num_types_, num_types_};
+  }
+  [[nodiscard]] ResourceType num_types() const noexcept {
+    return static_cast<ResourceType>(num_types_);
+  }
+
+ private:
+  std::size_t num_types_;
+  std::vector<double> values_;
+};
+
+}  // namespace fhs

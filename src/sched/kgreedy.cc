@@ -1,0 +1,43 @@
+#include "sched/kgreedy.hh"
+
+namespace fhs {
+
+KGreedyScheduler::KGreedyScheduler(DispatchOrder order, std::uint64_t seed)
+    : order_(order), seed_(seed), rng_(mix_seed(seed, 0x6b677265656479ULL)) {}
+
+std::string KGreedyScheduler::name() const {
+  switch (order_) {
+    case DispatchOrder::kFifo: return "KGreedy";
+    case DispatchOrder::kLifo: return "KGreedy+lifo";
+    case DispatchOrder::kRandom: return "KGreedy+random";
+  }
+  return "KGreedy";
+}
+
+void KGreedyScheduler::prepare(const KDag& dag, const Cluster& cluster) {
+  // Online: nothing to precompute.  Reset the pick stream so repeated
+  // simulations of the same job are reproducible.
+  (void)dag;
+  (void)cluster;
+  rng_.reseed(mix_seed(seed_, 0x6b677265656479ULL));
+}
+
+void KGreedyScheduler::dispatch(DispatchContext& ctx) {
+  for (ResourceType alpha = 0; alpha < ctx.num_types(); ++alpha) {
+    while (ctx.free_processors(alpha) > 0) {
+      const auto queue = ctx.ready(alpha);
+      if (queue.empty()) break;
+      std::size_t pick = 0;
+      switch (order_) {
+        case DispatchOrder::kFifo: pick = 0; break;
+        case DispatchOrder::kLifo: pick = queue.size() - 1; break;
+        case DispatchOrder::kRandom:
+          pick = static_cast<std::size_t>(rng_.uniform_below(queue.size()));
+          break;
+      }
+      ctx.assign(alpha, pick);
+    }
+  }
+}
+
+}  // namespace fhs

@@ -1,0 +1,44 @@
+// KGreedy -- the online baseline (paper §III).
+//
+// One greedy (Graham-style) list scheduler per resource type: whenever an
+// alpha-processor is free and an alpha-task is ready, run it.  The paper
+// proves KGreedy is (K+1)-competitive, essentially matching the online
+// lower bound of Theorem 2.
+//
+// "Executes any P of them" leaves the pick order open; we provide three
+// online orders.  FIFO (oldest-ready first) is the default and canonical
+// choice.  LIFO and seeded-random exist to test the paper's §III claim
+// that "randomization is of little help in improving the performances of
+// online scheduling algorithms" (bench/ablation_dispatch_order).
+//
+// KGreedy is *online*: it never inspects task works, descendant values,
+// or queue work totals.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/scheduler.hh"
+#include "support/rng.hh"
+
+namespace fhs {
+
+enum class DispatchOrder : std::uint8_t { kFifo, kLifo, kRandom };
+
+class KGreedyScheduler final : public Scheduler {
+ public:
+  explicit KGreedyScheduler(DispatchOrder order = DispatchOrder::kFifo,
+                            std::uint64_t seed = 0);
+
+  [[nodiscard]] std::string name() const override;
+  void prepare(const KDag& dag, const Cluster& cluster) override;
+  void dispatch(DispatchContext& ctx) override;
+
+  [[nodiscard]] DispatchOrder order() const noexcept { return order_; }
+
+ private:
+  DispatchOrder order_;
+  std::uint64_t seed_;
+  Rng rng_;
+};
+
+}  // namespace fhs

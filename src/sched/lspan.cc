@@ -1,0 +1,18 @@
+#include "sched/lspan.hh"
+
+namespace fhs {
+
+void LSpanScheduler::prepare(const KDag& dag, const Cluster& cluster) {
+  (void)cluster;
+  dag_ = &dag;
+  analysis_ = std::make_unique<JobAnalysis>(dag);
+}
+
+double LSpanScheduler::score(TaskId task, const DispatchContext& ctx) const {
+  // remaining_span was computed with the full work; subtract any work
+  // already executed (nonzero only under preemption).
+  const Work executed = dag_->work(task) - ctx.remaining_work(task);
+  return static_cast<double>(analysis_->remaining_span_of(task) - executed);
+}
+
+}  // namespace fhs

@@ -1,0 +1,30 @@
+// LSpan -- longest remaining span first (paper §IV-B).
+//
+// Classical critical-path heuristic lifted unchanged from homogeneous
+// scheduling: an alpha-processor picks the ready alpha-task with the
+// longest remaining span (its remaining work plus the longest span among
+// its children).  In preemptive mode the remaining work of a partially
+// executed task shrinks its remaining span accordingly.
+#pragma once
+
+#include <memory>
+
+#include "graph/analysis.hh"
+#include "sched/priority_scheduler.hh"
+
+namespace fhs {
+
+class LSpanScheduler final : public PriorityScheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "LSpan"; }
+  void prepare(const KDag& dag, const Cluster& cluster) override;
+
+ protected:
+  [[nodiscard]] double score(TaskId task, const DispatchContext& ctx) const override;
+
+ private:
+  const KDag* dag_ = nullptr;
+  std::unique_ptr<JobAnalysis> analysis_;
+};
+
+}  // namespace fhs

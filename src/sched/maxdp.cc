@@ -1,0 +1,17 @@
+#include "sched/maxdp.hh"
+
+#include "graph/analysis.hh"
+
+namespace fhs {
+
+void MaxDpScheduler::prepare(const KDag& dag, const Cluster& cluster) {
+  (void)cluster;
+  descendant_ = untyped_descendant_values(dag);
+}
+
+double MaxDpScheduler::score(TaskId task, const DispatchContext& ctx) const {
+  (void)ctx;
+  return descendant_[task];
+}
+
+}  // namespace fhs

@@ -1,0 +1,29 @@
+// MaxDP -- maximum descendants first (paper §IV-B).
+//
+// Picks the ready task with the largest (untyped) descendant value: a
+// task with pr(u) parents contributes 1/pr(u) of its own descendant value
+// plus 1/pr(u) of its own work to each parent.  Same recursion as MQB's
+// typed values but summed over all types, so MaxDP cannot tell *which*
+// resources a task's descendants would feed -- exactly the failure mode
+// the paper demonstrates on layered EP workloads.
+#pragma once
+
+#include <vector>
+
+#include "sched/priority_scheduler.hh"
+
+namespace fhs {
+
+class MaxDpScheduler final : public PriorityScheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "MaxDP"; }
+  void prepare(const KDag& dag, const Cluster& cluster) override;
+
+ protected:
+  [[nodiscard]] double score(TaskId task, const DispatchContext& ctx) const override;
+
+ private:
+  std::vector<double> descendant_;
+};
+
+}  // namespace fhs

@@ -1,0 +1,137 @@
+#include "sched/mqb.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fhs {
+
+MqbScheduler::MqbScheduler(MqbOptions options) : options_(options) {}
+
+std::string MqbScheduler::name() const {
+  std::string text = "MQB+" + options_.info.describe();
+  switch (options_.balance_rule) {
+    case BalanceRule::kLexicographic: break;
+    case BalanceRule::kMinOnly: text += "+minonly"; break;
+    case BalanceRule::kSumOfSquares: text += "+sumsq"; break;
+  }
+  if (!options_.subtract_self_work) text += "+noself";
+  return text;
+}
+
+void MqbScheduler::prepare(const KDag& dag, const Cluster& cluster) {
+  (void)cluster;
+  analysis_ = std::make_unique<JobAnalysis>(dag);
+  table_ = std::make_unique<DescendantTable>(*analysis_, options_.info);
+}
+
+bool MqbScheduler::better_balance(const std::vector<double>& a,
+                                  const std::vector<double>& b,
+                                  const std::vector<double>& inv_procs) const {
+  const std::size_t k = a.size();
+  switch (options_.balance_rule) {
+    case BalanceRule::kLexicographic: {
+      sorted_a_.resize(k);
+      sorted_b_.resize(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        sorted_a_[i] = a[i] * inv_procs[i];
+        sorted_b_[i] = b[i] * inv_procs[i];
+      }
+      std::sort(sorted_a_.begin(), sorted_a_.end());
+      std::sort(sorted_b_.begin(), sorted_b_.end());
+      // R_A > R_B lexicographically (paper's definition of better balance).
+      return std::lexicographical_compare(sorted_b_.begin(), sorted_b_.end(),
+                                          sorted_a_.begin(), sorted_a_.end());
+    }
+    case BalanceRule::kMinOnly: {
+      double min_a = a[0] * inv_procs[0];
+      double min_b = b[0] * inv_procs[0];
+      for (std::size_t i = 1; i < k; ++i) {
+        min_a = std::min(min_a, a[i] * inv_procs[i]);
+        min_b = std::min(min_b, b[i] * inv_procs[i]);
+      }
+      return min_a > min_b;
+    }
+    case BalanceRule::kSumOfSquares: {
+      double mean_a = 0.0;
+      double mean_b = 0.0;
+      for (std::size_t i = 0; i < k; ++i) {
+        mean_a += a[i] * inv_procs[i];
+        mean_b += b[i] * inv_procs[i];
+      }
+      mean_a /= static_cast<double>(k);
+      mean_b /= static_cast<double>(k);
+      double dev_a = 0.0;
+      double dev_b = 0.0;
+      for (std::size_t i = 0; i < k; ++i) {
+        const double da = a[i] * inv_procs[i] - mean_a;
+        const double db = b[i] * inv_procs[i] - mean_b;
+        dev_a += da * da;
+        dev_b += db * db;
+      }
+      return dev_a < dev_b;  // lower deviation = better balance
+    }
+  }
+  return false;
+}
+
+void MqbScheduler::dispatch(DispatchContext& ctx) {
+  const ResourceType k = ctx.num_types();
+  assert(table_ != nullptr && "prepare() must run before dispatch()");
+
+  std::vector<double> inv_procs(k);
+  for (ResourceType a = 0; a < k; ++a) {
+    inv_procs[a] = 1.0 / static_cast<double>(ctx.total_processors(a));
+  }
+
+  // Hypothetical queue-work vector, carried across picks of this
+  // decision point.  Starts from the real l_alpha.
+  hypo_.assign(k, 0.0);
+  for (ResourceType a = 0; a < k; ++a) {
+    hypo_[a] = static_cast<double>(ctx.queue_work(a));
+  }
+
+  auto apply_pick = [&](ResourceType alpha, TaskId task) {
+    if (options_.subtract_self_work) {
+      hypo_[alpha] -= static_cast<double>(ctx.remaining_work(task));
+    }
+    const auto row = table_->row(task);
+    for (ResourceType b = 0; b < k; ++b) hypo_[b] += row[b];
+  };
+
+  for (ResourceType alpha = 0; alpha < k; ++alpha) {
+    while (ctx.free_processors(alpha) > 0 && !ctx.ready(alpha).empty()) {
+      const auto queue = ctx.ready(alpha);
+      if (queue.size() <= ctx.free_processors(alpha)) {
+        // At most P_alpha ready tasks: run them all (paper §IV-A).  Still
+        // track the hypothetical state for later types' picks.
+        while (!ctx.ready(alpha).empty()) {
+          const TaskId task = ctx.ready(alpha)[0];
+          apply_pick(alpha, task);
+          ctx.assign(alpha, 0);
+        }
+        break;
+      }
+      // Contended: score every candidate by the balance of its snapshot.
+      std::size_t best_index = 0;
+      bool have_best = false;
+      for (std::size_t i = 0; i < queue.size(); ++i) {
+        const TaskId task = queue[i];
+        candidate_ = hypo_;
+        if (options_.subtract_self_work) {
+          candidate_[alpha] -= static_cast<double>(ctx.remaining_work(task));
+        }
+        const auto row = table_->row(task);
+        for (ResourceType b = 0; b < k; ++b) candidate_[b] += row[b];
+        if (!have_best || better_balance(candidate_, best_snapshot_, inv_procs)) {
+          have_best = true;
+          best_index = i;
+          best_snapshot_ = candidate_;
+        }
+      }
+      hypo_ = best_snapshot_;
+      ctx.assign(alpha, best_index);
+    }
+  }
+}
+
+}  // namespace fhs

@@ -1,0 +1,79 @@
+// MQB -- Multi-Queue Balancing (paper §IV-A), the paper's contribution.
+//
+// MQB transforms makespan minimization into utilization balancing.  It
+// keeps one ready queue per type and defines the x-utilization of the
+// alpha-queue as r_alpha = l_alpha / P_alpha, where l_alpha is the total
+// (remaining) work of the ready alpha-tasks.  A snapshot A is *better
+// balanced* than B when the vectors of x-utilizations sorted ascending
+// compare lexicographically greater (the shortest queue -- the likely
+// utilization bottleneck -- is raised first).
+//
+// Dispatch: when at most P_alpha alpha-tasks are ready, run them all.
+// When more are ready, MQB scores each candidate t by the balance of the
+// hypothetical snapshot in which t's typed descendant values d_beta(t)
+// are added to the queues (and, by default, t's own remaining work leaves
+// its queue -- see MqbOptions::subtract_self_work); the candidate whose
+// snapshot is best balanced runs.  The hypothetical queue state carries
+// over from pick to pick until every free processor is assigned.
+//
+// The descendant information comes from a DescendantTable, so the
+// approximate-information variants of §V-G (All/1Step x Pre/Exp/Noise)
+// are this same class under a different InfoModel.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/analysis.hh"
+#include "sched/info.hh"
+#include "sim/scheduler.hh"
+
+namespace fhs {
+
+/// Which snapshots compare as "better balanced" (ablation bench E8; the
+/// paper uses kLexicographic).
+enum class BalanceRule : std::uint8_t {
+  kLexicographic,  // paper: sorted x-utilization vectors, lexicographic
+  kMinOnly,        // only the smallest x-utilization
+  kSumOfSquares,   // minimize sum of squared deviation from the mean
+};
+
+struct MqbOptions {
+  InfoModel info;
+  BalanceRule balance_rule = BalanceRule::kLexicographic;
+  /// Remove the candidate's own remaining work from its queue when
+  /// forming the hypothetical snapshot (it stops being *ready* once it
+  /// runs).  Paper §IV-A is silent on this; see DESIGN.md and the
+  /// ablation bench.
+  bool subtract_self_work = true;
+};
+
+class MqbScheduler final : public Scheduler {
+ public:
+  explicit MqbScheduler(MqbOptions options = {});
+
+  [[nodiscard]] std::string name() const override;
+  void prepare(const KDag& dag, const Cluster& cluster) override;
+  void dispatch(DispatchContext& ctx) override;
+
+  [[nodiscard]] const MqbOptions& options() const noexcept { return options_; }
+
+ private:
+  /// True if snapshot `a` is better balanced than `b` (both are
+  /// per-type hypothetical queue-work vectors).
+  [[nodiscard]] bool better_balance(const std::vector<double>& a,
+                                    const std::vector<double>& b,
+                                    const std::vector<double>& inv_procs) const;
+
+  MqbOptions options_;
+  std::unique_ptr<JobAnalysis> analysis_;
+  std::unique_ptr<DescendantTable> table_;
+  // Scratch buffers reused across dispatches.
+  std::vector<double> hypo_;
+  std::vector<double> candidate_;
+  std::vector<double> best_snapshot_;
+  mutable std::vector<double> sorted_a_;
+  mutable std::vector<double> sorted_b_;
+};
+
+}  // namespace fhs

@@ -1,0 +1,24 @@
+#include "sched/priority_scheduler.hh"
+
+namespace fhs {
+
+void PriorityScheduler::dispatch(DispatchContext& ctx) {
+  for (ResourceType alpha = 0; alpha < ctx.num_types(); ++alpha) {
+    while (ctx.free_processors(alpha) > 0) {
+      const auto queue = ctx.ready(alpha);
+      if (queue.empty()) break;
+      std::size_t best = 0;
+      double best_score = score(queue[0], ctx);
+      for (std::size_t i = 1; i < queue.size(); ++i) {
+        const double s = score(queue[i], ctx);
+        if (s > best_score) {  // strict: ties keep the oldest-ready task
+          best_score = s;
+          best = i;
+        }
+      }
+      ctx.assign(alpha, best);
+    }
+  }
+}
+
+}  // namespace fhs

@@ -1,0 +1,26 @@
+// Base class for per-queue priority policies.
+//
+// Every heuristic in the paper except MQB reduces to "when an
+// alpha-processor frees up, run the ready alpha-task maximizing some
+// score".  PriorityScheduler implements the work-conserving dispatch
+// loop once; concrete policies provide the score.  Ties break FIFO
+// (oldest-ready first), which also makes KGreedy exactly FIFO by scoring
+// every task equally.
+#pragma once
+
+#include "sim/scheduler.hh"
+
+namespace fhs {
+
+class PriorityScheduler : public Scheduler {
+ public:
+  void dispatch(DispatchContext& ctx) final;
+
+ protected:
+  /// Score of a ready task; higher runs first.  `ctx` gives access to
+  /// remaining work for preemption-aware scores.  Must be a pure function
+  /// of (task, ctx) for the duration of one dispatch call.
+  [[nodiscard]] virtual double score(TaskId task, const DispatchContext& ctx) const = 0;
+};
+
+}  // namespace fhs

@@ -1,0 +1,38 @@
+// Name-based scheduler factory.
+//
+// Benches and examples select policies by string so sweeps can be driven
+// from the command line.  Recognized names (case-insensitive):
+//
+//   kgreedy | kgreedy+lifo | kgreedy+random
+//   lspan | maxdp | dtype | shiftbt | edd (ShiftBT minus bottleneck iterations)
+//   mqb                      (= mqb+all+pre)
+//   mqb+{all,1step}+{pre,exp,noise}
+//   mqb+...+minonly | mqb+...+sumsq | mqb+...+noself   (ablation variants)
+//
+// `seed` feeds the noise models; precise policies ignore it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hh"
+
+namespace fhs {
+
+/// Creates a scheduler by name; throws std::invalid_argument for unknown
+/// names.
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(const std::string& spec,
+                                                        std::uint64_t seed = 0);
+
+/// The paper's six policies in figure order (Fig. 4-7).
+[[nodiscard]] const std::vector<std::string>& paper_scheduler_names();
+
+/// The seven series of Fig. 8 (KGreedy + six MQB information variants).
+[[nodiscard]] const std::vector<std::string>& fig8_scheduler_names();
+
+/// Splits a comma-separated list of scheduler specs.
+[[nodiscard]] std::vector<std::string> split_scheduler_list(const std::string& list);
+
+}  // namespace fhs

@@ -1,0 +1,122 @@
+#include "sched/shiftbt.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/analysis.hh"
+#include "sim/engine.hh"
+
+namespace fhs {
+
+void EddScheduler::prepare(const KDag& dag, const Cluster& cluster) {
+  (void)cluster;
+  due_ = due_dates(dag);
+}
+
+double EddScheduler::score(TaskId task, const DispatchContext& ctx) const {
+  (void)ctx;
+  return -static_cast<double>(due_[task]);  // earlier due date first
+}
+
+namespace {
+
+/// EDD dispatch with externally supplied due dates (used for the relaxed
+/// subproblems inside prepare()).
+class SubproblemEddScheduler final : public PriorityScheduler {
+ public:
+  explicit SubproblemEddScheduler(const std::vector<Time>& due) : due_(&due) {}
+  [[nodiscard]] std::string name() const override { return "EDD-subproblem"; }
+  void prepare(const KDag& dag, const Cluster& cluster) override {
+    (void)dag;
+    (void)cluster;
+  }
+
+ protected:
+  [[nodiscard]] double score(TaskId task, const DispatchContext& ctx) const override {
+    (void)ctx;
+    return -static_cast<double>((*due_)[task]);  // earlier due date first
+  }
+
+ private:
+  const std::vector<Time>* due_;
+};
+
+struct Subproblem {
+  Time max_lateness = std::numeric_limits<Time>::min();
+  std::vector<Time> start_times;
+};
+
+/// Simulates the job with only the types in `constrained` held to their
+/// real processor counts (all other types relaxed to "infinite", i.e. one
+/// processor per task of the type), dispatching EDD by `due`.  Returns
+/// the max lateness of `probe`-type tasks and every task's start time.
+Subproblem solve_subproblem(const KDag& dag, const Cluster& cluster,
+                            const std::vector<bool>& constrained, ResourceType probe,
+                            const std::vector<Time>& due) {
+  std::vector<std::uint32_t> counts(dag.num_types());
+  for (ResourceType a = 0; a < dag.num_types(); ++a) {
+    if (constrained[a]) {
+      counts[a] = cluster.processors(a);
+    } else {
+      // One processor per task of this type can never be a constraint.
+      counts[a] = std::max<std::uint32_t>(
+          1, static_cast<std::uint32_t>(dag.task_count(a)));
+    }
+  }
+  const Cluster relaxed{std::move(counts)};
+  SubproblemEddScheduler edd(due);
+  ExecutionTrace trace;
+  SimOptions options;
+  options.record_trace = true;
+  (void)simulate(dag, relaxed, edd, options, &trace);
+
+  Subproblem result;
+  result.start_times.assign(dag.task_count(), 0);
+  for (const TraceSegment& seg : trace.segments()) {
+    result.start_times[seg.task] = seg.start;  // one segment per task here
+  }
+  for (TaskId v = 0; v < dag.task_count(); ++v) {
+    if (dag.type(v) != probe) continue;
+    result.max_lateness = std::max(result.max_lateness, result.start_times[v] - due[v]);
+  }
+  return result;
+}
+
+}  // namespace
+
+void ShiftBtScheduler::prepare(const KDag& dag, const Cluster& cluster) {
+  due_ = due_dates(dag);
+  bottleneck_order_.clear();
+
+  const ResourceType k = dag.num_types();
+  std::vector<bool> fixed(k, false);
+  for (ResourceType round = 0; round < k; ++round) {
+    ResourceType best_type = kMaxResourceTypes;
+    Time best_lateness = std::numeric_limits<Time>::min();
+    Subproblem best_sub;
+    for (ResourceType alpha = 0; alpha < k; ++alpha) {
+      if (fixed[alpha]) continue;
+      std::vector<bool> constrained = fixed;
+      constrained[alpha] = true;
+      Subproblem sub = solve_subproblem(dag, cluster, constrained, alpha, due_);
+      if (dag.task_count(alpha) == 0) sub.max_lateness = std::numeric_limits<Time>::min();
+      if (best_type == kMaxResourceTypes || sub.max_lateness > best_lateness) {
+        best_type = alpha;
+        best_lateness = sub.max_lateness;
+        best_sub = std::move(sub);
+      }
+    }
+    fixed[best_type] = true;
+    bottleneck_order_.push_back(best_type);
+    // Re-sequencing step: the bottleneck subproblem's start times become
+    // the due dates for the remaining iterations and for final dispatch.
+    due_ = std::move(best_sub.start_times);
+  }
+}
+
+double ShiftBtScheduler::score(TaskId task, const DispatchContext& ctx) const {
+  (void)ctx;
+  return -static_cast<double>(due_[task]);
+}
+
+}  // namespace fhs

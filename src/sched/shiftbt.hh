@@ -1,0 +1,68 @@
+// ShiftBT -- shifting-bottleneck heuristic adapted to K-DAGs
+// (paper §IV-B; Adams, Balas & Zawack 1988 for the original job-shop
+// procedure).
+//
+// Due date of a task: due(v) = T_inf(J) - remaining_span(v), the latest
+// start that cannot delay the job.  The procedure then isolates one
+// resource type at a time:
+//
+//   repeat until every type is fixed:
+//     for each unfixed type alpha:
+//       simulate the job with P_beta infinite for every unfixed beta !=
+//       alpha (fixed types keep their real counts), dispatching EDD by
+//       the current due dates;
+//       L_alpha = max over alpha-tasks of (start(v) - due(v))   [lateness]
+//     fix the type k maximizing L_k (the current bottleneck) and replace
+//     every task's due date with its start time in k's subproblem
+//     schedule (the re-sequencing step of the shifting-bottleneck
+//     procedure, collapsed to one pass as in the paper's description).
+//
+// Final dispatch: earliest due date within each queue.
+#pragma once
+
+#include <vector>
+
+#include "sched/priority_scheduler.hh"
+
+namespace fhs {
+
+/// Plain earliest-due-date dispatch with the static due dates
+/// due(v) = T_inf(J) - remaining_span(v) -- ShiftBT without the
+/// shifting-bottleneck re-sequencing iterations.  Exists to measure what
+/// the bottleneck machinery adds (bench/ablation_mqb).
+class EddScheduler final : public PriorityScheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "EDD"; }
+  void prepare(const KDag& dag, const Cluster& cluster) override;
+
+ protected:
+  [[nodiscard]] double score(TaskId task, const DispatchContext& ctx) const override;
+
+ private:
+  std::vector<Time> due_;
+};
+
+class ShiftBtScheduler final : public PriorityScheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "ShiftBT"; }
+  void prepare(const KDag& dag, const Cluster& cluster) override;
+
+  /// Bottleneck order chosen by the last prepare() (most critical first);
+  /// exposed for tests and the ablation bench.
+  [[nodiscard]] const std::vector<ResourceType>& bottleneck_order() const noexcept {
+    return bottleneck_order_;
+  }
+  /// Final due dates used for dispatch.
+  [[nodiscard]] const std::vector<Time>& final_due_dates() const noexcept {
+    return due_;
+  }
+
+ protected:
+  [[nodiscard]] double score(TaskId task, const DispatchContext& ctx) const override;
+
+ private:
+  std::vector<Time> due_;
+  std::vector<ResourceType> bottleneck_order_;
+};
+
+}  // namespace fhs

@@ -1,0 +1,260 @@
+#include "sim/engine.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace fhs {
+
+double SimResult::utilization(ResourceType alpha, const Cluster& cluster) const {
+  if (completion_time <= 0) return 0.0;
+  const double capacity = static_cast<double>(cluster.processors(alpha)) *
+                          static_cast<double>(completion_time);
+  return static_cast<double>(busy_ticks_per_type.at(alpha)) / capacity;
+}
+
+namespace {
+
+/// One task currently executing on a concrete processor.
+struct Running {
+  TaskId task;
+  std::uint32_t processor;  // global id
+  ResourceType type;
+  Work remaining;
+  Time started;  // when this continuous run began (for trace segments)
+};
+
+/// Engine state + the DispatchContext view handed to the policy.
+class Simulation final : public DispatchContext {
+ public:
+  Simulation(const KDag& dag, const Cluster& cluster, const SimOptions& options,
+             ExecutionTrace* trace)
+      : dag_(dag), cluster_(cluster), options_(options), trace_(trace) {
+    if (cluster.num_types() < dag.num_types()) {
+      throw std::invalid_argument(
+          "simulate: job uses more resource types than the cluster provides");
+    }
+    const std::size_t n = dag.task_count();
+    const ResourceType k = dag.num_types();
+    remaining_parents_.resize(n);
+    remaining_work_.resize(n);
+    ready_seq_.assign(n, 0);
+    last_proc_.assign(n, std::numeric_limits<std::uint32_t>::max());
+    last_end_.assign(n, -1);
+    for (TaskId v = 0; v < n; ++v) {
+      remaining_parents_[v] = static_cast<std::uint32_t>(dag.parent_count(v));
+      remaining_work_[v] = dag.work(v);
+    }
+    queues_.resize(k);
+    queue_work_.assign(k, 0);
+    free_procs_.resize(k);
+    for (ResourceType a = 0; a < k; ++a) {
+      // Keep free lists sorted descending so pop_back yields the smallest
+      // id (deterministic placement).
+      const std::uint32_t p = cluster.processors(a);
+      free_procs_[a].reserve(p);
+      for (std::uint32_t i = p; i-- > 0;) {
+        free_procs_[a].push_back(cluster.offset(a) + i);
+      }
+    }
+    result_.busy_ticks_per_type.assign(k, 0);
+    for (TaskId root : dag.roots()) make_ready(root);
+  }
+
+  // --- DispatchContext ----------------------------------------------------
+  [[nodiscard]] ResourceType num_types() const noexcept override {
+    return dag_.num_types();
+  }
+  [[nodiscard]] Time now() const noexcept override { return now_; }
+  [[nodiscard]] std::uint32_t free_processors(ResourceType alpha) const override {
+    return static_cast<std::uint32_t>(free_procs_.at(alpha).size());
+  }
+  [[nodiscard]] std::uint32_t total_processors(ResourceType alpha) const override {
+    return cluster_.processors(alpha);
+  }
+  [[nodiscard]] std::span<const TaskId> ready(ResourceType alpha) const override {
+    return queues_.at(alpha);
+  }
+  [[nodiscard]] Work queue_work(ResourceType alpha) const override {
+    return queue_work_.at(alpha);
+  }
+  [[nodiscard]] Work remaining_work(TaskId task) const override {
+    return remaining_work_.at(task);
+  }
+
+  void assign(ResourceType alpha, std::size_t index) override {
+    auto& queue = queues_.at(alpha);
+    if (index >= queue.size()) {
+      throw std::logic_error("Scheduler::dispatch assigned a bad queue index");
+    }
+    auto& frees = free_procs_.at(alpha);
+    if (frees.empty()) {
+      throw std::logic_error("Scheduler::dispatch assigned with no free processor");
+    }
+    const TaskId task = queue[index];
+    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(index));
+    queue_work_[alpha] -= remaining_work_[task];
+    // Processor affinity: a preempted task resumes on its previous
+    // processor when that processor is free (reallocation is free in the
+    // paper's model, but affinity keeps traces minimal and makes
+    // preemptive FIFO coincide exactly with non-preemptive FIFO).
+    std::uint32_t proc;
+    const auto prev = std::find(frees.begin(), frees.end(), last_proc_[task]);
+    if (prev != frees.end()) {
+      proc = *prev;
+      frees.erase(prev);
+    } else {
+      proc = frees.back();  // smallest free id (list kept descending)
+      frees.pop_back();
+    }
+    // A true preemption: the task had started, and it now resumes after a
+    // gap or on a different processor.
+    if (remaining_work_[task] < dag_.work(task) &&
+        (proc != last_proc_[task] || now_ != last_end_[task])) {
+      ++result_.preemptions;
+    }
+    running_.push_back(Running{task, proc, alpha, remaining_work_[task], now_});
+  }
+
+  // --- main loop ------------------------------------------------------------
+  SimResult run(Scheduler& scheduler) {
+    scheduler.prepare(dag_, cluster_);
+    const std::size_t n = dag_.task_count();
+    while (completed_ < n) {
+      scheduler.dispatch(*this);
+      ++result_.decision_points;
+      enforce_work_conservation();
+      if (running_.empty()) {
+        throw std::logic_error("simulate: no runnable task but job incomplete");
+      }
+      advance();
+      if (options_.mode == ExecutionMode::kPreemptive) recall_running();
+    }
+    result_.completion_time = now_;
+    return std::move(result_);
+  }
+
+ private:
+  void make_ready(TaskId task) {
+    const ResourceType alpha = dag_.type(task);
+    ready_seq_[task] = next_seq_++;
+    queues_[alpha].push_back(task);
+    queue_work_[alpha] += remaining_work_[task];
+  }
+
+  /// Re-inserts a preempted task keeping the queue ordered by the
+  /// sequence in which tasks first became ready (FIFO semantics).
+  void requeue(TaskId task) {
+    const ResourceType alpha = dag_.type(task);
+    auto& queue = queues_[alpha];
+    const auto pos = std::lower_bound(
+        queue.begin(), queue.end(), ready_seq_[task],
+        [this](TaskId lhs, std::uint64_t seq) { return ready_seq_[lhs] < seq; });
+    queue.insert(pos, task);
+    queue_work_[alpha] += remaining_work_[task];
+  }
+
+  void enforce_work_conservation() const {
+    for (ResourceType a = 0; a < num_types(); ++a) {
+      if (!free_procs_[a].empty() && !queues_[a].empty()) {
+        throw std::logic_error(
+            "Scheduler::dispatch left a free processor idle while a matching "
+            "task was ready (policies must be work-conserving)");
+      }
+    }
+  }
+
+  /// Advances to the next completion, charging busy ticks and recording
+  /// trace segments, then processes the batch of completions.
+  void advance() {
+    Work dt = std::numeric_limits<Work>::max();
+    for (const Running& r : running_) dt = std::min(dt, r.remaining);
+    assert(dt > 0);
+    now_ += dt;
+    for (Running& r : running_) {
+      result_.busy_ticks_per_type[r.type] += dt;
+      r.remaining -= dt;
+      remaining_work_[r.task] -= dt;
+    }
+    // Complete finished tasks in processor order (deterministic).
+    std::sort(running_.begin(), running_.end(),
+              [](const Running& a, const Running& b) { return a.processor < b.processor; });
+    std::vector<Running> still_running;
+    still_running.reserve(running_.size());
+    for (const Running& r : running_) {
+      if (r.remaining > 0) {
+        still_running.push_back(r);
+        continue;
+      }
+      record_segment(r);
+      release_processor(r);
+      ++completed_;
+      for (TaskId child : dag_.children(r.task)) {
+        assert(remaining_parents_[child] > 0);
+        if (--remaining_parents_[child] == 0) make_ready(child);
+      }
+    }
+    running_ = std::move(still_running);
+  }
+
+  /// Preemptive mode: return every running task to its queue so the next
+  /// dispatch reconsiders the full allocation.
+  void recall_running() {
+    for (const Running& r : running_) {
+      record_segment(r);
+      release_processor(r);
+      last_proc_[r.task] = r.processor;
+      last_end_[r.task] = now_;
+      requeue(r.task);
+    }
+    running_.clear();
+  }
+
+  /// Closes the continuous run [r.started, now_) in the trace.  The
+  /// trace merges back-to-back runs of the same task on the same
+  /// processor (a "preemption" that changes nothing).
+  void record_segment(const Running& r) {
+    if (trace_ != nullptr && options_.record_trace && now_ > r.started) {
+      trace_->add(r.task, r.processor, r.started, now_);
+    }
+  }
+
+  void release_processor(const Running& r) {
+    auto& frees = free_procs_[r.type];
+    // Insert keeping descending order.
+    const auto pos = std::lower_bound(frees.begin(), frees.end(), r.processor,
+                                      std::greater<std::uint32_t>{});
+    frees.insert(pos, r.processor);
+  }
+
+  const KDag& dag_;
+  const Cluster& cluster_;
+  SimOptions options_;
+  ExecutionTrace* trace_;
+
+  Time now_ = 0;
+  std::size_t completed_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::vector<std::uint32_t> remaining_parents_;
+  std::vector<Work> remaining_work_;
+  std::vector<std::uint64_t> ready_seq_;
+  std::vector<std::uint32_t> last_proc_;  // previous processor (affinity)
+  std::vector<Time> last_end_;            // when the previous run ended
+  std::vector<std::vector<TaskId>> queues_;
+  std::vector<Work> queue_work_;
+  std::vector<std::vector<std::uint32_t>> free_procs_;
+  std::vector<Running> running_;
+  SimResult result_;
+};
+
+}  // namespace
+
+SimResult simulate(const KDag& dag, const Cluster& cluster, Scheduler& scheduler,
+                   const SimOptions& options, ExecutionTrace* trace) {
+  if (trace != nullptr) trace->clear();
+  Simulation sim(dag, cluster, options, trace);
+  return sim.run(scheduler);
+}
+
+}  // namespace fhs

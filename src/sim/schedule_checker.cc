@@ -1,0 +1,121 @@
+#include "sim/schedule_checker.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace fhs {
+
+namespace {
+std::string describe(const TraceSegment& seg) {
+  std::ostringstream out;
+  out << "task " << seg.task << " on p" << seg.processor << " [" << seg.start << ", "
+      << seg.end << ")";
+  return out.str();
+}
+}  // namespace
+
+std::vector<std::string> check_schedule(const KDag& dag, const Cluster& cluster,
+                                        const ExecutionTrace& trace,
+                                        const CheckOptions& options) {
+  std::vector<std::string> violations;
+  const auto& segments = trace.segments();
+
+  // --- 1. basic sanity & type matching ------------------------------------
+  for (const TraceSegment& seg : segments) {
+    if (seg.task >= dag.task_count()) {
+      violations.push_back("segment references unknown " + describe(seg));
+      continue;
+    }
+    if (seg.start >= seg.end || seg.start < 0) {
+      violations.push_back("segment has bad interval: " + describe(seg));
+    }
+    if (seg.processor >= cluster.total_processors()) {
+      violations.push_back("segment uses unknown processor: " + describe(seg));
+      continue;
+    }
+    if (cluster.type_of_processor(seg.processor) != dag.type(seg.task)) {
+      violations.push_back("type mismatch (task type " +
+                           std::to_string(dag.type(seg.task)) + "): " + describe(seg));
+    }
+  }
+  if (!violations.empty()) return violations;  // later checks assume sane ids
+
+  // --- 2. no overlap per processor ----------------------------------------
+  {
+    std::vector<TraceSegment> by_proc(segments.begin(), segments.end());
+    std::sort(by_proc.begin(), by_proc.end(), [](const auto& a, const auto& b) {
+      return std::tie(a.processor, a.start) < std::tie(b.processor, b.start);
+    });
+    for (std::size_t i = 1; i < by_proc.size(); ++i) {
+      const auto& prev = by_proc[i - 1];
+      const auto& cur = by_proc[i];
+      if (prev.processor == cur.processor && cur.start < prev.end) {
+        violations.push_back("overlap on p" + std::to_string(cur.processor) + ": " +
+                             describe(prev) + " vs " + describe(cur));
+      }
+    }
+  }
+
+  // --- 3. per-type concurrency (sweep line) -------------------------------
+  for (ResourceType alpha = 0; alpha < dag.num_types(); ++alpha) {
+    if (alpha >= cluster.num_types()) break;
+    std::map<Time, int> delta;  // +1 at start, -1 at end
+    for (const TraceSegment& seg : segments) {
+      if (dag.type(seg.task) != alpha) continue;
+      ++delta[seg.start];
+      --delta[seg.end];
+    }
+    int active = 0;
+    for (const auto& [time, change] : delta) {
+      active += change;
+      if (active > static_cast<int>(cluster.processors(alpha))) {
+        violations.push_back("type " + std::to_string(alpha) + " runs " +
+                             std::to_string(active) + " tasks at t=" +
+                             std::to_string(time) + " but has only " +
+                             std::to_string(cluster.processors(alpha)) + " processors");
+        break;  // one report per type is enough
+      }
+    }
+  }
+
+  // --- 4. work conservation per task, 5. precedence, 6. contiguity --------
+  std::vector<Work> executed(dag.task_count(), 0);
+  std::vector<Time> first_start(dag.task_count(), std::numeric_limits<Time>::max());
+  std::vector<Time> last_end(dag.task_count(), -1);
+  std::vector<std::size_t> segment_count(dag.task_count(), 0);
+  for (const TraceSegment& seg : segments) {
+    executed[seg.task] += seg.end - seg.start;
+    first_start[seg.task] = std::min(first_start[seg.task], seg.start);
+    last_end[seg.task] = std::max(last_end[seg.task], seg.end);
+    ++segment_count[seg.task];
+  }
+  for (TaskId v = 0; v < dag.task_count(); ++v) {
+    if (executed[v] != dag.work(v)) {
+      violations.push_back("task " + std::to_string(v) + " executed " +
+                           std::to_string(executed[v]) + " ticks, expected " +
+                           std::to_string(dag.work(v)));
+    }
+    if (options.require_non_preemptive && segment_count[v] > 1) {
+      violations.push_back("task " + std::to_string(v) + " split into " +
+                           std::to_string(segment_count[v]) +
+                           " segments in non-preemptive mode");
+    }
+    if (options.require_non_preemptive && segment_count[v] == 1 &&
+        last_end[v] - first_start[v] != dag.work(v)) {
+      violations.push_back("task " + std::to_string(v) + " not contiguous");
+    }
+    for (TaskId parent : dag.parents(v)) {
+      if (segment_count[v] == 0 || segment_count[parent] == 0) continue;
+      if (first_start[v] < last_end[parent]) {
+        violations.push_back("task " + std::to_string(v) + " starts at " +
+                             std::to_string(first_start[v]) + " before parent " +
+                             std::to_string(parent) + " finishes at " +
+                             std::to_string(last_end[parent]));
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace fhs

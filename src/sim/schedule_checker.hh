@@ -1,0 +1,37 @@
+// Independent replay verifier for execution traces.
+//
+// Given a job, a cluster, and a trace, checks every invariant a valid
+// schedule must satisfy -- without reusing any engine code, so engine
+// bugs cannot hide behind their own bookkeeping:
+//
+//   1. every segment runs a task on a processor of the task's type;
+//   2. segments on the same processor never overlap;
+//   3. per-type concurrency never exceeds P_alpha;
+//   4. each task executes exactly work(v) ticks in total;
+//   5. no segment of v starts before all parents of v have finished;
+//   6. in non-preemptive mode, each task forms one contiguous segment.
+//
+// check() returns the list of violations (empty == valid).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/kdag.hh"
+#include "machine/cluster.hh"
+#include "sim/trace.hh"
+
+namespace fhs {
+
+struct CheckOptions {
+  /// Also enforce invariant 6 (single contiguous segment per task).
+  bool require_non_preemptive = false;
+};
+
+/// Returns human-readable descriptions of every violated invariant.
+[[nodiscard]] std::vector<std::string> check_schedule(const KDag& dag,
+                                                      const Cluster& cluster,
+                                                      const ExecutionTrace& trace,
+                                                      const CheckOptions& options = {});
+
+}  // namespace fhs

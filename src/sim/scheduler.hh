@@ -1,0 +1,77 @@
+// Abstract scheduler interface used by the simulation engine.
+//
+// The engine owns all execution state (ready queues, remaining work, free
+// processors) and exposes a restricted view through DispatchContext.  A
+// scheduler's job at each decision point is to assign ready tasks to free
+// processors; the engine enforces work conservation afterwards (no free
+// processor may be left idle while a matching ready task exists -- every
+// policy in the paper is work-conserving, per the greedy rule of §III).
+//
+// Information boundary (paper §II): an *online* policy may only look at
+// queue membership and sizes -- it must not read task works or queue work
+// totals ("The work of an executing or a ready task is unknown to the
+// online scheduler").  Offline policies may precompute anything from the
+// full K-DAG in prepare().  The engine cannot mechanically stop a policy
+// from calling queue_work(), so the convention is documented here and the
+// online policies in sched/ are written against it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "graph/kdag.hh"
+#include "machine/cluster.hh"
+
+namespace fhs {
+
+/// Engine-provided view of the decision point.  Spans returned by ready()
+/// are invalidated by assign(); re-fetch after every assignment.
+class DispatchContext {
+ public:
+  virtual ~DispatchContext() = default;
+
+  [[nodiscard]] virtual ResourceType num_types() const noexcept = 0;
+  [[nodiscard]] virtual Time now() const noexcept = 0;
+
+  /// Free alpha-processors at this decision point.
+  [[nodiscard]] virtual std::uint32_t free_processors(ResourceType alpha) const = 0;
+  /// Total alpha-processors, P_alpha.
+  [[nodiscard]] virtual std::uint32_t total_processors(ResourceType alpha) const = 0;
+
+  /// Ready alpha-tasks, oldest first (FIFO order of becoming ready).
+  [[nodiscard]] virtual std::span<const TaskId> ready(ResourceType alpha) const = 0;
+
+  /// Total *remaining* work of ready alpha-tasks, l_alpha (offline info;
+  /// online policies must not call this).
+  [[nodiscard]] virtual Work queue_work(ResourceType alpha) const = 0;
+
+  /// Remaining work of a ready task (equals full work unless the task was
+  /// preempted).  Offline info.
+  [[nodiscard]] virtual Work remaining_work(TaskId task) const = 0;
+
+  /// Assigns the ready alpha-task at position `index` of ready(alpha) to a
+  /// free alpha-processor.  Requires free_processors(alpha) > 0.
+  virtual void assign(ResourceType alpha, std::size_t index) = 0;
+};
+
+/// Scheduling policy.  One instance is used for one simulation at a time
+/// (prepare() resets per-job state), but may be reused sequentially.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Human-readable policy name (used in reports and the registry).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Called once before simulation starts.  Offline policies precompute
+  /// task priorities / descendant tables here.
+  virtual void prepare(const KDag& dag, const Cluster& cluster) = 0;
+
+  /// Called at every decision point: assign ready tasks to free
+  /// processors until, for every type, either no processor is free or no
+  /// task is ready.
+  virtual void dispatch(DispatchContext& ctx) = 0;
+};
+
+}  // namespace fhs

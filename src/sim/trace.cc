@@ -1,0 +1,46 @@
+#include "sim/trace.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+#include <string>
+
+namespace fhs {
+
+void ExecutionTrace::add(TaskId task, std::uint32_t processor, Time start, Time end) {
+  assert(start < end);
+  if (!segments_.empty()) {
+    TraceSegment& prev = segments_.back();
+    if (prev.task == task && prev.processor == processor && prev.end == start) {
+      prev.end = end;
+      return;
+    }
+  }
+  segments_.push_back(TraceSegment{task, processor, start, end});
+}
+
+Time ExecutionTrace::makespan() const noexcept {
+  Time best = 0;
+  for (const TraceSegment& seg : segments_) best = std::max(best, seg.end);
+  return best;
+}
+
+void ExecutionTrace::print_gantt(std::ostream& out, std::uint32_t num_processors,
+                                 Time scale) const {
+  assert(scale >= 1);
+  const Time horizon = makespan();
+  const auto cells = static_cast<std::size_t>((horizon + scale - 1) / scale);
+  for (std::uint32_t proc = 0; proc < num_processors; ++proc) {
+    std::string line(cells, '.');
+    for (const TraceSegment& seg : segments_) {
+      if (seg.processor != proc) continue;
+      const auto lo = static_cast<std::size_t>(seg.start / scale);
+      const auto hi = static_cast<std::size_t>((seg.end + scale - 1) / scale);
+      const char glyph = static_cast<char>('a' + static_cast<char>(seg.task % 26));
+      for (std::size_t c = lo; c < hi && c < cells; ++c) line[c] = glyph;
+    }
+    out << 'p' << proc << " |" << line << "|\n";
+  }
+}
+
+}  // namespace fhs

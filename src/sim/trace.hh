@@ -1,0 +1,52 @@
+// Execution trace: the record of who ran where and when.
+//
+// Segments are half-open intervals [start, end) of one task running on
+// one concrete processor.  Non-preemptive runs produce one segment per
+// task; preemptive runs may split a task into several segments (possibly
+// on different processors of its type).  Consecutive segments of the same
+// task on the same processor are merged on insertion.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "graph/kdag.hh"
+
+namespace fhs {
+
+struct TraceSegment {
+  TaskId task = kInvalidTask;
+  std::uint32_t processor = 0;  // global processor id (see Cluster::offset)
+  Time start = 0;
+  Time end = 0;
+
+  friend bool operator==(const TraceSegment&, const TraceSegment&) = default;
+};
+
+class ExecutionTrace {
+ public:
+  void clear() { segments_.clear(); }
+
+  /// Appends a segment, merging with the previous one when it is the same
+  /// task continuing on the same processor.
+  void add(TaskId task, std::uint32_t processor, Time start, Time end);
+
+  [[nodiscard]] const std::vector<TraceSegment>& segments() const noexcept {
+    return segments_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return segments_.empty(); }
+
+  /// Latest end time over all segments (0 when empty).
+  [[nodiscard]] Time makespan() const noexcept;
+
+  /// Renders a textual Gantt chart (one line per processor); `scale` ticks
+  /// per character cell.  Intended for examples and debugging.
+  void print_gantt(std::ostream& out, std::uint32_t num_processors,
+                   Time scale = 1) const;
+
+ private:
+  std::vector<TraceSegment> segments_;
+};
+
+}  // namespace fhs

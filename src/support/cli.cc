@@ -1,0 +1,168 @@
+#include "support/cli.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+
+namespace fhs {
+
+namespace {
+void check_name(const std::string& name) {
+  if (name.empty() || name.front() == '-') {
+    throw std::invalid_argument("CliFlags: bad flag name '" + name + "'");
+  }
+}
+
+std::int64_t parse_int(const std::string& name, const std::string& value) {
+  std::size_t consumed = 0;
+  std::int64_t parsed = 0;
+  try {
+    parsed = std::stoll(value, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != value.size() || value.empty()) {
+    throw std::invalid_argument("flag --" + name + ": expected integer, got '" + value + "'");
+  }
+  return parsed;
+}
+
+double parse_double(const std::string& name, const std::string& value) {
+  std::size_t consumed = 0;
+  double parsed = 0;
+  try {
+    parsed = std::stod(value, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != value.size() || value.empty()) {
+    throw std::invalid_argument("flag --" + name + ": expected number, got '" + value + "'");
+  }
+  return parsed;
+}
+
+bool parse_bool(const std::string& name, const std::string& value) {
+  if (value == "true" || value == "1" || value == "yes" || value == "on") return true;
+  if (value == "false" || value == "0" || value == "no" || value == "off") return false;
+  throw std::invalid_argument("flag --" + name + ": expected boolean, got '" + value + "'");
+}
+}  // namespace
+
+void CliFlags::define(const std::string& name, const std::string& default_value,
+                      const std::string& help) {
+  check_name(name);
+  flags_[name] = Flag{Kind::kString, default_value, default_value, help};
+}
+
+void CliFlags::define_int(const std::string& name, std::int64_t default_value,
+                          const std::string& help) {
+  check_name(name);
+  const std::string text = std::to_string(default_value);
+  flags_[name] = Flag{Kind::kInt, text, text, help};
+}
+
+void CliFlags::define_double(const std::string& name, double default_value,
+                             const std::string& help) {
+  check_name(name);
+  const std::string text = std::to_string(default_value);
+  flags_[name] = Flag{Kind::kDouble, text, text, help};
+}
+
+void CliFlags::define_bool(const std::string& name, bool default_value,
+                           const std::string& help) {
+  check_name(name);
+  const std::string text = default_value ? "true" : "false";
+  flags_[name] = Flag{Kind::kBool, text, text, help};
+}
+
+bool CliFlags::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(argv[0]);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = body.find('='); eq != std::string::npos) {
+      value = body.substr(eq + 1);
+      body = body.substr(0, eq);
+      has_value = true;
+    }
+    auto it = flags_.find(body);
+    if (it == flags_.end() && body.rfind("no-", 0) == 0) {
+      // --no-name for booleans.
+      const std::string positive = body.substr(3);
+      auto pos = flags_.find(positive);
+      if (pos != flags_.end() && pos->second.kind == Kind::kBool && !has_value) {
+        pos->second.value = "false";
+        continue;
+      }
+    }
+    if (it == flags_.end()) {
+      throw std::invalid_argument("unknown flag --" + body);
+    }
+    Flag& flag = it->second;
+    if (!has_value) {
+      if (flag.kind == Kind::kBool) {
+        flag.value = "true";
+        continue;
+      }
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("flag --" + body + " expects a value");
+      }
+      value = argv[++i];
+    }
+    // Validate eagerly so errors point at the offending flag.
+    switch (flag.kind) {
+      case Kind::kInt: (void)parse_int(body, value); break;
+      case Kind::kDouble: (void)parse_double(body, value); break;
+      case Kind::kBool: (void)parse_bool(body, value); break;
+      case Kind::kString: break;
+    }
+    flag.value = std::move(value);
+  }
+  return true;
+}
+
+const CliFlags::Flag& CliFlags::lookup(const std::string& name, Kind kind) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    throw std::logic_error("CliFlags: flag --" + name + " was never defined");
+  }
+  if (it->second.kind != kind) {
+    throw std::logic_error("CliFlags: flag --" + name + " accessed with wrong type");
+  }
+  return it->second;
+}
+
+std::string CliFlags::get_string(const std::string& name) const {
+  return lookup(name, Kind::kString).value;
+}
+
+std::int64_t CliFlags::get_int(const std::string& name) const {
+  return parse_int(name, lookup(name, Kind::kInt).value);
+}
+
+double CliFlags::get_double(const std::string& name) const {
+  return parse_double(name, lookup(name, Kind::kDouble).value);
+}
+
+bool CliFlags::get_bool(const std::string& name) const {
+  return parse_bool(name, lookup(name, Kind::kBool).value);
+}
+
+void CliFlags::print_usage(const std::string& program) const {
+  std::cout << "usage: " << program << " [flags]\n\nflags:\n";
+  for (const auto& [name, flag] : flags_) {
+    std::cout << "  --" << name << " (default: " << flag.default_value << ")\n      "
+              << flag.help << '\n';
+  }
+}
+
+}  // namespace fhs

@@ -1,0 +1,57 @@
+// Minimal command-line flag parser for the bench/example binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name` /
+// `--no-name`.  Unknown flags are an error so typos in experiment sweeps
+// fail loudly instead of silently running the default configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fhs {
+
+class CliFlags {
+ public:
+  /// Declares a flag with a default value and a help string.
+  void define(const std::string& name, const std::string& default_value,
+              const std::string& help);
+  void define_int(const std::string& name, std::int64_t default_value,
+                  const std::string& help);
+  void define_double(const std::string& name, double default_value,
+                     const std::string& help);
+  void define_bool(const std::string& name, bool default_value, const std::string& help);
+
+  /// Parses argv; returns false (after printing usage) on --help, throws
+  /// std::invalid_argument on unknown flags or malformed values.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get_string(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// Positional (non-flag) arguments, in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  void print_usage(const std::string& program) const;
+
+ private:
+  enum class Kind { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Kind kind;
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+  const Flag& lookup(const std::string& name, Kind kind) const;
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fhs

@@ -1,0 +1,58 @@
+#include "support/parallel.hh"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fhs {
+
+std::size_t default_thread_count() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  std::size_t threads) {
+  if (count == 0) return;
+  if (threads == 0) threads = default_thread_count();
+  threads = std::min(threads, count);
+
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      {
+        // Bail out quickly once any worker has failed.
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error) return;
+      }
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::jthread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  pool.clear();  // joins all workers
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace fhs

@@ -1,0 +1,26 @@
+// Simple data-parallel loop over a fixed index range.
+//
+// The experiment harness evaluates thousands of independent job instances;
+// parallel_for distributes them over a pool of worker threads with a
+// shared atomic cursor (dynamic scheduling), which balances the heavily
+// skewed per-instance costs (ShiftBT's load phase is much more expensive
+// than KGreedy's).  With hardware_concurrency() == 1 it degrades to a
+// plain serial loop with zero thread overhead.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace fhs {
+
+/// Number of workers parallel_for will use when `threads == 0`.
+[[nodiscard]] std::size_t default_thread_count() noexcept;
+
+/// Invokes body(i) for every i in [0, count), distributing indices over
+/// `threads` workers (0 = auto).  body must be safe to call concurrently
+/// for distinct indices.  Exceptions thrown by body are captured and the
+/// first one is rethrown on the calling thread after all workers join.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+}  // namespace fhs

@@ -1,0 +1,84 @@
+// Streaming and summary statistics used by the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace fhs {
+
+/// Welford-style streaming accumulator: mean / variance / min / max in one
+/// pass without storing samples.  Mergeable, so per-thread accumulators can
+/// be combined after a parallel sweep.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const noexcept;
+  /// Half-width of an approximate 95% confidence interval (1.96 * SEM).
+  [[nodiscard]] double ci95() const noexcept { return 1.96 * sem(); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Full-sample summary: keeps values, supports quantiles.
+class Samples {
+ public:
+  void add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+  void merge(const Samples& other);
+  [[nodiscard]] std::size_t count() const noexcept { return values_.size(); }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Linear-interpolation quantile; q in [0, 1].  Requires count() > 0.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] const std::vector<double>& values() const noexcept { return values_; }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Fixed-width-bin histogram over [lo, hi]; out-of-range samples clamp to
+/// the edge bins.  Used for distribution plots in EXPERIMENTS.md.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t count_in_bin(std::size_t b) const { return counts_.at(b); }
+  [[nodiscard]] double bin_low(std::size_t b) const noexcept;
+  [[nodiscard]] double bin_high(std::size_t b) const noexcept;
+  /// Renders a simple ASCII bar chart (one line per bin).
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace fhs

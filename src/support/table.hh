@@ -1,0 +1,43 @@
+// Plain-text table and CSV rendering for benchmark output.
+//
+// The bench binaries print the same rows/series the paper's figures plot;
+// Table keeps the formatting logic in one place so every experiment reads
+// the same way.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fhs {
+
+/// Column-aligned text table.  Cells are strings; helpers format numbers.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent add_cell calls fill it left to right.
+  Table& begin_row();
+  Table& add_cell(std::string text);
+  Table& add_cell(double value, int precision = 3);
+  Table& add_cell(long long value);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const noexcept { return header_.size(); }
+  [[nodiscard]] const std::string& cell(std::size_t row, std::size_t col) const;
+
+  /// Renders with column alignment and a separator under the header.
+  void print(std::ostream& out) const;
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  void print_csv(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (convenience for ad-hoc output).
+[[nodiscard]] std::string format_double(double value, int precision = 3);
+
+}  // namespace fhs

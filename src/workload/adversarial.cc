@@ -1,0 +1,115 @@
+#include "workload/adversarial.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/rng.hh"
+
+namespace fhs {
+
+AdversarialJob generate_adversarial(std::span<const std::uint32_t> processors,
+                                    std::uint32_t m, Rng& rng) {
+  const std::size_t k = processors.size();
+  if (k == 0 || k > kMaxResourceTypes) {
+    throw std::invalid_argument("generate_adversarial: bad K");
+  }
+  if (m == 0) throw std::invalid_argument("generate_adversarial: m must be >= 1");
+  const std::uint32_t pk = processors[k - 1];
+  for (std::uint32_t p : processors) {
+    if (p == 0) throw std::invalid_argument("generate_adversarial: P_alpha must be >= 1");
+    if (p > pk) {
+      throw std::invalid_argument(
+          "generate_adversarial: the last type must have the maximum processor count");
+    }
+  }
+
+  KDagBuilder builder(static_cast<ResourceType>(k));
+  AdversarialJob job;
+  job.active_tasks.resize(k);
+
+  // Create all tasks type by type; remember id ranges.
+  std::vector<TaskId> first_of_type(k);
+  std::vector<std::size_t> count_of_type(k);
+  for (std::size_t alpha = 0; alpha < k; ++alpha) {
+    const std::size_t count = static_cast<std::size_t>(processors[alpha]) * pk * m;
+    count_of_type[alpha] = count;
+    for (std::size_t i = 0; i < count; ++i) {
+      const TaskId id = builder.add_task(static_cast<ResourceType>(alpha), 1);
+      if (i == 0) first_of_type[alpha] = id;
+    }
+  }
+
+  // Types 0..K-2: P[alpha] active tasks with edges to all (alpha+1)-tasks.
+  for (std::size_t alpha = 0; alpha + 1 < k; ++alpha) {
+    const auto picks = rng.sample_indices(count_of_type[alpha], processors[alpha]);
+    for (std::size_t pick : picks) {
+      const TaskId active = first_of_type[alpha] + static_cast<TaskId>(pick);
+      job.active_tasks[alpha].push_back(active);
+      const TaskId next_first = first_of_type[alpha + 1];
+      for (std::size_t j = 0; j < count_of_type[alpha + 1]; ++j) {
+        builder.add_edge(active, next_first + static_cast<TaskId>(j));
+      }
+    }
+    std::sort(job.active_tasks[alpha].begin(), job.active_tasks[alpha].end());
+  }
+
+  // Type K-1: the last m*PK - 1 ids form the chain; actives are chosen
+  // among the remaining (non-chain) tasks and feed the chain head.
+  {
+    const std::size_t alpha = k - 1;
+    const std::size_t total = count_of_type[alpha];
+    const std::size_t chain_len = static_cast<std::size_t>(m) * pk - 1;
+    const std::size_t non_chain = total - chain_len;
+    if (non_chain < pk) {
+      throw std::invalid_argument("generate_adversarial: not enough non-chain K-tasks");
+    }
+    const TaskId base = first_of_type[alpha];
+    if (chain_len > 0) {
+      job.chain_head = base + static_cast<TaskId>(non_chain);
+      job.chain_tail = base + static_cast<TaskId>(total - 1);
+      for (std::size_t i = 0; i + 1 < chain_len; ++i) {
+        builder.add_edge(job.chain_head + static_cast<TaskId>(i),
+                         job.chain_head + static_cast<TaskId>(i + 1));
+      }
+    }
+    const auto picks = rng.sample_indices(non_chain, pk);
+    for (std::size_t pick : picks) {
+      const TaskId active = base + static_cast<TaskId>(pick);
+      job.active_tasks[alpha].push_back(active);
+      if (job.chain_head != kInvalidTask) builder.add_edge(active, job.chain_head);
+    }
+    std::sort(job.active_tasks[alpha].begin(), job.active_tasks[alpha].end());
+  }
+
+  job.dag = std::move(builder).build();
+  job.optimal_completion = static_cast<Time>(k) - 1 + static_cast<Time>(m) * pk;
+  return job;
+}
+
+double deterministic_online_bound(std::span<const std::uint32_t> processors) {
+  if (processors.empty()) {
+    throw std::invalid_argument("deterministic_online_bound: empty P");
+  }
+  std::uint32_t pmax = 0;
+  for (std::uint32_t p : processors) pmax = std::max(pmax, p);
+  if (pmax == 0) throw std::invalid_argument("deterministic_online_bound: P must be >= 1");
+  return static_cast<double>(processors.size()) + 1.0 - 1.0 / static_cast<double>(pmax);
+}
+
+double kgreedy_upper_bound(ResourceType num_types) {
+  return static_cast<double>(num_types) + 1.0;
+}
+
+double theorem2_bound(std::span<const std::uint32_t> processors) {
+  if (processors.empty()) throw std::invalid_argument("theorem2_bound: empty P");
+  double bound = static_cast<double>(processors.size()) + 1.0;
+  std::uint32_t pmax = 0;
+  for (std::uint32_t p : processors) {
+    bound -= 1.0 / (static_cast<double>(p) + 1.0);
+    pmax = std::max(pmax, p);
+  }
+  bound -= 1.0 / (static_cast<double>(pmax) + 1.0);
+  return bound;
+}
+
+}  // namespace fhs

@@ -1,0 +1,56 @@
+// Adversarial job family from the Theorem-2 lower-bound proof (paper
+// §III, Fig. 2).
+//
+// Given per-type processor counts P[0..K-1] (the last type must have the
+// maximum count, as the proof assumes WLOG) and a positive integer m:
+//
+//  * every type alpha has P[alpha] * P[K-1] * m unit-work tasks;
+//  * for alpha < K-1, P[alpha] uniformly chosen "active" alpha-tasks have
+//    edges to ALL (alpha+1)-tasks; the rest have no outgoing edges;
+//  * among the K-1-type tasks, m*P[K-1] - 1 form a chain; P[K-1] active
+//    tasks, uniformly chosen among the non-chain ones, feed the first
+//    chain task.
+//
+// An offline scheduler finishes in T* = K - 1 + m*P[K-1]; an online
+// scheduler cannot find the hidden active tasks and is expected to take
+// roughly (K + 1 - sum 1/(P_a+1) - 1/(Pmax+1)) times longer.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/kdag.hh"
+
+namespace fhs {
+
+class Rng;
+
+struct AdversarialJob {
+  KDag dag;
+  /// Active tasks per type (the "red balls"), for tests and analysis.
+  std::vector<std::vector<TaskId>> active_tasks;
+  /// First and last chain task ids (kInvalidTask if the chain is empty,
+  /// which happens only when m*P[K-1] == 1).
+  TaskId chain_head = kInvalidTask;
+  TaskId chain_tail = kInvalidTask;
+  /// The offline-optimal completion time, K - 1 + m*P[K-1].
+  Time optimal_completion = 0;
+};
+
+/// Builds one random instance.  `processors[K-1]` must equal
+/// max(processors) and m must be >= 1.
+[[nodiscard]] AdversarialJob generate_adversarial(std::span<const std::uint32_t> processors,
+                                                  std::uint32_t m, Rng& rng);
+
+/// The theoretical randomized-online lower bound of Theorem 2:
+/// K + 1 - sum_a 1/(P_a+1) - 1/(Pmax+1).
+[[nodiscard]] double theorem2_bound(std::span<const std::uint32_t> processors);
+
+/// The deterministic-online lower bound of He, Sun & Hsu [20] quoted in
+/// §III: K + 1 - 1/Pmax.  Always at least theorem2_bound.
+[[nodiscard]] double deterministic_online_bound(std::span<const std::uint32_t> processors);
+
+/// The matching upper bound: KGreedy is (K+1)-competitive (§III).
+[[nodiscard]] double kgreedy_upper_bound(ResourceType num_types);
+
+}  // namespace fhs

@@ -1,0 +1,93 @@
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "support/rng.hh"
+#include "workload/workload.hh"
+
+namespace fhs {
+
+namespace {
+
+/// Random composition of `total` into `parts` positive integers: choose
+/// parts-1 distinct cut positions among the total-1 gaps.
+std::vector<std::uint32_t> random_composition(std::uint32_t total, std::uint32_t parts,
+                                              Rng& rng) {
+  std::vector<std::size_t> cuts = rng.sample_indices(total - 1, parts - 1);
+  std::sort(cuts.begin(), cuts.end());
+  std::vector<std::uint32_t> lengths;
+  lengths.reserve(parts);
+  std::size_t previous = 0;
+  for (std::size_t cut : cuts) {
+    lengths.push_back(static_cast<std::uint32_t>(cut + 1 - previous));
+    previous = cut + 1;
+  }
+  lengths.push_back(total - static_cast<std::uint32_t>(previous));
+  return lengths;
+}
+
+}  // namespace
+
+KDag generate_ep(const EpParams& params, Rng& rng) {
+  const ResourceType k = params.num_types;
+  if (k == 0) throw std::invalid_argument("generate_ep: num_types must be >= 1");
+  if (params.min_branches == 0 || params.min_branches > params.max_branches) {
+    throw std::invalid_argument("generate_ep: bad branch-count range");
+  }
+  if (params.min_work < 1 || params.min_work > params.max_work) {
+    throw std::invalid_argument("generate_ep: bad work range");
+  }
+  const std::uint32_t min_len =
+      params.min_branch_length == 0 ? 2 * k : params.min_branch_length;
+  const std::uint32_t max_len =
+      params.max_branch_length == 0 ? 4 * k : params.max_branch_length;
+  if (min_len == 0 || min_len > max_len) {
+    throw std::invalid_argument("generate_ep: bad branch-length range");
+  }
+  if (params.assignment == TypeAssignment::kLayered && min_len < k) {
+    throw std::invalid_argument(
+        "generate_ep: layered branches need length >= K (one task per phase)");
+  }
+
+  const auto branches =
+      static_cast<std::uint32_t>(rng.uniform_int(params.min_branches, params.max_branches));
+  KDagBuilder builder(k);
+  for (std::uint32_t b = 0; b < branches; ++b) {
+    const auto length = static_cast<std::uint32_t>(rng.uniform_int(min_len, max_len));
+    // Layered: K contiguous phases in type order ("fixed sequence of
+    // tasks with type from 1 to K").  kEqual aligns phase boundaries
+    // across branches, which is what separates the policies (DESIGN.md
+    // E1); kRandomComposition staggers them (ablation).
+    std::vector<ResourceType> types(length);
+    if (params.assignment == TypeAssignment::kLayered) {
+      if (params.phase_split == EpPhaseSplit::kEqual) {
+        for (std::uint32_t i = 0; i < length; ++i) {
+          types[i] =
+              static_cast<ResourceType>(std::min<std::uint32_t>(i * k / length, k - 1));
+        }
+      } else {
+        const auto phase_lengths = random_composition(length, k, rng);
+        std::size_t position = 0;
+        for (ResourceType phase = 0; phase < k; ++phase) {
+          for (std::uint32_t i = 0; i < phase_lengths[phase]; ++i) {
+            types[position++] = phase;
+          }
+        }
+      }
+    } else {
+      for (auto& type : types) {
+        type = static_cast<ResourceType>(rng.uniform_below(k));
+      }
+    }
+    TaskId previous = kInvalidTask;
+    for (std::uint32_t i = 0; i < length; ++i) {
+      const Work work = rng.uniform_int(params.min_work, params.max_work);
+      const TaskId task = builder.add_task(types[i], work);
+      if (previous != kInvalidTask) builder.add_edge(previous, task);
+      previous = task;
+    }
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace fhs

@@ -1,0 +1,136 @@
+#include <algorithm>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "support/rng.hh"
+#include "workload/workload.hh"
+
+namespace fhs {
+
+KDag generate_ir(const IrParams& params, Rng& rng) {
+  const ResourceType k = params.num_types;
+  if (k == 0) throw std::invalid_argument("generate_ir: num_types must be >= 1");
+  if (params.min_iterations == 0 || params.min_iterations > params.max_iterations) {
+    throw std::invalid_argument("generate_ir: bad iteration range");
+  }
+  if (params.min_maps == 0 || params.min_maps > params.max_maps) {
+    throw std::invalid_argument("generate_ir: bad map-count range");
+  }
+  if (params.min_reduces == 0 || params.min_reduces > params.max_reduces) {
+    throw std::invalid_argument("generate_ir: bad reduce-count range");
+  }
+  if (params.hub_fraction < 0.0 || params.hub_fraction > 1.0) {
+    throw std::invalid_argument("generate_ir: hub_fraction must be in [0, 1]");
+  }
+  if (params.hub_weight_min < 0.0 || params.hub_weight_min > params.hub_weight_max ||
+      params.hub_weight_max > 1.0) {
+    throw std::invalid_argument("generate_ir: bad hub-weight range");
+  }
+  if (params.cold_weight_max < 0.0 || params.cold_weight_max > 1.0) {
+    throw std::invalid_argument("generate_ir: bad cold weight");
+  }
+  if (params.fanin_min < 0.0 || params.fanin_min > params.fanin_max ||
+      params.fanin_max > 1.0) {
+    throw std::invalid_argument("generate_ir: bad fanin range");
+  }
+  if (params.iteration_coupling <= 0.0) {
+    throw std::invalid_argument("generate_ir: iteration_coupling must be positive");
+  }
+  if (params.min_work < 1 || params.min_work > params.max_work) {
+    throw std::invalid_argument("generate_ir: bad work range");
+  }
+
+  const auto iterations = static_cast<std::uint32_t>(
+      rng.uniform_int(params.min_iterations, params.max_iterations));
+
+  KDagBuilder builder(k);
+  // Layered: phase types come from repeatedly shuffled K-cycles, so every
+  // type receives a comparable number of phases (balanced load, §V-E)
+  // while adjacent phases can still collide on a type.
+  std::vector<ResourceType> cycle(k);
+  for (ResourceType i = 0; i < k; ++i) cycle[i] = i;
+  std::size_t cycle_pos = cycle.size();
+  auto next_phase_type = [&]() -> ResourceType {
+    if (cycle_pos >= cycle.size()) {
+      rng.shuffle(std::span<ResourceType>(cycle));
+      cycle_pos = 0;
+    }
+    return cycle[cycle_pos++];
+  };
+  ResourceType phase_type = 0;
+  auto type_for = [&]() -> ResourceType {
+    if (params.assignment == TypeAssignment::kLayered) return phase_type;
+    return static_cast<ResourceType>(rng.uniform_below(k));
+  };
+  auto sample_work = [&] { return rng.uniform_int(params.min_work, params.max_work); };
+
+  std::vector<TaskId> previous_reduces;
+  for (std::uint32_t iter = 0; iter < iterations; ++iter) {
+    const auto num_maps =
+        static_cast<std::uint32_t>(rng.uniform_int(params.min_maps, params.max_maps));
+    const auto num_reduces = static_cast<std::uint32_t>(
+        rng.uniform_int(params.min_reduces, params.max_reduces));
+
+    // --- map phase ---------------------------------------------------------
+    phase_type = next_phase_type();
+    std::vector<TaskId> maps;
+    std::vector<double> fanout_weight;
+    maps.reserve(num_maps);
+    fanout_weight.reserve(num_maps);
+    std::size_t best_hub = 0;
+    for (std::uint32_t m = 0; m < num_maps; ++m) {
+      maps.push_back(builder.add_task(type_for(), sample_work()));
+      const double weight =
+          rng.bernoulli(params.hub_fraction)
+              ? rng.uniform_real(params.hub_weight_min, params.hub_weight_max)
+              : rng.uniform_real(0.0, params.cold_weight_max);
+      fanout_weight.push_back(weight);
+      if (weight > fanout_weight[best_hub]) best_hub = m;
+    }
+    // Each map after the first iteration consumes a sparse subset of the
+    // previous reduces (at least one: the "iterative" dependency).
+    if (!previous_reduces.empty()) {
+      const double coupling = std::min(
+          1.0, params.iteration_coupling / static_cast<double>(previous_reduces.size()));
+      for (TaskId map : maps) {
+        bool connected = false;
+        for (TaskId reduce : previous_reduces) {
+          if (rng.bernoulli(coupling)) {
+            builder.add_edge(reduce, map);
+            connected = true;
+          }
+        }
+        if (!connected) {
+          const auto pick = rng.uniform_below(previous_reduces.size());
+          builder.add_edge(previous_reduces[pick], map);
+        }
+      }
+    }
+
+    // --- reduce phase --------------------------------------------------------
+    phase_type = next_phase_type();
+    std::vector<TaskId> reduces;
+    reduces.reserve(num_reduces);
+    for (std::uint32_t r = 0; r < num_reduces; ++r) {
+      const TaskId reduce = builder.add_task(type_for(), sample_work());
+      reduces.push_back(reduce);
+      const double fanin = rng.uniform_real(params.fanin_min, params.fanin_max);
+      bool connected = false;
+      for (std::uint32_t m = 0; m < num_maps; ++m) {
+        if (rng.bernoulli(fanout_weight[m] * fanin)) {
+          builder.add_edge(maps[m], reduce);
+          connected = true;
+        }
+      }
+      if (!connected) {
+        // Fall back to the strongest hub so the gating structure survives.
+        builder.add_edge(maps[best_hub], reduce);
+      }
+    }
+    previous_reduces = std::move(reduces);
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace fhs

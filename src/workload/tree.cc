@@ -1,0 +1,71 @@
+#include <deque>
+#include <stdexcept>
+
+#include "support/rng.hh"
+#include "workload/workload.hh"
+
+namespace fhs {
+
+KDag generate_tree(const TreeParams& params, Rng& rng) {
+  const ResourceType k = params.num_types;
+  if (k == 0) throw std::invalid_argument("generate_tree: num_types must be >= 1");
+  if (params.min_fanout < 1 || params.min_fanout > params.max_fanout) {
+    throw std::invalid_argument("generate_tree: bad fanout range");
+  }
+  if (params.min_fanout_prob < 0.0 || params.max_fanout_prob > 1.0 ||
+      params.min_fanout_prob > params.max_fanout_prob) {
+    throw std::invalid_argument("generate_tree: bad fanout-probability range");
+  }
+  if (params.max_tasks == 0) throw std::invalid_argument("generate_tree: max_tasks == 0");
+  if (params.min_work < 1 || params.min_work > params.max_work) {
+    throw std::invalid_argument("generate_tree: bad work range");
+  }
+
+  // One fanout and one probability per tree (paper: "a tree workload
+  // involves the fanout number m and fanout probability p of any node").
+  const auto fanout =
+      static_cast<std::uint32_t>(rng.uniform_int(params.min_fanout, params.max_fanout));
+  const double prob = rng.uniform_real(params.min_fanout_prob, params.max_fanout_prob);
+
+  // Layered: one uniformly drawn type per level ("all the nodes at each
+  // level of a tree have the same type").  Levels are typed lazily as the
+  // tree grows; adjacent levels may repeat a type.
+  std::vector<ResourceType> level_type;
+  auto type_for = [&](std::size_t node_depth) -> ResourceType {
+    if (params.assignment == TypeAssignment::kRandom) {
+      return static_cast<ResourceType>(rng.uniform_below(k));
+    }
+    while (level_type.size() <= node_depth) {
+      level_type.push_back(static_cast<ResourceType>(rng.uniform_below(k)));
+    }
+    return level_type[node_depth];
+  };
+
+  KDagBuilder builder(k);
+  struct Pending {
+    TaskId id;
+    std::size_t depth;
+  };
+  std::deque<Pending> frontier;
+  const TaskId root =
+      builder.add_task(type_for(0), rng.uniform_int(params.min_work, params.max_work));
+  frontier.push_back({root, 0});
+
+  // Breadth-first growth so the max_tasks cap truncates the deepest
+  // levels instead of starving whole subtrees.
+  while (!frontier.empty()) {
+    const Pending node = frontier.front();
+    frontier.pop_front();
+    if (builder.task_count() >= params.max_tasks) break;
+    if (!rng.bernoulli(prob)) continue;
+    for (std::uint32_t c = 0; c < fanout && builder.task_count() < params.max_tasks; ++c) {
+      const TaskId child = builder.add_task(
+          type_for(node.depth + 1), rng.uniform_int(params.min_work, params.max_work));
+      builder.add_edge(node.id, child);
+      frontier.push_back({child, node.depth + 1});
+    }
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace fhs

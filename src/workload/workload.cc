@@ -1,0 +1,45 @@
+#include "workload/workload.hh"
+
+#include "support/rng.hh"
+
+namespace fhs {
+
+std::string to_string(TypeAssignment assignment) {
+  return assignment == TypeAssignment::kLayered ? "layered" : "random";
+}
+
+namespace {
+KDag generate_impl(const EpParams& p, Rng& rng) { return generate_ep(p, rng); }
+KDag generate_impl(const TreeParams& p, Rng& rng) { return generate_tree(p, rng); }
+KDag generate_impl(const IrParams& p, Rng& rng) { return generate_ir(p, rng); }
+}  // namespace
+
+KDag generate(const WorkloadParams& params, Rng& rng) {
+  return std::visit([&rng](const auto& p) { return generate_impl(p, rng); }, params);
+}
+
+std::string workload_name(const WorkloadParams& params) {
+  struct Visitor {
+    std::string operator()(const EpParams& p) const {
+      return to_string(p.assignment) + " EP";
+    }
+    std::string operator()(const TreeParams& p) const {
+      return to_string(p.assignment) + " tree";
+    }
+    std::string operator()(const IrParams& p) const {
+      return to_string(p.assignment) + " IR";
+    }
+  };
+  return std::visit(Visitor{}, params);
+}
+
+ResourceType workload_num_types(const WorkloadParams& params) {
+  return std::visit([](const auto& p) { return p.num_types; }, params);
+}
+
+WorkloadParams with_num_types(WorkloadParams params, ResourceType k) {
+  std::visit([k](auto& p) { p.num_types = k; }, params);
+  return params;
+}
+
+}  // namespace fhs

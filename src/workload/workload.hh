@@ -1,0 +1,124 @@
+// Workload families from the paper's evaluation (§V-B) plus the
+// adversarial family used in the Theorem-2 lower-bound analysis (§III).
+//
+// Each generator draws a random job instance from a parameterized
+// distribution.  "Layered" variants give tasks strongly type-structured
+// positions (different stages use different resource types); "random"
+// variants assign types uniformly at random -- the paper shows the two
+// regimes behave very differently.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "graph/kdag.hh"
+
+namespace fhs {
+
+class Rng;
+
+enum class TypeAssignment : std::uint8_t { kLayered, kRandom };
+
+[[nodiscard]] std::string to_string(TypeAssignment assignment);
+
+/// Embarrassingly-parallel jobs: independent chains ("branches").
+/// Layered: each branch is K contiguous equal-length *phases* in fixed
+/// type order 0..K-1 (the paper's "fixed sequence of tasks with type
+/// from 1 to K"; task i of a length-L branch has type floor(i*K/L)).
+/// The aligned phase boundaries are what make naive dispatch serialize
+/// the phases -- see DESIGN.md.  Random: uniform type per task.
+/// How a layered branch's length is divided among its K phases.
+enum class EpPhaseSplit : std::uint8_t {
+  /// K equal contiguous runs (default): phase boundaries align across
+  /// branches, which is what makes FIFO dispatch serialize the phases.
+  kEqual,
+  /// A uniformly random composition with every phase non-empty: the
+  /// staggered boundaries let even FIFO pipeline (ablation knob -- see
+  /// DESIGN.md "Reverse-engineering the workloads").
+  kRandomComposition,
+};
+
+struct EpParams {
+  ResourceType num_types = 4;
+  TypeAssignment assignment = TypeAssignment::kLayered;
+  EpPhaseSplit phase_split = EpPhaseSplit::kEqual;
+  std::uint32_t min_branches = 32;
+  std::uint32_t max_branches = 96;
+  /// Branch length range; 0 means "derive from K" (min 2K, max 4K, so
+  /// every phase holds a few tasks regardless of K).
+  std::uint32_t min_branch_length = 0;  // 0 => 2K
+  std::uint32_t max_branch_length = 0;  // 0 => 4K
+  Work min_work = 1;
+  Work max_work = 20;
+};
+[[nodiscard]] KDag generate_ep(const EpParams& params, Rng& rng);
+
+/// Tree (divide-and-conquer) jobs: from the root, every node has the
+/// tree's fanout m with probability p and no children otherwise.
+/// Layered: one uniformly drawn type per level (paper: "all the nodes at
+/// each level of a tree have the same type") -- adjacent levels may
+/// repeat a type, which is what starves FIFO dispatch.  Random: uniform
+/// per task.
+struct TreeParams {
+  ResourceType num_types = 4;
+  TypeAssignment assignment = TypeAssignment::kLayered;
+  std::uint32_t min_fanout = 2;
+  std::uint32_t max_fanout = 2;
+  double min_fanout_prob = 0.75;
+  double max_fanout_prob = 0.9;
+  /// Growth cap: nodes beyond this stop spawning children.
+  std::size_t max_tasks = 1024;
+  Work min_work = 1;
+  Work max_work = 20;
+};
+[[nodiscard]] KDag generate_tree(const TreeParams& params, Rng& rng);
+
+/// Iterative-reduction (MapReduce-style) jobs: alternating map and reduce
+/// phases.  "Map tasks with different fanouts: tasks with a high fanout
+/// have a higher probability of providing output to each reduce task"
+/// (§V-B) is modelled with hub/cold maps: a small fraction of maps are
+/// *hubs* with large fanout weights, the rest are *cold* (their outputs
+/// are rarely consumed -- bulk work).  A map feeds a reduce with
+/// probability fanout-weight * the reduce's fanin weight, so reduces
+/// depend on a sparse, hub-concentrated subset of maps.  Every reduce
+/// has at least one map parent and every map after the first iteration
+/// consumes at least one previous reduce.
+///
+/// Layered: one type per phase (map phase / reduce phase), drawn from
+/// repeatedly shuffled K-cycles so per-type work stays balanced while
+/// adjacent phases can still collide on a type; random: uniform per task.
+struct IrParams {
+  ResourceType num_types = 4;
+  TypeAssignment assignment = TypeAssignment::kLayered;
+  std::uint32_t min_iterations = 6;
+  std::uint32_t max_iterations = 12;
+  std::uint32_t min_maps = 40;
+  std::uint32_t max_maps = 100;
+  std::uint32_t min_reduces = 4;
+  std::uint32_t max_reduces = 12;
+  /// Probability that a map is a hub, and the weight ranges.
+  double hub_fraction = 0.2;
+  double hub_weight_min = 0.7;
+  double hub_weight_max = 1.0;
+  double cold_weight_max = 0.08;
+  /// Reduce fanin-weight range.
+  double fanin_min = 0.3;
+  double fanin_max = 1.0;
+  /// Expected number of previous-iteration reduces each map consumes.
+  double iteration_coupling = 2.0;
+  Work min_work = 1;
+  Work max_work = 20;
+};
+[[nodiscard]] KDag generate_ir(const IrParams& params, Rng& rng);
+
+/// Any of the paper's three families; used by the experiment harness.
+using WorkloadParams = std::variant<EpParams, TreeParams, IrParams>;
+
+[[nodiscard]] KDag generate(const WorkloadParams& params, Rng& rng);
+[[nodiscard]] std::string workload_name(const WorkloadParams& params);
+[[nodiscard]] ResourceType workload_num_types(const WorkloadParams& params);
+/// Returns a copy with the resource-type count replaced (for K sweeps).
+[[nodiscard]] WorkloadParams with_num_types(WorkloadParams params, ResourceType k);
+
+}  // namespace fhs

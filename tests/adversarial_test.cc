@@ -1,0 +1,214 @@
+#include "workload/adversarial.hh"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "graph/kdag_algorithms.hh"
+#include "metrics/bounds.hh"
+#include "sched/registry.hh"
+#include "sim/engine.hh"
+#include "support/rng.hh"
+#include "support/stats.hh"
+
+namespace fhs {
+namespace {
+
+constexpr std::array<std::uint32_t, 3> kProcs = {2, 2, 3};
+constexpr std::uint32_t kM = 4;
+
+TEST(Adversarial, TaskCountsPerType) {
+  Rng rng(1);
+  const AdversarialJob job = generate_adversarial(kProcs, kM, rng);
+  for (std::size_t alpha = 0; alpha < kProcs.size(); ++alpha) {
+    EXPECT_EQ(job.dag.task_count(static_cast<ResourceType>(alpha)),
+              static_cast<std::size_t>(kProcs[alpha]) * kProcs.back() * kM);
+  }
+}
+
+TEST(Adversarial, UnitWorkEverywhere) {
+  Rng rng(2);
+  const AdversarialJob job = generate_adversarial(kProcs, kM, rng);
+  for (TaskId v = 0; v < job.dag.task_count(); ++v) {
+    EXPECT_EQ(job.dag.work(v), 1);
+  }
+}
+
+TEST(Adversarial, ActiveCounts) {
+  Rng rng(3);
+  const AdversarialJob job = generate_adversarial(kProcs, kM, rng);
+  ASSERT_EQ(job.active_tasks.size(), 3u);
+  for (std::size_t alpha = 0; alpha < kProcs.size(); ++alpha) {
+    EXPECT_EQ(job.active_tasks[alpha].size(), kProcs[alpha])
+        << "type " << alpha;
+  }
+}
+
+TEST(Adversarial, ActiveTasksFeedAllNextTypeTasks) {
+  Rng rng(4);
+  const AdversarialJob job = generate_adversarial(kProcs, kM, rng);
+  const std::size_t next_count = job.dag.task_count(1);
+  for (TaskId active : job.active_tasks[0]) {
+    EXPECT_EQ(job.dag.child_count(active), next_count);
+  }
+}
+
+TEST(Adversarial, InactiveTasksHaveNoChildren) {
+  Rng rng(5);
+  const AdversarialJob job = generate_adversarial(kProcs, kM, rng);
+  std::size_t childless = 0;
+  for (TaskId v = 0; v < job.dag.task_count(); ++v) {
+    if (job.dag.type(v) == 0 && job.dag.child_count(v) == 0) ++childless;
+  }
+  EXPECT_EQ(childless, job.dag.task_count(0) - kProcs[0]);
+}
+
+TEST(Adversarial, ChainStructure) {
+  Rng rng(6);
+  const AdversarialJob job = generate_adversarial(kProcs, kM, rng);
+  const std::size_t chain_len = static_cast<std::size_t>(kM) * kProcs.back() - 1;
+  ASSERT_NE(job.chain_head, kInvalidTask);
+  // Walk the chain.
+  std::size_t walked = 1;
+  TaskId cur = job.chain_head;
+  while (job.dag.child_count(cur) == 1) {
+    cur = job.dag.children(cur)[0];
+    ++walked;
+  }
+  EXPECT_EQ(walked, chain_len);
+  EXPECT_EQ(cur, job.chain_tail);
+  EXPECT_EQ(job.dag.child_count(job.chain_tail), 0u);
+}
+
+TEST(Adversarial, SpanMatchesConstruction) {
+  Rng rng(7);
+  const AdversarialJob job = generate_adversarial(kProcs, kM, rng);
+  // Longest path: one active task per type 0..K-2, one active K-task,
+  // then the chain: (K-1) + 1 + (m*PK - 1) = K - 1 + m*PK.
+  EXPECT_EQ(span(job.dag), job.optimal_completion);
+}
+
+TEST(Adversarial, OptimalCompletionFormula) {
+  Rng rng(8);
+  const AdversarialJob job = generate_adversarial(kProcs, kM, rng);
+  EXPECT_EQ(job.optimal_completion, 3 - 1 + static_cast<Time>(kM) * 3);
+}
+
+TEST(Adversarial, OfflineMaxDpAchievesOptimal) {
+  // MaxDP sees the hidden active tasks through their descendant values
+  // and reproduces the offline-optimal schedule of the Theorem-2 proof.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed);
+    const AdversarialJob job = generate_adversarial(kProcs, kM, rng);
+    auto sched = make_scheduler("maxdp");
+    const Cluster cluster({kProcs[0], kProcs[1], kProcs[2]});
+    const SimResult result = simulate(job.dag, cluster, *sched);
+    EXPECT_EQ(result.completion_time, job.optimal_completion) << "seed " << seed;
+  }
+}
+
+TEST(Adversarial, OnlineKGreedyIsMuchSlower) {
+  // The whole point of the construction: without descendant knowledge,
+  // FIFO wades through inactive tasks before finding the actives.  The
+  // expected ratio approaches the Theorem-2 bound for large m; for small
+  // m we just require a substantial gap (> 1.5x).
+  Rng rng(99);
+  RunningStats ratio;
+  for (int i = 0; i < 10; ++i) {
+    const AdversarialJob job = generate_adversarial(kProcs, kM, rng);
+    auto sched = make_scheduler("kgreedy");
+    const Cluster cluster({kProcs[0], kProcs[1], kProcs[2]});
+    const SimResult result = simulate(job.dag, cluster, *sched);
+    ratio.add(static_cast<double>(result.completion_time) /
+              static_cast<double>(job.optimal_completion));
+  }
+  EXPECT_GT(ratio.mean(), 1.5);
+  EXPECT_LE(ratio.mean(), theorem2_bound(kProcs) + 1.0);
+}
+
+TEST(Adversarial, Validation) {
+  Rng rng(1);
+  // Last type must have the max processor count.
+  const std::array<std::uint32_t, 2> bad = {5, 2};
+  EXPECT_THROW((void)generate_adversarial(bad, 2, rng), std::invalid_argument);
+  const std::array<std::uint32_t, 2> zero_m = {2, 2};
+  EXPECT_THROW((void)generate_adversarial(zero_m, 0, rng), std::invalid_argument);
+  const std::array<std::uint32_t, 2> zero_p = {0, 2};
+  EXPECT_THROW((void)generate_adversarial(zero_p, 2, rng), std::invalid_argument);
+  EXPECT_THROW((void)generate_adversarial(std::span<const std::uint32_t>{}, 2, rng),
+               std::invalid_argument);
+}
+
+TEST(Theorem2Bound, HandComputed) {
+  // K=2, P = (1, 1): 3 - 1/2 - 1/2 - 1/2 = 1.5.
+  const std::array<std::uint32_t, 2> p11 = {1, 1};
+  EXPECT_DOUBLE_EQ(theorem2_bound(p11), 1.5);
+  // K=3, P = (2, 2, 3): 4 - 1/3 - 1/3 - 1/4 - 1/4.
+  EXPECT_NEAR(theorem2_bound(kProcs), 4.0 - 1.0 / 3 - 1.0 / 3 - 0.25 - 0.25, 1e-12);
+}
+
+TEST(Theorem2Bound, GrowsLinearlyInK) {
+  std::vector<std::uint32_t> procs;
+  double previous = 0.0;
+  for (int k = 1; k <= 6; ++k) {
+    procs.push_back(3);
+    const double bound = theorem2_bound(procs);
+    EXPECT_GT(bound, previous);
+    previous = bound;
+  }
+  EXPECT_GT(previous, 4.0);  // K=6, P=3: 7 - 6/4 - 1/4 = 5.25
+}
+
+TEST(OnlineBounds, DeterministicBoundDominatesRandomized) {
+  // K + 1 - 1/Pmax >= K + 1 - sum 1/(P_a+1) - 1/(Pmax+1) for K >= 1.
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t k = 1 + rng.uniform_below(6);
+    std::vector<std::uint32_t> procs(k);
+    for (auto& p : procs) p = static_cast<std::uint32_t>(rng.uniform_int(1, 8));
+    EXPECT_GE(deterministic_online_bound(procs), theorem2_bound(procs) - 1e-12);
+    EXPECT_LE(deterministic_online_bound(procs),
+              kgreedy_upper_bound(static_cast<ResourceType>(k)) + 1e-12);
+  }
+}
+
+TEST(OnlineBounds, DeterministicHandComputed) {
+  const std::array<std::uint32_t, 2> p = {2, 4};
+  EXPECT_DOUBLE_EQ(deterministic_online_bound(p), 3.0 - 0.25);
+  EXPECT_DOUBLE_EQ(kgreedy_upper_bound(2), 3.0);
+  EXPECT_THROW((void)deterministic_online_bound(std::span<const std::uint32_t>{}),
+               std::invalid_argument);
+}
+
+TEST(Adversarial, RandomizedKGreedyGainsLittle) {
+  // §III: randomization cannot beat the (near-K+1) lower bound.  Random
+  // dispatch order must stay well above the offline optimum on the
+  // adversarial family.
+  Rng rng(11);
+  RunningStats fifo_ratio;
+  RunningStats random_ratio;
+  for (int i = 0; i < 10; ++i) {
+    const AdversarialJob job = generate_adversarial(kProcs, kM, rng);
+    const Cluster cluster({kProcs[0], kProcs[1], kProcs[2]});
+    auto fifo = make_scheduler("kgreedy");
+    auto random = make_scheduler("kgreedy+random", static_cast<std::uint64_t>(i));
+    fifo_ratio.add(static_cast<double>(simulate(job.dag, cluster, *fifo).completion_time) /
+                   static_cast<double>(job.optimal_completion));
+    random_ratio.add(
+        static_cast<double>(simulate(job.dag, cluster, *random).completion_time) /
+        static_cast<double>(job.optimal_completion));
+  }
+  EXPECT_GT(random_ratio.mean(), 1.5);
+  EXPECT_NEAR(random_ratio.mean(), fifo_ratio.mean(), 0.5);
+}
+
+TEST(Adversarial, LowerBoundIsWorkBound) {
+  Rng rng(13);
+  const AdversarialJob job = generate_adversarial(kProcs, kM, rng);
+  const Cluster cluster({kProcs[0], kProcs[1], kProcs[2]});
+  // Per-type work bound: P_a * PK * m / P_a = PK * m = 12; span = 14.
+  EXPECT_EQ(completion_time_lower_bound(job.dag, cluster), job.optimal_completion);
+}
+
+}  // namespace
+}  // namespace fhs

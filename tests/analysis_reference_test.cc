@@ -1,0 +1,122 @@
+// Cross-validation of the descendant-value recursion against an
+// independent path-product reference.
+//
+// Unfolding the paper's recursion
+//   d_alpha(v) = sum_{u in children(v)} (d_alpha(u) + w_alpha(u)) / pr(u)
+// gives the closed form
+//   d_alpha(v) = sum over all directed paths v -> u (u != v)
+//                  w_alpha(u) * prod over edges (x -> y) on the path of 1/pr(y).
+// The reference below computes that sum by explicit DFS path enumeration
+// (exponential -- small graphs only) and must agree with the linear-time
+// reverse-topological implementation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/analysis.hh"
+#include "support/rng.hh"
+#include "test_util.hh"
+
+namespace fhs {
+namespace {
+
+void accumulate_paths(const KDag& dag, TaskId node, double share,
+                      std::vector<double>& result, ResourceType k) {
+  for (TaskId child : dag.children(node)) {
+    const double child_share = share / static_cast<double>(dag.parent_count(child));
+    result[dag.type(child)] += child_share * static_cast<double>(dag.work(child));
+    accumulate_paths(dag, child, child_share, result, k);
+  }
+}
+
+std::vector<double> reference_descendants(const KDag& dag, TaskId v) {
+  std::vector<double> result(dag.num_types(), 0.0);
+  accumulate_paths(dag, v, 1.0, result, dag.num_types());
+  return result;
+}
+
+TEST(DescendantReference, AgreesOnRandomSmallDags) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 30; ++trial) {
+    const ResourceType k = static_cast<ResourceType>(1 + rng.uniform_below(4));
+    KDagBuilder builder(k);
+    const std::size_t n = 4 + rng.uniform_below(10);
+    for (std::size_t i = 0; i < n; ++i) {
+      (void)builder.add_task(static_cast<ResourceType>(rng.uniform_below(k)),
+                             rng.uniform_int(1, 9));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (rng.bernoulli(0.3)) {
+          builder.add_edge(static_cast<TaskId>(i), static_cast<TaskId>(j));
+        }
+      }
+    }
+    const KDag dag = std::move(builder).build();
+    const auto fast = typed_descendant_values(dag);
+    for (TaskId v = 0; v < dag.task_count(); ++v) {
+      const auto reference = reference_descendants(dag, v);
+      for (ResourceType a = 0; a < k; ++a) {
+        EXPECT_NEAR(fast[v * k + a], reference[a], 1e-9)
+            << "trial " << trial << " task " << v << " type " << a;
+      }
+    }
+  }
+}
+
+TEST(DescendantReference, MultiParentSharesSplitCorrectly) {
+  // x -> z, y -> z (z has 2 parents, work 6 on type 1):
+  // d_1(x) = d_1(y) = 6/2 = 3.
+  KDagBuilder builder(2);
+  const TaskId x = builder.add_task(0, 1);
+  const TaskId y = builder.add_task(0, 1);
+  const TaskId z = builder.add_task(1, 6);
+  builder.add_edge(x, z);
+  builder.add_edge(y, z);
+  const KDag dag = std::move(builder).build();
+  const auto reference = reference_descendants(dag, x);
+  EXPECT_DOUBLE_EQ(reference[1], 3.0);
+  const auto fast = typed_descendant_values(dag);
+  EXPECT_DOUBLE_EQ(fast[x * 2 + 1], 3.0);
+  EXPECT_DOUBLE_EQ(fast[y * 2 + 1], 3.0);
+}
+
+TEST(DescendantReference, DiamondDoubleCountsSharedPathsAsDefined) {
+  // r -> a, r -> b, a -> z, b -> z: the recursion reaches z through BOTH
+  // paths, each with share 1/2, so z contributes its full work to r --
+  // the approximation counts path shares, not distinct descendants.
+  KDagBuilder builder(1);
+  const TaskId r = builder.add_task(0, 1);
+  const TaskId a = builder.add_task(0, 1);
+  const TaskId b = builder.add_task(0, 1);
+  const TaskId z = builder.add_task(0, 8);
+  builder.add_edge(r, a);
+  builder.add_edge(r, b);
+  builder.add_edge(a, z);
+  builder.add_edge(b, z);
+  const KDag dag = std::move(builder).build();
+  const auto fast = typed_descendant_values(dag);
+  // d(r) = (a: 1) + (b: 1) + (z via a: 8/2) + (z via b: 8/2) = 10.
+  EXPECT_DOUBLE_EQ(fast[r], 10.0);
+  EXPECT_DOUBLE_EQ(reference_descendants(dag, r)[0], 10.0);
+}
+
+TEST(DescendantReference, SumOverRootsBoundsTotalWork) {
+  // Shares through a node split by its parent count and every task is
+  // reachable from some root, so summing d over roots plus root works
+  // reproduces exactly the total work (each task's shares add up to 1).
+  Rng rng(77);
+  const KDag dag = testutil::random_unit_dag(12, 3, 0.25, rng);
+  const auto fast = typed_descendant_values(dag);
+  double total = 0.0;
+  for (TaskId root : dag.roots()) {
+    for (ResourceType a = 0; a < dag.num_types(); ++a) {
+      total += fast[root * dag.num_types() + a];
+    }
+    total += static_cast<double>(dag.work(root));
+  }
+  EXPECT_NEAR(total, static_cast<double>(dag.total_work()), 1e-9);
+}
+
+}  // namespace
+}  // namespace fhs

@@ -1,0 +1,200 @@
+#include "graph/analysis.hh"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "support/rng.hh"
+
+namespace fhs {
+namespace {
+
+// Two types.  r(t0) -> a(t1, w=4), r -> b(t0, w=2); a -> c(t1, w=6),
+// b -> c (c has two parents).
+KDag two_type_graph() {
+  KDagBuilder builder(2);
+  const TaskId r = builder.add_task(0, 1);
+  const TaskId a = builder.add_task(1, 4);
+  const TaskId b = builder.add_task(0, 2);
+  const TaskId c = builder.add_task(1, 6);
+  builder.add_edge(r, a);
+  builder.add_edge(r, b);
+  builder.add_edge(a, c);
+  builder.add_edge(b, c);
+  return std::move(builder).build();
+}
+
+TEST(TypedDescendants, LeafIsZero) {
+  const KDag dag = two_type_graph();
+  const auto d = typed_descendant_values(dag);
+  EXPECT_EQ(d[3 * 2 + 0], 0.0);
+  EXPECT_EQ(d[3 * 2 + 1], 0.0);
+}
+
+TEST(TypedDescendants, HandComputed) {
+  const KDag dag = two_type_graph();
+  const auto d = typed_descendant_values(dag);
+  // c: leaf -> (0, 0).  a: child c (pr=2): d(a) = (d(c)+w_t1(c))/2 = (0+6)/2
+  // on type1.  b: same.  r: children a (pr=1), b (pr=1):
+  //   type0: (d0(a) + 0) + (d0(b) + 2) = 0 + 2 = 2
+  //   type1: (d1(a) + 4) + (d1(b) + 0) = (3+4) + 3 = 10
+  EXPECT_DOUBLE_EQ(d[1 * 2 + 1], 3.0);  // a, type 1
+  EXPECT_DOUBLE_EQ(d[1 * 2 + 0], 0.0);
+  EXPECT_DOUBLE_EQ(d[2 * 2 + 1], 3.0);  // b, type 1
+  EXPECT_DOUBLE_EQ(d[0 * 2 + 0], 2.0);  // r, type 0
+  EXPECT_DOUBLE_EQ(d[0 * 2 + 1], 10.0);  // r, type 1
+}
+
+TEST(TypedDescendants, SumOverTypesEqualsUntyped) {
+  Rng rng(777);
+  KDagBuilder builder(3);
+  std::vector<TaskId> tasks;
+  for (int i = 0; i < 80; ++i) {
+    tasks.push_back(builder.add_task(static_cast<ResourceType>(rng.uniform_below(3)),
+                                     rng.uniform_int(1, 10)));
+    for (int j = 0; j < i; ++j) {
+      if (rng.bernoulli(0.06)) builder.add_edge(tasks[j], tasks[i]);
+    }
+  }
+  const KDag dag = std::move(builder).build();
+  const auto typed = typed_descendant_values(dag);
+  const auto untyped = untyped_descendant_values(dag);
+  for (TaskId v = 0; v < dag.task_count(); ++v) {
+    double sum = 0.0;
+    for (ResourceType a = 0; a < 3; ++a) sum += typed[v * 3 + a];
+    EXPECT_NEAR(sum, untyped[v], 1e-9) << "task " << v;
+  }
+}
+
+TEST(TypedDescendants, ChainAccumulatesFullWork) {
+  // Chain of single-parent tasks: descendant value = total downstream work.
+  KDagBuilder builder(2);
+  const TaskId a = builder.add_task(0, 1);
+  const TaskId b = builder.add_task(1, 5);
+  const TaskId c = builder.add_task(0, 3);
+  builder.add_edge(a, b);
+  builder.add_edge(b, c);
+  const KDag dag = std::move(builder).build();
+  const auto d = typed_descendant_values(dag);
+  EXPECT_DOUBLE_EQ(d[a * 2 + 0], 3.0);
+  EXPECT_DOUBLE_EQ(d[a * 2 + 1], 5.0);
+  EXPECT_DOUBLE_EQ(d[b * 2 + 0], 3.0);
+  EXPECT_DOUBLE_EQ(d[b * 2 + 1], 0.0);
+}
+
+TEST(OneStepDescendants, OnlyImmediateChildren) {
+  const KDag dag = two_type_graph();
+  const auto d = one_step_typed_descendant_values(dag);
+  // r: children a (w=4, t1, pr=1), b (w=2, t0, pr=1).
+  EXPECT_DOUBLE_EQ(d[0 * 2 + 0], 2.0);
+  EXPECT_DOUBLE_EQ(d[0 * 2 + 1], 4.0);
+  // a: child c (w=6, t1, pr=2) -> 3 on t1; grandchildren ignored.
+  EXPECT_DOUBLE_EQ(d[1 * 2 + 1], 3.0);
+  EXPECT_DOUBLE_EQ(d[1 * 2 + 0], 0.0);
+}
+
+TEST(OneStepDescendants, EqualsFullOnDepthOneGraphs) {
+  KDagBuilder builder(2);
+  const TaskId root = builder.add_task(0, 1);
+  for (int i = 0; i < 5; ++i) {
+    const TaskId leaf = builder.add_task(1, 2);
+    builder.add_edge(root, leaf);
+  }
+  const KDag dag = std::move(builder).build();
+  const auto full = typed_descendant_values(dag);
+  const auto one = one_step_typed_descendant_values(dag);
+  EXPECT_EQ(full, one);
+}
+
+TEST(DifferentChildDistance, HandComputed) {
+  // t0 -> t0 -> t1: distances 2, 1; t1 leaf has none.
+  KDagBuilder builder(2);
+  const TaskId a = builder.add_task(0, 1);
+  const TaskId b = builder.add_task(0, 1);
+  const TaskId c = builder.add_task(1, 1);
+  builder.add_edge(a, b);
+  builder.add_edge(b, c);
+  const KDag dag = std::move(builder).build();
+  const auto dist = different_child_distance(dag);
+  EXPECT_EQ(dist[a], 2u);
+  EXPECT_EQ(dist[b], 1u);
+  EXPECT_EQ(dist[c], kNoDifferentDescendant);
+}
+
+TEST(DifferentChildDistance, PicksShortestPath) {
+  // a(t0) -> b(t1) distance 1, even though a -> c(t0) -> d(t1) also exists.
+  KDagBuilder builder(2);
+  const TaskId a = builder.add_task(0, 1);
+  const TaskId b = builder.add_task(1, 1);
+  const TaskId c = builder.add_task(0, 1);
+  const TaskId d = builder.add_task(1, 1);
+  builder.add_edge(a, b);
+  builder.add_edge(a, c);
+  builder.add_edge(c, d);
+  const auto dist = different_child_distance(std::move(builder).build());
+  EXPECT_EQ(dist[a], 1u);
+  EXPECT_EQ(dist[c], 1u);
+}
+
+TEST(DifferentChildDistance, SameTypeEverywhereHasNone) {
+  KDagBuilder builder(2);
+  const TaskId a = builder.add_task(0, 1);
+  const TaskId b = builder.add_task(0, 1);
+  builder.add_edge(a, b);
+  const auto dist = different_child_distance(std::move(builder).build());
+  EXPECT_EQ(dist[a], kNoDifferentDescendant);
+  EXPECT_EQ(dist[b], kNoDifferentDescendant);
+}
+
+TEST(DueDates, CriticalPathTasksHaveZeroSlack) {
+  // Chain a(2) -> b(3); side task c(1).  Span 5.
+  KDagBuilder builder(1);
+  const TaskId a = builder.add_task(0, 2);
+  const TaskId b = builder.add_task(0, 3);
+  const TaskId c = builder.add_task(0, 1);
+  builder.add_edge(a, b);
+  const KDag dag = std::move(builder).build();
+  const auto due = due_dates(dag);
+  EXPECT_EQ(due[a], 0);  // must start immediately
+  EXPECT_EQ(due[b], 2);
+  EXPECT_EQ(due[c], 4);  // may start as late as span - work
+}
+
+TEST(JobAnalysis, BundlesAllQuantities) {
+  const KDag dag = two_type_graph();
+  const JobAnalysis analysis(dag);
+  EXPECT_EQ(&analysis.dag(), &dag);
+  EXPECT_EQ(analysis.num_types(), 2u);
+  EXPECT_EQ(analysis.job_span(), 11);  // r(1) + a(4) + c(6)
+  EXPECT_DOUBLE_EQ(analysis.descendant(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(analysis.untyped_descendant(0), 12.0);
+  EXPECT_EQ(analysis.remaining_span_of(0), 11);
+  EXPECT_EQ(analysis.due_date(0), 0);
+  EXPECT_EQ(analysis.different_child_distance_of(0), 1u);
+  const auto row = analysis.descendant_row(0);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_DOUBLE_EQ(row[0], 2.0);
+  EXPECT_DOUBLE_EQ(row[1], 10.0);
+}
+
+TEST(JobAnalysis, DueDatesNonNegativeAndBoundedBySpan) {
+  Rng rng(31337);
+  KDagBuilder builder(4);
+  std::vector<TaskId> tasks;
+  for (int i = 0; i < 120; ++i) {
+    tasks.push_back(builder.add_task(static_cast<ResourceType>(rng.uniform_below(4)),
+                                     rng.uniform_int(1, 8)));
+    for (int j = std::max(0, i - 12); j < i; ++j) {
+      if (rng.bernoulli(0.1)) builder.add_edge(tasks[j], tasks[i]);
+    }
+  }
+  const KDag dag = std::move(builder).build();
+  const JobAnalysis analysis(dag);
+  for (TaskId v = 0; v < dag.task_count(); ++v) {
+    EXPECT_GE(analysis.due_date(v), 0);
+    EXPECT_LE(analysis.due_date(v), analysis.job_span() - dag.work(v));
+  }
+}
+
+}  // namespace
+}  // namespace fhs

@@ -1,0 +1,95 @@
+#include "metrics/bounds.hh"
+
+#include <gtest/gtest.h>
+
+#include "graph/kdag_algorithms.hh"
+#include "support/rng.hh"
+#include "workload/workload.hh"
+
+namespace fhs {
+namespace {
+
+KDag wide_job() {
+  // 10 independent type-0 tasks of work 3 => T1 = 30, span = 3.
+  KDagBuilder b(1);
+  for (int i = 0; i < 10; ++i) (void)b.add_task(0, 3);
+  return std::move(b).build();
+}
+
+TEST(LowerBound, WorkBoundDominatesOnWideJobs) {
+  const KDag dag = wide_job();
+  EXPECT_EQ(completion_time_lower_bound(dag, Cluster({2})), 15);
+  EXPECT_DOUBLE_EQ(fractional_lower_bound(dag, Cluster({2})), 15.0);
+}
+
+TEST(LowerBound, SpanBoundDominatesOnChains) {
+  KDagBuilder b(1);
+  const TaskId a = b.add_task(0, 5);
+  const TaskId c = b.add_task(0, 5);
+  b.add_edge(a, c);
+  const KDag dag = std::move(b).build();
+  EXPECT_EQ(completion_time_lower_bound(dag, Cluster({8})), 10);
+}
+
+TEST(LowerBound, CeilRounding) {
+  // T1 = 10 over 3 processors: fractional 3.33, integer 4.
+  KDagBuilder b(1);
+  for (int i = 0; i < 10; ++i) (void)b.add_task(0, 1);
+  const KDag dag = std::move(b).build();
+  EXPECT_EQ(completion_time_lower_bound(dag, Cluster({3})), 4);
+  EXPECT_NEAR(fractional_lower_bound(dag, Cluster({3})), 10.0 / 3.0, 1e-12);
+}
+
+TEST(LowerBound, PerTypeBoundsConsidered) {
+  // Type 1 is the bottleneck: 20 work on 1 processor.
+  KDagBuilder b(2);
+  for (int i = 0; i < 4; ++i) (void)b.add_task(0, 1);
+  for (int i = 0; i < 4; ++i) (void)b.add_task(1, 5);
+  const KDag dag = std::move(b).build();
+  EXPECT_EQ(completion_time_lower_bound(dag, Cluster({4, 1})), 20);
+}
+
+TEST(LowerBound, TooFewClusterTypesThrows) {
+  const KDag dag = wide_job();
+  KDagBuilder b(2);
+  (void)b.add_task(1, 1);
+  const KDag two_types = std::move(b).build();
+  EXPECT_THROW((void)completion_time_lower_bound(two_types, Cluster({1})),
+               std::invalid_argument);
+}
+
+TEST(CompletionTimeRatio, OptimalGivesOne) {
+  const KDag dag = wide_job();
+  EXPECT_DOUBLE_EQ(completion_time_ratio(15, dag, Cluster({2})), 1.0);
+}
+
+TEST(CompletionTimeRatio, ScalesLinearly) {
+  const KDag dag = wide_job();
+  EXPECT_DOUBLE_EQ(completion_time_ratio(30, dag, Cluster({2})), 2.0);
+}
+
+TEST(WorkPerProcessor, PerTypeValues) {
+  KDagBuilder b(2);
+  (void)b.add_task(0, 6);
+  (void)b.add_task(1, 9);
+  const KDag dag = std::move(b).build();
+  const Cluster cluster({2, 3});
+  EXPECT_DOUBLE_EQ(work_per_processor(dag, cluster, 0), 3.0);
+  EXPECT_DOUBLE_EQ(work_per_processor(dag, cluster, 1), 3.0);
+  EXPECT_THROW((void)work_per_processor(dag, cluster, 2), std::out_of_range);
+}
+
+TEST(LowerBound, NeverExceedsSerialTime) {
+  Rng rng(404);
+  for (int i = 0; i < 20; ++i) {
+    IrParams params;
+    const KDag dag = generate_ir(params, rng);
+    const Cluster cluster = sample_uniform_cluster(4, 1, 6, rng);
+    EXPECT_LE(fractional_lower_bound(dag, cluster),
+              static_cast<double>(dag.total_work()));
+    EXPECT_GE(fractional_lower_bound(dag, cluster), static_cast<double>(span(dag)) - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace fhs

@@ -1,0 +1,142 @@
+#include "support/cli.hh"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace fhs {
+namespace {
+
+CliFlags standard_flags() {
+  CliFlags flags;
+  flags.define_int("count", 10, "a count");
+  flags.define_double("ratio", 1.5, "a ratio");
+  flags.define_bool("verbose", false, "a switch");
+  flags.define("name", "default", "a string");
+  return flags;
+}
+
+bool parse(CliFlags& flags, std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return flags.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, DefaultsWhenUnset) {
+  CliFlags flags = standard_flags();
+  ASSERT_TRUE(parse(flags, {}));
+  EXPECT_EQ(flags.get_int("count"), 10);
+  EXPECT_DOUBLE_EQ(flags.get_double("ratio"), 1.5);
+  EXPECT_FALSE(flags.get_bool("verbose"));
+  EXPECT_EQ(flags.get_string("name"), "default");
+}
+
+TEST(Cli, EqualsSyntax) {
+  CliFlags flags = standard_flags();
+  ASSERT_TRUE(parse(flags, {"--count=42", "--ratio=0.25", "--name=abc"}));
+  EXPECT_EQ(flags.get_int("count"), 42);
+  EXPECT_DOUBLE_EQ(flags.get_double("ratio"), 0.25);
+  EXPECT_EQ(flags.get_string("name"), "abc");
+}
+
+TEST(Cli, SpaceSyntax) {
+  CliFlags flags = standard_flags();
+  ASSERT_TRUE(parse(flags, {"--count", "7", "--name", "xyz"}));
+  EXPECT_EQ(flags.get_int("count"), 7);
+  EXPECT_EQ(flags.get_string("name"), "xyz");
+}
+
+TEST(Cli, BareBooleanSetsTrue) {
+  CliFlags flags = standard_flags();
+  ASSERT_TRUE(parse(flags, {"--verbose"}));
+  EXPECT_TRUE(flags.get_bool("verbose"));
+}
+
+TEST(Cli, NoPrefixSetsFalse) {
+  CliFlags flags;
+  flags.define_bool("feature", true, "on by default");
+  ASSERT_TRUE(parse(flags, {"--no-feature"}));
+  EXPECT_FALSE(flags.get_bool("feature"));
+}
+
+TEST(Cli, BooleanExplicitValues) {
+  CliFlags flags = standard_flags();
+  ASSERT_TRUE(parse(flags, {"--verbose=true"}));
+  EXPECT_TRUE(flags.get_bool("verbose"));
+  CliFlags flags2 = standard_flags();
+  ASSERT_TRUE(parse(flags2, {"--verbose=off"}));
+  EXPECT_FALSE(flags2.get_bool("verbose"));
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  CliFlags flags = standard_flags();
+  EXPECT_THROW(parse(flags, {"--bogus=1"}), std::invalid_argument);
+}
+
+TEST(Cli, MalformedIntThrows) {
+  CliFlags flags = standard_flags();
+  EXPECT_THROW(parse(flags, {"--count=abc"}), std::invalid_argument);
+  CliFlags flags2 = standard_flags();
+  EXPECT_THROW(parse(flags2, {"--count=12x"}), std::invalid_argument);
+}
+
+TEST(Cli, MalformedDoubleThrows) {
+  CliFlags flags = standard_flags();
+  EXPECT_THROW(parse(flags, {"--ratio=zz"}), std::invalid_argument);
+}
+
+TEST(Cli, MalformedBoolThrows) {
+  CliFlags flags = standard_flags();
+  EXPECT_THROW(parse(flags, {"--verbose=maybe"}), std::invalid_argument);
+}
+
+TEST(Cli, MissingValueThrows) {
+  CliFlags flags = standard_flags();
+  EXPECT_THROW(parse(flags, {"--count"}), std::invalid_argument);
+}
+
+TEST(Cli, PositionalCollected) {
+  CliFlags flags = standard_flags();
+  ASSERT_TRUE(parse(flags, {"input.txt", "--count=1", "more"}));
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.txt");
+  EXPECT_EQ(flags.positional()[1], "more");
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliFlags flags = standard_flags();
+  testing::internal::CaptureStdout();
+  EXPECT_FALSE(parse(flags, {"--help"}));
+  const std::string usage = testing::internal::GetCapturedStdout();
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("a ratio"), std::string::npos);
+}
+
+TEST(Cli, WrongTypeAccessThrows) {
+  CliFlags flags = standard_flags();
+  ASSERT_TRUE(parse(flags, {}));
+  EXPECT_THROW((void)flags.get_int("name"), std::logic_error);
+  EXPECT_THROW((void)flags.get_string("count"), std::logic_error);
+}
+
+TEST(Cli, UndefinedAccessThrows) {
+  CliFlags flags = standard_flags();
+  ASSERT_TRUE(parse(flags, {}));
+  EXPECT_THROW((void)flags.get_int("never-defined"), std::logic_error);
+}
+
+TEST(Cli, BadFlagNameRejectedAtDefinition) {
+  CliFlags flags;
+  EXPECT_THROW(flags.define("", "x", "bad"), std::invalid_argument);
+  EXPECT_THROW(flags.define("-dash", "x", "bad"), std::invalid_argument);
+}
+
+TEST(Cli, NegativeNumbersParse) {
+  CliFlags flags = standard_flags();
+  ASSERT_TRUE(parse(flags, {"--count=-5", "--ratio=-2.5"}));
+  EXPECT_EQ(flags.get_int("count"), -5);
+  EXPECT_DOUBLE_EQ(flags.get_double("ratio"), -2.5);
+}
+
+}  // namespace
+}  // namespace fhs

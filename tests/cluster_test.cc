@@ -1,0 +1,109 @@
+#include "machine/cluster.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hh"
+
+namespace fhs {
+namespace {
+
+TEST(Cluster, BasicCounts) {
+  const Cluster c({2, 3, 1});
+  EXPECT_EQ(c.num_types(), 3u);
+  EXPECT_EQ(c.processors(0), 2u);
+  EXPECT_EQ(c.processors(1), 3u);
+  EXPECT_EQ(c.processors(2), 1u);
+  EXPECT_EQ(c.total_processors(), 6u);
+  EXPECT_EQ(c.max_processors(), 3u);
+}
+
+TEST(Cluster, Offsets) {
+  const Cluster c({2, 3, 1});
+  EXPECT_EQ(c.offset(0), 0u);
+  EXPECT_EQ(c.offset(1), 2u);
+  EXPECT_EQ(c.offset(2), 5u);
+}
+
+TEST(Cluster, TypeOfProcessor) {
+  const Cluster c({2, 3, 1});
+  EXPECT_EQ(c.type_of_processor(0), 0u);
+  EXPECT_EQ(c.type_of_processor(1), 0u);
+  EXPECT_EQ(c.type_of_processor(2), 1u);
+  EXPECT_EQ(c.type_of_processor(4), 1u);
+  EXPECT_EQ(c.type_of_processor(5), 2u);
+  EXPECT_THROW((void)c.type_of_processor(6), std::out_of_range);
+}
+
+TEST(Cluster, RejectsEmptyAndZero) {
+  EXPECT_THROW(Cluster({}), std::invalid_argument);
+  EXPECT_THROW(Cluster({3, 0}), std::invalid_argument);
+}
+
+TEST(Cluster, RejectsTooManyTypes) {
+  std::vector<std::uint32_t> per_type(kMaxResourceTypes + 1, 1);
+  EXPECT_THROW((void)Cluster{per_type}, std::invalid_argument);
+}
+
+TEST(Cluster, ScaledTypeRoundsUpAndFloorsAtOne) {
+  const Cluster c({10, 4, 1});
+  const Cluster fifth = c.with_scaled_type(0, 0.2);
+  EXPECT_EQ(fifth.processors(0), 2u);
+  EXPECT_EQ(fifth.processors(1), 4u);
+  const Cluster tiny = c.with_scaled_type(2, 0.2);
+  EXPECT_EQ(tiny.processors(2), 1u);  // never below 1
+  const Cluster ceil = c.with_scaled_type(1, 0.3);
+  EXPECT_EQ(ceil.processors(1), 2u);  // ceil(1.2)
+}
+
+TEST(Cluster, ScaledTypeValidation) {
+  const Cluster c({2, 2});
+  EXPECT_THROW((void)c.with_scaled_type(5, 0.5), std::out_of_range);
+  EXPECT_THROW((void)c.with_scaled_type(0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)c.with_scaled_type(0, -1.0), std::invalid_argument);
+}
+
+TEST(Cluster, DescribeMentionsEverything) {
+  const Cluster c({2, 5});
+  const std::string text = c.describe();
+  EXPECT_NE(text.find("K=2"), std::string::npos);
+  EXPECT_NE(text.find("[2,5]"), std::string::npos);
+}
+
+TEST(SampleUniformCluster, WithinBounds) {
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) {
+    const Cluster c = sample_uniform_cluster(4, 10, 20, rng);
+    EXPECT_EQ(c.num_types(), 4u);
+    for (ResourceType a = 0; a < 4; ++a) {
+      EXPECT_GE(c.processors(a), 10u);
+      EXPECT_LE(c.processors(a), 20u);
+    }
+  }
+}
+
+TEST(SampleUniformCluster, DegenerateRange) {
+  Rng rng(10);
+  const Cluster c = sample_uniform_cluster(3, 5, 5, rng);
+  for (ResourceType a = 0; a < 3; ++a) EXPECT_EQ(c.processors(a), 5u);
+}
+
+TEST(SampleUniformCluster, RejectsBadRange) {
+  Rng rng(10);
+  EXPECT_THROW((void)sample_uniform_cluster(2, 0, 5, rng), std::invalid_argument);
+  EXPECT_THROW((void)sample_uniform_cluster(2, 6, 5, rng), std::invalid_argument);
+}
+
+TEST(SampleUniformCluster, Deterministic) {
+  Rng a(1234);
+  Rng b(1234);
+  for (int i = 0; i < 10; ++i) {
+    const Cluster ca = sample_uniform_cluster(4, 1, 5, a);
+    const Cluster cb = sample_uniform_cluster(4, 1, 5, b);
+    for (ResourceType t = 0; t < 4; ++t) {
+      EXPECT_EQ(ca.processors(t), cb.processors(t));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fhs

@@ -1,0 +1,65 @@
+#include "exp/configs.hh"
+
+#include <gtest/gtest.h>
+
+namespace fhs {
+namespace {
+
+TEST(Configs, SmallClusterRange) {
+  const ClusterParams params = small_cluster();
+  EXPECT_EQ(params.num_types, 4u);
+  EXPECT_EQ(params.min_processors, 1u);
+  EXPECT_EQ(params.max_processors, 5u);
+  EXPECT_FALSE(params.skew_type.has_value());
+}
+
+TEST(Configs, MediumClusterRange) {
+  const ClusterParams params = medium_cluster(6);
+  EXPECT_EQ(params.num_types, 6u);
+  EXPECT_EQ(params.min_processors, 10u);
+  EXPECT_EQ(params.max_processors, 20u);
+}
+
+TEST(Configs, Fig4PanelsMatchPaperLayout) {
+  const auto panels = fig4_panels();
+  ASSERT_EQ(panels.size(), 6u);
+  EXPECT_EQ(panels[0].name, "small random EP");
+  EXPECT_EQ(panels[1].name, "medium random tree");
+  EXPECT_EQ(panels[2].name, "medium random IR");
+  EXPECT_EQ(panels[3].name, "small layered EP");
+  EXPECT_EQ(panels[4].name, "medium layered tree");
+  EXPECT_EQ(panels[5].name, "medium layered IR");
+  // Panels (a) and (d) run small systems, the rest medium.
+  EXPECT_EQ(panels[0].cluster.max_processors, 5u);
+  EXPECT_EQ(panels[1].cluster.max_processors, 20u);
+  EXPECT_EQ(panels[3].cluster.max_processors, 5u);
+}
+
+TEST(Configs, LayeredPanels) {
+  const auto panels = layered_panels(3);
+  ASSERT_EQ(panels.size(), 3u);
+  for (const auto& panel : panels) {
+    EXPECT_EQ(workload_num_types(panel.workload), 3u);
+    EXPECT_NE(panel.name.find("layered"), std::string::npos);
+  }
+}
+
+TEST(Configs, Fig6PanelsAreSkewed) {
+  const auto panels = fig6_panels();
+  ASSERT_EQ(panels.size(), 2u);
+  for (const auto& panel : panels) {
+    ASSERT_TRUE(panel.cluster.skew_type.has_value());
+    EXPECT_EQ(*panel.cluster.skew_type, 0u);
+    EXPECT_DOUBLE_EQ(panel.cluster.skew_factor, 0.2);
+  }
+}
+
+TEST(Configs, WorkloadFactoriesSetAssignment) {
+  const WorkloadParams random_tree = tree_workload(TypeAssignment::kRandom);
+  EXPECT_EQ(workload_name(random_tree), "random tree");
+  const WorkloadParams layered_ep = ep_workload(TypeAssignment::kLayered, 5);
+  EXPECT_EQ(workload_num_types(layered_ep), 5u);
+}
+
+}  // namespace
+}  // namespace fhs

@@ -1,0 +1,36 @@
+#include "graph/dot.hh"
+
+#include <gtest/gtest.h>
+
+namespace fhs {
+namespace {
+
+KDag tiny() {
+  KDagBuilder b(2);
+  const TaskId x = b.add_task(0, 3);
+  const TaskId y = b.add_task(1, 4);
+  b.add_edge(x, y);
+  return std::move(b).build();
+}
+
+TEST(Dot, ContainsDigraphHeader) {
+  const std::string text = to_dot(tiny(), "myjob");
+  EXPECT_EQ(text.find("digraph myjob {"), 0u);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(Dot, ContainsAllNodesAndEdges) {
+  const std::string text = to_dot(tiny());
+  EXPECT_NE(text.find("t0 [label=\"t0\\na0 w3\""), std::string::npos);
+  EXPECT_NE(text.find("t1 [label=\"t1\\na1 w4\""), std::string::npos);
+  EXPECT_NE(text.find("t0 -> t1;"), std::string::npos);
+}
+
+TEST(Dot, TypesGetDistinctColors) {
+  const std::string text = to_dot(tiny());
+  EXPECT_NE(text.find("lightblue"), std::string::npos);
+  EXPECT_NE(text.find("lightsalmon"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fhs

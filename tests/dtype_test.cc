@@ -1,0 +1,102 @@
+#include "sched/dtype.hh"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hh"
+#include "support/rng.hh"
+#include "workload/workload.hh"
+
+namespace fhs {
+namespace {
+
+TEST(DType, Name) {
+  DTypeScheduler sched;
+  EXPECT_EQ(sched.name(), "DType");
+}
+
+TEST(DType, PrefersSmallerDifferentChildDistance) {
+  // b -> (type 1 child) at distance 1; a -> (type 0) -> (type 1) distance 2.
+  KDagBuilder builder(2);
+  const TaskId a = builder.add_task(0, 1);
+  const TaskId a_mid = builder.add_task(0, 1);
+  const TaskId a_far = builder.add_task(1, 1);
+  builder.add_edge(a, a_mid);
+  builder.add_edge(a_mid, a_far);
+  const TaskId b = builder.add_task(0, 1);
+  const TaskId b_near = builder.add_task(1, 1);
+  builder.add_edge(b, b_near);
+  const KDag dag = std::move(builder).build();
+  DTypeScheduler sched;
+  ExecutionTrace trace;
+  SimOptions options;
+  options.record_trace = true;
+  (void)simulate(dag, Cluster({1, 1}), sched, options, &trace);
+  // b (distance 1) must run before a (distance 2).
+  Time start_a = 0;
+  Time start_b = 0;
+  for (const auto& seg : trace.segments()) {
+    if (seg.task == a) start_a = seg.start;
+    if (seg.task == b) start_b = seg.start;
+  }
+  EXPECT_LT(start_b, start_a);
+}
+
+TEST(DType, TasksWithoutDifferentDescendantsRunLast) {
+  KDagBuilder builder(2);
+  const TaskId plain = builder.add_task(0, 1);     // no children at all
+  const TaskId unlocker = builder.add_task(0, 1);  // unlocks a type-1 task
+  const TaskId other = builder.add_task(1, 1);
+  builder.add_edge(unlocker, other);
+  const KDag dag = std::move(builder).build();
+  DTypeScheduler sched;
+  ExecutionTrace trace;
+  SimOptions options;
+  options.record_trace = true;
+  (void)simulate(dag, Cluster({1, 1}), sched, options, &trace);
+  Time start_plain = 0;
+  Time start_unlocker = 0;
+  for (const auto& seg : trace.segments()) {
+    if (seg.task == plain) start_plain = seg.start;
+    if (seg.task == unlocker) start_unlocker = seg.start;
+  }
+  EXPECT_LT(start_unlocker, start_plain);
+}
+
+TEST(DType, ImprovesInterleavingOnTwoPhaseJob) {
+  // Branches of type0 -> type1.  DType runs type-0 parents before any
+  // type-0 leaf work, so type-1 processors start earlier than under a
+  // policy that defers parents.
+  KDagBuilder builder(2);
+  for (int i = 0; i < 6; ++i) {
+    const TaskId leaf = builder.add_task(0, 3);
+    (void)leaf;
+  }
+  std::vector<TaskId> parents;
+  for (int i = 0; i < 3; ++i) {
+    const TaskId parent = builder.add_task(0, 3);
+    const TaskId child = builder.add_task(1, 6);
+    builder.add_edge(parent, child);
+    parents.push_back(parent);
+  }
+  const KDag dag = std::move(builder).build();
+  DTypeScheduler dtype;
+  const SimResult result = simulate(dag, Cluster({3, 3}), dtype);
+  // DType: parents (3 ticks), then type-1 work (6) overlapping leaves
+  // (6): T = 9.  A leaf-first schedule would take 12.
+  EXPECT_EQ(result.completion_time, 9);
+}
+
+TEST(DType, ValidOnRandomWorkloads) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    EpParams params;
+    params.num_types = 4;
+    const KDag dag = generate_ep(params, rng);
+    const Cluster cluster = sample_uniform_cluster(4, 1, 5, rng);
+    DTypeScheduler sched;
+    EXPECT_GT(simulate(dag, cluster, sched).completion_time, 0);
+  }
+}
+
+}  // namespace
+}  // namespace fhs

@@ -1,0 +1,318 @@
+#include "sim/engine.hh"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/kdag_algorithms.hh"
+#include "sched/kgreedy.hh"
+#include "sched/registry.hh"
+#include "sim/schedule_checker.hh"
+#include "support/rng.hh"
+#include "workload/workload.hh"
+
+namespace fhs {
+namespace {
+
+KDag chain(ResourceType k, std::initializer_list<std::pair<ResourceType, Work>> tasks) {
+  KDagBuilder b(k);
+  TaskId prev = kInvalidTask;
+  for (const auto& [type, work] : tasks) {
+    const TaskId t = b.add_task(type, work);
+    if (prev != kInvalidTask) b.add_edge(prev, t);
+    prev = t;
+  }
+  return std::move(b).build();
+}
+
+TEST(Engine, SingleTask) {
+  const KDag dag = chain(1, {{0, 7}});
+  KGreedyScheduler sched;
+  const SimResult result = simulate(dag, Cluster({1}), sched);
+  EXPECT_EQ(result.completion_time, 7);
+  EXPECT_EQ(result.busy_ticks_per_type[0], 7);
+}
+
+TEST(Engine, ChainSerializes) {
+  const KDag dag = chain(1, {{0, 2}, {0, 3}, {0, 5}});
+  KGreedyScheduler sched;
+  const SimResult result = simulate(dag, Cluster({4}), sched);
+  EXPECT_EQ(result.completion_time, 10);
+}
+
+TEST(Engine, IndependentTasksRunInParallel) {
+  KDagBuilder b(1);
+  for (int i = 0; i < 4; ++i) (void)b.add_task(0, 5);
+  const KDag dag = std::move(b).build();
+  KGreedyScheduler sched;
+  const SimResult result = simulate(dag, Cluster({4}), sched);
+  EXPECT_EQ(result.completion_time, 5);
+}
+
+TEST(Engine, LimitedProcessorsQueueWork) {
+  KDagBuilder b(1);
+  for (int i = 0; i < 4; ++i) (void)b.add_task(0, 5);
+  const KDag dag = std::move(b).build();
+  KGreedyScheduler sched;
+  const SimResult result = simulate(dag, Cluster({2}), sched);
+  EXPECT_EQ(result.completion_time, 10);
+}
+
+TEST(Engine, HeterogeneousChainAlternates) {
+  // type0(3) -> type1(4) -> type0(2): pure serialization = 9.
+  const KDag dag = chain(2, {{0, 3}, {1, 4}, {0, 2}});
+  KGreedyScheduler sched;
+  const SimResult result = simulate(dag, Cluster({1, 1}), sched);
+  EXPECT_EQ(result.completion_time, 9);
+  EXPECT_EQ(result.busy_ticks_per_type[0], 5);
+  EXPECT_EQ(result.busy_ticks_per_type[1], 4);
+}
+
+TEST(Engine, ClusterWithTooFewTypesRejected) {
+  const KDag dag = chain(3, {{2, 1}});
+  KGreedyScheduler sched;
+  EXPECT_THROW((void)simulate(dag, Cluster({1, 1}), sched), std::invalid_argument);
+}
+
+TEST(Engine, ClusterWithExtraTypesAccepted) {
+  const KDag dag = chain(1, {{0, 4}});
+  KGreedyScheduler sched;
+  const SimResult result = simulate(dag, Cluster({1, 3, 2}), sched);
+  EXPECT_EQ(result.completion_time, 4);
+}
+
+TEST(Engine, UtilizationComputation) {
+  KDagBuilder b(1);
+  (void)b.add_task(0, 4);
+  (void)b.add_task(0, 4);
+  const KDag dag = std::move(b).build();
+  KGreedyScheduler sched;
+  const Cluster cluster({2});
+  const SimResult result = simulate(dag, cluster, sched);
+  EXPECT_EQ(result.completion_time, 4);
+  EXPECT_DOUBLE_EQ(result.utilization(0, cluster), 1.0);
+}
+
+TEST(Engine, TraceMatchesCompletionAndPassesChecker) {
+  Rng rng(5);
+  EpParams params;
+  params.num_types = 3;
+  const KDag dag = generate_ep(params, rng);
+  const Cluster cluster({2, 2, 2});
+  KGreedyScheduler sched;
+  ExecutionTrace trace;
+  SimOptions options;
+  options.record_trace = true;
+  const SimResult result = simulate(dag, cluster, sched, options, &trace);
+  EXPECT_EQ(trace.makespan(), result.completion_time);
+  CheckOptions check;
+  check.require_non_preemptive = true;
+  const auto violations = check_schedule(dag, cluster, trace, check);
+  EXPECT_TRUE(violations.empty()) << violations.front();
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  Rng rng(99);
+  TreeParams params;
+  const KDag dag = generate_tree(params, rng);
+  const Cluster cluster({3, 3, 3, 3});
+  auto sched1 = make_scheduler("mqb");
+  auto sched2 = make_scheduler("mqb");
+  const SimResult r1 = simulate(dag, cluster, *sched1);
+  const SimResult r2 = simulate(dag, cluster, *sched2);
+  EXPECT_EQ(r1.completion_time, r2.completion_time);
+  EXPECT_EQ(r1.busy_ticks_per_type, r2.busy_ticks_per_type);
+}
+
+TEST(Engine, BusyTicksEqualTotalWork) {
+  Rng rng(7);
+  IrParams params;
+  const KDag dag = generate_ir(params, rng);
+  const Cluster cluster({4, 4, 4, 4});
+  KGreedyScheduler sched;
+  const SimResult result = simulate(dag, cluster, sched);
+  for (ResourceType a = 0; a < dag.num_types(); ++a) {
+    EXPECT_EQ(result.busy_ticks_per_type[a], dag.total_work(a));
+  }
+}
+
+TEST(Engine, CompletionAtLeastLowerBoundPieces) {
+  Rng rng(21);
+  EpParams params;
+  const KDag dag = generate_ep(params, rng);
+  const Cluster cluster({1, 2, 3, 4});
+  KGreedyScheduler sched;
+  const SimResult result = simulate(dag, cluster, sched);
+  EXPECT_GE(result.completion_time, span(dag));
+  for (ResourceType a = 0; a < dag.num_types(); ++a) {
+    EXPECT_GE(result.completion_time,
+              dag.total_work(a) / static_cast<Work>(cluster.processors(a)));
+  }
+}
+
+// A deliberately lazy policy: never assigns anything.
+class LazyScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "Lazy"; }
+  void prepare(const KDag&, const Cluster&) override {}
+  void dispatch(DispatchContext&) override {}
+};
+
+TEST(Engine, WorkConservationEnforced) {
+  const KDag dag = chain(1, {{0, 1}});
+  LazyScheduler lazy;
+  EXPECT_THROW((void)simulate(dag, Cluster({1}), lazy), std::logic_error);
+}
+
+// A policy that assigns an out-of-range index.
+class BadIndexScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "BadIndex"; }
+  void prepare(const KDag&, const Cluster&) override {}
+  void dispatch(DispatchContext& ctx) override { ctx.assign(0, 999); }
+};
+
+TEST(Engine, BadAssignmentIndexDetected) {
+  const KDag dag = chain(1, {{0, 1}});
+  BadIndexScheduler bad;
+  EXPECT_THROW((void)simulate(dag, Cluster({1}), bad), std::logic_error);
+}
+
+// --- equivalence with a literal quantum-stepping simulator -----------------
+//
+// The paper's simulator steps one tick at a time; ours jumps between
+// completions.  For FIFO dispatch the two must produce identical
+// completion times.  This reference implementation is intentionally
+// simple and slow.
+Time quantum_stepping_fifo(const KDag& dag, const Cluster& cluster) {
+  const std::size_t n = dag.task_count();
+  std::vector<std::uint32_t> waiting(n);
+  std::vector<Work> remaining(n);
+  for (TaskId v = 0; v < n; ++v) {
+    waiting[v] = static_cast<std::uint32_t>(dag.parent_count(v));
+    remaining[v] = dag.work(v);
+  }
+  std::vector<std::vector<TaskId>> queues(dag.num_types());
+  for (TaskId v : dag.roots()) queues[dag.type(v)].push_back(v);
+  // Per-processor occupancy, mirroring the engine's tie-breaks exactly:
+  // dispatch fills the smallest free processor id of the matching type,
+  // and same-tick completions are processed in ascending processor id.
+  const std::uint32_t total = cluster.total_processors();
+  std::vector<TaskId> on_proc(total, kInvalidTask);
+  std::size_t done = 0;
+  Time now = 0;
+  while (done < n) {
+    // Dispatch FIFO onto the smallest free processors.
+    for (ResourceType a = 0; a < dag.num_types(); ++a) {
+      for (std::uint32_t p = cluster.offset(a);
+           p < cluster.offset(a) + cluster.processors(a) && !queues[a].empty(); ++p) {
+        if (on_proc[p] != kInvalidTask) continue;
+        on_proc[p] = queues[a].front();
+        queues[a].erase(queues[a].begin());
+      }
+    }
+    // One tick; completions in processor order.
+    ++now;
+    for (std::uint32_t p = 0; p < total; ++p) {
+      const TaskId v = on_proc[p];
+      if (v == kInvalidTask) continue;
+      if (--remaining[v] == 0) {
+        on_proc[p] = kInvalidTask;
+        ++done;
+        for (TaskId child : dag.children(v)) {
+          if (--waiting[child] == 0) queues[dag.type(child)].push_back(child);
+        }
+      }
+    }
+  }
+  return now;
+}
+
+TEST(Engine, MatchesQuantumSteppingReferenceOnRandomJobs) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    EpParams ep;
+    ep.num_types = 3;
+    ep.min_branches = 4;
+    ep.max_branches = 8;
+    const KDag dag = generate_ep(ep, rng);
+    const Cluster cluster = sample_uniform_cluster(3, 1, 4, rng);
+    KGreedyScheduler sched;
+    const SimResult result = simulate(dag, cluster, sched);
+    EXPECT_EQ(result.completion_time, quantum_stepping_fifo(dag, cluster))
+        << "seed " << seed;
+  }
+}
+
+TEST(Engine, MatchesQuantumSteppingReferenceOnIrJobs) {
+  for (std::uint64_t seed = 100; seed < 110; ++seed) {
+    Rng rng(seed);
+    IrParams ir;
+    ir.num_types = 2;
+    ir.min_maps = 6;
+    ir.max_maps = 12;
+    const KDag dag = generate_ir(ir, rng);
+    const Cluster cluster = sample_uniform_cluster(2, 1, 3, rng);
+    KGreedyScheduler sched;
+    const SimResult result = simulate(dag, cluster, sched);
+    EXPECT_EQ(result.completion_time, quantum_stepping_fifo(dag, cluster))
+        << "seed " << seed;
+  }
+}
+
+// --- preemptive mode --------------------------------------------------------
+
+TEST(Engine, PreemptiveTraceIsValid) {
+  Rng rng(17);
+  TreeParams params;
+  params.num_types = 3;
+  params.max_tasks = 200;
+  const KDag dag = generate_tree(params, rng);
+  const Cluster cluster({2, 2, 2});
+  auto sched = make_scheduler("lspan");
+  ExecutionTrace trace;
+  SimOptions options;
+  options.mode = ExecutionMode::kPreemptive;
+  options.record_trace = true;
+  const SimResult result = simulate(dag, cluster, *sched, options, &trace);
+  EXPECT_EQ(trace.makespan(), result.completion_time);
+  const auto violations = check_schedule(dag, cluster, trace);
+  EXPECT_TRUE(violations.empty()) << violations.front();
+}
+
+TEST(Engine, PreemptiveFifoMatchesNonPreemptiveFifo) {
+  // Under pure FIFO, preemption never changes a decision: the recalled
+  // tasks are the oldest and are immediately re-dispatched.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    EpParams ep;
+    ep.num_types = 2;
+    const KDag dag = generate_ep(ep, rng);
+    const Cluster cluster = sample_uniform_cluster(2, 1, 4, rng);
+    KGreedyScheduler sched;
+    SimOptions preemptive;
+    preemptive.mode = ExecutionMode::kPreemptive;
+    const Time t_np = simulate(dag, cluster, sched).completion_time;
+    const Time t_p = simulate(dag, cluster, sched, preemptive).completion_time;
+    EXPECT_EQ(t_np, t_p) << "seed " << seed;
+  }
+}
+
+TEST(Engine, PreemptionCounterZeroWhenNonPreemptive) {
+  Rng rng(3);
+  TreeParams params;
+  const KDag dag = generate_tree(params, rng);
+  KGreedyScheduler sched;
+  const SimResult result = simulate(dag, Cluster({2, 2, 2, 2}), sched);
+  EXPECT_EQ(result.preemptions, 0u);
+}
+
+TEST(Engine, DecisionPointsCounted) {
+  const KDag dag = chain(1, {{0, 1}, {0, 1}});
+  KGreedyScheduler sched;
+  const SimResult result = simulate(dag, Cluster({1}), sched);
+  EXPECT_GE(result.decision_points, 2u);
+}
+
+}  // namespace
+}  // namespace fhs

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+
+#include "graph/kdag_algorithms.hh"
+#include "support/rng.hh"
+#include "workload/workload.hh"
+
+namespace fhs {
+namespace {
+
+TEST(EpGenerator, StructureIsDisjointChains) {
+  Rng rng(1);
+  EpParams params;
+  const KDag dag = generate_ep(params, rng);
+  // Every task has at most one parent and one child.
+  for (TaskId v = 0; v < dag.task_count(); ++v) {
+    EXPECT_LE(dag.parent_count(v), 1u);
+    EXPECT_LE(dag.child_count(v), 1u);
+  }
+}
+
+TEST(EpGenerator, BranchCountWithinRange) {
+  Rng rng(2);
+  EpParams params;
+  params.min_branches = 3;
+  params.max_branches = 6;
+  for (int i = 0; i < 20; ++i) {
+    const KDag dag = generate_ep(params, rng);
+    const std::size_t branches = dag.roots().size();
+    EXPECT_GE(branches, 3u);
+    EXPECT_LE(branches, 6u);
+  }
+}
+
+TEST(EpGenerator, BranchLengthWithinRange) {
+  Rng rng(3);
+  EpParams params;
+  params.min_branch_length = 5;
+  params.max_branch_length = 7;
+  const KDag dag = generate_ep(params, rng);
+  // Follow each root's chain.
+  for (TaskId root : dag.roots()) {
+    std::size_t length = 1;
+    TaskId cur = root;
+    while (dag.child_count(cur) == 1) {
+      cur = dag.children(cur)[0];
+      ++length;
+    }
+    EXPECT_GE(length, 5u);
+    EXPECT_LE(length, 7u);
+  }
+}
+
+TEST(EpGenerator, LayeredBranchesAreContiguousPhasesCoveringAllTypes) {
+  Rng rng(4);
+  EpParams params;
+  params.num_types = 3;
+  params.assignment = TypeAssignment::kLayered;
+  const KDag dag = generate_ep(params, rng);
+  for (TaskId root : dag.roots()) {
+    // Walk the chain: types must be non-decreasing 0,...,K-1 with every
+    // phase non-empty.
+    TaskId cur = root;
+    ResourceType current = dag.type(cur);
+    EXPECT_EQ(current, 0u);
+    std::size_t phases_seen = 1;
+    while (dag.child_count(cur) == 1) {
+      cur = dag.children(cur)[0];
+      const ResourceType next = dag.type(cur);
+      ASSERT_TRUE(next == current || next == current + 1)
+          << "type jumped from " << current << " to " << next;
+      if (next == current + 1) ++phases_seen;
+      current = next;
+    }
+    EXPECT_EQ(current, 2u) << "branch must end in the last phase";
+    EXPECT_EQ(phases_seen, 3u);
+  }
+}
+
+TEST(EpGenerator, EqualSplitPhasesDifferByAtMostOne) {
+  Rng rng(14);
+  EpParams params;
+  params.num_types = 4;
+  params.assignment = TypeAssignment::kLayered;
+  const KDag dag = generate_ep(params, rng);
+  for (TaskId root : dag.roots()) {
+    std::array<std::uint32_t, 4> phase_len{};
+    TaskId cur = root;
+    for (;;) {
+      ++phase_len[dag.type(cur)];
+      if (dag.child_count(cur) == 0) break;
+      cur = dag.children(cur)[0];
+    }
+    const auto [lo, hi] = std::minmax_element(phase_len.begin(), phase_len.end());
+    EXPECT_LE(*hi - *lo, 1u) << "root " << root;
+  }
+}
+
+TEST(EpGenerator, RandomCompositionStillCoversAllPhases) {
+  Rng rng(15);
+  EpParams params;
+  params.num_types = 4;
+  params.assignment = TypeAssignment::kLayered;
+  params.phase_split = EpPhaseSplit::kRandomComposition;
+  const KDag dag = generate_ep(params, rng);
+  bool saw_uneven = false;
+  for (TaskId root : dag.roots()) {
+    std::array<std::uint32_t, 4> phase_len{};
+    TaskId cur = root;
+    ResourceType previous = dag.type(cur);
+    EXPECT_EQ(previous, 0u);
+    for (;;) {
+      const ResourceType type = dag.type(cur);
+      ASSERT_TRUE(type == previous || type == previous + 1);
+      previous = type;
+      ++phase_len[type];
+      if (dag.child_count(cur) == 0) break;
+      cur = dag.children(cur)[0];
+    }
+    for (std::uint32_t len : phase_len) EXPECT_GE(len, 1u);
+    const auto [lo, hi] = std::minmax_element(phase_len.begin(), phase_len.end());
+    saw_uneven |= (*hi - *lo) > 1;
+  }
+  EXPECT_TRUE(saw_uneven);  // compositions are not all near-equal
+}
+
+TEST(EpGenerator, LayeredRejectsBranchesShorterThanK) {
+  Rng rng(4);
+  EpParams params;
+  params.num_types = 4;
+  params.assignment = TypeAssignment::kLayered;
+  params.min_branch_length = 2;
+  params.max_branch_length = 3;
+  EXPECT_THROW((void)generate_ep(params, rng), std::invalid_argument);
+}
+
+TEST(EpGenerator, RandomTypesUseAllTypes) {
+  Rng rng(5);
+  EpParams params;
+  params.num_types = 4;
+  params.assignment = TypeAssignment::kRandom;
+  params.min_branches = 20;
+  params.max_branches = 20;
+  const KDag dag = generate_ep(params, rng);
+  for (ResourceType a = 0; a < 4; ++a) {
+    EXPECT_GT(dag.task_count(a), 0u) << "type " << a << " unused";
+  }
+}
+
+TEST(EpGenerator, WorkWithinRange) {
+  Rng rng(6);
+  EpParams params;
+  params.min_work = 3;
+  params.max_work = 5;
+  const KDag dag = generate_ep(params, rng);
+  for (TaskId v = 0; v < dag.task_count(); ++v) {
+    EXPECT_GE(dag.work(v), 3);
+    EXPECT_LE(dag.work(v), 5);
+  }
+}
+
+TEST(EpGenerator, DefaultBranchLengthScalesWithK) {
+  Rng rng(7);
+  EpParams params;
+  params.num_types = 6;
+  const KDag dag = generate_ep(params, rng);
+  for (TaskId root : dag.roots()) {
+    std::size_t length = 1;
+    TaskId cur = root;
+    while (dag.child_count(cur) == 1) {
+      cur = dag.children(cur)[0];
+      ++length;
+    }
+    EXPECT_GE(length, 6u);  // default min = K
+  }
+}
+
+TEST(EpGenerator, SpanEqualsLongestBranch) {
+  Rng rng(8);
+  EpParams params;
+  params.min_work = 1;
+  params.max_work = 1;
+  params.min_branch_length = 4;
+  params.max_branch_length = 9;
+  const KDag dag = generate_ep(params, rng);
+  EXPECT_GE(span(dag), 4);
+  EXPECT_LE(span(dag), 9);
+}
+
+TEST(EpGenerator, Deterministic) {
+  EpParams params;
+  Rng a(99);
+  Rng b(99);
+  const KDag da = generate_ep(params, a);
+  const KDag db = generate_ep(params, b);
+  ASSERT_EQ(da.task_count(), db.task_count());
+  for (TaskId v = 0; v < da.task_count(); ++v) {
+    EXPECT_EQ(da.type(v), db.type(v));
+    EXPECT_EQ(da.work(v), db.work(v));
+  }
+}
+
+TEST(EpGenerator, ValidatesParameters) {
+  Rng rng(1);
+  EpParams bad_branches;
+  bad_branches.min_branches = 5;
+  bad_branches.max_branches = 2;
+  EXPECT_THROW((void)generate_ep(bad_branches, rng), std::invalid_argument);
+
+  EpParams zero_branches;
+  zero_branches.min_branches = 0;
+  EXPECT_THROW((void)generate_ep(zero_branches, rng), std::invalid_argument);
+
+  EpParams bad_work;
+  bad_work.min_work = 10;
+  bad_work.max_work = 2;
+  EXPECT_THROW((void)generate_ep(bad_work, rng), std::invalid_argument);
+
+  EpParams bad_length;
+  bad_length.min_branch_length = 9;
+  bad_length.max_branch_length = 3;
+  EXPECT_THROW((void)generate_ep(bad_length, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fhs

@@ -1,0 +1,317 @@
+#include "flex/flex_kdag.hh"
+
+#include <gtest/gtest.h>
+
+#include "flex/flex_engine.hh"
+#include "flex/flex_schedulers.hh"
+#include "support/rng.hh"
+#include "workload/workload.hh"
+
+namespace fhs {
+namespace {
+
+// --- FlexKDag ----------------------------------------------------------------
+
+TEST(FlexKDag, BuilderValidation) {
+  FlexKDagBuilder b(2);
+  EXPECT_THROW((void)b.add_task({}), std::invalid_argument);
+  EXPECT_THROW((void)b.add_task({{5, 1}}), std::invalid_argument);
+  EXPECT_THROW((void)b.add_task({{0, 0}}), std::invalid_argument);
+  EXPECT_THROW((void)b.add_task({{0, 1}, {0, 2}}), std::invalid_argument);  // dup type
+}
+
+TEST(FlexKDag, OptionsAndMinWork) {
+  FlexKDagBuilder b(3);
+  const TaskId t = b.add_task({{0, 10}, {1, 15}, {2, 8}});
+  const TaskId u = b.add_task({{1, 4}});
+  b.add_edge(t, u);
+  const FlexKDag job = std::move(b).build();
+  EXPECT_EQ(job.option_count(t), 3u);
+  EXPECT_EQ(job.option_count(u), 1u);
+  EXPECT_EQ(job.min_work(t), 8);
+  EXPECT_EQ(job.min_work(u), 4);
+  EXPECT_EQ(job.total_min_work(), 12);
+  // Native view uses option 0.
+  EXPECT_EQ(job.native().type(t), 0u);
+  EXPECT_EQ(job.native().work(t), 10);
+  std::size_t index = 99;
+  EXPECT_TRUE(job.find_option(t, 2, index));
+  EXPECT_EQ(index, 2u);
+  EXPECT_FALSE(job.find_option(u, 0, index));
+  EXPECT_DOUBLE_EQ(job.flexibility(), 0.5);
+}
+
+TEST(FlexKDag, FlexifyProperties) {
+  Rng rng(1);
+  EpParams params;
+  params.num_types = 3;
+  const KDag dag = generate_ep(params, rng);
+  const FlexKDag job = flexify(dag, 0.5, 1.5, rng);
+  ASSERT_EQ(job.task_count(), dag.task_count());
+  std::size_t flexible = 0;
+  for (TaskId v = 0; v < job.task_count(); ++v) {
+    const auto options = job.options(v);
+    EXPECT_EQ(options[0].type, dag.type(v));
+    EXPECT_EQ(options[0].work, dag.work(v));
+    if (options.size() > 1) {
+      ++flexible;
+      ASSERT_EQ(options.size(), 2u);
+      EXPECT_NE(options[1].type, dag.type(v));
+      // ceil(work * 1.5)
+      EXPECT_EQ(options[1].work, (dag.work(v) * 3 + 1) / 2);
+    }
+  }
+  EXPECT_GT(flexible, 0u);
+  EXPECT_LT(flexible, job.task_count());
+}
+
+TEST(FlexKDag, FlexifyZeroAndOne) {
+  Rng rng(2);
+  TreeParams params;
+  params.num_types = 2;
+  params.max_tasks = 100;
+  const KDag dag = generate_tree(params, rng);
+  EXPECT_DOUBLE_EQ(flexify(dag, 0.0, 1.5, rng).flexibility(), 0.0);
+  EXPECT_DOUBLE_EQ(flexify(dag, 1.0, 1.5, rng).flexibility(), 1.0);
+}
+
+TEST(FlexKDag, FlexifySingleTypeStaysRigid) {
+  KDagBuilder b(1);
+  (void)b.add_task(0, 3);
+  const KDag dag = std::move(b).build();
+  Rng rng(3);
+  const FlexKDag job = flexify(dag, 1.0, 2.0, rng);
+  EXPECT_EQ(job.option_count(0), 1u);
+}
+
+TEST(FlexKDag, FlexifyValidation) {
+  Rng rng(4);
+  KDagBuilder b(2);
+  (void)b.add_task(0, 1);
+  const KDag dag = std::move(b).build();
+  EXPECT_THROW((void)flexify(dag, -0.1, 1.5, rng), std::invalid_argument);
+  EXPECT_THROW((void)flexify(dag, 0.5, 0.9, rng), std::invalid_argument);
+}
+
+TEST(FlexKDag, MakeRigidPreservesEverything) {
+  Rng rng(5);
+  IrParams params;
+  params.num_types = 3;
+  const KDag dag = generate_ir(params, rng);
+  const FlexKDag job = make_rigid(dag);
+  EXPECT_DOUBLE_EQ(job.flexibility(), 0.0);
+  EXPECT_EQ(job.total_min_work(), dag.total_work());
+}
+
+// --- engine -------------------------------------------------------------------
+
+FlexKDag two_type_pipeline() {
+  // a (t0, 4 | t1, 6) -> b (t1, 4).
+  FlexKDagBuilder b(2);
+  const TaskId a = b.add_task({{0, 4}, {1, 6}});
+  const TaskId c = b.add_task({{1, 4}});
+  b.add_edge(a, c);
+  return std::move(b).build();
+}
+
+TEST(FlexEngine, NativeExecutionWhenAvailable) {
+  FlexKDag job = two_type_pipeline();
+  FlexNativeScheduler sched;
+  const FlexSimResult result = flex_simulate(job, Cluster({1, 1}), sched);
+  EXPECT_EQ(result.completion_time, 8);  // a on t0 (4), then b on t1 (4)
+  EXPECT_EQ(result.migrations, 0u);
+  EXPECT_EQ(result.migration_overhead, 0);
+}
+
+TEST(FlexEngine, GreedyMigratesWhenNativePoolMissing) {
+  // Cluster with zero... cluster must have >= 1 per type; instead make
+  // the native pool busy: two tasks native t0, one t0 processor, a free
+  // t1 processor, and flexibility on the second task.
+  FlexKDagBuilder b(2);
+  (void)b.add_task({{0, 10}});
+  (void)b.add_task({{0, 10}, {1, 12}});
+  const FlexKDag job = std::move(b).build();
+  FlexGreedyScheduler greedy;
+  const FlexSimResult result = flex_simulate(job, Cluster({1, 1}), greedy);
+  // Greedy: task0 on p(t0) [0,10); task1 migrates to t1 [0,12).
+  EXPECT_EQ(result.completion_time, 12);
+  EXPECT_EQ(result.migrations, 1u);
+  EXPECT_EQ(result.migration_overhead, 2);
+  // Native policy would serialize on t0: 20 ticks.
+  FlexNativeScheduler native;
+  EXPECT_EQ(flex_simulate(job, Cluster({1, 1}), native).completion_time, 20);
+}
+
+TEST(FlexEngine, TraceValidatedByChecker) {
+  Rng rng(6);
+  IrParams params;
+  params.num_types = 3;
+  const KDag dag = generate_ir(params, rng);
+  const FlexKDag job = flexify(dag, 0.4, 1.5, rng);
+  const Cluster cluster({3, 3, 3});
+  for (const char* name : {"flexnative", "flexgreedy", "flexmqb"}) {
+    auto sched = make_flex_scheduler(name);
+    ExecutionTrace trace;
+    const FlexSimResult result = flex_simulate(job, cluster, *sched, &trace);
+    EXPECT_EQ(trace.makespan(), result.completion_time) << name;
+    const auto violations = check_flex_schedule(job, cluster, trace);
+    EXPECT_TRUE(violations.empty()) << name << ": " << violations.front();
+    EXPECT_GE(result.completion_time, flex_lower_bound(job, cluster)) << name;
+  }
+}
+
+TEST(FlexEngine, RigidJobMatchesRigidEngineUnderFifo) {
+  // On a rigid job, FlexNative == FlexGreedy == rigid KGreedy.
+  Rng rng(7);
+  EpParams params;
+  params.num_types = 2;
+  const KDag dag = generate_ep(params, rng);
+  const FlexKDag job = make_rigid(dag);
+  const Cluster cluster({2, 3});
+  FlexNativeScheduler native;
+  FlexGreedyScheduler greedy;
+  const Time t_native = flex_simulate(job, cluster, native).completion_time;
+  const Time t_greedy = flex_simulate(job, cluster, greedy).completion_time;
+  EXPECT_EQ(t_native, t_greedy);
+}
+
+TEST(FlexEngine, WorkConservationEnforcedForNativeOptions) {
+  class LazyFlex final : public FlexScheduler {
+   public:
+    [[nodiscard]] std::string name() const override { return "LazyFlex"; }
+    void prepare(const FlexKDag&, const Cluster&) override {}
+    void dispatch(FlexDispatchContext&) override {}
+  };
+  FlexKDagBuilder b(1);
+  (void)b.add_task({{0, 1}});
+  const FlexKDag job = std::move(b).build();
+  LazyFlex lazy;
+  EXPECT_THROW((void)flex_simulate(job, Cluster({1}), lazy), std::logic_error);
+}
+
+TEST(FlexEngine, BadAssignmentsRejected) {
+  class BadFlex final : public FlexScheduler {
+   public:
+    explicit BadFlex(int mode) : mode_(mode) {}
+    [[nodiscard]] std::string name() const override { return "BadFlex"; }
+    void prepare(const FlexKDag&, const Cluster&) override {}
+    void dispatch(FlexDispatchContext& ctx) override {
+      if (mode_ == 0) ctx.assign(99, 0);   // bad index
+      if (mode_ == 1) ctx.assign(0, 99);   // bad option
+    }
+   private:
+    int mode_;
+  };
+  FlexKDagBuilder b(1);
+  (void)b.add_task({{0, 1}});
+  const FlexKDag job = std::move(b).build();
+  BadFlex bad_index(0);
+  EXPECT_THROW((void)flex_simulate(job, Cluster({1}), bad_index), std::logic_error);
+  FlexKDagBuilder b2(1);
+  (void)b2.add_task({{0, 1}});
+  const FlexKDag job2 = std::move(b2).build();
+  BadFlex bad_option(1);
+  EXPECT_THROW((void)flex_simulate(job2, Cluster({1}), bad_option), std::logic_error);
+}
+
+TEST(FlexLowerBound, UsesMinWorkAndWholeMachine) {
+  // One flexible task (t0: 10 | t1: 4): span bound = 4.
+  FlexKDagBuilder b(2);
+  (void)b.add_task({{0, 10}, {1, 4}});
+  const FlexKDag job = std::move(b).build();
+  EXPECT_EQ(flex_lower_bound(job, Cluster({1, 1})), 4);
+
+  // Ten rigid unit tasks on a 2+3 machine: ceil(10/5) = 2.
+  FlexKDagBuilder b2(2);
+  for (int i = 0; i < 10; ++i) (void)b2.add_task({{0, 1}});
+  const FlexKDag job2 = std::move(b2).build();
+  EXPECT_EQ(flex_lower_bound(job2, Cluster({2, 3})), 2);
+}
+
+TEST(FlexCheck, DetectsWrongOptionWork) {
+  const FlexKDag job = two_type_pipeline();
+  ExecutionTrace trace;
+  trace.add(0, 1, 0, 4);  // task 0 on a t1 processor but with t0's work
+  trace.add(1, 1, 4, 8);
+  const auto violations = check_flex_schedule(job, Cluster({1, 1}), trace);
+  ASSERT_FALSE(violations.empty());
+}
+
+TEST(FlexCheck, DetectsDisallowedType) {
+  FlexKDagBuilder b(2);
+  (void)b.add_task({{0, 4}});
+  const FlexKDag job = std::move(b).build();
+  ExecutionTrace trace;
+  trace.add(0, 1, 0, 4);  // p1 is type 1; task has no t1 option
+  const auto violations = check_flex_schedule(job, Cluster({1, 1}), trace);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().find("no option"), std::string::npos);
+}
+
+TEST(FlexSchedulers, FactoryAndNames) {
+  EXPECT_EQ(make_flex_scheduler("flexnative")->name(), "FlexNative");
+  EXPECT_EQ(make_flex_scheduler("FlexGreedy")->name(), "FlexGreedy");
+  EXPECT_EQ(make_flex_scheduler("flexmqb")->name(), "FlexMQB");
+  EXPECT_EQ(make_flex_scheduler("flexmqb+slowpay")->name(), "FlexMQB+slowpay");
+  EXPECT_THROW((void)make_flex_scheduler("nope"), std::invalid_argument);
+}
+
+TEST(FlexMqb, MigratesToDrainTheLoadedNativeQueue) {
+  // Four t0-native tasks (two flexible), one t0 processor, one t1
+  // processor.  FlexMQB must send flexible work to the idle t1 pool
+  // instead of queueing everything on t0.
+  FlexKDagBuilder b(2);
+  (void)b.add_task({{0, 6}});
+  (void)b.add_task({{0, 6}});
+  (void)b.add_task({{0, 6}, {1, 9}});
+  (void)b.add_task({{0, 6}, {1, 9}});
+  const FlexKDag job = std::move(b).build();
+  FlexMqbScheduler mqb;
+  const FlexSimResult result = flex_simulate(job, Cluster({1, 1}), mqb);
+  EXPECT_GE(result.migrations, 1u);
+  // Best split: two rigid on t0 (12), flexibles on t1 (9 + 9 = 18) or one
+  // each way; any migration beats the 24-tick all-on-t0 serialization.
+  EXPECT_LT(result.completion_time, 24);
+}
+
+TEST(FlexMqb, PrefersNativeWhenNothingIsStarved) {
+  // Both pools already have native work: migrating would only add
+  // slowdown.  FlexMQB must run everything natively.
+  FlexKDagBuilder b(2);
+  (void)b.add_task({{0, 5}, {1, 10}});
+  (void)b.add_task({{1, 5}, {0, 10}});
+  const FlexKDag job = std::move(b).build();
+  FlexMqbScheduler mqb;
+  const FlexSimResult result = flex_simulate(job, Cluster({1, 1}), mqb);
+  EXPECT_EQ(result.completion_time, 5);
+  EXPECT_EQ(result.migrations, 0u);
+  EXPECT_EQ(result.migration_overhead, 0);
+}
+
+TEST(FlexSchedulers, FlexibilityNeverHurtsOnAverage) {
+  // Statistical: over layered EP jobs, FlexGreedy with phi=0.5 should
+  // complete no later than FlexNative on average (it can only add
+  // opportunities), and FlexMQB should be at least as good as FlexGreedy.
+  Rng rng(99);
+  double native_total = 0;
+  double greedy_total = 0;
+  double mqb_total = 0;
+  for (int i = 0; i < 10; ++i) {
+    EpParams params;
+    params.num_types = 3;
+    const KDag dag = generate_ep(params, rng);
+    const FlexKDag job = flexify(dag, 0.5, 1.5, rng);
+    const Cluster cluster = sample_uniform_cluster(3, 2, 4, rng);
+    FlexNativeScheduler native;
+    FlexGreedyScheduler greedy;
+    FlexMqbScheduler mqb;
+    native_total += static_cast<double>(flex_simulate(job, cluster, native).completion_time);
+    greedy_total += static_cast<double>(flex_simulate(job, cluster, greedy).completion_time);
+    mqb_total += static_cast<double>(flex_simulate(job, cluster, mqb).completion_time);
+  }
+  EXPECT_LE(greedy_total, native_total * 1.02);
+  EXPECT_LE(mqb_total, greedy_total * 1.05);
+}
+
+}  // namespace
+}  // namespace fhs

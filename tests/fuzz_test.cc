@@ -1,0 +1,134 @@
+// Fuzz-style robustness tests: a policy that makes *random but legal*
+// dispatch choices must always yield a valid schedule, and the engine
+// must hold its invariants under arbitrary assignment orders.  Any
+// work-conserving policy -- however bad -- must also respect the greedy
+// upper bound sum_a T1(a)/P_a + T_inf.
+#include <gtest/gtest.h>
+
+#include "graph/kdag_algorithms.hh"
+#include "metrics/bounds.hh"
+#include "sim/engine.hh"
+#include "sim/schedule_checker.hh"
+#include "support/rng.hh"
+#include "workload/workload.hh"
+
+namespace fhs {
+namespace {
+
+/// Picks uniformly among ready tasks; optionally scans types in random
+/// order.  Legal but intentionally structureless.
+class ChaosScheduler final : public Scheduler {
+ public:
+  explicit ChaosScheduler(std::uint64_t seed) : rng_(seed) {}
+  [[nodiscard]] std::string name() const override { return "Chaos"; }
+  void prepare(const KDag&, const Cluster&) override {}
+  void dispatch(DispatchContext& ctx) override {
+    // Random type scan order.
+    std::vector<ResourceType> order(ctx.num_types());
+    for (ResourceType a = 0; a < ctx.num_types(); ++a) order[a] = a;
+    rng_.shuffle(std::span<ResourceType>(order));
+    for (ResourceType alpha : order) {
+      while (ctx.free_processors(alpha) > 0 && !ctx.ready(alpha).empty()) {
+        const std::size_t pick =
+            static_cast<std::size_t>(rng_.uniform_below(ctx.ready(alpha).size()));
+        ctx.assign(alpha, pick);
+      }
+    }
+  }
+
+ private:
+  Rng rng_;
+};
+
+KDag random_job(std::uint64_t seed) {
+  Rng rng(seed);
+  switch (seed % 3) {
+    case 0: {
+      EpParams p;
+      p.num_types = 3;
+      return generate_ep(p, rng);
+    }
+    case 1: {
+      TreeParams p;
+      p.num_types = 3;
+      p.max_tasks = 300;
+      return generate_tree(p, rng);
+    }
+    default: {
+      IrParams p;
+      p.num_types = 3;
+      p.min_maps = 10;
+      p.max_maps = 30;
+      return generate_ir(p, rng);
+    }
+  }
+}
+
+TEST(Fuzz, ChaosSchedulesAreValidNonPreemptive) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    Rng rng(mix_seed(seed, 1));
+    const KDag dag = random_job(seed);
+    const Cluster cluster = sample_uniform_cluster(3, 1, 5, rng);
+    ChaosScheduler chaos(seed);
+    ExecutionTrace trace;
+    SimOptions options;
+    options.record_trace = true;
+    const SimResult result = simulate(dag, cluster, chaos, options, &trace);
+    CheckOptions check;
+    check.require_non_preemptive = true;
+    const auto violations = check_schedule(dag, cluster, trace, check);
+    ASSERT_TRUE(violations.empty()) << "seed " << seed << ": " << violations.front();
+    EXPECT_GE(result.completion_time, completion_time_lower_bound(dag, cluster));
+  }
+}
+
+TEST(Fuzz, ChaosSchedulesAreValidPreemptive) {
+  for (std::uint64_t seed = 100; seed < 115; ++seed) {
+    Rng rng(mix_seed(seed, 2));
+    const KDag dag = random_job(seed);
+    const Cluster cluster = sample_uniform_cluster(3, 1, 4, rng);
+    ChaosScheduler chaos(seed);
+    ExecutionTrace trace;
+    SimOptions options;
+    options.mode = ExecutionMode::kPreemptive;
+    options.record_trace = true;
+    const SimResult result = simulate(dag, cluster, chaos, options, &trace);
+    const auto violations = check_schedule(dag, cluster, trace);
+    ASSERT_TRUE(violations.empty()) << "seed " << seed << ": " << violations.front();
+    EXPECT_GE(result.completion_time, completion_time_lower_bound(dag, cluster));
+  }
+}
+
+TEST(Fuzz, EvenChaosRespectsTheGreedyBound) {
+  // Graham's argument needs only work conservation, not intelligence.
+  for (std::uint64_t seed = 200; seed < 220; ++seed) {
+    Rng rng(mix_seed(seed, 3));
+    const KDag dag = random_job(seed);
+    const Cluster cluster = sample_uniform_cluster(3, 1, 5, rng);
+    ChaosScheduler chaos(seed);
+    const SimResult result = simulate(dag, cluster, chaos);
+    double bound = static_cast<double>(span(dag));
+    for (ResourceType a = 0; a < dag.num_types(); ++a) {
+      bound += static_cast<double>(dag.total_work(a)) /
+               static_cast<double>(cluster.processors(a));
+    }
+    EXPECT_LE(static_cast<double>(result.completion_time), bound + 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(Fuzz, BusyTicksAlwaysExact) {
+  for (std::uint64_t seed = 300; seed < 315; ++seed) {
+    Rng rng(mix_seed(seed, 4));
+    const KDag dag = random_job(seed);
+    const Cluster cluster = sample_uniform_cluster(3, 2, 6, rng);
+    ChaosScheduler chaos(seed);
+    const SimResult result = simulate(dag, cluster, chaos);
+    for (ResourceType a = 0; a < dag.num_types(); ++a) {
+      EXPECT_EQ(result.busy_ticks_per_type[a], dag.total_work(a)) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fhs

@@ -1,0 +1,158 @@
+#include "sched/info.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hh"
+#include "support/stats.hh"
+#include "workload/workload.hh"
+
+namespace fhs {
+namespace {
+
+KDag sample_job(std::uint64_t seed = 1) {
+  Rng rng(seed);
+  TreeParams params;
+  params.num_types = 3;
+  params.max_tasks = 300;
+  return generate_tree(params, rng);
+}
+
+TEST(InfoModel, DescribeStrings) {
+  InfoModel model;
+  EXPECT_EQ(model.describe(), "All+Pre");
+  model.scope = InfoScope::kOneStep;
+  model.fidelity = InfoFidelity::kExponential;
+  EXPECT_EQ(model.describe(), "1Step+Exp");
+  model.fidelity = InfoFidelity::kNoisy;
+  EXPECT_EQ(model.describe(), "1Step+Noise");
+}
+
+TEST(DescendantTable, PreciseAllMatchesAnalysis) {
+  const KDag dag = sample_job();
+  const JobAnalysis analysis(dag);
+  const DescendantTable table(analysis, InfoModel{});
+  for (TaskId v = 0; v < dag.task_count(); ++v) {
+    for (ResourceType a = 0; a < dag.num_types(); ++a) {
+      EXPECT_DOUBLE_EQ(table.value(v, a), analysis.descendant(v, a));
+    }
+  }
+}
+
+TEST(DescendantTable, PreciseOneStepMatchesAnalysis) {
+  const KDag dag = sample_job();
+  const JobAnalysis analysis(dag);
+  InfoModel model;
+  model.scope = InfoScope::kOneStep;
+  const DescendantTable table(analysis, model);
+  for (TaskId v = 0; v < dag.task_count(); ++v) {
+    for (ResourceType a = 0; a < dag.num_types(); ++a) {
+      EXPECT_DOUBLE_EQ(table.value(v, a), analysis.one_step_descendant(v, a));
+    }
+  }
+}
+
+TEST(DescendantTable, NoiseIsReproduciblePerSeed) {
+  const KDag dag = sample_job();
+  const JobAnalysis analysis(dag);
+  InfoModel model;
+  model.fidelity = InfoFidelity::kNoisy;
+  model.noise_seed = 12345;
+  const DescendantTable a(analysis, model);
+  const DescendantTable b(analysis, model);
+  for (TaskId v = 0; v < dag.task_count(); ++v) {
+    EXPECT_DOUBLE_EQ(a.value(v, 0), b.value(v, 0));
+  }
+}
+
+TEST(DescendantTable, DifferentSeedsGiveDifferentNoise) {
+  const KDag dag = sample_job();
+  const JobAnalysis analysis(dag);
+  InfoModel m1;
+  m1.fidelity = InfoFidelity::kNoisy;
+  m1.noise_seed = 1;
+  InfoModel m2 = m1;
+  m2.noise_seed = 2;
+  const DescendantTable a(analysis, m1);
+  const DescendantTable b(analysis, m2);
+  int differing = 0;
+  for (TaskId v = 0; v < dag.task_count(); ++v) {
+    if (a.value(v, 0) != b.value(v, 0)) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(DescendantTable, ExponentialPreservesMeanApproximately) {
+  // Average over many seeds: E[Exp(mean=d)] = d.
+  const KDag dag = sample_job();
+  const JobAnalysis analysis(dag);
+  // Find a task with a substantial type-0 descendant value.
+  TaskId probe = 0;
+  double true_value = 0.0;
+  for (TaskId v = 0; v < dag.task_count(); ++v) {
+    if (analysis.descendant(v, 0) > true_value) {
+      true_value = analysis.descendant(v, 0);
+      probe = v;
+    }
+  }
+  ASSERT_GT(true_value, 0.0);
+  RunningStats stats;
+  for (std::uint64_t seed = 0; seed < 2000; ++seed) {
+    InfoModel model;
+    model.fidelity = InfoFidelity::kExponential;
+    model.noise_seed = seed;
+    const DescendantTable table(analysis, model);
+    stats.add(table.value(probe, 0));
+  }
+  EXPECT_NEAR(stats.mean(), true_value, true_value * 0.1);
+}
+
+TEST(DescendantTable, NoiseWithinAnalyticBounds) {
+  // Noise = true * U(0.5, 1.5) + U(0, avg_work); values stay in
+  // [0.5 * true, 1.5 * true + avg_work].
+  const KDag dag = sample_job();
+  const JobAnalysis analysis(dag);
+  const double avg_work =
+      static_cast<double>(dag.total_work()) / static_cast<double>(dag.task_count());
+  InfoModel model;
+  model.fidelity = InfoFidelity::kNoisy;
+  model.noise_seed = 777;
+  const DescendantTable table(analysis, model);
+  for (TaskId v = 0; v < dag.task_count(); ++v) {
+    for (ResourceType a = 0; a < dag.num_types(); ++a) {
+      const double true_value = analysis.descendant(v, a);
+      EXPECT_GE(table.value(v, a), 0.5 * true_value - 1e-9);
+      EXPECT_LE(table.value(v, a), 1.5 * true_value + avg_work + 1e-9);
+    }
+  }
+}
+
+TEST(DescendantTable, ExponentialZeroStaysZero) {
+  // Leaves have d = 0; Exp(0) must stay 0 so leaves never look loaded.
+  const KDag dag = sample_job();
+  const JobAnalysis analysis(dag);
+  InfoModel model;
+  model.fidelity = InfoFidelity::kExponential;
+  model.noise_seed = 3;
+  const DescendantTable table(analysis, model);
+  for (TaskId v = 0; v < dag.task_count(); ++v) {
+    if (dag.child_count(v) == 0) {
+      for (ResourceType a = 0; a < dag.num_types(); ++a) {
+        EXPECT_EQ(table.value(v, a), 0.0);
+      }
+    }
+  }
+}
+
+TEST(DescendantTable, RowSpansMatchValues) {
+  const KDag dag = sample_job();
+  const JobAnalysis analysis(dag);
+  const DescendantTable table(analysis, InfoModel{});
+  const auto row = table.row(5);
+  ASSERT_EQ(row.size(), dag.num_types());
+  for (ResourceType a = 0; a < dag.num_types(); ++a) {
+    EXPECT_EQ(row[a], table.value(5, a));
+  }
+}
+
+}  // namespace
+}  // namespace fhs

@@ -1,0 +1,124 @@
+// Cross-module property sweep: every (scheduler x workload x mode)
+// combination must produce a schedule that the independent replay
+// checker accepts, never beat the lower bound, and be deterministic.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "metrics/bounds.hh"
+#include "sched/registry.hh"
+#include "sim/engine.hh"
+#include "sim/schedule_checker.hh"
+#include "support/rng.hh"
+#include "test_util.hh"
+#include "workload/workload.hh"
+
+namespace fhs {
+namespace {
+
+struct SweepCase {
+  std::string scheduler;
+  std::string workload;  // "ep", "tree", "ir"
+  TypeAssignment assignment;
+  ExecutionMode mode;
+};
+
+std::string case_name(const testing::TestParamInfo<SweepCase>& info) {
+  std::string name = info.param.scheduler + "_" + info.param.workload + "_" +
+                     to_string(info.param.assignment) + "_" +
+                     (info.param.mode == ExecutionMode::kPreemptive ? "pre" : "np");
+  for (char& ch : name) {
+    if (ch == '+' || ch == '-') ch = '_';
+  }
+  return name;
+}
+
+WorkloadParams make_workload(const std::string& family, TypeAssignment assignment) {
+  if (family == "ep") {
+    EpParams p;
+    p.num_types = 3;
+    p.assignment = assignment;
+    p.min_branches = 8;
+    p.max_branches = 12;
+    return p;
+  }
+  if (family == "tree") {
+    TreeParams p;
+    p.num_types = 3;
+    p.assignment = assignment;
+    p.max_tasks = 250;
+    return p;
+  }
+  IrParams p;
+  p.num_types = 3;
+  p.assignment = assignment;
+  p.min_maps = 10;
+  p.max_maps = 20;
+  return p;
+}
+
+class SchedulerSweep : public testing::TestWithParam<SweepCase> {};
+
+TEST_P(SchedulerSweep, ProducesValidNonBeatingSchedules) {
+  const SweepCase& param = GetParam();
+  const WorkloadParams workload = make_workload(param.workload, param.assignment);
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    Rng rng(mix_seed(seed, 1234));
+    const KDag dag = generate(workload, rng);
+    const Cluster cluster = sample_uniform_cluster(3, 1, 5, rng);
+    auto scheduler = make_scheduler(param.scheduler, seed);
+
+    ExecutionTrace trace;
+    SimOptions options;
+    options.mode = param.mode;
+    options.record_trace = true;
+    const SimResult result = simulate(dag, cluster, *scheduler, options, &trace);
+
+    // 1. The trace is a valid schedule.
+    CheckOptions check;
+    check.require_non_preemptive = param.mode == ExecutionMode::kNonPreemptive;
+    const auto violations = check_schedule(dag, cluster, trace, check);
+    ASSERT_TRUE(violations.empty())
+        << param.scheduler << " seed " << seed << ": " << violations.front();
+
+    // 2. Completion time respects the lower bound.
+    EXPECT_GE(result.completion_time, completion_time_lower_bound(dag, cluster));
+    EXPECT_EQ(result.completion_time, trace.makespan());
+
+    // 3. Busy time accounting is exact.
+    for (ResourceType a = 0; a < dag.num_types(); ++a) {
+      EXPECT_EQ(result.busy_ticks_per_type[a], dag.total_work(a));
+    }
+
+    // 4. Determinism: a fresh scheduler reproduces the result.
+    auto scheduler2 = make_scheduler(param.scheduler, seed);
+    const SimResult result2 = simulate(dag, cluster, *scheduler2, options);
+    EXPECT_EQ(result.completion_time, result2.completion_time);
+  }
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  const std::vector<std::string> schedulers = {
+      "kgreedy", "lspan",         "dtype",        "maxdp",
+      "shiftbt", "mqb",           "mqb+1step",    "mqb+all+exp",
+      "mqb+all+noise", "mqb+1step+noise"};
+  for (const std::string& sched : schedulers) {
+    for (const char* family : {"ep", "tree", "ir"}) {
+      for (TypeAssignment assignment :
+           {TypeAssignment::kLayered, TypeAssignment::kRandom}) {
+        for (ExecutionMode mode :
+             {ExecutionMode::kNonPreemptive, ExecutionMode::kPreemptive}) {
+          cases.push_back(SweepCase{sched, family, assignment, mode});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombinations, SchedulerSweep,
+                         testing::ValuesIn(sweep_cases()), case_name);
+
+}  // namespace
+}  // namespace fhs

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/kdag_algorithms.hh"
+#include "support/rng.hh"
+#include "workload/workload.hh"
+
+namespace fhs {
+namespace {
+
+TEST(IrGenerator, EveryReduceHasAParent) {
+  Rng rng(1);
+  IrParams params;
+  const KDag dag = generate_ir(params, rng);
+  // Roots must all be first-iteration maps; no reduce can be a root
+  // because every reduce depends on at least one map.
+  // First-iteration maps are the only parentless tasks.
+  std::size_t parentless = 0;
+  for (TaskId v = 0; v < dag.task_count(); ++v) {
+    if (dag.parent_count(v) == 0) ++parentless;
+  }
+  EXPECT_EQ(parentless, dag.roots().size());
+  EXPECT_GT(dag.roots().size(), 0u);
+  // All roots have depth 0 and (in layered mode) phase-0 type.
+}
+
+TEST(IrGenerator, LayeredPhasesShareOneType) {
+  Rng rng(2);
+  IrParams params;
+  params.num_types = 3;
+  params.assignment = TypeAssignment::kLayered;
+  const KDag dag = generate_ir(params, rng);
+  // Edges only connect consecutive phases, so depth identifies the phase;
+  // all tasks of a phase must share that phase's randomly drawn type.
+  const auto depths = depth(dag);
+  std::size_t max_depth = 0;
+  for (TaskId v = 0; v < dag.task_count(); ++v) max_depth = std::max(max_depth, depths[v]);
+  std::vector<ResourceType> type_of_phase(max_depth + 1, kMaxResourceTypes);
+  for (TaskId v = 0; v < dag.task_count(); ++v) {
+    ResourceType& phase = type_of_phase[depths[v]];
+    if (phase == kMaxResourceTypes) {
+      phase = dag.type(v);
+    } else {
+      EXPECT_EQ(dag.type(v), phase) << "task " << v << " in phase " << depths[v];
+    }
+  }
+}
+
+TEST(IrGenerator, LayeredPhaseTypesVaryAcrossJobs) {
+  Rng rng(12);
+  IrParams params;
+  params.num_types = 4;
+  params.assignment = TypeAssignment::kLayered;
+  std::set<ResourceType> root_types;
+  for (int i = 0; i < 40; ++i) {
+    const KDag dag = generate_ir(params, rng);
+    root_types.insert(dag.type(dag.roots()[0]));
+  }
+  EXPECT_GE(root_types.size(), 2u);
+}
+
+TEST(IrGenerator, HeightMatchesPhaseCount) {
+  Rng rng(3);
+  IrParams params;
+  params.min_iterations = 3;
+  params.max_iterations = 3;
+  const KDag dag = generate_ir(params, rng);
+  // 3 iterations = 6 phases = height 5 (edges between consecutive phases).
+  EXPECT_EQ(height(dag), 5u);
+}
+
+TEST(IrGenerator, TaskCountsWithinBounds) {
+  Rng rng(4);
+  IrParams params;
+  params.min_iterations = 2;
+  params.max_iterations = 2;
+  params.min_maps = 5;
+  params.max_maps = 10;
+  params.min_reduces = 2;
+  params.max_reduces = 4;
+  for (int i = 0; i < 10; ++i) {
+    const KDag dag = generate_ir(params, rng);
+    EXPECT_GE(dag.task_count(), 2u * (5 + 2));
+    EXPECT_LE(dag.task_count(), 2u * (10 + 4));
+  }
+}
+
+TEST(IrGenerator, MapsAfterFirstIterationDependOnPreviousReduces) {
+  Rng rng(5);
+  IrParams params;
+  params.num_types = 2;
+  params.assignment = TypeAssignment::kLayered;
+  params.min_iterations = 2;
+  params.max_iterations = 2;
+  const KDag dag = generate_ir(params, rng);
+  const auto depths = depth(dag);
+  for (TaskId v = 0; v < dag.task_count(); ++v) {
+    // Any task at depth >= 1 must have a parent (trivially true); the
+    // substantive check: no task other than phase-0 maps is parentless.
+    if (dag.parent_count(v) == 0) {
+      EXPECT_EQ(depths[v], 0u);
+    }
+  }
+}
+
+TEST(IrGenerator, WorkWithinRange) {
+  Rng rng(6);
+  IrParams params;
+  params.min_work = 7;
+  params.max_work = 9;
+  const KDag dag = generate_ir(params, rng);
+  for (TaskId v = 0; v < dag.task_count(); ++v) {
+    EXPECT_GE(dag.work(v), 7);
+    EXPECT_LE(dag.work(v), 9);
+  }
+}
+
+TEST(IrGenerator, Deterministic) {
+  IrParams params;
+  Rng a(777);
+  Rng b(777);
+  const KDag da = generate_ir(params, a);
+  const KDag db = generate_ir(params, b);
+  ASSERT_EQ(da.task_count(), db.task_count());
+  ASSERT_EQ(da.edge_count(), db.edge_count());
+}
+
+TEST(IrGenerator, ValidatesParameters) {
+  Rng rng(1);
+  IrParams bad_iters;
+  bad_iters.min_iterations = 0;
+  EXPECT_THROW((void)generate_ir(bad_iters, rng), std::invalid_argument);
+
+  IrParams bad_maps;
+  bad_maps.min_maps = 9;
+  bad_maps.max_maps = 3;
+  EXPECT_THROW((void)generate_ir(bad_maps, rng), std::invalid_argument);
+
+  IrParams bad_hub;
+  bad_hub.hub_fraction = 1.5;
+  EXPECT_THROW((void)generate_ir(bad_hub, rng), std::invalid_argument);
+
+  IrParams bad_hub_weight;
+  bad_hub_weight.hub_weight_min = 0.9;
+  bad_hub_weight.hub_weight_max = 0.5;
+  EXPECT_THROW((void)generate_ir(bad_hub_weight, rng), std::invalid_argument);
+
+  IrParams bad_fanin;
+  bad_fanin.fanin_max = 1.5;
+  EXPECT_THROW((void)generate_ir(bad_fanin, rng), std::invalid_argument);
+
+  IrParams bad_coupling;
+  bad_coupling.iteration_coupling = 0.0;
+  EXPECT_THROW((void)generate_ir(bad_coupling, rng), std::invalid_argument);
+}
+
+TEST(IrGenerator, HubsConcentrateReduceParents) {
+  // With hub/cold fanouts, the union of reduce parents should be a small
+  // fraction of the maps: most maps are bulk with no consumers.
+  Rng rng(21);
+  IrParams params;
+  params.min_iterations = 1;
+  params.max_iterations = 1;
+  params.min_maps = 80;
+  params.max_maps = 80;
+  params.min_reduces = 8;
+  params.max_reduces = 8;
+  std::size_t childless = 0;
+  std::size_t maps_total = 0;
+  for (int i = 0; i < 10; ++i) {
+    const KDag dag = generate_ir(params, rng);
+    for (TaskId v = 0; v < dag.task_count(); ++v) {
+      if (dag.parent_count(v) == 0) {  // a map
+        ++maps_total;
+        if (dag.child_count(v) == 0) ++childless;
+      }
+    }
+  }
+  // Expect well over half of the maps to be pure bulk.
+  EXPECT_GT(childless * 2, maps_total);
+}
+
+TEST(WorkloadDispatch, GenerateAndNames) {
+  Rng rng(10);
+  const WorkloadParams ep = EpParams{};
+  const WorkloadParams tree = TreeParams{};
+  const WorkloadParams ir = IrParams{};
+  EXPECT_GT(generate(ep, rng).task_count(), 0u);
+  EXPECT_GT(generate(tree, rng).task_count(), 0u);
+  EXPECT_GT(generate(ir, rng).task_count(), 0u);
+  EXPECT_EQ(workload_name(ep), "layered EP");
+  EXPECT_EQ(workload_name(ir), "layered IR");
+  EpParams random_ep;
+  random_ep.assignment = TypeAssignment::kRandom;
+  EXPECT_EQ(workload_name(WorkloadParams{random_ep}), "random EP");
+}
+
+TEST(WorkloadDispatch, WithNumTypes) {
+  WorkloadParams params = TreeParams{};
+  EXPECT_EQ(workload_num_types(params), 4u);
+  params = with_num_types(params, 6);
+  EXPECT_EQ(workload_num_types(params), 6u);
+}
+
+}  // namespace
+}  // namespace fhs

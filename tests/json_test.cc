@@ -1,0 +1,79 @@
+#include "exp/json.hh"
+
+#include <gtest/gtest.h>
+
+#include "exp/configs.hh"
+
+namespace fhs {
+namespace {
+
+ExperimentResult sample_result() {
+  ExperimentSpec spec;
+  spec.name = "json demo";
+  spec.workload = ep_workload(TypeAssignment::kLayered, 2);
+  spec.cluster = small_cluster(2);
+  spec.schedulers = {"kgreedy", "mqb"};
+  spec.instances = 8;
+  return run_experiment(spec);
+}
+
+TEST(JsonQuote, PlainString) { EXPECT_EQ(json_quote("abc"), "\"abc\""); }
+
+TEST(JsonQuote, EscapesSpecials) {
+  EXPECT_EQ(json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_quote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(json_quote("a\nb"), "\"a\\nb\"");
+  EXPECT_EQ(json_quote(std::string("a\x01") + "b"), "\"a\\u0001b\"");
+}
+
+TEST(Json, ContainsSpecFields) {
+  const std::string text = to_json(sample_result());
+  EXPECT_NE(text.find("\"name\": \"json demo\""), std::string::npos);
+  EXPECT_NE(text.find("\"workload\": \"layered EP\""), std::string::npos);
+  EXPECT_NE(text.find("\"mode\": \"non-preemptive\""), std::string::npos);
+  EXPECT_NE(text.find("\"instances\": 8"), std::string::npos);
+}
+
+TEST(Json, ContainsOneObjectPerScheduler) {
+  const std::string text = to_json(sample_result());
+  EXPECT_NE(text.find("\"name\": \"kgreedy\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\": \"mqb\""), std::string::npos);
+  EXPECT_NE(text.find("\"ratio\""), std::string::npos);
+  EXPECT_NE(text.find("\"reduction_vs_baseline\""), std::string::npos);
+}
+
+TEST(Json, BalancedBracesAndQuotes) {
+  const std::string text = to_json(sample_result());
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char ch : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (ch == '\\') {
+        escaped = true;
+      } else if (ch == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (ch == '"') in_string = true;
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(Json, BaselineHasZeroCountReduction) {
+  const ExperimentResult result = sample_result();
+  EXPECT_TRUE(result.outcomes[0].reduction_vs_baseline.empty());
+  EXPECT_EQ(result.outcomes[1].reduction_vs_baseline.count(), 8u);
+  const std::string text = to_json(result);
+  EXPECT_NE(text.find("\"reduction_vs_baseline\": {\"count\": 0}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fhs

@@ -1,0 +1,196 @@
+#include "graph/kdag_algorithms.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hh"
+
+namespace fhs {
+namespace {
+
+// a(3) -> b(2) -> d(4); a -> c(7); c -> d.  Span: a+c+d = 14.
+KDag weighted_diamondish() {
+  KDagBuilder b(1);
+  const TaskId a = b.add_task(0, 3);
+  const TaskId bb = b.add_task(0, 2);
+  const TaskId c = b.add_task(0, 7);
+  const TaskId d = b.add_task(0, 4);
+  b.add_edge(a, bb);
+  b.add_edge(a, c);
+  b.add_edge(bb, d);
+  b.add_edge(c, d);
+  return std::move(b).build();
+}
+
+TEST(Span, SingleTask) {
+  KDagBuilder b(1);
+  (void)b.add_task(0, 9);
+  EXPECT_EQ(span(std::move(b).build()), 9);
+}
+
+TEST(Span, Chain) {
+  KDagBuilder b(1);
+  const TaskId x = b.add_task(0, 1);
+  const TaskId y = b.add_task(0, 2);
+  const TaskId z = b.add_task(0, 3);
+  b.add_edge(x, y);
+  b.add_edge(y, z);
+  EXPECT_EQ(span(std::move(b).build()), 6);
+}
+
+TEST(Span, IndependentTasksUseMax) {
+  KDagBuilder b(1);
+  (void)b.add_task(0, 5);
+  (void)b.add_task(0, 11);
+  EXPECT_EQ(span(std::move(b).build()), 11);
+}
+
+TEST(Span, WeightedDiamond) { EXPECT_EQ(span(weighted_diamondish()), 14); }
+
+TEST(RemainingSpan, WeightedDiamond) {
+  const KDag dag = weighted_diamondish();
+  const auto rem = remaining_span(dag);
+  EXPECT_EQ(rem[3], 4);   // d alone
+  EXPECT_EQ(rem[1], 6);   // b + d
+  EXPECT_EQ(rem[2], 11);  // c + d
+  EXPECT_EQ(rem[0], 14);  // a + c + d
+}
+
+TEST(TopSpan, WeightedDiamond) {
+  const KDag dag = weighted_diamondish();
+  const auto top = top_span(dag);
+  EXPECT_EQ(top[0], 3);
+  EXPECT_EQ(top[1], 5);
+  EXPECT_EQ(top[2], 10);
+  EXPECT_EQ(top[3], 14);
+}
+
+TEST(TopSpanPlusRemaining, BoundsSpanThroughEveryTask) {
+  // top + remaining - work = length of the longest chain through v <= span.
+  Rng rng(12345);
+  KDagBuilder b(2);
+  std::vector<TaskId> tasks;
+  for (int i = 0; i < 60; ++i) {
+    tasks.push_back(
+        b.add_task(static_cast<ResourceType>(i % 2), rng.uniform_int(1, 9)));
+    for (int j = 0; j < i; ++j) {
+      if (rng.bernoulli(0.08)) b.add_edge(tasks[j], tasks[i]);
+    }
+  }
+  const KDag dag = std::move(b).build();
+  const Work total_span = span(dag);
+  const auto top = top_span(dag);
+  const auto rem = remaining_span(dag);
+  for (TaskId v = 0; v < dag.task_count(); ++v) {
+    EXPECT_LE(top[v] + rem[v] - dag.work(v), total_span);
+    EXPECT_GE(rem[v], dag.work(v));
+    EXPECT_GE(top[v], dag.work(v));
+  }
+}
+
+TEST(Depth, ChainAndDiamond) {
+  const KDag dag = weighted_diamondish();
+  const auto d = depth(dag);
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], 1u);
+  EXPECT_EQ(d[3], 2u);
+  EXPECT_EQ(height(dag), 2u);
+}
+
+TEST(ExactDescendantCounts, Diamond) {
+  const KDag dag = weighted_diamondish();
+  const auto counts = exact_descendant_counts(dag);
+  EXPECT_EQ(counts[0], 3u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 0u);
+}
+
+TEST(ExactDescendantCounts, SharedDescendantCountedOnce) {
+  // x -> a, x -> b, a -> z, b -> z: x has 3 descendants, not 4.
+  KDagBuilder b(1);
+  const TaskId x = b.add_task(0, 1);
+  const TaskId p = b.add_task(0, 1);
+  const TaskId q = b.add_task(0, 1);
+  const TaskId z = b.add_task(0, 1);
+  b.add_edge(x, p);
+  b.add_edge(x, q);
+  b.add_edge(p, z);
+  b.add_edge(q, z);
+  const auto counts = exact_descendant_counts(std::move(b).build());
+  EXPECT_EQ(counts[x], 3u);
+}
+
+TEST(ExactDescendantCounts, WideGraphCrossesWordBoundary) {
+  // Root with 100 leaves exercises the multi-word bitset path.
+  KDagBuilder b(1);
+  const TaskId root = b.add_task(0, 1);
+  for (int i = 0; i < 100; ++i) b.add_edge(root, b.add_task(0, 1));
+  const auto counts = exact_descendant_counts(std::move(b).build());
+  EXPECT_EQ(counts[root], 100u);
+}
+
+TEST(CriticalPath, FollowsTheLongestChain) {
+  const KDag dag = weighted_diamondish();
+  const auto path = critical_path(dag);
+  // a(3) -> c(7) -> d(4) = 14 = span.
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], 0u);
+  EXPECT_EQ(path[1], 2u);
+  EXPECT_EQ(path[2], 3u);
+}
+
+TEST(CriticalPath, WorkSumsToSpanOnRandomDags) {
+  Rng rng(555);
+  for (int trial = 0; trial < 10; ++trial) {
+    KDagBuilder b(2);
+    std::vector<TaskId> tasks;
+    for (int i = 0; i < 40; ++i) {
+      tasks.push_back(
+          b.add_task(static_cast<ResourceType>(i % 2), rng.uniform_int(1, 7)));
+      for (int j = 0; j < i; ++j) {
+        if (rng.bernoulli(0.1)) b.add_edge(tasks[j], tasks[i]);
+      }
+    }
+    const KDag dag = std::move(b).build();
+    const auto path = critical_path(dag);
+    ASSERT_FALSE(path.empty());
+    Work total = 0;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      total += dag.work(path[i]);
+      if (i > 0) {
+        EXPECT_TRUE(precedes(dag, path[i - 1], path[i]));
+      }
+    }
+    EXPECT_EQ(total, span(dag));
+    // Ends at a sink, starts at a root.
+    EXPECT_EQ(dag.child_count(path.back()), 0u);
+    EXPECT_EQ(dag.parent_count(path.front()), 0u);
+  }
+}
+
+TEST(CriticalPath, SingleTask) {
+  KDagBuilder b(1);
+  (void)b.add_task(0, 5);
+  const auto path = critical_path(std::move(b).build());
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], 0u);
+}
+
+TEST(Precedes, DirectAndTransitive) {
+  const KDag dag = weighted_diamondish();
+  EXPECT_TRUE(precedes(dag, 0, 1));
+  EXPECT_TRUE(precedes(dag, 0, 3));
+  EXPECT_TRUE(precedes(dag, 2, 3));
+  EXPECT_FALSE(precedes(dag, 1, 2));
+  EXPECT_FALSE(precedes(dag, 3, 0));
+  EXPECT_FALSE(precedes(dag, 1, 1));
+}
+
+TEST(Precedes, BadIdThrows) {
+  const KDag dag = weighted_diamondish();
+  EXPECT_THROW((void)precedes(dag, 0, 99), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace fhs

@@ -1,0 +1,222 @@
+#include "graph/kdag.hh"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "graph/kdag_algorithms.hh"
+
+namespace fhs {
+namespace {
+
+KDag diamond() {
+  // 0 -> {1, 2} -> 3, all type 0, unit work.
+  KDagBuilder b(1);
+  const TaskId a = b.add_task(0, 1);
+  const TaskId l = b.add_task(0, 1);
+  const TaskId r = b.add_task(0, 1);
+  const TaskId d = b.add_task(0, 1);
+  b.add_edge(a, l);
+  b.add_edge(a, r);
+  b.add_edge(l, d);
+  b.add_edge(r, d);
+  return std::move(b).build();
+}
+
+TEST(KDagBuilder, RejectsZeroTypes) {
+  EXPECT_THROW(KDagBuilder(0), std::invalid_argument);
+}
+
+TEST(KDagBuilder, RejectsTooManyTypes) {
+  EXPECT_THROW(KDagBuilder(kMaxResourceTypes + 1), std::invalid_argument);
+}
+
+TEST(KDagBuilder, RejectsBadTaskType) {
+  KDagBuilder b(2);
+  EXPECT_THROW(b.add_task(2, 1), std::invalid_argument);
+}
+
+TEST(KDagBuilder, RejectsNonPositiveWork) {
+  KDagBuilder b(1);
+  EXPECT_THROW(b.add_task(0, 0), std::invalid_argument);
+  EXPECT_THROW(b.add_task(0, -5), std::invalid_argument);
+}
+
+TEST(KDagBuilder, RejectsSelfLoop) {
+  KDagBuilder b(1);
+  const TaskId t = b.add_task(0, 1);
+  EXPECT_THROW(b.add_edge(t, t), std::invalid_argument);
+}
+
+TEST(KDagBuilder, RejectsOutOfRangeEdge) {
+  KDagBuilder b(1);
+  (void)b.add_task(0, 1);
+  EXPECT_THROW(b.add_edge(0, 5), std::invalid_argument);
+  EXPECT_THROW(b.add_edge(5, 0), std::invalid_argument);
+}
+
+TEST(KDagBuilder, RejectsEmptyJob) {
+  KDagBuilder b(1);
+  EXPECT_THROW(std::move(b).build(), std::invalid_argument);
+}
+
+TEST(KDagBuilder, RejectsCycle) {
+  KDagBuilder b(1);
+  const TaskId x = b.add_task(0, 1);
+  const TaskId y = b.add_task(0, 1);
+  const TaskId z = b.add_task(0, 1);
+  b.add_edge(x, y);
+  b.add_edge(y, z);
+  b.add_edge(z, x);
+  EXPECT_THROW(std::move(b).build(), std::invalid_argument);
+}
+
+TEST(KDagBuilder, RejectsTwoCycle) {
+  KDagBuilder b(1);
+  const TaskId x = b.add_task(0, 1);
+  const TaskId y = b.add_task(0, 1);
+  b.add_edge(x, y);
+  b.add_edge(y, x);
+  EXPECT_THROW(std::move(b).build(), std::invalid_argument);
+}
+
+TEST(KDagBuilder, DuplicateEdgesCollapse) {
+  KDagBuilder b(1);
+  const TaskId x = b.add_task(0, 1);
+  const TaskId y = b.add_task(0, 1);
+  b.add_edge(x, y);
+  b.add_edge(x, y);
+  b.add_edge(x, y);
+  const KDag dag = std::move(b).build();
+  EXPECT_EQ(dag.edge_count(), 1u);
+  EXPECT_EQ(dag.parent_count(y), 1u);
+}
+
+TEST(KDag, SingleTaskJob) {
+  KDagBuilder b(3);
+  (void)b.add_task(2, 5);
+  const KDag dag = std::move(b).build();
+  EXPECT_EQ(dag.task_count(), 1u);
+  EXPECT_EQ(dag.edge_count(), 0u);
+  EXPECT_EQ(dag.type(0), 2u);
+  EXPECT_EQ(dag.work(0), 5);
+  EXPECT_EQ(dag.total_work(), 5);
+  EXPECT_EQ(dag.total_work(2), 5);
+  EXPECT_EQ(dag.total_work(0), 0);
+  ASSERT_EQ(dag.roots().size(), 1u);
+  EXPECT_EQ(dag.roots()[0], 0u);
+}
+
+TEST(KDag, DiamondAdjacency) {
+  const KDag dag = diamond();
+  EXPECT_EQ(dag.task_count(), 4u);
+  EXPECT_EQ(dag.edge_count(), 4u);
+  const auto children0 = dag.children(0);
+  EXPECT_EQ(std::set<TaskId>(children0.begin(), children0.end()),
+            (std::set<TaskId>{1, 2}));
+  const auto parents3 = dag.parents(3);
+  EXPECT_EQ(std::set<TaskId>(parents3.begin(), parents3.end()),
+            (std::set<TaskId>{1, 2}));
+  EXPECT_EQ(dag.child_count(3), 0u);
+  EXPECT_EQ(dag.parent_count(0), 0u);
+}
+
+TEST(KDag, TopologicalOrderRespectsEdges) {
+  const KDag dag = diamond();
+  const auto order = dag.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<std::size_t> position(4);
+  for (std::size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (TaskId v = 0; v < dag.task_count(); ++v) {
+    for (TaskId child : dag.children(v)) {
+      EXPECT_LT(position[v], position[child]);
+    }
+  }
+}
+
+TEST(KDag, RootsAreParentless) {
+  const KDag dag = diamond();
+  ASSERT_EQ(dag.roots().size(), 1u);
+  EXPECT_EQ(dag.roots()[0], 0u);
+}
+
+TEST(KDag, PerTypeAggregates) {
+  KDagBuilder b(3);
+  (void)b.add_task(0, 2);
+  (void)b.add_task(1, 3);
+  (void)b.add_task(1, 4);
+  const KDag dag = std::move(b).build();
+  EXPECT_EQ(dag.total_work(0), 2);
+  EXPECT_EQ(dag.total_work(1), 7);
+  EXPECT_EQ(dag.total_work(2), 0);
+  EXPECT_EQ(dag.task_count(0), 1u);
+  EXPECT_EQ(dag.task_count(1), 2u);
+  EXPECT_EQ(dag.task_count(2), 0u);
+  EXPECT_EQ(dag.total_work(), 9);
+}
+
+TEST(KDag, OutOfRangeAccessThrows) {
+  const KDag dag = diamond();
+  EXPECT_THROW((void)dag.children(99), std::out_of_range);
+  EXPECT_THROW((void)dag.parents(99), std::out_of_range);
+  EXPECT_THROW((void)dag.type(99), std::out_of_range);
+  EXPECT_THROW((void)dag.work(99), std::out_of_range);
+}
+
+// The paper's Figure 1: a 3-type job with T1(J,a1)=7, T1(J,a2)=4,
+// T1(J,a3)=3 and span T_inf(J)=7, all unit work.  (The figure's exact
+// topology is not recoverable from the text; this fixture reproduces its
+// published aggregate quantities.)
+KDag figure1_job() {
+  KDagBuilder b(3);
+  std::vector<TaskId> circles;  // a1
+  for (int i = 0; i < 7; ++i) circles.push_back(b.add_task(0, 1));
+  for (int i = 0; i + 1 < 7; ++i) b.add_edge(circles[i], circles[i + 1]);
+  std::vector<TaskId> squares;  // a2
+  for (int i = 0; i < 4; ++i) {
+    squares.push_back(b.add_task(1, 1));
+    b.add_edge(circles[i], squares[i]);
+  }
+  for (int i = 0; i < 3; ++i) {  // a3 triangles
+    const TaskId t = b.add_task(2, 1);
+    b.add_edge(squares[i], t);
+  }
+  return std::move(b).build();
+}
+
+TEST(KDag, Figure1Quantities) {
+  const KDag dag = figure1_job();
+  EXPECT_EQ(dag.num_types(), 3u);
+  EXPECT_EQ(dag.task_count(), 14u);
+  EXPECT_EQ(dag.total_work(0), 7);
+  EXPECT_EQ(dag.total_work(1), 4);
+  EXPECT_EQ(dag.total_work(2), 3);
+  EXPECT_EQ(span(dag), 7);
+}
+
+TEST(KDag, LargeLinearChain) {
+  KDagBuilder b(1);
+  constexpr std::size_t kLength = 10000;
+  TaskId prev = b.add_task(0, 1);
+  for (std::size_t i = 1; i < kLength; ++i) {
+    const TaskId next = b.add_task(0, 1);
+    b.add_edge(prev, next);
+    prev = next;
+  }
+  const KDag dag = std::move(b).build();
+  EXPECT_EQ(dag.task_count(), kLength);
+  EXPECT_EQ(dag.edge_count(), kLength - 1);
+  EXPECT_EQ(dag.roots().size(), 1u);
+  EXPECT_EQ(span(dag), static_cast<Work>(kLength));
+}
+
+TEST(KDag, DefaultConstructedIsEmpty) {
+  KDag dag;
+  EXPECT_EQ(dag.task_count(), 0u);
+  EXPECT_EQ(dag.num_types(), 0u);
+}
+
+}  // namespace
+}  // namespace fhs

@@ -1,0 +1,181 @@
+#include "sched/kgreedy.hh"
+
+#include <gtest/gtest.h>
+
+#include "graph/kdag_algorithms.hh"
+#include "sim/engine.hh"
+#include "support/rng.hh"
+#include "workload/workload.hh"
+
+namespace fhs {
+namespace {
+
+TEST(KGreedy, Name) {
+  KGreedyScheduler sched;
+  EXPECT_EQ(sched.name(), "KGreedy");
+}
+
+TEST(KGreedy, RunsTasksFifo) {
+  // Three ready tasks, one processor: executes in ready (id) order.
+  KDagBuilder b(1);
+  (void)b.add_task(0, 2);
+  (void)b.add_task(0, 3);
+  (void)b.add_task(0, 1);
+  const KDag dag = std::move(b).build();
+  KGreedyScheduler sched;
+  ExecutionTrace trace;
+  SimOptions options;
+  options.record_trace = true;
+  (void)simulate(dag, Cluster({1}), sched, options, &trace);
+  ASSERT_EQ(trace.segments().size(), 3u);
+  EXPECT_EQ(trace.segments()[0].task, 0u);
+  EXPECT_EQ(trace.segments()[1].task, 1u);
+  EXPECT_EQ(trace.segments()[2].task, 2u);
+  EXPECT_EQ(trace.segments()[0].start, 0);
+  EXPECT_EQ(trace.segments()[1].start, 2);
+  EXPECT_EQ(trace.segments()[2].start, 5);
+}
+
+TEST(KGreedy, NewlyReadyTasksGoBehindOlderOnes) {
+  // r(w1) -> c(w1); sibling s(w5).  With 1 processor: r, then s was
+  // already queued before c became ready, so order is r, s, c.
+  KDagBuilder b(1);
+  const TaskId r = b.add_task(0, 1);
+  const TaskId s = b.add_task(0, 5);
+  const TaskId c = b.add_task(0, 1);
+  b.add_edge(r, c);
+  const KDag dag = std::move(b).build();
+  (void)s;
+  KGreedyScheduler sched;
+  ExecutionTrace trace;
+  SimOptions options;
+  options.record_trace = true;
+  (void)simulate(dag, Cluster({1}), sched, options, &trace);
+  ASSERT_EQ(trace.segments().size(), 3u);
+  EXPECT_EQ(trace.segments()[0].task, r);
+  EXPECT_EQ(trace.segments()[1].task, s);
+  EXPECT_EQ(trace.segments()[2].task, c);
+}
+
+// Graham-style bound, extended to K types (paper §III, Theorem 3 of
+// [20]): T(KGreedy) <= sum_alpha T1(J,alpha)/P_alpha + T_inf(J).
+TEST(KGreedy, SatisfiesKPlusOneStyleBoundOnRandomJobs) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    Rng rng(seed);
+    WorkloadParams params;
+    switch (seed % 3) {
+      case 0: {
+        EpParams p;
+        p.num_types = 3;
+        params = p;
+        break;
+      }
+      case 1: {
+        TreeParams p;
+        p.num_types = 3;
+        p.max_tasks = 400;
+        params = p;
+        break;
+      }
+      default: {
+        IrParams p;
+        p.num_types = 3;
+        params = p;
+        break;
+      }
+    }
+    const KDag dag = generate(params, rng);
+    const Cluster cluster = sample_uniform_cluster(3, 1, 5, rng);
+    KGreedyScheduler sched;
+    const SimResult result = simulate(dag, cluster, sched);
+    double bound = static_cast<double>(span(dag));
+    for (ResourceType a = 0; a < dag.num_types(); ++a) {
+      bound += static_cast<double>(dag.total_work(a)) /
+               static_cast<double>(cluster.processors(a));
+    }
+    EXPECT_LE(static_cast<double>(result.completion_time), bound + 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(KGreedy, LifoRunsNewestFirst) {
+  KDagBuilder b(1);
+  (void)b.add_task(0, 2);
+  (void)b.add_task(0, 2);
+  (void)b.add_task(0, 2);
+  const KDag dag = std::move(b).build();
+  KGreedyScheduler sched(DispatchOrder::kLifo);
+  ExecutionTrace trace;
+  SimOptions options;
+  options.record_trace = true;
+  (void)simulate(dag, Cluster({1}), sched, options, &trace);
+  ASSERT_EQ(trace.segments().size(), 3u);
+  EXPECT_EQ(trace.segments()[0].task, 2u);
+  EXPECT_EQ(trace.segments()[1].task, 1u);
+  EXPECT_EQ(trace.segments()[2].task, 0u);
+}
+
+TEST(KGreedy, RandomOrderIsSeededDeterministically) {
+  Rng rng(5);
+  EpParams params;
+  params.num_types = 2;
+  const KDag dag = generate_ep(params, rng);
+  const Cluster cluster({2, 2});
+  KGreedyScheduler a(DispatchOrder::kRandom, 7);
+  KGreedyScheduler b(DispatchOrder::kRandom, 7);
+  EXPECT_EQ(simulate(dag, cluster, a).completion_time,
+            simulate(dag, cluster, b).completion_time);
+  // prepare() reseeds, so back-to-back runs on the same instance agree.
+  EXPECT_EQ(simulate(dag, cluster, a).completion_time,
+            simulate(dag, cluster, b).completion_time);
+}
+
+TEST(KGreedy, VariantNames) {
+  EXPECT_EQ(KGreedyScheduler().name(), "KGreedy");
+  EXPECT_EQ(KGreedyScheduler(DispatchOrder::kLifo).name(), "KGreedy+lifo");
+  EXPECT_EQ(KGreedyScheduler(DispatchOrder::kRandom).name(), "KGreedy+random");
+}
+
+TEST(KGreedy, AllOrdersSatisfyTheGreedyBound) {
+  for (std::uint64_t seed = 200; seed < 210; ++seed) {
+    Rng rng(seed);
+    IrParams params;
+    params.num_types = 3;
+    const KDag dag = generate_ir(params, rng);
+    const Cluster cluster = sample_uniform_cluster(3, 1, 5, rng);
+    double bound = static_cast<double>(span(dag));
+    for (ResourceType a = 0; a < dag.num_types(); ++a) {
+      bound += static_cast<double>(dag.total_work(a)) /
+               static_cast<double>(cluster.processors(a));
+    }
+    for (DispatchOrder order :
+         {DispatchOrder::kFifo, DispatchOrder::kLifo, DispatchOrder::kRandom}) {
+      KGreedyScheduler sched(order, seed);
+      const SimResult result = simulate(dag, cluster, sched);
+      EXPECT_LE(static_cast<double>(result.completion_time), bound + 1e-9)
+          << sched.name() << " seed " << seed;
+    }
+  }
+}
+
+TEST(KGreedy, SingleTypeGrahamBound) {
+  // K=1: classic 2 - 1/P bound -> T <= T1/P + (1 - 1/P) * T_inf.
+  for (std::uint64_t seed = 100; seed < 120; ++seed) {
+    Rng rng(seed);
+    EpParams params;
+    params.num_types = 1;
+    const KDag dag = generate_ep(params, rng);
+    const std::uint32_t p = static_cast<std::uint32_t>(rng.uniform_int(1, 6));
+    const Cluster cluster({p});
+    KGreedyScheduler sched;
+    const SimResult result = simulate(dag, cluster, sched);
+    const double bound =
+        static_cast<double>(dag.total_work()) / p +
+        (1.0 - 1.0 / p) * static_cast<double>(span(dag));
+    EXPECT_LE(static_cast<double>(result.completion_time), bound + 1e-9)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace fhs

@@ -1,0 +1,71 @@
+// Lemma 1 (paper §III): drawing balls uniformly without replacement from
+// a box of n balls of which r are red, the expected number of draws to
+// collect all r red balls is r/(r+1) * (n+1).
+//
+// The lemma is the engine of the Theorem-2 lower bound (the "red balls"
+// are the hidden active tasks).  We verify it by Monte-Carlo simulation
+// of the drawing process.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/rng.hh"
+#include "support/stats.hh"
+
+namespace fhs {
+namespace {
+
+double simulate_draws(std::size_t n, std::size_t r, Rng& rng) {
+  // Positions of red balls in a random permutation; the number of draws
+  // to get all reds = 1 + max position.
+  const auto positions = rng.sample_indices(n, r);
+  std::size_t last = 0;
+  for (std::size_t p : positions) last = std::max(last, p);
+  return static_cast<double>(last + 1);
+}
+
+double expected_draws(std::size_t n, std::size_t r) {
+  return static_cast<double>(r) / static_cast<double>(r + 1) *
+         static_cast<double>(n + 1);
+}
+
+class Lemma1Test : public testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(Lemma1Test, MonteCarloMatchesFormula) {
+  const auto [n, r] = GetParam();
+  Rng rng(mix_seed(n, r));
+  RunningStats stats;
+  constexpr int kTrials = 40000;
+  for (int t = 0; t < kTrials; ++t) stats.add(simulate_draws(n, r, rng));
+  const double expected = expected_draws(n, r);
+  // 5-sigma band around the Monte-Carlo mean.
+  EXPECT_NEAR(stats.mean(), expected, 5.0 * stats.sem() + 1e-9)
+      << "n=" << n << " r=" << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BallCounts, Lemma1Test,
+    testing::Values(std::pair<std::size_t, std::size_t>{10, 1},
+                    std::pair<std::size_t, std::size_t>{10, 5},
+                    std::pair<std::size_t, std::size_t>{10, 10},
+                    std::pair<std::size_t, std::size_t>{100, 3},
+                    std::pair<std::size_t, std::size_t>{100, 50},
+                    std::pair<std::size_t, std::size_t>{500, 2},
+                    std::pair<std::size_t, std::size_t>{500, 499}),
+    [](const testing::TestParamInfo<std::pair<std::size_t, std::size_t>>& param) {
+      return "n" + std::to_string(param.param.first) + "_r" +
+             std::to_string(param.param.second);
+    });
+
+TEST(Lemma1, DegenerateAllRed) {
+  // r = n: must draw everything, formula gives n/(n+1)*(n+1) = n.
+  EXPECT_DOUBLE_EQ(expected_draws(7, 7), 7.0);
+}
+
+TEST(Lemma1, SingleRedBallAveragesMidpoint) {
+  // r = 1: (n+1)/2, the average position of one red ball.
+  EXPECT_DOUBLE_EQ(expected_draws(9, 1), 5.0);
+}
+
+}  // namespace
+}  // namespace fhs

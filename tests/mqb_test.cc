@@ -1,0 +1,225 @@
+#include "sched/mqb.hh"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hh"
+#include "sim/schedule_checker.hh"
+#include "sched/kgreedy.hh"
+#include "support/rng.hh"
+#include "workload/workload.hh"
+
+namespace fhs {
+namespace {
+
+TEST(Mqb, NameEncodesOptions) {
+  EXPECT_EQ(MqbScheduler().name(), "MQB+All+Pre");
+  MqbOptions options;
+  options.info.scope = InfoScope::kOneStep;
+  options.info.fidelity = InfoFidelity::kNoisy;
+  EXPECT_EQ(MqbScheduler(options).name(), "MQB+1Step+Noise");
+  MqbOptions ablation;
+  ablation.balance_rule = BalanceRule::kMinOnly;
+  ablation.subtract_self_work = false;
+  EXPECT_EQ(MqbScheduler(ablation).name(), "MQB+All+Pre+minonly+noself");
+}
+
+// Two contended type-0 tasks: `feeder` unlocks heavy type-1 work (raising
+// the empty, bottleneck type-1 queue), `hoarder` unlocks more type-0
+// work.  MQB must run `feeder` first even though `hoarder` is older.
+TEST(Mqb, PicksTaskThatFeedsUnderutilizedQueue) {
+  KDagBuilder builder(2);
+  const TaskId hoarder = builder.add_task(0, 1);
+  const TaskId hoard_child = builder.add_task(0, 10);
+  builder.add_edge(hoarder, hoard_child);
+  const TaskId feeder = builder.add_task(0, 1);
+  const TaskId feed_child = builder.add_task(1, 10);
+  builder.add_edge(feeder, feed_child);
+  const KDag dag = std::move(builder).build();
+  MqbScheduler sched;
+  ExecutionTrace trace;
+  SimOptions options;
+  options.record_trace = true;
+  (void)simulate(dag, Cluster({1, 1}), sched, options, &trace);
+  ASSERT_FALSE(trace.segments().empty());
+  EXPECT_EQ(trace.segments()[0].task, feeder);
+}
+
+TEST(Mqb, RunsAllWhenQueueFitsFreeProcessors) {
+  KDagBuilder builder(1);
+  (void)builder.add_task(0, 3);
+  (void)builder.add_task(0, 3);
+  const KDag dag = std::move(builder).build();
+  MqbScheduler sched;
+  const SimResult result = simulate(dag, Cluster({2}), sched);
+  EXPECT_EQ(result.completion_time, 3);  // both start immediately
+}
+
+// Distinguishes All from 1Step: the type-1 payoff of `deep_feeder` is two
+// hops away, invisible to one-step lookahead.
+TEST(Mqb, OneStepLookaheadMissesDeepDescendants) {
+  auto build = [] {
+    KDagBuilder builder(2);
+    const TaskId deep_feeder = builder.add_task(0, 1);
+    const TaskId mid = builder.add_task(0, 1);
+    const TaskId deep = builder.add_task(1, 10);
+    builder.add_edge(deep_feeder, mid);
+    builder.add_edge(mid, deep);
+    const TaskId near_hoarder = builder.add_task(0, 1);
+    const TaskId near = builder.add_task(0, 10);
+    builder.add_edge(near_hoarder, near);
+    return std::move(builder).build();
+  };
+  const KDag dag = build();
+  const TaskId deep_feeder = 0;
+  const TaskId near_hoarder = 3;
+
+  SimOptions options;
+  options.record_trace = true;
+
+  MqbScheduler all;  // default: All+Pre
+  ExecutionTrace trace_all;
+  (void)simulate(dag, Cluster({1, 1}), all, options, &trace_all);
+  EXPECT_EQ(trace_all.segments()[0].task, deep_feeder);
+
+  MqbOptions one_step_options;
+  one_step_options.info.scope = InfoScope::kOneStep;
+  MqbScheduler one_step(one_step_options);
+  ExecutionTrace trace_one;
+  (void)simulate(dag, Cluster({1, 1}), one_step, options, &trace_one);
+  EXPECT_EQ(trace_one.segments()[0].task, near_hoarder);
+}
+
+// The headline behaviour: on a layered two-phase job where FIFO buries
+// the phase-unlocking tasks behind leaves, MQB finishes strictly earlier
+// than KGreedy.
+TEST(Mqb, BeatsKGreedyOnLayeredJob) {
+  KDagBuilder builder(2);
+  for (int i = 0; i < 5; ++i) (void)builder.add_task(0, 2);  // leaves first (FIFO bait)
+  for (int i = 0; i < 5; ++i) {
+    const TaskId parent = builder.add_task(0, 2);
+    const TaskId child = builder.add_task(1, 4);
+    builder.add_edge(parent, child);
+  }
+  const KDag dag = std::move(builder).build();
+  const Cluster cluster({1, 1});
+  MqbScheduler mqb;
+  KGreedyScheduler kgreedy;
+  const Time t_mqb = simulate(dag, cluster, mqb).completion_time;
+  const Time t_kg = simulate(dag, cluster, kgreedy).completion_time;
+  EXPECT_LT(t_mqb, t_kg);
+  EXPECT_EQ(t_kg, 32);  // leaves 0-10, parents 10-20, reduces trail to 32
+  EXPECT_EQ(t_mqb, 22);  // parents 0-10, reduces pipeline, leaves fill
+}
+
+TEST(Mqb, XUtilizationUsesProcessorCounts) {
+  // Same queue work on both types, but type 1 has fewer processors so its
+  // x-utilization is higher; the bottleneck is type 0's queue... craft:
+  // two candidates feed type1 vs type2 equally; type2 has more
+  // processors, so feeding type2 raises its r less -- the better-balance
+  // pick is the type with fewer processors?  No: balance maximizes the
+  // *minimum* r.  Feeding the queue whose r stays smallest helps most.
+  // With equal descendant work, feeding the MANY-processor type leaves
+  // its r lower, so the sorted vector is... let's just verify the choice.
+  KDagBuilder builder(3);
+  const TaskId to_small = builder.add_task(0, 1);  // feeds type 1 (1 proc)
+  const TaskId c1 = builder.add_task(1, 8);
+  builder.add_edge(to_small, c1);
+  const TaskId to_big = builder.add_task(0, 1);  // feeds type 2 (4 procs)
+  const TaskId c2 = builder.add_task(2, 8);
+  builder.add_edge(to_big, c2);
+  const KDag dag = std::move(builder).build();
+  const Cluster cluster({1, 1, 4});
+  // Candidate to_small: queues (1, 8, 0)/P = (1, 8, 0) sorted (0, 1, 8).
+  // Candidate to_big:   queues (1, 0, 8)/P = (1, 0, 2) sorted (0, 1, 2).
+  // Lexicographic: (0,1,8) > (0,1,2), so to_small wins.
+  MqbScheduler sched;
+  ExecutionTrace trace;
+  SimOptions options;
+  options.record_trace = true;
+  (void)simulate(dag, cluster, sched, options, &trace);
+  EXPECT_EQ(trace.segments()[0].task, to_small);
+}
+
+TEST(Mqb, VariantsProduceValidSchedules) {
+  const char* const kVariants[] = {"all", "1step"};
+  for (const char* scope : kVariants) {
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      Rng rng(seed);
+      IrParams params;
+      params.num_types = 3;
+      const KDag dag = generate_ir(params, rng);
+      const Cluster cluster = sample_uniform_cluster(3, 1, 4, rng);
+      MqbOptions options;
+      options.info.scope =
+          std::string(scope) == "all" ? InfoScope::kAll : InfoScope::kOneStep;
+      MqbScheduler sched(options);
+      ExecutionTrace trace;
+      SimOptions sim_options;
+      sim_options.record_trace = true;
+      (void)simulate(dag, cluster, sched, sim_options, &trace);
+      CheckOptions check;
+      check.require_non_preemptive = true;
+      const auto violations = check_schedule(dag, cluster, trace, check);
+      EXPECT_TRUE(violations.empty())
+          << scope << " seed " << seed << ": " << violations.front();
+    }
+  }
+}
+
+TEST(Mqb, NoisyVariantDeterministicPerSeed) {
+  Rng rng(44);
+  TreeParams params;
+  params.num_types = 3;
+  params.max_tasks = 200;
+  const KDag dag = generate_tree(params, rng);
+  const Cluster cluster({2, 2, 2});
+  MqbOptions options;
+  options.info.fidelity = InfoFidelity::kNoisy;
+  options.info.noise_seed = 987;
+  MqbScheduler a(options);
+  MqbScheduler b(options);
+  EXPECT_EQ(simulate(dag, cluster, a).completion_time,
+            simulate(dag, cluster, b).completion_time);
+}
+
+TEST(Mqb, BalanceRuleVariantsComplete) {
+  Rng rng(55);
+  EpParams params;
+  params.num_types = 3;
+  const KDag dag = generate_ep(params, rng);
+  const Cluster cluster({2, 2, 2});
+  for (BalanceRule rule : {BalanceRule::kLexicographic, BalanceRule::kMinOnly,
+                           BalanceRule::kSumOfSquares}) {
+    MqbOptions options;
+    options.balance_rule = rule;
+    MqbScheduler sched(options);
+    EXPECT_GT(simulate(dag, cluster, sched).completion_time, 0);
+  }
+}
+
+TEST(Mqb, SelfWorkToggleChangesName) {
+  MqbOptions options;
+  options.subtract_self_work = false;
+  MqbScheduler sched(options);
+  EXPECT_NE(sched.name().find("noself"), std::string::npos);
+}
+
+TEST(Mqb, PreemptiveModeValid) {
+  Rng rng(66);
+  IrParams params;
+  params.num_types = 2;
+  const KDag dag = generate_ir(params, rng);
+  const Cluster cluster({2, 2});
+  MqbScheduler sched;
+  ExecutionTrace trace;
+  SimOptions options;
+  options.mode = ExecutionMode::kPreemptive;
+  options.record_trace = true;
+  const SimResult result = simulate(dag, cluster, sched, options, &trace);
+  EXPECT_GT(result.completion_time, 0);
+  const auto violations = check_schedule(dag, cluster, trace);
+  EXPECT_TRUE(violations.empty()) << violations.front();
+}
+
+}  // namespace
+}  // namespace fhs

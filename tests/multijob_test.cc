@@ -1,0 +1,206 @@
+#include "multijob/multijob.hh"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "support/rng.hh"
+
+namespace fhs {
+namespace {
+
+KDag chain_job(ResourceType k, std::initializer_list<std::pair<ResourceType, Work>> tasks) {
+  KDagBuilder b(k);
+  TaskId prev = kInvalidTask;
+  for (const auto& [type, work] : tasks) {
+    const TaskId t = b.add_task(type, work);
+    if (prev != kInvalidTask) b.add_edge(prev, t);
+    prev = t;
+  }
+  return std::move(b).build();
+}
+
+std::vector<JobArrival> two_job_stream() {
+  std::vector<JobArrival> jobs;
+  jobs.push_back({chain_job(1, {{0, 4}, {0, 4}}), 0});
+  jobs.push_back({chain_job(1, {{0, 2}}), 1});
+  return jobs;
+}
+
+TEST(MultiJob, SingleJobMatchesChainSerialization) {
+  std::vector<JobArrival> jobs;
+  jobs.push_back({chain_job(1, {{0, 3}, {0, 5}}), 0});
+  auto sched = make_global_kgreedy();
+  const MultiJobResult result = multi_simulate(jobs, Cluster({2}), *sched);
+  EXPECT_EQ(result.makespan, 8);
+  ASSERT_EQ(result.completion.size(), 1u);
+  EXPECT_EQ(result.completion[0], 8);
+  EXPECT_EQ(result.flow_time[0], 8);
+}
+
+TEST(MultiJob, ArrivalsDelayReadiness) {
+  std::vector<JobArrival> jobs;
+  jobs.push_back({chain_job(1, {{0, 2}}), 0});
+  jobs.push_back({chain_job(1, {{0, 2}}), 10});  // arrives after an idle gap
+  auto sched = make_global_kgreedy();
+  const MultiJobResult result = multi_simulate(jobs, Cluster({1}), *sched);
+  EXPECT_EQ(result.completion[0], 2);
+  EXPECT_EQ(result.completion[1], 12);  // starts at its arrival
+  EXPECT_EQ(result.flow_time[1], 2);
+  EXPECT_EQ(result.makespan, 12);
+}
+
+TEST(MultiJob, FifoSharesByReadyOrder) {
+  const auto jobs = two_job_stream();
+  auto sched = make_global_kgreedy();
+  const MultiJobResult result = multi_simulate(jobs, Cluster({1}), *sched);
+  // FIFO: job0 task0 [0,4), then job1 (ready at 1, queued before job0's
+  // second task became ready at 4) [4,6), then job0 task1 [6,10).
+  EXPECT_EQ(result.completion[0], 10);
+  EXPECT_EQ(result.completion[1], 6);
+}
+
+TEST(MultiJob, FcfsFinishesOlderJobFirst) {
+  const auto jobs = two_job_stream();
+  auto sched = make_fcfs_jobs();
+  const MultiJobResult result = multi_simulate(jobs, Cluster({1}), *sched);
+  // FCFS by job: job0's second task outranks job1's task at t=4.
+  EXPECT_EQ(result.completion[0], 8);
+  EXPECT_EQ(result.completion[1], 10);
+}
+
+TEST(MultiJob, SrjfPrefersShortJob) {
+  // Two jobs arrive together: long (10) and short (2).  One processor.
+  std::vector<JobArrival> jobs;
+  jobs.push_back({chain_job(1, {{0, 10}}), 0});
+  jobs.push_back({chain_job(1, {{0, 2}}), 0});
+  auto sched = make_srjf();
+  const MultiJobResult result = multi_simulate(jobs, Cluster({1}), *sched);
+  EXPECT_EQ(result.completion[1], 2);   // short first
+  EXPECT_EQ(result.completion[0], 12);
+  EXPECT_LT(result.mean_flow_time(), 11.0);  // (12 + 2)/2 = 7 < FIFO's (10+12)/2
+}
+
+TEST(MultiJob, MeanAndMaxFlowTime) {
+  MultiJobResult result;
+  result.flow_time = {2, 4, 9};
+  EXPECT_DOUBLE_EQ(result.mean_flow_time(), 5.0);
+  EXPECT_EQ(result.max_flow_time(), 9);
+}
+
+TEST(MultiJob, WorkConservationAcrossJobs) {
+  // A deliberately idle policy trips the conservation check.
+  class Lazy final : public MultiJobScheduler {
+   public:
+    [[nodiscard]] std::string name() const override { return "Lazy"; }
+    void prepare(std::span<const JobArrival>, const Cluster&) override {}
+    void dispatch(MultiDispatchContext&) override {}
+  };
+  std::vector<JobArrival> jobs;
+  jobs.push_back({chain_job(1, {{0, 1}}), 0});
+  Lazy lazy;
+  EXPECT_THROW((void)multi_simulate(jobs, Cluster({1}), lazy), std::logic_error);
+}
+
+TEST(MultiJob, ValidatesInput) {
+  auto sched = make_global_kgreedy();
+  EXPECT_THROW((void)multi_simulate({}, Cluster({1}), *sched), std::invalid_argument);
+
+  std::vector<JobArrival> unsorted;
+  unsorted.push_back({chain_job(1, {{0, 1}}), 5});
+  unsorted.push_back({chain_job(1, {{0, 1}}), 2});
+  EXPECT_THROW((void)multi_simulate(unsorted, Cluster({1}), *sched),
+               std::invalid_argument);
+
+  std::vector<JobArrival> too_many_types;
+  too_many_types.push_back({chain_job(3, {{2, 1}}), 0});
+  EXPECT_THROW((void)multi_simulate(too_many_types, Cluster({1, 1}), *sched),
+               std::invalid_argument);
+}
+
+TEST(MultiJob, MixedKJobsShareTheCluster) {
+  std::vector<JobArrival> jobs;
+  jobs.push_back({chain_job(1, {{0, 3}}), 0});
+  jobs.push_back({chain_job(2, {{0, 3}, {1, 3}}), 0});
+  auto sched = make_global_kgreedy();
+  const MultiJobResult result = multi_simulate(jobs, Cluster({2, 1}), *sched);
+  EXPECT_EQ(result.completion[0], 3);
+  EXPECT_EQ(result.completion[1], 6);
+}
+
+TEST(MultiJob, FactoryNamesAndErrors) {
+  EXPECT_EQ(make_multijob_scheduler("kgreedy")->name(), "KGreedy");
+  EXPECT_EQ(make_multijob_scheduler("fcfs")->name(), "FCFS-jobs");
+  EXPECT_EQ(make_multijob_scheduler("srjf")->name(), "SRJF");
+  EXPECT_EQ(make_multijob_scheduler("mqb")->name(), "MQB");
+  EXPECT_THROW((void)make_multijob_scheduler("nope"), std::invalid_argument);
+}
+
+WorkloadParams ep_workload_for_test() {
+  EpParams params;
+  params.num_types = 2;
+  return params;
+}
+
+TEST(MultiJob, SampleStreamProperties) {
+  Rng rng(5);
+  StreamParams params;
+  params.count = 12;
+  params.mean_interarrival = 50.0;
+  const auto jobs = sample_stream(ep_workload_for_test(), params, rng);
+  ASSERT_EQ(jobs.size(), 12u);
+  EXPECT_EQ(jobs.front().arrival, 0);
+  for (std::size_t j = 1; j < jobs.size(); ++j) {
+    EXPECT_GE(jobs[j].arrival, jobs[j - 1].arrival);
+    EXPECT_GT(jobs[j].dag.task_count(), 0u);
+  }
+}
+
+TEST(MultiJob, AllPoliciesCompleteAStream) {
+  Rng rng(7);
+  StreamParams stream;
+  stream.count = 8;
+  stream.mean_interarrival = 80.0;
+  IrParams workload;
+  workload.num_types = 3;
+  workload.min_iterations = 2;
+  workload.max_iterations = 4;
+  workload.min_maps = 10;
+  workload.max_maps = 20;
+  const auto jobs = sample_stream(workload, stream, rng);
+  const Cluster cluster({4, 4, 4});
+  Work total = 0;
+  for (const auto& job : jobs) total += job.dag.total_work();
+  for (const char* name : {"kgreedy", "fcfs", "srjf", "mqb"}) {
+    auto sched = make_multijob_scheduler(name);
+    const MultiJobResult result = multi_simulate(jobs, cluster, *sched);
+    ASSERT_EQ(result.completion.size(), jobs.size()) << name;
+    Work busy = 0;
+    for (Time t : result.busy_ticks_per_type) busy += t;
+    EXPECT_EQ(busy, total) << name;  // every task ran exactly once
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      EXPECT_GE(result.completion[j], jobs[j].arrival) << name;
+      EXPECT_EQ(result.flow_time[j], result.completion[j] - jobs[j].arrival) << name;
+    }
+    EXPECT_EQ(result.makespan,
+              *std::max_element(result.completion.begin(), result.completion.end()))
+        << name;
+  }
+}
+
+TEST(MultiJob, DeterministicAcrossRuns) {
+  Rng rng(9);
+  StreamParams stream;
+  stream.count = 5;
+  EpParams workload;
+  workload.num_types = 2;
+  const auto jobs = sample_stream(WorkloadParams{workload}, stream, rng);
+  const Cluster cluster({3, 3});
+  auto a = make_global_mqb();
+  auto b = make_global_mqb();
+  EXPECT_EQ(multi_simulate(jobs, cluster, *a).makespan,
+            multi_simulate(jobs, cluster, *b).makespan);
+}
+
+}  // namespace
+}  // namespace fhs

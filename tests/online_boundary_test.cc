@@ -1,0 +1,93 @@
+// Enforces the documented information boundary (paper §II): online
+// policies may see queue membership and sizes, but never task works,
+// remaining works, or queue work totals.  A guarded fake DispatchContext
+// throws on any offline accessor; the online policies must dispatch a
+// whole scenario through it without tripping the guard.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sched/kgreedy.hh"
+
+namespace fhs {
+namespace {
+
+class OnlineOnlyContext final : public DispatchContext {
+ public:
+  OnlineOnlyContext(ResourceType k, std::vector<std::uint32_t> free,
+                    std::vector<std::vector<TaskId>> queues)
+      : k_(k), free_(std::move(free)), queues_(std::move(queues)) {}
+
+  [[nodiscard]] ResourceType num_types() const noexcept override { return k_; }
+  [[nodiscard]] Time now() const noexcept override { return 0; }
+  [[nodiscard]] std::uint32_t free_processors(ResourceType alpha) const override {
+    return free_.at(alpha);
+  }
+  [[nodiscard]] std::uint32_t total_processors(ResourceType alpha) const override {
+    return free_.at(alpha) + 1;
+  }
+  [[nodiscard]] std::span<const TaskId> ready(ResourceType alpha) const override {
+    return queues_.at(alpha);
+  }
+  [[nodiscard]] Work queue_work(ResourceType) const override {
+    throw std::runtime_error("online policy accessed queue_work (offline info)");
+  }
+  [[nodiscard]] Work remaining_work(TaskId) const override {
+    throw std::runtime_error("online policy accessed remaining_work (offline info)");
+  }
+  void assign(ResourceType alpha, std::size_t index) override {
+    auto& queue = queues_.at(alpha);
+    ASSERT_LT(index, queue.size());
+    ASSERT_GT(free_.at(alpha), 0u);
+    assigned_.push_back(queue[index]);
+    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(index));
+    --free_[alpha];
+  }
+
+  [[nodiscard]] const std::vector<TaskId>& assigned() const noexcept {
+    return assigned_;
+  }
+
+ private:
+  ResourceType k_;
+  std::vector<std::uint32_t> free_;
+  std::vector<std::vector<TaskId>> queues_;
+  std::vector<TaskId> assigned_;
+};
+
+TEST(OnlineBoundary, KGreedyFifoNeverReadsOfflineInfo) {
+  OnlineOnlyContext ctx(2, {2, 1}, {{10, 11, 12}, {20}});
+  KGreedyScheduler sched;
+  EXPECT_NO_THROW(sched.dispatch(ctx));
+  // Fills both pools FIFO.
+  ASSERT_EQ(ctx.assigned().size(), 3u);
+  EXPECT_EQ(ctx.assigned()[0], 10u);
+  EXPECT_EQ(ctx.assigned()[1], 11u);
+  EXPECT_EQ(ctx.assigned()[2], 20u);
+}
+
+TEST(OnlineBoundary, KGreedyLifoNeverReadsOfflineInfo) {
+  OnlineOnlyContext ctx(1, {1}, {{1, 2, 3}});
+  KGreedyScheduler sched(DispatchOrder::kLifo);
+  EXPECT_NO_THROW(sched.dispatch(ctx));
+  ASSERT_EQ(ctx.assigned().size(), 1u);
+  EXPECT_EQ(ctx.assigned()[0], 3u);
+}
+
+TEST(OnlineBoundary, KGreedyRandomNeverReadsOfflineInfo) {
+  OnlineOnlyContext ctx(1, {2}, {{1, 2, 3, 4}});
+  KGreedyScheduler sched(DispatchOrder::kRandom, 9);
+  EXPECT_NO_THROW(sched.dispatch(ctx));
+  EXPECT_EQ(ctx.assigned().size(), 2u);
+}
+
+TEST(OnlineBoundary, EmptyQueuesAreHandled) {
+  OnlineOnlyContext ctx(3, {1, 1, 1}, {{}, {}, {}});
+  KGreedyScheduler sched;
+  EXPECT_NO_THROW(sched.dispatch(ctx));
+  EXPECT_TRUE(ctx.assigned().empty());
+}
+
+}  // namespace
+}  // namespace fhs

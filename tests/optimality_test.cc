@@ -1,0 +1,175 @@
+// Cross-checks every heuristic against an exact brute-force optimum on
+// small unit-work jobs, and pins the classical optimality results the
+// paper cites (Hu 1961: longest-span-first is optimal for unit out-trees
+// on identical processors; the paper notes LSpan is NOT optimal for
+// out-trees once K > 1).
+#include <gtest/gtest.h>
+
+#include "metrics/bounds.hh"
+#include "sched/registry.hh"
+#include "sim/engine.hh"
+#include "support/rng.hh"
+#include "test_util.hh"
+
+namespace fhs {
+namespace {
+
+using testutil::brute_force_optimal_makespan;
+using testutil::random_unit_dag;
+using testutil::random_unit_out_tree;
+
+TEST(BruteForce, ChainIsSerial) {
+  KDagBuilder b(1);
+  TaskId prev = b.add_task(0, 1);
+  for (int i = 0; i < 4; ++i) {
+    const TaskId next = b.add_task(0, 1);
+    b.add_edge(prev, next);
+    prev = next;
+  }
+  const KDag dag = std::move(b).build();
+  EXPECT_EQ(brute_force_optimal_makespan(dag, Cluster({3})), 5);
+}
+
+TEST(BruteForce, IndependentTasksPack) {
+  KDagBuilder b(1);
+  for (int i = 0; i < 7; ++i) (void)b.add_task(0, 1);
+  const KDag dag = std::move(b).build();
+  EXPECT_EQ(brute_force_optimal_makespan(dag, Cluster({3})), 3);  // ceil(7/3)
+}
+
+TEST(BruteForce, TwoTypesInterleave) {
+  // t0 -> t1 chains x2, P = (1,1): optimal pipelines in 3 ticks.
+  KDagBuilder b(2);
+  for (int i = 0; i < 2; ++i) {
+    const TaskId head = b.add_task(0, 1);
+    const TaskId tail = b.add_task(1, 1);
+    b.add_edge(head, tail);
+  }
+  const KDag dag = std::move(b).build();
+  EXPECT_EQ(brute_force_optimal_makespan(dag, Cluster({1, 1})), 3);
+}
+
+TEST(BruteForce, MatchesLowerBoundOnSeparableJobs) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const KDag dag = random_unit_dag(10, 2, 0.15, rng);
+    const Cluster cluster({2, 2});
+    const Time optimal = brute_force_optimal_makespan(dag, cluster);
+    EXPECT_GE(optimal, completion_time_lower_bound(dag, cluster));
+  }
+}
+
+TEST(BruteForce, RejectsNonUnitWork) {
+  KDagBuilder b(1);
+  (void)b.add_task(0, 3);
+  const KDag dag = std::move(b).build();
+  EXPECT_THROW((void)brute_force_optimal_makespan(dag, Cluster({1})),
+               std::invalid_argument);
+}
+
+// Every policy must be within the brute-force optimum's reach: never
+// better, and (being greedy/work-conserving) never worse than the
+// Graham-style factor.
+TEST(AllSchedulers, NeverBeatOptimalAndStayWithinGreedyBound) {
+  Rng rng(42);
+  for (int trial = 0; trial < 15; ++trial) {
+    const ResourceType k = static_cast<ResourceType>(1 + rng.uniform_below(3));
+    const KDag dag = random_unit_dag(11, k, 0.2, rng);
+    std::vector<std::uint32_t> procs(k);
+    for (auto& p : procs) p = static_cast<std::uint32_t>(rng.uniform_int(1, 3));
+    const Cluster cluster(procs);
+    const Time optimal = brute_force_optimal_makespan(dag, cluster);
+    double greedy_bound = 0.0;
+    for (ResourceType a = 0; a < k; ++a) {
+      greedy_bound += static_cast<double>(dag.total_work(a)) /
+                      static_cast<double>(cluster.processors(a));
+    }
+    greedy_bound += static_cast<double>(optimal);  // span <= optimal
+    for (const std::string& name : paper_scheduler_names()) {
+      auto sched = make_scheduler(name);
+      const Time t = simulate(dag, cluster, *sched).completion_time;
+      EXPECT_GE(t, optimal) << name << " trial " << trial;
+      EXPECT_LE(static_cast<double>(t), greedy_bound + 1e-9)
+          << name << " trial " << trial;
+    }
+  }
+}
+
+// Hu's theorem (paper §VI): LSpan is optimal for unit-work out-trees on
+// a single resource type.
+TEST(LSpan, OptimalForUnitOutTreesSingleType) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const KDag dag = random_unit_out_tree(12, rng);
+    const std::uint32_t p = static_cast<std::uint32_t>(rng.uniform_int(1, 3));
+    const Cluster cluster({p});
+    const Time optimal = brute_force_optimal_makespan(dag, cluster);
+    auto lspan = make_scheduler("lspan");
+    const Time t = simulate(dag, cluster, *lspan).completion_time;
+    EXPECT_EQ(t, optimal) << "trial " << trial << " P=" << p;
+  }
+}
+
+// The paper's §VI remark: simple counter-examples show LSpan is NOT
+// optimal for out-trees once there are multiple resource types.  This is
+// one such counter-example, pinned as a regression test.
+TEST(LSpan, NotOptimalForMultiTypeOutTrees) {
+  // Root (t0) has two subtrees: a long all-t0 chain and a t0 node whose
+  // children are t1 tasks.  LSpan favours the long t0 chain; the optimal
+  // schedule unlocks the t1 work first.
+  KDagBuilder b(2);
+  const TaskId root = b.add_task(0, 1);
+  // Chain of 3 t0 tasks (remaining span from its head: 3).
+  TaskId prev = b.add_task(0, 1);
+  b.add_edge(root, prev);
+  for (int i = 0; i < 2; ++i) {
+    const TaskId next = b.add_task(0, 1);
+    b.add_edge(prev, next);
+    prev = next;
+  }
+  // Unlocker (span 2) whose children are four t1 tasks -- the t1 volume
+  // dominates, so delaying the unlocker by preferring the long t0 chain
+  // costs a tick.
+  const TaskId unlocker = b.add_task(0, 1);
+  b.add_edge(root, unlocker);
+  for (int i = 0; i < 4; ++i) {
+    const TaskId t1 = b.add_task(1, 1);
+    b.add_edge(unlocker, t1);
+  }
+  const KDag dag = std::move(b).build();
+  const Cluster cluster({1, 1});
+  const Time optimal = brute_force_optimal_makespan(dag, cluster);
+  EXPECT_EQ(optimal, 6);
+  auto lspan = make_scheduler("lspan");
+  const Time t_lspan = simulate(dag, cluster, *lspan).completion_time;
+  EXPECT_EQ(t_lspan, 7);
+  EXPECT_GT(t_lspan, optimal);
+}
+
+// MQB on the same counter-example: the typed descendant values see the
+// t1 payoff and recover the optimal schedule.
+TEST(Mqb, SolvesLSpanCounterExample) {
+  KDagBuilder b(2);
+  const TaskId root = b.add_task(0, 1);
+  TaskId prev = b.add_task(0, 1);
+  b.add_edge(root, prev);
+  for (int i = 0; i < 2; ++i) {
+    const TaskId next = b.add_task(0, 1);
+    b.add_edge(prev, next);
+    prev = next;
+  }
+  const TaskId unlocker = b.add_task(0, 1);
+  b.add_edge(root, unlocker);
+  for (int i = 0; i < 4; ++i) {
+    const TaskId t1 = b.add_task(1, 1);
+    b.add_edge(unlocker, t1);
+  }
+  const KDag dag = std::move(b).build();
+  const Cluster cluster({1, 1});
+  const Time optimal = brute_force_optimal_makespan(dag, cluster);
+  auto mqb = make_scheduler("mqb");
+  EXPECT_EQ(simulate(dag, cluster, *mqb).completion_time, optimal);
+}
+
+}  // namespace
+}  // namespace fhs

@@ -1,0 +1,71 @@
+#include "support/parallel.hh"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace fhs {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 10000;
+  std::vector<std::atomic<int>> hits(kCount);
+  parallel_for(kCount, [&](std::size_t i) { hits[i].fetch_add(1); }, 4);
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  bool called = false;
+  parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleThreadRunsInOrder) {
+  std::vector<std::size_t> order;
+  parallel_for(100, [&](std::size_t i) { order.push_back(i); }, 1);
+  ASSERT_EQ(order.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelFor, ResultsMatchSerial) {
+  constexpr std::size_t kCount = 5000;
+  std::vector<double> serial(kCount);
+  std::vector<double> parallel(kCount);
+  auto compute = [](std::size_t i) { return static_cast<double>(i * i) * 0.5; };
+  parallel_for(kCount, [&](std::size_t i) { serial[i] = compute(i); }, 1);
+  parallel_for(kCount, [&](std::size_t i) { parallel[i] = compute(i); }, 8);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelFor, PropagatesException) {
+  EXPECT_THROW(
+      parallel_for(100,
+                   [](std::size_t i) {
+                     if (i == 42) throw std::runtime_error("boom");
+                   },
+                   4),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, ExceptionOnSingleThreadPropagates) {
+  EXPECT_THROW(parallel_for(10,
+                            [](std::size_t i) {
+                              if (i == 3) throw std::logic_error("bad");
+                            },
+                            1),
+               std::logic_error);
+}
+
+TEST(ParallelFor, MoreThreadsThanWork) {
+  std::atomic<int> total{0};
+  parallel_for(3, [&](std::size_t) { total.fetch_add(1); }, 64);
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(DefaultThreadCount, IsPositive) { EXPECT_GE(default_thread_count(), 1u); }
+
+}  // namespace
+}  // namespace fhs

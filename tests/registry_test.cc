@@ -1,0 +1,79 @@
+#include "sched/registry.hh"
+
+#include <gtest/gtest.h>
+
+namespace fhs {
+namespace {
+
+TEST(Registry, CreatesAllPaperSchedulers) {
+  for (const std::string& name : paper_scheduler_names()) {
+    auto sched = make_scheduler(name);
+    ASSERT_NE(sched, nullptr) << name;
+    EXPECT_FALSE(sched->name().empty());
+  }
+}
+
+TEST(Registry, PaperOrderMatchesFigures) {
+  const auto& names = paper_scheduler_names();
+  ASSERT_EQ(names.size(), 6u);
+  EXPECT_EQ(names.front(), "kgreedy");
+  EXPECT_EQ(names.back(), "mqb");
+}
+
+TEST(Registry, CreatesAllFig8Schedulers) {
+  const auto& names = fig8_scheduler_names();
+  ASSERT_EQ(names.size(), 7u);
+  for (const std::string& name : names) {
+    EXPECT_NE(make_scheduler(name, 7), nullptr) << name;
+  }
+}
+
+TEST(Registry, CaseInsensitive) {
+  EXPECT_EQ(make_scheduler("KGreedy")->name(), "KGreedy");
+  EXPECT_EQ(make_scheduler("MQB")->name(), "MQB+All+Pre");
+  EXPECT_EQ(make_scheduler("ShiftBT")->name(), "ShiftBT");
+}
+
+TEST(Registry, MqbVariantParsing) {
+  EXPECT_EQ(make_scheduler("mqb+1step+noise")->name(), "MQB+1Step+Noise");
+  EXPECT_EQ(make_scheduler("mqb+all+exp")->name(), "MQB+All+Exp");
+  EXPECT_EQ(make_scheduler("mqb+1step")->name(), "MQB+1Step+Pre");
+  EXPECT_EQ(make_scheduler("mqb+noself")->name(), "MQB+All+Pre+noself");
+  EXPECT_EQ(make_scheduler("mqb+minonly")->name(), "MQB+All+Pre+minonly");
+  EXPECT_EQ(make_scheduler("mqb+sumsq")->name(), "MQB+All+Pre+sumsq");
+}
+
+TEST(Registry, EddScheduler) {
+  EXPECT_EQ(make_scheduler("edd")->name(), "EDD");
+}
+
+TEST(Registry, KGreedyVariants) {
+  EXPECT_EQ(make_scheduler("kgreedy+lifo")->name(), "KGreedy+lifo");
+  EXPECT_EQ(make_scheduler("kgreedy+random", 3)->name(), "KGreedy+random");
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW((void)make_scheduler("nonsense"), std::invalid_argument);
+  EXPECT_THROW((void)make_scheduler(""), std::invalid_argument);
+}
+
+TEST(Registry, UnknownMqbOptionThrows) {
+  EXPECT_THROW((void)make_scheduler("mqb+turbo"), std::invalid_argument);
+}
+
+TEST(Registry, SplitSchedulerList) {
+  const auto parts = split_scheduler_list("kgreedy,mqb,lspan");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "kgreedy");
+  EXPECT_EQ(parts[2], "lspan");
+  EXPECT_TRUE(split_scheduler_list("").empty());
+}
+
+TEST(Registry, DistinctInstancesReturned) {
+  auto a = make_scheduler("mqb");
+  auto b = make_scheduler("mqb");
+  EXPECT_NE(a.get(), b.get());
+}
+
+}  // namespace
+}  // namespace fhs

@@ -1,0 +1,68 @@
+#include "exp/report.hh"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "exp/configs.hh"
+
+namespace fhs {
+namespace {
+
+ExperimentResult sample_result() {
+  ExperimentSpec spec;
+  spec.name = "demo";
+  spec.workload = ep_workload(TypeAssignment::kLayered, 2);
+  spec.cluster = small_cluster(2);
+  spec.schedulers = {"kgreedy", "mqb"};
+  spec.instances = 10;
+  return run_experiment(spec);
+}
+
+TEST(Report, ResultTableHasRowPerScheduler) {
+  const ExperimentResult result = sample_result();
+  const Table table = result_table(result);
+  EXPECT_EQ(table.row_count(), 2u);
+  EXPECT_EQ(table.cell(0, 0), "kgreedy");
+  EXPECT_EQ(table.cell(1, 0), "mqb");
+}
+
+TEST(Report, PrintResultMentionsConfig) {
+  const ExperimentResult result = sample_result();
+  std::ostringstream out;
+  print_result(out, result);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("demo"), std::string::npos);
+  EXPECT_NE(text.find("layered EP"), std::string::npos);
+  EXPECT_NE(text.find("non-preemptive"), std::string::npos);
+  EXPECT_NE(text.find("n=10"), std::string::npos);
+}
+
+TEST(Report, PrintResultCsvMode) {
+  const ExperimentResult result = sample_result();
+  std::ostringstream out;
+  print_result(out, result, /*csv=*/true);
+  EXPECT_NE(out.str().find("scheduler,mean ratio"), std::string::npos);
+}
+
+TEST(Report, ComparisonTableLayout) {
+  ExperimentResult a = sample_result();
+  a.spec.name = "panel-a";
+  ExperimentResult b = sample_result();
+  b.spec.name = "panel-b";
+  const Table table = comparison_table({a, b});
+  EXPECT_EQ(table.column_count(), 3u);
+  EXPECT_EQ(table.row_count(), 2u);
+  EXPECT_EQ(table.cell(0, 0), "kgreedy");
+}
+
+TEST(Report, ComparisonTableRejectsMismatchedSchedulers) {
+  ExperimentResult a = sample_result();
+  ExperimentResult b = sample_result();
+  b.spec.schedulers = {"kgreedy"};
+  EXPECT_THROW((void)comparison_table({a, b}), std::invalid_argument);
+  EXPECT_THROW((void)comparison_table({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fhs

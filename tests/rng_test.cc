@@ -1,0 +1,221 @@
+#include "support/rng.hh"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <vector>
+
+namespace fhs {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  std::uint64_t s1 = 42;
+  std::uint64_t s2 = 42;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(SplitMix64, AdvancesState) {
+  std::uint64_t s = 42;
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+TEST(MixSeed, DistinctInputsGiveDistinctSeeds) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      seen.insert(mix_seed(a, b));
+    }
+  }
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(MixSeed, OrderSensitive) {
+  EXPECT_NE(mix_seed(1, 2), mix_seed(2, 1));
+  EXPECT_NE(mix_seed(1, 2, 3), mix_seed(1, 3, 2));
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() != b()) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng rng(7);
+  std::array<std::uint64_t, 8> first{};
+  for (auto& v : first) v = rng();
+  rng.reseed(7);
+  for (std::uint64_t v : first) EXPECT_EQ(rng(), v);
+}
+
+TEST(Rng, UniformBelowInRange) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_below(7), 7u);
+  }
+}
+
+TEST(Rng, UniformBelowOneIsZero) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_below(1), 0u);
+}
+
+TEST(Rng, UniformBelowCoversAllValues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformBelowIsApproximatelyUniform) {
+  Rng rng(17);
+  std::array<int, 10> counts{};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform_below(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 10, 500);  // ~5 sigma
+  }
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformRealInHalfOpenRange) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform_real(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformRealMeanIsCentered) {
+  Rng rng(29);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.uniform_real();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(37);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(41);
+  double sum = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / kDraws, 5.0, 0.1);
+}
+
+TEST(Rng, ExponentialZeroMeanIsZero) {
+  Rng rng(43);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.exponential(0.0), 0.0);
+}
+
+TEST(Rng, ExponentialNonNegative) {
+  Rng rng(47);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.exponential(2.0), 0.0);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(53);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = values;
+  rng.shuffle(std::span<int>(shuffled));
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(59);
+  std::vector<int> original(32);
+  for (std::size_t i = 0; i < 32; ++i) original[i] = static_cast<int>(i);
+  std::vector<int> shuffled = original;
+  rng.shuffle(std::span<int>(shuffled));
+  EXPECT_NE(shuffled, original);  // probability ~1/32! of flaking
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng(61);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto picks = rng.sample_indices(50, 10);
+    ASSERT_EQ(picks.size(), 10u);
+    std::set<std::size_t> unique(picks.begin(), picks.end());
+    EXPECT_EQ(unique.size(), 10u);
+    for (std::size_t p : picks) EXPECT_LT(p, 50u);
+  }
+}
+
+TEST(Rng, SampleIndicesAllOfThem) {
+  Rng rng(67);
+  const auto picks = rng.sample_indices(8, 8);
+  std::set<std::size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 8u);
+}
+
+TEST(Rng, SampleIndicesZero) {
+  Rng rng(71);
+  EXPECT_TRUE(rng.sample_indices(5, 0).empty());
+}
+
+TEST(Rng, SampleIndicesUniformCoverage) {
+  // Each index should be picked with probability k/n.
+  Rng rng(73);
+  std::array<int, 20> counts{};
+  constexpr int kTrials = 20000;
+  for (int t = 0; t < kTrials; ++t) {
+    for (std::size_t p : rng.sample_indices(20, 4)) ++counts[p];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kTrials / 5, 300);
+  }
+}
+
+}  // namespace
+}  // namespace fhs

@@ -1,0 +1,149 @@
+#include "exp/runner.hh"
+
+#include <gtest/gtest.h>
+
+#include "exp/configs.hh"
+#include "support/rng.hh"
+
+namespace fhs {
+namespace {
+
+ExperimentSpec tiny_spec() {
+  ExperimentSpec spec;
+  spec.name = "tiny";
+  spec.workload = ep_workload(TypeAssignment::kLayered, 2);
+  spec.cluster = small_cluster(2);
+  spec.schedulers = {"kgreedy", "mqb"};
+  spec.instances = 20;
+  spec.seed = 7;
+  return spec;
+}
+
+TEST(Runner, ProducesStatsForEveryScheduler) {
+  const ExperimentResult result = run_experiment(tiny_spec());
+  ASSERT_EQ(result.outcomes.size(), 2u);
+  for (const SchedulerOutcome& o : result.outcomes) {
+    EXPECT_EQ(o.ratio.count(), 20u);
+    EXPECT_GE(o.ratio.min(), 1.0 - 1e-9);  // never beats the lower bound
+    EXPECT_GT(o.completion_time.mean(), 0.0);
+    EXPECT_GT(o.mean_utilization.mean(), 0.0);
+    EXPECT_LE(o.mean_utilization.max(), 1.0 + 1e-9);
+  }
+}
+
+TEST(Runner, DeterministicAcrossThreadCounts) {
+  ExperimentSpec spec = tiny_spec();
+  spec.threads = 1;
+  const ExperimentResult serial = run_experiment(spec);
+  spec.threads = 4;
+  const ExperimentResult parallel = run_experiment(spec);
+  for (std::size_t s = 0; s < spec.schedulers.size(); ++s) {
+    EXPECT_DOUBLE_EQ(serial.outcomes[s].ratio.mean(),
+                     parallel.outcomes[s].ratio.mean());
+    EXPECT_DOUBLE_EQ(serial.outcomes[s].ratio.max(), parallel.outcomes[s].ratio.max());
+  }
+}
+
+TEST(Runner, DeterministicAcrossRuns) {
+  const ExperimentResult a = run_experiment(tiny_spec());
+  const ExperimentResult b = run_experiment(tiny_spec());
+  EXPECT_DOUBLE_EQ(a.outcomes[0].ratio.mean(), b.outcomes[0].ratio.mean());
+  EXPECT_DOUBLE_EQ(a.outcomes[1].ratio.mean(), b.outcomes[1].ratio.mean());
+}
+
+TEST(Runner, SeedChangesResults) {
+  ExperimentSpec spec = tiny_spec();
+  const ExperimentResult a = run_experiment(spec);
+  spec.seed = 8;
+  const ExperimentResult b = run_experiment(spec);
+  EXPECT_NE(a.outcomes[0].completion_time.mean(), b.outcomes[0].completion_time.mean());
+}
+
+TEST(Runner, OutcomeLookup) {
+  const ExperimentResult result = run_experiment(tiny_spec());
+  EXPECT_EQ(result.outcome("kgreedy").scheduler, "kgreedy");
+  EXPECT_THROW((void)result.outcome("lspan"), std::out_of_range);
+}
+
+TEST(Runner, RejectsBadSpecs) {
+  ExperimentSpec no_sched = tiny_spec();
+  no_sched.schedulers.clear();
+  EXPECT_THROW((void)run_experiment(no_sched), std::invalid_argument);
+
+  ExperimentSpec no_instances = tiny_spec();
+  no_instances.instances = 0;
+  EXPECT_THROW((void)run_experiment(no_instances), std::invalid_argument);
+
+  ExperimentSpec bad_sched = tiny_spec();
+  bad_sched.schedulers = {"bogus"};
+  EXPECT_THROW((void)run_experiment(bad_sched), std::invalid_argument);
+
+  ExperimentSpec too_few_types = tiny_spec();
+  too_few_types.cluster.num_types = 1;
+  EXPECT_THROW((void)run_experiment(too_few_types), std::invalid_argument);
+}
+
+TEST(Runner, PreemptiveModeCountsPreemptions) {
+  ExperimentSpec spec = tiny_spec();
+  spec.schedulers = {"lspan"};
+  spec.mode = ExecutionMode::kPreemptive;
+  const ExperimentResult result = run_experiment(spec);
+  // Preemption counter is merely >= 0; presence of the stat is the test.
+  EXPECT_EQ(result.outcomes[0].preemptions.count(), spec.instances);
+}
+
+TEST(Runner, PairedInstancesShareLowerBound) {
+  // With the same seed, a scheduler compared against itself must tie
+  // exactly -- evidence that both runs saw identical (job, cluster).
+  ExperimentSpec spec = tiny_spec();
+  spec.schedulers = {"kgreedy", "kgreedy"};
+  const ExperimentResult result = run_experiment(spec);
+  EXPECT_DOUBLE_EQ(result.outcomes[0].ratio.mean(), result.outcomes[1].ratio.mean());
+  EXPECT_DOUBLE_EQ(result.outcomes[0].completion_time.mean(),
+                   result.outcomes[1].completion_time.mean());
+}
+
+TEST(Runner, PairedReductionAgainstBaseline) {
+  const ExperimentResult result = run_experiment(tiny_spec());
+  // First scheduler is the baseline: no samples.
+  EXPECT_TRUE(result.outcomes[0].reduction_vs_baseline.empty());
+  // Second scheduler gets one paired sample per instance.
+  EXPECT_EQ(result.outcomes[1].reduction_vs_baseline.count(), 20u);
+  // Reduction is consistent with the mean completion times (paired means
+  // of ratios differ from ratio of means, but signs must agree strongly
+  // here since MQB dominates KGreedy on layered EP).
+  EXPECT_GT(result.outcomes[1].reduction_vs_baseline.mean(), 0.0);
+}
+
+TEST(Runner, SelfComparisonHasZeroReduction) {
+  ExperimentSpec spec = tiny_spec();
+  spec.schedulers = {"kgreedy", "kgreedy"};
+  const ExperimentResult result = run_experiment(spec);
+  EXPECT_DOUBLE_EQ(result.outcomes[1].reduction_vs_baseline.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(result.outcomes[1].reduction_vs_baseline.max(), 0.0);
+}
+
+TEST(ClusterParams, SampleRespectsSkew) {
+  ClusterParams params = medium_cluster(3);
+  params.skew_type = 0;
+  params.skew_factor = 0.2;
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    const Cluster cluster = params.sample(rng);
+    // ceil(U[10,20] * 0.2) in [2, 4]; other types untouched in [10, 20].
+    EXPECT_GE(cluster.processors(0), 2u);
+    EXPECT_LE(cluster.processors(0), 4u);
+    EXPECT_GE(cluster.processors(1), 10u);
+  }
+}
+
+TEST(ClusterParams, DescribeMentionsSkew) {
+  ClusterParams params = small_cluster(2);
+  EXPECT_EQ(params.describe().find("skew"), std::string::npos);
+  params.skew_type = 1;
+  params.skew_factor = 0.5;
+  EXPECT_NE(params.describe().find("skew"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fhs

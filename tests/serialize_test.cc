@@ -1,0 +1,95 @@
+#include "graph/serialize.hh"
+
+#include <gtest/gtest.h>
+
+#include "graph/kdag_algorithms.hh"
+#include "support/rng.hh"
+#include "workload/workload.hh"
+
+namespace fhs {
+namespace {
+
+KDag sample() {
+  KDagBuilder b(3);
+  const TaskId x = b.add_task(0, 5);
+  const TaskId y = b.add_task(2, 1);
+  const TaskId z = b.add_task(1, 7);
+  b.add_edge(x, y);
+  b.add_edge(x, z);
+  return std::move(b).build();
+}
+
+void expect_same(const KDag& a, const KDag& b) {
+  ASSERT_EQ(a.task_count(), b.task_count());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  ASSERT_EQ(a.num_types(), b.num_types());
+  for (TaskId v = 0; v < a.task_count(); ++v) {
+    EXPECT_EQ(a.type(v), b.type(v));
+    EXPECT_EQ(a.work(v), b.work(v));
+    const auto ca = a.children(v);
+    const auto cb = b.children(v);
+    ASSERT_EQ(ca.size(), cb.size());
+    for (std::size_t i = 0; i < ca.size(); ++i) EXPECT_EQ(ca[i], cb[i]);
+  }
+}
+
+TEST(Serialize, HeaderAndSections) {
+  const std::string text = kdag_to_string(sample());
+  EXPECT_EQ(text.rfind("kdag v1 3 3 2\n", 0), 0u);
+  EXPECT_NE(text.find("t 0 5\n"), std::string::npos);
+  EXPECT_NE(text.find("e 0 1\n"), std::string::npos);
+}
+
+TEST(Serialize, RoundTripSmall) {
+  const KDag original = sample();
+  expect_same(original, kdag_from_string(kdag_to_string(original)));
+}
+
+TEST(Serialize, RoundTripGeneratedWorkloads) {
+  Rng rng(5);
+  for (int i = 0; i < 3; ++i) {
+    const KDag ep = generate_ep(EpParams{}, rng);
+    expect_same(ep, kdag_from_string(kdag_to_string(ep)));
+    const KDag ir = generate_ir(IrParams{}, rng);
+    expect_same(ir, kdag_from_string(kdag_to_string(ir)));
+    const KDag tree = generate_tree(TreeParams{}, rng);
+    expect_same(tree, kdag_from_string(kdag_to_string(tree)));
+  }
+}
+
+TEST(Serialize, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# a job\n\nkdag v1 1 2 1\n# tasks\nt 0 1\nt 0 2\n# edges\ne 0 1\n\n";
+  const KDag dag = kdag_from_string(text);
+  EXPECT_EQ(dag.task_count(), 2u);
+  EXPECT_EQ(dag.work(1), 2);
+  EXPECT_EQ(span(dag), 3);
+}
+
+TEST(Serialize, RejectsMalformedInput) {
+  EXPECT_THROW((void)kdag_from_string(""), std::invalid_argument);
+  EXPECT_THROW((void)kdag_from_string("bogus v1 1 1 0\nt 0 1\n"), std::invalid_argument);
+  EXPECT_THROW((void)kdag_from_string("kdag v2 1 1 0\nt 0 1\n"), std::invalid_argument);
+  EXPECT_THROW((void)kdag_from_string("kdag v1 0 1 0\nt 0 1\n"), std::invalid_argument);
+  // Truncated task section.
+  EXPECT_THROW((void)kdag_from_string("kdag v1 1 2 0\nt 0 1\n"), std::invalid_argument);
+  // Bad task tag / type out of range / bad work.
+  EXPECT_THROW((void)kdag_from_string("kdag v1 1 1 0\nx 0 1\n"), std::invalid_argument);
+  EXPECT_THROW((void)kdag_from_string("kdag v1 1 1 0\nt 5 1\n"), std::invalid_argument);
+  EXPECT_THROW((void)kdag_from_string("kdag v1 1 1 0\nt 0 0\n"), std::invalid_argument);
+  // Edge problems.
+  EXPECT_THROW((void)kdag_from_string("kdag v1 1 2 1\nt 0 1\nt 0 1\ne 0 9\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)kdag_from_string("kdag v1 1 2 1\nt 0 1\nt 0 1\n"),
+               std::invalid_argument);
+  // Cycle caught by the builder.
+  EXPECT_THROW(
+      (void)kdag_from_string("kdag v1 1 2 2\nt 0 1\nt 0 1\ne 0 1\ne 1 0\n"),
+      std::invalid_argument);
+  // Trailing garbage.
+  EXPECT_THROW((void)kdag_from_string("kdag v1 1 1 0\nt 0 1\nwhat\n"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fhs

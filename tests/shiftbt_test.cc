@@ -1,0 +1,170 @@
+#include "sched/shiftbt.hh"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/engine.hh"
+#include "sim/schedule_checker.hh"
+#include "support/rng.hh"
+#include "workload/workload.hh"
+
+namespace fhs {
+namespace {
+
+TEST(ShiftBt, Name) {
+  ShiftBtScheduler sched;
+  EXPECT_EQ(sched.name(), "ShiftBT");
+}
+
+TEST(ShiftBt, BottleneckOrderCoversAllTypes) {
+  Rng rng(1);
+  IrParams params;
+  params.num_types = 4;
+  const KDag dag = generate_ir(params, rng);
+  const Cluster cluster({2, 2, 2, 2});
+  ShiftBtScheduler sched;
+  sched.prepare(dag, cluster);
+  auto order = sched.bottleneck_order();
+  ASSERT_EQ(order.size(), 4u);
+  std::sort(order.begin(), order.end());
+  for (ResourceType a = 0; a < 4; ++a) EXPECT_EQ(order[a], a);
+}
+
+TEST(ShiftBt, IdentifiesObviousBottleneckFirst) {
+  // Type 1 is drastically overloaded (1 processor, most of the work);
+  // the first bottleneck pick must be type 1.
+  KDagBuilder builder(2);
+  std::vector<TaskId> heavy;
+  const TaskId root = builder.add_task(0, 1);
+  for (int i = 0; i < 12; ++i) {
+    const TaskId t = builder.add_task(1, 10);
+    builder.add_edge(root, t);
+    heavy.push_back(t);
+  }
+  const KDag dag = std::move(builder).build();
+  const Cluster cluster({4, 1});
+  ShiftBtScheduler sched;
+  sched.prepare(dag, cluster);
+  ASSERT_FALSE(sched.bottleneck_order().empty());
+  EXPECT_EQ(sched.bottleneck_order().front(), 1u);
+}
+
+TEST(ShiftBt, FinalDueDatesSizedToJob) {
+  Rng rng(9);
+  TreeParams params;
+  params.num_types = 3;
+  params.max_tasks = 150;
+  const KDag dag = generate_tree(params, rng);
+  const Cluster cluster({2, 2, 2});
+  ShiftBtScheduler sched;
+  sched.prepare(dag, cluster);
+  EXPECT_EQ(sched.final_due_dates().size(), dag.task_count());
+  for (Time due : sched.final_due_dates()) EXPECT_GE(due, 0);
+}
+
+TEST(ShiftBt, DispatchesEddWithinQueue) {
+  // Two ready type-0 tasks; the one whose chain is longer has the earlier
+  // due date and must start first.
+  KDagBuilder builder(1);
+  const TaskId urgent = builder.add_task(0, 1);
+  TaskId prev = urgent;
+  for (int i = 0; i < 6; ++i) {
+    const TaskId next = builder.add_task(0, 1);
+    builder.add_edge(prev, next);
+    prev = next;
+  }
+  const TaskId slack = builder.add_task(0, 1);
+  const KDag dag = std::move(builder).build();
+  ShiftBtScheduler sched;
+  ExecutionTrace trace;
+  SimOptions options;
+  options.record_trace = true;
+  (void)simulate(dag, Cluster({1}), sched, options, &trace);
+  Time start_urgent = 0;
+  Time start_slack = 0;
+  for (const auto& seg : trace.segments()) {
+    if (seg.task == urgent) start_urgent = seg.start;
+    if (seg.task == slack) start_slack = seg.start;
+  }
+  EXPECT_LT(start_urgent, start_slack);
+}
+
+TEST(Edd, DispatchesByStaticDueDates) {
+  // Same scenario as ShiftBt.DispatchesEddWithinQueue but with the plain
+  // EDD policy: the long-chain head has due date 0 and must run first.
+  KDagBuilder builder(1);
+  const TaskId urgent = builder.add_task(0, 1);
+  TaskId prev = urgent;
+  for (int i = 0; i < 6; ++i) {
+    const TaskId next = builder.add_task(0, 1);
+    builder.add_edge(prev, next);
+    prev = next;
+  }
+  const TaskId slack = builder.add_task(0, 1);
+  const KDag dag = std::move(builder).build();
+  EddScheduler sched;
+  ExecutionTrace trace;
+  SimOptions options;
+  options.record_trace = true;
+  (void)simulate(dag, Cluster({1}), sched, options, &trace);
+  EXPECT_EQ(trace.segments()[0].task, urgent);
+  Time start_slack = 0;
+  for (const auto& seg : trace.segments()) {
+    if (seg.task == slack) start_slack = seg.start;
+  }
+  EXPECT_GT(start_slack, 0);
+}
+
+TEST(Edd, EquivalentToShiftBtWhenKIsOne) {
+  // With one resource type there is a single subproblem whose EDD
+  // sequence IS the final sequence, so both policies produce identical
+  // completion times.
+  Rng rng(31);
+  EpParams params;
+  params.num_types = 1;
+  const KDag dag = generate_ep(params, rng);
+  const Cluster cluster({3});
+  EddScheduler edd;
+  ShiftBtScheduler shiftbt;
+  EXPECT_EQ(simulate(dag, cluster, edd).completion_time,
+            simulate(dag, cluster, shiftbt).completion_time);
+}
+
+TEST(ShiftBt, ProducesValidSchedules) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(seed);
+    IrParams params;
+    params.num_types = 3;
+    params.min_maps = 8;
+    params.max_maps = 16;
+    const KDag dag = generate_ir(params, rng);
+    const Cluster cluster = sample_uniform_cluster(3, 1, 4, rng);
+    ShiftBtScheduler sched;
+    ExecutionTrace trace;
+    SimOptions options;
+    options.record_trace = true;
+    (void)simulate(dag, cluster, sched, options, &trace);
+    CheckOptions check;
+    check.require_non_preemptive = true;
+    const auto violations = check_schedule(dag, cluster, trace, check);
+    EXPECT_TRUE(violations.empty()) << "seed " << seed << ": " << violations.front();
+  }
+}
+
+TEST(ShiftBt, PrepareResetsStateBetweenJobs) {
+  Rng rng(5);
+  EpParams params;
+  params.num_types = 2;
+  const KDag dag1 = generate_ep(params, rng);
+  const KDag dag2 = generate_ep(params, rng);
+  const Cluster cluster({2, 2});
+  ShiftBtScheduler sched;
+  const Time t1 = simulate(dag1, cluster, sched).completion_time;
+  (void)simulate(dag2, cluster, sched);
+  const Time t1_again = simulate(dag1, cluster, sched).completion_time;
+  EXPECT_EQ(t1, t1_again);
+}
+
+}  // namespace
+}  // namespace fhs

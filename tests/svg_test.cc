@@ -1,0 +1,95 @@
+#include "metrics/svg.hh"
+
+#include <gtest/gtest.h>
+
+#include "sched/kgreedy.hh"
+#include "sim/engine.hh"
+
+namespace fhs {
+namespace {
+
+struct Fixture {
+  KDag dag;
+  Cluster cluster{std::vector<std::uint32_t>{1, 1}};
+  ExecutionTrace trace;
+  Fixture() {
+    KDagBuilder b(2);
+    const TaskId a = b.add_task(0, 4);
+    const TaskId c = b.add_task(1, 4);
+    b.add_edge(a, c);
+    dag = std::move(b).build();
+    trace.add(0, 0, 0, 4);
+    trace.add(1, 1, 4, 8);
+  }
+};
+
+TEST(Svg, WellFormedDocument) {
+  Fixture f;
+  const std::string svg = svg_gantt_to_string(f.dag, f.cluster, f.trace);
+  EXPECT_EQ(svg.rfind("<svg ", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One rect per segment plus one background per processor.
+  std::size_t rects = 0;
+  for (std::size_t pos = svg.find("<rect"); pos != std::string::npos;
+       pos = svg.find("<rect", pos + 1)) {
+    ++rects;
+  }
+  EXPECT_EQ(rects, 2u + 2u);
+}
+
+TEST(Svg, SegmentTooltipsPresent) {
+  Fixture f;
+  const std::string svg = svg_gantt_to_string(f.dag, f.cluster, f.trace);
+  EXPECT_NE(svg.find("<title>task 0 [0, 4)</title>"), std::string::npos);
+  EXPECT_NE(svg.find("<title>task 1 [4, 8)</title>"), std::string::npos);
+}
+
+TEST(Svg, TitleEscaped) {
+  Fixture f;
+  SvgOptions options;
+  options.title = "a < b & c";
+  const std::string svg = svg_gantt_to_string(f.dag, f.cluster, f.trace, options);
+  EXPECT_NE(svg.find("a &lt; b &amp; c"), std::string::npos);
+  EXPECT_EQ(svg.find("a < b & c"), std::string::npos);
+}
+
+TEST(Svg, LaneLabelsPerProcessor) {
+  Fixture f;
+  const std::string svg = svg_gantt_to_string(f.dag, f.cluster, f.trace);
+  EXPECT_NE(svg.find(">t0.p0<"), std::string::npos);
+  EXPECT_NE(svg.find(">t1.p1<"), std::string::npos);
+}
+
+TEST(Svg, RejectsForeignTrace) {
+  Fixture f;
+  ExecutionTrace bogus;
+  bogus.add(99, 0, 0, 1);
+  EXPECT_THROW((void)svg_gantt_to_string(f.dag, f.cluster, bogus),
+               std::invalid_argument);
+}
+
+TEST(Svg, EmptyTraceStillRenders) {
+  Fixture f;
+  ExecutionTrace empty;
+  const std::string svg = svg_gantt_to_string(f.dag, f.cluster, empty);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(Svg, RealScheduleRenders) {
+  KDagBuilder b(2);
+  for (int i = 0; i < 8; ++i) (void)b.add_task(static_cast<ResourceType>(i % 2), 3);
+  const KDag dag = std::move(b).build();
+  const Cluster cluster({2, 2});
+  KGreedyScheduler sched;
+  ExecutionTrace trace;
+  SimOptions options;
+  options.record_trace = true;
+  (void)simulate(dag, cluster, sched, options, &trace);
+  const std::string svg = svg_gantt_to_string(dag, cluster, trace);
+  EXPECT_GT(svg.size(), 500u);
+  EXPECT_NE(svg.find("#4e79a7"), std::string::npos);  // type-0 fill used
+  EXPECT_NE(svg.find("#f28e2b"), std::string::npos);  // type-1 fill used
+}
+
+}  // namespace
+}  // namespace fhs

@@ -1,0 +1,92 @@
+#include "support/table.hh"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fhs {
+namespace {
+
+TEST(Table, EmptyHeaderRejected) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, CellAccess) {
+  Table t({"a", "b"});
+  t.begin_row().add_cell("x").add_cell(2LL);
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_EQ(t.column_count(), 2u);
+  EXPECT_EQ(t.cell(0, 0), "x");
+  EXPECT_EQ(t.cell(0, 1), "2");
+}
+
+TEST(Table, DoubleFormatting) {
+  Table t({"v"});
+  t.begin_row().add_cell(3.14159, 2);
+  EXPECT_EQ(t.cell(0, 0), "3.14");
+}
+
+TEST(Table, AddCellWithoutRowThrows) {
+  Table t({"v"});
+  EXPECT_THROW(t.add_cell("x"), std::logic_error);
+}
+
+TEST(Table, TooManyCellsThrows) {
+  Table t({"v"});
+  t.begin_row().add_cell("x");
+  EXPECT_THROW(t.add_cell("y"), std::logic_error);
+}
+
+TEST(Table, IncompleteRowDetectedOnNextRow) {
+  Table t({"a", "b"});
+  t.begin_row().add_cell("x");
+  EXPECT_THROW(t.begin_row(), std::logic_error);
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"name", "v"});
+  t.begin_row().add_cell("a").add_cell("1");
+  t.begin_row().add_cell("long-name").add_cell("2");
+  std::ostringstream out;
+  t.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("long-name"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+  // Both data lines should have the same position for column 2.
+  const auto line_start = text.find("a ");
+  ASSERT_NE(line_start, std::string::npos);
+}
+
+TEST(Table, CsvPlain) {
+  Table t({"a", "b"});
+  t.begin_row().add_cell("1").add_cell("2");
+  std::ostringstream out;
+  t.print_csv(out);
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"a"});
+  t.begin_row().add_cell("x,y");
+  std::ostringstream out;
+  t.print_csv(out);
+  EXPECT_EQ(out.str(), "a\n\"x,y\"\n");
+}
+
+TEST(Table, CsvEscapesQuotes) {
+  Table t({"a"});
+  t.begin_row().add_cell("say \"hi\"");
+  std::ostringstream out;
+  t.print_csv(out);
+  EXPECT_EQ(out.str(), "a\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(1.0, 3), "1.000");
+  EXPECT_EQ(format_double(2.5, 0), "2");
+  EXPECT_EQ(format_double(-0.125, 2), "-0.12");
+}
+
+}  // namespace
+}  // namespace fhs

@@ -1,0 +1,117 @@
+#include "test_util.hh"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "support/rng.hh"
+
+namespace fhs {
+namespace testutil {
+
+namespace {
+
+/// Enumerates all size-`take` combinations of `items`, invoking `emit`
+/// with the OR of the chosen task bits.
+void combinations(const std::vector<TaskId>& items, std::size_t take,
+                  std::uint32_t chosen_bits, std::size_t start,
+                  const std::function<void(std::uint32_t)>& emit) {
+  if (take == 0) {
+    emit(chosen_bits);
+    return;
+  }
+  for (std::size_t i = start; i + take <= items.size(); ++i) {
+    combinations(items, take - 1, chosen_bits | (1u << items[i]), i + 1, emit);
+  }
+}
+
+}  // namespace
+
+Time brute_force_optimal_makespan(const KDag& dag, const Cluster& cluster) {
+  const std::size_t n = dag.task_count();
+  if (n > 20) throw std::invalid_argument("brute force limited to 20 tasks");
+  for (TaskId v = 0; v < n; ++v) {
+    if (dag.work(v) != 1) {
+      throw std::invalid_argument("brute force requires unit-work tasks");
+    }
+  }
+  const std::uint32_t full = n == 32 ? 0xffffffffu : ((1u << n) - 1);
+  std::vector<Time> dist(static_cast<std::size_t>(full) + 1,
+                         std::numeric_limits<Time>::max());
+  dist[0] = 0;
+  // BFS over masks (every transition costs one tick).
+  std::vector<std::uint32_t> frontier{0};
+  while (!frontier.empty()) {
+    std::vector<std::uint32_t> next_frontier;
+    for (std::uint32_t mask : frontier) {
+      if (mask == full) return dist[mask];
+      const Time t = dist[mask];
+      // Ready tasks by type.
+      std::vector<std::vector<TaskId>> ready(dag.num_types());
+      for (TaskId v = 0; v < n; ++v) {
+        if (mask & (1u << v)) continue;
+        bool ok = true;
+        for (TaskId parent : dag.parents(v)) {
+          if (!(mask & (1u << parent))) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) ready[dag.type(v)].push_back(v);
+      }
+      // Compose one choice per type (maximal sets only).
+      std::vector<std::uint32_t> partial{0};
+      for (ResourceType a = 0; a < dag.num_types(); ++a) {
+        const std::size_t take =
+            std::min<std::size_t>(ready[a].size(), cluster.processors(a));
+        if (take == 0) continue;
+        std::vector<std::uint32_t> expanded;
+        combinations(ready[a], take, 0, 0, [&](std::uint32_t bits) {
+          for (std::uint32_t base : partial) expanded.push_back(base | bits);
+        });
+        partial = std::move(expanded);
+      }
+      for (std::uint32_t chosen : partial) {
+        if (chosen == 0) continue;  // no ready task anywhere (impossible mid-run)
+        const std::uint32_t next = mask | chosen;
+        if (dist[next] > t + 1) {
+          dist[next] = t + 1;
+          next_frontier.push_back(next);
+        }
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+  return dist[full];
+}
+
+KDag random_unit_dag(std::size_t n, ResourceType k, double edge_prob, Rng& rng) {
+  KDagBuilder builder(k);
+  for (std::size_t i = 0; i < n; ++i) {
+    (void)builder.add_task(static_cast<ResourceType>(rng.uniform_below(k)), 1);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(edge_prob)) {
+        builder.add_edge(static_cast<TaskId>(i), static_cast<TaskId>(j));
+      }
+    }
+  }
+  return std::move(builder).build();
+}
+
+KDag random_unit_out_tree(std::size_t n, Rng& rng) {
+  KDagBuilder builder(1);
+  (void)builder.add_task(0, 1);
+  for (std::size_t i = 1; i < n; ++i) {
+    const TaskId node = builder.add_task(0, 1);
+    const TaskId parent = static_cast<TaskId>(rng.uniform_below(i));
+    builder.add_edge(parent, node);
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace testutil
+}  // namespace fhs

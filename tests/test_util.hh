@@ -1,0 +1,29 @@
+// Shared helpers for integration and optimality tests.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/kdag.hh"
+#include "machine/cluster.hh"
+
+namespace fhs {
+class Rng;
+namespace testutil {
+
+/// Exact optimal makespan for a *unit-work* K-DAG via dynamic programming
+/// over completion bitmasks.  Exponential -- use only for task_count <= ~16.
+/// Relies on the fact that for unit tasks some maximal-set schedule is
+/// optimal (running an extra ready task never delays anything).
+[[nodiscard]] Time brute_force_optimal_makespan(const KDag& dag, const Cluster& cluster);
+
+/// Random small unit-work DAG: `n` tasks over `k` types, random forward
+/// edges with probability `edge_prob`.
+[[nodiscard]] KDag random_unit_dag(std::size_t n, ResourceType k, double edge_prob,
+                                   Rng& rng);
+
+/// Random small out-tree (every non-root has exactly one parent), unit
+/// work, single type.
+[[nodiscard]] KDag random_unit_out_tree(std::size_t n, Rng& rng);
+
+}  // namespace testutil
+}  // namespace fhs

@@ -1,0 +1,127 @@
+#include "metrics/timeline.hh"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sched/kgreedy.hh"
+#include "sim/engine.hh"
+
+namespace fhs {
+namespace {
+
+// Two types, one processor each.  t0 task runs [0,4), t1 task runs [4,8).
+struct Fixture {
+  KDag dag;
+  Cluster cluster{std::vector<std::uint32_t>{1, 1}};
+  ExecutionTrace trace;
+  Fixture() {
+    KDagBuilder b(2);
+    const TaskId a = b.add_task(0, 4);
+    const TaskId c = b.add_task(1, 4);
+    b.add_edge(a, c);
+    dag = std::move(b).build();
+    trace.add(0, 0, 0, 4);
+    trace.add(1, 1, 4, 8);
+  }
+};
+
+TEST(Timeline, BucketsSplitHorizonExactly) {
+  Fixture f;
+  const UtilizationTimeline timeline(f.dag, f.cluster, f.trace, 8);
+  EXPECT_EQ(timeline.horizon(), 8);
+  EXPECT_EQ(timeline.buckets(), 8u);
+  EXPECT_EQ(timeline.num_types(), 2u);
+  for (std::size_t b = 0; b < 4; ++b) {
+    EXPECT_DOUBLE_EQ(timeline.busy_fraction(0, b), 1.0) << b;
+    EXPECT_DOUBLE_EQ(timeline.busy_fraction(1, b), 0.0) << b;
+  }
+  for (std::size_t b = 4; b < 8; ++b) {
+    EXPECT_DOUBLE_EQ(timeline.busy_fraction(0, b), 0.0) << b;
+    EXPECT_DOUBLE_EQ(timeline.busy_fraction(1, b), 1.0) << b;
+  }
+}
+
+TEST(Timeline, PartialOverlapFractions) {
+  Fixture f;
+  // 2 buckets of 4 ticks each; each type fills exactly one bucket.
+  const UtilizationTimeline timeline(f.dag, f.cluster, f.trace, 2);
+  EXPECT_DOUBLE_EQ(timeline.busy_fraction(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(timeline.busy_fraction(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(timeline.busy_fraction(1, 1), 1.0);
+}
+
+TEST(Timeline, NonAlignedBuckets) {
+  Fixture f;
+  // 3 buckets of 8/3 ticks: type 0 busy [0,4) -> bucket 0 full, bucket 1
+  // fraction (4 - 8/3) / (8/3) = 0.5.
+  const UtilizationTimeline timeline(f.dag, f.cluster, f.trace, 3);
+  EXPECT_NEAR(timeline.busy_fraction(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(timeline.busy_fraction(0, 1), 0.5, 1e-12);
+  EXPECT_NEAR(timeline.busy_fraction(0, 2), 0.0, 1e-12);
+  EXPECT_NEAR(timeline.busy_fraction(1, 1), 0.5, 1e-12);
+  EXPECT_NEAR(timeline.busy_fraction(1, 2), 1.0, 1e-12);
+}
+
+TEST(Timeline, MeanUtilizationAndIdleBuckets) {
+  Fixture f;
+  const UtilizationTimeline timeline(f.dag, f.cluster, f.trace, 8);
+  EXPECT_DOUBLE_EQ(timeline.mean_utilization(0), 0.5);
+  EXPECT_DOUBLE_EQ(timeline.mean_utilization(1), 0.5);
+  EXPECT_EQ(timeline.idle_buckets(0), 4u);
+  EXPECT_EQ(timeline.idle_buckets(1), 4u);
+}
+
+TEST(Timeline, EmptyTraceIsAllZero) {
+  Fixture f;
+  ExecutionTrace empty;
+  const UtilizationTimeline timeline(f.dag, f.cluster, empty, 4);
+  EXPECT_EQ(timeline.horizon(), 0);
+  EXPECT_EQ(timeline.idle_buckets(0), 4u);
+}
+
+TEST(Timeline, ValidatesArguments) {
+  Fixture f;
+  EXPECT_THROW(UtilizationTimeline(f.dag, f.cluster, f.trace, 0), std::invalid_argument);
+  const Cluster small({1});
+  EXPECT_THROW(UtilizationTimeline(f.dag, small, f.trace, 4), std::invalid_argument);
+}
+
+TEST(Timeline, RejectsForeignTrace) {
+  Fixture f;
+  ExecutionTrace trace;
+  trace.add(42, 0, 0, 1);
+  EXPECT_THROW(UtilizationTimeline(f.dag, f.cluster, trace, 4), std::invalid_argument);
+}
+
+TEST(Timeline, PrintUsesDensityGlyphs) {
+  Fixture f;
+  const UtilizationTimeline timeline(f.dag, f.cluster, f.trace, 8);
+  std::ostringstream out;
+  timeline.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("t0 |####    |"), std::string::npos);
+  EXPECT_NE(text.find("t1 |    ####|"), std::string::npos);
+}
+
+TEST(Timeline, MatchesSimulatorUtilization) {
+  // Mean over buckets must agree with SimResult::utilization.
+  KDagBuilder b(2);
+  for (int i = 0; i < 6; ++i) (void)b.add_task(0, 3);
+  for (int i = 0; i < 2; ++i) (void)b.add_task(1, 5);
+  const KDag dag = std::move(b).build();
+  const Cluster cluster({2, 1});
+  KGreedyScheduler sched;
+  ExecutionTrace trace;
+  SimOptions options;
+  options.record_trace = true;
+  const SimResult result = simulate(dag, cluster, sched, options, &trace);
+  const UtilizationTimeline timeline(dag, cluster, trace,
+                                     static_cast<std::size_t>(result.completion_time));
+  for (ResourceType a = 0; a < 2; ++a) {
+    EXPECT_NEAR(timeline.mean_utilization(a), result.utilization(a, cluster), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace fhs

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/kdag_algorithms.hh"
+#include "support/rng.hh"
+#include "workload/workload.hh"
+
+namespace fhs {
+namespace {
+
+TEST(TreeGenerator, SingleRoot) {
+  Rng rng(1);
+  TreeParams params;
+  for (int i = 0; i < 10; ++i) {
+    const KDag dag = generate_tree(params, rng);
+    EXPECT_EQ(dag.roots().size(), 1u);
+  }
+}
+
+TEST(TreeGenerator, EveryNonRootHasOneParent) {
+  Rng rng(2);
+  TreeParams params;
+  const KDag dag = generate_tree(params, rng);
+  std::size_t roots = 0;
+  for (TaskId v = 0; v < dag.task_count(); ++v) {
+    if (dag.parent_count(v) == 0) {
+      ++roots;
+    } else {
+      EXPECT_EQ(dag.parent_count(v), 1u);
+    }
+  }
+  EXPECT_EQ(roots, 1u);
+}
+
+TEST(TreeGenerator, FanoutIsZeroOrM) {
+  Rng rng(3);
+  TreeParams params;
+  params.min_fanout = 3;
+  params.max_fanout = 3;
+  params.max_tasks = 10000;  // avoid cap-truncated interior nodes
+  const KDag dag = generate_tree(params, rng);
+  std::size_t truncated = 0;
+  for (TaskId v = 0; v < dag.task_count(); ++v) {
+    const std::size_t c = dag.child_count(v);
+    if (c != 0 && c != 3) ++truncated;
+  }
+  // The cap can truncate at most one node's children mid-way.
+  EXPECT_LE(truncated, 1u);
+}
+
+TEST(TreeGenerator, RespectsTaskCap) {
+  Rng rng(4);
+  TreeParams params;
+  params.max_tasks = 100;
+  params.min_fanout_prob = 0.95;
+  params.max_fanout_prob = 0.95;
+  for (int i = 0; i < 10; ++i) {
+    const KDag dag = generate_tree(params, rng);
+    EXPECT_LE(dag.task_count(), 100u + params.max_fanout);
+  }
+}
+
+TEST(TreeGenerator, LayeredLevelsShareOneType) {
+  Rng rng(5);
+  TreeParams params;
+  params.num_types = 3;
+  params.assignment = TypeAssignment::kLayered;
+  const KDag dag = generate_tree(params, rng);
+  const auto depths = depth(dag);
+  std::size_t max_depth = 0;
+  for (TaskId v = 0; v < dag.task_count(); ++v) max_depth = std::max(max_depth, depths[v]);
+  std::vector<ResourceType> type_of_level(max_depth + 1, kMaxResourceTypes);
+  for (TaskId v = 0; v < dag.task_count(); ++v) {
+    ResourceType& level = type_of_level[depths[v]];
+    if (level == kMaxResourceTypes) {
+      level = dag.type(v);
+    } else {
+      EXPECT_EQ(dag.type(v), level) << "task " << v << " at depth " << depths[v];
+    }
+  }
+}
+
+TEST(TreeGenerator, LayeredLevelsUseMultipleTypesAcrossTrees) {
+  // Level types are drawn at random, so over several trees more than one
+  // type must appear at the root level.
+  Rng rng(6);
+  TreeParams params;
+  params.num_types = 4;
+  params.assignment = TypeAssignment::kLayered;
+  std::set<ResourceType> root_types;
+  for (int i = 0; i < 40; ++i) {
+    const KDag dag = generate_tree(params, rng);
+    root_types.insert(dag.type(dag.roots()[0]));
+  }
+  EXPECT_GE(root_types.size(), 2u);
+}
+
+TEST(TreeGenerator, ZeroFanoutProbabilityGivesSingleNode) {
+  Rng rng(6);
+  TreeParams params;
+  params.min_fanout_prob = 0.0;
+  params.max_fanout_prob = 0.0;
+  const KDag dag = generate_tree(params, rng);
+  EXPECT_EQ(dag.task_count(), 1u);
+}
+
+TEST(TreeGenerator, CertainFanoutGrowsToCap) {
+  Rng rng(7);
+  TreeParams params;
+  params.min_fanout_prob = 1.0;
+  params.max_fanout_prob = 1.0;
+  params.min_fanout = 2;
+  params.max_fanout = 2;
+  params.max_tasks = 63;
+  const KDag dag = generate_tree(params, rng);
+  EXPECT_GE(dag.task_count(), 63u);
+}
+
+TEST(TreeGenerator, WorkWithinRange) {
+  Rng rng(8);
+  TreeParams params;
+  params.min_work = 2;
+  params.max_work = 4;
+  const KDag dag = generate_tree(params, rng);
+  for (TaskId v = 0; v < dag.task_count(); ++v) {
+    EXPECT_GE(dag.work(v), 2);
+    EXPECT_LE(dag.work(v), 4);
+  }
+}
+
+TEST(TreeGenerator, Deterministic) {
+  TreeParams params;
+  Rng a(123);
+  Rng b(123);
+  const KDag da = generate_tree(params, a);
+  const KDag db = generate_tree(params, b);
+  ASSERT_EQ(da.task_count(), db.task_count());
+  ASSERT_EQ(da.edge_count(), db.edge_count());
+  for (TaskId v = 0; v < da.task_count(); ++v) {
+    EXPECT_EQ(da.type(v), db.type(v));
+    EXPECT_EQ(da.work(v), db.work(v));
+  }
+}
+
+TEST(TreeGenerator, ValidatesParameters) {
+  Rng rng(1);
+  TreeParams bad_fanout;
+  bad_fanout.min_fanout = 0;
+  EXPECT_THROW((void)generate_tree(bad_fanout, rng), std::invalid_argument);
+
+  TreeParams bad_prob;
+  bad_prob.min_fanout_prob = 0.9;
+  bad_prob.max_fanout_prob = 0.1;
+  EXPECT_THROW((void)generate_tree(bad_prob, rng), std::invalid_argument);
+
+  TreeParams bad_cap;
+  bad_cap.max_tasks = 0;
+  EXPECT_THROW((void)generate_tree(bad_cap, rng), std::invalid_argument);
+
+  TreeParams bad_work;
+  bad_work.min_work = 0;
+  EXPECT_THROW((void)generate_tree(bad_work, rng), std::invalid_argument);
+}
+
+TEST(TreeGenerator, RandomAssignmentUsesManyTypes) {
+  Rng rng(11);
+  TreeParams params;
+  params.num_types = 4;
+  params.assignment = TypeAssignment::kRandom;
+  params.min_fanout_prob = 0.9;
+  params.max_fanout_prob = 0.9;
+  const KDag dag = generate_tree(params, rng);
+  if (dag.task_count() > 50) {
+    std::size_t used = 0;
+    for (ResourceType a = 0; a < 4; ++a) used += dag.task_count(a) > 0 ? 1 : 0;
+    EXPECT_GE(used, 3u);
+  }
+}
+
+}  // namespace
+}  // namespace fhs

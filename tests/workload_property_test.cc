@@ -1,0 +1,148 @@
+// Parameterized property sweep over all six (family x assignment)
+// workload combinations: invariants every generated job must satisfy,
+// independent of the concrete distribution parameters.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/kdag_algorithms.hh"
+#include "metrics/bounds.hh"
+#include "sched/kgreedy.hh"
+#include "sim/engine.hh"
+#include "support/rng.hh"
+#include "workload/workload.hh"
+
+namespace fhs {
+namespace {
+
+struct FamilyCase {
+  std::string family;  // "ep", "tree", "ir"
+  TypeAssignment assignment;
+};
+
+std::string case_name(const testing::TestParamInfo<FamilyCase>& info) {
+  return info.param.family + "_" + to_string(info.param.assignment);
+}
+
+WorkloadParams make_params(const FamilyCase& c, ResourceType k) {
+  if (c.family == "ep") {
+    EpParams p;
+    p.num_types = k;
+    p.assignment = c.assignment;
+    return p;
+  }
+  if (c.family == "tree") {
+    TreeParams p;
+    p.num_types = k;
+    p.assignment = c.assignment;
+    return p;
+  }
+  IrParams p;
+  p.num_types = k;
+  p.assignment = c.assignment;
+  return p;
+}
+
+class WorkloadProperties : public testing::TestWithParam<FamilyCase> {};
+
+TEST_P(WorkloadProperties, TypesAndWorksInRange) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed);
+    const WorkloadParams params = make_params(GetParam(), 4);
+    const KDag dag = generate(params, rng);
+    ASSERT_GT(dag.task_count(), 0u);
+    for (TaskId v = 0; v < dag.task_count(); ++v) {
+      EXPECT_LT(dag.type(v), 4u);
+      EXPECT_GE(dag.work(v), 1);
+      EXPECT_LE(dag.work(v), 20);
+    }
+  }
+}
+
+TEST_P(WorkloadProperties, DeterministicGivenSeed) {
+  const WorkloadParams params = make_params(GetParam(), 3);
+  Rng a(1234);
+  Rng b(1234);
+  const KDag da = generate(params, a);
+  const KDag db = generate(params, b);
+  ASSERT_EQ(da.task_count(), db.task_count());
+  ASSERT_EQ(da.edge_count(), db.edge_count());
+  for (TaskId v = 0; v < da.task_count(); ++v) {
+    EXPECT_EQ(da.type(v), db.type(v));
+    EXPECT_EQ(da.work(v), db.work(v));
+  }
+}
+
+TEST_P(WorkloadProperties, InstancesVaryAcrossSeeds) {
+  const WorkloadParams params = make_params(GetParam(), 3);
+  std::set<std::size_t> sizes;
+  Rng rng(5);
+  for (int i = 0; i < 12; ++i) sizes.insert(generate(params, rng).task_count());
+  EXPECT_GE(sizes.size(), 2u);
+}
+
+TEST_P(WorkloadProperties, SpanNeverExceedsTotalWork) {
+  Rng rng(9);
+  const WorkloadParams params = make_params(GetParam(), 4);
+  for (int i = 0; i < 5; ++i) {
+    const KDag dag = generate(params, rng);
+    EXPECT_LE(span(dag), dag.total_work());
+    Work per_type_total = 0;
+    for (ResourceType a = 0; a < dag.num_types(); ++a) {
+      per_type_total += dag.total_work(a);
+    }
+    EXPECT_EQ(per_type_total, dag.total_work());
+  }
+}
+
+TEST_P(WorkloadProperties, SimulatesCleanlyUnderFifo) {
+  Rng rng(11);
+  const WorkloadParams params = make_params(GetParam(), 4);
+  for (int i = 0; i < 3; ++i) {
+    const KDag dag = generate(params, rng);
+    const Cluster cluster = sample_uniform_cluster(4, 1, 5, rng);
+    KGreedyScheduler sched;
+    const SimResult result = simulate(dag, cluster, sched);
+    EXPECT_GE(result.completion_time, completion_time_lower_bound(dag, cluster));
+  }
+}
+
+TEST_P(WorkloadProperties, WorksForEveryK) {
+  for (ResourceType k = 1; k <= 6; ++k) {
+    Rng rng(mix_seed(13, k));
+    const WorkloadParams params = make_params(GetParam(), k);
+    const KDag dag = generate(params, rng);
+    EXPECT_EQ(dag.num_types(), k);
+    for (TaskId v = 0; v < dag.task_count(); ++v) {
+      ASSERT_LT(dag.type(v), k);
+    }
+  }
+}
+
+TEST_P(WorkloadProperties, LayeredUsesEveryTypeAtK4) {
+  // Over several instances, all four types must appear somewhere (for EP
+  // this holds per instance by construction; for tree/IR per collection).
+  if (GetParam().assignment != TypeAssignment::kLayered) GTEST_SKIP();
+  Rng rng(17);
+  const WorkloadParams params = make_params(GetParam(), 4);
+  std::array<std::size_t, 4> totals{};
+  for (int i = 0; i < 10; ++i) {
+    const KDag dag = generate(params, rng);
+    for (ResourceType a = 0; a < 4; ++a) totals[a] += dag.task_count(a);
+  }
+  for (ResourceType a = 0; a < 4; ++a) EXPECT_GT(totals[a], 0u) << "type " << a;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, WorkloadProperties,
+    testing::Values(FamilyCase{"ep", TypeAssignment::kLayered},
+                    FamilyCase{"ep", TypeAssignment::kRandom},
+                    FamilyCase{"tree", TypeAssignment::kLayered},
+                    FamilyCase{"tree", TypeAssignment::kRandom},
+                    FamilyCase{"ir", TypeAssignment::kLayered},
+                    FamilyCase{"ir", TypeAssignment::kRandom}),
+    case_name);
+
+}  // namespace
+}  // namespace fhs

@@ -1,0 +1,173 @@
+// fhs_sim -- run one scheduling policy on one job and inspect the result.
+//
+//   fhs_sim --workload=ir --assignment=layered --k=4 --scheduler=mqb
+//           --procs=12,12,12,12 --timeline --gantt
+//   fhs_sim --load=job.kdag --scheduler=shiftbt --pmin=2 --pmax=4
+//   fhs_sim --workload=ep --save=job.kdag --dot=job.dot
+//
+// The job comes from one of the paper's generators (--workload) or from
+// a serialized file (--load); the machine from explicit per-type counts
+// (--procs) or sampled uniformly (--pmin/--pmax).  Prints completion
+// time, the lower bound, the ratio, per-type utilization, and optionally
+// the utilization timeline, a Gantt chart, DOT and .kdag exports.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "graph/dot.hh"
+#include "graph/serialize.hh"
+#include "metrics/bounds.hh"
+#include "metrics/svg.hh"
+#include "metrics/timeline.hh"
+#include "sched/registry.hh"
+#include "sim/engine.hh"
+#include "sim/schedule_checker.hh"
+#include "support/cli.hh"
+#include "support/rng.hh"
+#include "workload/workload.hh"
+
+namespace {
+
+using namespace fhs;
+
+std::vector<std::uint32_t> parse_proc_list(const std::string& text) {
+  std::vector<std::uint32_t> counts;
+  std::stringstream stream(text);
+  std::string part;
+  while (std::getline(stream, part, ',')) {
+    counts.push_back(static_cast<std::uint32_t>(std::stoul(part)));
+  }
+  return counts;
+}
+
+KDag make_job(const CliFlags& flags, Rng& rng) {
+  const std::string load = flags.get_string("load");
+  if (!load.empty()) {
+    std::ifstream in(load);
+    if (!in) throw std::runtime_error("cannot open " + load);
+    return read_kdag(in);
+  }
+  const auto k = static_cast<ResourceType>(flags.get_int("k"));
+  const TypeAssignment assignment = flags.get_string("assignment") == "random"
+                                        ? TypeAssignment::kRandom
+                                        : TypeAssignment::kLayered;
+  const std::string family = flags.get_string("workload");
+  WorkloadParams params;
+  if (family == "ep") {
+    EpParams p;
+    p.num_types = k;
+    p.assignment = assignment;
+    params = p;
+  } else if (family == "tree") {
+    TreeParams p;
+    p.num_types = k;
+    p.assignment = assignment;
+    params = p;
+  } else if (family == "ir") {
+    IrParams p;
+    p.num_types = k;
+    p.assignment = assignment;
+    params = p;
+  } else {
+    throw std::runtime_error("unknown workload '" + family + "' (ep|tree|ir)");
+  }
+  return generate(params, rng);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fhs;
+  CliFlags flags;
+  flags.define("workload", "ir", "job family: ep | tree | ir (ignored with --load)");
+  flags.define("assignment", "layered", "type assignment: layered | random");
+  flags.define_int("k", 4, "number of resource types");
+  flags.define("load", "", "read the job from a .kdag file instead of generating");
+  flags.define("scheduler", "mqb", "policy name (see sched/registry.hh)");
+  flags.define("procs", "", "explicit per-type processor counts, e.g. 12,12,12,12");
+  flags.define_int("pmin", 10, "sampled processors per type, lower bound");
+  flags.define_int("pmax", 20, "sampled processors per type, upper bound");
+  flags.define_bool("preemptive", false, "preemptive scheduling quantum");
+  flags.define_int("seed", 42, "RNG seed (job + cluster sampling)");
+  flags.define_bool("timeline", false, "print the per-type utilization timeline");
+  flags.define_bool("gantt", false, "print a per-processor Gantt chart");
+  flags.define("dot", "", "write the job as Graphviz DOT to this file");
+  flags.define("save", "", "write the job as .kdag text to this file");
+  flags.define("svg", "", "write the schedule as an SVG Gantt chart to this file");
+  try {
+    if (!flags.parse(argc, argv)) return 0;
+
+    Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+    const KDag job = make_job(flags, rng);
+    const Cluster cluster =
+        flags.get_string("procs").empty()
+            ? sample_uniform_cluster(job.num_types(),
+                                     static_cast<std::uint32_t>(flags.get_int("pmin")),
+                                     static_cast<std::uint32_t>(flags.get_int("pmax")),
+                                     rng)
+            : Cluster(parse_proc_list(flags.get_string("procs")));
+
+    if (!flags.get_string("save").empty()) {
+      std::ofstream out(flags.get_string("save"));
+      write_kdag(out, job);
+    }
+    if (!flags.get_string("dot").empty()) {
+      std::ofstream out(flags.get_string("dot"));
+      write_dot(out, job);
+    }
+
+    auto scheduler = make_scheduler(flags.get_string("scheduler"),
+                                    static_cast<std::uint64_t>(flags.get_int("seed")));
+    ExecutionTrace trace;
+    SimOptions options;
+    options.mode = flags.get_bool("preemptive") ? ExecutionMode::kPreemptive
+                                                : ExecutionMode::kNonPreemptive;
+    options.record_trace = true;
+    const SimResult result = simulate(job, cluster, *scheduler, options, &trace);
+
+    CheckOptions check;
+    check.require_non_preemptive = !flags.get_bool("preemptive");
+    const auto violations = check_schedule(job, cluster, trace, check);
+    if (!violations.empty()) {
+      std::cerr << "INTERNAL ERROR: invalid schedule: " << violations.front() << '\n';
+      return 2;
+    }
+
+    std::cout << "job: " << job.task_count() << " tasks, " << job.edge_count()
+              << " edges, K=" << static_cast<unsigned>(job.num_types()) << '\n';
+    std::cout << "cluster: " << cluster.describe() << '\n';
+    std::cout << "scheduler: " << scheduler->name()
+              << (flags.get_bool("preemptive") ? " (preemptive)" : "") << '\n';
+    std::cout << "completion time: " << result.completion_time << " ticks\n";
+    std::cout << "lower bound:     " << completion_time_lower_bound(job, cluster)
+              << " ticks\n";
+    std::cout << "ratio:           "
+              << completion_time_ratio(result.completion_time, job, cluster) << '\n';
+    for (ResourceType a = 0; a < job.num_types(); ++a) {
+      std::cout << "  type " << static_cast<unsigned>(a) << ": P="
+                << cluster.processors(a) << " work=" << job.total_work(a)
+                << " utilization=" << result.utilization(a, cluster) << '\n';
+    }
+    if (flags.get_bool("timeline")) {
+      const UtilizationTimeline timeline(job, cluster, trace, 72);
+      std::cout << "\nutilization timeline ('#'>=85%, '+', '-', '.', ' ' idle):\n";
+      timeline.print(std::cout);
+    }
+    if (!flags.get_string("svg").empty()) {
+      std::ofstream out(flags.get_string("svg"));
+      SvgOptions svg;
+      svg.title = scheduler->name() + " on " + cluster.describe();
+      write_svg_gantt(out, job, cluster, trace, svg);
+      std::cout << "wrote " << flags.get_string("svg") << '\n';
+    }
+    if (flags.get_bool("gantt")) {
+      std::cout << "\nGantt (one row per processor):\n";
+      const Time scale = std::max<Time>(1, result.completion_time / 100);
+      trace.print_gantt(std::cout, cluster.total_processors(), scale);
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "fhs_sim: " << error.what() << '\n';
+    return 1;
+  }
+  return 0;
+}
