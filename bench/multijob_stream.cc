@@ -13,14 +13,46 @@
 // single jobs and MQB's single-job advantage carries over (shortest mean
 // flow time); as load grows, queueing dominates and SRJF's job ordering
 // starts to matter as much as MQB's task ordering.
+#include <chrono>
+#include <fstream>
 #include <iostream>
 #include <vector>
 
+#include "exp/json.hh"
 #include "multijob/multijob.hh"
 #include "support/cli.hh"
 #include "support/rng.hh"
 #include "support/stats.hh"
 #include "support/table.hh"
+
+namespace {
+
+struct PolicyRecord {
+  std::string policy;
+  std::vector<double> mean_flow;  // one per inter-arrival point
+  double tasks_per_sec = 0.0;     // simulator throughput across all points
+};
+
+void write_stream_json(std::ostream& out, const std::vector<double>& interarrivals,
+                       const std::vector<PolicyRecord>& records) {
+  out << "{\n  \"name\": \"multijob_stream\",\n  \"interarrivals\": [";
+  for (std::size_t p = 0; p < interarrivals.size(); ++p) {
+    out << (p ? ", " : "") << interarrivals[p];
+  }
+  out << "],\n  \"policies\": [";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const PolicyRecord& record = records[i];
+    out << (i ? ",\n    {" : "\n    {")
+        << "\"name\": " << fhs::json_quote(record.policy) << ", \"mean_flow_time\": [";
+    for (std::size_t p = 0; p < record.mean_flow.size(); ++p) {
+      out << (p ? ", " : "") << record.mean_flow[p];
+    }
+    out << "], \"tasks_per_sec\": " << record.tasks_per_sec << '}';
+  }
+  out << "\n  ]\n}\n";
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace fhs;
@@ -30,6 +62,9 @@ int main(int argc, char** argv) {
   flags.define_int("seed", 42, "master RNG seed");
   flags.define_int("k", 4, "number of resource types");
   flags.define_bool("csv", false, "emit CSV instead of aligned tables");
+  flags.define("json", "",
+               "also write a machine-readable summary (mean flow time per point, "
+               "simulated tasks/sec per policy) to this file");
   try {
     if (!flags.parse(argc, argv)) return 0;
   } catch (const std::exception& error) {
@@ -47,9 +82,12 @@ int main(int argc, char** argv) {
             << ", medium cluster\n\n";
   Table table({"policy", "interarrival 800", "400", "200", "100 (heavy)",
                "makespan@100"});
+  std::vector<PolicyRecord> records;
   for (const char* policy : policies) {
     std::vector<RunningStats> flow(interarrivals.size());
     RunningStats makespan_heavy;
+    std::size_t tasks_simulated = 0;
+    std::chrono::steady_clock::duration simulating{0};
     for (std::size_t s = 0; s < streams; ++s) {
       for (std::size_t p = 0; p < interarrivals.size(); ++p) {
         Rng rng(mix_seed(static_cast<std::uint64_t>(flags.get_int("seed")), s));
@@ -62,7 +100,10 @@ int main(int argc, char** argv) {
         auto jobs = sample_stream(workload, stream_params, rng);
         const Cluster cluster = sample_uniform_cluster(k, 10, 20, rng);
         auto scheduler = make_multijob_scheduler(policy);
+        const auto started = std::chrono::steady_clock::now();
         const MultiJobResult result = multi_simulate(jobs, cluster, *scheduler);
+        simulating += std::chrono::steady_clock::now() - started;
+        for (const JobArrival& job : jobs) tasks_simulated += job.dag.task_count();
         flow[p].add(result.mean_flow_time());
         if (p + 1 == interarrivals.size()) {
           makespan_heavy.add(static_cast<double>(result.makespan));
@@ -72,6 +113,13 @@ int main(int argc, char** argv) {
     table.begin_row().add_cell(std::string(policy));
     for (auto& stats : flow) table.add_cell(stats.mean(), 1);
     table.add_cell(makespan_heavy.mean(), 1);
+    PolicyRecord record;
+    record.policy = policy;
+    for (auto& stats : flow) record.mean_flow.push_back(stats.mean());
+    const double seconds = std::chrono::duration<double>(simulating).count();
+    record.tasks_per_sec =
+        seconds > 0.0 ? static_cast<double>(tasks_simulated) / seconds : 0.0;
+    records.push_back(std::move(record));
   }
   if (flags.get_bool("csv")) {
     table.print_csv(std::cout);
@@ -79,5 +127,13 @@ int main(int argc, char** argv) {
     table.print(std::cout);
   }
   std::cout << "\n(lower is better; 'heavy' load queues jobs behind each other)\n";
+  if (!flags.get_string("json").empty()) {
+    std::ofstream out(flags.get_string("json"));
+    if (!out) {
+      std::cerr << "multijob_stream: cannot open " << flags.get_string("json") << '\n';
+      return 1;
+    }
+    write_stream_json(out, interarrivals, records);
+  }
   return 0;
 }

@@ -3,8 +3,20 @@
 // Not a paper figure: these quantify the simulator itself -- events per
 // second per policy and the cost of the offline analyses -- so regressions
 // in the substrate are caught independently of experiment shapes.
+//
+// Beyond the standard google-benchmark flags, `--json=<path>` writes a
+// compact machine-readable summary (name, real time, items/sec) for the
+// EXPERIMENTS.md bench records; it is stripped before the benchmark
+// library parses the command line.
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exp/json.hh"
 #include "graph/analysis.hh"
 #include "sched/registry.hh"
 #include "sim/engine.hh"
@@ -106,4 +118,77 @@ void BM_PreemptiveOverhead(benchmark::State& state) {
 }
 BENCHMARK(BM_PreemptiveOverhead);
 
+/// Console reporter that additionally captures each run for --json.
+class CaptureReporter final : public benchmark::ConsoleReporter {
+ public:
+  struct Entry {
+    std::string name;
+    double real_time = 0.0;  // per iteration, in the run's time unit
+    double items_per_second = -1.0;  // -1 when the bench sets no item count
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      Entry entry;
+      entry.name = run.benchmark_name();
+      entry.real_time = run.GetAdjustedRealTime();
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) entry.items_per_second = it->second;
+      entries_.push_back(std::move(entry));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] const std::vector<Entry>& entries() const noexcept { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+void write_summary_json(std::ostream& out,
+                        const std::vector<CaptureReporter::Entry>& entries) {
+  out << "{\n  \"name\": \"perf_microbench\",\n  \"time_unit\": \"ns\","
+      << "\n  \"benchmarks\": [";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& entry = entries[i];
+    out << (i ? ",\n    {" : "\n    {") << "\"name\": " << json_quote(entry.name)
+        << ", \"real_time\": " << entry.real_time;
+    if (entry.items_per_second >= 0.0) {
+      out << ", \"items_per_second\": " << entry.items_per_second;
+    }
+    out << '}';
+  }
+  out << "\n  ]\n}\n";
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) return 1;
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "perf_microbench: cannot open " << json_path << '\n';
+      return 1;
+    }
+    write_summary_json(out, reporter.entries());
+  }
+  return 0;
+}

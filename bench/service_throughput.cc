@@ -1,0 +1,159 @@
+// E13 (extension): wall-clock throughput of the live scheduling service.
+//
+// The batch benches measure simulated (virtual-time) quality; this one
+// measures the service substrate itself: how many submissions per
+// wall-clock second the always-on worker sustains when several threads
+// race submit() against it, per stream policy.  Admission control runs
+// in defer mode so heavy submitters feel backpressure instead of
+// ballooning the inbox -- the shape a Cosmos-like ingest sees (§I).
+//
+// `--json=<path>` writes a machine-readable summary (name, jobs/sec,
+// tasks/sec, mean flow time) for the EXPERIMENTS.md bench records.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/json.hh"
+#include "service/service.hh"
+#include "support/cli.hh"
+#include "support/rng.hh"
+#include "support/table.hh"
+#include "workload/workload.hh"
+
+namespace {
+
+using namespace fhs;
+
+struct PolicyRecord {
+  std::string policy;
+  double jobs_per_sec = 0.0;   // wall-clock submissions completed per second
+  double tasks_per_sec = 0.0;  // wall-clock tasks executed per second
+  double mean_flow_time = 0.0;
+  double deferred = 0.0;  // submissions that hit backpressure
+};
+
+void write_throughput_json(std::ostream& out, std::size_t jobs, std::size_t threads,
+                           const std::vector<PolicyRecord>& records) {
+  out << "{\n  \"name\": \"service_throughput\",\n  \"jobs\": " << jobs
+      << ",\n  \"threads\": " << threads << ",\n  \"policies\": [";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const PolicyRecord& record = records[i];
+    out << (i ? ",\n    {" : "\n    {") << "\"name\": " << json_quote(record.policy)
+        << ", \"jobs_per_sec\": " << record.jobs_per_sec
+        << ", \"tasks_per_sec\": " << record.tasks_per_sec
+        << ", \"mean_flow_time\": " << record.mean_flow_time
+        << ", \"deferred\": " << record.deferred << '}';
+  }
+  out << "\n  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fhs;
+  CliFlags flags;
+  flags.define_int("jobs", 400, "total submissions per policy");
+  flags.define_int("instances", 0, "alias for --jobs (CI smoke compatibility)");
+  flags.define_int("threads", 4, "concurrent submitter threads");
+  flags.define_int("k", 2, "number of resource types");
+  flags.define_int("procs", 8, "processors per type");
+  flags.define_int("epoch", 50, "virtual ticks per worker slice");
+  flags.define_int("max-queue", 32, "admission queue depth (defer beyond it)");
+  flags.define_double("max-outstanding", 4096,
+                      "admission: max outstanding work per processor (ticks)");
+  flags.define_int("seed", 42, "master RNG seed");
+  flags.define("json", "", "write a machine-readable summary to this file");
+  try {
+    if (!flags.parse(argc, argv)) return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "service_throughput: " << error.what() << '\n';
+    return 1;
+  }
+  const auto k = static_cast<ResourceType>(flags.get_int("k"));
+  const auto threads = static_cast<std::size_t>(flags.get_int("threads"));
+  const std::size_t jobs = flags.get_int("instances") > 0
+                               ? static_cast<std::size_t>(flags.get_int("instances"))
+                               : static_cast<std::size_t>(flags.get_int("jobs"));
+  const Cluster cluster(std::vector<std::uint32_t>(
+      k, static_cast<std::uint32_t>(flags.get_int("procs"))));
+  const char* const policies[] = {"kgreedy", "fcfs", "srjf", "mqb"};
+
+  // Pre-generate every job so the measured section is pure service work.
+  EpParams workload;
+  workload.num_types = k;
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  std::vector<KDag> dags;
+  std::size_t total_tasks = 0;
+  dags.reserve(jobs);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    dags.push_back(generate(workload, rng));
+    total_tasks += dags.back().task_count();
+  }
+
+  std::cout << "Service throughput: " << jobs << " jobs (" << total_tasks
+            << " tasks) over " << threads << " submitter threads, cluster "
+            << cluster.describe() << "\n\n";
+  Table table({"policy", "jobs/sec", "tasks/sec", "mean flow", "deferred"});
+  std::vector<PolicyRecord> records;
+  for (const char* policy : policies) {
+    ServiceConfig config;
+    config.policy = policy;
+    config.epoch_length = flags.get_int("epoch");
+    config.admission.max_queue_depth =
+        static_cast<std::size_t>(flags.get_int("max-queue"));
+    config.admission.max_outstanding_per_proc = flags.get_double("max-outstanding");
+    config.admission.overload = OverloadPolicy::kDefer;
+    const auto started = std::chrono::steady_clock::now();
+    ServiceStats stats;
+    {
+      SchedulerService service(cluster, config);
+      std::vector<std::thread> submitters;
+      submitters.reserve(threads);
+      for (std::size_t t = 0; t < threads; ++t) {
+        submitters.emplace_back([&, t] {
+          // Thread t submits jobs t, t+threads, t+2*threads, ...
+          for (std::size_t i = t; i < dags.size(); i += threads) {
+            (void)service.submit(dags[i]);
+          }
+        });
+      }
+      for (auto& thread : submitters) thread.join();
+      service.drain();
+      stats = service.stats();
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+            .count();
+    PolicyRecord record;
+    record.policy = policy;
+    record.jobs_per_sec =
+        seconds > 0.0 ? static_cast<double>(stats.completed) / seconds : 0.0;
+    record.tasks_per_sec =
+        seconds > 0.0 ? static_cast<double>(total_tasks) / seconds : 0.0;
+    record.mean_flow_time = stats.mean_flow_time;
+    record.deferred = static_cast<double>(stats.deferred);
+    table.begin_row()
+        .add_cell(record.policy)
+        .add_cell(record.jobs_per_sec, 0)
+        .add_cell(record.tasks_per_sec, 0)
+        .add_cell(record.mean_flow_time, 1)
+        .add_cell(record.deferred, 0);
+    records.push_back(std::move(record));
+  }
+  table.print(std::cout);
+  std::cout << "\n(virtual flow times are policy quality; jobs/sec is substrate "
+               "speed)\n";
+  if (!flags.get_string("json").empty()) {
+    std::ofstream out(flags.get_string("json"));
+    if (!out) {
+      std::cerr << "service_throughput: cannot open " << flags.get_string("json")
+                << '\n';
+      return 1;
+    }
+    write_throughput_json(out, jobs, threads, records);
+  }
+  return 0;
+}

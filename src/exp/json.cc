@@ -94,4 +94,36 @@ std::string to_json(const ExperimentResult& result) {
   return out.str();
 }
 
+void write_json(std::ostream& out, const ServiceStats& stats) {
+  out << "{\n  \"submitted\": " << stats.submitted
+      << ",\n  \"admitted\": " << stats.admitted
+      << ",\n  \"rejected\": " << stats.rejected
+      << ",\n  \"deferred\": " << stats.deferred
+      << ",\n  \"completed\": " << stats.completed
+      << ",\n  \"epochs\": " << stats.epochs
+      << ",\n  \"virtual_now\": " << stats.virtual_now << ",\n  \"busy_ticks\": [";
+  for (std::size_t a = 0; a < stats.busy_ticks.size(); ++a) {
+    out << (a ? ", " : "") << stats.busy_ticks[a];
+  }
+  out << "],\n  \"utilization\": [";
+  for (std::size_t a = 0; a < stats.utilization.size(); ++a) {
+    if (a) out << ", ";
+    write_number(out, stats.utilization[a]);
+  }
+  out << "],\n  \"mean_flow_time\": ";
+  write_number(out, stats.mean_flow_time);
+  out << ",\n  \"max_flow_time\": " << stats.max_flow_time
+      << ",\n  \"flow_time_histogram\": [";
+  for (std::size_t b = 0; b < stats.flow_time_bins.size(); ++b) {
+    out << (b ? ", " : "") << stats.flow_time_bins[b];
+  }
+  out << "]\n}\n";
+}
+
+std::string to_json(const ServiceStats& stats) {
+  std::ostringstream out;
+  write_json(out, stats);
+  return out.str();
+}
+
 }  // namespace fhs

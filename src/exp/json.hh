@@ -18,12 +18,18 @@
 #include <string>
 
 #include "exp/runner.hh"
+#include "service/service_stats.hh"
 
 namespace fhs {
 
 /// Serializes one experiment result as a JSON object.
 void write_json(std::ostream& out, const ExperimentResult& result);
 [[nodiscard]] std::string to_json(const ExperimentResult& result);
+
+/// Serializes a live service snapshot (counters, per-type utilization,
+/// flow-time histogram) as a JSON object.
+void write_json(std::ostream& out, const ServiceStats& stats);
+[[nodiscard]] std::string to_json(const ServiceStats& stats);
 
 /// Escapes a string for inclusion in a JSON document (quotes included).
 [[nodiscard]] std::string json_quote(const std::string& text);

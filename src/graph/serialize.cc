@@ -45,9 +45,10 @@ bool next_line(std::istream& in, std::string& line) {
 
 }  // namespace
 
-KDag read_kdag(std::istream& in) {
-  std::string line;
-  if (!next_line(in, line)) fail("empty input");
+namespace {
+
+KDag read_one_kdag(std::istream& in, std::string header_line) {
+  std::string line = std::move(header_line);
   std::istringstream header(line);
   std::string magic;
   std::string version;
@@ -83,8 +84,23 @@ KDag read_kdag(std::istream& in) {
     if (from >= num_tasks || to >= num_tasks) fail("edge endpoint out of range");
     builder.add_edge(static_cast<TaskId>(from), static_cast<TaskId>(to));
   }
-  if (next_line(in, line)) fail("trailing content '" + line + "'");
   return std::move(builder).build();
+}
+
+}  // namespace
+
+KDag read_kdag(std::istream& in) {
+  std::string line;
+  if (!next_line(in, line)) fail("empty input");
+  KDag dag = read_one_kdag(in, std::move(line));
+  if (next_line(in, line)) fail("trailing content '" + line + "'");
+  return dag;
+}
+
+std::optional<KDag> read_next_kdag(std::istream& in) {
+  std::string line;
+  if (!next_line(in, line)) return std::nullopt;
+  return read_one_kdag(in, std::move(line));
 }
 
 KDag kdag_from_string(const std::string& text) {

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "graph/kdag.hh"
@@ -21,8 +22,14 @@ namespace fhs {
 void write_kdag(std::ostream& out, const KDag& dag);
 [[nodiscard]] std::string kdag_to_string(const KDag& dag);
 
-/// Parses a K-DAG; throws std::invalid_argument on malformed input.
+/// Parses a K-DAG; throws std::invalid_argument on malformed input
+/// (including trailing content after the record).
 [[nodiscard]] KDag read_kdag(std::istream& in);
 [[nodiscard]] KDag kdag_from_string(const std::string& text);
+
+/// Reads the next K-DAG record from a stream that may hold several
+/// concatenated records (the fhs_serve submission format).  Returns
+/// nullopt at clean end of input; throws on a malformed record.
+[[nodiscard]] std::optional<KDag> read_next_kdag(std::istream& in);
 
 }  // namespace fhs

@@ -5,11 +5,17 @@
 #include <limits>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 
 #include "graph/analysis.hh"
+#include "sim/schedule_checker.hh"
 #include "support/rng.hh"
 
 namespace fhs {
+
+namespace {
+constexpr Time kNoEvent = std::numeric_limits<Time>::max();
+}  // namespace
 
 double MultiJobResult::mean_flow_time() const {
   if (flow_time.empty()) return 0.0;
@@ -23,208 +29,325 @@ Time MultiJobResult::max_flow_time() const {
   return best;
 }
 
-namespace {
+void MultiJobScheduler::prepare(const Cluster&) {}
+void MultiJobScheduler::admit(std::uint32_t, const JobArrival&) {}
 
-struct MultiRunning {
-  GlobalTask id;
-  std::uint32_t processor;
-  ResourceType type;
-  Work remaining;
-};
+// --- MultiJobEngine -------------------------------------------------------------
 
-class MultiSimulation final : public MultiDispatchContext {
- public:
-  MultiSimulation(std::span<const JobArrival> jobs, const Cluster& cluster)
-      : jobs_(jobs), cluster_(cluster) {
-    if (jobs.empty()) throw std::invalid_argument("multi_simulate: no jobs");
-    ResourceType k = 1;
-    Time previous_arrival = 0;
-    total_tasks_ = 0;
-    for (const JobArrival& job : jobs) {
-      if (job.arrival < previous_arrival) {
-        throw std::invalid_argument("multi_simulate: jobs must be sorted by arrival");
-      }
-      previous_arrival = job.arrival;
-      if (job.arrival < 0) throw std::invalid_argument("multi_simulate: negative arrival");
-      if (cluster.num_types() < job.dag.num_types()) {
-        throw std::invalid_argument("multi_simulate: job K exceeds cluster K");
-      }
-      k = std::max(k, job.dag.num_types());
-      total_tasks_ += job.dag.task_count();
-    }
-    num_types_ = k;
-    queues_.resize(k);
-    queue_work_.assign(k, 0);
-    free_procs_.resize(k);
-    for (ResourceType a = 0; a < k; ++a) {
-      const std::uint32_t p = cluster.processors(a);
-      free_procs_[a].reserve(p);
-      for (std::uint32_t i = p; i-- > 0;) {
-        free_procs_[a].push_back(cluster.offset(a) + i);
-      }
-    }
-    remaining_parents_.resize(jobs.size());
-    remaining_job_work_.resize(jobs.size());
-    for (std::size_t j = 0; j < jobs.size(); ++j) {
-      const KDag& dag = jobs[j].dag;
-      remaining_parents_[j].resize(dag.task_count());
-      for (TaskId v = 0; v < dag.task_count(); ++v) {
-        remaining_parents_[j][v] = static_cast<std::uint32_t>(dag.parent_count(v));
-      }
-      remaining_job_work_[j] = dag.total_work();
-    }
-    result_.busy_ticks_per_type.assign(k, 0);
-    result_.completion.assign(jobs.size(), 0);
-    result_.flow_time.assign(jobs.size(), 0);
-    tasks_left_.resize(jobs.size());
-    for (std::size_t j = 0; j < jobs.size(); ++j) {
-      tasks_left_[j] = jobs[j].dag.task_count();
+MultiJobEngine::MultiJobEngine(const Cluster& cluster, MultiJobScheduler& scheduler,
+                               const MultiEngineOptions& options)
+    : cluster_(cluster), scheduler_(scheduler), options_(options) {
+  const ResourceType k = cluster_.num_types();
+  queues_.resize(k);
+  queue_work_.assign(k, 0);
+  busy_ticks_per_type_.assign(k, 0);
+  free_procs_.resize(k);
+  for (ResourceType a = 0; a < k; ++a) {
+    const std::uint32_t p = cluster_.processors(a);
+    free_procs_[a].reserve(p);
+    for (std::uint32_t i = p; i-- > 0;) {
+      free_procs_[a].push_back(cluster_.offset(a) + i);
     }
   }
+  scheduler_.prepare(cluster_);
+}
 
-  // --- MultiDispatchContext -------------------------------------------------
-  [[nodiscard]] ResourceType num_types() const noexcept override { return num_types_; }
-  [[nodiscard]] Time now() const noexcept override { return now_; }
-  [[nodiscard]] std::uint32_t free_processors(ResourceType alpha) const override {
-    return static_cast<std::uint32_t>(free_procs_.at(alpha).size());
+std::uint32_t MultiJobEngine::add_job(KDag dag, Time arrival) {
+  if (arrival < now_) {
+    throw std::invalid_argument("MultiJobEngine::add_job: arrival in the past");
   }
-  [[nodiscard]] std::uint32_t total_processors(ResourceType alpha) const override {
-    return cluster_.processors(alpha);
+  if (cluster_.num_types() < dag.num_types()) {
+    throw std::invalid_argument("MultiJobEngine::add_job: job K exceeds cluster K");
   }
-  [[nodiscard]] std::span<const GlobalTask> ready(ResourceType alpha) const override {
-    return queues_.at(alpha);
+  const auto index = static_cast<std::uint32_t>(jobs_.size());
+  jobs_.push_back(JobArrival{std::move(dag), arrival});
+  const JobArrival& job = jobs_.back();
+  const KDag& d = job.dag;
+  remaining_parents_.emplace_back(d.task_count());
+  for (TaskId v = 0; v < d.task_count(); ++v) {
+    remaining_parents_[index][v] = static_cast<std::uint32_t>(d.parent_count(v));
   }
-  [[nodiscard]] Work queue_work(ResourceType alpha) const override {
-    return queue_work_.at(alpha);
-  }
-  [[nodiscard]] Work remaining_job_work(std::uint32_t job) const override {
-    return remaining_job_work_.at(job);
-  }
+  remaining_job_work_.push_back(d.total_work());
+  tasks_left_.push_back(d.task_count());
+  completion_.push_back(-1);
+  task_offset_.push_back(static_cast<TaskId>(total_tasks_));
+  total_tasks_ += d.task_count();
+  scheduler_.admit(index, job);
+  pending_.push(PendingArrival{arrival, index});
+  return index;
+}
 
-  void assign(ResourceType alpha, std::size_t index) override {
-    auto& queue = queues_.at(alpha);
-    if (index >= queue.size()) {
-      throw std::logic_error("MultiJobScheduler::dispatch assigned a bad index");
-    }
-    auto& frees = free_procs_.at(alpha);
-    if (frees.empty()) {
-      throw std::logic_error(
-          "MultiJobScheduler::dispatch assigned with no free processor");
-    }
-    const GlobalTask id = queue[index];
-    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(index));
-    const Work work = jobs_[id.job].dag.work(id.task);
-    queue_work_[alpha] -= work;
-    const std::uint32_t proc = frees.back();
-    frees.pop_back();
-    running_.push_back(MultiRunning{id, proc, alpha, work});
+bool MultiJobEngine::idle() const noexcept {
+  if (!running_.empty() || !pending_.empty()) return false;
+  for (const auto& queue : queues_) {
+    if (!queue.empty()) return false;
   }
+  return true;
+}
 
-  // --- main loop --------------------------------------------------------------
-  MultiJobResult run(MultiJobScheduler& scheduler) {
-    scheduler.prepare(jobs_, cluster_);
-    std::size_t completed = 0;
-    admit_arrivals();
-    while (completed < total_tasks_) {
-      scheduler.dispatch(*this);
-      enforce_work_conservation();
-      // Next event: earliest completion or next arrival.
-      Time next_arrival = std::numeric_limits<Time>::max();
-      if (next_job_ < jobs_.size()) next_arrival = jobs_[next_job_].arrival;
-      if (running_.empty() && next_arrival == std::numeric_limits<Time>::max()) {
-        throw std::logic_error("multi_simulate: stalled with tasks outstanding");
-      }
-      Time next_completion = std::numeric_limits<Time>::max();
-      for (const MultiRunning& r : running_) {
-        next_completion = std::min(next_completion, now_ + r.remaining);
-      }
-      const Time next_event = std::min(next_arrival, next_completion);
-      assert(next_event > now_ || (running_.empty() && next_event >= now_));
-      const Time dt = next_event - now_;
-      now_ = next_event;
-      for (MultiRunning& r : running_) {
-        result_.busy_ticks_per_type[r.type] += dt;
-        r.remaining -= dt;
-        remaining_job_work_[r.id.job] -= dt;
-      }
-      // Completions in processor order.
-      std::sort(running_.begin(), running_.end(), [](const auto& a, const auto& b) {
-        return a.processor < b.processor;
-      });
-      std::vector<MultiRunning> still_running;
-      still_running.reserve(running_.size());
-      for (const MultiRunning& r : running_) {
-        if (r.remaining > 0) {
-          still_running.push_back(r);
-          continue;
-        }
-        auto& frees = free_procs_[r.type];
-        const auto pos = std::lower_bound(frees.begin(), frees.end(), r.processor,
-                                          std::greater<std::uint32_t>{});
-        frees.insert(pos, r.processor);
-        ++completed;
-        const KDag& dag = jobs_[r.id.job].dag;
-        if (--tasks_left_[r.id.job] == 0) {
-          result_.completion[r.id.job] = now_;
-          result_.flow_time[r.id.job] = now_ - jobs_[r.id.job].arrival;
-        }
-        for (TaskId child : dag.children(r.id.task)) {
-          if (--remaining_parents_[r.id.job][child] == 0) {
-            make_ready(GlobalTask{r.id.job, child});
-          }
-        }
-      }
-      running_ = std::move(still_running);
-      admit_arrivals();
-    }
-    result_.makespan = now_;
-    return std::move(result_);
+bool MultiJobEngine::job_done(std::uint32_t j) const {
+  return tasks_left_.at(j) == 0;
+}
+
+Time MultiJobEngine::completion_time(std::uint32_t j) const {
+  if (!job_done(j)) {
+    throw std::logic_error("MultiJobEngine::completion_time: job still running");
   }
+  return completion_.at(j);
+}
 
- private:
-  void make_ready(GlobalTask id) {
-    const ResourceType alpha = jobs_[id.job].dag.type(id.task);
-    queues_[alpha].push_back(id);
-    queue_work_[alpha] += jobs_[id.job].dag.work(id.task);
+std::vector<std::uint32_t> MultiJobEngine::take_completed() {
+  return std::exchange(newly_completed_, {});
+}
+
+// --- MultiDispatchContext ---------------------------------------------------------
+
+ResourceType MultiJobEngine::num_types() const noexcept { return cluster_.num_types(); }
+
+std::uint32_t MultiJobEngine::free_processors(ResourceType alpha) const {
+  return static_cast<std::uint32_t>(free_procs_.at(alpha).size());
+}
+
+std::uint32_t MultiJobEngine::total_processors(ResourceType alpha) const {
+  return cluster_.processors(alpha);
+}
+
+std::span<const GlobalTask> MultiJobEngine::ready(ResourceType alpha) const {
+  return queues_.at(alpha);
+}
+
+Work MultiJobEngine::task_work(GlobalTask id) const {
+  return jobs_.at(id.job).dag.work(id.task);
+}
+
+Work MultiJobEngine::queue_work(ResourceType alpha) const {
+  return queue_work_.at(alpha);
+}
+
+Work MultiJobEngine::remaining_job_work(std::uint32_t job) const {
+  return remaining_job_work_.at(job);
+}
+
+void MultiJobEngine::assign(ResourceType alpha, std::size_t index) {
+  auto& queue = queues_.at(alpha);
+  if (index >= queue.size()) {
+    throw std::logic_error("MultiJobScheduler::dispatch assigned a bad index");
   }
+  auto& frees = free_procs_.at(alpha);
+  if (frees.empty()) {
+    throw std::logic_error(
+        "MultiJobScheduler::dispatch assigned with no free processor");
+  }
+  const GlobalTask id = queue[index];
+  queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(index));
+  const Work work = jobs_[id.job].dag.work(id.task);
+  queue_work_[alpha] -= work;
+  const std::uint32_t proc = frees.back();
+  frees.pop_back();
+  running_.push_back(RunningTask{id, proc, alpha, now_, work});
+}
 
-  void admit_arrivals() {
-    while (next_job_ < jobs_.size() && jobs_[next_job_].arrival <= now_) {
-      const auto j = static_cast<std::uint32_t>(next_job_);
-      for (TaskId root : jobs_[next_job_].dag.roots()) {
-        make_ready(GlobalTask{j, root});
-      }
-      ++next_job_;
+// --- event loop -------------------------------------------------------------------
+
+void MultiJobEngine::make_ready(GlobalTask id) {
+  const ResourceType alpha = jobs_[id.job].dag.type(id.task);
+  queues_[alpha].push_back(id);
+  queue_work_[alpha] += jobs_[id.job].dag.work(id.task);
+}
+
+void MultiJobEngine::admit_arrivals() {
+  while (!pending_.empty() && pending_.top().arrival <= now_) {
+    const std::uint32_t j = pending_.top().job;
+    pending_.pop();
+    for (TaskId root : jobs_[j].dag.roots()) {
+      make_ready(GlobalTask{j, root});
     }
   }
+}
 
-  void enforce_work_conservation() const {
-    for (ResourceType a = 0; a < num_types_; ++a) {
-      if (!free_procs_[a].empty() && !queues_[a].empty()) {
-        throw std::logic_error(
-            "MultiJobScheduler::dispatch left a free processor idle");
+void MultiJobEngine::elapse(Time dt) {
+  if (dt == 0) return;
+  for (RunningTask& r : running_) {
+    busy_ticks_per_type_[r.type] += dt;
+    r.remaining -= dt;
+    remaining_job_work_[r.id.job] -= dt;
+  }
+}
+
+void MultiJobEngine::process_completions() {
+  // Completions in processor order, so results are deterministic.
+  std::sort(running_.begin(), running_.end(),
+            [](const auto& a, const auto& b) { return a.processor < b.processor; });
+  std::vector<RunningTask> still_running;
+  still_running.reserve(running_.size());
+  for (const RunningTask& r : running_) {
+    if (r.remaining > 0) {
+      still_running.push_back(r);
+      continue;
+    }
+    auto& frees = free_procs_[r.type];
+    const auto pos = std::lower_bound(frees.begin(), frees.end(), r.processor,
+                                      std::greater<std::uint32_t>{});
+    frees.insert(pos, r.processor);
+    ++completed_tasks_;
+    if (options_.record_trace) {
+      trace_.add(task_offset_[r.id.job] + r.id.task, r.processor, r.start, now_);
+    }
+    const KDag& dag = jobs_[r.id.job].dag;
+    if (--tasks_left_[r.id.job] == 0) {
+      completion_[r.id.job] = now_;
+      ++jobs_completed_;
+      newly_completed_.push_back(r.id.job);
+    }
+    for (TaskId child : dag.children(r.id.task)) {
+      if (--remaining_parents_[r.id.job][child] == 0) {
+        make_ready(GlobalTask{r.id.job, child});
       }
     }
   }
+  running_ = std::move(still_running);
+}
 
-  std::span<const JobArrival> jobs_;
-  const Cluster& cluster_;
-  ResourceType num_types_ = 1;
-  std::size_t total_tasks_ = 0;
+void MultiJobEngine::enforce_work_conservation() const {
+  for (ResourceType a = 0; a < cluster_.num_types(); ++a) {
+    if (!free_procs_[a].empty() && !queues_[a].empty()) {
+      throw std::logic_error("MultiJobScheduler::dispatch left a free processor idle");
+    }
+  }
+}
 
-  Time now_ = 0;
-  std::size_t next_job_ = 0;
-  std::vector<std::vector<std::uint32_t>> remaining_parents_;
-  std::vector<Work> remaining_job_work_;
-  std::vector<std::size_t> tasks_left_;
-  std::vector<std::vector<GlobalTask>> queues_;
-  std::vector<Work> queue_work_;
-  std::vector<std::vector<std::uint32_t>> free_procs_;
-  std::vector<MultiRunning> running_;
-  MultiJobResult result_;
-};
+bool MultiJobEngine::step(Time deadline) {
+  admit_arrivals();
+  scheduler_.dispatch(*this);
+  enforce_work_conservation();
+  Time next_event = pending_.empty() ? kNoEvent : pending_.top().arrival;
+  for (const RunningTask& r : running_) {
+    next_event = std::min(next_event, now_ + r.remaining);
+  }
+  if (next_event == kNoEvent || next_event > deadline) return false;
+  assert(next_event > now_);
+  elapse(next_event - now_);
+  now_ = next_event;
+  process_completions();
+  return true;
+}
+
+void MultiJobEngine::advance_until(Time deadline) {
+  if (deadline < now_) {
+    throw std::invalid_argument("MultiJobEngine::advance_until: deadline in the past");
+  }
+  while (step(deadline)) {
+  }
+  // No event left at or before the deadline: idle (or partially execute
+  // running tasks) through the rest of the slice.
+  elapse(deadline - now_);
+  now_ = deadline;
+}
+
+void MultiJobEngine::run_to_completion() {
+  while (completed_tasks_ < total_tasks_) {
+    if (!step(kNoEvent - 1)) {
+      throw std::logic_error("MultiJobEngine: stalled with tasks outstanding");
+    }
+  }
+}
+
+MultiJobResult MultiJobEngine::finish() {
+  if (completed_tasks_ < total_tasks_) {
+    throw std::logic_error("MultiJobEngine::finish: tasks outstanding");
+  }
+  MultiJobResult result;
+  result.makespan = now_;
+  result.completion.reserve(jobs_.size());
+  result.flow_time.reserve(jobs_.size());
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    result.completion.push_back(completion_[j]);
+    result.flow_time.push_back(completion_[j] - jobs_[j].arrival);
+  }
+  result.busy_ticks_per_type = busy_ticks_per_type_;
+  result.trace = std::move(trace_);
+  result.trace_task_offset = task_offset_;
+  return result;
+}
+
+// --- batch wrapper ---------------------------------------------------------------
+
+MultiJobResult multi_simulate(std::span<const JobArrival> jobs, const Cluster& cluster,
+                              MultiJobScheduler& scheduler,
+                              const MultiEngineOptions& options) {
+  if (jobs.empty()) throw std::invalid_argument("multi_simulate: no jobs");
+  Time previous_arrival = 0;
+  for (const JobArrival& job : jobs) {
+    if (job.arrival < 0) throw std::invalid_argument("multi_simulate: negative arrival");
+    if (job.arrival < previous_arrival) {
+      throw std::invalid_argument("multi_simulate: jobs must be sorted by arrival");
+    }
+    previous_arrival = job.arrival;
+  }
+  MultiJobEngine engine(cluster, scheduler, options);
+  for (const JobArrival& job : jobs) {
+    (void)engine.add_job(job.dag, job.arrival);
+  }
+  engine.run_to_completion();
+  // The batch result's makespan is the last completion, not the last
+  // slice deadline; run_to_completion never overshoots, so now() is it.
+  return engine.finish();
+}
+
+// --- replay verification ---------------------------------------------------------
+
+KDag merge_jobs(std::span<const JobArrival> jobs, ResourceType num_types) {
+  KDagBuilder builder(num_types);
+  for (const JobArrival& job : jobs) {
+    const KDag& dag = job.dag;
+    std::vector<TaskId> mapped(dag.task_count());
+    for (TaskId v = 0; v < dag.task_count(); ++v) {
+      mapped[v] = builder.add_task(dag.type(v), dag.work(v));
+    }
+    for (TaskId v = 0; v < dag.task_count(); ++v) {
+      for (TaskId child : dag.children(v)) {
+        builder.add_edge(mapped[v], mapped[child]);
+      }
+    }
+  }
+  return std::move(builder).build();
+}
+
+std::vector<std::string> check_multijob_trace(std::span<const JobArrival> jobs,
+                                              const Cluster& cluster,
+                                              const MultiJobResult& result) {
+  std::vector<std::string> violations;
+  if (result.trace.empty()) {
+    violations.push_back("no trace recorded (run with MultiEngineOptions.record_trace)");
+    return violations;
+  }
+  if (result.trace_task_offset.size() != jobs.size()) {
+    violations.push_back("trace_task_offset does not match the job count");
+    return violations;
+  }
+  const KDag merged = merge_jobs(jobs, cluster.num_types());
+  CheckOptions options;
+  options.require_non_preemptive = true;
+  violations = check_schedule(merged, cluster, result.trace, options);
+  // Stream-specific invariant: no task starts before its job arrives.
+  for (const TraceSegment& segment : result.trace.segments()) {
+    const auto it = std::upper_bound(result.trace_task_offset.begin(),
+                                     result.trace_task_offset.end(), segment.task);
+    const auto j = static_cast<std::size_t>(
+        std::distance(result.trace_task_offset.begin(), it)) - 1;
+    if (segment.start < jobs[j].arrival) {
+      violations.push_back("task " + std::to_string(segment.task) + " of job " +
+                           std::to_string(j) + " starts at " +
+                           std::to_string(segment.start) + " before its arrival " +
+                           std::to_string(jobs[j].arrival));
+    }
+  }
+  return violations;
+}
 
 // --- policies -------------------------------------------------------------------
+
+namespace {
 
 /// Shared dispatch loop: picks the max-scoring ready task per type;
 /// ties break oldest-ready first.
@@ -257,7 +380,6 @@ class MultiPriorityScheduler : public MultiJobScheduler {
 class GlobalKGreedy final : public MultiPriorityScheduler {
  public:
   [[nodiscard]] std::string name() const override { return "KGreedy"; }
-  void prepare(std::span<const JobArrival>, const Cluster&) override {}
 
  protected:
   [[nodiscard]] double score(GlobalTask, const MultiDispatchContext&) const override {
@@ -268,7 +390,6 @@ class GlobalKGreedy final : public MultiPriorityScheduler {
 class FcfsJobs final : public MultiPriorityScheduler {
  public:
   [[nodiscard]] std::string name() const override { return "FCFS-jobs"; }
-  void prepare(std::span<const JobArrival>, const Cluster&) override {}
 
  protected:
   [[nodiscard]] double score(GlobalTask id, const MultiDispatchContext&) const override {
@@ -279,7 +400,6 @@ class FcfsJobs final : public MultiPriorityScheduler {
 class Srjf final : public MultiPriorityScheduler {
  public:
   [[nodiscard]] std::string name() const override { return "SRJF"; }
-  void prepare(std::span<const JobArrival>, const Cluster&) override {}
 
  protected:
   [[nodiscard]] double score(GlobalTask id,
@@ -292,13 +412,13 @@ class GlobalMqb final : public MultiJobScheduler {
  public:
   [[nodiscard]] std::string name() const override { return "MQB"; }
 
-  void prepare(std::span<const JobArrival> jobs, const Cluster&) override {
-    jobs_ = jobs;
-    analyses_.clear();
-    analyses_.reserve(jobs.size());
-    for (const JobArrival& job : jobs) {
-      analyses_.push_back(std::make_unique<JobAnalysis>(job.dag));
+  void prepare(const Cluster&) override { analyses_.clear(); }
+
+  void admit(std::uint32_t job, const JobArrival& arrival) override {
+    if (job != analyses_.size()) {
+      throw std::logic_error("GlobalMqb::admit: non-dense job index");
     }
+    analyses_.push_back(std::make_unique<JobAnalysis>(arrival.dag));
   }
 
   void dispatch(MultiDispatchContext& ctx) override {
@@ -328,7 +448,7 @@ class GlobalMqb final : public MultiJobScheduler {
           const GlobalTask id = queue[i];
           const JobAnalysis& analysis = *analyses_[id.job];
           std::vector<double> candidate = hypo;
-          candidate[alpha] -= static_cast<double>(jobs_[id.job].dag.work(id.task));
+          candidate[alpha] -= static_cast<double>(ctx.task_work(id));
           const auto row = analysis.descendant_row(id.task);
           for (std::size_t b = 0; b < row.size(); ++b) candidate[b] += row[b];
           std::vector<double> sorted = sorted_utilization(candidate);
@@ -347,17 +467,10 @@ class GlobalMqb final : public MultiJobScheduler {
   }
 
  private:
-  std::span<const JobArrival> jobs_;
   std::vector<std::unique_ptr<JobAnalysis>> analyses_;
 };
 
 }  // namespace
-
-MultiJobResult multi_simulate(std::span<const JobArrival> jobs, const Cluster& cluster,
-                              MultiJobScheduler& scheduler) {
-  MultiSimulation sim(jobs, cluster);
-  return sim.run(scheduler);
-}
 
 std::unique_ptr<MultiJobScheduler> make_global_kgreedy() {
   return std::make_unique<GlobalKGreedy>();

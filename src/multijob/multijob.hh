@@ -10,16 +10,28 @@
 // from different jobs may run concurrently (unlike job-shop/DAG-shop,
 // §VI).  Scheduling is non-preemptive.  Metrics: per-job flow time
 // (completion - arrival), stream makespan, utilization.
+//
+// Two entry points share one engine:
+//
+//  * multi_simulate() -- the batch API: all arrivals known up front,
+//    runs to completion, returns a MultiJobResult.
+//  * MultiJobEngine   -- the incremental API used by src/service/: jobs
+//    are injected while the simulation is running (add_job), and virtual
+//    time advances in bounded slices (advance_until), so an online
+//    service can fold new submissions in at epoch boundaries.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <queue>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "graph/kdag.hh"
 #include "machine/cluster.hh"
+#include "sim/trace.hh"
 #include "workload/workload.hh"
 
 namespace fhs {
@@ -52,6 +64,8 @@ class MultiDispatchContext {
 
   /// Ready alpha-tasks across all arrived jobs, oldest-ready first.
   [[nodiscard]] virtual std::span<const GlobalTask> ready(ResourceType alpha) const = 0;
+  /// Work of one concrete task.
+  [[nodiscard]] virtual Work task_work(GlobalTask id) const = 0;
   /// Total work of ready alpha-tasks (offline info).
   [[nodiscard]] virtual Work queue_work(ResourceType alpha) const = 0;
   /// Remaining (un-run) work of job `j`, including not-yet-ready tasks
@@ -61,11 +75,17 @@ class MultiDispatchContext {
   virtual void assign(ResourceType alpha, std::size_t index) = 0;
 };
 
+/// A stream policy.  The engine calls prepare() once, then admit() for
+/// every job as it enters the engine (dense indices, in order) -- jobs
+/// are *not* all known up front, so per-job state (e.g. MQB's analyses)
+/// must be built in admit().  The JobArrival reference stays valid for
+/// the lifetime of the engine.
 class MultiJobScheduler {
  public:
   virtual ~MultiJobScheduler() = default;
   [[nodiscard]] virtual std::string name() const = 0;
-  virtual void prepare(std::span<const JobArrival> jobs, const Cluster& cluster) = 0;
+  virtual void prepare(const Cluster& cluster);
+  virtual void admit(std::uint32_t job, const JobArrival& arrival);
   virtual void dispatch(MultiDispatchContext& ctx) = 0;
 };
 
@@ -77,16 +97,148 @@ struct MultiJobResult {
   /// completion - arrival, per job.
   std::vector<Time> flow_time;
   std::vector<Time> busy_ticks_per_type;
+  /// Combined execution trace over all jobs (only filled when the run
+  /// recorded one); job j's task v appears as task trace_task_offset[j]+v.
+  ExecutionTrace trace;
+  std::vector<TaskId> trace_task_offset;
 
   [[nodiscard]] double mean_flow_time() const;
   [[nodiscard]] Time max_flow_time() const;
 };
 
-/// Simulates the stream.  Jobs must be sorted by non-decreasing arrival
-/// (>= 0); every job's K must fit the cluster.  Work conservation is
-/// enforced across jobs.
+struct MultiEngineOptions {
+  /// Record a combined ExecutionTrace for replay verification
+  /// (check_multijob_trace).
+  bool record_trace = false;
+};
+
+/// Incremental multi-job simulation engine.  Single-threaded: callers
+/// (e.g. the service worker) serialize access themselves.  Jobs own
+/// their K-DAGs and keep stable addresses, so schedulers may retain
+/// pointers into them (JobAnalysis does).
+class MultiJobEngine final : public MultiDispatchContext {
+ public:
+  MultiJobEngine(const Cluster& cluster, MultiJobScheduler& scheduler,
+                 const MultiEngineOptions& options = {});
+
+  /// Injects a job whose roots become ready at `arrival` (>= now()).
+  /// Returns the job's dense index.
+  std::uint32_t add_job(KDag dag, Time arrival);
+
+  /// Advances virtual time to exactly `deadline`, processing every
+  /// arrival/completion event on the way (a bounded slice).
+  void advance_until(Time deadline);
+  /// Runs until every admitted job has completed.
+  void run_to_completion();
+
+  /// True when nothing is running, ready, or pending arrival.
+  [[nodiscard]] bool idle() const noexcept;
+  [[nodiscard]] std::size_t job_count() const noexcept { return jobs_.size(); }
+  [[nodiscard]] std::size_t jobs_completed() const noexcept { return jobs_completed_; }
+  [[nodiscard]] const JobArrival& job(std::uint32_t j) const { return jobs_.at(j); }
+  [[nodiscard]] bool job_done(std::uint32_t j) const;
+  /// Absolute completion time of a finished job.
+  [[nodiscard]] Time completion_time(std::uint32_t j) const;
+  [[nodiscard]] std::span<const Time> busy_ticks() const noexcept {
+    return busy_ticks_per_type_;
+  }
+  [[nodiscard]] const Cluster& cluster() const noexcept { return cluster_; }
+
+  /// Job indices that completed since the last call (in completion
+  /// order); the service drains this after each slice.
+  std::vector<std::uint32_t> take_completed();
+
+  /// Validates that everything finished and packages the result.
+  [[nodiscard]] MultiJobResult finish();
+
+  // --- MultiDispatchContext ---------------------------------------------------
+  [[nodiscard]] ResourceType num_types() const noexcept override;
+  [[nodiscard]] Time now() const noexcept override { return now_; }
+  [[nodiscard]] std::uint32_t free_processors(ResourceType alpha) const override;
+  [[nodiscard]] std::uint32_t total_processors(ResourceType alpha) const override;
+  [[nodiscard]] std::span<const GlobalTask> ready(ResourceType alpha) const override;
+  [[nodiscard]] Work task_work(GlobalTask id) const override;
+  [[nodiscard]] Work queue_work(ResourceType alpha) const override;
+  [[nodiscard]] Work remaining_job_work(std::uint32_t job) const override;
+  void assign(ResourceType alpha, std::size_t index) override;
+
+ private:
+  struct RunningTask {
+    GlobalTask id;
+    std::uint32_t processor = 0;
+    ResourceType type = 0;
+    Time start = 0;
+    Work remaining = 0;
+  };
+  struct PendingArrival {
+    Time arrival = 0;
+    std::uint32_t job = 0;
+    /// Min-heap order: earliest arrival first, ties by insertion order.
+    [[nodiscard]] bool operator>(const PendingArrival& other) const noexcept {
+      return arrival != other.arrival ? arrival > other.arrival : job > other.job;
+    }
+  };
+
+  void make_ready(GlobalTask id);
+  void admit_arrivals();
+  /// Elapses `dt` ticks of execution on every running task.
+  void elapse(Time dt);
+  /// Frees processors, wakes children, and records completions for every
+  /// running task that reached zero remaining work.
+  void process_completions();
+  void enforce_work_conservation() const;
+  /// Dispatches and processes the next event if it is at or before
+  /// `deadline`; returns false (without advancing) otherwise.
+  bool step(Time deadline);
+
+  Cluster cluster_;
+  MultiJobScheduler& scheduler_;
+  MultiEngineOptions options_;
+
+  std::deque<JobArrival> jobs_;  // deque: stable addresses for schedulers
+  std::priority_queue<PendingArrival, std::vector<PendingArrival>,
+                      std::greater<PendingArrival>>
+      pending_;
+
+  Time now_ = 0;
+  std::size_t total_tasks_ = 0;
+  std::size_t completed_tasks_ = 0;
+  std::size_t jobs_completed_ = 0;
+  std::vector<std::vector<std::uint32_t>> remaining_parents_;
+  std::vector<Work> remaining_job_work_;
+  std::vector<std::size_t> tasks_left_;
+  std::vector<Time> completion_;
+  std::vector<std::uint32_t> newly_completed_;
+  std::vector<std::vector<GlobalTask>> queues_;
+  std::vector<Work> queue_work_;
+  std::vector<std::vector<std::uint32_t>> free_procs_;
+  std::vector<RunningTask> running_;
+  std::vector<Time> busy_ticks_per_type_;
+  ExecutionTrace trace_;
+  std::vector<TaskId> task_offset_;
+};
+
+/// Simulates the stream in one shot.  Jobs must be sorted by
+/// non-decreasing arrival (>= 0); every job's K must fit the cluster.
+/// Work conservation is enforced across jobs.
 MultiJobResult multi_simulate(std::span<const JobArrival> jobs, const Cluster& cluster,
-                              MultiJobScheduler& scheduler);
+                              MultiJobScheduler& scheduler,
+                              const MultiEngineOptions& options = {});
+
+/// Union of a job set as a single K-DAG over `num_types` types: job j's
+/// task v becomes task offset_j + v (offsets accumulate task counts in
+/// job order), with only intra-job edges.  This is what lets the
+/// single-job schedule_checker verify a multi-job trace.
+[[nodiscard]] KDag merge_jobs(std::span<const JobArrival> jobs, ResourceType num_types);
+
+/// Replay-verifies a recorded multi-job trace with the independent
+/// schedule checker (type match, capacity, precedence, work
+/// conservation, non-preemptive contiguity) plus the stream-specific
+/// invariant that no task starts before its job's arrival.  Returns
+/// human-readable violations (empty == valid).
+[[nodiscard]] std::vector<std::string> check_multijob_trace(
+    std::span<const JobArrival> jobs, const Cluster& cluster,
+    const MultiJobResult& result);
 
 // --- policies -----------------------------------------------------------------
 

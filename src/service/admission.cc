@@ -1,0 +1,59 @@
+#include "service/admission.hh"
+
+#include <stdexcept>
+
+namespace fhs {
+
+AdmissionController::AdmissionController(const AdmissionConfig& config,
+                                         const Cluster& cluster)
+    : config_(config) {
+  if (config.max_queue_depth == 0) {
+    throw std::invalid_argument("AdmissionController: zero queue depth admits nothing");
+  }
+  if (config.max_outstanding_per_proc <= 0.0) {
+    throw std::invalid_argument(
+        "AdmissionController: non-positive outstanding-work bound");
+  }
+  processors_.assign(cluster.per_type().begin(), cluster.per_type().end());
+  outstanding_.assign(processors_.size(), 0);
+}
+
+bool AdmissionController::admissible(const KDag& dag,
+                                     std::size_t queue_depth) const noexcept {
+  if (queue_depth >= config_.max_queue_depth) return false;
+  for (ResourceType a = 0; a < dag.num_types() && a < processors_.size(); ++a) {
+    const double would_be =
+        static_cast<double>(outstanding_[a] + dag.total_work(a)) /
+        static_cast<double>(processors_[a]);
+    if (would_be > config_.max_outstanding_per_proc) return false;
+  }
+  return true;
+}
+
+bool AdmissionController::fits_when_idle(const KDag& dag) const noexcept {
+  for (ResourceType a = 0; a < dag.num_types() && a < processors_.size(); ++a) {
+    const double alone = static_cast<double>(dag.total_work(a)) /
+                         static_cast<double>(processors_[a]);
+    if (alone > config_.max_outstanding_per_proc) return false;
+  }
+  return true;
+}
+
+void AdmissionController::on_admit(const KDag& dag) {
+  for (ResourceType a = 0; a < dag.num_types() && a < processors_.size(); ++a) {
+    outstanding_[a] += dag.total_work(a);
+  }
+}
+
+void AdmissionController::on_complete(const KDag& dag) {
+  for (ResourceType a = 0; a < dag.num_types() && a < processors_.size(); ++a) {
+    outstanding_[a] -= dag.total_work(a);
+  }
+}
+
+double AdmissionController::outstanding_per_proc(ResourceType alpha) const {
+  return static_cast<double>(outstanding_.at(alpha)) /
+         static_cast<double>(processors_.at(alpha));
+}
+
+}  // namespace fhs

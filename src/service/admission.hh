@@ -1,0 +1,68 @@
+// Admission control: keeps an overloaded service degrading gracefully
+// instead of queueing without bound.
+//
+// Two limits, both in the spirit of the paper's x-utilization metric
+// r_alpha = l_alpha / P_alpha (§IV-A):
+//
+//  * queue depth -- submissions accepted but not yet folded into the
+//    engine are capped, bounding the service's buffer memory;
+//  * outstanding typed work -- the admitted-but-unfinished alpha-work
+//    per alpha-processor is capped, so one flood of (say) GPU-heavy
+//    jobs cannot build an unbounded backlog on one pool while the
+//    others idle.
+//
+// What happens beyond a limit is the overload policy: kReject refuses
+// the submission immediately; kDefer blocks the submitter until load
+// drains (backpressure).  The controller itself is synchronization-free
+// bookkeeping -- SchedulerService serializes calls under its own lock.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/kdag.hh"
+#include "machine/cluster.hh"
+
+namespace fhs {
+
+enum class OverloadPolicy {
+  kReject,  ///< submit() fails fast when a limit is hit
+  kDefer,   ///< submit() blocks until the load drains
+};
+
+struct AdmissionConfig {
+  /// Max submissions accepted but not yet folded into the engine.
+  std::size_t max_queue_depth = 64;
+  /// Max admitted-but-unfinished work per processor, per type:
+  /// l_alpha / P_alpha may not exceed this many ticks.
+  double max_outstanding_per_proc = 1 << 14;
+  OverloadPolicy overload = OverloadPolicy::kReject;
+};
+
+class AdmissionController {
+ public:
+  AdmissionController(const AdmissionConfig& config, const Cluster& cluster);
+
+  /// Would admitting `dag` now keep every limit satisfied?
+  [[nodiscard]] bool admissible(const KDag& dag, std::size_t queue_depth) const noexcept;
+
+  /// Could `dag` ever be admitted, even with zero outstanding load?  A
+  /// job failing this can never fit; deferring it would deadlock.
+  [[nodiscard]] bool fits_when_idle(const KDag& dag) const noexcept;
+
+  /// Accounts an admitted job's work as outstanding.
+  void on_admit(const KDag& dag);
+  /// Releases a finished job's work.
+  void on_complete(const KDag& dag);
+
+  /// Current l_alpha / P_alpha.
+  [[nodiscard]] double outstanding_per_proc(ResourceType alpha) const;
+  [[nodiscard]] const AdmissionConfig& config() const noexcept { return config_; }
+
+ private:
+  AdmissionConfig config_;
+  std::vector<std::uint32_t> processors_;  // P_alpha
+  std::vector<Work> outstanding_;          // l_alpha
+};
+
+}  // namespace fhs

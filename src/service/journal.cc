@@ -1,0 +1,164 @@
+#include "service/journal.hh"
+
+#include <cctype>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "exp/json.hh"
+#include "graph/serialize.hh"
+
+namespace fhs {
+
+std::string journal_line(const JournalEntry& entry) {
+  std::ostringstream line;
+  line << "{\"ticket\": " << entry.ticket << ", \"epoch\": " << entry.epoch
+       << ", \"kdag\": " << json_quote(kdag_to_string(entry.dag)) << '}';
+  return line.str();
+}
+
+void JournalWriter::append(const JournalEntry& entry) {
+  *out_ << journal_line(entry) << '\n';
+  out_->flush();
+}
+
+namespace {
+
+/// Tiny scanner for the journal's single-object JSON lines.  Accepts the
+/// fields in any order; rejects anything else loudly.
+class LineParser {
+ public:
+  explicit LineParser(const std::string& text) : text_(text) {}
+
+  JournalEntry parse() {
+    JournalEntry entry;
+    bool saw_ticket = false;
+    bool saw_epoch = false;
+    bool saw_dag = false;
+    expect('{');
+    for (;;) {
+      const std::string key = parse_string();
+      expect(':');
+      if (key == "ticket") {
+        entry.ticket = parse_uint();
+        saw_ticket = true;
+      } else if (key == "epoch") {
+        entry.epoch = static_cast<Time>(parse_uint());
+        saw_epoch = true;
+      } else if (key == "kdag") {
+        entry.dag = kdag_from_string(parse_string());
+        saw_dag = true;
+      } else {
+        fail("unknown field '" + key + "'");
+      }
+      skip_space();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    expect('}');
+    skip_space();
+    if (pos_ != text_.size()) fail("trailing content");
+    if (!saw_ticket || !saw_epoch || !saw_dag) fail("missing field");
+    return entry;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::invalid_argument("parse_journal_line: " + message);
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() {
+    skip_space();
+    if (pos_ >= text_.size()) fail("unexpected end of line");
+    return text_[pos_];
+  }
+
+  void expect(char ch) {
+    if (peek() != ch) fail(std::string("expected '") + ch + "'");
+    ++pos_;
+  }
+
+  std::uint64_t parse_uint() {
+    skip_space();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a number");
+    return std::stoull(text_.substr(start, pos_ - start));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string value;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char ch = text_[pos_++];
+      if (ch != '\\') {
+        value += ch;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("dangling escape");
+      const char code = text_[pos_++];
+      switch (code) {
+        case '"': value += '"'; break;
+        case '\\': value += '\\'; break;
+        case '/': value += '/'; break;
+        case 'n': value += '\n'; break;
+        case 'r': value += '\r'; break;
+        case 't': value += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          const std::string hex = text_.substr(pos_, 4);
+          pos_ += 4;
+          const unsigned long cp = std::stoul(hex, nullptr, 16);
+          if (cp > 0x7f) fail("non-ASCII \\u escape unsupported");
+          value += static_cast<char>(cp);
+          break;
+        }
+        default: fail(std::string("unknown escape '\\") + code + "'");
+      }
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return value;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JournalEntry parse_journal_line(const std::string& line) {
+  return LineParser(line).parse();
+}
+
+std::vector<JournalEntry> read_journal(std::istream& in) {
+  std::vector<JournalEntry> entries;
+  std::string line;
+  Time previous_epoch = 0;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    entries.push_back(parse_journal_line(line));
+    if (entries.back().epoch < previous_epoch) {
+      throw std::invalid_argument("read_journal: epochs must be non-decreasing");
+    }
+    previous_epoch = entries.back().epoch;
+  }
+  return entries;
+}
+
+}  // namespace fhs

@@ -1,0 +1,51 @@
+// Deterministic record/replay journal for the scheduling service.
+//
+// Every accepted submission is journaled, *at the moment it is folded
+// into the engine*, as one newline-delimited JSON object:
+//
+//   {"ticket": 7, "epoch": 400, "kdag": "kdag v1 2 3 2\nt 0 4\n..."}
+//
+// `epoch` is the virtual time at which the job entered the engine (its
+// effective arrival), and `kdag` is the job in the src/graph/serialize
+// text format, JSON-escaped.  Because the engine is deterministic given
+// (fold order, fold epochs, dags) -- exactly what the journal captures
+// -- replay_journal() re-runs a recorded session bit-identically, no
+// matter how the original submissions raced each other in wall time.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "graph/kdag.hh"
+
+namespace fhs {
+
+struct JournalEntry {
+  std::uint64_t ticket = 0;
+  Time epoch = 0;  ///< virtual time the job was folded into the engine
+  KDag dag;
+};
+
+/// Appends entries to a caller-owned stream, one JSON line each,
+/// flushing after every record so a crash loses at most the job being
+/// written.  Single-writer: only the service worker thread appends.
+class JournalWriter {
+ public:
+  explicit JournalWriter(std::ostream& out) : out_(&out) {}
+  void append(const JournalEntry& entry);
+
+ private:
+  std::ostream* out_;
+};
+
+/// Serializes one entry as a JSON line (no trailing newline).
+[[nodiscard]] std::string journal_line(const JournalEntry& entry);
+/// Parses one JSON line; throws std::invalid_argument on malformed input.
+[[nodiscard]] JournalEntry parse_journal_line(const std::string& line);
+
+/// Reads a whole journal (blank lines skipped); throws on malformed
+/// lines or non-monotone epochs.
+[[nodiscard]] std::vector<JournalEntry> read_journal(std::istream& in);
+
+}  // namespace fhs

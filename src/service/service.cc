@@ -1,0 +1,247 @@
+#include "service/service.hh"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <stdexcept>
+#include <utility>
+
+namespace fhs {
+
+/// Single-writer (the worker) block of atomics behind stats().  Readers
+/// use relaxed loads: each field is individually consistent and
+/// monotone; a snapshot may be torn across fields, which is fine for
+/// observability.
+class SchedulerService::StatsBlock {
+ public:
+  std::atomic<std::uint64_t> submitted{0};
+  std::atomic<std::uint64_t> admitted{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> deferred{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> epochs{0};
+  std::atomic<Time> virtual_now{0};
+  std::atomic<std::int64_t> flow_sum{0};
+  std::atomic<Time> max_flow{0};
+  std::array<std::atomic<Time>, kMaxResourceTypes> busy{};
+  std::array<std::atomic<std::uint64_t>, kFlowTimeBins> bins{};
+};
+
+SchedulerService::SchedulerService(const Cluster& cluster, ServiceConfig config)
+    : cluster_(cluster),
+      config_(std::move(config)),
+      scheduler_(make_multijob_scheduler(config_.policy)),
+      admission_(config_.admission, cluster_),
+      engine_(cluster_, *scheduler_),
+      stats_(std::make_unique<StatsBlock>()) {
+  if (config_.epoch_length <= 0) {
+    throw std::invalid_argument("SchedulerService: epoch_length must be positive");
+  }
+  if (config_.journal != nullptr) journal_.emplace(*config_.journal);
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+SchedulerService::~SchedulerService() { shutdown(); }
+
+std::optional<JobTicket> SchedulerService::submit(KDag dag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  stats_->submitted.fetch_add(1, std::memory_order_relaxed);
+  auto reject = [&]() -> std::optional<JobTicket> {
+    stats_->rejected.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  };
+  if (stop_) return reject();
+  if (cluster_.num_types() < dag.num_types()) {
+    throw std::invalid_argument("SchedulerService::submit: job K exceeds cluster K");
+  }
+  if (!admission_.admissible(dag, inbox_.size())) {
+    // A job too large to ever fit is a rejection even under kDefer --
+    // waiting for it would deadlock the submitter.
+    if (config_.admission.overload == OverloadPolicy::kReject ||
+        !admission_.fits_when_idle(dag)) {
+      return reject();
+    }
+    stats_->deferred.fetch_add(1, std::memory_order_relaxed);
+    space_available_.wait(lock, [&] {
+      return stop_ || admission_.admissible(dag, inbox_.size());
+    });
+    if (stop_) return reject();
+  }
+  admission_.on_admit(dag);
+  ++accepted_;
+  stats_->admitted.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t id = tickets_.size() + 1;
+  tickets_.push_back(TicketRecord{});
+  inbox_.push_back(Pending{id, std::move(dag)});
+  work_available_.notify_one();
+  return JobTicket{id};
+}
+
+JobStatus SchedulerService::poll(JobTicket ticket) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ticket.id == 0 || ticket.id > tickets_.size()) {
+    throw std::out_of_range("SchedulerService::poll: unknown ticket");
+  }
+  const TicketRecord& record = tickets_[ticket.id - 1];
+  JobStatus status;
+  status.state = record.state;
+  status.folded_epoch = record.folded_epoch;
+  status.completion = record.completion;
+  if (record.state == JobState::kCompleted) {
+    status.flow_time = record.completion - record.folded_epoch;
+  }
+  return status;
+}
+
+void SchedulerService::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  progress_.wait(lock, [&] { return inbox_.empty() && finished_ == accepted_; });
+}
+
+void SchedulerService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    work_available_.notify_all();
+    space_available_.notify_all();
+  }
+  if (worker_.joinable()) worker_.join();
+}
+
+ServiceStats SchedulerService::stats() const {
+  const StatsBlock& block = *stats_;
+  ServiceStats out;
+  out.submitted = block.submitted.load(std::memory_order_relaxed);
+  out.admitted = block.admitted.load(std::memory_order_relaxed);
+  out.rejected = block.rejected.load(std::memory_order_relaxed);
+  out.deferred = block.deferred.load(std::memory_order_relaxed);
+  out.completed = block.completed.load(std::memory_order_relaxed);
+  out.epochs = block.epochs.load(std::memory_order_relaxed);
+  out.virtual_now = block.virtual_now.load(std::memory_order_relaxed);
+  const ResourceType k = cluster_.num_types();
+  out.busy_ticks.resize(k);
+  out.utilization.assign(k, 0.0);
+  for (ResourceType a = 0; a < k; ++a) {
+    out.busy_ticks[a] = block.busy[a].load(std::memory_order_relaxed);
+    if (out.virtual_now > 0) {
+      out.utilization[a] =
+          static_cast<double>(out.busy_ticks[a]) /
+          (static_cast<double>(cluster_.processors(a)) *
+           static_cast<double>(out.virtual_now));
+    }
+  }
+  out.flow_time_bins.resize(kFlowTimeBins);
+  for (std::size_t b = 0; b < kFlowTimeBins; ++b) {
+    out.flow_time_bins[b] = block.bins[b].load(std::memory_order_relaxed);
+  }
+  out.max_flow_time = block.max_flow.load(std::memory_order_relaxed);
+  if (out.completed > 0) {
+    out.mean_flow_time =
+        static_cast<double>(block.flow_sum.load(std::memory_order_relaxed)) /
+        static_cast<double>(out.completed);
+  }
+  return out;
+}
+
+void SchedulerService::fold_inbox(std::unique_lock<std::mutex>& lock) {
+  (void)lock;  // held by the caller; folding mutates tickets_ and admission state
+  if (inbox_.empty()) return;
+  const Time epoch = engine_.now();
+  for (Pending& pending : inbox_) {
+    if (journal_) {
+      journal_->append(JournalEntry{pending.ticket, epoch, pending.dag});
+    }
+    const std::uint32_t index = engine_.add_job(std::move(pending.dag), epoch);
+    if (engine_ticket_.size() != index) {
+      throw std::logic_error("SchedulerService: engine index out of step");
+    }
+    engine_ticket_.push_back(pending.ticket);
+    TicketRecord& record = tickets_[pending.ticket - 1];
+    record.state = JobState::kScheduled;
+    record.engine_index = index;
+    record.folded_epoch = epoch;
+  }
+  inbox_.clear();
+  space_available_.notify_all();
+}
+
+void SchedulerService::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_available_.wait(lock, [&] {
+      return stop_ || !inbox_.empty() || !engine_.idle();
+    });
+    if (stop_ && inbox_.empty() && engine_.idle()) break;
+    fold_inbox(lock);
+    const Time deadline = engine_.now() + config_.epoch_length;
+    lock.unlock();
+    engine_.advance_until(deadline);
+    const std::vector<std::uint32_t> done = engine_.take_completed();
+    stats_->epochs.fetch_add(1, std::memory_order_relaxed);
+    stats_->virtual_now.store(engine_.now(), std::memory_order_relaxed);
+    const auto busy = engine_.busy_ticks();
+    for (ResourceType a = 0; a < cluster_.num_types(); ++a) {
+      stats_->busy[a].store(busy[a], std::memory_order_relaxed);
+    }
+    lock.lock();
+    for (const std::uint32_t index : done) {
+      const std::uint64_t ticket = engine_ticket_[index];
+      TicketRecord& record = tickets_[ticket - 1];
+      record.state = JobState::kCompleted;
+      record.completion = engine_.completion_time(index);
+      admission_.on_complete(engine_.job(index).dag);
+      ++finished_;
+      const Time flow = record.completion - record.folded_epoch;
+      stats_->completed.fetch_add(1, std::memory_order_relaxed);
+      stats_->flow_sum.fetch_add(flow, std::memory_order_relaxed);
+      stats_->bins[flow_time_bin(flow)].fetch_add(1, std::memory_order_relaxed);
+      Time prior = stats_->max_flow.load(std::memory_order_relaxed);
+      while (flow > prior &&
+             !stats_->max_flow.compare_exchange_weak(prior, flow,
+                                                     std::memory_order_relaxed)) {
+      }
+    }
+    if (!done.empty()) {
+      space_available_.notify_all();
+      progress_.notify_all();
+    }
+    if (inbox_.empty() && finished_ == accepted_) progress_.notify_all();
+  }
+}
+
+// --- replay ----------------------------------------------------------------------
+
+Time ReplayResult::flow_time_of(std::uint64_t ticket) const {
+  const auto it = std::find(tickets.begin(), tickets.end(), ticket);
+  if (it == tickets.end()) {
+    throw std::out_of_range("ReplayResult::flow_time_of: unknown ticket");
+  }
+  return result.flow_time[static_cast<std::size_t>(it - tickets.begin())];
+}
+
+ReplayResult replay_journal(std::span<const JournalEntry> entries,
+                            const Cluster& cluster, const std::string& policy,
+                            const MultiEngineOptions& options) {
+  const auto scheduler = make_multijob_scheduler(policy);
+  MultiJobEngine engine(cluster, *scheduler, options);
+  ReplayResult out;
+  out.tickets.reserve(entries.size());
+  out.jobs.reserve(entries.size());
+  for (const JournalEntry& entry : entries) {
+    // advance_until mirrors the live worker: the slice ending at this
+    // epoch is simulated before the fold, so dispatch decisions made
+    // without the new job are reproduced exactly.  Only advance when the
+    // epoch moves forward -- advancing between same-epoch entries would
+    // dispatch with a prefix of the fold batch admitted, which the live
+    // service (folding the whole batch before its next slice) never does.
+    if (entry.epoch > engine.now()) engine.advance_until(entry.epoch);
+    (void)engine.add_job(entry.dag, entry.epoch);
+    out.tickets.push_back(entry.ticket);
+    out.jobs.push_back(JobArrival{entry.dag, entry.epoch});
+  }
+  engine.run_to_completion();
+  out.result = engine.finish();
+  return out;
+}
+
+}  // namespace fhs

@@ -1,0 +1,165 @@
+// Always-on concurrent scheduling service (ROADMAP north star: the
+// first piece of the repo that behaves like a server, not a script).
+//
+// SchedulerService wraps MultiJobEngine in a worker thread:
+//
+//   submitters ──submit(KDag)──▶ admission control ──▶ inbox
+//                                                        │ folded at
+//                                                        ▼ epoch edges
+//                               worker: MultiJobEngine.advance_until()
+//                                                        │
+//   pollers   ◀──poll(ticket)── ticket table ◀── completions
+//
+// Virtual time advances in bounded epoch-length slices; every
+// submission accepted between two slices is folded into the engine at
+// the next boundary, so it lands mid-stream exactly like a JobArrival
+// in the batch simulator.  Overload degrades gracefully through the
+// admission policy (reject or defer), live counters are readable
+// lock-free via stats(), and an optional journal records every fold so
+// replay_journal() can re-run the session deterministically.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "machine/cluster.hh"
+#include "multijob/multijob.hh"
+#include "service/admission.hh"
+#include "service/journal.hh"
+#include "service/service_stats.hh"
+
+namespace fhs {
+
+struct ServiceConfig {
+  /// Stream policy: "kgreedy" | "fcfs" | "srjf" | "mqb".
+  std::string policy = "mqb";
+  /// Virtual ticks per worker slice; new submissions fold in at slice
+  /// boundaries, so this bounds a job's admission latency in virtual time.
+  Time epoch_length = 100;
+  AdmissionConfig admission;
+  /// Optional record stream (caller keeps it alive; see journal.hh).
+  std::ostream* journal = nullptr;
+};
+
+enum class JobState : std::uint8_t {
+  kQueued,     ///< accepted, waiting for the next epoch boundary
+  kScheduled,  ///< folded into the engine, executing or queued inside it
+  kCompleted,
+};
+
+struct JobTicket {
+  std::uint64_t id = 0;
+
+  friend bool operator==(const JobTicket&, const JobTicket&) = default;
+};
+
+struct JobStatus {
+  JobState state = JobState::kQueued;
+  /// Virtual time the job entered the engine (-1 while still queued).
+  Time folded_epoch = -1;
+  /// Absolute virtual completion time (-1 until completed).
+  Time completion = -1;
+  /// completion - folded_epoch (-1 until completed).
+  Time flow_time = -1;
+};
+
+class SchedulerService {
+ public:
+  SchedulerService(const Cluster& cluster, ServiceConfig config);
+  ~SchedulerService();
+  SchedulerService(const SchedulerService&) = delete;
+  SchedulerService& operator=(const SchedulerService&) = delete;
+
+  /// Thread-safe.  Returns the job's ticket, or nullopt when admission
+  /// control rejects it (kReject) or the service is shutting down.
+  /// Under kDefer, blocks until the job fits.
+  std::optional<JobTicket> submit(KDag dag);
+
+  /// Thread-safe.  Throws std::out_of_range for a ticket submit() never
+  /// returned.
+  [[nodiscard]] JobStatus poll(JobTicket ticket) const;
+
+  /// Blocks until every accepted job has completed.
+  void drain();
+
+  /// Drains, stops the worker, and joins it.  Idempotent; called by the
+  /// destructor.  Subsequent submit() calls return nullopt.
+  void shutdown();
+
+  /// Lock-free snapshot of live counters (see service_stats.hh).
+  [[nodiscard]] ServiceStats stats() const;
+
+  [[nodiscard]] const Cluster& cluster() const noexcept { return cluster_; }
+
+ private:
+  struct Pending {
+    std::uint64_t ticket = 0;
+    KDag dag;
+  };
+  struct TicketRecord {
+    JobState state = JobState::kQueued;
+    std::uint32_t engine_index = 0;
+    Time folded_epoch = -1;
+    Time completion = -1;
+  };
+  class StatsBlock;
+
+  void worker_loop();
+  /// Folds the inbox into the engine at the current virtual time.
+  /// Called by the worker with `lock` held.
+  void fold_inbox(std::unique_lock<std::mutex>& lock);
+
+  Cluster cluster_;
+  ServiceConfig config_;
+  std::unique_ptr<MultiJobScheduler> scheduler_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;  // worker waits: inbox/stop
+  std::condition_variable space_available_;  // deferred submitters wait
+  std::condition_variable progress_;         // drain()/pollers wait
+  std::vector<Pending> inbox_;
+  std::vector<TicketRecord> tickets_;
+  AdmissionController admission_;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t finished_ = 0;
+  bool stop_ = false;
+
+  // Engine state: touched only by the worker thread after construction
+  // (fold_inbox runs on the worker with the lock held).
+  MultiJobEngine engine_;
+  std::vector<std::uint64_t> engine_ticket_;  // engine job index -> ticket id
+  std::optional<JournalWriter> journal_;
+
+  std::unique_ptr<StatsBlock> stats_;
+  std::thread worker_;
+};
+
+/// Outcome of replaying a journal: the deterministic batch result plus
+/// the reconstructed arrivals (for check_multijob_trace) and the
+/// ticket of each engine job index.
+struct ReplayResult {
+  MultiJobResult result;
+  std::vector<JobArrival> jobs;
+  std::vector<std::uint64_t> tickets;
+
+  /// Flow time of the job with the given ticket.
+  [[nodiscard]] Time flow_time_of(std::uint64_t ticket) const;
+};
+
+/// Re-runs a recorded session: folds each journaled job at its recorded
+/// epoch and runs to completion.  Deterministic -- two replays of the
+/// same journal produce identical results, and a replay reproduces the
+/// per-job flow times the live service reported.
+[[nodiscard]] ReplayResult replay_journal(std::span<const JournalEntry> entries,
+                                          const Cluster& cluster,
+                                          const std::string& policy,
+                                          const MultiEngineOptions& options = {});
+
+}  // namespace fhs

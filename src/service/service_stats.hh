@@ -1,0 +1,53 @@
+// Live observability snapshot of the scheduling service.
+//
+// The worker thread updates an internal block of atomics as it runs;
+// SchedulerService::stats() assembles this plain struct from them with
+// relaxed loads, so readers never take a lock (counters are monotone,
+// and a snapshot may be torn *across* fields but never within one).
+// The struct itself carries no synchronization -- it is a value.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/kdag.hh"
+
+namespace fhs {
+
+/// Number of log2-width flow-time histogram bins: bin b >= 1 counts jobs
+/// with flow time in [2^b, 2^(b+1)); bin 0 is flow <= 1 and the last bin
+/// is open-ended.
+inline constexpr std::size_t kFlowTimeBins = 20;
+
+/// Bin index for one flow-time sample.
+[[nodiscard]] inline std::size_t flow_time_bin(Time flow) noexcept {
+  std::size_t bin = 0;
+  while (flow > 1 && bin + 1 < kFlowTimeBins) {
+    flow >>= 1;
+    ++bin;
+  }
+  return bin;
+}
+
+struct ServiceStats {
+  std::uint64_t submitted = 0;  ///< submit() calls, including rejected
+  std::uint64_t admitted = 0;   ///< accepted by admission control
+  std::uint64_t rejected = 0;   ///< refused (or abandoned at shutdown)
+  std::uint64_t deferred = 0;   ///< submissions that had to wait for space
+  std::uint64_t completed = 0;  ///< jobs fully executed
+  std::uint64_t epochs = 0;     ///< worker slices executed
+  Time virtual_now = 0;         ///< engine virtual clock
+
+  /// Per resource type, indexed [0, num_types).
+  std::vector<Time> busy_ticks;
+  /// busy_ticks[a] / (P_a * virtual_now); 0 before time advances.
+  std::vector<double> utilization;
+
+  /// Histogram of per-job flow times (see flow_time_bin).
+  std::vector<std::uint64_t> flow_time_bins;
+  double mean_flow_time = 0.0;
+  Time max_flow_time = 0;
+};
+
+}  // namespace fhs

@@ -1,0 +1,100 @@
+#include "service/journal.hh"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/serialize.hh"
+
+namespace fhs {
+namespace {
+
+KDag small_dag() {
+  KDagBuilder b(2);
+  const TaskId a = b.add_task(0, 3);
+  const TaskId c = b.add_task(1, 5);
+  b.add_edge(a, c);
+  return std::move(b).build();
+}
+
+TEST(Journal, LineRoundTrip) {
+  JournalEntry entry{42, 700, small_dag()};
+  const std::string line = journal_line(entry);
+  const JournalEntry parsed = parse_journal_line(line);
+  EXPECT_EQ(parsed.ticket, 42u);
+  EXPECT_EQ(parsed.epoch, 700);
+  EXPECT_EQ(kdag_to_string(parsed.dag), kdag_to_string(entry.dag));
+}
+
+TEST(Journal, WriterAppendsOneLinePerEntry) {
+  std::ostringstream out;
+  JournalWriter writer(out);
+  writer.append(JournalEntry{1, 0, small_dag()});
+  writer.append(JournalEntry{2, 100, small_dag()});
+  std::istringstream in(out.str());
+  const auto entries = read_journal(in);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].ticket, 1u);
+  EXPECT_EQ(entries[1].epoch, 100);
+  EXPECT_EQ(entries[1].dag.task_count(), 2u);
+}
+
+TEST(Journal, ReadSkipsBlankLines) {
+  std::ostringstream out;
+  JournalWriter writer(out);
+  writer.append(JournalEntry{1, 5, small_dag()});
+  std::istringstream in("\n  \n" + out.str() + "\n");
+  EXPECT_EQ(read_journal(in).size(), 1u);
+}
+
+TEST(Journal, FieldsInAnyOrder) {
+  const std::string dag_text = kdag_to_string(small_dag());
+  std::string line = "{\"epoch\": 9, \"kdag\": ";
+  // Re-escape via the writer's own quoting by round-tripping a real line.
+  const std::string canonical = journal_line(JournalEntry{3, 9, small_dag()});
+  const auto kdag_pos = canonical.find("\"kdag\"");
+  line += canonical.substr(kdag_pos + 8);  // steal the quoted payload + '}'
+  line.insert(line.size() - 1, ", \"ticket\": 3");
+  const JournalEntry parsed = parse_journal_line(line);
+  EXPECT_EQ(parsed.ticket, 3u);
+  EXPECT_EQ(parsed.epoch, 9);
+}
+
+TEST(Journal, RejectsMalformedLines) {
+  EXPECT_THROW((void)parse_journal_line(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_journal_line("{}"), std::invalid_argument);
+  EXPECT_THROW((void)parse_journal_line("{\"ticket\": 1}"), std::invalid_argument);
+  EXPECT_THROW((void)parse_journal_line("{\"ticket\": 1, \"epoch\": 2, \"kdag\": \"x\"}"),
+               std::invalid_argument);
+  const std::string good = journal_line(JournalEntry{1, 2, small_dag()});
+  EXPECT_THROW((void)parse_journal_line(good + " extra"), std::invalid_argument);
+}
+
+TEST(Journal, RejectsDecreasingEpochs) {
+  std::ostringstream out;
+  JournalWriter writer(out);
+  writer.append(JournalEntry{1, 100, small_dag()});
+  writer.append(JournalEntry{2, 50, small_dag()});
+  std::istringstream in(out.str());
+  EXPECT_THROW((void)read_journal(in), std::invalid_argument);
+}
+
+TEST(Serialize, ReadNextKdagStreamsMultipleRecords) {
+  std::ostringstream out;
+  write_kdag(out, small_dag());
+  out << "# a comment between records\n";
+  write_kdag(out, small_dag());
+  std::istringstream in(out.str());
+  int count = 0;
+  while (auto dag = read_next_kdag(in)) {
+    EXPECT_EQ(dag->task_count(), 2u);
+    ++count;
+  }
+  EXPECT_EQ(count, 2);
+  // read_kdag still rejects trailing content.
+  std::istringstream two(out.str());
+  EXPECT_THROW((void)read_kdag(two), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fhs

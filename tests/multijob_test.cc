@@ -93,7 +93,6 @@ TEST(MultiJob, WorkConservationAcrossJobs) {
   class Lazy final : public MultiJobScheduler {
    public:
     [[nodiscard]] std::string name() const override { return "Lazy"; }
-    void prepare(std::span<const JobArrival>, const Cluster&) override {}
     void dispatch(MultiDispatchContext&) override {}
   };
   std::vector<JobArrival> jobs;
@@ -186,6 +185,108 @@ TEST(MultiJob, AllPoliciesCompleteAStream) {
               *std::max_element(result.completion.begin(), result.completion.end()))
         << name;
   }
+}
+
+TEST(MultiJob, RecordedTracePassesTheIndependentChecker) {
+  // Every policy's stream schedule must satisfy the single-job checker's
+  // invariants on the merged job union (type match, capacity,
+  // precedence, work conservation, contiguity) plus arrival respect.
+  Rng rng(21);
+  StreamParams stream;
+  stream.count = 10;
+  stream.mean_interarrival = 60.0;
+  IrParams workload;
+  workload.num_types = 3;
+  const auto jobs = sample_stream(workload, stream, rng);
+  const Cluster cluster({3, 2, 4});
+  MultiEngineOptions options;
+  options.record_trace = true;
+  for (const char* name : {"kgreedy", "fcfs", "srjf", "mqb"}) {
+    auto sched = make_multijob_scheduler(name);
+    const MultiJobResult result = multi_simulate(jobs, cluster, *sched, options);
+    const auto violations = check_multijob_trace(jobs, cluster, result);
+    EXPECT_TRUE(violations.empty())
+        << name << ": " << (violations.empty() ? "" : violations.front());
+  }
+}
+
+TEST(MultiJob, CheckerRejectsTamperedTrace) {
+  const auto jobs = two_job_stream();
+  auto sched = make_global_kgreedy();
+  MultiEngineOptions options;
+  options.record_trace = true;
+  MultiJobResult result = multi_simulate(jobs, Cluster({1}), *sched, options);
+  ASSERT_TRUE(check_multijob_trace(jobs, Cluster({1}), result).empty());
+  // Shift job 1's task to start before its arrival (and overlap job 0).
+  ExecutionTrace tampered;
+  for (const TraceSegment& s : result.trace.segments()) {
+    if (s.task == result.trace_task_offset[1]) {
+      tampered.add(s.task, s.processor, 0, s.end - s.start);
+    } else {
+      tampered.add(s.task, s.processor, s.start, s.end);
+    }
+  }
+  result.trace = tampered;
+  EXPECT_FALSE(check_multijob_trace(jobs, Cluster({1}), result).empty());
+}
+
+TEST(MultiJob, TraceNotRecordedByDefault) {
+  const auto jobs = two_job_stream();
+  auto sched = make_global_kgreedy();
+  const MultiJobResult result = multi_simulate(jobs, Cluster({1}), *sched);
+  EXPECT_TRUE(result.trace.empty());
+  EXPECT_FALSE(check_multijob_trace(jobs, Cluster({1}), result).empty());
+}
+
+TEST(MultiJob, MergeJobsOffsetsTasksAndEdges) {
+  const auto jobs = two_job_stream();  // 2-task chain + 1-task job
+  const KDag merged = merge_jobs(jobs, 1);
+  ASSERT_EQ(merged.task_count(), 3u);
+  EXPECT_EQ(merged.edge_count(), 1u);
+  EXPECT_EQ(merged.work(0), 4);
+  EXPECT_EQ(merged.work(2), 2);
+  ASSERT_EQ(merged.children(0).size(), 1u);
+  EXPECT_EQ(merged.children(0)[0], 1u);
+}
+
+TEST(MultiJob, EngineFoldsJobsMidStream) {
+  // Incremental API: a job injected while the engine is mid-flight lands
+  // exactly like a batch arrival at the same time.
+  auto batch_sched = make_global_kgreedy();
+  std::vector<JobArrival> jobs;
+  jobs.push_back({chain_job(1, {{0, 4}, {0, 4}}), 0});
+  jobs.push_back({chain_job(1, {{0, 2}}), 5});
+  const MultiJobResult batch = multi_simulate(jobs, Cluster({1}), *batch_sched);
+
+  auto inc_sched = make_global_kgreedy();
+  MultiJobEngine engine(Cluster({1}), *inc_sched);
+  (void)engine.add_job(jobs[0].dag, 0);
+  engine.advance_until(5);  // job 1 does not exist yet
+  (void)engine.add_job(jobs[1].dag, 5);
+  engine.run_to_completion();
+  const MultiJobResult incremental = engine.finish();
+  EXPECT_EQ(incremental.completion, batch.completion);
+  EXPECT_EQ(incremental.flow_time, batch.flow_time);
+  EXPECT_EQ(incremental.makespan, batch.makespan);
+}
+
+TEST(MultiJob, EngineAdvanceThroughIdleTime) {
+  auto sched = make_global_kgreedy();
+  MultiJobEngine engine(Cluster({1}), *sched);
+  EXPECT_TRUE(engine.idle());
+  engine.advance_until(100);  // nothing to do; time still passes
+  EXPECT_EQ(engine.now(), 100);
+  (void)engine.add_job(chain_job(1, {{0, 3}}), 100);
+  EXPECT_FALSE(engine.idle());
+  EXPECT_THROW((void)engine.add_job(chain_job(1, {{0, 1}}), 50), std::invalid_argument);
+  engine.advance_until(101);  // partial execution of the running task
+  EXPECT_FALSE(engine.job_done(0));
+  engine.run_to_completion();
+  EXPECT_EQ(engine.completion_time(0), 103);
+  const auto done = engine.take_completed();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0], 0u);
+  EXPECT_TRUE(engine.take_completed().empty());  // drained
 }
 
 TEST(MultiJob, DeterministicAcrossRuns) {

@@ -1,0 +1,331 @@
+#include "service/service.hh"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "graph/kdag.hh"
+#include "service/admission.hh"
+#include "support/rng.hh"
+#include "workload/workload.hh"
+
+namespace fhs {
+namespace {
+
+KDag chain_job(ResourceType k,
+               std::initializer_list<std::pair<ResourceType, Work>> tasks) {
+  KDagBuilder b(k);
+  TaskId prev = kInvalidTask;
+  for (const auto& [type, work] : tasks) {
+    const TaskId t = b.add_task(type, work);
+    if (prev != kInvalidTask) b.add_edge(prev, t);
+    prev = t;
+  }
+  return std::move(b).build();
+}
+
+std::vector<KDag> sample_jobs(std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  EpParams params;
+  params.num_types = 2;
+  params.min_branches = 3;  // keep jobs small: the stress is in the racing
+  params.max_branches = 8;  // submitters, not in per-job task counts
+  std::vector<KDag> jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) jobs.push_back(generate(params, rng));
+  return jobs;
+}
+
+// --- admission ------------------------------------------------------------------
+
+TEST(Admission, QueueDepthBound) {
+  AdmissionConfig config;
+  config.max_queue_depth = 2;
+  AdmissionController admission(config, Cluster({1}));
+  const KDag job = chain_job(1, {{0, 1}});
+  EXPECT_TRUE(admission.admissible(job, 0));
+  EXPECT_TRUE(admission.admissible(job, 1));
+  EXPECT_FALSE(admission.admissible(job, 2));
+}
+
+TEST(Admission, OutstandingWorkBoundIsPerTypePerProcessor) {
+  AdmissionConfig config;
+  config.max_outstanding_per_proc = 10.0;
+  AdmissionController admission(config, Cluster({2, 1}));
+  // 16 ticks of type 0 over 2 processors: 8 <= 10, fits.
+  const KDag wide = chain_job(2, {{0, 8}, {0, 8}});
+  EXPECT_TRUE(admission.admissible(wide, 0));
+  admission.on_admit(wide);
+  EXPECT_DOUBLE_EQ(admission.outstanding_per_proc(0), 8.0);
+  // 8 more ticks would make 12 per type-0 processor: over the bound.
+  EXPECT_FALSE(admission.admissible(chain_job(2, {{0, 16}}), 0));
+  // Type 1 is unloaded; a type-1 job fits.
+  EXPECT_TRUE(admission.admissible(chain_job(2, {{1, 9}}), 0));
+  admission.on_complete(wide);
+  EXPECT_DOUBLE_EQ(admission.outstanding_per_proc(0), 0.0);
+  EXPECT_TRUE(admission.admissible(chain_job(2, {{0, 16}}), 0));
+}
+
+TEST(Admission, FitsWhenIdleSpotsImpossibleJobs) {
+  AdmissionConfig config;
+  config.max_outstanding_per_proc = 4.0;
+  AdmissionController admission(config, Cluster({1}));
+  EXPECT_TRUE(admission.fits_when_idle(chain_job(1, {{0, 4}})));
+  EXPECT_FALSE(admission.fits_when_idle(chain_job(1, {{0, 5}})));
+}
+
+TEST(Admission, ValidatesConfig) {
+  AdmissionConfig zero_depth;
+  zero_depth.max_queue_depth = 0;
+  EXPECT_THROW(AdmissionController(zero_depth, Cluster({1})), std::invalid_argument);
+  AdmissionConfig zero_work;
+  zero_work.max_outstanding_per_proc = 0.0;
+  EXPECT_THROW(AdmissionController(zero_work, Cluster({1})), std::invalid_argument);
+}
+
+// --- service basics --------------------------------------------------------------
+
+TEST(Service, SubmitPollDrainLifecycle) {
+  ServiceConfig config;
+  config.policy = "mqb";
+  config.epoch_length = 10;
+  SchedulerService service(Cluster({2, 2}), config);
+  const auto ticket = service.submit(chain_job(2, {{0, 4}, {1, 4}}));
+  ASSERT_TRUE(ticket.has_value());
+  service.drain();
+  const JobStatus status = service.poll(*ticket);
+  EXPECT_EQ(status.state, JobState::kCompleted);
+  EXPECT_GE(status.folded_epoch, 0);
+  EXPECT_EQ(status.flow_time, status.completion - status.folded_epoch);
+  EXPECT_EQ(status.flow_time, 8);  // chain of 4+4 from its fold epoch
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_GT(stats.virtual_now, 0);
+}
+
+TEST(Service, PollUnknownTicketThrows) {
+  SchedulerService service(Cluster({1}), ServiceConfig{});
+  EXPECT_THROW((void)service.poll(JobTicket{99}), std::out_of_range);
+  EXPECT_THROW((void)service.poll(JobTicket{0}), std::out_of_range);
+}
+
+TEST(Service, SubmitAfterShutdownIsRejected) {
+  SchedulerService service(Cluster({1}), ServiceConfig{});
+  service.shutdown();
+  EXPECT_FALSE(service.submit(chain_job(1, {{0, 1}})).has_value());
+  EXPECT_EQ(service.stats().rejected, 1u);
+}
+
+TEST(Service, RejectPolicyShedsOverload) {
+  ServiceConfig config;
+  config.policy = "kgreedy";
+  config.epoch_length = 1'000'000;  // worker folds at most once per huge slice
+  config.admission.max_queue_depth = 4;
+  config.admission.overload = OverloadPolicy::kReject;
+  SchedulerService service(Cluster({1}), config);
+  std::size_t accepted = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (service.submit(chain_job(1, {{0, 50}})).has_value()) ++accepted;
+  }
+  const ServiceStats mid = service.stats();
+  EXPECT_EQ(mid.submitted, 200u);
+  EXPECT_EQ(mid.admitted, accepted);
+  EXPECT_EQ(mid.rejected, 200u - accepted);
+  EXPECT_GT(mid.rejected, 0u) << "backpressure never engaged";
+  service.drain();
+  EXPECT_EQ(service.stats().completed, accepted);
+}
+
+TEST(Service, DeferPolicyEventuallyAdmitsEverything) {
+  ServiceConfig config;
+  config.policy = "srjf";
+  config.epoch_length = 20;
+  config.admission.max_queue_depth = 2;
+  config.admission.max_outstanding_per_proc = 64.0;
+  config.admission.overload = OverloadPolicy::kDefer;
+  SchedulerService service(Cluster({1, 1}), config);
+  std::size_t accepted = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (service.submit(chain_job(2, {{0, 8}, {1, 8}})).has_value()) ++accepted;
+  }
+  EXPECT_EQ(accepted, 50u);
+  service.drain();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, 50u);
+  EXPECT_GT(stats.deferred, 0u) << "backpressure never engaged";
+}
+
+TEST(Service, DeferRejectsJobsThatCanNeverFit) {
+  ServiceConfig config;
+  config.admission.max_outstanding_per_proc = 4.0;
+  config.admission.overload = OverloadPolicy::kDefer;
+  SchedulerService service(Cluster({1}), config);
+  EXPECT_FALSE(service.submit(chain_job(1, {{0, 100}})).has_value());
+  EXPECT_EQ(service.stats().rejected, 1u);
+}
+
+TEST(Service, OversizedKThrows) {
+  SchedulerService service(Cluster({1}), ServiceConfig{});
+  EXPECT_THROW((void)service.submit(chain_job(3, {{2, 1}})), std::invalid_argument);
+}
+
+TEST(Service, UtilizationReflectsBusyWork) {
+  ServiceConfig config;
+  config.epoch_length = 5;
+  SchedulerService service(Cluster({1}), config);
+  ASSERT_TRUE(service.submit(chain_job(1, {{0, 40}})).has_value());
+  service.drain();
+  const ServiceStats stats = service.stats();
+  ASSERT_EQ(stats.utilization.size(), 1u);
+  EXPECT_GT(stats.utilization[0], 0.0);
+  EXPECT_LE(stats.utilization[0], 1.0);
+  EXPECT_EQ(stats.busy_ticks[0], 40);
+  const auto total_binned =
+      std::accumulate(stats.flow_time_bins.begin(), stats.flow_time_bins.end(),
+                      std::uint64_t{0});
+  EXPECT_EQ(total_binned, stats.completed);
+}
+
+// --- concurrency stress -----------------------------------------------------------
+
+TEST(Service, ConcurrentSubmittersLoseNoTickets) {
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kJobsPerThread = 50;
+  ServiceConfig config;
+  config.policy = "mqb";
+  config.epoch_length = 25;
+  config.admission.max_queue_depth = 16;
+  config.admission.max_outstanding_per_proc = 1 << 20;
+  config.admission.overload = OverloadPolicy::kDefer;
+  SchedulerService service(Cluster({3, 3}), config);
+
+  std::vector<std::vector<std::uint64_t>> per_thread(kThreads);
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      const auto jobs = sample_jobs(kJobsPerThread, 1000 + t);
+      for (const KDag& dag : jobs) {
+        const auto ticket = service.submit(dag);
+        ASSERT_TRUE(ticket.has_value());
+        per_thread[t].push_back(ticket->id);
+        // Interleave polls with the worker and other submitters.
+        const JobStatus status = service.poll(*ticket);
+        ASSERT_NE(status.state == JobState::kCompleted, status.completion < 0);
+      }
+    });
+  }
+  for (auto& thread : submitters) thread.join();
+
+  std::set<std::uint64_t> unique;
+  for (const auto& ids : per_thread) unique.insert(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), kThreads * kJobsPerThread) << "duplicated ticket ids";
+
+  service.drain();
+  for (const auto& ids : per_thread) {
+    for (const std::uint64_t id : ids) {
+      EXPECT_EQ(service.poll(JobTicket{id}).state, JobState::kCompleted);
+    }
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.admitted, kThreads * kJobsPerThread);
+  EXPECT_EQ(stats.completed, kThreads * kJobsPerThread);
+}
+
+// --- record / replay --------------------------------------------------------------
+
+TEST(Service, ReplayReproducesLiveFlowTimesExactly) {
+  std::ostringstream journal;
+  std::vector<std::uint64_t> tickets;
+  std::vector<Time> live_flow;
+  const Cluster cluster({2, 2});
+  {
+    ServiceConfig config;
+    config.policy = "mqb";
+    config.epoch_length = 30;
+    config.admission.overload = OverloadPolicy::kDefer;
+    config.admission.max_queue_depth = 8;
+    config.journal = &journal;
+    SchedulerService service(cluster, config);
+    std::vector<std::thread> submitters;
+    std::mutex record_mutex;
+    for (std::size_t t = 0; t < 3; ++t) {
+      submitters.emplace_back([&, t] {
+        const auto jobs = sample_jobs(20, 7 + t);
+        for (const KDag& dag : jobs) {
+          const auto ticket = service.submit(dag);
+          ASSERT_TRUE(ticket.has_value());
+          std::lock_guard<std::mutex> guard(record_mutex);
+          tickets.push_back(ticket->id);
+        }
+      });
+    }
+    for (auto& thread : submitters) thread.join();
+    service.drain();
+    for (const std::uint64_t id : tickets) {
+      live_flow.push_back(service.poll(JobTicket{id}).flow_time);
+    }
+  }
+
+  std::istringstream first(journal.str());
+  const auto entries = read_journal(first);
+  ASSERT_EQ(entries.size(), tickets.size());
+
+  MultiEngineOptions trace_options;
+  trace_options.record_trace = true;
+  const ReplayResult replay_a = replay_journal(entries, cluster, "mqb", trace_options);
+  const ReplayResult replay_b = replay_journal(entries, cluster, "mqb");
+
+  // Replay is deterministic: two runs agree bit-for-bit.
+  EXPECT_EQ(replay_a.result.completion, replay_b.result.completion);
+  EXPECT_EQ(replay_a.result.flow_time, replay_b.result.flow_time);
+  EXPECT_EQ(replay_a.result.makespan, replay_b.result.makespan);
+
+  // And replay reproduces exactly what the live (threaded) service saw.
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    EXPECT_EQ(replay_a.flow_time_of(tickets[i]), live_flow[i]) << "ticket "
+                                                               << tickets[i];
+  }
+
+  // The replayed schedule survives the independent checker.
+  const auto violations =
+      check_multijob_trace(replay_a.jobs, cluster, replay_a.result);
+  EXPECT_TRUE(violations.empty()) << (violations.empty() ? "" : violations.front());
+
+  EXPECT_THROW((void)replay_a.flow_time_of(0), std::out_of_range);
+}
+
+TEST(Service, JournalRecordsFoldEpochsInOrder) {
+  std::ostringstream journal;
+  ServiceConfig config;
+  config.epoch_length = 10;
+  config.journal = &journal;
+  {
+    SchedulerService service(Cluster({1}), config);
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(service.submit(chain_job(1, {{0, 7}})).has_value());
+    }
+    service.drain();
+  }
+  std::istringstream in(journal.str());
+  const auto entries = read_journal(in);
+  ASSERT_EQ(entries.size(), 5u);
+  std::set<std::uint64_t> seen;
+  for (const auto& entry : entries) seen.insert(entry.ticket);
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+}  // namespace
+}  // namespace fhs

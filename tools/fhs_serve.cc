@@ -1,0 +1,275 @@
+// fhs_serve -- drive the always-on scheduling service from the shell.
+//
+//   # stream job specs (concatenated .kdag records) from a file or stdin
+//   fhs_serve --cluster=8,8 --policy=mqb jobs.kdags
+//   fhs_serve --cluster=8,8 < jobs.kdags
+//
+//   # self-generate a submission stream and record a journal
+//   fhs_serve --generate=1000 --workload=ep --journal=run.jsonl
+//
+//   # re-run a recorded session deterministically and validate it
+//   fhs_serve --replay=run.jsonl --cluster=8,8 --check
+//
+// Every admitted job produces one JSON line on stdout, in ticket order,
+// streamed as completions land:
+//
+//   {"ticket": 7, "folded_epoch": 200, "completion": 430, "flow_time": 230}
+//
+// Rejected submissions produce {"submission": i, "rejected": true}.  A
+// final ServiceStats JSON document goes to --stats=<path> (or stderr).
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/json.hh"
+#include "graph/serialize.hh"
+#include "machine/cluster.hh"
+#include "service/service.hh"
+#include "support/cli.hh"
+#include "support/rng.hh"
+#include "workload/workload.hh"
+
+namespace {
+
+using namespace fhs;
+
+std::vector<std::uint32_t> parse_proc_list(const std::string& text) {
+  std::vector<std::uint32_t> counts;
+  std::stringstream stream(text);
+  std::string part;
+  while (std::getline(stream, part, ',')) {
+    counts.push_back(static_cast<std::uint32_t>(std::stoul(part)));
+  }
+  return counts;
+}
+
+WorkloadParams make_workload(const std::string& family, ResourceType k) {
+  if (family == "ep") {
+    EpParams p;
+    p.num_types = k;
+    return p;
+  }
+  if (family == "tree") {
+    TreeParams p;
+    p.num_types = k;
+    return p;
+  }
+  if (family == "ir") {
+    IrParams p;
+    p.num_types = k;
+    return p;
+  }
+  throw std::runtime_error("unknown workload '" + family + "' (ep|tree|ir)");
+}
+
+void emit_completion(std::ostream& out, std::uint64_t ticket, const JobStatus& status) {
+  out << "{\"ticket\": " << ticket << ", \"folded_epoch\": " << status.folded_epoch
+      << ", \"completion\": " << status.completion
+      << ", \"flow_time\": " << status.flow_time << "}\n";
+}
+
+/// Replays a recorded journal and verifies it against the live flow
+/// times; returns the process exit code.
+int verify_replay(const std::string& journal_path, const Cluster& cluster,
+                  const std::string& policy,
+                  const std::vector<std::uint64_t>& tickets,
+                  const std::vector<Time>& live_flow) {
+  std::ifstream in(journal_path);
+  if (!in) {
+    std::cerr << "fhs_serve: cannot re-open journal " << journal_path << '\n';
+    return 1;
+  }
+  const std::vector<JournalEntry> entries = read_journal(in);
+  if (entries.size() != tickets.size()) {
+    std::cerr << "fhs_serve: journal holds " << entries.size() << " entries but "
+              << tickets.size() << " jobs were admitted\n";
+    return 3;
+  }
+  MultiEngineOptions options;
+  options.record_trace = true;
+  const ReplayResult replay = replay_journal(entries, cluster, policy, options);
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    const Time replayed = replay.flow_time_of(tickets[i]);
+    if (replayed != live_flow[i]) {
+      std::cerr << "fhs_serve: replay DIVERGED at ticket " << tickets[i] << ": live "
+                << live_flow[i] << " vs replayed " << replayed << '\n';
+      return 3;
+    }
+  }
+  const auto violations = check_multijob_trace(replay.jobs, cluster, replay.result);
+  if (!violations.empty()) {
+    std::cerr << "fhs_serve: replayed schedule invalid: " << violations.front() << '\n';
+    return 3;
+  }
+  std::cerr << "replay verified: " << tickets.size()
+            << " jobs, flow times identical, schedule valid\n";
+  return 0;
+}
+
+int run_replay(const CliFlags& flags, const Cluster& cluster) {
+  std::ifstream in(flags.get_string("replay"));
+  if (!in) {
+    std::cerr << "fhs_serve: cannot open " << flags.get_string("replay") << '\n';
+    return 1;
+  }
+  const std::vector<JournalEntry> entries = read_journal(in);
+  MultiEngineOptions options;
+  options.record_trace = flags.get_bool("check");
+  const ReplayResult replay =
+      replay_journal(entries, cluster, flags.get_string("policy"), options);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    std::cout << "{\"ticket\": " << replay.tickets[i]
+              << ", \"folded_epoch\": " << replay.jobs[i].arrival
+              << ", \"completion\": " << replay.result.completion[i]
+              << ", \"flow_time\": " << replay.result.flow_time[i] << "}\n";
+  }
+  if (flags.get_bool("check")) {
+    const auto violations = check_multijob_trace(replay.jobs, cluster, replay.result);
+    if (!violations.empty()) {
+      std::cerr << "fhs_serve: replayed schedule invalid: " << violations.front()
+                << '\n';
+      return 2;
+    }
+  }
+  std::cerr << "replayed " << entries.size() << " jobs: makespan "
+            << replay.result.makespan << ", mean flow "
+            << replay.result.mean_flow_time() << '\n';
+  return 0;
+}
+
+int run_serve(const CliFlags& flags, const Cluster& cluster) {
+  ServiceConfig config;
+  config.policy = flags.get_string("policy");
+  config.epoch_length = flags.get_int("epoch");
+  config.admission.max_queue_depth =
+      static_cast<std::size_t>(flags.get_int("max-queue"));
+  config.admission.max_outstanding_per_proc = flags.get_double("max-outstanding");
+  const std::string overload = flags.get_string("overload");
+  if (overload == "reject") {
+    config.admission.overload = OverloadPolicy::kReject;
+  } else if (overload == "defer") {
+    config.admission.overload = OverloadPolicy::kDefer;
+  } else {
+    throw std::runtime_error("--overload must be reject or defer");
+  }
+  std::ofstream journal_file;
+  const std::string journal_path = flags.get_string("journal");
+  if (!journal_path.empty()) {
+    journal_file.open(journal_path);
+    if (!journal_file) throw std::runtime_error("cannot open journal " + journal_path);
+    config.journal = &journal_file;
+  }
+
+  std::ifstream file;
+  std::istream* input = &std::cin;
+  if (!flags.positional().empty()) {
+    file.open(flags.positional().front());
+    if (!file) throw std::runtime_error("cannot open " + flags.positional().front());
+    input = &file;
+  }
+  const auto generate_count = static_cast<std::size_t>(flags.get_int("generate"));
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const WorkloadParams workload =
+      make_workload(flags.get_string("workload"), cluster.num_types());
+
+  std::vector<std::uint64_t> tickets;  // admitted, in submission == ticket order
+  std::vector<Time> live_flow;         // filled as completions are reported
+  std::size_t cursor = 0;  // tickets[cursor] is the next to report on stdout
+  ServiceStats stats;
+  {
+    SchedulerService service(cluster, config);
+    const auto flush_completed = [&] {
+      while (cursor < tickets.size()) {
+        const JobStatus status = service.poll(JobTicket{tickets[cursor]});
+        if (status.state != JobState::kCompleted) break;
+        emit_completion(std::cout, tickets[cursor], status);
+        live_flow.push_back(status.flow_time);
+        ++cursor;
+      }
+    };
+    std::size_t submitted = 0;
+    const auto submit_one = [&](KDag dag) {
+      const std::size_t submission = submitted++;
+      const auto ticket = service.submit(std::move(dag));
+      if (ticket.has_value()) {
+        tickets.push_back(ticket->id);
+      } else {
+        std::cout << "{\"submission\": " << submission << ", \"rejected\": true}\n";
+      }
+      flush_completed();
+    };
+    if (generate_count > 0) {
+      for (std::size_t i = 0; i < generate_count; ++i) {
+        submit_one(generate(workload, rng));
+      }
+    } else {
+      while (auto dag = read_next_kdag(*input)) submit_one(std::move(*dag));
+    }
+    service.drain();
+    flush_completed();
+    stats = service.stats();
+  }
+  journal_file.close();
+
+  const std::string stats_path = flags.get_string("stats");
+  if (!stats_path.empty()) {
+    std::ofstream out(stats_path);
+    write_json(out, stats);
+  } else {
+    write_json(std::cerr, stats);
+  }
+  if (flags.get_bool("expect-backpressure") && stats.deferred == 0 &&
+      stats.rejected == 0) {
+    std::cerr << "fhs_serve: --expect-backpressure, but admission control never "
+                 "deferred or rejected a submission\n";
+    return 4;
+  }
+  if (flags.get_bool("verify-replay")) {
+    if (journal_path.empty()) {
+      std::cerr << "fhs_serve: --verify-replay requires --journal=<path>\n";
+      return 1;
+    }
+    return verify_replay(journal_path, cluster, config.policy, tickets, live_flow);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  flags.define("policy", "mqb", "stream policy: kgreedy | fcfs | srjf | mqb");
+  flags.define("cluster", "8,8,8,8", "per-type processor counts, e.g. 8,8");
+  flags.define_int("epoch", 100, "virtual ticks per worker slice");
+  flags.define_int("max-queue", 64, "admission: max submissions awaiting a fold");
+  flags.define_double("max-outstanding", 1 << 14,
+                      "admission: max outstanding work per processor (ticks)");
+  flags.define("overload", "defer", "behaviour beyond a limit: reject | defer");
+  flags.define("journal", "", "record every fold to this JSONL file");
+  flags.define("replay", "", "re-run a recorded journal instead of serving");
+  flags.define_bool("check", false,
+                    "with --replay: validate the schedule with the trace checker");
+  flags.define_bool("verify-replay", false,
+                    "after serving, replay the journal and require identical "
+                    "per-job flow times");
+  flags.define_bool("expect-backpressure", false,
+                    "exit nonzero unless admission control deferred or rejected "
+                    "at least one submission (smoke tests)");
+  flags.define_int("generate", 0,
+                   "submit this many generated jobs instead of reading input");
+  flags.define("workload", "ep", "generator family for --generate: ep | tree | ir");
+  flags.define_int("seed", 42, "RNG seed for --generate");
+  flags.define("stats", "", "write the final ServiceStats JSON here (default stderr)");
+  try {
+    if (!flags.parse(argc, argv)) return 0;
+    const Cluster cluster(parse_proc_list(flags.get_string("cluster")));
+    if (!flags.get_string("replay").empty()) return run_replay(flags, cluster);
+    return run_serve(flags, cluster);
+  } catch (const std::exception& error) {
+    std::cerr << "fhs_serve: " << error.what() << '\n';
+    return 1;
+  }
+}
