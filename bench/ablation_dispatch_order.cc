@@ -35,8 +35,8 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "Online dispatch-order ablation (avg completion time ratio)\n\n";
-  const std::vector<std::string> policies = {"kgreedy", "kgreedy+lifo",
-                                             "kgreedy+random", "mqb"};
+  const std::vector<SchedulerSpec> policies = {"kgreedy", "kgreedy+lifo",
+                                               "kgreedy+random", "mqb"};
   std::vector<ExperimentResult> results;
   for (const Fig4Panel& panel :
        layered_panels(static_cast<ResourceType>(flags.get_int("k")))) {

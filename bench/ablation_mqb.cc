@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "MQB design ablation (avg completion time ratio)\n\n";
-  const std::vector<std::string> variants = {
+  const std::vector<SchedulerSpec> variants = {
       "kgreedy",      // context
       "mqb",          // paper configuration
       "mqb+noself",   // keep candidate's own work in its queue

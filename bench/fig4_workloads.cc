@@ -9,6 +9,7 @@
 
 #include "exp/configs.hh"
 #include "exp/report.hh"
+#include "exp/sweep.hh"
 #include "sched/registry.hh"
 #include "support/cli.hh"
 
@@ -28,14 +29,16 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::vector<std::string> schedulers = paper_scheduler_names();
+  std::vector<SchedulerSpec> schedulers = paper_scheduler_names();
   if (!flags.get_string("schedulers").empty()) {
     schedulers = split_scheduler_list(flags.get_string("schedulers"));
   }
 
   std::cout << "Figure 4: algorithm performance across workloads "
             << "(avg completion time ratio; lower is better)\n\n";
-  std::vector<ExperimentResult> results;
+  // One sweep over all six panels: cells from every panel share the
+  // worker pool, so stragglers in one panel overlap with the others.
+  std::vector<ExperimentSpec> specs;
   for (const Fig4Panel& panel :
        fig4_panels(static_cast<ResourceType>(flags.get_int("k")))) {
     ExperimentSpec spec;
@@ -45,10 +48,19 @@ int main(int argc, char** argv) {
     spec.schedulers = schedulers;
     spec.instances = static_cast<std::size_t>(flags.get_int("instances"));
     spec.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
-    spec.threads = static_cast<std::size_t>(flags.get_int("threads"));
-    results.push_back(run_experiment(spec));
-    print_result(std::cout, results.back(), flags.get_bool("csv"));
+    specs.push_back(std::move(spec));
   }
+  SweepOptions sweep_options;
+  sweep_options.threads = static_cast<std::size_t>(flags.get_int("threads"));
+  const SweepResult sweep = run_sweep(specs, sweep_options);
+  const std::vector<ExperimentResult>& results = sweep.results;
+  for (const ExperimentResult& result : results) {
+    print_result(std::cout, result, flags.get_bool("csv"));
+  }
+  std::cout << sweep.metrics.cells << " cells on " << sweep.metrics.threads
+            << " threads in " << format_double(sweep.metrics.wall_seconds)
+            << " s (" << format_double(sweep.metrics.cells_per_second())
+            << " cells/s)\n\n";
 
   std::cout << "== summary: mean completion-time ratio per panel ==\n";
   const Table summary = comparison_table(results);

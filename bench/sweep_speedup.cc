@@ -1,0 +1,94 @@
+// Parallel sweep engine benchmark: runs the Figure 4 grid serially and
+// with N worker threads, checks the two reports are byte-identical
+// (run_sweep's determinism contract), and reports cells/sec + speedup.
+//
+//   sweep_speedup --instances=100 --threads=8 --json=sweep.json
+//
+// Exits nonzero if the parallel report diverges from the serial one by
+// even a single byte.  On a single-core host the speedup hovers around
+// 1.0; the determinism check is the part that must always hold.
+#include <fstream>
+#include <iostream>
+
+#include "exp/configs.hh"
+#include "exp/json.hh"
+#include "exp/sweep.hh"
+#include "sched/registry.hh"
+#include "support/cli.hh"
+
+int main(int argc, char** argv) {
+  using namespace fhs;
+  CliFlags flags;
+  flags.define_int("instances", 100, "job instances per Fig. 4 panel");
+  flags.define_int("seed", 42, "master RNG seed");
+  flags.define_int("threads", 0, "parallel worker threads (0 = auto)");
+  flags.define_int("k", 4, "number of resource types");
+  flags.define("json", "", "write metrics + both reports' digests to this file");
+  try {
+    if (!flags.parse(argc, argv)) return 0;
+
+    std::vector<ExperimentSpec> specs;
+    for (const Fig4Panel& panel :
+         fig4_panels(static_cast<ResourceType>(flags.get_int("k")))) {
+      ExperimentSpec spec;
+      spec.name = panel.name;
+      spec.workload = panel.workload;
+      spec.cluster = panel.cluster;
+      spec.schedulers = paper_scheduler_names();
+      spec.instances = static_cast<std::size_t>(flags.get_int("instances"));
+      spec.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+      specs.push_back(std::move(spec));
+    }
+
+    SweepOptions serial_options;
+    serial_options.threads = 1;
+    const SweepResult serial = run_sweep(specs, serial_options);
+
+    SweepOptions parallel_options;
+    parallel_options.threads = static_cast<std::size_t>(flags.get_int("threads"));
+    const SweepResult parallel = run_sweep(specs, parallel_options);
+
+    // Byte-identical reports, whatever the thread count.
+    bool identical = serial.results.size() == parallel.results.size();
+    for (std::size_t e = 0; identical && e < serial.results.size(); ++e) {
+      identical = to_json(serial.results[e]) == to_json(parallel.results[e]);
+    }
+    const double speedup = parallel.metrics.wall_seconds > 0.0
+                               ? serial.metrics.wall_seconds /
+                                     parallel.metrics.wall_seconds
+                               : 0.0;
+
+    std::cout << "serial:   " << serial.metrics.cells << " cells in "
+              << serial.metrics.wall_seconds << " s ("
+              << serial.metrics.cells_per_second() << " cells/s)\n";
+    std::cout << "parallel: " << parallel.metrics.threads << " threads, "
+              << parallel.metrics.wall_seconds << " s ("
+              << parallel.metrics.cells_per_second() << " cells/s)\n";
+    std::cout << "speedup:  " << speedup << "x\n";
+    std::cout << "reports:  " << (identical ? "byte-identical" : "DIVERGED") << '\n';
+
+    const std::string json_path = flags.get_string("json");
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      if (!out) throw std::runtime_error("cannot open " + json_path);
+      out << "{\n\"serial\": {\"threads\": 1, \"wall_seconds\": "
+          << serial.metrics.wall_seconds << ", \"cells_per_second\": "
+          << serial.metrics.cells_per_second() << "},\n\"parallel\": {\"threads\": "
+          << parallel.metrics.threads << ", \"wall_seconds\": "
+          << parallel.metrics.wall_seconds << ", \"cells_per_second\": "
+          << parallel.metrics.cells_per_second() << "},\n\"cells\": "
+          << serial.metrics.cells << ",\n\"speedup\": " << speedup
+          << ",\n\"byte_identical\": " << (identical ? "true" : "false") << "\n}\n";
+      std::cout << "wrote " << json_path << '\n';
+    }
+    if (!identical) {
+      std::cerr << "sweep_speedup: parallel report diverged from serial -- "
+                   "determinism contract broken\n";
+      return 2;
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "sweep_speedup: " << error.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -58,8 +58,8 @@ int main(int argc, char** argv) {
 
   Table table({"scheduler", "completion", "ratio", "class0 util", "class1 util",
                "class2 util", "class3 util"});
-  for (const std::string& name : paper_scheduler_names()) {
-    auto scheduler = make_scheduler(name);
+  for (const SchedulerSpec& spec : paper_scheduler_names()) {
+    auto scheduler = spec.instantiate();
     const SimResult result = simulate(job, cluster, *scheduler);
     table.begin_row()
         .add_cell(scheduler->name())

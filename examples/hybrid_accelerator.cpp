@@ -68,8 +68,8 @@ int main(int argc, char** argv) {
             << " ticks\n\n";
 
   Table table({"scheduler", "completion", "ratio", "GPU util", "FPGA util"});
-  for (const std::string& name : paper_scheduler_names()) {
-    auto scheduler = make_scheduler(name);
+  for (const SchedulerSpec& spec : paper_scheduler_names()) {
+    auto scheduler = spec.instantiate();
     const SimResult result = simulate(job, machine, *scheduler);
     table.begin_row()
         .add_cell(scheduler->name())

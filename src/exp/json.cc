@@ -94,6 +94,28 @@ std::string to_json(const ExperimentResult& result) {
   return out.str();
 }
 
+void write_json(std::ostream& out, const SweepResult& sweep) {
+  out << "{\n\"metrics\": {\"cells\": " << sweep.metrics.cells
+      << ", \"threads\": " << sweep.metrics.threads << ", \"wall_seconds\": ";
+  write_number(out, sweep.metrics.wall_seconds);
+  out << ", \"cells_per_second\": ";
+  write_number(out, sweep.metrics.cells_per_second());
+  out << ", \"cell_seconds\": ";
+  write_stats(out, sweep.metrics.cell_seconds);
+  out << "},\n\"experiments\": [\n";
+  for (std::size_t e = 0; e < sweep.results.size(); ++e) {
+    if (e) out << ",\n";
+    write_json(out, sweep.results[e]);
+  }
+  out << "]\n}\n";
+}
+
+std::string to_json(const SweepResult& sweep) {
+  std::ostringstream out;
+  write_json(out, sweep);
+  return out.str();
+}
+
 void write_json(std::ostream& out, const ServiceStats& stats) {
   out << "{\n  \"submitted\": " << stats.submitted
       << ",\n  \"admitted\": " << stats.admitted

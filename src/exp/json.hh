@@ -18,6 +18,7 @@
 #include <string>
 
 #include "exp/runner.hh"
+#include "exp/sweep.hh"
 #include "service/service_stats.hh"
 
 namespace fhs {
@@ -25,6 +26,12 @@ namespace fhs {
 /// Serializes one experiment result as a JSON object.
 void write_json(std::ostream& out, const ExperimentResult& result);
 [[nodiscard]] std::string to_json(const ExperimentResult& result);
+
+/// Serializes a whole sweep: {"metrics": {cells, threads, wall_seconds,
+/// cells_per_second, cell_seconds}, "experiments": [...]}.  The metrics
+/// block is timing-dependent; the experiments array is deterministic.
+void write_json(std::ostream& out, const SweepResult& sweep);
+[[nodiscard]] std::string to_json(const SweepResult& sweep);
 
 /// Serializes a live service snapshot (counters, per-type utilization,
 /// flow-time histogram) as a JSON object.

@@ -1,12 +1,9 @@
 #include "exp/runner.hh"
 
-#include <mutex>
 #include <sstream>
 #include <stdexcept>
 
-#include "metrics/bounds.hh"
-#include "sched/registry.hh"
-#include "support/parallel.hh"
+#include "exp/sweep.hh"
 #include "support/rng.hh"
 
 namespace fhs {
@@ -36,76 +33,10 @@ const SchedulerOutcome& ExperimentResult::outcome(const std::string& scheduler) 
 }
 
 ExperimentResult run_experiment(const ExperimentSpec& spec) {
-  if (spec.schedulers.empty()) {
-    throw std::invalid_argument("run_experiment: no schedulers given");
-  }
-  if (spec.instances == 0) {
-    throw std::invalid_argument("run_experiment: zero instances");
-  }
-  if (spec.cluster.num_types < workload_num_types(spec.workload)) {
-    throw std::invalid_argument("run_experiment: cluster has fewer types than workload");
-  }
-  // Fail fast on bad scheduler specs before burning simulation time.
-  for (const std::string& name : spec.schedulers) {
-    (void)make_scheduler(name, /*seed=*/0);
-  }
-
-  const std::size_t num_schedulers = spec.schedulers.size();
-  struct Accumulator {
-    std::vector<SchedulerOutcome> outcomes;
-  };
-  std::mutex merge_mutex;
-  ExperimentResult result;
-  result.spec = spec;
-  result.outcomes.resize(num_schedulers);
-  for (std::size_t s = 0; s < num_schedulers; ++s) {
-    result.outcomes[s].scheduler = spec.schedulers[s];
-  }
-
-  // Per-instance work; accumulators are merged under a mutex at the end
-  // of each instance (cheap relative to simulation cost, and keeps the
-  // code simple -- instance counts are in the thousands, not millions).
-  auto body = [&](std::size_t instance) {
-    Rng rng(mix_seed(spec.seed, instance));
-    const KDag dag = generate(spec.workload, rng);
-    const Cluster cluster = spec.cluster.sample(rng);
-    const double bound = fractional_lower_bound(dag, cluster);
-
-    std::vector<SchedulerOutcome> local(num_schedulers);
-    double baseline_time = 0.0;
-    for (std::size_t s = 0; s < num_schedulers; ++s) {
-      auto scheduler =
-          make_scheduler(spec.schedulers[s], mix_seed(spec.seed, instance, s + 1));
-      SimOptions options;
-      options.mode = spec.mode;
-      const SimResult sim = simulate(dag, cluster, *scheduler, options);
-      const auto time = static_cast<double>(sim.completion_time);
-      local[s].ratio.add(time / bound);
-      local[s].completion_time.add(time);
-      double utilization = 0.0;
-      for (ResourceType a = 0; a < dag.num_types(); ++a) {
-        utilization += sim.utilization(a, cluster);
-      }
-      local[s].mean_utilization.add(utilization / static_cast<double>(dag.num_types()));
-      local[s].preemptions.add(static_cast<double>(sim.preemptions));
-      if (s == 0) {
-        baseline_time = time;
-      } else {
-        local[s].reduction_vs_baseline.add((baseline_time - time) / baseline_time);
-      }
-    }
-
-    std::lock_guard<std::mutex> lock(merge_mutex);
-    for (std::size_t s = 0; s < num_schedulers; ++s) {
-      result.outcomes[s].ratio.merge(local[s].ratio);
-      result.outcomes[s].completion_time.merge(local[s].completion_time);
-      result.outcomes[s].mean_utilization.merge(local[s].mean_utilization);
-      result.outcomes[s].preemptions.merge(local[s].preemptions);
-      result.outcomes[s].reduction_vs_baseline.merge(local[s].reduction_vs_baseline);
-    }
-  };
-  parallel_for(spec.instances, body, spec.threads);
-  return result;
+  SweepOptions options;
+  options.threads = spec.threads;
+  SweepResult sweep = run_sweep(std::span<const ExperimentSpec>(&spec, 1), options);
+  return std::move(sweep.results.front());
 }
 
 }  // namespace fhs

@@ -5,8 +5,10 @@
 // Per instance i, the runner derives an independent RNG stream from
 // (seed, i), draws ONE job and ONE cluster, and runs EVERY scheduler on
 // that same pair (paired comparison, like the paper's per-workload
-// plots).  Instances execute in parallel; per-thread accumulators merge
-// at the end, so results are bitwise independent of the thread count.
+// plots).  Execution is delegated to the sweep engine (exp/sweep.hh):
+// instances run in parallel over a worker pool and per-cell samples are
+// folded deterministically, so results are bitwise independent of the
+// thread count.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +18,7 @@
 #include <vector>
 
 #include "machine/cluster.hh"
+#include "sched/scheduler_spec.hh"
 #include "sim/engine.hh"
 #include "support/stats.hh"
 #include "workload/workload.hh"
@@ -40,8 +43,11 @@ struct ExperimentSpec {
   std::string name;
   WorkloadParams workload;
   ClusterParams cluster;
-  /// Scheduler specs (see sched/registry.hh).
-  std::vector<std::string> schedulers;
+  /// Typed policy specs.  String literals convert implicitly through
+  /// SchedulerSpec::parse, so `spec.schedulers = {"kgreedy", "mqb"}`
+  /// still reads naturally -- but bad names now throw at assignment,
+  /// not deep inside the run.
+  std::vector<SchedulerSpec> schedulers;
   std::size_t instances = 300;
   ExecutionMode mode = ExecutionMode::kNonPreemptive;
   std::uint64_t seed = 42;

@@ -1,0 +1,149 @@
+#include "exp/sweep.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "metrics/bounds.hh"
+#include "support/parallel.hh"
+#include "support/rng.hh"
+
+namespace fhs {
+
+namespace {
+
+/// Samples one cell produces per scheduler: ratio, completion time,
+/// mean utilization, preemptions, reduction vs baseline.
+constexpr std::size_t kSamplesPerScheduler = 5;
+
+void validate(const ExperimentSpec& spec) {
+  if (spec.schedulers.empty()) {
+    throw std::invalid_argument("run_sweep: experiment '" + spec.name +
+                                "' has no schedulers");
+  }
+  if (spec.instances == 0) {
+    throw std::invalid_argument("run_sweep: experiment '" + spec.name +
+                                "' has zero instances");
+  }
+  if (spec.cluster.num_types < workload_num_types(spec.workload)) {
+    throw std::invalid_argument("run_sweep: experiment '" + spec.name +
+                                "' cluster has fewer types than workload");
+  }
+}
+
+}  // namespace
+
+SweepResult run_sweep(std::span<const ExperimentSpec> experiments,
+                      const SweepOptions& options) {
+  if (experiments.empty()) {
+    throw std::invalid_argument("run_sweep: empty experiment grid");
+  }
+  for (const ExperimentSpec& spec : experiments) validate(spec);
+
+  // Grid layout: experiment e owns cells [first_cell[e], first_cell[e+1])
+  // and doubles [data_offset[e], ...) at a stride of 5 * #schedulers.
+  const std::size_t num_experiments = experiments.size();
+  std::vector<std::size_t> first_cell(num_experiments + 1, 0);
+  std::vector<std::size_t> data_offset(num_experiments + 1, 0);
+  for (std::size_t e = 0; e < num_experiments; ++e) {
+    first_cell[e + 1] = first_cell[e] + experiments[e].instances;
+    data_offset[e + 1] =
+        data_offset[e] +
+        experiments[e].instances * kSamplesPerScheduler * experiments[e].schedulers.size();
+  }
+  const std::size_t total_cells = first_cell.back();
+
+  // Preallocated per-cell slots: workers write disjoint ranges, nothing
+  // is shared on the hot path but the chunked cursor.
+  std::vector<double> samples(data_offset.back(), 0.0);
+  std::vector<double> cell_seconds(total_cells, 0.0);
+
+  auto run_cell = [&](std::size_t cell) {
+    const std::size_t e =
+        static_cast<std::size_t>(
+            std::upper_bound(first_cell.begin(), first_cell.end(), cell) -
+            first_cell.begin()) -
+        1;
+    const ExperimentSpec& spec = experiments[e];
+    const std::size_t i = cell - first_cell[e];
+    const std::size_t num_schedulers = spec.schedulers.size();
+
+    const auto cell_start = std::chrono::steady_clock::now();
+    // Seeds come from grid coordinates, never from thread identity.
+    Rng rng(mix_seed(spec.seed, i));
+    const KDag dag = generate(spec.workload, rng);
+    const Cluster cluster = spec.cluster.sample(rng);
+    const double bound = fractional_lower_bound(dag, cluster);
+
+    double* out = samples.data() + data_offset[e] + i * kSamplesPerScheduler * num_schedulers;
+    double baseline_time = 0.0;
+    for (std::size_t s = 0; s < num_schedulers; ++s) {
+      auto scheduler = spec.schedulers[s].instantiate(mix_seed(spec.seed, i, s + 1));
+      SimOptions sim_options;
+      sim_options.mode = spec.mode;
+      const SimResult sim = simulate(dag, cluster, *scheduler, sim_options);
+      const auto time = static_cast<double>(sim.completion_time);
+      double utilization = 0.0;
+      for (ResourceType a = 0; a < dag.num_types(); ++a) {
+        utilization += sim.utilization(a, cluster);
+      }
+      out[s * kSamplesPerScheduler + 0] = time / bound;
+      out[s * kSamplesPerScheduler + 1] = time;
+      out[s * kSamplesPerScheduler + 2] =
+          utilization / static_cast<double>(dag.num_types());
+      out[s * kSamplesPerScheduler + 3] = static_cast<double>(sim.preemptions);
+      if (s == 0) {
+        baseline_time = time;
+      } else {
+        out[s * kSamplesPerScheduler + 4] = (baseline_time - time) / baseline_time;
+      }
+    }
+    cell_seconds[cell] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - cell_start)
+            .count();
+  };
+
+  const std::size_t chunk = std::max<std::size_t>(1, options.chunk);
+  SweepResult sweep;
+  sweep.metrics.cells = total_cells;
+  sweep.metrics.threads =
+      resolve_thread_count(options.threads, (total_cells + chunk - 1) / chunk);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  parallel_for_chunked(total_cells, chunk, run_cell, options.threads);
+  sweep.metrics.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+
+  // Deterministic fold: cells in grid order, schedulers in spec order --
+  // the exact add() sequence of a serial loop, whatever the thread count.
+  sweep.results.resize(num_experiments);
+  for (std::size_t e = 0; e < num_experiments; ++e) {
+    const ExperimentSpec& spec = experiments[e];
+    const std::size_t num_schedulers = spec.schedulers.size();
+    ExperimentResult& result = sweep.results[e];
+    result.spec = spec;
+    result.outcomes.resize(num_schedulers);
+    for (std::size_t s = 0; s < num_schedulers; ++s) {
+      result.outcomes[s].scheduler = spec.schedulers[s].to_string();
+    }
+    for (std::size_t i = 0; i < spec.instances; ++i) {
+      const double* in =
+          samples.data() + data_offset[e] + i * kSamplesPerScheduler * num_schedulers;
+      for (std::size_t s = 0; s < num_schedulers; ++s) {
+        SchedulerOutcome& o = result.outcomes[s];
+        o.ratio.add(in[s * kSamplesPerScheduler + 0]);
+        o.completion_time.add(in[s * kSamplesPerScheduler + 1]);
+        o.mean_utilization.add(in[s * kSamplesPerScheduler + 2]);
+        o.preemptions.add(in[s * kSamplesPerScheduler + 3]);
+        if (s > 0) {
+          o.reduction_vs_baseline.add(in[s * kSamplesPerScheduler + 4]);
+        }
+      }
+    }
+  }
+  for (double seconds : cell_seconds) sweep.metrics.cell_seconds.add(seconds);
+  return sweep;
+}
+
+}  // namespace fhs

@@ -1,0 +1,66 @@
+// Parallel sweep engine: evaluates a grid of experiments cell by cell.
+//
+// A *cell* is one (experiment, instance) coordinate: one sampled (job,
+// cluster) pair run under every scheduler of that experiment (the paired
+// design of exp/runner.hh).  run_sweep expands the grid into cells,
+// shards the cells across a fixed-size worker pool (chunked atomic
+// cursor -- see support/parallel.hh), and writes each cell's samples
+// into a preallocated slot owned by that cell alone, so the hot path
+// takes no locks and performs no shared-state writes beyond the cursor.
+//
+// Determinism: each cell's RNG stream is derived from its grid
+// coordinates and the experiment's master seed -- mix_seed(seed, i) for
+// the instance draw, mix_seed(seed, i, s+1) for scheduler s -- never
+// from thread identity, and the per-cell samples are folded into
+// RunningStats in a single deterministic pass after the workers join.
+// The resulting reports are byte-identical regardless of thread count.
+//
+// Timing: each cell's wall time is recorded, so callers can report
+// cells/sec and parallel speedup (bench/sweep_speedup, fhs_experiment
+// --json).  Timing feeds SweepMetrics only; it never touches results.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "exp/runner.hh"
+
+namespace fhs {
+
+struct SweepOptions {
+  /// Worker threads (0 = hardware concurrency).
+  std::size_t threads = 0;
+  /// Cells claimed per cursor fetch; tune only if cells are tiny.
+  std::size_t chunk = 4;
+};
+
+struct SweepMetrics {
+  /// Total cells executed (sum of instances over all experiments).
+  std::size_t cells = 0;
+  /// Worker threads actually used.
+  std::size_t threads = 1;
+  /// Wall-clock seconds for the parallel phase (excludes the fold).
+  double wall_seconds = 0.0;
+  /// Per-cell wall seconds (mean/min/max over all cells).
+  RunningStats cell_seconds;
+
+  [[nodiscard]] double cells_per_second() const noexcept {
+    return wall_seconds > 0.0 ? static_cast<double>(cells) / wall_seconds : 0.0;
+  }
+};
+
+struct SweepResult {
+  /// One result per experiment, in input order.
+  std::vector<ExperimentResult> results;
+  SweepMetrics metrics;
+};
+
+/// Runs every experiment of the grid.  `options.threads` governs the
+/// whole sweep; the per-spec `ExperimentSpec::threads` field is ignored
+/// here (it belongs to the single-experiment run_experiment wrapper).
+/// Throws on invalid specs; simulation failures propagate.
+[[nodiscard]] SweepResult run_sweep(std::span<const ExperimentSpec> experiments,
+                                    const SweepOptions& options = {});
+
+}  // namespace fhs

@@ -1,0 +1,60 @@
+#include "exp/tool_options.hh"
+
+#include <stdexcept>
+
+#include "exp/configs.hh"
+
+namespace fhs {
+
+namespace {
+std::uint32_t parse_u32(const std::string& what, const std::string& text) {
+  std::size_t consumed = 0;
+  unsigned long parsed = 0;  // NOLINT(google-runtime-int): stoul's type
+  try {
+    parsed = std::stoul(text, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != text.size() || text.empty()) {
+    throw std::invalid_argument(what + ": expected unsigned integer, got '" + text + "'");
+  }
+  return static_cast<std::uint32_t>(parsed);
+}
+}  // namespace
+
+TypeAssignment parse_type_assignment(const std::string& text) {
+  if (text == "layered") return TypeAssignment::kLayered;
+  if (text == "random") return TypeAssignment::kRandom;
+  throw std::invalid_argument("unknown type assignment '" + text +
+                              "' (valid: layered, random)");
+}
+
+WorkloadParams parse_workload_family(const std::string& family,
+                                     TypeAssignment assignment,
+                                     ResourceType num_types) {
+  if (family == "ep") return ep_workload(assignment, num_types);
+  if (family == "tree") return tree_workload(assignment, num_types);
+  if (family == "ir") return ir_workload(assignment, num_types);
+  throw std::invalid_argument("unknown workload '" + family + "' (valid: ep, tree, ir)");
+}
+
+ClusterParams parse_cluster_params(const std::string& text, ResourceType num_types) {
+  if (text == "small") return small_cluster(num_types);
+  if (text == "medium") return medium_cluster(num_types);
+  const auto comma = text.find(',');
+  if (comma == std::string::npos) {
+    throw std::invalid_argument("cluster spec '" + text +
+                                "': expected small | medium | <pmin>,<pmax>");
+  }
+  ClusterParams params;
+  params.num_types = num_types;
+  params.min_processors = parse_u32("cluster pmin", text.substr(0, comma));
+  params.max_processors = parse_u32("cluster pmax", text.substr(comma + 1));
+  if (params.min_processors == 0 || params.min_processors > params.max_processors) {
+    throw std::invalid_argument("cluster spec '" + text +
+                                "': need 1 <= pmin <= pmax");
+  }
+  return params;
+}
+
+}  // namespace fhs

@@ -1,0 +1,30 @@
+// Shared option parsing for the fhs_* command-line tools.
+//
+// The three tools (fhs_sim, fhs_experiment, fhs_serve) accept the same
+// domain vocabulary -- workload families, type assignments, cluster
+// specs -- and used to each reimplement the string-to-value mapping.
+// These helpers are the single source of truth; every parser throws
+// std::invalid_argument naming the offending token and the accepted
+// values, so `--workload=bogus` fails the same way everywhere.
+#pragma once
+
+#include <string>
+
+#include "exp/runner.hh"
+
+namespace fhs {
+
+/// "layered" | "random".
+[[nodiscard]] TypeAssignment parse_type_assignment(const std::string& text);
+
+/// "ep" | "tree" | "ir", with the paper's default distribution parameters
+/// (exp/configs.hh) for `num_types` types.
+[[nodiscard]] WorkloadParams parse_workload_family(const std::string& family,
+                                                   TypeAssignment assignment,
+                                                   ResourceType num_types);
+
+/// "small" | "medium" | "<pmin>,<pmax>" (explicit uniform sampling range).
+[[nodiscard]] ClusterParams parse_cluster_params(const std::string& text,
+                                                 ResourceType num_types);
+
+}  // namespace fhs

@@ -35,6 +35,8 @@ struct InfoModel {
   std::uint64_t noise_seed = 0;
 
   [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const InfoModel&, const InfoModel&) = default;
 };
 
 /// Materialized descendant values under an InfoModel.

@@ -78,9 +78,9 @@ void MqbScheduler::dispatch(DispatchContext& ctx) {
   const ResourceType k = ctx.num_types();
   assert(table_ != nullptr && "prepare() must run before dispatch()");
 
-  std::vector<double> inv_procs(k);
+  inv_procs_.resize(k);
   for (ResourceType a = 0; a < k; ++a) {
-    inv_procs[a] = 1.0 / static_cast<double>(ctx.total_processors(a));
+    inv_procs_[a] = 1.0 / static_cast<double>(ctx.total_processors(a));
   }
 
   // Hypothetical queue-work vector, carried across picks of this
@@ -122,7 +122,7 @@ void MqbScheduler::dispatch(DispatchContext& ctx) {
         }
         const auto row = table_->row(task);
         for (ResourceType b = 0; b < k; ++b) candidate_[b] += row[b];
-        if (!have_best || better_balance(candidate_, best_snapshot_, inv_procs)) {
+        if (!have_best || better_balance(candidate_, best_snapshot_, inv_procs_)) {
           have_best = true;
           best_index = i;
           best_snapshot_ = candidate_;

@@ -46,6 +46,8 @@ struct MqbOptions {
   /// runs).  Paper §IV-A is silent on this; see DESIGN.md and the
   /// ablation bench.
   bool subtract_self_work = true;
+
+  friend bool operator==(const MqbOptions&, const MqbOptions&) = default;
 };
 
 class MqbScheduler final : public Scheduler {
@@ -69,6 +71,7 @@ class MqbScheduler final : public Scheduler {
   std::unique_ptr<JobAnalysis> analysis_;
   std::unique_ptr<DescendantTable> table_;
   // Scratch buffers reused across dispatches.
+  std::vector<double> inv_procs_;
   std::vector<double> hypo_;
   std::vector<double> candidate_;
   std::vector<double> best_snapshot_;

@@ -4,19 +4,27 @@ namespace fhs {
 
 void PriorityScheduler::dispatch(DispatchContext& ctx) {
   for (ResourceType alpha = 0; alpha < ctx.num_types(); ++alpha) {
-    while (ctx.free_processors(alpha) > 0) {
-      const auto queue = ctx.ready(alpha);
-      if (queue.empty()) break;
+    std::uint32_t free = ctx.free_processors(alpha);
+    if (free == 0) continue;
+    {
+      const ReadySpan queue = ctx.ready(alpha);
+      scores_.resize(queue.size());
+      for (std::size_t i = 0; i < queue.size(); ++i) {
+        scores_[i] = score(queue[i], ctx);
+      }
+    }  // span dies here; assign() below would invalidate it
+    // scores_ stays positionally aligned with the engine's queue: the
+    // engine erases the assigned index, we erase the matching score.
+    while (free > 0 && !scores_.empty()) {
       std::size_t best = 0;
-      double best_score = score(queue[0], ctx);
-      for (std::size_t i = 1; i < queue.size(); ++i) {
-        const double s = score(queue[i], ctx);
-        if (s > best_score) {  // strict: ties keep the oldest-ready task
-          best_score = s;
+      for (std::size_t i = 1; i < scores_.size(); ++i) {
+        if (scores_[i] > scores_[best]) {  // strict: ties keep the oldest
           best = i;
         }
       }
       ctx.assign(alpha, best);
+      scores_.erase(scores_.begin() + static_cast<std::ptrdiff_t>(best));
+      --free;
     }
   }
 }

@@ -6,7 +6,15 @@
 // loop once; concrete policies provide the score.  Ties break FIFO
 // (oldest-ready first), which also makes KGreedy exactly FIFO by scoring
 // every task equally.
+//
+// Scores are computed once per queue per decision point into a reusable
+// scratch buffer (score() is pure for the duration of one dispatch, per
+// the contract below), then assignments repeatedly take the argmax of
+// the cached values -- no rescoring per assignment and no allocation in
+// the steady state.
 #pragma once
+
+#include <vector>
 
 #include "sim/scheduler.hh"
 
@@ -21,6 +29,10 @@ class PriorityScheduler : public Scheduler {
   /// remaining work for preemption-aware scores.  Must be a pure function
   /// of (task, ctx) for the duration of one dispatch call.
   [[nodiscard]] virtual double score(TaskId task, const DispatchContext& ctx) const = 0;
+
+ private:
+  // Scratch reused across dispatches; grows to the largest queue once.
+  std::vector<double> scores_;
 };
 
 }  // namespace fhs

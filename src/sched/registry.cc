@@ -1,99 +1,36 @@
 #include "sched/registry.hh"
 
-#include <algorithm>
-#include <cctype>
 #include <sstream>
-#include <stdexcept>
 
-#include "sched/dtype.hh"
-#include "sched/kgreedy.hh"
-#include "sched/lspan.hh"
-#include "sched/maxdp.hh"
-#include "sched/mqb.hh"
-#include "sched/shiftbt.hh"
+#include "sched/scheduler_spec.hh"
 
 namespace fhs {
 
-namespace {
-std::string lower(std::string text) {
-  std::transform(text.begin(), text.end(), text.begin(),
-                 [](unsigned char ch) { return static_cast<char>(std::tolower(ch)); });
-  return text;
-}
-
-std::vector<std::string> split(const std::string& text, char sep) {
-  std::vector<std::string> parts;
-  std::stringstream stream(text);
-  std::string part;
-  while (std::getline(stream, part, sep)) {
-    if (!part.empty()) parts.push_back(part);
-  }
-  return parts;
-}
-}  // namespace
-
 std::unique_ptr<Scheduler> make_scheduler(const std::string& spec, std::uint64_t seed) {
-  const std::string name = lower(spec);
-  if (name == "kgreedy") return std::make_unique<KGreedyScheduler>();
-  if (name == "kgreedy+lifo") {
-    return std::make_unique<KGreedyScheduler>(DispatchOrder::kLifo);
-  }
-  if (name == "kgreedy+random") {
-    return std::make_unique<KGreedyScheduler>(DispatchOrder::kRandom, seed);
-  }
-  if (name == "lspan") return std::make_unique<LSpanScheduler>();
-  if (name == "maxdp") return std::make_unique<MaxDpScheduler>();
-  if (name == "dtype") return std::make_unique<DTypeScheduler>();
-  if (name == "shiftbt") return std::make_unique<ShiftBtScheduler>();
-  if (name == "edd") return std::make_unique<EddScheduler>();
-
-  const std::vector<std::string> parts = split(name, '+');
-  if (!parts.empty() && parts[0] == "mqb") {
-    MqbOptions options;
-    options.info.noise_seed = seed;
-    for (std::size_t i = 1; i < parts.size(); ++i) {
-      const std::string& token = parts[i];
-      if (token == "all") {
-        options.info.scope = InfoScope::kAll;
-      } else if (token == "1step") {
-        options.info.scope = InfoScope::kOneStep;
-      } else if (token == "pre" || token == "precise") {
-        options.info.fidelity = InfoFidelity::kPrecise;
-      } else if (token == "exp") {
-        options.info.fidelity = InfoFidelity::kExponential;
-      } else if (token == "noise") {
-        options.info.fidelity = InfoFidelity::kNoisy;
-      } else if (token == "minonly") {
-        options.balance_rule = BalanceRule::kMinOnly;
-      } else if (token == "sumsq") {
-        options.balance_rule = BalanceRule::kSumOfSquares;
-      } else if (token == "noself") {
-        options.subtract_self_work = false;
-      } else {
-        throw std::invalid_argument("make_scheduler: unknown MQB option '" + token +
-                                    "' in '" + spec + "'");
-      }
-    }
-    return std::make_unique<MqbScheduler>(options);
-  }
-  throw std::invalid_argument("make_scheduler: unknown scheduler '" + spec + "'");
+  return SchedulerSpec::parse(spec).instantiate(seed);
 }
 
-const std::vector<std::string>& paper_scheduler_names() {
-  static const std::vector<std::string> kNames = {"kgreedy", "lspan",   "dtype",
-                                                  "maxdp",   "shiftbt", "mqb"};
-  return kNames;
+const std::vector<SchedulerSpec>& paper_scheduler_names() {
+  static const std::vector<SchedulerSpec> kSpecs = {"kgreedy", "lspan",   "dtype",
+                                                    "maxdp",   "shiftbt", "mqb"};
+  return kSpecs;
 }
 
-const std::vector<std::string>& fig8_scheduler_names() {
-  static const std::vector<std::string> kNames = {
+const std::vector<SchedulerSpec>& fig8_scheduler_names() {
+  static const std::vector<SchedulerSpec> kSpecs = {
       "kgreedy",        "mqb+all+pre",   "mqb+all+exp",   "mqb+all+noise",
       "mqb+1step+pre",  "mqb+1step+exp", "mqb+1step+noise"};
-  return kNames;
+  return kSpecs;
 }
 
-std::vector<std::string> split_scheduler_list(const std::string& list) {
-  return split(list, ',');
+std::vector<SchedulerSpec> split_scheduler_list(const std::string& list) {
+  std::vector<SchedulerSpec> parts;
+  std::stringstream stream(list);
+  std::string part;
+  while (std::getline(stream, part, ',')) {
+    if (!part.empty()) parts.push_back(SchedulerSpec::parse(part));
+  }
+  return parts;
 }
 
 }  // namespace fhs

@@ -1,7 +1,7 @@
-// Name-based scheduler factory.
-//
-// Benches and examples select policies by string so sweeps can be driven
-// from the command line.  Recognized names (case-insensitive):
+// Name-based scheduler factory -- a thin wrapper over the typed
+// SchedulerSpec API (sched/scheduler_spec.hh), kept for call sites that
+// hold a raw string from the command line.  Recognized names
+// (case-insensitive; see SchedulerSpec for the full grammar):
 //
 //   kgreedy | kgreedy+lifo | kgreedy+random
 //   lspan | maxdp | dtype | shiftbt | edd (ShiftBT minus bottleneck iterations)
@@ -9,7 +9,9 @@
 //   mqb+{all,1step}+{pre,exp,noise}
 //   mqb+...+minonly | mqb+...+sumsq | mqb+...+noself   (ablation variants)
 //
-// `seed` feeds the noise models; precise policies ignore it.
+// `seed` feeds the noise models; precise policies ignore it.  Unknown
+// names raise SchedulerSpecError (a std::invalid_argument) whose message
+// lists the valid alternatives.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "sched/scheduler_spec.hh"
 #include "sim/scheduler.hh"
 
 namespace fhs {
@@ -27,12 +30,13 @@ namespace fhs {
                                                         std::uint64_t seed = 0);
 
 /// The paper's six policies in figure order (Fig. 4-7).
-[[nodiscard]] const std::vector<std::string>& paper_scheduler_names();
+[[nodiscard]] const std::vector<SchedulerSpec>& paper_scheduler_names();
 
 /// The seven series of Fig. 8 (KGreedy + six MQB information variants).
-[[nodiscard]] const std::vector<std::string>& fig8_scheduler_names();
+[[nodiscard]] const std::vector<SchedulerSpec>& fig8_scheduler_names();
 
-/// Splits a comma-separated list of scheduler specs.
-[[nodiscard]] std::vector<std::string> split_scheduler_list(const std::string& list);
+/// Splits a comma-separated list of scheduler specs and parses each one;
+/// throws SchedulerSpecError on the first unknown name.
+[[nodiscard]] std::vector<SchedulerSpec> split_scheduler_list(const std::string& list);
 
 }  // namespace fhs

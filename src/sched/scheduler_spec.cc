@@ -1,0 +1,205 @@
+#include "sched/scheduler_spec.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "sched/dtype.hh"
+#include "sched/lspan.hh"
+#include "sched/maxdp.hh"
+#include "sched/shiftbt.hh"
+
+namespace fhs {
+
+namespace {
+
+std::string lower(std::string text) {
+  std::transform(text.begin(), text.end(), text.begin(),
+                 [](unsigned char ch) { return static_cast<char>(std::tolower(ch)); });
+  return text;
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::stringstream stream(text);
+  std::string part;
+  while (std::getline(stream, part, sep)) {
+    if (!part.empty()) parts.push_back(part);
+  }
+  return parts;
+}
+
+std::string join(const std::vector<std::string>& names) {
+  std::string text;
+  for (const std::string& name : names) {
+    if (!text.empty()) text += ", ";
+    text += name;
+  }
+  return text;
+}
+
+const std::vector<std::string>& kgreedy_option_names() {
+  static const std::vector<std::string> kNames = {"fifo", "lifo", "random"};
+  return kNames;
+}
+
+const std::vector<std::string>& mqb_option_names() {
+  static const std::vector<std::string> kNames = {
+      "all", "1step", "pre", "exp", "noise", "minonly", "sumsq", "noself"};
+  return kNames;
+}
+
+}  // namespace
+
+SchedulerSpecError::SchedulerSpecError(const std::string& context, std::string token,
+                                       std::vector<std::string> valid_names)
+    : std::invalid_argument(context + ": unknown name '" + token +
+                            "'; valid names: " + join(valid_names)),
+      token_(std::move(token)),
+      valid_names_(std::move(valid_names)) {}
+
+SchedulerSpec::SchedulerSpec(const std::string& text) : SchedulerSpec(parse(text)) {}
+SchedulerSpec::SchedulerSpec(const char* text) : SchedulerSpec(parse(text)) {}
+
+SchedulerSpec SchedulerSpec::parse(const std::string& text) {
+  const std::vector<std::string> parts = split(lower(text), '+');
+  if (parts.empty()) {
+    throw SchedulerSpecError("SchedulerSpec::parse", text, valid_policy_names());
+  }
+
+  SchedulerSpec spec;
+  const std::string& head = parts[0];
+  if (head == "kgreedy") {
+    spec.policy = PolicyKind::kKGreedy;
+  } else if (head == "lspan") {
+    spec.policy = PolicyKind::kLSpan;
+  } else if (head == "maxdp") {
+    spec.policy = PolicyKind::kMaxDp;
+  } else if (head == "dtype") {
+    spec.policy = PolicyKind::kDType;
+  } else if (head == "shiftbt") {
+    spec.policy = PolicyKind::kShiftBt;
+  } else if (head == "edd") {
+    spec.policy = PolicyKind::kEdd;
+  } else if (head == "mqb") {
+    spec.policy = PolicyKind::kMqb;
+  } else {
+    throw SchedulerSpecError("SchedulerSpec::parse", head, valid_policy_names());
+  }
+
+  if (spec.policy == PolicyKind::kKGreedy) {
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+      const std::string& token = parts[i];
+      if (token == "fifo") {
+        spec.order = DispatchOrder::kFifo;
+      } else if (token == "lifo") {
+        spec.order = DispatchOrder::kLifo;
+      } else if (token == "random") {
+        spec.order = DispatchOrder::kRandom;
+      } else {
+        throw SchedulerSpecError("SchedulerSpec::parse: kgreedy option in '" + text + "'",
+                                 token, kgreedy_option_names());
+      }
+    }
+    return spec;
+  }
+  if (spec.policy == PolicyKind::kMqb) {
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+      const std::string& token = parts[i];
+      if (token == "all") {
+        spec.mqb.info.scope = InfoScope::kAll;
+      } else if (token == "1step") {
+        spec.mqb.info.scope = InfoScope::kOneStep;
+      } else if (token == "pre" || token == "precise") {
+        spec.mqb.info.fidelity = InfoFidelity::kPrecise;
+      } else if (token == "exp") {
+        spec.mqb.info.fidelity = InfoFidelity::kExponential;
+      } else if (token == "noise") {
+        spec.mqb.info.fidelity = InfoFidelity::kNoisy;
+      } else if (token == "minonly") {
+        spec.mqb.balance_rule = BalanceRule::kMinOnly;
+      } else if (token == "sumsq") {
+        spec.mqb.balance_rule = BalanceRule::kSumOfSquares;
+      } else if (token == "noself") {
+        spec.mqb.subtract_self_work = false;
+      } else {
+        throw SchedulerSpecError("SchedulerSpec::parse: MQB option in '" + text + "'",
+                                 token, mqb_option_names());
+      }
+    }
+    return spec;
+  }
+  if (parts.size() > 1) {
+    throw SchedulerSpecError(
+        "SchedulerSpec::parse: '" + head + "' takes no options, got '" + text + "'",
+        parts[1], {head});
+  }
+  return spec;
+}
+
+std::string SchedulerSpec::to_string() const {
+  switch (policy) {
+    case PolicyKind::kKGreedy:
+      switch (order) {
+        case DispatchOrder::kFifo: return "kgreedy";
+        case DispatchOrder::kLifo: return "kgreedy+lifo";
+        case DispatchOrder::kRandom: return "kgreedy+random";
+      }
+      return "kgreedy";
+    case PolicyKind::kLSpan: return "lspan";
+    case PolicyKind::kMaxDp: return "maxdp";
+    case PolicyKind::kDType: return "dtype";
+    case PolicyKind::kShiftBt: return "shiftbt";
+    case PolicyKind::kEdd: return "edd";
+    case PolicyKind::kMqb: {
+      std::string text = "mqb";
+      if (mqb.info.scope == InfoScope::kOneStep) text += "+1step";
+      if (mqb.info.fidelity == InfoFidelity::kExponential) text += "+exp";
+      if (mqb.info.fidelity == InfoFidelity::kNoisy) text += "+noise";
+      if (mqb.balance_rule == BalanceRule::kMinOnly) text += "+minonly";
+      if (mqb.balance_rule == BalanceRule::kSumOfSquares) text += "+sumsq";
+      if (!mqb.subtract_self_work) text += "+noself";
+      return text;
+    }
+  }
+  return "kgreedy";
+}
+
+std::unique_ptr<Scheduler> SchedulerSpec::instantiate(std::uint64_t seed) const {
+  switch (policy) {
+    case PolicyKind::kKGreedy: return std::make_unique<KGreedyScheduler>(order, seed);
+    case PolicyKind::kLSpan: return std::make_unique<LSpanScheduler>();
+    case PolicyKind::kMaxDp: return std::make_unique<MaxDpScheduler>();
+    case PolicyKind::kDType: return std::make_unique<DTypeScheduler>();
+    case PolicyKind::kShiftBt: return std::make_unique<ShiftBtScheduler>();
+    case PolicyKind::kEdd: return std::make_unique<EddScheduler>();
+    case PolicyKind::kMqb: {
+      MqbOptions options = mqb;
+      options.info.noise_seed = seed;
+      return std::make_unique<MqbScheduler>(options);
+    }
+  }
+  throw std::logic_error("SchedulerSpec::instantiate: corrupt policy kind");
+}
+
+const std::vector<std::string>& valid_policy_names() {
+  static const std::vector<std::string> kNames = {
+      "kgreedy", "lspan", "maxdp", "dtype", "shiftbt", "edd", "mqb"};
+  return kNames;
+}
+
+const std::vector<SchedulerSpec>& all_scheduler_specs() {
+  static const std::vector<SchedulerSpec> kSpecs = [] {
+    std::vector<SchedulerSpec> specs;
+    for (const char* text :
+         {"kgreedy", "kgreedy+lifo", "kgreedy+random", "lspan", "maxdp", "dtype",
+          "shiftbt", "edd", "mqb", "mqb+exp", "mqb+noise", "mqb+1step", "mqb+1step+exp",
+          "mqb+1step+noise", "mqb+minonly", "mqb+sumsq", "mqb+noself"}) {
+      specs.push_back(SchedulerSpec::parse(text));
+    }
+    return specs;
+  }();
+  return kSpecs;
+}
+
+}  // namespace fhs

@@ -1,0 +1,100 @@
+// Typed scheduler specification -- the parsed form of the registry's
+// string grammar.
+//
+// A SchedulerSpec is a value: a policy kind plus the options that policy
+// accepts (DispatchOrder for KGreedy, MqbOptions for MQB).  It replaces
+// stringly-typed policy construction everywhere a policy selection is
+// stored, compared, or shipped across an API boundary; the string form
+// survives only at the edges (command-line flags, JSON), where parse()
+// and to_string() convert losslessly:
+//
+//   parse(to_string(spec)) == spec            for every spec
+//   to_string(parse(text)) is canonical       (lowercase, defaults omitted)
+//
+// Grammar (case-insensitive, '+'-separated tokens):
+//
+//   kgreedy[+fifo|+lifo|+random]
+//   lspan | maxdp | dtype | shiftbt | edd
+//   mqb[+all|+1step][+pre|+exp|+noise][+minonly|+sumsq][+noself]
+//
+// Parse errors are SchedulerSpecError, which carries the offending token
+// and the list of names that would have been valid in its place, so
+// tools can print "unknown scheduler 'X'; valid: ..." without string
+// surgery on what().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sched/kgreedy.hh"
+#include "sched/mqb.hh"
+#include "sim/scheduler.hh"
+
+namespace fhs {
+
+enum class PolicyKind : std::uint8_t {
+  kKGreedy,
+  kLSpan,
+  kMaxDp,
+  kDType,
+  kShiftBt,
+  kEdd,
+  kMqb,
+};
+
+/// Thrown by SchedulerSpec::parse.  `token` is the text that failed to
+/// parse; `valid_names` lists what would have been accepted in its place.
+class SchedulerSpecError : public std::invalid_argument {
+ public:
+  SchedulerSpecError(const std::string& context, std::string token,
+                     std::vector<std::string> valid_names);
+
+  [[nodiscard]] const std::string& token() const noexcept { return token_; }
+  [[nodiscard]] const std::vector<std::string>& valid_names() const noexcept {
+    return valid_names_;
+  }
+
+ private:
+  std::string token_;
+  std::vector<std::string> valid_names_;
+};
+
+struct SchedulerSpec {
+  PolicyKind policy = PolicyKind::kKGreedy;
+  /// KGreedy pick order; ignored by every other policy.
+  DispatchOrder order = DispatchOrder::kFifo;
+  /// MQB options; ignored by every other policy.  `mqb.info.noise_seed`
+  /// is *not* part of the spec: instantiate() injects its seed argument.
+  MqbOptions mqb;
+
+  SchedulerSpec() = default;
+  explicit SchedulerSpec(PolicyKind kind) : policy(kind) {}
+  /// Implicit from the string grammar, so call sites migrating from the
+  /// string API ({"kgreedy", "mqb"}) keep working; throws
+  /// SchedulerSpecError on bad input.
+  SchedulerSpec(const std::string& text);  // NOLINT(google-explicit-constructor)
+  SchedulerSpec(const char* text);         // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] static SchedulerSpec parse(const std::string& text);
+  /// Canonical shortest form: lowercase, default tokens omitted.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Constructs the scheduler.  `seed` feeds KGreedy+random and the MQB
+  /// noise models; precise policies ignore it.
+  [[nodiscard]] std::unique_ptr<Scheduler> instantiate(std::uint64_t seed = 0) const;
+
+  friend bool operator==(const SchedulerSpec&, const SchedulerSpec&) = default;
+};
+
+/// All policy names parse() accepts as a first token, in display order.
+[[nodiscard]] const std::vector<std::string>& valid_policy_names();
+
+/// One spec per distinct registered configuration (every base policy,
+/// every KGreedy order, every MQB scope/fidelity/rule variant) -- the
+/// iteration set for exhaustive property tests.
+[[nodiscard]] const std::vector<SchedulerSpec>& all_scheduler_specs();
+
+}  // namespace fhs

@@ -50,6 +50,9 @@ class Simulation final : public DispatchContext {
     queue_work_.assign(k, 0);
     free_procs_.resize(k);
     for (ResourceType a = 0; a < k; ++a) {
+      // Preallocate each ready queue to its type's task population so
+      // make_ready/requeue never reallocate inside the dispatch loop.
+      queues_[a].reserve(dag.task_count(a));
       // Keep free lists sorted descending so pop_back yields the smallest
       // id (deterministic placement).
       const std::uint32_t p = cluster.processors(a);
@@ -58,6 +61,8 @@ class Simulation final : public DispatchContext {
         free_procs_[a].push_back(cluster.offset(a) + i);
       }
     }
+    running_.reserve(cluster.total_processors());
+    scratch_running_.reserve(cluster.total_processors());
     result_.busy_ticks_per_type.assign(k, 0);
     for (TaskId root : dag.roots()) make_ready(root);
   }
@@ -73,8 +78,8 @@ class Simulation final : public DispatchContext {
   [[nodiscard]] std::uint32_t total_processors(ResourceType alpha) const override {
     return cluster_.processors(alpha);
   }
-  [[nodiscard]] std::span<const TaskId> ready(ResourceType alpha) const override {
-    return queues_.at(alpha);
+  [[nodiscard]] ReadySpan ready(ResourceType alpha) const override {
+    return make_ready_span(queues_.at(alpha));
   }
   [[nodiscard]] Work queue_work(ResourceType alpha) const override {
     return queue_work_.at(alpha);
@@ -94,6 +99,7 @@ class Simulation final : public DispatchContext {
     }
     const TaskId task = queue[index];
     queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(index));
+    invalidate_ready_spans();
     queue_work_[alpha] -= remaining_work_[task];
     // Processor affinity: a preempted task resumes on its previous
     // processor when that processor is free (reallocation is free in the
@@ -141,6 +147,7 @@ class Simulation final : public DispatchContext {
     ready_seq_[task] = next_seq_++;
     queues_[alpha].push_back(task);
     queue_work_[alpha] += remaining_work_[task];
+    invalidate_ready_spans();
   }
 
   /// Re-inserts a preempted task keeping the queue ordered by the
@@ -153,6 +160,7 @@ class Simulation final : public DispatchContext {
         [this](TaskId lhs, std::uint64_t seq) { return ready_seq_[lhs] < seq; });
     queue.insert(pos, task);
     queue_work_[alpha] += remaining_work_[task];
+    invalidate_ready_spans();
   }
 
   void enforce_work_conservation() const {
@@ -180,11 +188,10 @@ class Simulation final : public DispatchContext {
     // Complete finished tasks in processor order (deterministic).
     std::sort(running_.begin(), running_.end(),
               [](const Running& a, const Running& b) { return a.processor < b.processor; });
-    std::vector<Running> still_running;
-    still_running.reserve(running_.size());
+    scratch_running_.clear();
     for (const Running& r : running_) {
       if (r.remaining > 0) {
-        still_running.push_back(r);
+        scratch_running_.push_back(r);
         continue;
       }
       record_segment(r);
@@ -195,7 +202,7 @@ class Simulation final : public DispatchContext {
         if (--remaining_parents_[child] == 0) make_ready(child);
       }
     }
-    running_ = std::move(still_running);
+    running_.swap(scratch_running_);
   }
 
   /// Preemptive mode: return every running task to its queue so the next
@@ -245,6 +252,7 @@ class Simulation final : public DispatchContext {
   std::vector<Work> queue_work_;
   std::vector<std::vector<std::uint32_t>> free_procs_;
   std::vector<Running> running_;
+  std::vector<Running> scratch_running_;  // reused by advance(); never shrinks
   SimResult result_;
 };
 

@@ -1,0 +1,17 @@
+#include "sim/scheduler.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fhs {
+
+void ready_span_stale_abort() noexcept {
+  std::fputs(
+      "fhs: FATAL: ReadySpan read after DispatchContext::assign() invalidated it.\n"
+      "A scheduling policy cached a ready() span across an assign(); re-fetch the\n"
+      "span after every assignment (see sim/scheduler.hh).\n",
+      stderr);
+  std::abort();
+}
+
+}  // namespace fhs

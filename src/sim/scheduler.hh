@@ -25,8 +25,76 @@
 
 namespace fhs {
 
+/// Diagnostic abort for a ReadySpan read after invalidation (defined in
+/// sim/scheduler.cc so the cold path stays out of line).
+[[noreturn]] void ready_span_stale_abort() noexcept;
+
+/// View of one ready queue, returned by DispatchContext::ready().
+///
+/// The underlying storage is mutated by assign(), so a ReadySpan is only
+/// valid until the next assign() on the same context -- the classic
+/// span-invalidation footgun.  Debug builds carry a generation snapshot
+/// and abort on any read through a stale span; release builds compile
+/// down to a plain std::span with zero overhead.
+class ReadySpan {
+ public:
+  ReadySpan() = default;
+#ifndef NDEBUG
+  ReadySpan(std::span<const TaskId> tasks, const std::uint64_t* live_generation,
+            std::uint64_t snapshot) noexcept
+      : tasks_(tasks), live_generation_(live_generation), snapshot_(snapshot) {}
+#else
+  explicit ReadySpan(std::span<const TaskId> tasks) noexcept : tasks_(tasks) {}
+#endif
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    check();
+    return tasks_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept {
+    check();
+    return tasks_.empty();
+  }
+  [[nodiscard]] TaskId operator[](std::size_t index) const noexcept {
+    check();
+    return tasks_[index];
+  }
+  [[nodiscard]] TaskId front() const noexcept {
+    check();
+    return tasks_.front();
+  }
+  [[nodiscard]] TaskId back() const noexcept {
+    check();
+    return tasks_.back();
+  }
+  [[nodiscard]] const TaskId* begin() const noexcept {
+    check();
+    return tasks_.data();
+  }
+  [[nodiscard]] const TaskId* end() const noexcept {
+    check();
+    return tasks_.data() + tasks_.size();
+  }
+
+ private:
+  void check() const noexcept {
+#ifndef NDEBUG
+    if (live_generation_ != nullptr && *live_generation_ != snapshot_) {
+      ready_span_stale_abort();
+    }
+#endif
+  }
+
+  std::span<const TaskId> tasks_;
+#ifndef NDEBUG
+  const std::uint64_t* live_generation_ = nullptr;
+  std::uint64_t snapshot_ = 0;
+#endif
+};
+
 /// Engine-provided view of the decision point.  Spans returned by ready()
-/// are invalidated by assign(); re-fetch after every assignment.
+/// are invalidated by assign(); re-fetch after every assignment (debug
+/// builds abort on reads through a stale ReadySpan).
 class DispatchContext {
  public:
   virtual ~DispatchContext() = default;
@@ -40,7 +108,9 @@ class DispatchContext {
   [[nodiscard]] virtual std::uint32_t total_processors(ResourceType alpha) const = 0;
 
   /// Ready alpha-tasks, oldest first (FIFO order of becoming ready).
-  [[nodiscard]] virtual std::span<const TaskId> ready(ResourceType alpha) const = 0;
+  /// Implementations wrap their storage with make_ready_span() and call
+  /// invalidate_ready_spans() from assign().
+  [[nodiscard]] virtual ReadySpan ready(ResourceType alpha) const = 0;
 
   /// Total *remaining* work of ready alpha-tasks, l_alpha (offline info;
   /// online policies must not call this).
@@ -53,6 +123,24 @@ class DispatchContext {
   /// Assigns the ready alpha-task at position `index` of ready(alpha) to a
   /// free alpha-processor.  Requires free_processors(alpha) > 0.
   virtual void assign(ResourceType alpha, std::size_t index) = 0;
+
+ protected:
+  /// Wraps queue storage in a ReadySpan carrying the current generation.
+  [[nodiscard]] ReadySpan make_ready_span(std::span<const TaskId> tasks) const noexcept {
+#ifndef NDEBUG
+    return ReadySpan(tasks, &ready_generation_, ready_generation_);
+#else
+    return ReadySpan(tasks);
+#endif
+  }
+
+  /// Implementations call this from every mutation that can reorder or
+  /// reallocate queue storage (assign, requeue); outstanding ReadySpans
+  /// become stale and debug builds abort on their next read.
+  void invalidate_ready_spans() noexcept { ++ready_generation_; }
+
+ private:
+  std::uint64_t ready_generation_ = 0;
 };
 
 /// Scheduling policy.  One instance is used for one simulation at a time

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <stdexcept>
 
 namespace fhs {
@@ -46,6 +47,38 @@ bool parse_bool(const std::string& name, const std::string& value) {
   if (value == "false" || value == "0" || value == "no" || value == "off") return false;
   throw std::invalid_argument("flag --" + name + ": expected boolean, got '" + value + "'");
 }
+
+std::vector<std::uint32_t> parse_uint_list(const std::string& name,
+                                           const std::string& value) {
+  std::vector<std::uint32_t> parsed;
+  if (value.empty()) return parsed;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = value.find(',', start);
+    const std::string part = value.substr(start, comma - start);
+    // stoul accepts signs and whitespace (and wraps negatives), so require
+    // plain digits before converting.
+    const bool digits_only =
+        !part.empty() && part.find_first_not_of("0123456789") == std::string::npos;
+    std::size_t consumed = 0;
+    unsigned long item = 0;  // NOLINT(google-runtime-int): stoul's type
+    try {
+      if (digits_only) item = std::stoul(part, &consumed);
+    } catch (const std::exception&) {
+      consumed = 0;
+    }
+    if (consumed != part.size() || !digits_only ||
+        item > std::numeric_limits<std::uint32_t>::max()) {
+      throw std::invalid_argument("flag --" + name +
+                                  ": expected comma-separated unsigned integers, got '" +
+                                  value + "'");
+    }
+    parsed.push_back(static_cast<std::uint32_t>(item));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return parsed;
+}
 }  // namespace
 
 void CliFlags::define(const std::string& name, const std::string& default_value,
@@ -73,6 +106,13 @@ void CliFlags::define_bool(const std::string& name, bool default_value,
   check_name(name);
   const std::string text = default_value ? "true" : "false";
   flags_[name] = Flag{Kind::kBool, text, text, help};
+}
+
+void CliFlags::define_uint_list(const std::string& name, const std::string& default_value,
+                                const std::string& help) {
+  check_name(name);
+  (void)parse_uint_list(name, default_value);  // defaults must be well formed
+  flags_[name] = Flag{Kind::kUintList, default_value, default_value, help};
 }
 
 bool CliFlags::parse(int argc, const char* const* argv) {
@@ -123,6 +163,7 @@ bool CliFlags::parse(int argc, const char* const* argv) {
       case Kind::kInt: (void)parse_int(body, value); break;
       case Kind::kDouble: (void)parse_double(body, value); break;
       case Kind::kBool: (void)parse_bool(body, value); break;
+      case Kind::kUintList: (void)parse_uint_list(body, value); break;
       case Kind::kString: break;
     }
     flag.value = std::move(value);
@@ -155,6 +196,10 @@ double CliFlags::get_double(const std::string& name) const {
 
 bool CliFlags::get_bool(const std::string& name) const {
   return parse_bool(name, lookup(name, Kind::kBool).value);
+}
+
+std::vector<std::uint32_t> CliFlags::get_uint_list(const std::string& name) const {
+  return parse_uint_list(name, lookup(name, Kind::kUintList).value);
 }
 
 void CliFlags::print_usage(const std::string& program) const {

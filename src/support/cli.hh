@@ -23,6 +23,10 @@ class CliFlags {
   void define_double(const std::string& name, double default_value,
                      const std::string& help);
   void define_bool(const std::string& name, bool default_value, const std::string& help);
+  /// Comma-separated list of unsigned integers, e.g. "8,8,8,8".  The
+  /// default (and any parsed value) may be empty, meaning "unset".
+  void define_uint_list(const std::string& name, const std::string& default_value,
+                        const std::string& help);
 
   /// Parses argv; returns false (after printing usage) on --help, throws
   /// std::invalid_argument on unknown flags or malformed values.
@@ -32,6 +36,7 @@ class CliFlags {
   [[nodiscard]] std::int64_t get_int(const std::string& name) const;
   [[nodiscard]] double get_double(const std::string& name) const;
   [[nodiscard]] bool get_bool(const std::string& name) const;
+  [[nodiscard]] std::vector<std::uint32_t> get_uint_list(const std::string& name) const;
 
   /// Positional (non-flag) arguments, in order.
   [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
@@ -41,7 +46,7 @@ class CliFlags {
   void print_usage(const std::string& program) const;
 
  private:
-  enum class Kind { kString, kInt, kDouble, kBool };
+  enum class Kind { kString, kInt, kDouble, kBool, kUintList };
   struct Flag {
     Kind kind;
     std::string value;

@@ -1,5 +1,6 @@
 #include "support/parallel.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <mutex>
@@ -13,32 +14,30 @@ std::size_t default_thread_count() noexcept {
   return hw == 0 ? 1 : hw;
 }
 
-void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
-                  std::size_t threads) {
-  if (count == 0) return;
+std::size_t resolve_thread_count(std::size_t threads, std::size_t count) noexcept {
   if (threads == 0) threads = default_thread_count();
-  threads = std::min(threads, count);
+  return std::max<std::size_t>(1, std::min(threads, count));
+}
 
-  if (threads <= 1) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
-    return;
-  }
+namespace {
 
-  std::atomic<std::size_t> cursor{0};
+/// Shared scaffolding of the two loops: spawns `threads` workers running
+/// `step` until it returns false, captures the first exception, rethrows
+/// after all workers join.  `step` receives no index -- it pulls work
+/// from the loop-specific cursor closed over by the caller.
+void run_workers(std::size_t threads, const std::function<bool()>& step) {
   std::mutex error_mutex;
   std::exception_ptr first_error;
 
   auto worker = [&] {
     for (;;) {
-      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
       {
         // Bail out quickly once any worker has failed.
         std::lock_guard<std::mutex> lock(error_mutex);
         if (first_error) return;
       }
       try {
-        body(i);
+        if (!step()) return;
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
@@ -53,6 +52,35 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& bod
   pool.clear();  // joins all workers
 
   if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace
+
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  std::size_t threads) {
+  parallel_for_chunked(count, 1, body, threads);
+}
+
+void parallel_for_chunked(std::size_t count, std::size_t chunk,
+                          const std::function<void(std::size_t)>& body,
+                          std::size_t threads) {
+  if (count == 0) return;
+  chunk = std::max<std::size_t>(1, chunk);
+  threads = resolve_thread_count(threads, (count + chunk - 1) / chunk);
+
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  run_workers(threads, [&]() -> bool {
+    const std::size_t begin = cursor.fetch_add(chunk, std::memory_order_relaxed);
+    if (begin >= count) return false;
+    const std::size_t end = std::min(begin + chunk, count);
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return true;
+  });
 }
 
 }  // namespace fhs

@@ -16,11 +16,26 @@ namespace fhs {
 /// Number of workers parallel_for will use when `threads == 0`.
 [[nodiscard]] std::size_t default_thread_count() noexcept;
 
+/// Number of workers a loop over `count` items actually spawns for a
+/// requested `threads` (0 = auto): min(threads, count), at least 1.
+[[nodiscard]] std::size_t resolve_thread_count(std::size_t threads,
+                                               std::size_t count) noexcept;
+
 /// Invokes body(i) for every i in [0, count), distributing indices over
 /// `threads` workers (0 = auto).  body must be safe to call concurrently
 /// for distinct indices.  Exceptions thrown by body are captured and the
 /// first one is rethrown on the calling thread after all workers join.
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
                   std::size_t threads = 0);
+
+/// Like parallel_for, but workers claim contiguous runs of `chunk`
+/// indices from a shared atomic cursor (one fetch_add per chunk instead
+/// of per index).  The sweep engine runs thousands of sub-millisecond
+/// cells; chunking keeps cursor contention and cache-line ping-pong off
+/// the hot path while still balancing skewed per-cell costs.  chunk == 0
+/// is treated as 1.  Exception semantics match parallel_for.
+void parallel_for_chunked(std::size_t count, std::size_t chunk,
+                          const std::function<void(std::size_t)>& body,
+                          std::size_t threads = 0);
 
 }  // namespace fhs

@@ -138,5 +138,53 @@ TEST(Cli, NegativeNumbersParse) {
   EXPECT_DOUBLE_EQ(flags.get_double("ratio"), -2.5);
 }
 
+TEST(Cli, UintListDefaultAndOverride) {
+  CliFlags flags;
+  flags.define_uint_list("procs", "2,2,2", "per-type processor counts");
+  {
+    CliFlags defaults = flags;
+    ASSERT_TRUE(parse(defaults, {}));
+    EXPECT_EQ(defaults.get_uint_list("procs"),
+              (std::vector<std::uint32_t>{2, 2, 2}));
+  }
+  ASSERT_TRUE(parse(flags, {"--procs=4,1,8,16"}));
+  EXPECT_EQ(flags.get_uint_list("procs"),
+            (std::vector<std::uint32_t>{4, 1, 8, 16}));
+}
+
+TEST(Cli, UintListEmptyAllowed) {
+  CliFlags flags;
+  flags.define_uint_list("extras", "", "optional list");
+  ASSERT_TRUE(parse(flags, {}));
+  EXPECT_TRUE(flags.get_uint_list("extras").empty());
+  ASSERT_TRUE(parse(flags, {"--extras="}));
+  EXPECT_TRUE(flags.get_uint_list("extras").empty());
+}
+
+TEST(Cli, UintListMalformedRejected) {
+  CliFlags flags;
+  flags.define_uint_list("procs", "1", "per-type processor counts");
+  EXPECT_THROW((void)parse(flags, {"--procs=2,banana"}), std::invalid_argument);
+  CliFlags negative;
+  negative.define_uint_list("procs", "1", "per-type processor counts");
+  EXPECT_THROW((void)parse(negative, {"--procs=-3"}), std::invalid_argument);
+  CliFlags trailing;
+  trailing.define_uint_list("procs", "1", "per-type processor counts");
+  EXPECT_THROW((void)parse(trailing, {"--procs=1,,2"}), std::invalid_argument);
+}
+
+TEST(Cli, UintListBadDefaultRejectedAtDefinition) {
+  CliFlags flags;
+  EXPECT_THROW(flags.define_uint_list("procs", "1,nope", "bad default"),
+               std::invalid_argument);
+}
+
+TEST(Cli, UintListWrongTypeAccessThrows) {
+  CliFlags flags;
+  flags.define_uint_list("procs", "1", "per-type processor counts");
+  ASSERT_TRUE(parse(flags, {}));
+  EXPECT_THROW((void)flags.get_int("procs"), std::logic_error);
+}
+
 }  // namespace
 }  // namespace fhs

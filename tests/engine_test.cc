@@ -314,5 +314,28 @@ TEST(Engine, DecisionPointsCounted) {
   EXPECT_GE(result.decision_points, 2u);
 }
 
+#ifndef NDEBUG
+// A policy that caches a ReadySpan across assign() -- the classic
+// span-invalidation bug the debug generation guard exists to catch.
+class StaleSpanScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "StaleSpan"; }
+  void prepare(const KDag&, const Cluster&) override {}
+  void dispatch(DispatchContext& ctx) override {
+    const ReadySpan cached = ctx.ready(0);
+    if (cached.empty() || ctx.free_processors(0) == 0) return;
+    ctx.assign(0, 0);
+    (void)cached.size();  // stale read: debug builds abort here
+  }
+};
+
+TEST(EngineDeathTest, StaleReadySpanReadAborts) {
+  const KDag dag = chain(1, {{0, 3}});
+  StaleSpanScheduler stale;
+  EXPECT_DEATH((void)simulate(dag, Cluster({1}), stale),
+               "ReadySpan read after DispatchContext::assign");
+}
+#endif
+
 }  // namespace
 }  // namespace fhs

@@ -27,8 +27,8 @@ class OnlineOnlyContext final : public DispatchContext {
   [[nodiscard]] std::uint32_t total_processors(ResourceType alpha) const override {
     return free_.at(alpha) + 1;
   }
-  [[nodiscard]] std::span<const TaskId> ready(ResourceType alpha) const override {
-    return queues_.at(alpha);
+  [[nodiscard]] ReadySpan ready(ResourceType alpha) const override {
+    return make_ready_span(queues_.at(alpha));
   }
   [[nodiscard]] Work queue_work(ResourceType) const override {
     throw std::runtime_error("online policy accessed queue_work (offline info)");
@@ -42,6 +42,7 @@ class OnlineOnlyContext final : public DispatchContext {
     ASSERT_GT(free_.at(alpha), 0u);
     assigned_.push_back(queue[index]);
     queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(index));
+    invalidate_ready_spans();
     --free_[alpha];
   }
 

@@ -85,12 +85,12 @@ TEST(AllSchedulers, NeverBeatOptimalAndStayWithinGreedyBound) {
                       static_cast<double>(cluster.processors(a));
     }
     greedy_bound += static_cast<double>(optimal);  // span <= optimal
-    for (const std::string& name : paper_scheduler_names()) {
-      auto sched = make_scheduler(name);
+    for (const SchedulerSpec& spec : paper_scheduler_names()) {
+      auto sched = spec.instantiate();
       const Time t = simulate(dag, cluster, *sched).completion_time;
-      EXPECT_GE(t, optimal) << name << " trial " << trial;
+      EXPECT_GE(t, optimal) << spec.to_string() << " trial " << trial;
       EXPECT_LE(static_cast<double>(t), greedy_bound + 1e-9)
-          << name << " trial " << trial;
+          << spec.to_string() << " trial " << trial;
     }
   }
 }

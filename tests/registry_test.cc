@@ -6,9 +6,9 @@ namespace fhs {
 namespace {
 
 TEST(Registry, CreatesAllPaperSchedulers) {
-  for (const std::string& name : paper_scheduler_names()) {
-    auto sched = make_scheduler(name);
-    ASSERT_NE(sched, nullptr) << name;
+  for (const SchedulerSpec& spec : paper_scheduler_names()) {
+    auto sched = spec.instantiate();
+    ASSERT_NE(sched, nullptr) << spec.to_string();
     EXPECT_FALSE(sched->name().empty());
   }
 }
@@ -16,15 +16,15 @@ TEST(Registry, CreatesAllPaperSchedulers) {
 TEST(Registry, PaperOrderMatchesFigures) {
   const auto& names = paper_scheduler_names();
   ASSERT_EQ(names.size(), 6u);
-  EXPECT_EQ(names.front(), "kgreedy");
-  EXPECT_EQ(names.back(), "mqb");
+  EXPECT_EQ(names.front().to_string(), "kgreedy");
+  EXPECT_EQ(names.back().to_string(), "mqb");
 }
 
 TEST(Registry, CreatesAllFig8Schedulers) {
   const auto& names = fig8_scheduler_names();
   ASSERT_EQ(names.size(), 7u);
-  for (const std::string& name : names) {
-    EXPECT_NE(make_scheduler(name, 7), nullptr) << name;
+  for (const SchedulerSpec& spec : names) {
+    EXPECT_NE(spec.instantiate(7), nullptr) << spec.to_string();
   }
 }
 
@@ -64,9 +64,13 @@ TEST(Registry, UnknownMqbOptionThrows) {
 TEST(Registry, SplitSchedulerList) {
   const auto parts = split_scheduler_list("kgreedy,mqb,lspan");
   ASSERT_EQ(parts.size(), 3u);
-  EXPECT_EQ(parts[0], "kgreedy");
-  EXPECT_EQ(parts[2], "lspan");
+  EXPECT_EQ(parts[0].to_string(), "kgreedy");
+  EXPECT_EQ(parts[2].to_string(), "lspan");
   EXPECT_TRUE(split_scheduler_list("").empty());
+}
+
+TEST(Registry, SplitSchedulerListRejectsUnknownNames) {
+  EXPECT_THROW((void)split_scheduler_list("kgreedy,bogus"), SchedulerSpecError);
 }
 
 TEST(Registry, DistinctInstancesReturned) {

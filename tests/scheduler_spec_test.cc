@@ -1,0 +1,118 @@
+#include "sched/scheduler_spec.hh"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace fhs {
+namespace {
+
+TEST(SchedulerSpec, RoundTripsEveryRegisteredSpec) {
+  const auto& specs = all_scheduler_specs();
+  ASSERT_FALSE(specs.empty());
+  for (const SchedulerSpec& spec : specs) {
+    const std::string text = spec.to_string();
+    EXPECT_EQ(SchedulerSpec::parse(text), spec) << text;
+    // Canonical: re-serializing the parse is a fixed point.
+    EXPECT_EQ(SchedulerSpec::parse(text).to_string(), text);
+  }
+}
+
+TEST(SchedulerSpec, RegisteredSpecsAreDistinct) {
+  const auto& specs = all_scheduler_specs();
+  for (std::size_t a = 0; a < specs.size(); ++a) {
+    for (std::size_t b = a + 1; b < specs.size(); ++b) {
+      EXPECT_NE(specs[a], specs[b])
+          << specs[a].to_string() << " duplicated at " << a << " and " << b;
+    }
+  }
+}
+
+TEST(SchedulerSpec, EveryRegisteredSpecInstantiates) {
+  for (const SchedulerSpec& spec : all_scheduler_specs()) {
+    auto sched = spec.instantiate(3);
+    ASSERT_NE(sched, nullptr) << spec.to_string();
+    EXPECT_FALSE(sched->name().empty());
+  }
+}
+
+TEST(SchedulerSpec, CanonicalFormOmitsDefaults) {
+  EXPECT_EQ(SchedulerSpec::parse("kgreedy+fifo").to_string(), "kgreedy");
+  EXPECT_EQ(SchedulerSpec::parse("mqb+all+pre").to_string(), "mqb");
+  EXPECT_EQ(SchedulerSpec::parse("mqb+1step+pre").to_string(), "mqb+1step");
+  EXPECT_EQ(SchedulerSpec::parse("kgreedy+lifo").to_string(), "kgreedy+lifo");
+}
+
+TEST(SchedulerSpec, CaseInsensitive) {
+  EXPECT_EQ(SchedulerSpec::parse("KGreedy"), SchedulerSpec::parse("kgreedy"));
+  EXPECT_EQ(SchedulerSpec::parse("MQB+1Step+Noise"),
+            SchedulerSpec::parse("mqb+1step+noise"));
+  EXPECT_EQ(SchedulerSpec::parse("ShiftBT"), SchedulerSpec::parse("shiftbt"));
+}
+
+TEST(SchedulerSpec, ImplicitStringConversion) {
+  const SchedulerSpec spec = std::string("lspan");
+  EXPECT_EQ(spec.policy, PolicyKind::kLSpan);
+  const SchedulerSpec from_literal = "mqb+sumsq";
+  EXPECT_EQ(from_literal.policy, PolicyKind::kMqb);
+  EXPECT_EQ(from_literal.mqb.balance_rule, BalanceRule::kSumOfSquares);
+}
+
+TEST(SchedulerSpec, FieldwiseEquality) {
+  SchedulerSpec a("kgreedy");
+  SchedulerSpec b("kgreedy+fifo");
+  EXPECT_EQ(a, b);
+  b.order = DispatchOrder::kLifo;
+  EXPECT_NE(a, b);
+}
+
+TEST(SchedulerSpec, UnknownPolicyErrorCarriesTokenAndValidNames) {
+  try {
+    (void)SchedulerSpec::parse("bogus");
+    FAIL() << "expected SchedulerSpecError";
+  } catch (const SchedulerSpecError& error) {
+    EXPECT_EQ(error.token(), "bogus");
+    EXPECT_EQ(error.valid_names(), valid_policy_names());
+    // The message is self-contained: token plus every valid name.
+    const std::string what = error.what();
+    EXPECT_NE(what.find("bogus"), std::string::npos);
+    for (const std::string& name : valid_policy_names()) {
+      EXPECT_NE(what.find(name), std::string::npos) << name;
+    }
+  }
+}
+
+TEST(SchedulerSpec, UnknownOptionErrorCarriesOptionToken) {
+  try {
+    (void)SchedulerSpec::parse("mqb+turbo");
+    FAIL() << "expected SchedulerSpecError";
+  } catch (const SchedulerSpecError& error) {
+    EXPECT_EQ(error.token(), "turbo");
+    EXPECT_FALSE(error.valid_names().empty());
+    EXPECT_NE(std::find(error.valid_names().begin(), error.valid_names().end(),
+                        "1step"),
+              error.valid_names().end());
+  }
+}
+
+TEST(SchedulerSpec, OptionsRejectedOnWrongPolicy) {
+  EXPECT_THROW((void)SchedulerSpec::parse("lspan+lifo"), SchedulerSpecError);
+  EXPECT_THROW((void)SchedulerSpec::parse("kgreedy+1step"), SchedulerSpecError);
+  EXPECT_THROW((void)SchedulerSpec::parse(""), SchedulerSpecError);
+}
+
+TEST(SchedulerSpec, IsAnInvalidArgument) {
+  // Call sites that caught std::invalid_argument from the string registry
+  // keep working.
+  EXPECT_THROW((void)SchedulerSpec::parse("nope"), std::invalid_argument);
+}
+
+TEST(SchedulerSpec, InstantiateInjectsSeedIntoNoiseModels) {
+  const SchedulerSpec spec("mqb+noise");
+  // Different seeds must produce schedulers with identical names (the
+  // seed is run metadata, not part of the configuration).
+  EXPECT_EQ(spec.instantiate(1)->name(), spec.instantiate(2)->name());
+}
+
+}  // namespace
+}  // namespace fhs

@@ -1,0 +1,113 @@
+#include "exp/sweep.hh"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "exp/configs.hh"
+#include "exp/json.hh"
+
+namespace fhs {
+namespace {
+
+std::vector<ExperimentSpec> tiny_grid() {
+  std::vector<ExperimentSpec> specs(2);
+  specs[0].name = "ep";
+  specs[0].workload = ep_workload(TypeAssignment::kLayered, 2);
+  specs[0].cluster = small_cluster(2);
+  specs[0].schedulers = {"kgreedy", "mqb"};
+  specs[0].instances = 12;
+  specs[0].seed = 7;
+  specs[1].name = "tree";
+  specs[1].workload = tree_workload(TypeAssignment::kRandom, 2);
+  specs[1].cluster = small_cluster(2);
+  specs[1].schedulers = {"kgreedy", "lspan", "mqb+noise"};
+  specs[1].instances = 9;
+  specs[1].seed = 11;
+  return specs;
+}
+
+/// The serialized reports, thread-count-independent part only.
+std::vector<std::string> report_bytes(const SweepResult& sweep) {
+  std::vector<std::string> docs;
+  docs.reserve(sweep.results.size());
+  for (const ExperimentResult& result : sweep.results) {
+    docs.push_back(to_json(result));
+  }
+  return docs;
+}
+
+TEST(Sweep, ByteIdenticalAcrossThreadCounts) {
+  const std::vector<ExperimentSpec> grid = tiny_grid();
+  SweepOptions options;
+  options.threads = 1;
+  const std::vector<std::string> serial = report_bytes(run_sweep(grid, options));
+  for (std::size_t threads : {4u, 8u}) {
+    options.threads = threads;
+    EXPECT_EQ(report_bytes(run_sweep(grid, options)), serial)
+        << threads << " threads";
+  }
+}
+
+TEST(Sweep, ChunkSizeDoesNotChangeResults) {
+  const std::vector<ExperimentSpec> grid = tiny_grid();
+  SweepOptions options;
+  options.threads = 4;
+  options.chunk = 1;
+  const std::vector<std::string> fine = report_bytes(run_sweep(grid, options));
+  options.chunk = 64;  // larger than the whole grid
+  EXPECT_EQ(report_bytes(run_sweep(grid, options)), fine);
+}
+
+TEST(Sweep, MatchesRunExperimentExactly) {
+  // run_experiment is the single-spec wrapper over the same engine.
+  const std::vector<ExperimentSpec> grid = tiny_grid();
+  const SweepResult sweep = run_sweep(grid);
+  for (std::size_t e = 0; e < grid.size(); ++e) {
+    EXPECT_EQ(to_json(run_experiment(grid[e])), to_json(sweep.results[e]));
+  }
+}
+
+TEST(Sweep, MetricsCountCells) {
+  const std::vector<ExperimentSpec> grid = tiny_grid();
+  SweepOptions options;
+  options.threads = 2;
+  const SweepResult sweep = run_sweep(grid, options);
+  EXPECT_EQ(sweep.metrics.cells, 12u + 9u);
+  EXPECT_EQ(sweep.metrics.cell_seconds.count(), 12u + 9u);
+  EXPECT_GT(sweep.metrics.wall_seconds, 0.0);
+  EXPECT_GT(sweep.metrics.cells_per_second(), 0.0);
+  EXPECT_GE(sweep.metrics.threads, 1u);
+  EXPECT_LE(sweep.metrics.threads, 2u);
+}
+
+TEST(Sweep, ResultsKeepGridOrder) {
+  const SweepResult sweep = run_sweep(tiny_grid());
+  ASSERT_EQ(sweep.results.size(), 2u);
+  EXPECT_EQ(sweep.results[0].spec.name, "ep");
+  EXPECT_EQ(sweep.results[1].spec.name, "tree");
+  EXPECT_EQ(sweep.results[1].outcomes.size(), 3u);
+  EXPECT_EQ(sweep.results[1].outcomes[2].scheduler, "mqb+noise");
+}
+
+TEST(Sweep, RejectsEmptyGrid) {
+  EXPECT_THROW((void)run_sweep({}), std::invalid_argument);
+}
+
+TEST(Sweep, RejectsBadSpec) {
+  std::vector<ExperimentSpec> grid = tiny_grid();
+  grid[1].instances = 0;
+  EXPECT_THROW((void)run_sweep(grid), std::invalid_argument);
+}
+
+TEST(Sweep, JsonCarriesMetrics) {
+  const SweepResult sweep = run_sweep(tiny_grid());
+  const std::string doc = to_json(sweep);
+  EXPECT_NE(doc.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(doc.find("\"cells\": 21"), std::string::npos);
+  EXPECT_NE(doc.find("\"cells_per_second\""), std::string::npos);
+  EXPECT_NE(doc.find("\"experiments\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fhs

@@ -1,0 +1,83 @@
+#include "exp/tool_options.hh"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace fhs {
+namespace {
+
+TEST(ToolOptions, TypeAssignment) {
+  EXPECT_EQ(parse_type_assignment("layered"), TypeAssignment::kLayered);
+  EXPECT_EQ(parse_type_assignment("random"), TypeAssignment::kRandom);
+}
+
+TEST(ToolOptions, TypeAssignmentRejectsUnknown) {
+  try {
+    (void)parse_type_assignment("striped");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("striped"), std::string::npos);
+    EXPECT_NE(what.find("layered"), std::string::npos);
+    EXPECT_NE(what.find("random"), std::string::npos);
+  }
+}
+
+TEST(ToolOptions, WorkloadFamilies) {
+  const WorkloadParams ep =
+      parse_workload_family("ep", TypeAssignment::kRandom, 3);
+  ASSERT_TRUE(std::holds_alternative<EpParams>(ep));
+  EXPECT_EQ(std::get<EpParams>(ep).num_types, 3u);
+  EXPECT_EQ(std::get<EpParams>(ep).assignment, TypeAssignment::kRandom);
+
+  const WorkloadParams tree =
+      parse_workload_family("tree", TypeAssignment::kLayered, 5);
+  ASSERT_TRUE(std::holds_alternative<TreeParams>(tree));
+  EXPECT_EQ(std::get<TreeParams>(tree).num_types, 5u);
+
+  const WorkloadParams ir =
+      parse_workload_family("ir", TypeAssignment::kLayered, 2);
+  ASSERT_TRUE(std::holds_alternative<IrParams>(ir));
+  EXPECT_EQ(std::get<IrParams>(ir).num_types, 2u);
+}
+
+TEST(ToolOptions, WorkloadFamilyRejectsUnknown) {
+  try {
+    (void)parse_workload_family("mapreduce", TypeAssignment::kLayered, 4);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("mapreduce"), std::string::npos);
+    EXPECT_NE(what.find("ep"), std::string::npos);
+    EXPECT_NE(what.find("tree"), std::string::npos);
+    EXPECT_NE(what.find("ir"), std::string::npos);
+  }
+}
+
+TEST(ToolOptions, NamedClusters) {
+  const ClusterParams small = parse_cluster_params("small", 4);
+  const ClusterParams medium = parse_cluster_params("medium", 4);
+  EXPECT_EQ(small.num_types, 4u);
+  EXPECT_EQ(medium.num_types, 4u);
+  // "medium" samples from a wider processor range than "small".
+  EXPECT_GE(medium.max_processors, small.max_processors);
+}
+
+TEST(ToolOptions, ExplicitClusterRange) {
+  const ClusterParams params = parse_cluster_params("3,9", 2);
+  EXPECT_EQ(params.num_types, 2u);
+  EXPECT_EQ(params.min_processors, 3u);
+  EXPECT_EQ(params.max_processors, 9u);
+}
+
+TEST(ToolOptions, ClusterRejectsMalformedSpecs) {
+  EXPECT_THROW((void)parse_cluster_params("big", 2), std::invalid_argument);
+  EXPECT_THROW((void)parse_cluster_params("3", 2), std::invalid_argument);
+  EXPECT_THROW((void)parse_cluster_params("9,3", 2), std::invalid_argument);
+  EXPECT_THROW((void)parse_cluster_params("0,4", 2), std::invalid_argument);
+  EXPECT_THROW((void)parse_cluster_params("a,b", 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fhs

@@ -1,0 +1,85 @@
+// Work-conservation property: every registered policy, on every random
+// (job, cluster, mode) instance, must never leave a free processor idle
+// while a matching task is ready.  The engine enforces this invariant at
+// every decision point (simulate throws std::logic_error on violation),
+// so "the simulation completes" IS the property.
+#include <gtest/gtest.h>
+
+#include "machine/cluster.hh"
+#include "sched/scheduler_spec.hh"
+#include "sim/engine.hh"
+#include "support/rng.hh"
+#include "workload/workload.hh"
+
+namespace fhs {
+namespace {
+
+class WorkConserving : public ::testing::TestWithParam<SchedulerSpec> {};
+
+TEST_P(WorkConserving, OnRandomJobsAndClusters) {
+  const SchedulerSpec& spec = GetParam();
+  Rng rng(mix_seed(2024, static_cast<std::uint64_t>(spec.policy)));
+  for (int trial = 0; trial < 6; ++trial) {
+    const ResourceType k = static_cast<ResourceType>(1 + rng.uniform_below(4));
+    WorkloadParams workload;
+    switch (trial % 3) {
+      case 0: {
+        EpParams p;
+        p.num_types = k;
+        p.assignment = trial % 2 ? TypeAssignment::kRandom : TypeAssignment::kLayered;
+        p.min_branches = 4;
+        p.max_branches = 12;
+        workload = p;
+        break;
+      }
+      case 1: {
+        TreeParams p;
+        p.num_types = k;
+        p.max_tasks = 96;
+        workload = p;
+        break;
+      }
+      default: {
+        IrParams p;
+        p.num_types = k;
+        p.min_maps = 8;
+        p.max_maps = 24;
+        p.min_iterations = 2;
+        p.max_iterations = 5;
+        workload = p;
+        break;
+      }
+    }
+    const KDag dag = generate(workload, rng);
+    std::vector<std::uint32_t> procs(k);
+    for (auto& p : procs) p = static_cast<std::uint32_t>(rng.uniform_int(1, 6));
+    const Cluster cluster(procs);
+    for (ExecutionMode mode :
+         {ExecutionMode::kNonPreemptive, ExecutionMode::kPreemptive}) {
+      auto scheduler = spec.instantiate(static_cast<std::uint64_t>(trial));
+      SimOptions options;
+      options.mode = mode;
+      SimResult result;
+      // simulate() throws std::logic_error the moment the policy leaves a
+      // free processor idle next to a ready task of its type.
+      ASSERT_NO_THROW(result = simulate(dag, cluster, *scheduler, options))
+          << spec.to_string() << " trial " << trial;
+      EXPECT_GT(result.completion_time, 0) << spec.to_string();
+    }
+  }
+}
+
+std::string spec_test_name(const ::testing::TestParamInfo<SchedulerSpec>& info) {
+  std::string name = info.param.to_string();
+  for (char& ch : name) {
+    if (ch == '+') ch = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegisteredPolicies, WorkConserving,
+                         ::testing::ValuesIn(all_scheduler_specs()),
+                         spec_test_name);
+
+}  // namespace
+}  // namespace fhs

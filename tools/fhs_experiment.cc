@@ -6,10 +6,11 @@
 // Runs every named scheduler on the same distribution of (job, cluster)
 // instances and prints the completion-time-ratio table (or CSV/JSON).
 #include <iostream>
+#include <span>
 
-#include "exp/configs.hh"
 #include "exp/json.hh"
 #include "exp/report.hh"
+#include "exp/tool_options.hh"
 #include "sched/registry.hh"
 #include "support/cli.hh"
 
@@ -34,37 +35,14 @@ int main(int argc, char** argv) {
     if (!flags.parse(argc, argv)) return 0;
 
     const auto k = static_cast<ResourceType>(flags.get_int("k"));
-    const TypeAssignment assignment = flags.get_string("assignment") == "random"
-                                          ? TypeAssignment::kRandom
-                                          : TypeAssignment::kLayered;
+    const TypeAssignment assignment =
+        parse_type_assignment(flags.get_string("assignment"));
     ExperimentSpec spec;
     const std::string family = flags.get_string("workload");
-    if (family == "ep") {
-      spec.workload = ep_workload(assignment, k);
-    } else if (family == "tree") {
-      spec.workload = tree_workload(assignment, k);
-    } else if (family == "ir") {
-      spec.workload = ir_workload(assignment, k);
-    } else {
-      throw std::invalid_argument("unknown workload '" + family + "' (ep|tree|ir)");
-    }
+    spec.workload = parse_workload_family(family, assignment, k);
 
     const std::string cluster = flags.get_string("cluster");
-    if (cluster == "small") {
-      spec.cluster = small_cluster(k);
-    } else if (cluster == "medium") {
-      spec.cluster = medium_cluster(k);
-    } else {
-      const auto comma = cluster.find(',');
-      if (comma == std::string::npos) {
-        throw std::invalid_argument("--cluster expects small|medium|<pmin>,<pmax>");
-      }
-      spec.cluster.num_types = k;
-      spec.cluster.min_processors =
-          static_cast<std::uint32_t>(std::stoul(cluster.substr(0, comma)));
-      spec.cluster.max_processors =
-          static_cast<std::uint32_t>(std::stoul(cluster.substr(comma + 1)));
-    }
+    spec.cluster = parse_cluster_params(cluster, k);
     if (flags.get_int("skew-type") >= 0) {
       spec.cluster.skew_type = static_cast<ResourceType>(flags.get_int("skew-type"));
       spec.cluster.skew_factor = flags.get_double("skew-factor");
@@ -78,11 +56,17 @@ int main(int argc, char** argv) {
     spec.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
     spec.threads = static_cast<std::size_t>(flags.get_int("threads"));
 
-    const ExperimentResult result = run_experiment(spec);
+    SweepOptions sweep_options;
+    sweep_options.threads = static_cast<std::size_t>(flags.get_int("threads"));
+    const SweepResult sweep =
+        run_sweep(std::span<const ExperimentSpec>(&spec, 1), sweep_options);
     if (flags.get_bool("json")) {
-      write_json(std::cout, result);
+      write_json(std::cout, sweep);  // includes cells/sec and per-cell timing
     } else {
-      print_result(std::cout, result, flags.get_bool("csv"));
+      print_result(std::cout, sweep.results.front(), flags.get_bool("csv"));
+      std::cerr << sweep.metrics.cells << " cells on " << sweep.metrics.threads
+                << " threads in " << sweep.metrics.wall_seconds << " s ("
+                << sweep.metrics.cells_per_second() << " cells/s)\n";
     }
   } catch (const std::exception& error) {
     std::cerr << "fhs_experiment: " << error.what() << '\n';

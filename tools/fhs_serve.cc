@@ -20,11 +20,11 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "exp/json.hh"
+#include "exp/tool_options.hh"
 #include "graph/serialize.hh"
 #include "machine/cluster.hh"
 #include "service/service.hh"
@@ -35,35 +35,6 @@
 namespace {
 
 using namespace fhs;
-
-std::vector<std::uint32_t> parse_proc_list(const std::string& text) {
-  std::vector<std::uint32_t> counts;
-  std::stringstream stream(text);
-  std::string part;
-  while (std::getline(stream, part, ',')) {
-    counts.push_back(static_cast<std::uint32_t>(std::stoul(part)));
-  }
-  return counts;
-}
-
-WorkloadParams make_workload(const std::string& family, ResourceType k) {
-  if (family == "ep") {
-    EpParams p;
-    p.num_types = k;
-    return p;
-  }
-  if (family == "tree") {
-    TreeParams p;
-    p.num_types = k;
-    return p;
-  }
-  if (family == "ir") {
-    IrParams p;
-    p.num_types = k;
-    return p;
-  }
-  throw std::runtime_error("unknown workload '" + family + "' (ep|tree|ir)");
-}
 
 void emit_completion(std::ostream& out, std::uint64_t ticket, const JobStatus& status) {
   out << "{\"ticket\": " << ticket << ", \"folded_epoch\": " << status.folded_epoch
@@ -172,8 +143,8 @@ int run_serve(const CliFlags& flags, const Cluster& cluster) {
   }
   const auto generate_count = static_cast<std::size_t>(flags.get_int("generate"));
   Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
-  const WorkloadParams workload =
-      make_workload(flags.get_string("workload"), cluster.num_types());
+  const WorkloadParams workload = parse_workload_family(
+      flags.get_string("workload"), TypeAssignment::kLayered, cluster.num_types());
 
   std::vector<std::uint64_t> tickets;  // admitted, in submission == ticket order
   std::vector<Time> live_flow;         // filled as completions are reported
@@ -242,7 +213,7 @@ int run_serve(const CliFlags& flags, const Cluster& cluster) {
 int main(int argc, char** argv) {
   CliFlags flags;
   flags.define("policy", "mqb", "stream policy: kgreedy | fcfs | srjf | mqb");
-  flags.define("cluster", "8,8,8,8", "per-type processor counts, e.g. 8,8");
+  flags.define_uint_list("cluster", "8,8,8,8", "per-type processor counts, e.g. 8,8");
   flags.define_int("epoch", 100, "virtual ticks per worker slice");
   flags.define_int("max-queue", 64, "admission: max submissions awaiting a fold");
   flags.define_double("max-outstanding", 1 << 14,
@@ -265,7 +236,7 @@ int main(int argc, char** argv) {
   flags.define("stats", "", "write the final ServiceStats JSON here (default stderr)");
   try {
     if (!flags.parse(argc, argv)) return 0;
-    const Cluster cluster(parse_proc_list(flags.get_string("cluster")));
+    const Cluster cluster(flags.get_uint_list("cluster"));
     if (!flags.get_string("replay").empty()) return run_replay(flags, cluster);
     return run_serve(flags, cluster);
   } catch (const std::exception& error) {

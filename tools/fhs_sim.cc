@@ -12,8 +12,8 @@
 // the utilization timeline, a Gantt chart, DOT and .kdag exports.
 #include <fstream>
 #include <iostream>
-#include <sstream>
 
+#include "exp/tool_options.hh"
 #include "graph/dot.hh"
 #include "graph/serialize.hh"
 #include "metrics/bounds.hh"
@@ -30,16 +30,6 @@ namespace {
 
 using namespace fhs;
 
-std::vector<std::uint32_t> parse_proc_list(const std::string& text) {
-  std::vector<std::uint32_t> counts;
-  std::stringstream stream(text);
-  std::string part;
-  while (std::getline(stream, part, ',')) {
-    counts.push_back(static_cast<std::uint32_t>(std::stoul(part)));
-  }
-  return counts;
-}
-
 KDag make_job(const CliFlags& flags, Rng& rng) {
   const std::string load = flags.get_string("load");
   if (!load.empty()) {
@@ -48,30 +38,10 @@ KDag make_job(const CliFlags& flags, Rng& rng) {
     return read_kdag(in);
   }
   const auto k = static_cast<ResourceType>(flags.get_int("k"));
-  const TypeAssignment assignment = flags.get_string("assignment") == "random"
-                                        ? TypeAssignment::kRandom
-                                        : TypeAssignment::kLayered;
-  const std::string family = flags.get_string("workload");
-  WorkloadParams params;
-  if (family == "ep") {
-    EpParams p;
-    p.num_types = k;
-    p.assignment = assignment;
-    params = p;
-  } else if (family == "tree") {
-    TreeParams p;
-    p.num_types = k;
-    p.assignment = assignment;
-    params = p;
-  } else if (family == "ir") {
-    IrParams p;
-    p.num_types = k;
-    p.assignment = assignment;
-    params = p;
-  } else {
-    throw std::runtime_error("unknown workload '" + family + "' (ep|tree|ir)");
-  }
-  return generate(params, rng);
+  const TypeAssignment assignment =
+      parse_type_assignment(flags.get_string("assignment"));
+  return generate(
+      parse_workload_family(flags.get_string("workload"), assignment, k), rng);
 }
 
 }  // namespace
@@ -84,7 +54,8 @@ int main(int argc, char** argv) {
   flags.define_int("k", 4, "number of resource types");
   flags.define("load", "", "read the job from a .kdag file instead of generating");
   flags.define("scheduler", "mqb", "policy name (see sched/registry.hh)");
-  flags.define("procs", "", "explicit per-type processor counts, e.g. 12,12,12,12");
+  flags.define_uint_list("procs", "",
+                         "explicit per-type processor counts, e.g. 12,12,12,12");
   flags.define_int("pmin", 10, "sampled processors per type, lower bound");
   flags.define_int("pmax", 20, "sampled processors per type, upper bound");
   flags.define_bool("preemptive", false, "preemptive scheduling quantum");
@@ -99,13 +70,14 @@ int main(int argc, char** argv) {
 
     Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
     const KDag job = make_job(flags, rng);
+    const std::vector<std::uint32_t> procs = flags.get_uint_list("procs");
     const Cluster cluster =
-        flags.get_string("procs").empty()
+        procs.empty()
             ? sample_uniform_cluster(job.num_types(),
                                      static_cast<std::uint32_t>(flags.get_int("pmin")),
                                      static_cast<std::uint32_t>(flags.get_int("pmax")),
                                      rng)
-            : Cluster(parse_proc_list(flags.get_string("procs")));
+            : Cluster(procs);
 
     if (!flags.get_string("save").empty()) {
       std::ofstream out(flags.get_string("save"));
