@@ -1,0 +1,121 @@
+// obs_overhead -- asserts that observability keeps out of the hot path.
+//
+//   obs_overhead --repeats=7 --instances=40 --tolerance=0.05
+//
+// Runs the same batch of simulations twice in one binary -- once with
+// obs::set_enabled(true) (the default) and once with set_enabled(false)
+// -- and compares median wall time.  Exits 2 when the instrumented run
+// is slower than the disabled run by more than --tolerance (fractional;
+// default 5%), which is the acceptance bound for the src/obs/ design:
+// all per-event work is local aggregation, so the difference must stay
+// within measurement noise.
+//
+// Under -DFHS_OBS_OFF both runs execute identical code (enabled()
+// constant-folds to false); the check then simply verifies the harness.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "sched/registry.hh"
+#include "sim/engine.hh"
+#include "support/cli.hh"
+#include "support/rng.hh"
+#include "workload/workload.hh"
+
+namespace {
+
+using namespace fhs;
+
+/// One pass over the instance batch; returns (wall seconds, completion
+/// checksum).  The checksum guards against dead-code elimination and
+/// doubles as an enabled/disabled equivalence check.
+std::pair<double, std::uint64_t> run_batch(const std::vector<KDag>& jobs,
+                                           const Cluster& cluster,
+                                           const std::string& policy) {
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t checksum = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    auto scheduler = make_scheduler(policy, static_cast<std::uint64_t>(i));
+    const SimResult result = simulate(jobs[i], cluster, *scheduler);
+    checksum += static_cast<std::uint64_t>(result.completion_time);
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return {seconds, checksum};
+}
+
+double median(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fhs;
+  CliFlags flags;
+  flags.define_int("instances", 40, "simulations per timed batch");
+  flags.define_int("repeats", 7, "timed batches per mode (median wins)");
+  flags.define_int("tasks", 512, "tasks per generated tree job");
+  flags.define("scheduler", "mqb", "policy to simulate");
+  flags.define_double("tolerance", 0.05,
+                      "max fractional slowdown of enabled vs disabled");
+  flags.define_int("seed", 42, "workload RNG seed");
+  try {
+    if (!flags.parse(argc, argv)) return 0;
+
+    Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+    TreeParams params;
+    params.num_types = 4;
+    params.max_tasks = static_cast<std::size_t>(flags.get_int("tasks"));
+    std::vector<KDag> jobs;
+    const auto instances = static_cast<std::size_t>(flags.get_int("instances"));
+    jobs.reserve(instances);
+    for (std::size_t i = 0; i < instances; ++i) jobs.push_back(generate_tree(params, rng));
+    const Cluster cluster({8, 8, 8, 8});
+    const std::string policy = flags.get_string("scheduler");
+
+    const auto repeats = static_cast<std::size_t>(flags.get_int("repeats"));
+    std::vector<double> on_seconds, off_seconds;
+    std::uint64_t on_checksum = 0, off_checksum = 0;
+    run_batch(jobs, cluster, policy);  // warm-up, untimed
+    // Interleave the two modes so drift (turbo, thermal) hits both alike.
+    for (std::size_t r = 0; r < repeats; ++r) {
+      obs::set_enabled(true);
+      const auto on = run_batch(jobs, cluster, policy);
+      obs::set_enabled(false);
+      const auto off = run_batch(jobs, cluster, policy);
+      on_seconds.push_back(on.first);
+      off_seconds.push_back(off.first);
+      on_checksum = on.second;
+      off_checksum = off.second;
+    }
+    obs::set_enabled(true);
+
+    if (on_checksum != off_checksum) {
+      std::cerr << "obs_overhead: instrumentation CHANGED RESULTS: checksum "
+                << on_checksum << " (on) vs " << off_checksum << " (off)\n";
+      return 2;
+    }
+    const double on_median = median(on_seconds);
+    const double off_median = median(off_seconds);
+    const double overhead = off_median > 0.0 ? on_median / off_median - 1.0 : 0.0;
+    const double tolerance = flags.get_double("tolerance");
+    std::cout << "obs " << (obs::kCompiledIn ? "compiled in" : "compiled OUT")
+              << ": enabled median " << on_median << " s, disabled median "
+              << off_median << " s, overhead " << overhead * 100.0 << "% (tolerance "
+              << tolerance * 100.0 << "%)\n";
+    if (overhead > tolerance) {
+      std::cerr << "obs_overhead: instrumented hot path exceeds tolerance\n";
+      return 2;
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "obs_overhead: " << error.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -18,6 +18,8 @@
 
 #include "exp/json.hh"
 #include "graph/analysis.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sched/registry.hh"
 #include "sim/engine.hh"
 #include "support/rng.hh"
@@ -117,6 +119,49 @@ void BM_PreemptiveOverhead(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PreemptiveOverhead);
+
+// --- obs substrate costs (the numbers behind the "hot path stays hot"
+// claims in src/obs/metrics.hh).
+
+void BM_ObsCounterAdd(benchmark::State& state) {
+  obs::Counter& counter = obs::Registry::global().counter("bench.counter");
+  for (auto _ : state) counter.add(1);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  obs::Histogram& histogram = obs::Registry::global().histogram("bench.histogram");
+  std::uint64_t value = 1;
+  for (auto _ : state) {
+    histogram.record(value);
+    value = value * 2862933555777941757ull + 3037000493ull;  // cycle buckets
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObsHistogramRecord);
+
+void BM_ObsLocalHistogramRecord(benchmark::State& state) {
+  obs::LocalHistogram local;
+  std::uint64_t value = 1;
+  for (auto _ : state) {
+    local.record(value);
+    value = value * 2862933555777941757ull + 3037000493ull;
+  }
+  benchmark::DoNotOptimize(local.count);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObsLocalHistogramRecord);
+
+void BM_ObsTraceSpanInactive(benchmark::State& state) {
+  // Tracing not started: the span should cost one predicted branch.
+  for (auto _ : state) {
+    obs::TraceSpan span("bench", "bench");
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObsTraceSpanInactive);
 
 /// Console reporter that additionally captures each run for --json.
 class CaptureReporter final : public benchmark::ConsoleReporter {

@@ -34,7 +34,22 @@ def load_documents(paths):
             obj, consumed = decoder.raw_decode(text, position + offset)
             documents.append(obj)
             position += offset + consumed
-    return documents
+    return [exp for doc in documents for exp in flatten(doc)]
+
+
+def flatten(doc):
+    """Yields the per-experiment objects inside one document.
+
+    Accepts the bare experiment shape ({"schedulers": [...]}), the sweep
+    wrapper ({"experiments": [...]}), and the fhs_experiment --json
+    envelope ({"sweep": {...}, "obs": {...}}).
+    """
+    if "sweep" in doc:
+        doc = doc["sweep"]
+    if "experiments" in doc:
+        yield from doc["experiments"]
+    elif "schedulers" in doc:
+        yield doc
 
 
 def main():

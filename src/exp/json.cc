@@ -1,5 +1,6 @@
 #include "exp/json.hh"
 
+#include <charconv>
 #include <cmath>
 #include <iomanip>
 #include <ostream>
@@ -38,7 +39,13 @@ void write_number(std::ostream& out, double value) {
     out << "null";  // JSON has no Inf/NaN
     return;
   }
-  out << std::setprecision(10) << value;
+  // std::to_chars emits the shortest decimal form that parses back to
+  // exactly `value` -- round-trip safe (the old setprecision(10) lost
+  // bits) and, unlike stream manipulators, it cannot leak formatting
+  // state into the caller's stream.
+  char buffer[32];
+  const auto result = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  out.write(buffer, result.ptr - buffer);
 }
 
 void write_stats(std::ostream& out, const RunningStats& stats) {
@@ -120,6 +127,10 @@ void write_json(std::ostream& out, const ServiceStats& stats) {
   out << "{\n  \"submitted\": " << stats.submitted
       << ",\n  \"admitted\": " << stats.admitted
       << ",\n  \"rejected\": " << stats.rejected
+      << ",\n  \"rejected_queue_full\": " << stats.rejected_queue_full
+      << ",\n  \"rejected_overloaded\": " << stats.rejected_overloaded
+      << ",\n  \"rejected_never_fits\": " << stats.rejected_never_fits
+      << ",\n  \"rejected_shutdown\": " << stats.rejected_shutdown
       << ",\n  \"deferred\": " << stats.deferred
       << ",\n  \"completed\": " << stats.completed
       << ",\n  \"epochs\": " << stats.epochs

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "metrics/bounds.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "support/parallel.hh"
 #include "support/rng.hh"
 
@@ -68,6 +70,7 @@ SweepResult run_sweep(std::span<const ExperimentSpec> experiments,
     const std::size_t i = cell - first_cell[e];
     const std::size_t num_schedulers = spec.schedulers.size();
 
+    obs::TraceSpan cell_span("cell", "sweep");
     const auto cell_start = std::chrono::steady_clock::now();
     // Seeds come from grid coordinates, never from thread identity.
     Rng rng(mix_seed(spec.seed, i));
@@ -143,6 +146,19 @@ SweepResult run_sweep(std::span<const ExperimentSpec> experiments,
     }
   }
   for (double seconds : cell_seconds) sweep.metrics.cell_seconds.add(seconds);
+
+  // Observability rides on the timings already collected above; nothing
+  // here touches the byte-identical SweepResult JSON.
+  if (obs::enabled()) {
+    obs::Registry::global().counter("sweep.runs").add(1);
+    obs::Registry::global().counter("sweep.cells").add(total_cells);
+    obs::Histogram& cell_us = obs::Registry::global().histogram("sweep.cell_us");
+    obs::LocalHistogram local;
+    for (double seconds : cell_seconds) {
+      local.record(static_cast<std::uint64_t>(seconds * 1e6));
+    }
+    cell_us.merge(local);
+  }
   return sweep;
 }
 

@@ -1,0 +1,79 @@
+#include "metrics/chrome_trace.hh"
+
+#include <ostream>
+#include <string>
+
+namespace fhs {
+
+namespace {
+
+// Minimal JSON string quoting.  exp/json.hh has the full escaper, but
+// fhs_exp sits above fhs_metrics in the library stack; the labels here
+// are code-generated plus one caller-supplied process name.
+std::string quoted(const std::string& text) {
+  std::string out = "\"";
+  for (char ch : text) {
+    const auto u = static_cast<unsigned char>(ch);
+    if (ch == '"' || ch == '\\') {
+      out += '\\';
+      out += ch;
+    } else if (u < 0x20) {
+      out += "\\u00";
+      out += "0123456789abcdef"[(u >> 4) & 0xf];
+      out += "0123456789abcdef"[u & 0xf];
+    } else {
+      out += ch;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+ResourceType type_of_processor(const Cluster& cluster, std::uint32_t processor) {
+  for (ResourceType a = 0; a < cluster.num_types(); ++a) {
+    if (processor >= cluster.offset(a) &&
+        processor < cluster.offset(a) + cluster.processors(a)) {
+      return a;
+    }
+  }
+  return cluster.num_types();  // out of range; caller emits it unlabeled
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const KDag& dag, const Cluster& cluster,
+                        const ExecutionTrace& trace, const ChromeTraceOptions& options) {
+  out << "{\"traceEvents\": [\n";
+  // Viewer metadata: name the process and each processor "thread",
+  // sorted so pools group together type by type.
+  out << " {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
+         "\"args\": {\"name\": "
+      << quoted(options.process_name) << "}}";
+  for (std::uint32_t p = 0; p < cluster.total_processors(); ++p) {
+    const ResourceType a = type_of_processor(cluster, p);
+    std::string label = "proc " + std::to_string(p);
+    if (a < cluster.num_types()) {
+      label += " (type " + std::to_string(a) + ")";
+    }
+    out << ",\n {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": " << p
+        << ", \"args\": {\"name\": " << quoted(label) << "}}";
+    out << ",\n {\"name\": \"thread_sort_index\", \"ph\": \"M\", \"pid\": 1, \"tid\": "
+        << p << ", \"args\": {\"sort_index\": " << p << "}}";
+  }
+  // One complete event per segment; one tick == one microsecond.
+  for (const TraceSegment& s : trace.segments()) {
+    const ResourceType a = s.task < dag.task_count() ? dag.type(s.task)
+                                                     : cluster.num_types();
+    out << ",\n {\"name\": \"task " << s.task << "\", \"cat\": \"type" << a
+        << "\", \"ph\": \"X\", \"ts\": " << s.start << ", \"dur\": " << (s.end - s.start)
+        << ", \"pid\": 1, \"tid\": " << s.processor << ", \"args\": {\"task\": " << s.task
+        << ", \"type\": " << a;
+    if (s.task < dag.task_count()) {
+      out << ", \"work\": " << dag.work(s.task);
+    }
+    out << "}}";
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+}  // namespace fhs

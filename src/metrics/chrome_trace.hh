@@ -1,0 +1,33 @@
+// Chrome trace-event export of a simulated schedule.
+//
+// Maps an ExecutionTrace (virtual-time segments of tasks on concrete
+// processors) onto the Chrome trace-event JSON format, so a schedule can
+// be opened in chrome://tracing or https://ui.perfetto.dev: one "thread"
+// per processor (named, grouped by resource type), one complete ("X")
+// event per segment, with task id, type, and work in the event args.
+// One virtual tick is rendered as one microsecond.
+//
+// This is the virtual-time sibling of obs/trace.hh, which records
+// wall-time spans of the host program itself; both emit the same format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/kdag.hh"
+#include "machine/cluster.hh"
+#include "sim/trace.hh"
+
+namespace fhs {
+
+struct ChromeTraceOptions {
+  /// Top-level process name shown by the viewer.
+  std::string process_name = "fhs simulation";
+};
+
+/// Writes one self-contained JSON document ({"traceEvents": [...]}).
+void write_chrome_trace(std::ostream& out, const KDag& dag, const Cluster& cluster,
+                        const ExecutionTrace& trace,
+                        const ChromeTraceOptions& options = {});
+
+}  // namespace fhs

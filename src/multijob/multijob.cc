@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "graph/analysis.hh"
+#include "obs/metrics.hh"
 #include "sim/schedule_checker.hh"
 #include "support/rng.hh"
 
@@ -74,6 +75,9 @@ std::uint32_t MultiJobEngine::add_job(KDag dag, Time arrival) {
   total_tasks_ += d.task_count();
   scheduler_.admit(index, job);
   pending_.push(PendingArrival{arrival, index});
+  if (obs::enabled()) {
+    obs::Registry::global().counter("multijob.jobs_admitted").add(1);
+  }
   return index;
 }
 
@@ -198,6 +202,9 @@ void MultiJobEngine::process_completions() {
       completion_[r.id.job] = now_;
       ++jobs_completed_;
       newly_completed_.push_back(r.id.job);
+      if (obs::enabled()) {
+        obs::Registry::global().counter("multijob.jobs_completed").add(1);
+      }
     }
     for (TaskId child : dag.children(r.id.task)) {
       if (--remaining_parents_[r.id.job][child] == 0) {
@@ -236,19 +243,32 @@ void MultiJobEngine::advance_until(Time deadline) {
   if (deadline < now_) {
     throw std::invalid_argument("MultiJobEngine::advance_until: deadline in the past");
   }
+  std::uint64_t decisions = 0;
   while (step(deadline)) {
+    ++decisions;
   }
   // No event left at or before the deadline: idle (or partially execute
   // running tasks) through the rest of the slice.
   elapse(deadline - now_);
   now_ = deadline;
+  if (obs::enabled()) {
+    auto& registry = obs::Registry::global();
+    registry.counter("multijob.epochs").add(1);
+    // +1: the final step() that found nothing still ran a dispatch.
+    registry.counter("multijob.decisions").add(decisions + 1);
+  }
 }
 
 void MultiJobEngine::run_to_completion() {
+  std::uint64_t decisions = 0;
   while (completed_tasks_ < total_tasks_) {
     if (!step(kNoEvent - 1)) {
       throw std::logic_error("MultiJobEngine: stalled with tasks outstanding");
     }
+    ++decisions;
+  }
+  if (obs::enabled() && decisions > 0) {
+    obs::Registry::global().counter("multijob.decisions").add(decisions);
   }
 }
 

@@ -1,0 +1,219 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+namespace fhs::obs {
+
+std::uint64_t HistogramSnapshot::quantile_bound(double q) const noexcept {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile sample, 1-based, rounded up.
+  const auto rank = static_cast<std::uint64_t>(
+      std::max<double>(1.0, q * static_cast<double>(count) + 0.5));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= rank) return histogram_bucket_bound(b);
+  }
+  return histogram_bucket_bound(kHistogramBuckets - 1);
+}
+
+void Histogram::merge(const LocalHistogram& local) noexcept {
+  if (local.count == 0) return;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (local.buckets[b]) {
+      buckets_[b].fetch_add(local.buckets[b], std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(local.count, std::memory_order_relaxed);
+  sum_.fetch_add(local.sum, std::memory_order_relaxed);
+  std::uint64_t prior = max_.load(std::memory_order_relaxed);
+  while (local.max > prior &&
+         !max_.compare_exchange_weak(prior, local.max, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const noexcept {
+  HistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    snap.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+const std::uint64_t* MetricsSnapshot::counter(std::string_view name) const noexcept {
+  for (const auto& [key, value] : counters) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(std::string_view name) const noexcept {
+  for (const auto& [key, value] : histograms) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+// Node-based maps keep metric addresses stable across registrations, so
+// handed-out references survive any later counter()/histogram() call.
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, Counter, std::less<>> counters;
+  std::map<std::string, Gauge, std::less<>> gauges;
+  std::map<std::string, Histogram, std::less<>> histograms;
+};
+
+Registry::Impl& Registry::impl() const {
+  static Impl instance;
+  return instance;
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  const auto it = i.counters.find(name);
+  if (it != i.counters.end()) return it->second;
+  return i.counters.try_emplace(std::string(name)).first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  const auto it = i.gauges.find(name);
+  if (it != i.gauges.end()) return it->second;
+  return i.gauges.try_emplace(std::string(name)).first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  const auto it = i.histograms.find(name);
+  if (it != i.histograms.end()) return it->second;
+  return i.histograms.try_emplace(std::string(name)).first->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  MetricsSnapshot snap;
+  snap.counters.reserve(i.counters.size());
+  for (const auto& [name, counter] : i.counters) {
+    snap.counters.emplace_back(name, counter.value());
+  }
+  snap.gauges.reserve(i.gauges.size());
+  for (const auto& [name, gauge] : i.gauges) {
+    snap.gauges.emplace_back(name, gauge.value());
+  }
+  snap.histograms.reserve(i.histograms.size());
+  for (const auto& [name, histogram] : i.histograms) {
+    snap.histograms.emplace_back(name, histogram.snapshot());
+  }
+  return snap;
+}
+
+void Registry::reset_for_test() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  i.counters.clear();
+  i.gauges.clear();
+  i.histograms.clear();
+}
+
+namespace {
+
+// Metric names are code-controlled identifiers, but escape defensively
+// so the emitted document is always valid JSON.  obs sits below exp in
+// the library stack, hence no reuse of exp/json's json_quote.
+void write_quoted(std::ostream& out, std::string_view text) {
+  out << '"';
+  for (char ch : text) {
+    switch (ch) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          out << "\\u00" << "0123456789abcdef"[(ch >> 4) & 0xf]
+              << "0123456789abcdef"[ch & 0xf];
+        } else {
+          out << ch;
+        }
+    }
+  }
+  out << '"';
+}
+
+void write_histogram(std::ostream& out, const HistogramSnapshot& h) {
+  out << "{\"count\": " << h.count << ", \"sum\": " << h.sum;
+  if (h.count > 0) {
+    // mean has an exact double representation path via to_json's caller?
+    // Keep it simple and integer-safe: emit sum/count as a plain ratio
+    // with enough digits to be read back exactly for practical counts.
+    std::ostringstream mean;
+    mean.precision(17);
+    mean << h.mean();
+    out << ", \"mean\": " << mean.str() << ", \"max\": " << h.max
+        << ", \"p50\": " << h.quantile_bound(0.50)
+        << ", \"p90\": " << h.quantile_bound(0.90)
+        << ", \"p99\": " << h.quantile_bound(0.99);
+  }
+  out << ", \"buckets\": [";
+  bool first = true;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (h.buckets[b] == 0) continue;
+    if (!first) out << ", ";
+    first = false;
+    out << '[' << histogram_bucket_bound(b) << ", " << h.buckets[b] << ']';
+  }
+  out << "]}";
+}
+
+}  // namespace
+
+void write_json(std::ostream& out, const MetricsSnapshot& snapshot) {
+  out << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    out << (i ? ",\n    " : "\n    ");
+    write_quoted(out, snapshot.counters[i].first);
+    out << ": " << snapshot.counters[i].second;
+  }
+  out << (snapshot.counters.empty() ? "}" : "\n  }");
+  out << ",\n  \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    out << (i ? ",\n    " : "\n    ");
+    write_quoted(out, snapshot.gauges[i].first);
+    out << ": " << snapshot.gauges[i].second;
+  }
+  out << (snapshot.gauges.empty() ? "}" : "\n  }");
+  out << ",\n  \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    out << (i ? ",\n    " : "\n    ");
+    write_quoted(out, snapshot.histograms[i].first);
+    out << ": ";
+    write_histogram(out, snapshot.histograms[i].second);
+  }
+  out << (snapshot.histograms.empty() ? "}" : "\n  }");
+  out << "\n}\n";
+}
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  write_json(out, snapshot);
+  return out.str();
+}
+
+}  // namespace fhs::obs

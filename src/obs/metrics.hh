@@ -1,0 +1,196 @@
+// Low-overhead metrics substrate: counters, gauges, and log-bucketed
+// histograms behind a process-wide named registry.
+//
+// Design rules (they are what keep the hot path hot):
+//
+//  * Handles are stable references.  Look a metric up once (the lookup
+//    takes the registry mutex) and keep the reference; updates are then
+//    single relaxed atomic operations, safe from any thread.
+//  * Hot loops aggregate locally and flush at a boundary.  The simulator
+//    counts decisions in plain locals and merges them into the registry
+//    once per simulate() call; a LocalHistogram accumulates unsynchronized
+//    and merge()s in one pass.  Nothing shared is touched per event.
+//  * Everything is compiled out under FHS_OBS_OFF (kCompiledIn == false):
+//    instrumentation sites guard with `if (obs::enabled())`, which
+//    constant-folds to `if (false)` so the dead aggregation code is
+//    eliminated.  A runtime switch (set_enabled) covers A/B overhead
+//    measurements in one binary (bench/obs_overhead).
+//
+// Snapshots (Registry::snapshot) are torn-across-metrics but consistent
+// within each value, which is the usual observability contract.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fhs::obs {
+
+#ifdef FHS_OBS_OFF
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+
+namespace detail {
+inline std::atomic<bool>& enabled_flag() noexcept {
+  static std::atomic<bool> flag{true};
+  return flag;
+}
+}  // namespace detail
+
+/// True when instrumentation should run: compiled in and not disabled at
+/// runtime.  Constant-folds to false under FHS_OBS_OFF.
+[[nodiscard]] inline bool enabled() noexcept {
+  return kCompiledIn && detail::enabled_flag().load(std::memory_order_relaxed);
+}
+
+/// Runtime kill switch (used by bench/obs_overhead for in-binary A/B
+/// comparison and by tests).  No-op when compiled out.
+inline void set_enabled(bool on) noexcept {
+  detail::enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+/// Monotone event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Power-of-two histogram buckets: bucket b counts samples whose
+/// bit_width is b, i.e. b = 0 holds the value 0 and bucket b >= 1 covers
+/// [2^(b-1), 2^b).  65 buckets span the whole uint64 range.
+inline constexpr std::size_t kHistogramBuckets = 65;
+
+[[nodiscard]] constexpr std::size_t histogram_bucket(std::uint64_t value) noexcept {
+  return static_cast<std::size_t>(std::bit_width(value));
+}
+
+/// Inclusive upper bound of one bucket (2^b - 1; bucket 0 is just {0}).
+[[nodiscard]] constexpr std::uint64_t histogram_bucket_bound(std::size_t bucket) noexcept {
+  if (bucket == 0) return 0;
+  if (bucket >= 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << bucket) - 1;
+}
+
+/// Unsynchronized accumulator for one thread's tight loop; merge() it
+/// into a registry Histogram at a flush boundary.
+struct LocalHistogram {
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+
+  void record(std::uint64_t value) noexcept {
+    ++buckets[histogram_bucket(value)];
+    ++count;
+    sum += value;
+    if (value > max) max = value;
+  }
+  [[nodiscard]] bool empty() const noexcept { return count == 0; }
+};
+
+/// Read-side view of a histogram (used by snapshots and tests).
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  [[nodiscard]] double mean() const noexcept {
+    return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
+  }
+  /// Upper bound of the bucket holding the q-quantile (q in [0,1]).
+  [[nodiscard]] std::uint64_t quantile_bound(double q) const noexcept;
+};
+
+/// Thread-safe log-bucketed histogram.
+class Histogram {
+ public:
+  void record(std::uint64_t value) noexcept {
+    buckets_[histogram_bucket(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    std::uint64_t prior = max_.load(std::memory_order_relaxed);
+    while (value > prior &&
+           !max_.compare_exchange_weak(prior, value, std::memory_order_relaxed)) {
+    }
+  }
+  void merge(const LocalHistogram& local) noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] HistogramSnapshot snapshot() const noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Full registry snapshot, sorted by name within each kind.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  [[nodiscard]] const std::uint64_t* counter(std::string_view name) const noexcept;
+  [[nodiscard]] const HistogramSnapshot* histogram(std::string_view name) const noexcept;
+};
+
+/// Named metric registry.  Lookup is mutex-guarded (do it once, outside
+/// hot loops); the returned references stay valid for the registry's
+/// lifetime.  One process-wide instance behind global().
+class Registry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Drops every metric (tests and benches only; outstanding references
+  /// dangle, so never call while instrumented code may run).
+  void reset_for_test();
+
+  static Registry& global();
+
+ private:
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// Serializes a snapshot as one JSON object:
+///   {"counters": {...}, "gauges": {...},
+///    "histograms": {name: {count, sum, mean, max, p50, p90, p99,
+///                          buckets: [[bound, count], ...]}, ...}}
+void write_json(std::ostream& out, const MetricsSnapshot& snapshot);
+[[nodiscard]] std::string to_json(const MetricsSnapshot& snapshot);
+
+}  // namespace fhs::obs

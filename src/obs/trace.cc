@@ -1,0 +1,169 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+namespace fhs::obs {
+
+namespace {
+
+/// One thread's event sink.  The owning thread appends under buffer_mutex
+/// (uncontended in steady state -- the collector only takes it while
+/// gathering, which happens after stop_tracing()).
+struct ThreadSink {
+  std::mutex buffer_mutex;
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+};
+
+struct Collector {
+  std::atomic<bool> active{false};
+  std::atomic<std::uint64_t> epoch_started_ns{0};
+
+  std::mutex registry_mutex;
+  std::vector<std::shared_ptr<ThreadSink>> sinks;
+  std::uint32_t next_tid = 0;
+  std::atomic<std::uint64_t> generation{0};
+};
+
+Collector& collector() {
+  static Collector instance;
+  return instance;
+}
+
+/// Thread-local handle; re-registered when the collector generation
+/// changes (start_tracing() drops old sinks).
+struct LocalSink {
+  std::shared_ptr<ThreadSink> sink;
+  std::uint64_t generation = ~std::uint64_t{0};
+};
+
+ThreadSink& local_sink() {
+  thread_local LocalSink local;
+  Collector& c = collector();
+  // Fast path: already registered with the current recording.
+  const std::uint64_t generation = c.generation.load(std::memory_order_acquire);
+  if (local.sink != nullptr && local.generation == generation) return *local.sink;
+  std::lock_guard<std::mutex> lock(c.registry_mutex);
+  local.sink = std::make_shared<ThreadSink>();
+  local.sink->tid = c.next_tid++;
+  local.generation = c.generation.load(std::memory_order_relaxed);
+  c.sinks.push_back(local.sink);
+  return *local.sink;
+}
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+void start_tracing() {
+  Collector& c = collector();
+  {
+    std::lock_guard<std::mutex> lock(c.registry_mutex);
+    c.sinks.clear();
+    c.next_tid = 0;
+    c.generation.fetch_add(1, std::memory_order_release);
+  }
+  c.epoch_started_ns.store(now_ns(), std::memory_order_relaxed);
+  c.active.store(true, std::memory_order_release);
+}
+
+void stop_tracing() {
+  collector().active.store(false, std::memory_order_release);
+}
+
+bool tracing_active() noexcept {
+  return collector().active.load(std::memory_order_relaxed);
+}
+
+void TraceSpan::close() noexcept {
+  const auto end = std::chrono::steady_clock::now();
+  Collector& c = collector();
+  if (!c.active.load(std::memory_order_relaxed)) return;  // stopped mid-span
+  const std::uint64_t t0 = c.epoch_started_ns.load(std::memory_order_relaxed);
+  const auto start_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          start_.time_since_epoch())
+          .count());
+  const auto end_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end.time_since_epoch())
+          .count());
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.category = category_;
+  event.ts_us = start_ns > t0 ? (start_ns - t0) / 1000 : 0;
+  event.dur_us = end_ns > start_ns ? (end_ns - start_ns) / 1000 : 0;
+  ThreadSink& sink = local_sink();
+  event.tid = sink.tid;
+  std::lock_guard<std::mutex> lock(sink.buffer_mutex);
+  sink.events.push_back(std::move(event));
+}
+
+namespace {
+
+void write_quoted(std::ostream& out, std::string_view text) {
+  out << '"';
+  for (char ch : text) {
+    const auto u = static_cast<unsigned char>(ch);
+    if (ch == '"' || ch == '\\') {
+      out << '\\' << ch;
+    } else if (u < 0x20) {
+      out << "\\u00" << "0123456789abcdef"[(u >> 4) & 0xf]
+          << "0123456789abcdef"[u & 0xf];
+    } else {
+      out << ch;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::size_t recorded_event_count() {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.registry_mutex);
+  std::size_t total = 0;
+  for (const auto& sink : c.sinks) {
+    std::lock_guard<std::mutex> buffer_lock(sink->buffer_mutex);
+    total += sink->events.size();
+  }
+  return total;
+}
+
+void write_chrome_trace(std::ostream& out) {
+  Collector& c = collector();
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(c.registry_mutex);
+    for (const auto& sink : c.sinks) {
+      std::lock_guard<std::mutex> buffer_lock(sink->buffer_mutex);
+      events.insert(events.end(), sink->events.begin(), sink->events.end());
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_us != b.ts_us ? a.ts_us < b.ts_us : a.tid < b.tid;
+            });
+  out << "{\"traceEvents\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    out << (i ? ",\n " : "\n ") << "{\"name\": ";
+    write_quoted(out, e.name);
+    out << ", \"cat\": ";
+    write_quoted(out, e.category);
+    out << ", \"ph\": \"X\", \"ts\": " << e.ts_us << ", \"dur\": " << e.dur_us
+        << ", \"pid\": 1, \"tid\": " << e.tid << '}';
+  }
+  out << (events.empty() ? "]" : "\n]") << ", \"displayTimeUnit\": \"ms\"}\n";
+}
+
+}  // namespace fhs::obs

@@ -1,0 +1,85 @@
+// RAII tracing spans with lock-free per-thread sinks, exported as Chrome
+// trace-event JSON (load the file in chrome://tracing or Perfetto).
+//
+// Usage:
+//   obs::start_tracing();
+//   { obs::TraceSpan span("epoch", "service"); ... }   // hot path
+//   obs::stop_tracing();
+//   obs::write_chrome_trace(out);                       // one JSON doc
+//
+// Each thread appends completed spans to its own buffer; the only
+// synchronization on the recording path is one relaxed load of the
+// global "tracing active" flag (spans are free when tracing is off, and
+// compiled out entirely under FHS_OBS_OFF).  Buffers register themselves
+// with the collector once per thread under a mutex and are gathered --
+// again under the mutex -- by write_chrome_trace after stop_tracing();
+// epoch-style callers flush by simply letting spans close at slice
+// boundaries, which is when their events become visible to the export.
+//
+// Timestamps are microseconds of wall time since start_tracing().  For
+// *virtual-time* schedules (simulator output), see
+// metrics/chrome_trace.hh, which maps an ExecutionTrace onto the same
+// JSON format with ticks as microseconds.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hh"
+
+namespace fhs::obs {
+
+/// One completed span (Chrome "X" complete event).
+struct TraceEvent {
+  std::string name;
+  const char* category = "fhs";
+  std::uint64_t ts_us = 0;   ///< start, microseconds since start_tracing()
+  std::uint64_t dur_us = 0;  ///< duration, microseconds
+  std::uint32_t tid = 0;     ///< recording thread (dense ids, in first-use order)
+};
+
+/// Starts a fresh recording (drops any previous events).
+void start_tracing();
+/// Stops recording; already-open spans on other threads are dropped when
+/// they close.
+void stop_tracing();
+[[nodiscard]] bool tracing_active() noexcept;
+
+/// Writes everything recorded since start_tracing() as one Chrome
+/// trace-event JSON document ({"traceEvents": [...]}).
+void write_chrome_trace(std::ostream& out);
+
+/// Number of recorded events (tests).
+[[nodiscard]] std::size_t recorded_event_count();
+
+/// RAII span: measures construction-to-destruction wall time and, when
+/// tracing is active, records it on the current thread's sink.  `name`
+/// is copied at construction so temporaries are fine; keep spans coarse
+/// (an epoch, a sweep cell, a simulate call) -- per-event spans belong
+/// in histograms instead.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name, const char* category = "fhs")
+      : active_(enabled() && tracing_active()) {
+    if (active_) {
+      name_ = name;
+      category_ = category;
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~TraceSpan() { if (active_) close(); }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void close() noexcept;
+
+  std::string name_;
+  const char* category_ = "fhs";
+  std::chrono::steady_clock::time_point start_;
+  bool active_ = false;
+};
+
+}  // namespace fhs::obs

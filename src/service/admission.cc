@@ -18,20 +18,37 @@ AdmissionController::AdmissionController(const AdmissionConfig& config,
   outstanding_.assign(processors_.size(), 0);
 }
 
-bool AdmissionController::admissible(const KDag& dag,
-                                     std::size_t queue_depth) const noexcept {
-  if (queue_depth >= config_.max_queue_depth) return false;
-  for (ResourceType a = 0; a < dag.num_types() && a < processors_.size(); ++a) {
+const char* to_string(AdmissionVerdict verdict) noexcept {
+  switch (verdict) {
+    case AdmissionVerdict::kAdmit: return "admit";
+    case AdmissionVerdict::kTypeMismatch: return "type_mismatch";
+    case AdmissionVerdict::kQueueFull: return "queue_full";
+    case AdmissionVerdict::kOverloaded: return "overloaded";
+  }
+  return "unknown";
+}
+
+AdmissionVerdict AdmissionController::verdict(const KDag& dag,
+                                              std::size_t queue_depth) const noexcept {
+  // The old `a < num_types && a < processors_.size()` loops truncated
+  // the check to the cluster's types, silently admitting jobs with work
+  // of a type the cluster cannot execute at all.
+  if (dag.num_types() > processors_.size()) return AdmissionVerdict::kTypeMismatch;
+  if (queue_depth >= config_.max_queue_depth) return AdmissionVerdict::kQueueFull;
+  for (ResourceType a = 0; a < dag.num_types(); ++a) {
     const double would_be =
         static_cast<double>(outstanding_[a] + dag.total_work(a)) /
         static_cast<double>(processors_[a]);
-    if (would_be > config_.max_outstanding_per_proc) return false;
+    if (would_be > config_.max_outstanding_per_proc) {
+      return AdmissionVerdict::kOverloaded;
+    }
   }
-  return true;
+  return AdmissionVerdict::kAdmit;
 }
 
 bool AdmissionController::fits_when_idle(const KDag& dag) const noexcept {
-  for (ResourceType a = 0; a < dag.num_types() && a < processors_.size(); ++a) {
+  if (dag.num_types() > processors_.size()) return false;
+  for (ResourceType a = 0; a < dag.num_types(); ++a) {
     const double alone = static_cast<double>(dag.total_work(a)) /
                          static_cast<double>(processors_[a]);
     if (alone > config_.max_outstanding_per_proc) return false;
@@ -40,13 +57,23 @@ bool AdmissionController::fits_when_idle(const KDag& dag) const noexcept {
 }
 
 void AdmissionController::on_admit(const KDag& dag) {
-  for (ResourceType a = 0; a < dag.num_types() && a < processors_.size(); ++a) {
+  if (dag.num_types() > processors_.size()) {
+    throw std::invalid_argument(
+        "AdmissionController::on_admit: job uses more resource types than the "
+        "cluster provides (such a job must be rejected, not admitted)");
+  }
+  for (ResourceType a = 0; a < dag.num_types(); ++a) {
     outstanding_[a] += dag.total_work(a);
   }
 }
 
 void AdmissionController::on_complete(const KDag& dag) {
-  for (ResourceType a = 0; a < dag.num_types() && a < processors_.size(); ++a) {
+  if (dag.num_types() > processors_.size()) {
+    throw std::invalid_argument(
+        "AdmissionController::on_complete: job uses more resource types than "
+        "the cluster provides");
+  }
+  for (ResourceType a = 0; a < dag.num_types(); ++a) {
     outstanding_[a] -= dag.total_work(a);
   }
 }

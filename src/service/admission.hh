@@ -39,20 +39,45 @@ struct AdmissionConfig {
   OverloadPolicy overload = OverloadPolicy::kReject;
 };
 
+/// Why a submission was (or was not) admitted; kAdmit means all limits
+/// hold.  The service surfaces these as per-reason reject counters.
+enum class AdmissionVerdict {
+  kAdmit,
+  kTypeMismatch,  ///< the job uses resource types the cluster doesn't have
+  kQueueFull,     ///< max_queue_depth reached
+  kOverloaded,    ///< outstanding l_alpha / P_alpha limit exceeded
+};
+
+[[nodiscard]] const char* to_string(AdmissionVerdict verdict) noexcept;
+
 class AdmissionController {
  public:
   AdmissionController(const AdmissionConfig& config, const Cluster& cluster);
 
+  /// Full decision with the limiting reason (first limit hit wins, in
+  /// enum order).  A job whose num_types() exceeds the cluster's type
+  /// count is kTypeMismatch: it can never be scheduled, so admitting it
+  /// -- as the old per-type loops silently did by dropping the excess
+  /// types -- would strand it in the engine forever.
+  [[nodiscard]] AdmissionVerdict verdict(const KDag& dag,
+                                         std::size_t queue_depth) const noexcept;
+
   /// Would admitting `dag` now keep every limit satisfied?
-  [[nodiscard]] bool admissible(const KDag& dag, std::size_t queue_depth) const noexcept;
+  [[nodiscard]] bool admissible(const KDag& dag, std::size_t queue_depth) const noexcept {
+    return verdict(dag, queue_depth) == AdmissionVerdict::kAdmit;
+  }
 
   /// Could `dag` ever be admitted, even with zero outstanding load?  A
-  /// job failing this can never fit; deferring it would deadlock.
+  /// job failing this (including a type mismatch) can never fit;
+  /// deferring it would deadlock.
   [[nodiscard]] bool fits_when_idle(const KDag& dag) const noexcept;
 
-  /// Accounts an admitted job's work as outstanding.
+  /// Accounts an admitted job's work as outstanding.  Throws
+  /// std::invalid_argument if the job's types don't fit the cluster
+  /// (such a job must have been rejected, never admitted).
   void on_admit(const KDag& dag);
-  /// Releases a finished job's work.
+  /// Releases a finished job's work (same type check as on_admit, so
+  /// admit/complete accounting stays symmetric).
   void on_complete(const KDag& dag);
 
   /// Current l_alpha / P_alpha.

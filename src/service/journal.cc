@@ -69,7 +69,8 @@ class LineParser {
 
  private:
   [[noreturn]] void fail(const std::string& message) const {
-    throw std::invalid_argument("parse_journal_line: " + message);
+    throw std::invalid_argument("parse_journal_line: " + message + " at column " +
+                                std::to_string(pos_ + 1));
   }
 
   void skip_space() {
@@ -98,7 +99,14 @@ class LineParser {
       ++pos_;
     }
     if (pos_ == start) fail("expected a number");
-    return std::stoull(text_.substr(start, pos_ - start));
+    const std::string digits = text_.substr(start, pos_ - start);
+    try {
+      return std::stoull(digits);
+    } catch (const std::out_of_range&) {
+      // Route overflow through fail() so the caller gets the parser's
+      // diagnostics (position context) instead of a bare stoull error.
+      fail("number '" + digits + "' out of range");
+    }
   }
 
   std::string parse_string() {
@@ -122,6 +130,13 @@ class LineParser {
         case 'u': {
           if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
           const std::string hex = text_.substr(pos_, 4);
+          // All four chars must be hex digits: stoul would silently
+          // accept a valid prefix (e.g. "\u12zz" decoding as 0x12).
+          for (char digit : hex) {
+            if (!std::isxdigit(static_cast<unsigned char>(digit))) {
+              fail("invalid \\u escape '\\u" + hex + "'");
+            }
+          }
           pos_ += 4;
           const unsigned long cp = std::stoul(hex, nullptr, 16);
           if (cp > 0x7f) fail("non-ASCII \\u escape unsupported");
@@ -150,11 +165,20 @@ std::vector<JournalEntry> read_journal(std::istream& in) {
   std::vector<JournalEntry> entries;
   std::string line;
   Time previous_epoch = 0;
+  std::uint64_t line_number = 0;
   while (std::getline(in, line)) {
+    ++line_number;
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    entries.push_back(parse_journal_line(line));
+    try {
+      entries.push_back(parse_journal_line(line));
+    } catch (const std::invalid_argument& error) {
+      throw std::invalid_argument("read_journal: line " +
+                                  std::to_string(line_number) + ": " + error.what());
+    }
     if (entries.back().epoch < previous_epoch) {
-      throw std::invalid_argument("read_journal: epochs must be non-decreasing");
+      throw std::invalid_argument("read_journal: line " +
+                                  std::to_string(line_number) +
+                                  ": epochs must be non-decreasing");
     }
     previous_epoch = entries.back().epoch;
   }

@@ -3,15 +3,32 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
 namespace fhs {
+
+namespace {
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+}  // namespace
 
 /// Single-writer (the worker) block of atomics behind stats().  Readers
 /// use relaxed loads: each field is individually consistent and
 /// monotone; a snapshot may be torn across fields, which is fine for
-/// observability.
+/// observability.  The obs handles are looked up once here and shared by
+/// every instrumentation site (registry lookups take a mutex; updates
+/// are relaxed atomics).
 class SchedulerService::StatsBlock {
  public:
   std::atomic<std::uint64_t> submitted{0};
@@ -20,11 +37,38 @@ class SchedulerService::StatsBlock {
   std::atomic<std::uint64_t> deferred{0};
   std::atomic<std::uint64_t> completed{0};
   std::atomic<std::uint64_t> epochs{0};
+  std::atomic<std::uint64_t> reject_queue_full{0};
+  std::atomic<std::uint64_t> reject_overloaded{0};
+  std::atomic<std::uint64_t> reject_never_fits{0};
+  std::atomic<std::uint64_t> reject_shutdown{0};
   std::atomic<Time> virtual_now{0};
   std::atomic<std::int64_t> flow_sum{0};
   std::atomic<Time> max_flow{0};
   std::array<std::atomic<Time>, kMaxResourceTypes> busy{};
   std::array<std::atomic<std::uint64_t>, kFlowTimeBins> bins{};
+
+  obs::Counter& obs_submitted = obs::Registry::global().counter("service.submitted");
+  obs::Counter& obs_admitted = obs::Registry::global().counter("service.admitted");
+  obs::Counter& obs_deferred = obs::Registry::global().counter("service.deferred");
+  obs::Counter& obs_completed = obs::Registry::global().counter("service.completed");
+  obs::Counter& obs_reject_queue_full =
+      obs::Registry::global().counter("service.reject.queue_full");
+  obs::Counter& obs_reject_overloaded =
+      obs::Registry::global().counter("service.reject.overloaded");
+  obs::Counter& obs_reject_never_fits =
+      obs::Registry::global().counter("service.reject.never_fits");
+  obs::Counter& obs_reject_type_mismatch =
+      obs::Registry::global().counter("service.reject.type_mismatch");
+  obs::Counter& obs_reject_shutdown =
+      obs::Registry::global().counter("service.reject.shutdown");
+  obs::Histogram& obs_submit_ns =
+      obs::Registry::global().histogram("service.submit_ns");
+  obs::Histogram& obs_defer_wait_ns =
+      obs::Registry::global().histogram("service.defer_wait_ns");
+  obs::Histogram& obs_e2e_ns = obs::Registry::global().histogram("service.e2e_ns");
+  obs::Histogram& obs_epoch_ns = obs::Registry::global().histogram("service.epoch_ns");
+  obs::Histogram& obs_flow_ticks =
+      obs::Registry::global().histogram("service.flow_ticks");
 };
 
 SchedulerService::SchedulerService(const Cluster& cluster, ServiceConfig config)
@@ -44,36 +88,61 @@ SchedulerService::SchedulerService(const Cluster& cluster, ServiceConfig config)
 SchedulerService::~SchedulerService() { shutdown(); }
 
 std::optional<JobTicket> SchedulerService::submit(KDag dag) {
+  const bool observed = obs::enabled();
+  const auto entered = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> lock(mutex_);
   stats_->submitted.fetch_add(1, std::memory_order_relaxed);
-  auto reject = [&]() -> std::optional<JobTicket> {
+  if (observed) stats_->obs_submitted.add(1);
+  // Rejections are tallied by reason (the obs counters and the
+  // per-reason ServiceStats fields always sum to `rejected`).
+  auto reject = [&](std::atomic<std::uint64_t>& reason_stat,
+                    obs::Counter& reason_counter) -> std::optional<JobTicket> {
     stats_->rejected.fetch_add(1, std::memory_order_relaxed);
+    reason_stat.fetch_add(1, std::memory_order_relaxed);
+    if (observed) reason_counter.add(1);
     return std::nullopt;
   };
-  if (stop_) return reject();
+  if (stop_) {
+    return reject(stats_->reject_shutdown, stats_->obs_reject_shutdown);
+  }
   if (cluster_.num_types() < dag.num_types()) {
+    if (observed) stats_->obs_reject_type_mismatch.add(1);
     throw std::invalid_argument("SchedulerService::submit: job K exceeds cluster K");
   }
-  if (!admission_.admissible(dag, inbox_.size())) {
+  const AdmissionVerdict verdict = admission_.verdict(dag, inbox_.size());
+  if (verdict != AdmissionVerdict::kAdmit) {
     // A job too large to ever fit is a rejection even under kDefer --
     // waiting for it would deadlock the submitter.
-    if (config_.admission.overload == OverloadPolicy::kReject ||
-        !admission_.fits_when_idle(dag)) {
-      return reject();
+    if (!admission_.fits_when_idle(dag)) {
+      return reject(stats_->reject_never_fits, stats_->obs_reject_never_fits);
+    }
+    if (config_.admission.overload == OverloadPolicy::kReject) {
+      return verdict == AdmissionVerdict::kQueueFull
+                 ? reject(stats_->reject_queue_full, stats_->obs_reject_queue_full)
+                 : reject(stats_->reject_overloaded, stats_->obs_reject_overloaded);
     }
     stats_->deferred.fetch_add(1, std::memory_order_relaxed);
+    if (observed) stats_->obs_deferred.add(1);
+    const auto wait_started = std::chrono::steady_clock::now();
     space_available_.wait(lock, [&] {
       return stop_ || admission_.admissible(dag, inbox_.size());
     });
-    if (stop_) return reject();
+    if (observed) stats_->obs_defer_wait_ns.record(elapsed_ns(wait_started));
+    if (stop_) {
+      return reject(stats_->reject_shutdown, stats_->obs_reject_shutdown);
+    }
   }
   admission_.on_admit(dag);
   ++accepted_;
   stats_->admitted.fetch_add(1, std::memory_order_relaxed);
+  if (observed) stats_->obs_admitted.add(1);
   const std::uint64_t id = tickets_.size() + 1;
-  tickets_.push_back(TicketRecord{});
+  TicketRecord record;
+  record.submitted_at = entered;
+  tickets_.push_back(record);
   inbox_.push_back(Pending{id, std::move(dag)});
   work_available_.notify_one();
+  if (observed) stats_->obs_submit_ns.record(elapsed_ns(entered));
   return JobTicket{id};
 }
 
@@ -117,6 +186,10 @@ ServiceStats SchedulerService::stats() const {
   out.deferred = block.deferred.load(std::memory_order_relaxed);
   out.completed = block.completed.load(std::memory_order_relaxed);
   out.epochs = block.epochs.load(std::memory_order_relaxed);
+  out.rejected_queue_full = block.reject_queue_full.load(std::memory_order_relaxed);
+  out.rejected_overloaded = block.reject_overloaded.load(std::memory_order_relaxed);
+  out.rejected_never_fits = block.reject_never_fits.load(std::memory_order_relaxed);
+  out.rejected_shutdown = block.reject_shutdown.load(std::memory_order_relaxed);
   out.virtual_now = block.virtual_now.load(std::memory_order_relaxed);
   const ResourceType k = cluster_.num_types();
   out.busy_ticks.resize(k);
@@ -172,6 +245,9 @@ void SchedulerService::worker_loop() {
       return stop_ || !inbox_.empty() || !engine_.idle();
     });
     if (stop_ && inbox_.empty() && engine_.idle()) break;
+    const bool observed = obs::enabled();
+    const auto epoch_started = std::chrono::steady_clock::now();
+    obs::TraceSpan epoch_span("epoch", "service");
     fold_inbox(lock);
     const Time deadline = engine_.now() + config_.epoch_length;
     lock.unlock();
@@ -200,7 +276,13 @@ void SchedulerService::worker_loop() {
              !stats_->max_flow.compare_exchange_weak(prior, flow,
                                                      std::memory_order_relaxed)) {
       }
+      if (observed) {
+        stats_->obs_completed.add(1);
+        stats_->obs_flow_ticks.record(static_cast<std::uint64_t>(flow));
+        stats_->obs_e2e_ns.record(elapsed_ns(record.submitted_at));
+      }
     }
+    if (observed) stats_->obs_epoch_ns.record(elapsed_ns(epoch_started));
     if (!done.empty()) {
       space_available_.notify_all();
       progress_.notify_all();

@@ -19,6 +19,7 @@
 // replay_journal() can re-run the session deterministically.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -108,6 +109,9 @@ class SchedulerService {
     std::uint32_t engine_index = 0;
     Time folded_epoch = -1;
     Time completion = -1;
+    /// Wall time submit() accepted the job (drives the service.e2e_ns
+    /// submit-to-complete latency histogram).
+    std::chrono::steady_clock::time_point submitted_at;
   };
   class StatsBlock;
 

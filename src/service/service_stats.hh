@@ -39,6 +39,12 @@ struct ServiceStats {
   std::uint64_t epochs = 0;     ///< worker slices executed
   Time virtual_now = 0;         ///< engine virtual clock
 
+  /// Reject breakdown (sums to `rejected`): why admission refused.
+  std::uint64_t rejected_queue_full = 0;   ///< inbox at max_queue_depth
+  std::uint64_t rejected_overloaded = 0;   ///< outstanding-work limit (kReject)
+  std::uint64_t rejected_never_fits = 0;   ///< too big to ever fit (kDefer)
+  std::uint64_t rejected_shutdown = 0;     ///< submitted during/after shutdown
+
   /// Per resource type, indexed [0, num_types).
   std::vector<Time> busy_ticks;
   /// busy_ticks[a] / (P_a * virtual_now); 0 before time advances.

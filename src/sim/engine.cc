@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <limits>
 #include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace fhs {
 
@@ -15,6 +20,12 @@ double SimResult::utilization(ResourceType alpha, const Cluster& cluster) const 
 }
 
 namespace {
+
+/// Dispatch latency is sampled (one timed call in every
+/// kDispatchSamplePeriod decisions) so the steady_clock reads stay off
+/// the common path; counters aggregate in plain locals and flush to the
+/// obs registry once per simulate() call (see obs/metrics.hh).
+constexpr std::uint64_t kDispatchSamplePeriod = 64;
 
 /// One task currently executing on a concrete processor.
 struct Running {
@@ -63,6 +74,7 @@ class Simulation final : public DispatchContext {
     }
     running_.reserve(cluster.total_processors());
     scratch_running_.reserve(cluster.total_processors());
+    obs_dispatches_per_type_.assign(k, 0);
     result_.busy_ticks_per_type.assign(k, 0);
     for (TaskId root : dag.roots()) make_ready(root);
   }
@@ -121,14 +133,33 @@ class Simulation final : public DispatchContext {
       ++result_.preemptions;
     }
     running_.push_back(Running{task, proc, alpha, remaining_work_[task], now_});
+    ++obs_dispatches_per_type_[alpha];
   }
 
   // --- main loop ------------------------------------------------------------
   SimResult run(Scheduler& scheduler) {
+    const bool observed = obs::enabled();
+    obs::TraceSpan span("simulate", "sim");
     scheduler.prepare(dag_, cluster_);
     const std::size_t n = dag_.task_count();
     while (completed_ < n) {
-      scheduler.dispatch(*this);
+      if (observed) {
+        std::size_t depth = 0;
+        for (const auto& queue : queues_) depth += queue.size();
+        obs_ready_depth_.record(depth);
+        if (result_.decision_points % kDispatchSamplePeriod == 0) {
+          const auto t0 = std::chrono::steady_clock::now();
+          scheduler.dispatch(*this);
+          obs_dispatch_ns_.record(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count()));
+        } else {
+          scheduler.dispatch(*this);
+        }
+      } else {
+        scheduler.dispatch(*this);
+      }
       ++result_.decision_points;
       enforce_work_conservation();
       if (running_.empty()) {
@@ -138,10 +169,31 @@ class Simulation final : public DispatchContext {
       if (options_.mode == ExecutionMode::kPreemptive) recall_running();
     }
     result_.completion_time = now_;
+    if (observed) flush_obs();
     return std::move(result_);
   }
 
  private:
+  /// One registry flush per run: a handful of mutex-guarded lookups and
+  /// relaxed atomic adds, amortized over the whole simulation.
+  void flush_obs() const {
+    auto& registry = obs::Registry::global();
+    registry.counter("sim.runs").add(1);
+    registry.counter("sim.decisions").add(result_.decision_points);
+    registry.counter("sim.preemptions").add(result_.preemptions);
+    registry.histogram("sim.ready_depth").merge(obs_ready_depth_);
+    registry.histogram("sim.dispatch_ns").merge(obs_dispatch_ns_);
+    std::uint64_t dispatches = 0;
+    for (ResourceType a = 0; a < num_types(); ++a) {
+      // Idle->busy processor transitions, i.e. task dispatches, per
+      // type; completions mirror them one-to-one, so one counter tells
+      // both sides of the busy/idle story.
+      registry.counter("sim.type" + std::to_string(a) + ".busy_transitions")
+          .add(obs_dispatches_per_type_[a]);
+      dispatches += obs_dispatches_per_type_[a];
+    }
+    registry.counter("sim.dispatches").add(dispatches);
+  }
   void make_ready(TaskId task) {
     const ResourceType alpha = dag_.type(task);
     ready_seq_[task] = next_seq_++;
@@ -254,6 +306,11 @@ class Simulation final : public DispatchContext {
   std::vector<Running> running_;
   std::vector<Running> scratch_running_;  // reused by advance(); never shrinks
   SimResult result_;
+
+  // Local observability aggregation, flushed once by flush_obs().
+  std::vector<std::uint64_t> obs_dispatches_per_type_;
+  obs::LocalHistogram obs_ready_depth_;
+  obs::LocalHistogram obs_dispatch_ns_;
 };
 
 }  // namespace

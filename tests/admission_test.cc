@@ -1,0 +1,109 @@
+#include "service/admission.hh"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace fhs {
+namespace {
+
+KDag dag_with_types(ResourceType num_types, Work work_per_task = 10) {
+  KDagBuilder b(num_types);
+  for (ResourceType a = 0; a < num_types; ++a) b.add_task(a, work_per_task);
+  return std::move(b).build();
+}
+
+TEST(Admission, AdmitsWithinLimits) {
+  AdmissionController admission(AdmissionConfig{}, Cluster({2, 2}));
+  const KDag dag = dag_with_types(2);
+  EXPECT_EQ(admission.verdict(dag, 0), AdmissionVerdict::kAdmit);
+  EXPECT_TRUE(admission.admissible(dag, 0));
+  EXPECT_TRUE(admission.fits_when_idle(dag));
+}
+
+// Regression: the per-type loops were bounded by min(dag.num_types(),
+// cluster types), so a job using resource types the cluster lacks was
+// admitted with its excess work silently ignored -- then stranded in the
+// engine forever.  Such jobs must be refused outright.
+TEST(Admission, RejectsJobUsingMoreTypesThanCluster) {
+  AdmissionController admission(AdmissionConfig{}, Cluster({4, 4}));
+  const KDag dag = dag_with_types(3);
+  EXPECT_EQ(admission.verdict(dag, 0), AdmissionVerdict::kTypeMismatch);
+  EXPECT_FALSE(admission.admissible(dag, 0));
+  EXPECT_FALSE(admission.fits_when_idle(dag));
+}
+
+TEST(Admission, OnAdmitThrowsOnTypeMismatch) {
+  AdmissionController admission(AdmissionConfig{}, Cluster({4, 4}));
+  const KDag dag = dag_with_types(3);
+  EXPECT_THROW(admission.on_admit(dag), std::invalid_argument);
+  EXPECT_THROW(admission.on_complete(dag), std::invalid_argument);
+  // The failed calls must not have corrupted the accounting.
+  EXPECT_DOUBLE_EQ(admission.outstanding_per_proc(0), 0.0);
+  EXPECT_DOUBLE_EQ(admission.outstanding_per_proc(1), 0.0);
+}
+
+TEST(Admission, QueueDepthLimit) {
+  AdmissionConfig config;
+  config.max_queue_depth = 2;
+  AdmissionController admission(config, Cluster({2, 2}));
+  const KDag dag = dag_with_types(2);
+  EXPECT_EQ(admission.verdict(dag, 1), AdmissionVerdict::kAdmit);
+  EXPECT_EQ(admission.verdict(dag, 2), AdmissionVerdict::kQueueFull);
+  // A full queue is transient: the job still fits an idle service.
+  EXPECT_TRUE(admission.fits_when_idle(dag));
+}
+
+TEST(Admission, OutstandingWorkLimit) {
+  AdmissionConfig config;
+  config.max_outstanding_per_proc = 10.0;
+  AdmissionController admission(config, Cluster({1, 1}));
+  const KDag dag = dag_with_types(2, 8);  // 8 ticks per type, 1 proc per type
+  EXPECT_EQ(admission.verdict(dag, 0), AdmissionVerdict::kAdmit);
+  admission.on_admit(dag);
+  EXPECT_DOUBLE_EQ(admission.outstanding_per_proc(0), 8.0);
+  EXPECT_EQ(admission.verdict(dag, 0), AdmissionVerdict::kOverloaded);
+  EXPECT_FALSE(admission.admissible(dag, 0));
+  EXPECT_TRUE(admission.fits_when_idle(dag));
+}
+
+// on_admit and on_complete must stay symmetric: admitting then completing
+// the same set of jobs returns the controller to its idle state exactly,
+// for every type the cluster has.
+TEST(Admission, AdmitCompleteSymmetry) {
+  AdmissionController admission(AdmissionConfig{}, Cluster({2, 3, 4}));
+  const KDag first = dag_with_types(3, 12);
+  const KDag second = dag_with_types(2, 7);  // uses a prefix of the types
+  admission.on_admit(first);
+  admission.on_admit(second);
+  EXPECT_DOUBLE_EQ(admission.outstanding_per_proc(0), (12.0 + 7.0) / 2.0);
+  EXPECT_DOUBLE_EQ(admission.outstanding_per_proc(1), (12.0 + 7.0) / 3.0);
+  EXPECT_DOUBLE_EQ(admission.outstanding_per_proc(2), 12.0 / 4.0);
+  admission.on_complete(second);
+  admission.on_complete(first);
+  for (ResourceType a = 0; a < 3; ++a) {
+    EXPECT_DOUBLE_EQ(admission.outstanding_per_proc(a), 0.0) << unsigned(a);
+  }
+  const KDag probe = dag_with_types(3, 1);
+  EXPECT_EQ(admission.verdict(probe, 0), AdmissionVerdict::kAdmit);
+}
+
+TEST(Admission, NeverFitsEvenWhenIdle) {
+  AdmissionConfig config;
+  config.max_outstanding_per_proc = 4.0;
+  AdmissionController admission(config, Cluster({1, 1}));
+  const KDag dag = dag_with_types(2, 100);
+  EXPECT_EQ(admission.verdict(dag, 0), AdmissionVerdict::kOverloaded);
+  EXPECT_FALSE(admission.fits_when_idle(dag));
+}
+
+TEST(Admission, VerdictNames) {
+  EXPECT_STREQ(to_string(AdmissionVerdict::kAdmit), "admit");
+  EXPECT_STREQ(to_string(AdmissionVerdict::kTypeMismatch), "type_mismatch");
+  EXPECT_STREQ(to_string(AdmissionVerdict::kQueueFull), "queue_full");
+  EXPECT_STREQ(to_string(AdmissionVerdict::kOverloaded), "overloaded");
+}
+
+}  // namespace
+}  // namespace fhs

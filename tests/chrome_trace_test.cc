@@ -1,0 +1,101 @@
+#include "metrics/chrome_trace.hh"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "sched/registry.hh"
+#include "sim/engine.hh"
+
+namespace fhs {
+namespace {
+
+KDag chain_dag() {
+  KDagBuilder b(2);
+  const TaskId a = b.add_task(0, 4);
+  const TaskId c = b.add_task(1, 6);
+  const TaskId d = b.add_task(0, 2);
+  b.add_edge(a, c);
+  b.add_edge(c, d);
+  return std::move(b).build();
+}
+
+std::size_t count_occurrences(const std::string& text, const std::string& needle) {
+  std::size_t count = 0;
+  for (auto pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+void expect_balanced(const std::string& text) {
+  int depth = 0;
+  bool in_string = false, escaped = false;
+  for (char ch : text) {
+    if (in_string) {
+      if (escaped) escaped = false;
+      else if (ch == '\\') escaped = true;
+      else if (ch == '"') in_string = false;
+      continue;
+    }
+    if (ch == '"') in_string = true;
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(ChromeTrace, OneEventPerSegmentPlusMetadata) {
+  const KDag dag = chain_dag();
+  const Cluster cluster({1, 1});
+  auto scheduler = make_scheduler("kgreedy");
+  ExecutionTrace trace;
+  SimOptions options;
+  options.record_trace = true;
+  const SimResult result = simulate(dag, cluster, *scheduler, options, &trace);
+  ASSERT_EQ(trace.segments().size(), 3u);  // non-preemptive chain
+
+  std::ostringstream out;
+  ChromeTraceOptions chrome;
+  chrome.process_name = "unit \"test\"";
+  write_chrome_trace(out, dag, cluster, trace, chrome);
+  const std::string text = out.str();
+
+  expect_balanced(text);
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  // Metadata: a process name (JSON-escaped) and one thread_name per
+  // processor, grouped by type.
+  EXPECT_NE(text.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(text.find("unit \\\"test\\\""), std::string::npos);
+  EXPECT_EQ(count_occurrences(text, "\"thread_name\""), 2u);
+  EXPECT_NE(text.find("proc 0 (type 0)"), std::string::npos);
+  EXPECT_NE(text.find("proc 1 (type 1)"), std::string::npos);
+  // One complete event per trace segment, carrying task/type/work args.
+  EXPECT_EQ(count_occurrences(text, "\"ph\": \"X\""), 3u);
+  EXPECT_NE(text.find("\"args\": {\"task\": 0, \"type\": 0, \"work\": 4}"),
+            std::string::npos);
+  EXPECT_NE(text.find("\"args\": {\"task\": 1, \"type\": 1, \"work\": 6}"),
+            std::string::npos);
+
+  // The chain serializes: the type-1 task starts when the first ends.
+  EXPECT_NE(text.find("\"ts\": 4, \"dur\": 6"), std::string::npos);
+  EXPECT_EQ(result.completion_time, 12);
+}
+
+TEST(ChromeTrace, EmptyTraceIsStillValidJson) {
+  const KDag dag = chain_dag();
+  const Cluster cluster({2, 2});
+  std::ostringstream out;
+  write_chrome_trace(out, dag, cluster, ExecutionTrace{});
+  expect_balanced(out.str());
+  EXPECT_EQ(count_occurrences(out.str(), "\"ph\": \"X\""), 0u);
+  EXPECT_EQ(count_occurrences(out.str(), "\"thread_name\""), 4u);
+}
+
+}  // namespace
+}  // namespace fhs

@@ -1,0 +1,76 @@
+// Runs every malformed-journal file in tests/data/journal_corpus/
+// through read_journal and requires a *clean* failure: the documented
+// std::invalid_argument with the parser's own diagnostic (line context),
+// never a crash, a bare stoull/stoul exception, or silent acceptance.
+//
+// The corpus is the regression net for the journal parser fixes (partial
+// \uXXXX escapes, uint64 overflow, truncated objects); CI also feeds the
+// same files to `fhs_serve --replay` end to end.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/journal.hh"
+
+#ifndef FHS_JOURNAL_CORPUS_DIR
+#error "build must define FHS_JOURNAL_CORPUS_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace fhs {
+namespace {
+
+std::vector<std::filesystem::path> corpus_files() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(FHS_JOURNAL_CORPUS_DIR)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  return files;
+}
+
+TEST(JournalCorpus, CorpusIsPresent) {
+  EXPECT_GE(corpus_files().size(), 8u) << FHS_JOURNAL_CORPUS_DIR;
+}
+
+TEST(JournalCorpus, EveryFileFailsCleanly) {
+  for (const auto& path : corpus_files()) {
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << path;
+    try {
+      const auto entries = read_journal(in);
+      FAIL() << path.filename() << " parsed as " << entries.size()
+             << " entries; the corpus holds only malformed journals";
+    } catch (const std::invalid_argument& error) {
+      // The wrapper prefixes every parse failure with the line number.
+      EXPECT_NE(std::string(error.what()).find("line "), std::string::npos)
+          << path.filename() << ": " << error.what();
+    } catch (const std::exception& error) {
+      FAIL() << path.filename() << " escaped with non-parse exception: "
+             << error.what();
+    }
+  }
+}
+
+// The diagnostics the fixes added must survive end to end: the two
+// unicode-escape files fail in the escape decoder, not downstream.
+TEST(JournalCorpus, UnicodeEscapeFilesFailInTheEscapeDecoder) {
+  for (const char* name :
+       {"bad_unicode_escape.jsonl", "non_hex_unicode_escape.jsonl"}) {
+    std::ifstream in(std::filesystem::path(FHS_JOURNAL_CORPUS_DIR) / name);
+    ASSERT_TRUE(in) << name;
+    try {
+      (void)read_journal(in);
+      FAIL() << name << " parsed successfully";
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string(error.what()).find("\\u escape"), std::string::npos)
+          << name << ": " << error.what();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fhs

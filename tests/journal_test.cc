@@ -70,6 +70,114 @@ TEST(Journal, RejectsMalformedLines) {
   EXPECT_THROW((void)parse_journal_line(good + " extra"), std::invalid_argument);
 }
 
+// Regression: stoul's prefix parsing used to decode "\u12zz" as 0x12 and
+// silently swallow the junk.  All four chars must now be hex digits, and
+// the failure must be the *parser's* diagnostic, not a downstream one.
+TEST(Journal, RejectsPartiallyHexUnicodeEscape) {
+  const std::string line =
+      "{\"ticket\": 1, \"epoch\": 2, \"kdag\": \"\\u12zz\"}";
+  try {
+    (void)parse_journal_line(line);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("invalid \\u escape"),
+              std::string::npos)
+        << error.what();
+    EXPECT_NE(std::string(error.what()).find("parse_journal_line"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+// Regression: "\uzzzz" used to surface as stoul's own bare exception;
+// it must now go through fail() with parser context.
+TEST(Journal, RejectsNonHexUnicodeEscapeWithParserDiagnostic) {
+  const std::string line =
+      "{\"ticket\": 1, \"epoch\": 2, \"kdag\": \"\\uzzzz\"}";
+  try {
+    (void)parse_journal_line(line);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("parse_journal_line"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(Journal, ValidUnicodeEscapeStillDecodes) {
+  const std::string canonical = journal_line(JournalEntry{1, 2, small_dag()});
+  // Rewrite the leading "kdag v1" of the payload via \u escapes.
+  const auto pos = canonical.find("kdag v1");
+  ASSERT_NE(pos, std::string::npos);
+  std::string line = canonical;
+  line.replace(pos, 1, "\\u006b");  // 'k'
+  const JournalEntry parsed = parse_journal_line(line);
+  EXPECT_EQ(parsed.ticket, 1u);
+  EXPECT_EQ(parsed.dag.task_count(), 2u);
+}
+
+// Regression: a number too large for uint64 used to escape as
+// std::out_of_range from stoull; parse errors are std::invalid_argument.
+TEST(Journal, NumberOverflowIsAParseError) {
+  const std::string line =
+      "{\"ticket\": 1, \"epoch\": 9999999999999999999999999, \"kdag\": \"x\"}";
+  try {
+    (void)parse_journal_line(line);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("out of range"), std::string::npos)
+        << error.what();
+  } catch (const std::out_of_range& error) {
+    FAIL() << "std::out_of_range leaked out of the parser: " << error.what();
+  }
+}
+
+TEST(Journal, ErrorsCarryColumnContext) {
+  try {
+    (void)parse_journal_line("{\"ticket\": }");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("at column"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(Journal, ReadJournalReportsLineNumbers) {
+  std::ostringstream out;
+  JournalWriter writer(out);
+  writer.append(JournalEntry{1, 5, small_dag()});
+  std::istringstream in(out.str() + "{\"ticket\": oops}\n");
+  try {
+    (void)read_journal(in);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos)
+        << error.what();
+  }
+}
+
+// Round-trip fuzz: journal lines survive write->parse for dags whose
+// serialized text exercises the escape paths, at epoch extremes.
+TEST(Journal, RoundTripFuzz) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    KDagBuilder b(static_cast<ResourceType>(1 + seed % 3));
+    const auto tasks = 1 + (seed * 7) % 9;
+    std::vector<TaskId> ids;
+    for (std::uint64_t t = 0; t < tasks; ++t) {
+      ids.push_back(b.add_task(static_cast<ResourceType>(t % (1 + seed % 3)),
+                               static_cast<Work>(1 + (seed + t) % 100)));
+    }
+    for (std::size_t t = 1; t < ids.size(); ++t) {
+      if ((seed + t) % 2 == 0) b.add_edge(ids[t - 1], ids[t]);
+    }
+    JournalEntry entry{seed, static_cast<Time>(seed * 1000003), std::move(b).build()};
+    const JournalEntry parsed = parse_journal_line(journal_line(entry));
+    EXPECT_EQ(parsed.ticket, entry.ticket);
+    EXPECT_EQ(parsed.epoch, entry.epoch);
+    EXPECT_EQ(kdag_to_string(parsed.dag), kdag_to_string(entry.dag));
+  }
+}
+
 TEST(Journal, RejectsDecreasingEpochs) {
   std::ostringstream out;
   JournalWriter writer(out);

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <sstream>
+#include <string>
+
 #include "exp/configs.hh"
+#include "service/service_stats.hh"
 
 namespace fhs {
 namespace {
@@ -73,6 +78,64 @@ TEST(Json, BaselineHasZeroCountReduction) {
   EXPECT_EQ(result.outcomes[1].reduction_vs_baseline.count(), 8u);
   const std::string text = to_json(result);
   EXPECT_NE(text.find("\"reduction_vs_baseline\": {\"count\": 0}"), std::string::npos);
+}
+
+// Regression: write_number used `out << std::setprecision(10)`, which
+// (a) permanently changed the caller's stream and (b) truncated doubles
+// that need 17 significant digits to round-trip.
+
+TEST(Json, WriteJsonLeavesStreamFormattingUntouched) {
+  ServiceStats stats;
+  stats.utilization = {0.1 + 0.2};
+  std::ostringstream out;
+  const auto precision_before = out.precision();
+  const auto flags_before = out.flags();
+  write_json(out, stats);
+  EXPECT_EQ(out.precision(), precision_before);
+  EXPECT_EQ(out.flags(), flags_before);
+  // The stream still formats doubles exactly as it did before the call.
+  out.str("");
+  out << 1.0 / 3.0;
+  std::ostringstream reference;
+  reference << 1.0 / 3.0;
+  EXPECT_EQ(out.str(), reference.str());
+}
+
+TEST(Json, DoublesRoundTripExactly) {
+  const double awkward[] = {0.1 + 0.2, 1.0 / 3.0, 1e-17, 123456789.123456789,
+                            -2.2250738585072014e-308};
+  for (const double value : awkward) {
+    ServiceStats stats;
+    stats.mean_flow_time = value;
+    const std::string text = to_json(stats);
+    const auto key = text.find("\"mean_flow_time\": ");
+    ASSERT_NE(key, std::string::npos);
+    const auto start = key + std::string("\"mean_flow_time\": ").size();
+    const auto end = text.find_first_of(",\n", start);
+    const double parsed = std::stod(text.substr(start, end - start));
+    EXPECT_EQ(parsed, value) << text.substr(start, end - start);
+  }
+}
+
+TEST(Json, NonFiniteStillNull) {
+  ServiceStats stats;
+  stats.mean_flow_time = std::numeric_limits<double>::quiet_NaN();
+  const std::string text = to_json(stats);
+  EXPECT_NE(text.find("\"mean_flow_time\": null"), std::string::npos);
+}
+
+TEST(Json, ServiceStatsCarriesRejectBreakdown) {
+  ServiceStats stats;
+  stats.rejected = 7;
+  stats.rejected_queue_full = 3;
+  stats.rejected_overloaded = 2;
+  stats.rejected_never_fits = 1;
+  stats.rejected_shutdown = 1;
+  const std::string text = to_json(stats);
+  EXPECT_NE(text.find("\"rejected_queue_full\": 3"), std::string::npos);
+  EXPECT_NE(text.find("\"rejected_overloaded\": 2"), std::string::npos);
+  EXPECT_NE(text.find("\"rejected_never_fits\": 1"), std::string::npos);
+  EXPECT_NE(text.find("\"rejected_shutdown\": 1"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,229 @@
+#include "obs/metrics.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hh"
+
+namespace fhs::obs {
+namespace {
+
+// The registry is process-global; use test-unique metric names instead
+// of reset_for_test() so tests stay order-independent.
+
+TEST(ObsCounter, StartsAtZeroAndAccumulates) {
+  Counter& counter = Registry::global().counter("test.counter.basic");
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(ObsCounter, LookupReturnsTheSameInstance) {
+  Counter& a = Registry::global().counter("test.counter.same");
+  Counter& b = Registry::global().counter("test.counter.same");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(ObsGauge, LastWriteWins) {
+  Gauge& gauge = Registry::global().gauge("test.gauge");
+  gauge.set(7);
+  gauge.set(-3);
+  EXPECT_EQ(gauge.value(), -3);
+}
+
+TEST(ObsHistogram, BucketMath) {
+  EXPECT_EQ(histogram_bucket(0), 0u);
+  EXPECT_EQ(histogram_bucket(1), 1u);
+  EXPECT_EQ(histogram_bucket(2), 2u);
+  EXPECT_EQ(histogram_bucket(3), 2u);
+  EXPECT_EQ(histogram_bucket(4), 3u);
+  EXPECT_EQ(histogram_bucket(~std::uint64_t{0}), 64u);
+
+  EXPECT_EQ(histogram_bucket_bound(0), 0u);
+  EXPECT_EQ(histogram_bucket_bound(1), 1u);
+  EXPECT_EQ(histogram_bucket_bound(2), 3u);
+  EXPECT_EQ(histogram_bucket_bound(3), 7u);
+  EXPECT_EQ(histogram_bucket_bound(64), ~std::uint64_t{0});
+
+  // Every value lands in the bucket whose bound covers it.
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 100ull, 65535ull, 65536ull}) {
+    const std::size_t b = histogram_bucket(v);
+    EXPECT_LE(v, histogram_bucket_bound(b));
+    if (b > 0) {
+      EXPECT_GT(v, histogram_bucket_bound(b - 1));
+    }
+  }
+}
+
+TEST(ObsHistogram, RecordAndSnapshot) {
+  Histogram& histogram = Registry::global().histogram("test.histogram.record");
+  histogram.record(0);
+  histogram.record(5);
+  histogram.record(100);
+  const HistogramSnapshot snapshot = histogram.snapshot();
+  EXPECT_EQ(snapshot.count, 3u);
+  EXPECT_EQ(snapshot.sum, 105u);
+  EXPECT_EQ(snapshot.max, 100u);
+  EXPECT_DOUBLE_EQ(snapshot.mean(), 35.0);
+  EXPECT_EQ(snapshot.buckets[histogram_bucket(0)], 1u);
+  EXPECT_EQ(snapshot.buckets[histogram_bucket(5)], 1u);
+  EXPECT_EQ(snapshot.buckets[histogram_bucket(100)], 1u);
+}
+
+TEST(ObsHistogram, LocalMerge) {
+  LocalHistogram local;
+  EXPECT_TRUE(local.empty());
+  for (std::uint64_t v = 0; v < 100; ++v) local.record(v);
+  EXPECT_FALSE(local.empty());
+  EXPECT_EQ(local.count, 100u);
+  EXPECT_EQ(local.max, 99u);
+
+  Histogram& histogram = Registry::global().histogram("test.histogram.merge");
+  histogram.merge(local);
+  histogram.merge(local);
+  const HistogramSnapshot snapshot = histogram.snapshot();
+  EXPECT_EQ(snapshot.count, 200u);
+  EXPECT_EQ(snapshot.sum, 2u * (99u * 100u / 2u));
+  EXPECT_EQ(snapshot.max, 99u);
+}
+
+TEST(ObsHistogram, QuantileBounds) {
+  Histogram& histogram = Registry::global().histogram("test.histogram.quantile");
+  for (std::uint64_t v = 1; v <= 1000; ++v) histogram.record(v);
+  const HistogramSnapshot snapshot = histogram.snapshot();
+  // Quantiles are bucket upper bounds: correct within a factor of 2.
+  EXPECT_GE(snapshot.quantile_bound(0.5), 500u);
+  EXPECT_LE(snapshot.quantile_bound(0.5), 1023u);
+  EXPECT_GE(snapshot.quantile_bound(0.99), 990u);
+  EXPECT_LE(snapshot.quantile_bound(1.0), snapshot.max * 2);
+  EXPECT_EQ(HistogramSnapshot{}.quantile_bound(0.5), 0u);
+}
+
+TEST(ObsHistogram, ConcurrentRecordsDropNothing) {
+  Histogram& histogram = Registry::global().histogram("test.histogram.threads");
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (std::uint64_t v = 0; v < kPerThread; ++v) histogram.record(v);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(histogram.count(), kThreads * kPerThread);
+}
+
+TEST(ObsRegistry, SnapshotFindsMetricsByName) {
+  Registry::global().counter("test.snapshot.counter").add(5);
+  Registry::global().gauge("test.snapshot.gauge").set(9);
+  Registry::global().histogram("test.snapshot.histogram").record(3);
+  const MetricsSnapshot snapshot = Registry::global().snapshot();
+
+  const std::uint64_t* counter = snapshot.counter("test.snapshot.counter");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(*counter, 5u);
+  const HistogramSnapshot* histogram = snapshot.histogram("test.snapshot.histogram");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_EQ(histogram->count, 1u);
+  EXPECT_EQ(snapshot.counter("test.snapshot.missing"), nullptr);
+  EXPECT_EQ(snapshot.histogram("test.snapshot.missing"), nullptr);
+}
+
+TEST(ObsRegistry, SnapshotJsonIsBalanced) {
+  Registry::global().counter("test.json.counter").add(1);
+  Registry::global().histogram("test.json.histogram").record(77);
+  const std::string text = to_json(Registry::global().snapshot());
+  EXPECT_NE(text.find("\"counters\""), std::string::npos);
+  EXPECT_NE(text.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(text.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(text.find("\"test.json.counter\": 1"), std::string::npos);
+  EXPECT_NE(text.find("\"test.json.histogram\""), std::string::npos);
+
+  int depth = 0;
+  bool in_string = false, escaped = false;
+  for (char ch : text) {
+    if (in_string) {
+      if (escaped) escaped = false;
+      else if (ch == '\\') escaped = true;
+      else if (ch == '"') in_string = false;
+      continue;
+    }
+    if (ch == '"') in_string = true;
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(ObsEnabled, RuntimeSwitchGatesRecording) {
+  if (!kCompiledIn) {
+    EXPECT_FALSE(enabled()) << "enabled() must constant-fold under FHS_OBS_OFF";
+    set_enabled(true);
+    EXPECT_FALSE(enabled());
+    GTEST_SKIP() << "built with FHS_OBS_OFF";
+  }
+  EXPECT_TRUE(enabled());
+  set_enabled(false);
+  EXPECT_FALSE(enabled());
+  set_enabled(true);
+  EXPECT_TRUE(enabled());
+}
+
+TEST(ObsTrace, SpansRecordOnlyWhileActive) {
+  if (!kCompiledIn) GTEST_SKIP() << "spans compile out under FHS_OBS_OFF";
+  { TraceSpan ignored("before", "test"); }
+  start_tracing();
+  EXPECT_TRUE(tracing_active());
+  {
+    TraceSpan outer("outer", "test");
+    TraceSpan inner(std::string("in") + "ner", "test");  // temporary name
+  }
+  stop_tracing();
+  EXPECT_FALSE(tracing_active());
+  { TraceSpan ignored("after", "test"); }
+  EXPECT_EQ(recorded_event_count(), 2u);
+
+  std::ostringstream out;
+  write_chrome_trace(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"outer\""), std::string::npos);
+  EXPECT_NE(text.find("\"inner\""), std::string::npos);
+  EXPECT_EQ(text.find("\"before\""), std::string::npos);
+  EXPECT_EQ(text.find("\"after\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST(ObsTrace, StartDropsPreviousRecording) {
+  if (!kCompiledIn) GTEST_SKIP() << "spans compile out under FHS_OBS_OFF";
+  start_tracing();
+  { TraceSpan span("first", "test"); }
+  start_tracing();
+  { TraceSpan span("second", "test"); }
+  stop_tracing();
+  EXPECT_EQ(recorded_event_count(), 1u);
+  std::ostringstream out;
+  write_chrome_trace(out);
+  EXPECT_EQ(out.str().find("\"first\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"second\""), std::string::npos);
+}
+
+TEST(ObsTrace, ThreadsGetDistinctTids) {
+  if (!kCompiledIn) GTEST_SKIP() << "spans compile out under FHS_OBS_OFF";
+  start_tracing();
+  std::thread other([] { TraceSpan span("worker", "test"); });
+  other.join();
+  { TraceSpan span("main", "test"); }
+  stop_tracing();
+  EXPECT_EQ(recorded_event_count(), 2u);
+}
+
+}  // namespace
+}  // namespace fhs::obs

@@ -126,6 +126,7 @@ TEST(Service, SubmitAfterShutdownIsRejected) {
   service.shutdown();
   EXPECT_FALSE(service.submit(chain_job(1, {{0, 1}})).has_value());
   EXPECT_EQ(service.stats().rejected, 1u);
+  EXPECT_EQ(service.stats().rejected_shutdown, 1u);
 }
 
 TEST(Service, RejectPolicyShedsOverload) {
@@ -133,17 +134,36 @@ TEST(Service, RejectPolicyShedsOverload) {
   config.policy = "kgreedy";
   config.epoch_length = 1'000'000;  // worker folds at most once per huge slice
   config.admission.max_queue_depth = 4;
+  config.admission.max_outstanding_per_proc = 1e9;  // only the queue binds
   config.admission.overload = OverloadPolicy::kReject;
   SchedulerService service(Cluster({1}), config);
+  // A long chain keeps the worker inside its first slice (mutex released)
+  // while the loop below floods the bounded inbox, so backpressure
+  // engages whether or not the worker wakes mid-flood: either the inbox
+  // fills while the worker sleeps, or it fills while the worker is busy
+  // simulating the chain.
+  KDagBuilder plug(1);
+  TaskId prev = plug.add_task(0, 1);
+  for (int t = 1; t < 50'000; ++t) {
+    const TaskId next = plug.add_task(0, 1);
+    plug.add_edge(prev, next);
+    prev = next;
+  }
   std::size_t accepted = 0;
+  if (service.submit(std::move(plug).build()).has_value()) ++accepted;
   for (int i = 0; i < 200; ++i) {
     if (service.submit(chain_job(1, {{0, 50}})).has_value()) ++accepted;
   }
   const ServiceStats mid = service.stats();
-  EXPECT_EQ(mid.submitted, 200u);
+  EXPECT_EQ(mid.submitted, 201u);
   EXPECT_EQ(mid.admitted, accepted);
-  EXPECT_EQ(mid.rejected, 200u - accepted);
+  EXPECT_EQ(mid.rejected, 201u - accepted);
   EXPECT_GT(mid.rejected, 0u) << "backpressure never engaged";
+  // The reason breakdown always sums to the total, and here every
+  // rejection is the bounded inbox.
+  EXPECT_EQ(mid.rejected, mid.rejected_queue_full + mid.rejected_overloaded +
+                              mid.rejected_never_fits + mid.rejected_shutdown);
+  EXPECT_EQ(mid.rejected, mid.rejected_queue_full);
   service.drain();
   EXPECT_EQ(service.stats().completed, accepted);
 }
@@ -174,6 +194,7 @@ TEST(Service, DeferRejectsJobsThatCanNeverFit) {
   SchedulerService service(Cluster({1}), config);
   EXPECT_FALSE(service.submit(chain_job(1, {{0, 100}})).has_value());
   EXPECT_EQ(service.stats().rejected, 1u);
+  EXPECT_EQ(service.stats().rejected_never_fits, 1u);
 }
 
 TEST(Service, OversizedKThrows) {

@@ -27,6 +27,7 @@
 #include "exp/tool_options.hh"
 #include "graph/serialize.hh"
 #include "machine/cluster.hh"
+#include "obs/metrics.hh"
 #include "service/service.hh"
 #include "support/cli.hh"
 #include "support/rng.hh"
@@ -149,6 +150,8 @@ int run_serve(const CliFlags& flags, const Cluster& cluster) {
   std::vector<std::uint64_t> tickets;  // admitted, in submission == ticket order
   std::vector<Time> live_flow;         // filled as completions are reported
   std::size_t cursor = 0;  // tickets[cursor] is the next to report on stdout
+  const auto stats_every = static_cast<std::size_t>(flags.get_int("stats-every"));
+  std::size_t next_stats_dump = stats_every;
   ServiceStats stats;
   {
     SchedulerService service(cluster, config);
@@ -159,6 +162,15 @@ int run_serve(const CliFlags& flags, const Cluster& cluster) {
         emit_completion(std::cout, tickets[cursor], status);
         live_flow.push_back(status.flow_time);
         ++cursor;
+        if (stats_every > 0 && cursor >= next_stats_dump) {
+          const ServiceStats live = service.stats();
+          std::cerr << "stats: submitted=" << live.submitted
+                    << " admitted=" << live.admitted << " rejected=" << live.rejected
+                    << " deferred=" << live.deferred << " completed=" << live.completed
+                    << " epochs=" << live.epochs << " virtual_now=" << live.virtual_now
+                    << '\n';
+          next_stats_dump = cursor + stats_every;
+        }
       }
     };
     std::size_t submitted = 0;
@@ -191,6 +203,12 @@ int run_serve(const CliFlags& flags, const Cluster& cluster) {
     write_json(out, stats);
   } else {
     write_json(std::cerr, stats);
+  }
+  const std::string metrics_path = flags.get_string("metrics-json");
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) throw std::runtime_error("cannot open " + metrics_path);
+    obs::write_json(out, obs::Registry::global().snapshot());
   }
   if (flags.get_bool("expect-backpressure") && stats.deferred == 0 &&
       stats.rejected == 0) {
@@ -234,6 +252,11 @@ int main(int argc, char** argv) {
   flags.define("workload", "ep", "generator family for --generate: ep | tree | ir");
   flags.define_int("seed", 42, "RNG seed for --generate");
   flags.define("stats", "", "write the final ServiceStats JSON here (default stderr)");
+  flags.define_int("stats-every", 0,
+                   "dump a one-line live stats summary to stderr every N "
+                   "reported completions (0 disables)");
+  flags.define("metrics-json", "",
+               "write the process-wide obs metrics snapshot JSON here at exit");
   try {
     if (!flags.parse(argc, argv)) return 0;
     const Cluster cluster(flags.get_uint_list("cluster"));

@@ -17,6 +17,7 @@
 #include "graph/dot.hh"
 #include "graph/serialize.hh"
 #include "metrics/bounds.hh"
+#include "metrics/chrome_trace.hh"
 #include "metrics/svg.hh"
 #include "metrics/timeline.hh"
 #include "sched/registry.hh"
@@ -65,6 +66,9 @@ int main(int argc, char** argv) {
   flags.define("dot", "", "write the job as Graphviz DOT to this file");
   flags.define("save", "", "write the job as .kdag text to this file");
   flags.define("svg", "", "write the schedule as an SVG Gantt chart to this file");
+  flags.define("trace-out", "",
+               "write the schedule as Chrome trace-event JSON to this file "
+               "(open in chrome://tracing or ui.perfetto.dev)");
   try {
     if (!flags.parse(argc, argv)) return 0;
 
@@ -131,6 +135,14 @@ int main(int argc, char** argv) {
       svg.title = scheduler->name() + " on " + cluster.describe();
       write_svg_gantt(out, job, cluster, trace, svg);
       std::cout << "wrote " << flags.get_string("svg") << '\n';
+    }
+    if (!flags.get_string("trace-out").empty()) {
+      std::ofstream out(flags.get_string("trace-out"));
+      if (!out) throw std::runtime_error("cannot open " + flags.get_string("trace-out"));
+      ChromeTraceOptions trace_options;
+      trace_options.process_name = scheduler->name() + " on " + cluster.describe();
+      write_chrome_trace(out, job, cluster, trace, trace_options);
+      std::cout << "wrote " << flags.get_string("trace-out") << '\n';
     }
     if (flags.get_bool("gantt")) {
       std::cout << "\nGantt (one row per processor):\n";
