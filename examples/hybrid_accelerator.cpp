@@ -93,7 +93,10 @@ int main(int argc, char** argv) {
     trace.print_gantt(gantt, machine.total_processors());
     const std::string all = gantt.str();
     // Print only the FPGA's line.
-    const std::string key = "p" + std::to_string(machine.offset(kFpga));
+    // += rather than `"p" + ...`: gcc 12 flags the operator+(const char*,
+    // string&&) overload with a spurious -Wrestrict (GCC PR105329).
+    std::string key = "p";
+    key += std::to_string(machine.offset(kFpga));
     for (std::size_t pos = 0; pos < all.size();) {
       const std::size_t end = all.find('\n', pos);
       const std::string line = all.substr(pos, end - pos);

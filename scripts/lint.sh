@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Static lint entry point: fhs_lint's own unit tests, then the domain
+# determinism lint over the real tree.  Run from anywhere; exits
+# non-zero on any finding.  CI runs this in the static-analysis job and
+# ctest mirrors it as fhs_lint_unit / fhs_lint_tree.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+python3 tools/fhs_lint_test.py
+python3 tools/fhs_lint.py src bench examples
+echo "fhs_lint: clean"

@@ -18,6 +18,14 @@
 // Timing: each cell's wall time is recorded, so callers can report
 // cells/sec and parallel speedup (bench/sweep_speedup, fhs_experiment
 // --json).  Timing feeds SweepMetrics only; it never touches results.
+//
+// Static analysis: the hot path is lock-free by construction (disjoint
+// preallocated slots + the cursor inside parallel_for_chunked), so
+// there is nothing here for the thread-safety annotations of
+// support/thread_annotations.hh to guard; the determinism rules are
+// enforced statically by tools/fhs_lint.py instead (no wall-clock or
+// entropy sources, no unordered iteration -- steady_clock timing is
+// exempt because it feeds metrics only).
 #pragma once
 
 #include <cstddef>

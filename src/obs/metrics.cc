@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
 #include <ostream>
 #include <sstream>
+
+#include "support/mutex.hh"
+#include "support/thread_annotations.hh"
 
 namespace fhs::obs {
 
@@ -64,11 +66,13 @@ const HistogramSnapshot* MetricsSnapshot::histogram(std::string_view name) const
 
 // Node-based maps keep metric addresses stable across registrations, so
 // handed-out references survive any later counter()/histogram() call.
+// The mutex guards only the maps; the returned metric objects are
+// internally atomic and updated lock-free.
 struct Registry::Impl {
-  mutable std::mutex mutex;
-  std::map<std::string, Counter, std::less<>> counters;
-  std::map<std::string, Gauge, std::less<>> gauges;
-  std::map<std::string, Histogram, std::less<>> histograms;
+  mutable Mutex mutex;
+  std::map<std::string, Counter, std::less<>> counters FHS_GUARDED_BY(mutex);
+  std::map<std::string, Gauge, std::less<>> gauges FHS_GUARDED_BY(mutex);
+  std::map<std::string, Histogram, std::less<>> histograms FHS_GUARDED_BY(mutex);
 };
 
 Registry::Impl& Registry::impl() const {
@@ -83,7 +87,7 @@ Registry& Registry::global() {
 
 Counter& Registry::counter(std::string_view name) {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mutex);
+  MutexLock lock(i.mutex);
   const auto it = i.counters.find(name);
   if (it != i.counters.end()) return it->second;
   return i.counters.try_emplace(std::string(name)).first->second;
@@ -91,7 +95,7 @@ Counter& Registry::counter(std::string_view name) {
 
 Gauge& Registry::gauge(std::string_view name) {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mutex);
+  MutexLock lock(i.mutex);
   const auto it = i.gauges.find(name);
   if (it != i.gauges.end()) return it->second;
   return i.gauges.try_emplace(std::string(name)).first->second;
@@ -99,7 +103,7 @@ Gauge& Registry::gauge(std::string_view name) {
 
 Histogram& Registry::histogram(std::string_view name) {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mutex);
+  MutexLock lock(i.mutex);
   const auto it = i.histograms.find(name);
   if (it != i.histograms.end()) return it->second;
   return i.histograms.try_emplace(std::string(name)).first->second;
@@ -107,7 +111,7 @@ Histogram& Registry::histogram(std::string_view name) {
 
 MetricsSnapshot Registry::snapshot() const {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mutex);
+  MutexLock lock(i.mutex);
   MetricsSnapshot snap;
   snap.counters.reserve(i.counters.size());
   for (const auto& [name, counter] : i.counters) {
@@ -126,7 +130,7 @@ MetricsSnapshot Registry::snapshot() const {
 
 void Registry::reset_for_test() {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mutex);
+  MutexLock lock(i.mutex);
   i.counters.clear();
   i.gauges.clear();
   i.histograms.clear();

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <vector>
+
+#include "support/mutex.hh"
+#include "support/thread_annotations.hh"
 
 namespace fhs::obs {
 
@@ -15,18 +17,20 @@ namespace {
 /// (uncontended in steady state -- the collector only takes it while
 /// gathering, which happens after stop_tracing()).
 struct ThreadSink {
-  std::mutex buffer_mutex;
-  std::vector<TraceEvent> events;
-  std::uint32_t tid = 0;
+  Mutex buffer_mutex;
+  std::vector<TraceEvent> events FHS_GUARDED_BY(buffer_mutex);
+  /// Written once at registration (under Collector::registry_mutex,
+  /// before the sink is published), immutable afterwards.
+  std::uint32_t tid = 0;  // fhs-lint: allow(guarded-field)
 };
 
 struct Collector {
   std::atomic<bool> active{false};
   std::atomic<std::uint64_t> epoch_started_ns{0};
 
-  std::mutex registry_mutex;
-  std::vector<std::shared_ptr<ThreadSink>> sinks;
-  std::uint32_t next_tid = 0;
+  Mutex registry_mutex;
+  std::vector<std::shared_ptr<ThreadSink>> sinks FHS_GUARDED_BY(registry_mutex);
+  std::uint32_t next_tid FHS_GUARDED_BY(registry_mutex) = 0;
   std::atomic<std::uint64_t> generation{0};
 };
 
@@ -48,7 +52,7 @@ ThreadSink& local_sink() {
   // Fast path: already registered with the current recording.
   const std::uint64_t generation = c.generation.load(std::memory_order_acquire);
   if (local.sink != nullptr && local.generation == generation) return *local.sink;
-  std::lock_guard<std::mutex> lock(c.registry_mutex);
+  MutexLock lock(c.registry_mutex);
   local.sink = std::make_shared<ThreadSink>();
   local.sink->tid = c.next_tid++;
   local.generation = c.generation.load(std::memory_order_relaxed);
@@ -68,7 +72,7 @@ std::uint64_t now_ns() noexcept {
 void start_tracing() {
   Collector& c = collector();
   {
-    std::lock_guard<std::mutex> lock(c.registry_mutex);
+    MutexLock lock(c.registry_mutex);
     c.sinks.clear();
     c.next_tid = 0;
     c.generation.fetch_add(1, std::memory_order_release);
@@ -85,10 +89,18 @@ bool tracing_active() noexcept {
   return collector().active.load(std::memory_order_relaxed);
 }
 
+std::uint64_t recording_generation() noexcept {
+  return collector().generation.load(std::memory_order_acquire);
+}
+
 void TraceSpan::close() noexcept {
   const auto end = std::chrono::steady_clock::now();
   Collector& c = collector();
   if (!c.active.load(std::memory_order_relaxed)) return;  // stopped mid-span
+  // A span opened under a previous recording must not leak into this
+  // one: its start time predates the new epoch, so the event would be
+  // clamped to ts 0 with a bogus duration.  Drop it instead.
+  if (c.generation.load(std::memory_order_acquire) != generation_) return;
   const std::uint64_t t0 = c.epoch_started_ns.load(std::memory_order_relaxed);
   const auto start_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -104,7 +116,7 @@ void TraceSpan::close() noexcept {
   event.dur_us = end_ns > start_ns ? (end_ns - start_ns) / 1000 : 0;
   ThreadSink& sink = local_sink();
   event.tid = sink.tid;
-  std::lock_guard<std::mutex> lock(sink.buffer_mutex);
+  MutexLock lock(sink.buffer_mutex);
   sink.events.push_back(std::move(event));
 }
 
@@ -130,10 +142,10 @@ void write_quoted(std::ostream& out, std::string_view text) {
 
 std::size_t recorded_event_count() {
   Collector& c = collector();
-  std::lock_guard<std::mutex> lock(c.registry_mutex);
+  MutexLock lock(c.registry_mutex);
   std::size_t total = 0;
   for (const auto& sink : c.sinks) {
-    std::lock_guard<std::mutex> buffer_lock(sink->buffer_mutex);
+    MutexLock buffer_lock(sink->buffer_mutex);
     total += sink->events.size();
   }
   return total;
@@ -143,9 +155,9 @@ void write_chrome_trace(std::ostream& out) {
   Collector& c = collector();
   std::vector<TraceEvent> events;
   {
-    std::lock_guard<std::mutex> lock(c.registry_mutex);
+    MutexLock lock(c.registry_mutex);
     for (const auto& sink : c.sinks) {
-      std::lock_guard<std::mutex> buffer_lock(sink->buffer_mutex);
+      MutexLock buffer_lock(sink->buffer_mutex);
       events.insert(events.end(), sink->events.begin(), sink->events.end());
     }
   }

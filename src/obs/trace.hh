@@ -47,6 +47,12 @@ void start_tracing();
 void stop_tracing();
 [[nodiscard]] bool tracing_active() noexcept;
 
+/// Monotone id of the current recording; bumped by every
+/// start_tracing().  Spans capture it at construction so one opened
+/// under a previous recording is dropped instead of landing in the new
+/// one with a timestamp measured against the wrong epoch.
+[[nodiscard]] std::uint64_t recording_generation() noexcept;
+
 /// Writes everything recorded since start_tracing() as one Chrome
 /// trace-event JSON document ({"traceEvents": [...]}).
 void write_chrome_trace(std::ostream& out);
@@ -66,6 +72,7 @@ class TraceSpan {
     if (active_) {
       name_ = name;
       category_ = category;
+      generation_ = recording_generation();
       start_ = std::chrono::steady_clock::now();
     }
   }
@@ -79,6 +86,7 @@ class TraceSpan {
   std::string name_;
   const char* category_ = "fhs";
   std::chrono::steady_clock::time_point start_;
+  std::uint64_t generation_ = 0;
   bool active_ = false;
 };
 

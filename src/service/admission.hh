@@ -14,7 +14,10 @@
 // What happens beyond a limit is the overload policy: kReject refuses
 // the submission immediately; kDefer blocks the submitter until load
 // drains (backpressure).  The controller itself is synchronization-free
-// bookkeeping -- SchedulerService serializes calls under its own lock.
+// bookkeeping -- SchedulerService serializes calls under its own lock,
+// a guarantee the service states to the thread safety analysis by
+// declaring its controller member FHS_GUARDED_BY(mutex_); adding a
+// mutex here would duplicate that lock, not add safety.
 #pragma once
 
 #include <cstddef>

@@ -81,7 +81,11 @@ SchedulerService::SchedulerService(const Cluster& cluster, ServiceConfig config)
   if (config_.epoch_length <= 0) {
     throw std::invalid_argument("SchedulerService: epoch_length must be positive");
   }
-  if (config_.journal != nullptr) journal_.emplace(*config_.journal);
+  {
+    MutexLock lock(mutex_);
+    if (config_.journal != nullptr) journal_.emplace(*config_.journal);
+  }
+  MutexLock join_lock(join_mutex_);
   worker_ = std::thread([this] { worker_loop(); });
 }
 
@@ -90,9 +94,70 @@ SchedulerService::~SchedulerService() { shutdown(); }
 std::optional<JobTicket> SchedulerService::submit(KDag dag) {
   const bool observed = obs::enabled();
   const auto entered = std::chrono::steady_clock::now();
-  std::unique_lock<std::mutex> lock(mutex_);
+  // The StatsBlock is single atomics and the obs registry handles are
+  // internally synchronized, so every tally happens OUTSIDE the critical
+  // section; mutex_ covers only the admission decision and queue state
+  // (thread-safety analysis surfaced the original lock scope, which held
+  // mutex_ across all the bookkeeping below).
   stats_->submitted.fetch_add(1, std::memory_order_relaxed);
   if (observed) stats_->obs_submitted.add(1);
+
+  enum class Outcome : std::uint8_t {
+    kAdmitted,
+    kShutdown,
+    kQueueFull,
+    kOverloaded,
+    kNeverFits,
+    kTypeMismatch,
+  };
+  Outcome outcome = Outcome::kAdmitted;
+  std::uint64_t id = 0;
+  bool deferred = false;
+  std::uint64_t defer_wait_ns = 0;
+  {
+    MutexLock lock(mutex_);
+    if (stop_) {
+      outcome = Outcome::kShutdown;
+    } else if (cluster_.num_types() < dag.num_types()) {
+      outcome = Outcome::kTypeMismatch;
+    } else {
+      const AdmissionVerdict verdict = admission_.verdict(dag, inbox_.size());
+      if (verdict != AdmissionVerdict::kAdmit) {
+        // A job too large to ever fit is a rejection even under kDefer --
+        // waiting for it would deadlock the submitter.
+        if (!admission_.fits_when_idle(dag)) {
+          outcome = Outcome::kNeverFits;
+        } else if (config_.admission.overload == OverloadPolicy::kReject) {
+          outcome = verdict == AdmissionVerdict::kQueueFull ? Outcome::kQueueFull
+                                                            : Outcome::kOverloaded;
+        } else {
+          // Deferred is counted before the wait so stats() taken while a
+          // submitter blocks already reflects it.
+          deferred = true;
+          stats_->deferred.fetch_add(1, std::memory_order_relaxed);
+          if (observed) stats_->obs_deferred.add(1);
+          const auto wait_started = std::chrono::steady_clock::now();
+          while (!stop_ && !admission_.admissible(dag, inbox_.size())) {
+            space_available_.wait(lock.native());
+          }
+          defer_wait_ns = elapsed_ns(wait_started);
+          if (stop_) outcome = Outcome::kShutdown;
+        }
+      }
+      if (outcome == Outcome::kAdmitted) {
+        admission_.on_admit(dag);
+        ++accepted_;
+        id = tickets_.size() + 1;
+        TicketRecord record;
+        record.submitted_at = entered;
+        tickets_.push_back(record);
+        inbox_.push_back(Pending{id, std::move(dag)});
+        work_available_.notify_one();
+      }
+    }
+  }
+
+  if (deferred && observed) stats_->obs_defer_wait_ns.record(defer_wait_ns);
   // Rejections are tallied by reason (the obs counters and the
   // per-reason ServiceStats fields always sum to `rejected`).
   auto reject = [&](std::atomic<std::uint64_t>& reason_stat,
@@ -102,52 +167,31 @@ std::optional<JobTicket> SchedulerService::submit(KDag dag) {
     if (observed) reason_counter.add(1);
     return std::nullopt;
   };
-  if (stop_) {
-    return reject(stats_->reject_shutdown, stats_->obs_reject_shutdown);
-  }
-  if (cluster_.num_types() < dag.num_types()) {
-    if (observed) stats_->obs_reject_type_mismatch.add(1);
-    throw std::invalid_argument("SchedulerService::submit: job K exceeds cluster K");
-  }
-  const AdmissionVerdict verdict = admission_.verdict(dag, inbox_.size());
-  if (verdict != AdmissionVerdict::kAdmit) {
-    // A job too large to ever fit is a rejection even under kDefer --
-    // waiting for it would deadlock the submitter.
-    if (!admission_.fits_when_idle(dag)) {
-      return reject(stats_->reject_never_fits, stats_->obs_reject_never_fits);
-    }
-    if (config_.admission.overload == OverloadPolicy::kReject) {
-      return verdict == AdmissionVerdict::kQueueFull
-                 ? reject(stats_->reject_queue_full, stats_->obs_reject_queue_full)
-                 : reject(stats_->reject_overloaded, stats_->obs_reject_overloaded);
-    }
-    stats_->deferred.fetch_add(1, std::memory_order_relaxed);
-    if (observed) stats_->obs_deferred.add(1);
-    const auto wait_started = std::chrono::steady_clock::now();
-    space_available_.wait(lock, [&] {
-      return stop_ || admission_.admissible(dag, inbox_.size());
-    });
-    if (observed) stats_->obs_defer_wait_ns.record(elapsed_ns(wait_started));
-    if (stop_) {
+  switch (outcome) {
+    case Outcome::kShutdown:
       return reject(stats_->reject_shutdown, stats_->obs_reject_shutdown);
-    }
+    case Outcome::kQueueFull:
+      return reject(stats_->reject_queue_full, stats_->obs_reject_queue_full);
+    case Outcome::kOverloaded:
+      return reject(stats_->reject_overloaded, stats_->obs_reject_overloaded);
+    case Outcome::kNeverFits:
+      return reject(stats_->reject_never_fits, stats_->obs_reject_never_fits);
+    case Outcome::kTypeMismatch:
+      if (observed) stats_->obs_reject_type_mismatch.add(1);
+      throw std::invalid_argument("SchedulerService::submit: job K exceeds cluster K");
+    case Outcome::kAdmitted:
+      break;
   }
-  admission_.on_admit(dag);
-  ++accepted_;
   stats_->admitted.fetch_add(1, std::memory_order_relaxed);
-  if (observed) stats_->obs_admitted.add(1);
-  const std::uint64_t id = tickets_.size() + 1;
-  TicketRecord record;
-  record.submitted_at = entered;
-  tickets_.push_back(record);
-  inbox_.push_back(Pending{id, std::move(dag)});
-  work_available_.notify_one();
-  if (observed) stats_->obs_submit_ns.record(elapsed_ns(entered));
+  if (observed) {
+    stats_->obs_admitted.add(1);
+    stats_->obs_submit_ns.record(elapsed_ns(entered));
+  }
   return JobTicket{id};
 }
 
 JobStatus SchedulerService::poll(JobTicket ticket) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (ticket.id == 0 || ticket.id > tickets_.size()) {
     throw std::out_of_range("SchedulerService::poll: unknown ticket");
   }
@@ -163,17 +207,23 @@ JobStatus SchedulerService::poll(JobTicket ticket) const {
 }
 
 void SchedulerService::drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  progress_.wait(lock, [&] { return inbox_.empty() && finished_ == accepted_; });
+  MutexLock lock(mutex_);
+  while (!(inbox_.empty() && finished_ == accepted_)) {
+    progress_.wait(lock.native());
+  }
 }
 
 void SchedulerService::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
     work_available_.notify_all();
     space_available_.notify_all();
   }
+  // join_mutex_ serializes the join: the destructor racing an explicit
+  // shutdown() (or two threads shutting down) must not both touch
+  // worker_ -- std::thread::join on a shared instance is a data race.
+  MutexLock join_lock(join_mutex_);
   if (worker_.joinable()) worker_.join();
 }
 
@@ -216,8 +266,8 @@ ServiceStats SchedulerService::stats() const {
   return out;
 }
 
-void SchedulerService::fold_inbox(std::unique_lock<std::mutex>& lock) {
-  (void)lock;  // held by the caller; folding mutates tickets_ and admission state
+void SchedulerService::fold_inbox() {
+  // FHS_REQUIRES(mutex_): folding mutates tickets_ and admission state.
   if (inbox_.empty()) return;
   const Time epoch = engine_.now();
   for (Pending& pending : inbox_) {
@@ -239,16 +289,16 @@ void SchedulerService::fold_inbox(std::unique_lock<std::mutex>& lock) {
 }
 
 void SchedulerService::worker_loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (;;) {
-    work_available_.wait(lock, [&] {
-      return stop_ || !inbox_.empty() || !engine_.idle();
-    });
+    while (!(stop_ || !inbox_.empty() || !engine_.idle())) {
+      work_available_.wait(lock.native());
+    }
     if (stop_ && inbox_.empty() && engine_.idle()) break;
     const bool observed = obs::enabled();
     const auto epoch_started = std::chrono::steady_clock::now();
     obs::TraceSpan epoch_span("epoch", "service");
-    fold_inbox(lock);
+    fold_inbox();
     const Time deadline = engine_.now() + config_.epoch_length;
     lock.unlock();
     engine_.advance_until(deadline);

@@ -23,7 +23,6 @@
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -35,6 +34,8 @@
 #include "service/admission.hh"
 #include "service/journal.hh"
 #include "service/service_stats.hh"
+#include "support/mutex.hh"
+#include "support/thread_annotations.hh"
 
 namespace fhs {
 
@@ -81,18 +82,20 @@ class SchedulerService {
   /// Thread-safe.  Returns the job's ticket, or nullopt when admission
   /// control rejects it (kReject) or the service is shutting down.
   /// Under kDefer, blocks until the job fits.
-  std::optional<JobTicket> submit(KDag dag);
+  std::optional<JobTicket> submit(KDag dag) FHS_EXCLUDES(mutex_);
 
   /// Thread-safe.  Throws std::out_of_range for a ticket submit() never
   /// returned.
-  [[nodiscard]] JobStatus poll(JobTicket ticket) const;
+  [[nodiscard]] JobStatus poll(JobTicket ticket) const FHS_EXCLUDES(mutex_);
 
   /// Blocks until every accepted job has completed.
-  void drain();
+  void drain() FHS_EXCLUDES(mutex_);
 
-  /// Drains, stops the worker, and joins it.  Idempotent; called by the
-  /// destructor.  Subsequent submit() calls return nullopt.
-  void shutdown();
+  /// Drains, stops the worker, and joins it.  Idempotent and safe to
+  /// call from several threads at once (the destructor may race an
+  /// explicit call); called by the destructor.  Subsequent submit()
+  /// calls return nullopt.
+  void shutdown() FHS_EXCLUDES(mutex_, join_mutex_);
 
   /// Lock-free snapshot of live counters (see service_stats.hh).
   [[nodiscard]] ServiceStats stats() const;
@@ -115,34 +118,40 @@ class SchedulerService {
   };
   class StatsBlock;
 
-  void worker_loop();
+  void worker_loop() FHS_EXCLUDES(mutex_);
   /// Folds the inbox into the engine at the current virtual time.
-  /// Called by the worker with `lock` held.
-  void fold_inbox(std::unique_lock<std::mutex>& lock);
+  /// Called by the worker with mutex_ held.
+  void fold_inbox() FHS_REQUIRES(mutex_);
 
-  Cluster cluster_;
-  ServiceConfig config_;
-  std::unique_ptr<MultiJobScheduler> scheduler_;
+  // Immutable after construction, read without the lock.
+  Cluster cluster_;                            // fhs-lint: allow(guarded-field)
+  ServiceConfig config_;                       // fhs-lint: allow(guarded-field)
+  std::unique_ptr<MultiJobScheduler> scheduler_;  // fhs-lint: allow(guarded-field)
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::condition_variable work_available_;  // worker waits: inbox/stop
   std::condition_variable space_available_;  // deferred submitters wait
   std::condition_variable progress_;         // drain()/pollers wait
-  std::vector<Pending> inbox_;
-  std::vector<TicketRecord> tickets_;
-  AdmissionController admission_;
-  std::uint64_t accepted_ = 0;
-  std::uint64_t finished_ = 0;
-  bool stop_ = false;
+  std::vector<Pending> inbox_ FHS_GUARDED_BY(mutex_);
+  std::vector<TicketRecord> tickets_ FHS_GUARDED_BY(mutex_);
+  AdmissionController admission_ FHS_GUARDED_BY(mutex_);
+  std::uint64_t accepted_ FHS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t finished_ FHS_GUARDED_BY(mutex_) = 0;
+  bool stop_ FHS_GUARDED_BY(mutex_) = false;
 
-  // Engine state: touched only by the worker thread after construction
-  // (fold_inbox runs on the worker with the lock held).
-  MultiJobEngine engine_;
-  std::vector<std::uint64_t> engine_ticket_;  // engine job index -> ticket id
-  std::optional<JournalWriter> journal_;
+  // Engine state: owned by the worker thread after construction --
+  // advance_until runs outside the lock, so it cannot be GUARDED_BY.
+  // fold_inbox (worker, lock held) is the only other writer.
+  MultiJobEngine engine_;                      // fhs-lint: allow(guarded-field)
+  std::vector<std::uint64_t> engine_ticket_    // engine job index -> ticket id
+      FHS_GUARDED_BY(mutex_);
+  std::optional<JournalWriter> journal_ FHS_GUARDED_BY(mutex_);
 
-  std::unique_ptr<StatsBlock> stats_;
-  std::thread worker_;
+  // Single-writer atomics, read lock-free by stats().
+  std::unique_ptr<StatsBlock> stats_;          // fhs-lint: allow(guarded-field)
+  /// Serializes join: the destructor may race an explicit shutdown().
+  mutable Mutex join_mutex_;
+  std::thread worker_ FHS_GUARDED_BY(join_mutex_);
 };
 
 /// Outcome of replaying a journal: the deterministic batch result plus

@@ -1,0 +1,65 @@
+// Annotated mutex wrappers for Clang Thread Safety Analysis.
+//
+// libstdc++'s std::mutex and std::lock_guard carry no capability
+// attributes, so guarding with them leaves -Wthread-safety blind.
+// fhs::Mutex wraps std::mutex as an annotated capability and
+// fhs::MutexLock is the annotated RAII guard; every mutex in the
+// concurrent layers (service/, obs/, support/parallel) goes through
+// them so FHS_GUARDED_BY / FHS_REQUIRES violations are build errors
+// under clang (see support/thread_annotations.hh).
+//
+// Condition variables: std::condition_variable needs the underlying
+// std::unique_lock<std::mutex>, exposed via MutexLock::native().  Write
+// wait loops as explicit `while (!predicate()) cv.wait(lock.native());`
+// in the locked function rather than passing a predicate lambda --
+// the analysis does not carry the held-locks context into lambda
+// bodies, so annotated member predicates called from a lambda would be
+// rejected.
+#pragma once
+
+#include <mutex>
+
+#include "support/thread_annotations.hh"
+
+namespace fhs {
+
+/// std::mutex as an annotated capability.
+class FHS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FHS_ACQUIRE() { mu_.lock(); }
+  void unlock() FHS_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() FHS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Underlying std::mutex, for std::condition_variable interop only.
+  [[nodiscard]] std::mutex& native() noexcept { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII guard over fhs::Mutex, relockable: the service worker drops the
+/// lock around the engine slice with unlock()/lock().  Backed by
+/// std::unique_lock, so the destructor releases only if still held and
+/// condition variables can wait on native().
+class FHS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) FHS_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~MutexLock() FHS_RELEASE() = default;
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void lock() FHS_ACQUIRE() { lock_.lock(); }
+  void unlock() FHS_RELEASE() { lock_.unlock(); }
+
+  /// Underlying unique_lock, for std::condition_variable::wait only.
+  [[nodiscard]] std::unique_lock<std::mutex>& native() noexcept { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace fhs

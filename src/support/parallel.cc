@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/mutex.hh"
+#include "support/thread_annotations.hh"
 
 namespace fhs {
 
@@ -26,21 +28,23 @@ namespace {
 /// after all workers join.  `step` receives no index -- it pulls work
 /// from the loop-specific cursor closed over by the caller.
 void run_workers(std::size_t threads, const std::function<bool()>& step) {
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
+  struct ErrorSlot {
+    Mutex mutex;
+    std::exception_ptr first FHS_GUARDED_BY(mutex);
+  } error;
 
   auto worker = [&] {
     for (;;) {
       {
         // Bail out quickly once any worker has failed.
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (first_error) return;
+        MutexLock lock(error.mutex);
+        if (error.first) return;
       }
       try {
         if (!step()) return;
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        MutexLock lock(error.mutex);
+        if (!error.first) error.first = std::current_exception();
         return;
       }
     }
@@ -51,6 +55,12 @@ void run_workers(std::size_t threads, const std::function<bool()>& step) {
   for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
   pool.clear();  // joins all workers
 
+  std::exception_ptr first_error;
+  {
+    // All workers joined; the lock satisfies the analysis, not a race.
+    MutexLock lock(error.mutex);
+    first_error = error.first;
+  }
   if (first_error) std::rethrow_exception(first_error);
 }
 

@@ -1,0 +1,68 @@
+// Clang Thread Safety Analysis attribute macros (FHS_ prefix).
+//
+// These turn the lock discipline of the concurrent layers (service/,
+// obs/, exp/sweep, support/parallel) into compile-time rules: a field
+// tagged FHS_GUARDED_BY(mu) may only be touched with `mu` held, a
+// function tagged FHS_REQUIRES(mu) may only be called with `mu` held,
+// and violations are hard errors under clang
+// (-Wthread-safety -Werror=thread-safety-analysis, enabled
+// automatically by the top-level CMakeLists when the compiler is
+// clang).  Under gcc every macro expands to nothing, so the annotations
+// cost nothing where the analysis is unavailable.
+//
+// The analysis only understands annotated lock types; the standard
+// library's std::mutex carries no attributes under libstdc++, so
+// annotated code must guard with fhs::Mutex / fhs::MutexLock from
+// support/mutex.hh instead.  tests/compile_fail/ holds fixtures that
+// must NOT compile under clang, keeping the macros honest.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define FHS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef FHS_THREAD_ANNOTATION
+#define FHS_THREAD_ANNOTATION(x)  // no-op: analysis unavailable
+#endif
+
+/// Marks a class as a capability (lockable).  The string names the
+/// capability kind in diagnostics ("mutex").
+#define FHS_CAPABILITY(x) FHS_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose lifetime acquires/releases a capability.
+#define FHS_SCOPED_CAPABILITY FHS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only with the given capability held.
+#define FHS_GUARDED_BY(x) FHS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the capability.
+#define FHS_PT_GUARDED_BY(x) FHS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function callable only with the listed capabilities held.
+#define FHS_REQUIRES(...) FHS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquiring the listed capabilities (held on return).
+#define FHS_ACQUIRE(...) FHS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releasing the listed capabilities (must be held on entry).
+#define FHS_RELEASE(...) FHS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability iff it returns `result`.
+#define FHS_TRY_ACQUIRE(result, ...) \
+  FHS_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Function callable only with the listed capabilities NOT held
+/// (deadlock prevention for non-reentrant locks).
+#define FHS_EXCLUDES(...) FHS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Return value is a reference to data guarded by the capability.
+#define FHS_RETURN_CAPABILITY(x) FHS_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function's locking is deliberately outside the
+/// analysis (e.g. lock handoff between threads).  Use sparingly and
+/// leave a comment saying why.
+#define FHS_NO_THREAD_SAFETY_ANALYSIS \
+  FHS_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,0 +1,42 @@
+// Compile-fail fixture: writing a FHS_GUARDED_BY member without its
+// mutex must be rejected by clang's thread safety analysis.
+//
+// Compiled two ways by tests/compile_fail/CMakeLists.txt:
+//  * control (no define): the locked path only -- must compile under
+//    ANY compiler, proving the annotations are zero-cost no-ops where
+//    the analysis is unavailable;
+//  * violation (-DFHS_COMPILE_FAIL_VIOLATE, clang only, WILL_FAIL):
+//    adds an unlocked write, which -Werror=thread-safety-analysis must
+//    reject -- proving the analysis actually bites.
+#include "support/mutex.hh"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int amount) FHS_EXCLUDES(mu_) {
+    fhs::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+#ifdef FHS_COMPILE_FAIL_VIOLATE
+  void deposit_racy(int amount) {
+    balance_ += amount;  // no lock held: -Wthread-safety error
+  }
+#endif
+
+ private:
+  fhs::Mutex mu_;
+  int balance_ FHS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(1);
+#ifdef FHS_COMPILE_FAIL_VIOLATE
+  account.deposit_racy(1);
+#endif
+  return 0;
+}

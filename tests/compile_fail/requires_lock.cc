@@ -1,0 +1,37 @@
+// Compile-fail fixture: calling an FHS_REQUIRES function without
+// holding the named mutex must be rejected by clang's thread safety
+// analysis.  See guarded_field.cc for the control/violation protocol.
+#include "support/mutex.hh"
+
+namespace {
+
+class Ledger {
+ public:
+  void post() FHS_EXCLUDES(mu_) {
+    fhs::MutexLock lock(mu_);
+    append_locked();
+  }
+
+#ifdef FHS_COMPILE_FAIL_VIOLATE
+  void post_racy() {
+    append_locked();  // caller does not hold mu_: -Wthread-safety error
+  }
+#endif
+
+ private:
+  void append_locked() FHS_REQUIRES(mu_) { ++entries_; }
+
+  fhs::Mutex mu_;
+  int entries_ FHS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Ledger ledger;
+  ledger.post();
+#ifdef FHS_COMPILE_FAIL_VIOLATE
+  ledger.post_racy();
+#endif
+  return 0;
+}

@@ -7,6 +7,7 @@
 // of the drawing process.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "support/rng.hh"
@@ -53,8 +54,13 @@ INSTANTIATE_TEST_SUITE_P(
                     std::pair<std::size_t, std::size_t>{500, 2},
                     std::pair<std::size_t, std::size_t>{500, 499}),
     [](const testing::TestParamInfo<std::pair<std::size_t, std::size_t>>& param) {
-      return "n" + std::to_string(param.param.first) + "_r" +
-             std::to_string(param.param.second);
+      // Built with += rather than operator+ chaining: gcc 12 issues a
+      // spurious -Wrestrict for `"lit" + std::string&&` (GCC PR105329).
+      std::string name = "n";
+      name += std::to_string(param.param.first);
+      name += "_r";
+      name += std::to_string(param.param.second);
+      return name;
     });
 
 TEST(Lemma1, DegenerateAllRed) {

@@ -1,0 +1,31 @@
+// Fixture: deterministic-module code that must produce zero findings.
+#include <chrono>
+#include <map>
+#include <vector>
+
+#include <ostream>
+
+namespace fhs {
+
+// steady_clock timing for metrics is allowed.
+long slice_ns() {
+  const auto start = std::chrono::steady_clock::now();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(end - start).count();
+}
+
+// Ordered containers keyed by value iterate deterministically.
+int fold(const std::map<int, int>& weights) {
+  int sum = 0;
+  for (const auto& [key, value] : weights) sum += key * value;
+  return sum;
+}
+
+// Caller-supplied stream with '\n' is the sanctioned output path.
+void report(std::ostream& out, int value) { out << value << '\n'; }
+
+// Identifiers merely containing rule substrings must not match:
+// "runtime(" is not "time(", and a comment saying std::cout is text.
+int runtime(int ticks) { return ticks * 2; }
+
+}  // namespace fhs

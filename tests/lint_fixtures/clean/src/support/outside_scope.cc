@@ -1,0 +1,15 @@
+// Fixture: support/ is outside the deterministic and hot-path module
+// sets, so wall-clock reads and console output are allowed here (this
+// is where the CLI and timing helpers legitimately live).
+#include <chrono>
+#include <iostream>
+
+namespace fhs {
+
+void banner() { std::cout << "fhs" << std::endl; }
+
+long wall_now() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fhs

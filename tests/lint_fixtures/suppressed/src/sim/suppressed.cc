@@ -1,0 +1,26 @@
+// Fixture: every hazard carries an explicit allow, so the lint must
+// report nothing.  Exercises same-line and preceding-line placement
+// and the comma-separated form.
+#include <chrono>
+#include <iostream>
+#include <unordered_map>
+
+namespace fhs {
+
+long wall_now() {
+  // Seeding the demo from the wall clock is this fixture's whole point.
+  // fhs-lint: allow(wall-clock)
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+int fold(const std::unordered_map<int, int>& weights) {
+  int sum = 0;
+  for (const auto& [k, v] : weights) sum += k * v;  // fhs-lint: allow(unordered-iter)
+  return sum;
+}
+
+void debug_dump(int value) {
+  std::cout << value << std::endl;  // fhs-lint: allow(stream-hot-path, wall-clock)
+}
+
+}  // namespace fhs

@@ -1,0 +1,19 @@
+// Fixture: pointer-keyed ordered containers in a deterministic module.
+#include <functional>
+#include <map>
+#include <set>
+
+namespace fhs {
+
+struct Node {
+  int id = 0;
+};
+
+std::map<Node*, int> ranks;                       // flagged: pointer-order
+std::set<const Node*> visited;                    // flagged: pointer-order
+std::multimap<Node*, int, std::less<Node*>> bag;  // flagged: pointer-order
+
+// Keying by the stable id instead is fine.
+std::map<int, int> ranks_by_id;
+
+}  // namespace fhs

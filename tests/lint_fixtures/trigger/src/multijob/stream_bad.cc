@@ -1,0 +1,15 @@
+// Fixture: console output in a hot-path module.
+#include <iostream>
+
+namespace fhs {
+
+void chatty_epoch(int epoch) {
+  std::cout << "epoch " << epoch << std::endl;  // flagged twice: cout + endl
+}
+
+void quiet_epoch(std::ostream& out, int epoch) {
+  // Caller-supplied stream, newline without flush: not flagged.
+  out << "epoch " << epoch << '\n';
+}
+
+}  // namespace fhs

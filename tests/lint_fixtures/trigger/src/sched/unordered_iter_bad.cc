@@ -1,0 +1,25 @@
+// Fixture: unordered-container iteration in a deterministic module.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fhs {
+
+int fold_in_hash_order(const std::unordered_map<int, int>& weights) {
+  int sum = 0;
+  for (const auto& [key, value] : weights) {  // flagged: unordered-iter
+    sum += key * value;
+  }
+  return sum;
+}
+
+std::vector<int> keys_in_hash_order(const std::unordered_set<int>& seen) {
+  return std::vector<int>(seen.begin(), seen.end());  // flagged: unordered-iter
+}
+
+bool lookup_is_fine(const std::unordered_map<int, int>& weights, int key) {
+  // Point lookups don't depend on iteration order; not flagged.
+  return weights.count(key) != 0;
+}
+
+}  // namespace fhs

@@ -1,0 +1,31 @@
+// Fixture: mutex-holding class with an unannotated data member.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace fhs {
+
+class LeakyQueue {
+ public:
+  void push(int value);
+
+ private:
+  std::mutex mutex_;
+  std::vector<int> items_;            // flagged: guarded-field
+  std::uint64_t pushes_ = 0;          // flagged: guarded-field
+  std::atomic<bool> closed_{false};   // exempt: atomic
+  std::condition_variable nonempty_;  // exempt: condition_variable
+  static constexpr int kDepth = 8;    // exempt: constexpr
+};
+
+// No mutex member -- nothing to guard, nothing flagged.
+struct PlainRecord {
+  std::uint64_t ticket = 0;
+  std::vector<int> payload;
+};
+
+}  // namespace fhs

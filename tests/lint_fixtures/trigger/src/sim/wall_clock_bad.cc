@@ -1,0 +1,26 @@
+// Fixture: every wall-clock/entropy pattern fhs_lint must flag in a
+// deterministic module.  Never compiled -- scanned by fhs_lint_test.py.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fhs {
+
+unsigned bad_seed() {
+  std::random_device entropy;                       // line 11: wall-clock
+  return entropy() + static_cast<unsigned>(rand());  // line 12: wall-clock
+}
+
+long bad_now() {
+  auto wall = std::chrono::system_clock::now();     // line 16: wall-clock
+  (void)wall;
+  return time(nullptr);                             // line 19: wall-clock
+}
+
+long ok_now() {
+  // steady_clock is exempt: it feeds timing metrics, never results.
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fhs

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <optional>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -213,6 +214,25 @@ TEST(ObsTrace, StartDropsPreviousRecording) {
   write_chrome_trace(out);
   EXPECT_EQ(out.str().find("\"first\""), std::string::npos);
   EXPECT_NE(out.str().find("\"second\""), std::string::npos);
+}
+
+TEST(ObsTrace, SpanOpenedBeforeRestartIsDropped) {
+  if (!kCompiledIn) GTEST_SKIP() << "spans compile out under FHS_OBS_OFF";
+  start_tracing();
+  {
+    std::optional<TraceSpan> stale;
+    stale.emplace("stale", "test");
+    start_tracing();  // restart while the span is open
+    stale.reset();    // closes into the new recording -- must be dropped,
+                      // not recorded with a clamped timestamp
+    TraceSpan fresh("fresh", "test");
+  }
+  stop_tracing();
+  EXPECT_EQ(recorded_event_count(), 1u);
+  std::ostringstream out;
+  write_chrome_trace(out);
+  EXPECT_EQ(out.str().find("\"stale\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"fresh\""), std::string::npos);
 }
 
 TEST(ObsTrace, ThreadsGetDistinctTids) {

@@ -176,15 +176,25 @@ TEST(Service, DeferPolicyEventuallyAdmitsEverything) {
   config.admission.max_outstanding_per_proc = 64.0;
   config.admission.overload = OverloadPolicy::kDefer;
   SchedulerService service(Cluster({1, 1}), config);
+  // Whether a given submission hits backpressure is a race against the
+  // worker draining the inbox, so a fixed submission count is flaky on a
+  // loaded machine.  Instead submit until deferral engages (the deferred
+  // stat is bumped by this thread inside submit(), so the check is
+  // exact), with a cap that makes never-deferring astronomically
+  // unlikely rather than merely unlucky.
+  constexpr std::size_t kMaxJobs = 5000;
+  std::size_t submitted = 0;
   std::size_t accepted = 0;
-  for (int i = 0; i < 50; ++i) {
+  do {
+    ++submitted;
     if (service.submit(chain_job(2, {{0, 8}, {1, 8}})).has_value()) ++accepted;
-  }
-  EXPECT_EQ(accepted, 50u);
+  } while (service.stats().deferred == 0 && submitted < kMaxJobs);
+  EXPECT_EQ(accepted, submitted);
   service.drain();
   const ServiceStats stats = service.stats();
-  EXPECT_EQ(stats.completed, 50u);
-  EXPECT_GT(stats.deferred, 0u) << "backpressure never engaged";
+  EXPECT_EQ(stats.completed, accepted);
+  EXPECT_GT(stats.deferred, 0u)
+      << "backpressure never engaged in " << submitted << " submissions";
 }
 
 TEST(Service, DeferRejectsJobsThatCanNeverFit) {
@@ -200,6 +210,21 @@ TEST(Service, DeferRejectsJobsThatCanNeverFit) {
 TEST(Service, OversizedKThrows) {
   SchedulerService service(Cluster({1}), ServiceConfig{});
   EXPECT_THROW((void)service.submit(chain_job(3, {{2, 1}})), std::invalid_argument);
+}
+
+// Regression: shutdown() from two threads used to race on joining the
+// worker (both could see joinable() and one would join a thread the
+// other was joining).  The join is now serialized under its own mutex.
+TEST(Service, ConcurrentShutdownIsSafe) {
+  for (int round = 0; round < 20; ++round) {
+    SchedulerService service(Cluster({1}), ServiceConfig{});
+    ASSERT_TRUE(service.submit(chain_job(1, {{0, 10}})).has_value());
+    std::thread first([&] { service.shutdown(); });
+    std::thread second([&] { service.shutdown(); });
+    first.join();
+    second.join();
+    EXPECT_FALSE(service.submit(chain_job(1, {{0, 1}})).has_value());
+  }
 }
 
 TEST(Service, UtilizationReflectsBusyWork) {

@@ -1,0 +1,446 @@
+#!/usr/bin/env python3
+"""fhs_lint: domain determinism & concurrency lint for the FHS tree.
+
+The simulator's contract is bit-for-bit determinism: the same seed and
+spec must produce byte-identical reports at any thread count, and a
+journal replay must reproduce the live run exactly.  The C++ type
+system cannot express "no wall-clock reads" or "no iteration-order
+dependence", so this lint enforces the contract's preconditions
+syntactically:
+
+  wall-clock       entropy / wall-clock sources (std::random_device,
+                   rand(), time(), system_clock, ...) in deterministic
+                   modules.  steady_clock is exempt: it feeds timing
+                   metrics, never results.
+  unordered-iter   iteration over std::unordered_{map,set,...} in
+                   deterministic modules -- hash iteration order is
+                   unspecified and varies across libstdc++ versions,
+                   so any fold over it poisons determinism.
+  pointer-order    pointer-keyed std::map/std::set (or std::less<T*>)
+                   in deterministic modules -- comparing addresses
+                   gives a different order every run under ASLR.
+  stream-hot-path  std::cout / std::endl in hot-path modules; endl
+                   flushes and cout interleaves across threads.
+                   Report writers take an std::ostream& instead.
+  guarded-field    a class declaring a mutex member must annotate every
+                   other data member with FHS_GUARDED_BY (or carry an
+                   explicit allow) so Clang's thread safety analysis
+                   has a complete lock map.
+
+Suppression: append `// fhs-lint: allow(<rule>[, <rule>...])` to the
+offending line, or place it alone on the line above.  Every allow is
+greppable, which is the point -- exemptions are visible in review.
+
+Exit codes: 0 clean, 1 findings, 2 usage error.  Stdlib only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+from typing import Iterable, NamedTuple
+
+RULES = {
+    "wall-clock": "entropy/wall-clock source in a deterministic module",
+    "unordered-iter": "unordered-container iteration in a deterministic module",
+    "pointer-order": "pointer-keyed ordered container in a deterministic module",
+    "stream-hot-path": "std::cout/std::endl in a hot-path module",
+    "guarded-field": "unannotated data member in a mutex-holding class",
+}
+
+# Modules whose outputs are part of the determinism contract (results,
+# schedules, reports).  support/ is excluded: it hosts the CLI and the
+# timing helpers that are *supposed* to read clocks.
+DETERMINISTIC_MODULES = {
+    "sim", "sched", "graph", "exp", "workload", "multijob", "flex", "metrics",
+}
+
+# Modules on the simulate/schedule/serve hot path where ad-hoc console
+# output is either a perf bug (endl flush) or a data race (interleaved
+# cout from worker threads).
+HOT_MODULES = {
+    "sim", "sched", "graph", "multijob", "obs", "service", "flex", "exp",
+}
+
+SOURCE_SUFFIXES = {".hh", ".h", ".cc", ".cpp", ".cxx", ".hpp"}
+
+ALLOW_RE = re.compile(r"fhs-lint:\s*allow\(\s*([a-z\-,\s]+?)\s*\)")
+
+
+class Finding(NamedTuple):
+    path: pathlib.Path
+    line: int  # 1-based
+    rule: str
+    message: str
+
+
+def split_code_and_comments(text: str) -> tuple[list[str], list[str]]:
+    """Returns (code_lines, comment_lines): the file with comments and
+    string/char literals blanked out, and the comment text per line.
+    Line structure is preserved so indices match the original file."""
+    code: list[str] = []
+    comments: list[str] = []
+    state = "code"  # code | line_comment | block_comment | string | char | raw
+    raw_delim = ""
+    code_line: list[str] = []
+    comment_line: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "\n":
+            if state == "line_comment":
+                state = "code"
+            code.append("".join(code_line))
+            comments.append("".join(comment_line))
+            code_line, comment_line = [], []
+            i += 1
+            continue
+        if state == "code":
+            if ch == "/" and nxt == "/":
+                state = "line_comment"
+                i += 2
+                continue
+            if ch == "/" and nxt == "*":
+                state = "block_comment"
+                i += 2
+                continue
+            if ch == "R" and nxt == '"':
+                close = text.find("(", i + 2)
+                if close != -1:
+                    raw_delim = ")" + text[i + 2 : close] + '"'
+                    state = "raw"
+                    code_line.append(" ")
+                    i = close + 1
+                    continue
+            if ch == '"':
+                state = "string"
+                code_line.append(" ")
+                i += 1
+                continue
+            if ch == "'":
+                state = "char"
+                code_line.append(" ")
+                i += 1
+                continue
+            code_line.append(ch)
+            i += 1
+        elif state in ("line_comment", "block_comment"):
+            if state == "block_comment" and ch == "*" and nxt == "/":
+                state = "code"
+                i += 2
+                continue
+            comment_line.append(ch)
+            i += 1
+        elif state == "string":
+            if ch == "\\":
+                i += 2
+                continue
+            if ch == '"':
+                state = "code"
+            i += 1
+        elif state == "char":
+            if ch == "\\":
+                i += 2
+                continue
+            if ch == "'":
+                state = "code"
+            i += 1
+        elif state == "raw":
+            if text.startswith(raw_delim, i):
+                state = "code"
+                i += len(raw_delim)
+                continue
+            i += 1
+    code.append("".join(code_line))
+    comments.append("".join(comment_line))
+    return code, comments
+
+
+def allowed_rules(comments: list[str]) -> list[set[str]]:
+    """Per-line set of suppressed rules.  An allow on line i covers line
+    i; an allow alone on a line also covers line i+1."""
+    allowed: list[set[str]] = [set() for _ in comments]
+    for i, comment in enumerate(comments):
+        match = ALLOW_RE.search(comment)
+        if not match:
+            continue
+        rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
+        unknown = rules - set(RULES)
+        if unknown:
+            raise ValueError(
+                f"line {i + 1}: unknown rule(s) in allow(): {', '.join(sorted(unknown))}"
+            )
+        allowed[i] |= rules
+        if i + 1 < len(allowed):
+            allowed[i + 1] |= rules
+    return allowed
+
+
+def module_of(path: pathlib.Path) -> str | None:
+    """The module name: the path component directly under a `src` dir
+    (mirrored fixture trees count), else None."""
+    parts = path.parts
+    for i, part in enumerate(parts[:-1]):
+        if part == "src" and i + 1 < len(parts) - 0:
+            nxt = parts[i + 1]
+            return nxt if nxt != path.name else None
+    return None
+
+
+WALL_CLOCK_PATTERNS = [
+    (re.compile(r"std::random_device"), "std::random_device is nondeterministic"),
+    (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand() draws from global state"),
+    (re.compile(r"(?<![\w:])time\s*\("), "time() reads the wall clock"),
+    (re.compile(r"(?<![\w:])gettimeofday\s*\("), "gettimeofday() reads the wall clock"),
+    (re.compile(r"(?<![\w:])clock\s*\(\s*\)"), "clock() reads the process clock"),
+    (re.compile(r"system_clock"), "system_clock reads the wall clock"),
+    (
+        re.compile(r"high_resolution_clock"),
+        "high_resolution_clock may alias system_clock; use steady_clock",
+    ),
+]
+
+UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;(){]*>[&\s]+(\w+)\s*[;,={)]"
+)
+POINTER_ORDER_PATTERNS = [
+    re.compile(r"std::(?:map|set|multimap|multiset)\s*<\s*(?:const\s+)?[\w:]+\s*\*"),
+    re.compile(r"std::less\s*<\s*(?:const\s+)?[\w:]+\s*\*\s*>"),
+]
+STREAM_PATTERNS = [
+    (re.compile(r"std::cout\b"), "std::cout interleaves across threads"),
+    (re.compile(r"std::endl\b"), "std::endl forces a flush per line"),
+]
+
+MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:fhs::)?(?:Mutex|std::(?:mutex|shared_mutex|recursive_mutex))"
+    r"\s+\w+\s*;"
+)
+GUARD_EXEMPT_RE = re.compile(
+    r"std::atomic|std::condition_variable|\bMutex\b|std::mutex|std::shared_mutex"
+    r"|^\s*(?:static|constexpr)\b|^\s*(?:mutable\s+)?const\b"
+    # Not data members at all: nested/forward type declarations, aliases,
+    # friends, and access specifiers.
+    r"|^\s*(?:class|struct|enum|union|using|typedef|friend|template|public|"
+    r"private|protected)\b"
+)
+CLASS_OPEN_RE = re.compile(r"\b(?:class|struct)\s+(?:FHS_\w+(?:\([^)]*\))?\s+)?(\w+)")
+DATA_MEMBER_RE = re.compile(r"[>\w&\]]\s+(\w+)\s*(?:=[^;]*|\{[^}]*\})?\s*;\s*$")
+
+
+def _strip_annotations(line: str) -> str:
+    return re.sub(r"FHS_\w+\s*(\([^()]*\))?", "", line)
+
+
+def check_wall_clock(code: list[str], findings: list[Finding], path: pathlib.Path) -> None:
+    for i, line in enumerate(code):
+        for pattern, why in WALL_CLOCK_PATTERNS:
+            if pattern.search(line):
+                findings.append(Finding(path, i + 1, "wall-clock", why))
+
+
+def check_unordered_iter(
+    code: list[str], findings: list[Finding], path: pathlib.Path
+) -> None:
+    names = set()
+    for line in code:
+        names.update(UNORDERED_DECL_RE.findall(line))
+    if not names:
+        return
+    alts = "|".join(re.escape(n) for n in sorted(names))
+    iter_re = re.compile(
+        rf"(?::\s*(?:{alts})\s*\))|(?:\b(?:{alts})\s*\.\s*c?(?:begin|end|rbegin)\s*\()"
+    )
+    for i, line in enumerate(code):
+        if iter_re.search(line):
+            findings.append(
+                Finding(
+                    path,
+                    i + 1,
+                    "unordered-iter",
+                    "iteration order over an unordered container is unspecified; "
+                    "sort the keys first or use std::map/a sorted vector",
+                )
+            )
+
+
+def check_pointer_order(
+    code: list[str], findings: list[Finding], path: pathlib.Path
+) -> None:
+    for i, line in enumerate(code):
+        for pattern in POINTER_ORDER_PATTERNS:
+            if pattern.search(line):
+                findings.append(
+                    Finding(
+                        path,
+                        i + 1,
+                        "pointer-order",
+                        "address order differs run to run under ASLR; key by a "
+                        "stable id or supply a by-value comparator",
+                    )
+                )
+
+
+def check_stream_hot_path(
+    code: list[str], findings: list[Finding], path: pathlib.Path
+) -> None:
+    for i, line in enumerate(code):
+        for pattern, why in STREAM_PATTERNS:
+            if pattern.search(line):
+                findings.append(
+                    Finding(
+                        path, i + 1, "stream-hot-path",
+                        why + "; hot-path code writes to a caller-supplied ostream",
+                    )
+                )
+
+
+def check_guarded_field(
+    code: list[str], findings: list[Finding], path: pathlib.Path
+) -> None:
+    """Within each class/struct body that declares a mutex member, every
+    sibling data member must carry FHS_GUARDED_BY / FHS_PT_GUARDED_BY.
+    Heuristic scope: top-level member declarations without parentheses
+    (function declarations and in-class lambdas are skipped)."""
+    # Stack entry: [is_class_body, mutex_line or None, member_lines]
+    stack: list[list] = []
+    pending_class = False  # saw a class head whose '{' is on a later line
+    for i, raw in enumerate(code):
+        line = raw
+        for ch_i, ch in enumerate(line):
+            if ch == "{":
+                before = line[:ch_i]
+                head = CLASS_OPEN_RE.search(before)
+                is_class = pending_class or (
+                    head is not None
+                    and ";" not in before[head.end():]
+                    and not re.search(r"\benum\s+$", before[: head.start()])
+                )
+                stack.append([is_class, None, []])
+                pending_class = False
+            elif ch == "}":
+                if stack:
+                    frame = stack.pop()
+                    if frame[0] and frame[1] is not None:
+                        for member_i in frame[2]:
+                            findings.append(
+                                Finding(
+                                    path,
+                                    member_i + 1,
+                                    "guarded-field",
+                                    "class holds a mutex (line "
+                                    f"{frame[1] + 1}) but this member has no "
+                                    "FHS_GUARDED_BY",
+                                )
+                            )
+        if "{" not in line:
+            head = CLASS_OPEN_RE.search(line)
+            if head is not None and ";" not in line[head.end():]:
+                pending_class = True
+            elif ";" in line:
+                pending_class = False  # forward declaration or statement
+        if not stack or not stack[-1][0]:
+            continue
+        frame = stack[-1]
+        if MUTEX_MEMBER_RE.match(_strip_annotations(line)):
+            frame[1] = i
+            continue
+        stripped = _strip_annotations(line)
+        if "(" in stripped or ")" in stripped:
+            continue  # function declaration / initializer with call
+        if GUARD_EXEMPT_RE.search(stripped):
+            continue
+        if "FHS_GUARDED_BY" in line or "FHS_PT_GUARDED_BY" in line:
+            continue
+        if DATA_MEMBER_RE.search(stripped):
+            frame[2].append(i)
+
+
+def lint_file(path: pathlib.Path, rules: set[str]) -> list[Finding]:
+    text = path.read_text(encoding="utf-8", errors="replace")
+    code, comments = split_code_and_comments(text)
+    try:
+        allowed = allowed_rules(comments)
+    except ValueError as err:
+        raise ValueError(f"{path}: {err}") from None
+    module = module_of(path)
+    findings: list[Finding] = []
+    if module in DETERMINISTIC_MODULES:
+        if "wall-clock" in rules:
+            check_wall_clock(code, findings, path)
+        if "unordered-iter" in rules:
+            check_unordered_iter(code, findings, path)
+        if "pointer-order" in rules:
+            check_pointer_order(code, findings, path)
+    if module in HOT_MODULES and "stream-hot-path" in rules:
+        check_stream_hot_path(code, findings, path)
+    if "guarded-field" in rules:
+        check_guarded_field(code, findings, path)
+    return [
+        f for f in findings if f.rule not in allowed[f.line - 1]
+    ]
+
+
+def iter_sources(roots: Iterable[pathlib.Path]) -> Iterable[pathlib.Path]:
+    for root in roots:
+        if root.is_file():
+            if root.suffix in SOURCE_SUFFIXES:
+                yield root
+        else:
+            yield from sorted(
+                p for p in root.rglob("*") if p.suffix in SOURCE_SUFFIXES and p.is_file()
+            )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="fhs_lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("paths", nargs="*", type=pathlib.Path,
+                        help="files or directories to lint")
+    parser.add_argument("--rules", default=",".join(RULES),
+                        help="comma-separated rule subset (default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name, description in RULES.items():
+            print(f"{name}: {description}")
+        return 0
+    if not args.paths:
+        parser.error("no paths given")
+
+    rules = {r.strip() for r in args.rules.split(",") if r.strip()}
+    unknown = rules - set(RULES)
+    if unknown:
+        print(f"fhs_lint: unknown rule(s): {', '.join(sorted(unknown))}",
+              file=sys.stderr)
+        return 2
+    for root in args.paths:
+        if not root.exists():
+            print(f"fhs_lint: no such path: {root}", file=sys.stderr)
+            return 2
+
+    findings: list[Finding] = []
+    for path in iter_sources(args.paths):
+        try:
+            findings.extend(lint_file(path, rules))
+        except ValueError as err:
+            print(f"fhs_lint: {err}", file=sys.stderr)
+            return 2
+    findings.sort(key=lambda f: (str(f.path), f.line, f.rule))
+    for f in findings:
+        print(f"{f.path}:{f.line}: [{f.rule}] {f.message}")
+    if findings:
+        print(f"fhs_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

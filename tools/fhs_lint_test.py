@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Unit tests for fhs_lint: every rule fires on its trigger fixture,
+clean code stays clean, and the allow() escape hatch suppresses.
+
+Run directly (python3 tools/fhs_lint_test.py) or via ctest as
+fhs_lint_unit.  Fixture root defaults to tests/lint_fixtures next to
+the repo root; override with FHS_LINT_FIXTURES."""
+
+from __future__ import annotations
+
+import io
+import os
+import pathlib
+import sys
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+import fhs_lint  # noqa: E402
+
+
+FIXTURES = pathlib.Path(
+    os.environ.get(
+        "FHS_LINT_FIXTURES",
+        pathlib.Path(__file__).resolve().parent.parent / "tests" / "lint_fixtures",
+    )
+)
+
+
+def run_lint(*argv: str) -> tuple[int, str, str]:
+    out, err = io.StringIO(), io.StringIO()
+    with redirect_stdout(out), redirect_stderr(err):
+        code = fhs_lint.main(list(argv))
+    return code, out.getvalue(), err.getvalue()
+
+
+class TriggerFixtures(unittest.TestCase):
+    """Each rule must fire on its dedicated fixture, at the right file."""
+
+    def findings_for(self, relative: str) -> list[str]:
+        code, out, _ = run_lint(str(FIXTURES / "trigger" / "src" / relative))
+        self.assertEqual(code, 1, f"expected findings in {relative}\n{out}")
+        return out.splitlines()
+
+    def test_wall_clock(self) -> None:
+        lines = self.findings_for("sim/wall_clock_bad.cc")
+        self.assertGreaterEqual(len([l for l in lines if "[wall-clock]" in l]), 4)
+        self.assertFalse(any("steady_clock" in l for l in lines),
+                        "steady_clock must be exempt")
+
+    def test_unordered_iter(self) -> None:
+        lines = self.findings_for("sched/unordered_iter_bad.cc")
+        flagged = [l for l in lines if "[unordered-iter]" in l]
+        self.assertEqual(len(flagged), 2, lines)
+
+    def test_pointer_order(self) -> None:
+        lines = self.findings_for("graph/pointer_order_bad.cc")
+        flagged = [l for l in lines if "[pointer-order]" in l]
+        self.assertGreaterEqual(len(flagged), 3, lines)
+
+    def test_stream_hot_path(self) -> None:
+        lines = self.findings_for("multijob/stream_bad.cc")
+        flagged = [l for l in lines if "[stream-hot-path]" in l]
+        self.assertEqual(len(flagged), 2, lines)  # cout + endl, same line
+
+    def test_guarded_field(self) -> None:
+        lines = self.findings_for("service/guarded_field_bad.hh")
+        flagged = [l for l in lines if "[guarded-field]" in l]
+        self.assertEqual(len(flagged), 2, lines)  # items_ and pushes_ only
+
+    def test_whole_trigger_tree_fails(self) -> None:
+        code, out, err = run_lint(str(FIXTURES / "trigger"))
+        self.assertEqual(code, 1)
+        for rule in fhs_lint.RULES:
+            self.assertIn(f"[{rule}]", out, f"rule {rule} never fired")
+        self.assertIn("finding(s)", err)
+
+
+class CleanFixtures(unittest.TestCase):
+    def test_clean_tree_passes(self) -> None:
+        code, out, _ = run_lint(str(FIXTURES / "clean"))
+        self.assertEqual(code, 0, out)
+        self.assertEqual(out, "")
+
+
+class Suppressions(unittest.TestCase):
+    def test_allow_comments_suppress(self) -> None:
+        code, out, _ = run_lint(str(FIXTURES / "suppressed"))
+        self.assertEqual(code, 0, out)
+
+    def test_without_suppression_rules_fire(self) -> None:
+        # Sanity: the suppressed fixture only passes BECAUSE of the
+        # allows -- strip them and the same file must fail.
+        text = (FIXTURES / "suppressed" / "src" / "sim" / "suppressed.cc").read_text()
+        self.assertIn("fhs-lint: allow(", text)
+        import re
+        import tempfile
+
+        stripped = re.sub(r"//\s*fhs-lint:\s*allow\([^)]*\)", "//", text)
+        with tempfile.TemporaryDirectory() as tmp:
+            target = pathlib.Path(tmp) / "src" / "sim"
+            target.mkdir(parents=True)
+            (target / "suppressed.cc").write_text(stripped)
+            code, out, _ = run_lint(tmp)
+        self.assertEqual(code, 1, out)
+
+    def test_unknown_rule_in_allow_is_an_error(self) -> None:
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            target = pathlib.Path(tmp) / "src" / "sim"
+            target.mkdir(parents=True)
+            (target / "bad_allow.cc").write_text(
+                "int x = 0;  // fhs-lint: allow(no-such-rule)\n"
+            )
+            code, _, err = run_lint(tmp)
+        self.assertEqual(code, 2)
+        self.assertIn("no-such-rule", err)
+
+
+class CommandLine(unittest.TestCase):
+    def test_unknown_rule_flag(self) -> None:
+        code, _, err = run_lint("--rules", "bogus", str(FIXTURES / "clean"))
+        self.assertEqual(code, 2)
+        self.assertIn("bogus", err)
+
+    def test_missing_path(self) -> None:
+        code, _, err = run_lint(str(FIXTURES / "does-not-exist"))
+        self.assertEqual(code, 2)
+        self.assertIn("no such path", err)
+
+    def test_rule_subset(self) -> None:
+        # With only pointer-order enabled, the wall-clock fixture is clean.
+        code, out, _ = run_lint(
+            "--rules", "pointer-order",
+            str(FIXTURES / "trigger" / "src" / "sim" / "wall_clock_bad.cc"),
+        )
+        self.assertEqual(code, 0, out)
+
+    def test_list_rules(self) -> None:
+        code, out, _ = run_lint("--list-rules")
+        self.assertEqual(code, 0)
+        for rule in fhs_lint.RULES:
+            self.assertIn(rule, out)
+
+
+class ScannerCornerCases(unittest.TestCase):
+    def lint_text(self, text: str, relative: str = "src/sim/case.cc") -> tuple[int, str]:
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            target = pathlib.Path(tmp) / relative
+            target.parent.mkdir(parents=True)
+            target.write_text(text)
+            code, out, _ = run_lint(tmp)
+        return code, out
+
+    def test_patterns_in_strings_and_comments_ignored(self) -> None:
+        code, out = self.lint_text(
+            '// std::random_device in a comment\n'
+            'const char* kDoc = "call time() and rand() for fun";\n'
+            "/* std::cout << std::endl; system_clock too */\n"
+        )
+        self.assertEqual(code, 0, out)
+
+    def test_raw_string_ignored(self) -> None:
+        code, out = self.lint_text(
+            'const char* kJson = R"({"clock": "system_clock"})";\n'
+        )
+        self.assertEqual(code, 0, out)
+
+    def test_module_scoping(self) -> None:
+        # The same wall-clock read outside src/<deterministic>/ is fine.
+        hazard = "#include <ctime>\nlong f() { return time(nullptr); }\n"
+        code, _ = self.lint_text(hazard, relative="src/support/case.cc")
+        self.assertEqual(code, 0)
+        code, _ = self.lint_text(hazard, relative="src/sim/case.cc")
+        self.assertEqual(code, 1)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
