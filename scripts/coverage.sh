@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Line-coverage gate: builds the tree with gcc --coverage, runs the full
+# test suite, and aggregates gcov's JSON output with
+# scripts/coverage_report.py (plain gcov + python3 -- no gcovr/lcov
+# dependency).  Fails when total line coverage of src/ drops below the
+# baseline, so coverage regressions surface in CI like test failures.
+#
+# Usage: scripts/coverage.sh [build-dir]
+# Env:   FHS_COVERAGE_BASELINE  minimum src/ line coverage in percent
+#                               (default 90; measured total is ~96%).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-${ROOT}/build-coverage}"
+BASELINE="${FHS_COVERAGE_BASELINE:-90}"
+
+cmake -B "${BUILD}" -S "${ROOT}" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="--coverage" \
+  -DCMAKE_EXE_LINKER_FLAGS="--coverage"
+cmake --build "${BUILD}" -j"$(nproc)"
+ctest --test-dir "${BUILD}" -j"$(nproc)" --output-on-failure
+
+python3 "${ROOT}/scripts/coverage_report.py" "${BUILD}" "${ROOT}/src" \
+  --fail-under "${BASELINE}"

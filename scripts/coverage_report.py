@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Aggregates gcov JSON line coverage without gcovr/lcov.
+
+Walks a --coverage build tree for .gcda files, asks gcov for JSON
+intermediate output (`gcov -t --json-format`), merges the per-TU line
+records (a header or template line executed in any TU counts as
+covered), and reports per-top-level-directory and total line coverage
+for sources under the given source root.  Exits non-zero when total
+coverage falls below --fail-under -- the CI gate.
+
+Usage:
+  coverage_report.py BUILD_DIR SOURCE_ROOT [--fail-under PCT] [--gcov GCOV]
+"""
+
+import argparse
+import collections
+import json
+import os
+import subprocess
+import sys
+
+
+def find_gcda(build_dir):
+    for dirpath, _dirnames, filenames in os.walk(build_dir):
+        for name in filenames:
+            if name.endswith(".gcda"):
+                yield os.path.join(dirpath, name)
+
+
+def gcov_json(gcov, gcda):
+    """One parsed JSON document per instrumented TU."""
+    result = subprocess.run(
+        [gcov, "-t", "--json-format", gcda],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        check=False,
+        text=True,
+    )
+    docs = []
+    for line in result.stdout.splitlines():
+        line = line.strip()
+        if line.startswith("{"):
+            try:
+                docs.append(json.loads(line))
+            except json.JSONDecodeError:
+                pass
+    return docs
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("build_dir")
+    parser.add_argument("source_root", help="only files under this root count")
+    parser.add_argument("--fail-under", type=float, default=0.0,
+                        help="minimum acceptable total line coverage in percent")
+    parser.add_argument("--gcov", default="gcov")
+    args = parser.parse_args()
+
+    source_root = os.path.realpath(args.source_root) + os.sep
+    # file -> line -> max execution count over all TUs that compiled it.
+    lines = collections.defaultdict(dict)
+    gcda_count = 0
+    for gcda in sorted(find_gcda(args.build_dir)):
+        gcda_count += 1
+        for doc in gcov_json(args.gcov, gcda):
+            cwd = doc.get("current_working_directory", "")
+            for entry in doc.get("files", []):
+                path = entry.get("file", "")
+                if not os.path.isabs(path):
+                    path = os.path.join(cwd, path)
+                path = os.path.realpath(path)
+                if not path.startswith(source_root):
+                    continue
+                per_file = lines[path]
+                for record in entry.get("lines", []):
+                    number = record.get("line_number", 0)
+                    count = record.get("count", 0)
+                    per_file[number] = max(per_file.get(number, 0), count)
+
+    if gcda_count == 0:
+        print("coverage_report: no .gcda files under", args.build_dir,
+              "(build with --coverage and run the tests first)", file=sys.stderr)
+        return 2
+    if not lines:
+        print("coverage_report: no instrumented sources under", source_root,
+              file=sys.stderr)
+        return 2
+
+    by_dir = collections.defaultdict(lambda: [0, 0])  # dir -> [covered, total]
+    for path, per_file in lines.items():
+        relative = path[len(source_root):]
+        top = relative.split(os.sep)[0]
+        covered = sum(1 for count in per_file.values() if count > 0)
+        by_dir[top][0] += covered
+        by_dir[top][1] += len(per_file)
+
+    total_covered = sum(c for c, _ in by_dir.values())
+    total_lines = sum(t for _, t in by_dir.values())
+    print(f"{'directory':<16} {'lines':>7} {'covered':>8} {'pct':>7}")
+    for top in sorted(by_dir):
+        covered, total = by_dir[top]
+        print(f"{top:<16} {total:>7} {covered:>8} {100.0 * covered / total:>6.1f}%")
+    pct = 100.0 * total_covered / total_lines
+    print(f"{'TOTAL':<16} {total_lines:>7} {total_covered:>8} {pct:>6.1f}%")
+
+    if pct < args.fail_under:
+        print(f"coverage_report: total {pct:.1f}% is below the "
+              f"{args.fail_under:.1f}% baseline", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -150,7 +150,22 @@ void write_json(std::ostream& out, const ServiceStats& stats) {
   for (std::size_t b = 0; b < stats.flow_time_bins.size(); ++b) {
     out << (b ? ", " : "") << stats.flow_time_bins[b];
   }
-  out << "]\n}\n";
+  out << "]";
+  // The two feature blocks are gated so sessions without a deadline or a
+  // fault plan keep the exact pre-existing document bytes.
+  if (stats.deadline_enabled) {
+    out << ",\n  \"timed_out\": " << stats.timed_out
+        << ",\n  \"retried\": " << stats.retried
+        << ",\n  \"retries_exhausted\": " << stats.retries_exhausted;
+  }
+  if (stats.faults_enabled) {
+    out << ",\n  \"fault_failures\": " << stats.fault_failures
+        << ",\n  \"fault_recoveries\": " << stats.fault_recoveries
+        << ",\n  \"fault_slowdowns\": " << stats.fault_slowdowns
+        << ",\n  \"fault_tasks_killed\": " << stats.fault_tasks_killed
+        << ",\n  \"fault_work_discarded\": " << stats.fault_work_discarded;
+  }
+  out << "\n}\n";
 }
 
 std::string to_json(const ServiceStats& stats) {

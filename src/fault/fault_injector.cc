@@ -1,0 +1,117 @@
+#include "fault/fault_injector.hh"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace fhs {
+
+FaultInjector::FaultInjector(const FaultPlan& plan, std::uint32_t total_processors)
+    : events_(plan.events().begin(), plan.events().end()),
+      down_(total_processors, 0),
+      factor_(total_processors, 1),
+      down_since_(total_processors, -1) {
+  if (!plan.empty() && plan.max_processor() >= total_processors) {
+    throw std::invalid_argument("FaultInjector: plan names processor p" +
+                                std::to_string(plan.max_processor()) +
+                                " but the pool has only " +
+                                std::to_string(total_processors) + " processors");
+  }
+}
+
+Time FaultInjector::next_event_time() const noexcept {
+  return cursor_ < events_.size() ? events_[cursor_].at : kNoFaultEvent;
+}
+
+std::span<const FaultEvent> FaultInjector::take_events_until(Time now) {
+  const std::size_t begin = cursor_;
+  while (cursor_ < events_.size() && events_[cursor_].at <= now) {
+    const FaultEvent& event = events_[cursor_];
+    switch (event.kind) {
+      case FaultKind::kFail:
+        down_[event.processor] = 1;
+        down_since_[event.processor] = event.at;
+        break;
+      case FaultKind::kRecover:
+        down_[event.processor] = 0;
+        factor_[event.processor] = 1;
+        break;
+      case FaultKind::kSlow:
+        factor_[event.processor] = event.factor;
+        break;
+    }
+    ++cursor_;
+  }
+  return {events_.data() + begin, cursor_ - begin};
+}
+
+bool FaultInjector::will_recover(std::uint32_t proc) const {
+  for (std::size_t i = cursor_; i < events_.size(); ++i) {
+    if (events_[i].processor == proc && events_[i].kind == FaultKind::kRecover) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- FaultTimeline ----------------------------------------------------------------
+
+FaultTimeline::FaultTimeline(const FaultPlan& plan, std::uint32_t total_processors)
+    : timeline_(total_processors) {
+  for (const FaultEvent& event : plan.events()) {
+    if (event.processor >= total_processors) continue;  // caller validates
+    std::uint32_t factor = 1;
+    if (event.kind == FaultKind::kFail) factor = 0;
+    if (event.kind == FaultKind::kSlow) factor = event.factor;
+    timeline_[event.processor].push_back(Breakpoint{event.at, factor});
+  }
+  // Plan events are already (time, processor)-sorted, so each
+  // per-processor subsequence is time-sorted too.
+}
+
+bool FaultTimeline::down_overlaps(std::uint32_t proc, Time begin, Time end) const {
+  std::uint32_t state = 1;
+  Time since = 0;
+  for (const Breakpoint& bp : timeline_.at(proc)) {
+    if (state == 0 && since < end && bp.at > begin) return true;
+    state = bp.factor;
+    since = bp.at;
+  }
+  return state == 0 && since < end;
+}
+
+bool FaultTimeline::fails_at(std::uint32_t proc, Time at) const {
+  std::uint32_t state = 1;
+  for (const Breakpoint& bp : timeline_.at(proc)) {
+    if (bp.factor == 0 && state != 0 && bp.at == at) return true;
+    state = bp.factor;
+  }
+  return false;
+}
+
+std::uint32_t FaultTimeline::max_factor_in(std::uint32_t proc, Time begin,
+                                           Time end) const {
+  std::uint32_t best = 1;
+  std::uint32_t state = 1;
+  Time since = 0;
+  for (const Breakpoint& bp : timeline_.at(proc)) {
+    // `state` holds over [since, bp.at).
+    if (state > 1 && since < end && bp.at > begin) best = std::max(best, state);
+    state = bp.factor;
+    since = bp.at;
+  }
+  // `state` holds over [since, infinity).
+  if (state > 1 && since < end) best = std::max(best, state);
+  return best;
+}
+
+std::size_t FaultTimeline::rate_changes_in(std::uint32_t proc, Time begin,
+                                           Time end) const {
+  std::size_t changes = 0;
+  for (const Breakpoint& bp : timeline_.at(proc)) {
+    if (bp.at > begin && bp.at < end) ++changes;
+  }
+  return changes;
+}
+
+}  // namespace fhs

@@ -1,0 +1,104 @@
+// Runtime companions of a FaultPlan.
+//
+// FaultInjector is the *engine-side* cursor: as virtual time advances it
+// hands the engine every event that just became due and tracks the live
+// per-processor state (down? at what rate? down since when?).  Both the
+// single-job engine (sim/engine) and the stream engine (multijob) drive
+// one; the free-list surgery itself stays in the engines because only
+// they know who is running where.
+//
+// FaultTimeline is the *checker-side* view: a pure function of the plan
+// that answers interval queries (was p down anywhere in [s, e)? what was
+// the max slowdown factor?) without replaying engine state, so the
+// schedule checker's fault invariants stay independent of engine code.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "fault/fault_plan.hh"
+
+namespace fhs {
+
+inline constexpr Time kNoFaultEvent = std::numeric_limits<Time>::max();
+
+/// Tallies of what a fault plan did to one run; embedded in SimResult /
+/// MultiJobResult and mirrored into obs counters by the engines.
+struct FaultStats {
+  std::uint64_t failures = 0;     ///< fail events applied
+  std::uint64_t recoveries = 0;   ///< recover events applied to a down processor
+  std::uint64_t slowdowns = 0;    ///< slow events applied
+  std::uint64_t tasks_killed = 0;  ///< running tasks killed by a failure or cancel
+  /// Completed-but-discarded work units (the rework the failures cost).
+  Work work_discarded = 0;
+
+  friend bool operator==(const FaultStats&, const FaultStats&) = default;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, std::uint32_t total_processors);
+
+  /// Time of the first unconsumed event (kNoFaultEvent when exhausted).
+  [[nodiscard]] Time next_event_time() const noexcept;
+
+  /// Consumes and returns every event with at <= now, updating the live
+  /// per-processor state.  The returned span is valid until the next
+  /// call.  Engines react (kill tasks, edit free lists) per event.
+  [[nodiscard]] std::span<const FaultEvent> take_events_until(Time now);
+
+  [[nodiscard]] bool is_down(std::uint32_t proc) const { return down_.at(proc) != 0; }
+  /// Ticks per unit of work on this processor (1 = full speed).
+  [[nodiscard]] std::uint32_t factor(std::uint32_t proc) const {
+    return factor_.at(proc);
+  }
+  /// Time of the fail event that downed this processor (engines use it
+  /// for the recovery-latency histogram).
+  [[nodiscard]] Time down_since(std::uint32_t proc) const { return down_since_.at(proc); }
+
+  /// True when an unconsumed recover event exists for `proc` -- the
+  /// difference between "wait for recovery" and "stalled forever".
+  [[nodiscard]] bool will_recover(std::uint32_t proc) const;
+
+ private:
+  std::vector<FaultEvent> events_;  // canonical order, from the plan
+  std::size_t cursor_ = 0;
+  std::vector<std::uint8_t> down_;
+  std::vector<std::uint32_t> factor_;
+  std::vector<Time> down_since_;
+};
+
+/// Checker-side interval queries over a plan (no engine state).
+class FaultTimeline {
+ public:
+  FaultTimeline(const FaultPlan& plan, std::uint32_t total_processors);
+
+  /// True when processor `proc` is down anywhere in [begin, end).
+  [[nodiscard]] bool down_overlaps(std::uint32_t proc, Time begin, Time end) const;
+
+  /// True when some fail event of `proc` is at exactly `at` (a killed
+  /// segment must end at the failure instant).
+  [[nodiscard]] bool fails_at(std::uint32_t proc, Time at) const;
+
+  /// Max slowdown factor of `proc` over [begin, end) (1 = full speed
+  /// throughout).
+  [[nodiscard]] std::uint32_t max_factor_in(std::uint32_t proc, Time begin,
+                                            Time end) const;
+
+  /// Number of rate changes of `proc` strictly inside (begin, end).
+  [[nodiscard]] std::size_t rate_changes_in(std::uint32_t proc, Time begin,
+                                            Time end) const;
+
+ private:
+  /// Per processor: (time, state-after) breakpoints, state 0 = down,
+  /// otherwise the factor; starts implicitly at (0, 1).
+  struct Breakpoint {
+    Time at = 0;
+    std::uint32_t factor = 1;  // 0 encodes "down"
+  };
+  std::vector<std::vector<Breakpoint>> timeline_;
+};
+
+}  // namespace fhs

@@ -1,0 +1,212 @@
+#include "fault/fault_plan.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <tuple>
+
+namespace fhs {
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kFail:
+      return "fail";
+    case FaultKind::kRecover:
+      return "recover";
+    case FaultKind::kSlow:
+      return "slow";
+  }
+  return "?";
+}
+
+FaultPlanError::FaultPlanError(const std::string& context, std::string token)
+    : std::invalid_argument(context + ": '" + token + "'"), token_(std::move(token)) {}
+
+namespace {
+
+/// Per-processor validation: the event sequence must describe a runnable
+/// state machine (up -> fail -> down -> recover -> up; slow only while
+/// up; recover also clears a slowdown).
+void validate_sequence(std::vector<FaultEvent>& events) {
+  for (const FaultEvent& event : events) {
+    if (event.at < 0) {
+      throw FaultPlanError("FaultPlan: event time must be >= 0",
+                           std::to_string(event.at));
+    }
+    if (event.kind == FaultKind::kSlow && event.factor < 2) {
+      throw FaultPlanError("FaultPlan: slow factor must be >= 2",
+                           std::to_string(event.factor));
+    }
+    if (event.kind != FaultKind::kSlow && event.factor != 1) {
+      throw FaultPlanError("FaultPlan: only slow events carry a factor",
+                           std::to_string(event.factor));
+    }
+  }
+  // Canonical order: by time, ties by processor.  Per-(processor, time)
+  // uniqueness makes this a total order, so two equal plans always
+  // serialize identically.
+  std::sort(events.begin(), events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return std::tie(a.at, a.processor) < std::tie(b.at, b.processor);
+            });
+  // Walk each processor's subsequence.  State: 0 = up (full speed),
+  // 1 = slowed, 2 = down.
+  std::vector<std::uint32_t> procs;
+  procs.reserve(events.size());
+  for (const FaultEvent& event : events) procs.push_back(event.processor);
+  std::sort(procs.begin(), procs.end());
+  procs.erase(std::unique(procs.begin(), procs.end()), procs.end());
+  for (const std::uint32_t proc : procs) {
+    int state = 0;
+    Time last_at = -1;
+    for (const FaultEvent& event : events) {
+      if (event.processor != proc) continue;
+      std::string where = "p";
+      where += std::to_string(proc);
+      where += '@';
+      where += std::to_string(event.at);
+      if (event.at == last_at) {
+        throw FaultPlanError("FaultPlan: two events for one processor at one time",
+                             where);
+      }
+      last_at = event.at;
+      switch (event.kind) {
+        case FaultKind::kFail:
+          if (state == 2) {
+            throw FaultPlanError("FaultPlan: fail on an already-failed processor",
+                                 where);
+          }
+          state = 2;
+          break;
+        case FaultKind::kRecover:
+          if (state == 0) {
+            throw FaultPlanError(
+                "FaultPlan: recover on a healthy full-speed processor", where);
+          }
+          state = 0;
+          break;
+        case FaultKind::kSlow:
+          if (state == 2) {
+            throw FaultPlanError("FaultPlan: slow on a failed processor", where);
+          }
+          state = 1;  // re-slowing an already-slowed processor changes the factor
+          break;
+      }
+    }
+  }
+}
+
+/// Parses a non-negative integer at text[pos...]; advances pos.
+std::uint64_t parse_uint(const std::string& text, std::size_t& pos,
+                         const std::string& what) {
+  const std::size_t begin = pos;
+  while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) {
+    ++pos;
+  }
+  if (pos == begin || pos - begin > 18) {
+    throw FaultPlanError("FaultPlan: expected " + what,
+                         text.substr(begin, std::max<std::size_t>(1, pos - begin)));
+  }
+  return std::stoull(text.substr(begin, pos - begin));
+}
+
+FaultEvent parse_event(const std::string& token) {
+  // Case-insensitive, whitespace-tolerant: normalize first.
+  std::string text;
+  text.reserve(token.size());
+  for (const char c : token) {
+    if (!std::isspace(static_cast<unsigned char>(c))) {
+      text.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  FaultEvent event;
+  std::size_t pos = 0;
+  if (pos >= text.size() || text[pos] != 'p') {
+    throw FaultPlanError("FaultPlan: event must start with 'p<proc>'", token);
+  }
+  ++pos;
+  event.processor = static_cast<std::uint32_t>(parse_uint(text, pos, "processor id"));
+  if (pos >= text.size() || text[pos] != ':') {
+    throw FaultPlanError("FaultPlan: expected ':' after processor id", token);
+  }
+  ++pos;
+  const std::size_t at_sign = text.find('@', pos);
+  if (at_sign == std::string::npos) {
+    throw FaultPlanError("FaultPlan: expected '@<time>'", token);
+  }
+  const std::string action = text.substr(pos, at_sign - pos);
+  if (action == "fail") {
+    event.kind = FaultKind::kFail;
+  } else if (action == "recover") {
+    event.kind = FaultKind::kRecover;
+  } else if (action.rfind("slowx", 0) == 0) {
+    event.kind = FaultKind::kSlow;
+    std::size_t fpos = pos + 5;
+    event.factor = static_cast<std::uint32_t>(parse_uint(text, fpos, "slow factor"));
+    if (fpos != at_sign) {
+      throw FaultPlanError("FaultPlan: trailing characters after slow factor", token);
+    }
+  } else {
+    throw FaultPlanError("FaultPlan: unknown action (fail | recover | slowx<M>)",
+                         token);
+  }
+  pos = at_sign + 1;
+  event.at = static_cast<Time>(parse_uint(text, pos, "event time"));
+  if (pos != text.size()) {
+    throw FaultPlanError("FaultPlan: trailing characters after event time", token);
+  }
+  return event;
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(std::vector<FaultEvent> events) : events_(std::move(events)) {
+  validate_sequence(events_);
+}
+
+FaultPlan FaultPlan::parse(const std::string& text) {
+  std::vector<FaultEvent> events;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find(';', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string token = text.substr(begin, end - begin);
+    const bool blank =
+        std::all_of(token.begin(), token.end(),
+                    [](unsigned char c) { return std::isspace(c) != 0; });
+    if (!blank) events.push_back(parse_event(token));
+    if (end == text.size()) break;
+    begin = end + 1;
+  }
+  return FaultPlan(std::move(events));
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (i > 0) out << ';';
+    const FaultEvent& event = events_[i];
+    out << 'p' << event.processor << ':' << fhs::to_string(event.kind);
+    if (event.kind == FaultKind::kSlow) out << 'x' << event.factor;
+    out << '@' << event.at;
+  }
+  return out.str();
+}
+
+std::uint32_t FaultPlan::max_processor() const noexcept {
+  std::uint32_t best = 0;
+  for (const FaultEvent& event : events_) best = std::max(best, event.processor);
+  return best;
+}
+
+void FaultPlan::validate_against(const Cluster& cluster) const {
+  if (empty()) return;
+  if (max_processor() >= cluster.total_processors()) {
+    throw std::invalid_argument(
+        "FaultPlan: event names processor p" + std::to_string(max_processor()) +
+        " but the cluster has only " + std::to_string(cluster.total_processors()) +
+        " processors (" + cluster.describe() + ")");
+  }
+}
+
+}  // namespace fhs

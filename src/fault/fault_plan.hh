@@ -1,0 +1,110 @@
+// Deterministic fault plans (cluster-dynamics extension).
+//
+// The paper's machine model (§II) is static: P_alpha processors of each
+// type, forever healthy.  Real heterogeneous clusters lose and recover
+// accelerators mid-run, so a FaultPlan scripts per-processor capacity
+// events against the simulator's virtual clock:
+//
+//   fail     the processor leaves the pool; a task running on it is
+//            killed and all its completed work discarded (re-execution
+//            model -- the task re-enters its ready queue from scratch);
+//   recover  the processor rejoins the pool at full speed (also ends a
+//            slowdown);
+//   slow xM  the processor keeps running but at rate 1/M: each unit of
+//            work takes M ticks (thermal throttling, a noisy neighbour).
+//
+// A plan is a *value*: a validated, time-sorted event list, parseable
+// from a compact spec string exactly like schedulers are via
+// SchedulerSpec.  Grammar (case-insensitive, ';'-separated events):
+//
+//   plan   := event (';' event)*          | ""  (empty plan, no faults)
+//   event  := 'p' PROC ':' action '@' TIME
+//   action := 'fail' | 'recover' | 'slow' 'x' FACTOR
+//
+//   e.g.  "p3:fail@100;p3:recover@250;p0:slowx2@40;p0:recover@90"
+//
+// PROC is a global processor id (see Cluster::offset), TIME a virtual
+// tick >= 0, FACTOR an integer >= 2.  Validation enforces a sane
+// per-processor state machine (no fail while failed, no recover while
+// healthy at full speed, no slow while failed, at most one event per
+// (processor, time)), so engines never face an ambiguous plan.  The
+// canonical form orders events by (time, processor):
+//
+//   parse(to_string(plan)) == plan          for every valid plan
+//
+// Everything here is deterministic by construction: same plan + same
+// seed => identical traces at any thread count (fhs_lint rules apply to
+// this module).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/kdag.hh"
+#include "machine/cluster.hh"
+
+namespace fhs {
+
+enum class FaultKind : std::uint8_t { kFail, kRecover, kSlow };
+
+[[nodiscard]] const char* to_string(FaultKind kind) noexcept;
+
+struct FaultEvent {
+  Time at = 0;
+  std::uint32_t processor = 0;  ///< global processor id
+  FaultKind kind = FaultKind::kFail;
+  std::uint32_t factor = 1;  ///< kSlow only: ticks per unit of work (>= 2)
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// Thrown by FaultPlan::parse and FaultPlan's event validation.  `token`
+/// is the offending spec fragment (or a description of the bad event).
+class FaultPlanError : public std::invalid_argument {
+ public:
+  FaultPlanError(const std::string& context, std::string token);
+
+  [[nodiscard]] const std::string& token() const noexcept { return token_; }
+
+ private:
+  std::string token_;
+};
+
+class FaultPlan {
+ public:
+  /// The empty plan: no faults, engines behave exactly as without one.
+  FaultPlan() = default;
+
+  /// Validates and canonically sorts `events`; throws FaultPlanError on
+  /// negative times, bad factors, or an inconsistent per-processor state
+  /// machine.
+  explicit FaultPlan(std::vector<FaultEvent> events);
+
+  /// Parses the spec grammar above; "" yields the empty plan.
+  [[nodiscard]] static FaultPlan parse(const std::string& text);
+
+  /// Canonical spec string (events sorted by (time, processor));
+  /// parse(to_string()) round-trips.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::span<const FaultEvent> events() const noexcept { return events_; }
+
+  /// Largest processor id named by any event (0 when empty).
+  [[nodiscard]] std::uint32_t max_processor() const noexcept;
+
+  /// Throws std::invalid_argument when the plan names a processor the
+  /// cluster does not have -- the release-build guard between user-
+  /// supplied fault specs and the engines' free-list bookkeeping.
+  void validate_against(const Cluster& cluster) const;
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+
+ private:
+  std::vector<FaultEvent> events_;  // sorted by (at, processor)
+};
+
+}  // namespace fhs

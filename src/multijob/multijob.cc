@@ -50,7 +50,17 @@ MultiJobEngine::MultiJobEngine(const Cluster& cluster, MultiJobScheduler& schedu
       free_procs_[a].push_back(cluster_.offset(a) + i);
     }
   }
+  alive_per_type_.resize(k);
+  for (ResourceType a = 0; a < k; ++a) alive_per_type_[a] = cluster_.processors(a);
+  if (options_.faults != nullptr && !options_.faults->empty()) {
+    options_.faults->validate_against(cluster_);
+    injector_.emplace(*options_.faults, cluster_.total_processors());
+    proc_factor_.assign(cluster_.total_processors(), 1);
+    proc_down_.assign(cluster_.total_processors(), 0);
+    proc_down_since_.assign(cluster_.total_processors(), 0);
+  }
   scheduler_.prepare(cluster_);
+  apply_fault_events();  // t=0 events take effect before any dispatch
 }
 
 std::uint32_t MultiJobEngine::add_job(KDag dag, Time arrival) {
@@ -71,6 +81,7 @@ std::uint32_t MultiJobEngine::add_job(KDag dag, Time arrival) {
   remaining_job_work_.push_back(d.total_work());
   tasks_left_.push_back(d.task_count());
   completion_.push_back(-1);
+  cancelled_.push_back(0);
   task_offset_.push_back(static_cast<TaskId>(total_tasks_));
   total_tasks_ += d.task_count();
   scheduler_.admit(index, job);
@@ -113,7 +124,8 @@ std::uint32_t MultiJobEngine::free_processors(ResourceType alpha) const {
 }
 
 std::uint32_t MultiJobEngine::total_processors(ResourceType alpha) const {
-  return cluster_.processors(alpha);
+  // Alive count under a fault plan (equals the static width without one).
+  return alive_per_type_.at(alpha);
 }
 
 std::span<const GlobalTask> MultiJobEngine::ready(ResourceType alpha) const {
@@ -148,7 +160,12 @@ void MultiJobEngine::assign(ResourceType alpha, std::size_t index) {
   queue_work_[alpha] -= work;
   const std::uint32_t proc = frees.back();
   frees.pop_back();
-  running_.push_back(RunningTask{id, proc, alpha, now_, work});
+  RunningTask run{id, proc, alpha, now_, work};
+  if (injector_.has_value()) {
+    run.factor = proc_factor_[proc];
+    run.pure = run.factor == 1;
+  }
+  running_.push_back(run);
 }
 
 // --- event loop -------------------------------------------------------------------
@@ -163,6 +180,7 @@ void MultiJobEngine::admit_arrivals() {
   while (!pending_.empty() && pending_.top().arrival <= now_) {
     const std::uint32_t j = pending_.top().job;
     pending_.pop();
+    if (cancelled_[j] != 0) continue;  // cancelled before it ever arrived
     for (TaskId root : jobs_[j].dag.roots()) {
       make_ready(GlobalTask{j, root});
     }
@@ -173,9 +191,29 @@ void MultiJobEngine::elapse(Time dt) {
   if (dt == 0) return;
   for (RunningTask& r : running_) {
     busy_ticks_per_type_[r.type] += dt;
-    r.remaining -= dt;
-    remaining_job_work_[r.id.job] -= dt;
+    const Work units = (r.credit + dt) / r.factor;
+    r.credit = (r.credit + dt) % r.factor;
+    r.done += units;
+    r.remaining -= units;
+    remaining_job_work_[r.id.job] -= units;
   }
+}
+
+void MultiJobEngine::record_segment(const RunningTask& r, bool killed) {
+  if (!options_.record_trace || now_ <= r.start) return;
+  const TaskId task = task_offset_[r.id.job] + r.id.task;
+  if (r.pure && !killed) {
+    trace_.add(task, r.processor, r.start, now_);
+  } else {
+    trace_.add_fault_segment(task, r.processor, r.start, now_, r.done, killed);
+  }
+}
+
+void MultiJobEngine::release_processor(ResourceType alpha, std::uint32_t proc) {
+  auto& frees = free_procs_[alpha];
+  const auto pos = std::lower_bound(frees.begin(), frees.end(), proc,
+                                    std::greater<std::uint32_t>{});
+  frees.insert(pos, proc);
 }
 
 void MultiJobEngine::process_completions() {
@@ -189,14 +227,9 @@ void MultiJobEngine::process_completions() {
       still_running.push_back(r);
       continue;
     }
-    auto& frees = free_procs_[r.type];
-    const auto pos = std::lower_bound(frees.begin(), frees.end(), r.processor,
-                                      std::greater<std::uint32_t>{});
-    frees.insert(pos, r.processor);
+    release_processor(r.type, r.processor);
     ++completed_tasks_;
-    if (options_.record_trace) {
-      trace_.add(task_offset_[r.id.job] + r.id.task, r.processor, r.start, now_);
-    }
+    record_segment(r, /*killed=*/false);
     const KDag& dag = jobs_[r.id.job].dag;
     if (--tasks_left_[r.id.job] == 0) {
       completion_[r.id.job] = now_;
@@ -215,6 +248,155 @@ void MultiJobEngine::process_completions() {
   running_ = std::move(still_running);
 }
 
+void MultiJobEngine::apply_fault_events() {
+  if (!injector_.has_value()) return;
+  for (const FaultEvent& event : injector_->take_events_until(now_)) {
+    switch (event.kind) {
+      case FaultKind::kFail:
+        on_fail(event);
+        break;
+      case FaultKind::kRecover:
+        on_recover(event);
+        break;
+      case FaultKind::kSlow:
+        ++fault_stats_.slowdowns;
+        rescale_processor(event.processor, event.factor);
+        break;
+    }
+  }
+}
+
+void MultiJobEngine::on_fail(const FaultEvent& event) {
+  const std::uint32_t proc = event.processor;
+  ++fault_stats_.failures;
+  const ResourceType alpha = cluster_.type_of_processor(proc);
+  assert(alive_per_type_[alpha] > 0);
+  --alive_per_type_[alpha];
+  proc_down_[proc] = 1;
+  proc_down_since_[proc] = event.at;
+  proc_factor_[proc] = 1;
+  if (obs::enabled()) {
+    obs::Registry::global().counter("multijob.fault.failures").add(1);
+  }
+  // Kill the occupant, if any: the task re-enters its FIFO queue from
+  // scratch (re-execution model, same as the single-job engine).
+  for (std::size_t i = 0; i < running_.size(); ++i) {
+    if (running_[i].processor != proc) continue;
+    const RunningTask victim = running_[i];
+    running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(i));
+    record_segment(victim, /*killed=*/true);
+    ++fault_stats_.tasks_killed;
+    const Work task_work = jobs_[victim.id.job].dag.work(victim.id.task);
+    const Work discarded = task_work - victim.remaining;
+    fault_stats_.work_discarded += discarded;
+    remaining_job_work_[victim.id.job] += discarded;
+    make_ready(victim.id);
+    if (obs::enabled()) {
+      auto& registry = obs::Registry::global();
+      registry.counter("multijob.fault.tasks_killed").add(1);
+      registry.counter("multijob.fault.work_discarded")
+          .add(static_cast<std::uint64_t>(discarded));
+    }
+    return;
+  }
+  // Idle processor: pull it out of its free list.
+  auto& frees = free_procs_[alpha];
+  const auto pos = std::find(frees.begin(), frees.end(), proc);
+  assert(pos != frees.end());
+  frees.erase(pos);
+}
+
+void MultiJobEngine::on_recover(const FaultEvent& event) {
+  const std::uint32_t proc = event.processor;
+  if (proc_down_[proc] != 0) {
+    ++fault_stats_.recoveries;
+    if (obs::enabled()) {
+      auto& registry = obs::Registry::global();
+      registry.counter("multijob.fault.recoveries").add(1);
+      registry.histogram("multijob.fault.recovery_latency")
+          .record(static_cast<std::uint64_t>(event.at - proc_down_since_[proc]));
+    }
+    proc_down_[proc] = 0;
+    proc_factor_[proc] = 1;
+    ++alive_per_type_[cluster_.type_of_processor(proc)];
+    release_processor(cluster_.type_of_processor(proc), proc);
+    return;
+  }
+  // Recovery from a slowdown: back to full speed in place.
+  rescale_processor(proc, 1);
+}
+
+void MultiJobEngine::rescale_processor(std::uint32_t proc, std::uint32_t new_factor) {
+  const std::uint32_t old_factor = proc_factor_[proc];
+  proc_factor_[proc] = new_factor;
+  for (RunningTask& r : running_) {
+    if (r.processor != proc) continue;
+    r.credit = r.credit * new_factor / old_factor;
+    r.factor = new_factor;
+    if (new_factor != 1) r.pure = false;
+    return;
+  }
+}
+
+std::size_t MultiJobEngine::cancel_job(std::uint32_t j) {
+  if (j >= jobs_.size()) {
+    throw std::out_of_range("MultiJobEngine::cancel_job: unknown job");
+  }
+  if (cancelled_.at(j) != 0) {
+    throw std::logic_error("MultiJobEngine::cancel_job: job already cancelled");
+  }
+  if (tasks_left_.at(j) == 0) {
+    throw std::logic_error("MultiJobEngine::cancel_job: job already completed");
+  }
+  cancelled_[j] = 1;
+  // Withdraw the job's queued ready tasks.
+  for (ResourceType a = 0; a < cluster_.num_types(); ++a) {
+    auto& queue = queues_[a];
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      if (queue[i].job == j) {
+        queue_work_[a] -= jobs_[j].dag.work(queue[i].task);
+        continue;
+      }
+      queue[kept++] = queue[i];
+    }
+    queue.resize(kept);
+  }
+  // Kill its running tasks; their processors come straight back.
+  std::size_t killed = 0;
+  std::vector<RunningTask> still_running;
+  still_running.reserve(running_.size());
+  for (const RunningTask& r : running_) {
+    if (r.id.job != j) {
+      still_running.push_back(r);
+      continue;
+    }
+    record_segment(r, /*killed=*/true);
+    release_processor(r.type, r.processor);
+    ++killed;
+  }
+  running_ = std::move(still_running);
+  // The job is finished for accounting purposes (drain, finish), but is
+  // never reported through take_completed -- the caller knows it
+  // cancelled the job and handles the outcome itself.
+  completed_tasks_ += tasks_left_[j];
+  tasks_left_[j] = 0;
+  completion_[j] = now_;
+  remaining_job_work_[j] = 0;
+  ++jobs_completed_;
+  if (obs::enabled()) {
+    auto& registry = obs::Registry::global();
+    registry.counter("multijob.jobs_cancelled").add(1);
+    registry.counter("multijob.tasks_killed_by_cancel")
+        .add(static_cast<std::uint64_t>(killed));
+  }
+  return killed;
+}
+
+bool MultiJobEngine::job_cancelled(std::uint32_t j) const {
+  return cancelled_.at(j) != 0;
+}
+
 void MultiJobEngine::enforce_work_conservation() const {
   for (ResourceType a = 0; a < cluster_.num_types(); ++a) {
     if (!free_procs_[a].empty() && !queues_[a].empty()) {
@@ -229,13 +411,21 @@ bool MultiJobEngine::step(Time deadline) {
   enforce_work_conservation();
   Time next_event = pending_.empty() ? kNoEvent : pending_.top().arrival;
   for (const RunningTask& r : running_) {
-    next_event = std::min(next_event, now_ + r.remaining);
+    next_event =
+        std::min(next_event, now_ + static_cast<Time>(r.factor) * r.remaining -
+                                 r.credit);
+  }
+  if (injector_.has_value()) {
+    // Plan events are decision points too: capacity changes and the
+    // scheduler must re-decide (e.g. a ready task waiting on recovery).
+    next_event = std::min(next_event, injector_->next_event_time());
   }
   if (next_event == kNoEvent || next_event > deadline) return false;
   assert(next_event > now_);
   elapse(next_event - now_);
   now_ = next_event;
   process_completions();
+  apply_fault_events();
   return true;
 }
 
@@ -263,6 +453,14 @@ void MultiJobEngine::run_to_completion() {
   std::uint64_t decisions = 0;
   while (completed_tasks_ < total_tasks_) {
     if (!step(kNoEvent - 1)) {
+      // A fault plan stranding work is a property of the *input* (like
+      // the single-job engine's std::runtime_error); a stall without one
+      // is an engine bug.
+      if (injector_.has_value()) {
+        throw std::runtime_error(
+            "MultiJobEngine: stalled with tasks outstanding (fault plan "
+            "leaves no processor for them and schedules no recovery)");
+      }
       throw std::logic_error("MultiJobEngine: stalled with tasks outstanding");
     }
     ++decisions;
@@ -285,6 +483,11 @@ MultiJobResult MultiJobEngine::finish() {
     result.flow_time.push_back(completion_[j] - jobs_[j].arrival);
   }
   result.busy_ticks_per_type = busy_ticks_per_type_;
+  if (std::find(cancelled_.begin(), cancelled_.end(), std::uint8_t{1}) !=
+      cancelled_.end()) {
+    result.cancelled = cancelled_;
+  }
+  result.faults = fault_stats_;
   result.trace = std::move(trace_);
   result.trace_task_offset = task_offset_;
   return result;
@@ -335,7 +538,8 @@ KDag merge_jobs(std::span<const JobArrival> jobs, ResourceType num_types) {
 
 std::vector<std::string> check_multijob_trace(std::span<const JobArrival> jobs,
                                               const Cluster& cluster,
-                                              const MultiJobResult& result) {
+                                              const MultiJobResult& result,
+                                              const FaultPlan* faults) {
   std::vector<std::string> violations;
   if (result.trace.empty()) {
     violations.push_back("no trace recorded (run with MultiEngineOptions.record_trace)");
@@ -348,6 +552,23 @@ std::vector<std::string> check_multijob_trace(std::span<const JobArrival> jobs,
   const KDag merged = merge_jobs(jobs, cluster.num_types());
   CheckOptions options;
   options.require_non_preemptive = true;
+  options.faults = faults;
+  std::vector<std::uint8_t> cancelled_tasks;
+  if (!result.cancelled.empty()) {
+    if (result.cancelled.size() != jobs.size()) {
+      violations.push_back("result.cancelled does not match the job count");
+      return violations;
+    }
+    cancelled_tasks.assign(merged.task_count(), 0);
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      if (result.cancelled[j] == 0) continue;
+      const TaskId begin = result.trace_task_offset[j];
+      for (TaskId v = 0; v < jobs[j].dag.task_count(); ++v) {
+        cancelled_tasks[begin + v] = 1;
+      }
+    }
+    options.cancelled_tasks = &cancelled_tasks;
+  }
   violations = check_schedule(merged, cluster, result.trace, options);
   // Stream-specific invariant: no task starts before its job arrives.
   for (const TraceSegment& segment : result.trace.segments()) {

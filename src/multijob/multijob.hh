@@ -24,11 +24,14 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "fault/fault_injector.hh"
+#include "fault/fault_plan.hh"
 #include "graph/kdag.hh"
 #include "machine/cluster.hh"
 #include "sim/trace.hh"
@@ -92,11 +95,16 @@ class MultiJobScheduler {
 struct MultiJobResult {
   /// Time the last job finishes.
   Time makespan = 0;
-  /// Absolute completion time per job.
+  /// Absolute completion time per job (for a cancelled job: cancel time).
   std::vector<Time> completion;
   /// completion - arrival, per job.
   std::vector<Time> flow_time;
   std::vector<Time> busy_ticks_per_type;
+  /// Per job: 1 when the job was cancelled (cancel_job) rather than run
+  /// to completion.  Empty when no job was ever cancelled.
+  std::vector<std::uint8_t> cancelled;
+  /// What the fault plan did (all zero without one).
+  FaultStats faults;
   /// Combined execution trace over all jobs (only filled when the run
   /// recorded one); job j's task v appears as task trace_task_offset[j]+v.
   ExecutionTrace trace;
@@ -110,6 +118,12 @@ struct MultiEngineOptions {
   /// Record a combined ExecutionTrace for replay verification
   /// (check_multijob_trace).
   bool record_trace = false;
+  /// Optional fault plan (not owned; must outlive the engine).  Same
+  /// semantics as SimOptions::faults: fail kills the occupant and
+  /// discards its work (re-execution), slow runs at 1/factor rate,
+  /// recover restores the processor; total_processors reports alive
+  /// counts.  nullptr or empty reproduces the fault-free engine exactly.
+  const FaultPlan* faults = nullptr;
 };
 
 /// Incremental multi-job simulation engine.  Single-threaded: callers
@@ -124,6 +138,23 @@ class MultiJobEngine final : public MultiDispatchContext {
   /// Injects a job whose roots become ready at `arrival` (>= now()).
   /// Returns the job's dense index.
   std::uint32_t add_job(KDag dag, Time arrival);
+
+  /// Cancels job `j` at the current virtual time: running tasks are
+  /// killed (work discarded, killed trace segments recorded), queued
+  /// tasks withdrawn, a not-yet-arrived job never starts.  The job
+  /// counts as finished for drain purposes (job_done(j) becomes true,
+  /// completion_time(j) is the cancel time) but is NOT reported through
+  /// take_completed().  Returns the number of running tasks killed.
+  /// Idempotent errors: cancelling a done or already-cancelled job
+  /// throws std::logic_error.  The service layer drives this for its
+  /// deadline/retry path.
+  std::size_t cancel_job(std::uint32_t j);
+
+  /// True when job `j` was cancelled.
+  [[nodiscard]] bool job_cancelled(std::uint32_t j) const;
+
+  /// Tallies of fault-plan activity so far (all zero without a plan).
+  [[nodiscard]] const FaultStats& fault_stats() const noexcept { return fault_stats_; }
 
   /// Advances virtual time to exactly `deadline`, processing every
   /// arrival/completion event on the way (a bounded slice).
@@ -169,6 +200,11 @@ class MultiJobEngine final : public MultiDispatchContext {
     ResourceType type = 0;
     Time start = 0;
     Work remaining = 0;
+    // Fault-mode extras (inert at full speed without a plan):
+    Work done = 0;             // units completed during this run
+    Time credit = 0;           // ticks toward the next unit, in [0, factor)
+    std::uint32_t factor = 1;  // ticks per unit on this processor right now
+    bool pure = true;          // ran at factor 1 the whole time
   };
   struct PendingArrival {
     Time arrival = 0;
@@ -190,6 +226,14 @@ class MultiJobEngine final : public MultiDispatchContext {
   /// Dispatches and processes the next event if it is at or before
   /// `deadline`; returns false (without advancing) otherwise.
   bool step(Time deadline);
+  /// Applies every fault-plan event due at the current virtual time.
+  void apply_fault_events();
+  void on_fail(const FaultEvent& event);
+  void on_recover(const FaultEvent& event);
+  void rescale_processor(std::uint32_t proc, std::uint32_t new_factor);
+  /// Records [r.start, now) in the combined trace (no-op when empty).
+  void record_segment(const RunningTask& r, bool killed);
+  void release_processor(ResourceType alpha, std::uint32_t proc);
 
   Cluster cluster_;
   MultiJobScheduler& scheduler_;
@@ -216,6 +260,16 @@ class MultiJobEngine final : public MultiDispatchContext {
   std::vector<Time> busy_ticks_per_type_;
   ExecutionTrace trace_;
   std::vector<TaskId> task_offset_;
+  std::vector<std::uint8_t> cancelled_;  // per job
+
+  // Fault state; engaged only when options_.faults is a non-empty plan.
+  // proc_* vectors are indexed by global processor id.
+  std::optional<FaultInjector> injector_;
+  std::vector<std::uint32_t> alive_per_type_;
+  std::vector<std::uint32_t> proc_factor_;  // ticks per unit of work
+  std::vector<std::uint8_t> proc_down_;
+  std::vector<Time> proc_down_since_;
+  FaultStats fault_stats_;
 };
 
 /// Simulates the stream in one shot.  Jobs must be sorted by
@@ -234,11 +288,15 @@ MultiJobResult multi_simulate(std::span<const JobArrival> jobs, const Cluster& c
 /// Replay-verifies a recorded multi-job trace with the independent
 /// schedule checker (type match, capacity, precedence, work
 /// conservation, non-preemptive contiguity) plus the stream-specific
-/// invariant that no task starts before its job's arrival.  Returns
-/// human-readable violations (empty == valid).
+/// invariant that no task starts before its job's arrival.  When the run
+/// used a fault plan, pass it so the checker's fault invariants apply
+/// (no run on a failed processor, killed-segment accounting, slowdown
+/// consistency); cancelled jobs (result.cancelled) are exempt from
+/// completion and contiguity.  Returns human-readable violations
+/// (empty == valid).
 [[nodiscard]] std::vector<std::string> check_multijob_trace(
     std::span<const JobArrival> jobs, const Cluster& cluster,
-    const MultiJobResult& result);
+    const MultiJobResult& result, const FaultPlan* faults = nullptr);
 
 // --- policies -----------------------------------------------------------------
 

@@ -14,8 +14,15 @@ namespace fhs {
 
 std::string journal_line(const JournalEntry& entry) {
   std::ostringstream line;
-  line << "{\"ticket\": " << entry.ticket << ", \"epoch\": " << entry.epoch
-       << ", \"kdag\": " << json_quote(kdag_to_string(entry.dag)) << '}';
+  line << "{\"ticket\": " << entry.ticket << ", \"epoch\": " << entry.epoch;
+  if (entry.cancel) {
+    line << ", \"cancel\": true}";
+    return line.str();
+  }
+  if (entry.arrival >= 0 && entry.arrival != entry.epoch) {
+    line << ", \"arrival\": " << entry.arrival;
+  }
+  line << ", \"kdag\": " << json_quote(kdag_to_string(entry.dag)) << '}';
   return line.str();
 }
 
@@ -47,6 +54,11 @@ class LineParser {
       } else if (key == "epoch") {
         entry.epoch = static_cast<Time>(parse_uint());
         saw_epoch = true;
+      } else if (key == "arrival") {
+        entry.arrival = static_cast<Time>(parse_uint());
+      } else if (key == "cancel") {
+        expect_literal("true");
+        entry.cancel = true;
       } else if (key == "kdag") {
         entry.dag = kdag_from_string(parse_string());
         saw_dag = true;
@@ -63,7 +75,14 @@ class LineParser {
     expect('}');
     skip_space();
     if (pos_ != text_.size()) fail("trailing content");
-    if (!saw_ticket || !saw_epoch || !saw_dag) fail("missing field");
+    if (!saw_ticket || !saw_epoch) fail("missing field");
+    if (entry.cancel && (saw_dag || entry.arrival >= 0)) {
+      fail("cancel entry must not carry a dag or arrival");
+    }
+    if (!entry.cancel && !saw_dag) fail("missing field");
+    if (entry.arrival >= 0 && entry.arrival < entry.epoch) {
+      fail("arrival before epoch");
+    }
     return entry;
   }
 
@@ -89,6 +108,14 @@ class LineParser {
   void expect(char ch) {
     if (peek() != ch) fail(std::string("expected '") + ch + "'");
     ++pos_;
+  }
+
+  void expect_literal(const std::string& literal) {
+    skip_space();
+    if (text_.compare(pos_, literal.size(), literal) != 0) {
+      fail("expected '" + literal + "'");
+    }
+    pos_ += literal.size();
   }
 
   std::uint64_t parse_uint() {

@@ -11,10 +11,23 @@
 // (fold order, fold epochs, dags) -- exactly what the journal captures
 // -- replay_journal() re-runs a recorded session bit-identically, no
 // matter how the original submissions raced each other in wall time.
+//
+// Two extensions support the service's deadline/retry path (absent from
+// journals of plain sessions, so the original format round-trips
+// byte-identically):
+//
+//   {"ticket": 7, "epoch": 500, "cancel": true}
+//   {"ticket": 7, "epoch": 500, "arrival": 520, "kdag": "..."}
+//
+// A cancel entry records that the job's current engine incarnation was
+// cancelled at `epoch` (deadline expiry).  An entry with an `arrival`
+// field is a retry fold: written at `epoch` (epochs stay monotone) but
+// entering the engine at `arrival` >= epoch (the backoff delay).
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <utility>
 #include <vector>
 
 #include "graph/kdag.hh"
@@ -23,8 +36,43 @@ namespace fhs {
 
 struct JournalEntry {
   std::uint64_t ticket = 0;
-  Time epoch = 0;  ///< virtual time the job was folded into the engine
+  Time epoch = 0;  ///< virtual time the entry was written (monotone)
+  /// Engine arrival when it differs from `epoch` (retry folds enter at
+  /// epoch + backoff); -1 means "same as epoch".
+  Time arrival = -1;
+  /// True for a cancel record (no dag): the ticket's live incarnation
+  /// was cancelled at `epoch`.
+  bool cancel = false;
   KDag dag;
+
+  JournalEntry() = default;
+  /// A plain fold: the job enters the engine at `epoch`.
+  JournalEntry(std::uint64_t ticket_id, Time at, KDag job)
+      : ticket(ticket_id), epoch(at), dag(std::move(job)) {}
+
+  /// A cancel record for the ticket's live incarnation.
+  [[nodiscard]] static JournalEntry make_cancel(std::uint64_t ticket_id, Time at) {
+    JournalEntry entry;
+    entry.ticket = ticket_id;
+    entry.epoch = at;
+    entry.cancel = true;
+    return entry;
+  }
+  /// A retry fold written at `at`, entering the engine at `enters`.
+  [[nodiscard]] static JournalEntry make_retry(std::uint64_t ticket_id, Time at,
+                                               Time enters, KDag job) {
+    JournalEntry entry;
+    entry.ticket = ticket_id;
+    entry.epoch = at;
+    entry.arrival = enters;
+    entry.dag = std::move(job);
+    return entry;
+  }
+
+  /// The time the job enters (or entered) the engine.
+  [[nodiscard]] Time effective_arrival() const noexcept {
+    return arrival >= 0 ? arrival : epoch;
+  }
 };
 
 /// Appends entries to a caller-owned stream, one JSON line each,

@@ -21,6 +21,12 @@ std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) noexcept {
           .count());
 }
 
+MultiEngineOptions engine_options(const ServiceConfig& config) {
+  MultiEngineOptions options;
+  options.faults = config.faults;
+  return options;
+}
+
 }  // namespace
 
 /// Single-writer (the worker) block of atomics behind stats().  Readers
@@ -41,6 +47,15 @@ class SchedulerService::StatsBlock {
   std::atomic<std::uint64_t> reject_overloaded{0};
   std::atomic<std::uint64_t> reject_never_fits{0};
   std::atomic<std::uint64_t> reject_shutdown{0};
+  std::atomic<std::uint64_t> timed_out{0};
+  std::atomic<std::uint64_t> retried{0};
+  std::atomic<std::uint64_t> retries_exhausted{0};
+  // Mirrors of the engine's FaultStats (worker-written after each slice).
+  std::atomic<std::uint64_t> fault_failures{0};
+  std::atomic<std::uint64_t> fault_recoveries{0};
+  std::atomic<std::uint64_t> fault_slowdowns{0};
+  std::atomic<std::uint64_t> fault_tasks_killed{0};
+  std::atomic<std::uint64_t> fault_work_discarded{0};
   std::atomic<Time> virtual_now{0};
   std::atomic<std::int64_t> flow_sum{0};
   std::atomic<Time> max_flow{0};
@@ -69,6 +84,12 @@ class SchedulerService::StatsBlock {
   obs::Histogram& obs_epoch_ns = obs::Registry::global().histogram("service.epoch_ns");
   obs::Histogram& obs_flow_ticks =
       obs::Registry::global().histogram("service.flow_ticks");
+  obs::Counter& obs_timed_out = obs::Registry::global().counter("service.timed_out");
+  obs::Counter& obs_retried = obs::Registry::global().counter("service.retried");
+  obs::Counter& obs_retries_exhausted =
+      obs::Registry::global().counter("service.retries_exhausted");
+  obs::Histogram& obs_retry_backoff_ticks =
+      obs::Registry::global().histogram("service.retry_backoff_ticks");
 };
 
 SchedulerService::SchedulerService(const Cluster& cluster, ServiceConfig config)
@@ -76,10 +97,17 @@ SchedulerService::SchedulerService(const Cluster& cluster, ServiceConfig config)
       config_(std::move(config)),
       scheduler_(make_multijob_scheduler(config_.policy)),
       admission_(config_.admission, cluster_),
-      engine_(cluster_, *scheduler_),
+      engine_(cluster_, *scheduler_, engine_options(config_)),
       stats_(std::make_unique<StatsBlock>()) {
   if (config_.epoch_length <= 0) {
     throw std::invalid_argument("SchedulerService: epoch_length must be positive");
+  }
+  if (config_.deadline < 0 || config_.retry_backoff < 0) {
+    throw std::invalid_argument(
+        "SchedulerService: deadline and retry_backoff must be >= 0");
+  }
+  if (config_.max_attempts == 0) {
+    throw std::invalid_argument("SchedulerService: max_attempts must be >= 1");
   }
   {
     MutexLock lock(mutex_);
@@ -200,6 +228,7 @@ JobStatus SchedulerService::poll(JobTicket ticket) const {
   status.state = record.state;
   status.folded_epoch = record.folded_epoch;
   status.completion = record.completion;
+  status.attempts = record.attempts;
   if (record.state == JobState::kCompleted) {
     status.flow_time = record.completion - record.folded_epoch;
   }
@@ -263,6 +292,17 @@ ServiceStats SchedulerService::stats() const {
         static_cast<double>(block.flow_sum.load(std::memory_order_relaxed)) /
         static_cast<double>(out.completed);
   }
+  out.deadline_enabled = config_.deadline > 0;
+  out.timed_out = block.timed_out.load(std::memory_order_relaxed);
+  out.retried = block.retried.load(std::memory_order_relaxed);
+  out.retries_exhausted = block.retries_exhausted.load(std::memory_order_relaxed);
+  out.faults_enabled = config_.faults != nullptr && !config_.faults->empty();
+  out.fault_failures = block.fault_failures.load(std::memory_order_relaxed);
+  out.fault_recoveries = block.fault_recoveries.load(std::memory_order_relaxed);
+  out.fault_slowdowns = block.fault_slowdowns.load(std::memory_order_relaxed);
+  out.fault_tasks_killed = block.fault_tasks_killed.load(std::memory_order_relaxed);
+  out.fault_work_discarded =
+      block.fault_work_discarded.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -272,7 +312,7 @@ void SchedulerService::fold_inbox() {
   const Time epoch = engine_.now();
   for (Pending& pending : inbox_) {
     if (journal_) {
-      journal_->append(JournalEntry{pending.ticket, epoch, pending.dag});
+      journal_->append(JournalEntry(pending.ticket, epoch, pending.dag));
     }
     const std::uint32_t index = engine_.add_job(std::move(pending.dag), epoch);
     if (engine_ticket_.size() != index) {
@@ -283,9 +323,82 @@ void SchedulerService::fold_inbox() {
     record.state = JobState::kScheduled;
     record.engine_index = index;
     record.folded_epoch = epoch;
+    record.attempts = 1;
+    arm_deadline(pending.ticket, 1, epoch);
   }
   inbox_.clear();
   space_available_.notify_all();
+}
+
+void SchedulerService::arm_deadline(std::uint64_t ticket, std::uint32_t attempt,
+                                    Time arrival) {
+  if (config_.deadline <= 0) return;
+  deadlines_.push(DeadlineEntry{arrival + config_.deadline, ticket, attempt});
+}
+
+void SchedulerService::check_deadlines() {
+  if (config_.deadline <= 0) return;
+  const bool observed = obs::enabled();
+  bool released = false;
+  while (!deadlines_.empty() && deadlines_.top().expiry <= engine_.now()) {
+    const DeadlineEntry entry = deadlines_.top();
+    deadlines_.pop();
+    TicketRecord& record = tickets_[entry.ticket - 1];
+    // Stale: the attempt completed in time (harvest ran first, so a job
+    // finishing exactly at its expiry wins) or was already superseded.
+    if (record.state != JobState::kScheduled || record.attempts != entry.attempt) {
+      continue;
+    }
+    const std::uint32_t index = record.engine_index;
+    const Time now = engine_.now();
+    (void)engine_.cancel_job(index);
+    if (journal_) {
+      journal_->append(JournalEntry::make_cancel(entry.ticket, now));
+    }
+    admission_.on_complete(engine_.job(index).dag);
+    released = true;
+    stats_->timed_out.fetch_add(1, std::memory_order_relaxed);
+    if (observed) stats_->obs_timed_out.add(1);
+    if (record.attempts < config_.max_attempts) {
+      const Time backoff =
+          config_.retry_backoff <= 0
+              ? 0
+              : config_.retry_backoff << (record.attempts - 1);
+      const Time arrival = now + backoff;
+      KDag dag = engine_.job(index).dag;
+      if (journal_) {
+        journal_->append(JournalEntry::make_retry(entry.ticket, now, arrival, dag));
+      }
+      const std::uint32_t new_index = engine_.add_job(std::move(dag), arrival);
+      if (engine_ticket_.size() != new_index) {
+        throw std::logic_error("SchedulerService: engine index out of step");
+      }
+      engine_ticket_.push_back(entry.ticket);
+      admission_.on_admit(engine_.job(new_index).dag);
+      record.engine_index = new_index;
+      record.folded_epoch = arrival;
+      ++record.attempts;
+      arm_deadline(entry.ticket, record.attempts, arrival);
+      stats_->retried.fetch_add(1, std::memory_order_relaxed);
+      if (observed) {
+        stats_->obs_retried.add(1);
+        stats_->obs_retry_backoff_ticks.record(static_cast<std::uint64_t>(backoff));
+      }
+    } else {
+      record.state = config_.max_attempts == 1 ? JobState::kTimedOut
+                                               : JobState::kRetriesExhausted;
+      record.completion = now;
+      ++finished_;
+      // With a single allowed attempt there were no retries to exhaust;
+      // the timeout is already counted in timed_out.
+      if (config_.max_attempts > 1) {
+        stats_->retries_exhausted.fetch_add(1, std::memory_order_relaxed);
+        if (observed) stats_->obs_retries_exhausted.add(1);
+      }
+      progress_.notify_all();
+    }
+  }
+  if (released) space_available_.notify_all();
 }
 
 void SchedulerService::worker_loop() {
@@ -299,7 +412,12 @@ void SchedulerService::worker_loop() {
     const auto epoch_started = std::chrono::steady_clock::now();
     obs::TraceSpan epoch_span("epoch", "service");
     fold_inbox();
-    const Time deadline = engine_.now() + config_.epoch_length;
+    Time deadline = engine_.now() + config_.epoch_length;
+    if (!deadlines_.empty()) {
+      // Stop the slice at the next deadline expiry so attempts are
+      // cancelled exactly when they time out, not at the next epoch edge.
+      deadline = std::min(deadline, deadlines_.top().expiry);
+    }
     lock.unlock();
     engine_.advance_until(deadline);
     const std::vector<std::uint32_t> done = engine_.take_completed();
@@ -308,6 +426,17 @@ void SchedulerService::worker_loop() {
     const auto busy = engine_.busy_ticks();
     for (ResourceType a = 0; a < cluster_.num_types(); ++a) {
       stats_->busy[a].store(busy[a], std::memory_order_relaxed);
+    }
+    if (config_.faults != nullptr) {
+      const FaultStats& faults = engine_.fault_stats();
+      stats_->fault_failures.store(faults.failures, std::memory_order_relaxed);
+      stats_->fault_recoveries.store(faults.recoveries, std::memory_order_relaxed);
+      stats_->fault_slowdowns.store(faults.slowdowns, std::memory_order_relaxed);
+      stats_->fault_tasks_killed.store(faults.tasks_killed,
+                                       std::memory_order_relaxed);
+      stats_->fault_work_discarded.store(
+          static_cast<std::uint64_t>(faults.work_discarded),
+          std::memory_order_relaxed);
     }
     lock.lock();
     for (const std::uint32_t index : done) {
@@ -332,6 +461,7 @@ void SchedulerService::worker_loop() {
         stats_->obs_e2e_ns.record(elapsed_ns(record.submitted_at));
       }
     }
+    check_deadlines();
     if (observed) stats_->obs_epoch_ns.record(elapsed_ns(epoch_started));
     if (!done.empty()) {
       space_available_.notify_all();
@@ -343,12 +473,29 @@ void SchedulerService::worker_loop() {
 
 // --- replay ----------------------------------------------------------------------
 
-Time ReplayResult::flow_time_of(std::uint64_t ticket) const {
-  const auto it = std::find(tickets.begin(), tickets.end(), ticket);
-  if (it == tickets.end()) {
-    throw std::out_of_range("ReplayResult::flow_time_of: unknown ticket");
+namespace {
+
+/// Index of the ticket's LAST fold (retries fold the same ticket again).
+std::size_t last_fold_index(const std::vector<std::uint64_t>& tickets,
+                            std::uint64_t ticket, const char* who) {
+  const auto it = std::find(tickets.rbegin(), tickets.rend(), ticket);
+  if (it == tickets.rend()) {
+    throw std::out_of_range(std::string(who) + ": unknown ticket");
   }
-  return result.flow_time[static_cast<std::size_t>(it - tickets.begin())];
+  return tickets.size() - 1 - static_cast<std::size_t>(it - tickets.rbegin());
+}
+
+}  // namespace
+
+Time ReplayResult::flow_time_of(std::uint64_t ticket) const {
+  return result.flow_time[last_fold_index(tickets, ticket,
+                                          "ReplayResult::flow_time_of")];
+}
+
+bool ReplayResult::cancelled_of(std::uint64_t ticket) const {
+  const std::size_t index =
+      last_fold_index(tickets, ticket, "ReplayResult::cancelled_of");
+  return !result.cancelled.empty() && result.cancelled[index] != 0;
 }
 
 ReplayResult replay_journal(std::span<const JournalEntry> entries,
@@ -367,9 +514,18 @@ ReplayResult replay_journal(std::span<const JournalEntry> entries,
     // dispatch with a prefix of the fold batch admitted, which the live
     // service (folding the whole batch before its next slice) never does.
     if (entry.epoch > engine.now()) engine.advance_until(entry.epoch);
-    (void)engine.add_job(entry.dag, entry.epoch);
+    if (entry.cancel) {
+      // Mirror the live deadline path: cancel the ticket's latest
+      // incarnation at the recorded instant.
+      const auto index = static_cast<std::uint32_t>(last_fold_index(
+          out.tickets, entry.ticket, "replay_journal: cancel entry"));
+      (void)engine.cancel_job(index);
+      continue;
+    }
+    const Time arrival = entry.effective_arrival();
+    (void)engine.add_job(entry.dag, arrival);
     out.tickets.push_back(entry.ticket);
-    out.jobs.push_back(JobArrival{entry.dag, entry.epoch});
+    out.jobs.push_back(JobArrival{entry.dag, arrival});
   }
   engine.run_to_completion();
   out.result = engine.finish();

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <queue>
 #include <span>
 #include <string>
 #include <thread>
@@ -48,12 +49,29 @@ struct ServiceConfig {
   AdmissionConfig admission;
   /// Optional record stream (caller keeps it alive; see journal.hh).
   std::ostream* journal = nullptr;
+  /// Optional fault plan driven inside the engine (not owned; must
+  /// outlive the service).  nullptr or empty keeps the engine fault-free.
+  const FaultPlan* faults = nullptr;
+  /// Per-attempt deadline in virtual ticks: an attempt still unfinished
+  /// `deadline` ticks after it entered the engine is cancelled (its
+  /// running tasks killed, queued tasks withdrawn).  0 disables.
+  Time deadline = 0;
+  /// Attempts per job (>= 1).  After a timeout, the job re-folds with
+  /// backoff until attempts run out; with max_attempts == 1 a timeout is
+  /// terminal (kTimedOut).
+  std::uint32_t max_attempts = 1;
+  /// Virtual ticks before attempt n+1 enters the engine, doubling per
+  /// retry: attempt n+1 arrives at cancel time + retry_backoff * 2^(n-1).
+  /// 0 re-folds immediately.
+  Time retry_backoff = 0;
 };
 
 enum class JobState : std::uint8_t {
   kQueued,     ///< accepted, waiting for the next epoch boundary
   kScheduled,  ///< folded into the engine, executing or queued inside it
   kCompleted,
+  kTimedOut,          ///< single attempt cancelled at its deadline
+  kRetriesExhausted,  ///< every allowed attempt timed out
 };
 
 struct JobTicket {
@@ -64,12 +82,16 @@ struct JobTicket {
 
 struct JobStatus {
   JobState state = JobState::kQueued;
-  /// Virtual time the job entered the engine (-1 while still queued).
+  /// Virtual time the job's current attempt entered the engine (-1 while
+  /// still queued; for a retry, the retry's arrival).
   Time folded_epoch = -1;
-  /// Absolute virtual completion time (-1 until completed).
+  /// Absolute virtual completion time (-1 until terminal; for a timed-out
+  /// job, the time the final attempt was cancelled).
   Time completion = -1;
-  /// completion - folded_epoch (-1 until completed).
+  /// completion - folded_epoch (-1 unless kCompleted).
   Time flow_time = -1;
+  /// Attempts started so far (1 for the first fold; 0 while queued).
+  std::uint32_t attempts = 0;
 };
 
 class SchedulerService {
@@ -112,9 +134,22 @@ class SchedulerService {
     std::uint32_t engine_index = 0;
     Time folded_epoch = -1;
     Time completion = -1;
+    std::uint32_t attempts = 0;
     /// Wall time submit() accepted the job (drives the service.e2e_ns
     /// submit-to-complete latency histogram).
     std::chrono::steady_clock::time_point submitted_at;
+  };
+  /// One armed deadline; stale entries (attempt finished or superseded)
+  /// are skipped lazily when they pop.
+  struct DeadlineEntry {
+    Time expiry = 0;
+    std::uint64_t ticket = 0;
+    std::uint32_t attempt = 0;
+    /// Min-heap order, deterministic across equal expiries.
+    [[nodiscard]] bool operator>(const DeadlineEntry& other) const noexcept {
+      if (expiry != other.expiry) return expiry > other.expiry;
+      return ticket > other.ticket;
+    }
   };
   class StatsBlock;
 
@@ -122,6 +157,14 @@ class SchedulerService {
   /// Folds the inbox into the engine at the current virtual time.
   /// Called by the worker with mutex_ held.
   void fold_inbox() FHS_REQUIRES(mutex_);
+  /// Cancels every attempt whose deadline expired at or before the
+  /// engine's current time, re-folding with backoff while attempts
+  /// remain.  Called by the worker with mutex_ held, after harvesting
+  /// completions (a job completing exactly at its expiry wins).
+  void check_deadlines() FHS_REQUIRES(mutex_);
+  /// Arms the deadline for `ticket`'s attempt entering at `arrival`.
+  void arm_deadline(std::uint64_t ticket, std::uint32_t attempt, Time arrival)
+      FHS_REQUIRES(mutex_);
 
   // Immutable after construction, read without the lock.
   Cluster cluster_;                            // fhs-lint: allow(guarded-field)
@@ -146,6 +189,9 @@ class SchedulerService {
   std::vector<std::uint64_t> engine_ticket_    // engine job index -> ticket id
       FHS_GUARDED_BY(mutex_);
   std::optional<JournalWriter> journal_ FHS_GUARDED_BY(mutex_);
+  std::priority_queue<DeadlineEntry, std::vector<DeadlineEntry>,
+                      std::greater<DeadlineEntry>>
+      deadlines_ FHS_GUARDED_BY(mutex_);
 
   // Single-writer atomics, read lock-free by stats().
   std::unique_ptr<StatsBlock> stats_;          // fhs-lint: allow(guarded-field)
@@ -162,14 +208,22 @@ struct ReplayResult {
   std::vector<JobArrival> jobs;
   std::vector<std::uint64_t> tickets;
 
-  /// Flow time of the job with the given ticket.
+  /// Flow time of the ticket's LAST incarnation (a retried job folds
+  /// more than once; the final fold is the one that ran to completion or
+  /// cancellation).
   [[nodiscard]] Time flow_time_of(std::uint64_t ticket) const;
+  /// True when the ticket's last incarnation was cancelled (i.e. the
+  /// live session timed the job out for good).
+  [[nodiscard]] bool cancelled_of(std::uint64_t ticket) const;
 };
 
 /// Re-runs a recorded session: folds each journaled job at its recorded
-/// epoch and runs to completion.  Deterministic -- two replays of the
-/// same journal produce identical results, and a replay reproduces the
-/// per-job flow times the live service reported.
+/// epoch (retry folds at their recorded arrival) and applies cancel
+/// entries to the ticket's latest incarnation, then runs to completion.
+/// Deterministic -- two replays of the same journal produce identical
+/// results, and a replay reproduces the per-job flow times the live
+/// service reported.  Pass the live session's fault plan through
+/// `options.faults` when it had one.
 [[nodiscard]] ReplayResult replay_journal(std::span<const JournalEntry> entries,
                                           const Cluster& cluster,
                                           const std::string& policy,

@@ -54,6 +54,22 @@ struct ServiceStats {
   std::vector<std::uint64_t> flow_time_bins;
   double mean_flow_time = 0.0;
   Time max_flow_time = 0;
+
+  /// Deadline/retry tallies (only meaningful -- and only serialized --
+  /// when the config sets a deadline).
+  bool deadline_enabled = false;
+  std::uint64_t timed_out = 0;  ///< attempts cancelled at deadline expiry
+  std::uint64_t retried = 0;    ///< re-folds after a timeout
+  std::uint64_t retries_exhausted = 0;  ///< jobs that ran out of attempts
+
+  /// Fault-plan tallies mirrored from the engine (only meaningful -- and
+  /// only serialized -- when the config carries a non-empty plan).
+  bool faults_enabled = false;
+  std::uint64_t fault_failures = 0;
+  std::uint64_t fault_recoveries = 0;
+  std::uint64_t fault_slowdowns = 0;
+  std::uint64_t fault_tasks_killed = 0;
+  std::uint64_t fault_work_discarded = 0;
 };
 
 }  // namespace fhs

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <chrono>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -34,6 +35,11 @@ struct Running {
   ResourceType type;
   Work remaining;
   Time started;  // when this continuous run began (for trace segments)
+  // Fault-mode extras (inert at full speed without a plan):
+  Work done = 0;             // units completed during this run
+  Time credit = 0;           // ticks toward the next unit, in [0, factor)
+  std::uint32_t factor = 1;  // ticks per unit on this processor right now
+  bool pure = true;          // ran at factor 1 the whole time (plain trace add)
 };
 
 /// Engine state + the DispatchContext view handed to the policy.
@@ -76,6 +82,15 @@ class Simulation final : public DispatchContext {
     scratch_running_.reserve(cluster.total_processors());
     obs_dispatches_per_type_.assign(k, 0);
     result_.busy_ticks_per_type.assign(k, 0);
+    alive_per_type_.resize(k);
+    for (ResourceType a = 0; a < k; ++a) alive_per_type_[a] = cluster.processors(a);
+    if (options.faults != nullptr && !options.faults->empty()) {
+      options.faults->validate_against(cluster);
+      injector_.emplace(*options.faults, cluster.total_processors());
+      proc_factor_.assign(cluster.total_processors(), 1);
+      proc_down_.assign(cluster.total_processors(), 0);
+      proc_down_since_.assign(cluster.total_processors(), 0);
+    }
     for (TaskId root : dag.roots()) make_ready(root);
   }
 
@@ -87,8 +102,11 @@ class Simulation final : public DispatchContext {
   [[nodiscard]] std::uint32_t free_processors(ResourceType alpha) const override {
     return static_cast<std::uint32_t>(free_procs_.at(alpha).size());
   }
+  // Under a fault plan this is the *alive* count, so capacity loss is
+  // visible to utilization-balancing policies; without one it equals the
+  // static cluster width.
   [[nodiscard]] std::uint32_t total_processors(ResourceType alpha) const override {
-    return cluster_.processors(alpha);
+    return alive_per_type_.at(alpha);
   }
   [[nodiscard]] ReadySpan ready(ResourceType alpha) const override {
     return make_ready_span(queues_.at(alpha));
@@ -132,7 +150,12 @@ class Simulation final : public DispatchContext {
         (proc != last_proc_[task] || now_ != last_end_[task])) {
       ++result_.preemptions;
     }
-    running_.push_back(Running{task, proc, alpha, remaining_work_[task], now_});
+    Running run{task, proc, alpha, remaining_work_[task], now_};
+    if (injector_.has_value()) {
+      run.factor = proc_factor_[proc];
+      run.pure = run.factor == 1;
+    }
+    running_.push_back(run);
     ++obs_dispatches_per_type_[alpha];
   }
 
@@ -141,6 +164,7 @@ class Simulation final : public DispatchContext {
     const bool observed = obs::enabled();
     obs::TraceSpan span("simulate", "sim");
     scheduler.prepare(dag_, cluster_);
+    apply_fault_events();  // t=0 events take effect before the first dispatch
     const std::size_t n = dag_.task_count();
     while (completed_ < n) {
       if (observed) {
@@ -163,6 +187,23 @@ class Simulation final : public DispatchContext {
       ++result_.decision_points;
       enforce_work_conservation();
       if (running_.empty()) {
+        // Under faults the job may merely be *waiting*: everything ready
+        // needs a processor that is down right now.  Jump to the next
+        // plan event and re-decide; only a plan with no further events
+        // leaves the job truly stranded.
+        if (injector_.has_value() &&
+            injector_->next_event_time() != kNoFaultEvent) {
+          now_ = injector_->next_event_time();
+          apply_fault_events();
+          continue;
+        }
+        if (injector_.has_value()) {
+          throw std::runtime_error(
+              "simulate: fault plan stranded " +
+              std::to_string(n - completed_) +
+              " outstanding task(s): every matching processor is failed and "
+              "no further recovery is scheduled");
+        }
         throw std::logic_error("simulate: no runnable task but job incomplete");
       }
       advance();
@@ -193,6 +234,15 @@ class Simulation final : public DispatchContext {
       dispatches += obs_dispatches_per_type_[a];
     }
     registry.counter("sim.dispatches").add(dispatches);
+    if (injector_.has_value()) {
+      registry.counter("sim.fault.failures").add(result_.faults.failures);
+      registry.counter("sim.fault.recoveries").add(result_.faults.recoveries);
+      registry.counter("sim.fault.slowdowns").add(result_.faults.slowdowns);
+      registry.counter("sim.fault.tasks_killed").add(result_.faults.tasks_killed);
+      registry.counter("sim.fault.work_discarded")
+          .add(static_cast<std::uint64_t>(result_.faults.work_discarded));
+      registry.histogram("sim.fault.recovery_latency").merge(obs_recovery_latency_);
+    }
   }
   void make_ready(TaskId task) {
     const ResourceType alpha = dag_.type(task);
@@ -225,17 +275,28 @@ class Simulation final : public DispatchContext {
     }
   }
 
-  /// Advances to the next completion, charging busy ticks and recording
-  /// trace segments, then processes the batch of completions.
+  /// Advances to the next event -- the earliest task completion at
+  /// current rates, or the next fault-plan event, whichever is sooner --
+  /// charging busy ticks and recording trace segments, then processes
+  /// completions followed by due fault events (completions first: a task
+  /// finishing at the instant its processor fails keeps its work).
   void advance() {
-    Work dt = std::numeric_limits<Work>::max();
-    for (const Running& r : running_) dt = std::min(dt, r.remaining);
+    Time dt = std::numeric_limits<Time>::max();
+    for (const Running& r : running_) {
+      dt = std::min(dt, static_cast<Time>(r.factor) * r.remaining - r.credit);
+    }
+    if (injector_.has_value() && injector_->next_event_time() != kNoFaultEvent) {
+      dt = std::min(dt, injector_->next_event_time() - now_);
+    }
     assert(dt > 0);
     now_ += dt;
     for (Running& r : running_) {
       result_.busy_ticks_per_type[r.type] += dt;
-      r.remaining -= dt;
-      remaining_work_[r.task] -= dt;
+      const Work units = (r.credit + dt) / r.factor;
+      r.credit = (r.credit + dt) % r.factor;
+      r.done += units;
+      r.remaining -= units;
+      remaining_work_[r.task] -= units;
     }
     // Complete finished tasks in processor order (deterministic).
     std::sort(running_.begin(), running_.end(),
@@ -255,10 +316,13 @@ class Simulation final : public DispatchContext {
       }
     }
     running_.swap(scratch_running_);
+    apply_fault_events();
   }
 
   /// Preemptive mode: return every running task to its queue so the next
-  /// dispatch reconsiders the full allocation.
+  /// dispatch reconsiders the full allocation.  On a slowed processor any
+  /// sub-unit credit is dropped (only whole completed units were ever
+  /// subtracted from remaining_work_, so accounting stays exact).
   void recall_running() {
     for (const Running& r : running_) {
       record_segment(r);
@@ -272,10 +336,106 @@ class Simulation final : public DispatchContext {
 
   /// Closes the continuous run [r.started, now_) in the trace.  The
   /// trace merges back-to-back runs of the same task on the same
-  /// processor (a "preemption" that changes nothing).
-  void record_segment(const Running& r) {
-    if (trace_ != nullptr && options_.record_trace && now_ > r.started) {
+  /// processor (a "preemption" that changes nothing).  Runs that touched
+  /// a slowdown carry their explicit work count and never merge.
+  void record_segment(const Running& r, bool killed = false) {
+    if (trace_ == nullptr || !options_.record_trace || now_ <= r.started) return;
+    if (r.pure && !killed) {
       trace_->add(r.task, r.processor, r.started, now_);
+    } else {
+      trace_->add_fault_segment(r.task, r.processor, r.started, now_, r.done,
+                                killed);
+    }
+  }
+
+  // --- fault plumbing -------------------------------------------------------
+  /// Applies every plan event due at or before now_ (the engine only
+  /// ever lands exactly on event times, so in practice "at now_").
+  void apply_fault_events() {
+    if (!injector_.has_value()) return;
+    for (const FaultEvent& event : injector_->take_events_until(now_)) {
+      switch (event.kind) {
+        case FaultKind::kFail:
+          on_fail(event);
+          break;
+        case FaultKind::kRecover:
+          on_recover(event);
+          break;
+        case FaultKind::kSlow:
+          on_slow(event);
+          break;
+      }
+    }
+  }
+
+  void on_fail(const FaultEvent& event) {
+    const std::uint32_t proc = event.processor;
+    ++result_.faults.failures;
+    const ResourceType alpha = cluster_.type_of_processor(proc);
+    assert(alive_per_type_[alpha] > 0);
+    --alive_per_type_[alpha];
+    proc_down_[proc] = 1;
+    proc_down_since_[proc] = event.at;
+    proc_factor_[proc] = 1;  // a recovered processor restarts at full speed
+    // Kill the occupant, if any: record the doomed segment, discard every
+    // unit the task has ever completed, and send it back to the ready
+    // queue from scratch (re-execution model).
+    for (std::size_t i = 0; i < running_.size(); ++i) {
+      if (running_[i].processor != proc) continue;
+      const Running victim = running_[i];
+      running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(i));
+      record_segment(victim, /*killed=*/true);
+      ++result_.faults.tasks_killed;
+      result_.faults.work_discarded += dag_.work(victim.task) -
+                                       remaining_work_[victim.task];
+      remaining_work_[victim.task] = dag_.work(victim.task);
+      make_ready(victim.task);
+      return;
+    }
+    // Idle processor: pull it out of its free list.
+    auto& frees = free_procs_[alpha];
+    const auto pos = std::find(frees.begin(), frees.end(), proc);
+    assert(pos != frees.end());
+    frees.erase(pos);
+  }
+
+  void on_recover(const FaultEvent& event) {
+    const std::uint32_t proc = event.processor;
+    if (proc_down_[proc] != 0) {
+      ++result_.faults.recoveries;
+      obs_recovery_latency_.record(
+          static_cast<std::uint64_t>(event.at - proc_down_since_[proc]));
+      proc_down_[proc] = 0;
+      proc_factor_[proc] = 1;
+      const ResourceType alpha = cluster_.type_of_processor(proc);
+      ++alive_per_type_[alpha];
+      auto& frees = free_procs_[alpha];
+      const auto pos = std::lower_bound(frees.begin(), frees.end(), proc,
+                                        std::greater<std::uint32_t>{});
+      frees.insert(pos, proc);
+      return;
+    }
+    // Recovery from a slowdown: back to full speed in place.
+    rescale_processor(proc, 1);
+  }
+
+  void on_slow(const FaultEvent& event) {
+    ++result_.faults.slowdowns;
+    rescale_processor(event.processor, event.factor);
+  }
+
+  /// Changes a live processor's rate, carrying any running task's credit
+  /// over proportionally (credit' = floor(credit * new / old), which
+  /// keeps credit' < new and never over-credits).
+  void rescale_processor(std::uint32_t proc, std::uint32_t new_factor) {
+    const std::uint32_t old_factor = proc_factor_[proc];
+    proc_factor_[proc] = new_factor;
+    for (Running& r : running_) {
+      if (r.processor != proc) continue;
+      r.credit = r.credit * new_factor / old_factor;
+      r.factor = new_factor;
+      if (new_factor != 1) r.pure = false;
+      return;
     }
   }
 
@@ -307,10 +467,19 @@ class Simulation final : public DispatchContext {
   std::vector<Running> scratch_running_;  // reused by advance(); never shrinks
   SimResult result_;
 
+  // Fault state; engaged only when options_.faults is a non-empty plan.
+  // proc_* vectors are indexed by global processor id.
+  std::optional<FaultInjector> injector_;
+  std::vector<std::uint32_t> alive_per_type_;
+  std::vector<std::uint32_t> proc_factor_;  // ticks per unit of work
+  std::vector<std::uint8_t> proc_down_;
+  std::vector<Time> proc_down_since_;
+
   // Local observability aggregation, flushed once by flush_obs().
   std::vector<std::uint64_t> obs_dispatches_per_type_;
   obs::LocalHistogram obs_ready_depth_;
   obs::LocalHistogram obs_dispatch_ns_;
+  obs::LocalHistogram obs_recovery_latency_;
 };
 
 }  // namespace

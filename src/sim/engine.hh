@@ -21,6 +21,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault_injector.hh"
+#include "fault/fault_plan.hh"
 #include "graph/kdag.hh"
 #include "machine/cluster.hh"
 #include "sim/scheduler.hh"
@@ -34,6 +36,16 @@ struct SimOptions {
   ExecutionMode mode = ExecutionMode::kNonPreemptive;
   /// Record per-processor segments into the caller-provided trace.
   bool record_trace = false;
+  /// Optional fault plan (not owned; must outlive the run).  nullptr or
+  /// an empty plan reproduces the fault-free engine byte for byte.
+  /// Fault semantics (see fault/fault_plan.hh): a failed processor
+  /// leaves the pool and any task running on it is killed with all work
+  /// discarded (re-execution -- the task re-enters its FIFO queue from
+  /// scratch); a slowed processor completes one unit of work every
+  /// `factor` ticks; recovery returns the processor at full speed.
+  /// Schedulers observe capacity loss through
+  /// DispatchContext::total_processors, which reports *alive* counts.
+  const FaultPlan* faults = nullptr;
 };
 
 struct SimResult {
@@ -45,14 +57,19 @@ struct SimResult {
   std::uint64_t decision_points = 0;
   /// Number of times a partially-executed task was put back in a queue.
   std::uint64_t preemptions = 0;
+  /// What the fault plan did (all zero for fault-free runs).
+  FaultStats faults;
 
   /// Average utilization of type alpha over the schedule length.
   [[nodiscard]] double utilization(ResourceType alpha, const Cluster& cluster) const;
 };
 
 /// Runs `scheduler` on `dag` over `cluster`.  Throws std::invalid_argument
-/// if the job uses more types than the cluster provides, and
-/// std::logic_error if the policy violates work conservation.
+/// if the job uses more types than the cluster provides (or the fault
+/// plan names a processor outside it), std::logic_error if the policy
+/// violates work conservation, and std::runtime_error when the fault
+/// plan strands outstanding tasks with no matching processor ever
+/// recovering.
 SimResult simulate(const KDag& dag, const Cluster& cluster, Scheduler& scheduler,
                    const SimOptions& options = {}, ExecutionTrace* trace = nullptr);
 

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <sstream>
+
+#include "fault/fault_injector.hh"
 
 namespace fhs {
 
@@ -11,6 +14,8 @@ std::string describe(const TraceSegment& seg) {
   std::ostringstream out;
   out << "task " << seg.task << " on p" << seg.processor << " [" << seg.start << ", "
       << seg.end << ")";
+  if (seg.work_done >= 0) out << " work=" << seg.work_done;
+  if (seg.killed) out << " killed";
   return out.str();
 }
 }  // namespace
@@ -21,6 +26,31 @@ std::vector<std::string> check_schedule(const KDag& dag, const Cluster& cluster,
   std::vector<std::string> violations;
   const auto& segments = trace.segments();
 
+  const bool faulty = options.faults != nullptr && !options.faults->empty();
+  if (faulty &&
+      options.faults->max_processor() >= cluster.total_processors()) {
+    violations.push_back("fault plan names processor p" +
+                         std::to_string(options.faults->max_processor()) +
+                         " but the cluster has only " +
+                         std::to_string(cluster.total_processors()) +
+                         " processors");
+    return violations;
+  }
+  std::optional<FaultTimeline> timeline;
+  if (faulty) timeline.emplace(*options.faults, cluster.total_processors());
+
+  if (options.cancelled_tasks != nullptr &&
+      options.cancelled_tasks->size() != dag.task_count()) {
+    violations.push_back("cancelled_tasks bitmap has " +
+                         std::to_string(options.cancelled_tasks->size()) +
+                         " entries for " + std::to_string(dag.task_count()) +
+                         " tasks");
+    return violations;
+  }
+  const auto cancelled = [&options](TaskId v) {
+    return options.cancelled_tasks != nullptr && (*options.cancelled_tasks)[v] != 0;
+  };
+
   // --- 1. basic sanity & type matching ------------------------------------
   for (const TraceSegment& seg : segments) {
     if (seg.task >= dag.task_count()) {
@@ -29,6 +59,13 @@ std::vector<std::string> check_schedule(const KDag& dag, const Cluster& cluster,
     }
     if (seg.start >= seg.end || seg.start < 0) {
       violations.push_back("segment has bad interval: " + describe(seg));
+    }
+    if (seg.work() < 0 || seg.work() > seg.end - seg.start) {
+      violations.push_back("segment work outside [0, duration]: " + describe(seg));
+    }
+    if (!faulty && (seg.killed || seg.work_done >= 0) && !cancelled(seg.task)) {
+      violations.push_back("fault-era segment in a fault-free run: " +
+                           describe(seg));
     }
     if (seg.processor >= cluster.total_processors()) {
       violations.push_back("segment uses unknown processor: " + describe(seg));
@@ -40,6 +77,45 @@ std::vector<std::string> check_schedule(const KDag& dag, const Cluster& cluster,
     }
   }
   if (!violations.empty()) return violations;  // later checks assume sane ids
+
+  // --- 7..9. fault invariants (replayed from the plan, not the engine) ----
+  if (faulty) {
+    for (const TraceSegment& seg : segments) {
+      if (timeline->down_overlaps(seg.processor, seg.start, seg.end)) {
+        violations.push_back("segment runs on a failed processor: " +
+                             describe(seg));
+      }
+      if (seg.killed && !cancelled(seg.task) &&
+          !timeline->fails_at(seg.processor, seg.end)) {
+        violations.push_back(
+            "killed segment does not end at a failure of its processor: " +
+            describe(seg));
+      }
+      const std::uint32_t max_factor =
+          timeline->max_factor_in(seg.processor, seg.start, seg.end);
+      const Work work = seg.work();
+      const Time duration = seg.end - seg.start;
+      if (max_factor == 1) {
+        // Full speed throughout: every tick completes one unit.
+        if (work != duration) {
+          violations.push_back("full-speed segment where work != duration: " +
+                               describe(seg));
+        }
+      } else {
+        const auto changes = static_cast<Work>(
+            timeline->rate_changes_in(seg.processor, seg.start, seg.end));
+        // Sub-unit credit can be forfeited once per run plus once per
+        // rate change, hence the slack of (1 + changes) units.
+        if (work > duration ||
+            duration > static_cast<Time>(max_factor) * (work + 1 + changes)) {
+          violations.push_back(
+              "segment duration inconsistent with slowdown factor " +
+              std::to_string(max_factor) + ": " + describe(seg));
+        }
+      }
+    }
+    if (!violations.empty()) return violations;
+  }
 
   // --- 2. no overlap per processor ----------------------------------------
   {
@@ -80,18 +156,31 @@ std::vector<std::string> check_schedule(const KDag& dag, const Cluster& cluster,
   }
 
   // --- 4. work conservation per task, 5. precedence, 6. contiguity --------
+  // Killed segments are discarded attempts: they count for nothing (work,
+  // contiguity, completion evidence) except that they too must respect
+  // precedence -- an attempt may not start before the task's parents
+  // finished.
   std::vector<Work> executed(dag.task_count(), 0);
   std::vector<Time> first_start(dag.task_count(), std::numeric_limits<Time>::max());
-  std::vector<Time> last_end(dag.task_count(), -1);
-  std::vector<std::size_t> segment_count(dag.task_count(), 0);
+  std::vector<Time> last_end(dag.task_count(), -1);  // non-killed only
+  std::vector<std::size_t> segment_count(dag.task_count(), 0);  // non-killed
   for (const TraceSegment& seg : segments) {
-    executed[seg.task] += seg.end - seg.start;
     first_start[seg.task] = std::min(first_start[seg.task], seg.start);
+    if (seg.killed) continue;
+    executed[seg.task] += seg.work();
     last_end[seg.task] = std::max(last_end[seg.task], seg.end);
     ++segment_count[seg.task];
   }
   for (TaskId v = 0; v < dag.task_count(); ++v) {
-    if (executed[v] != dag.work(v)) {
+    if (cancelled(v)) {
+      // A cancelled job's task either completed before the cancel or ran
+      // not at all; partial credit would mean the engine leaked work.
+      if (executed[v] != 0 && executed[v] != dag.work(v)) {
+        violations.push_back("cancelled task " + std::to_string(v) +
+                             " partially executed " + std::to_string(executed[v]) +
+                             " of " + std::to_string(dag.work(v)) + " ticks");
+      }
+    } else if (executed[v] != dag.work(v)) {
       violations.push_back("task " + std::to_string(v) + " executed " +
                            std::to_string(executed[v]) + " ticks, expected " +
                            std::to_string(dag.work(v)));
@@ -101,12 +190,18 @@ std::vector<std::string> check_schedule(const KDag& dag, const Cluster& cluster,
                            std::to_string(segment_count[v]) +
                            " segments in non-preemptive mode");
     }
-    if (options.require_non_preemptive && segment_count[v] == 1 &&
+    if (options.require_non_preemptive && segment_count[v] == 1 && !faulty &&
         last_end[v] - first_start[v] != dag.work(v)) {
+      // Under a fault plan killed attempts precede the real run and
+      // slowdowns stretch it; invariant 9 already pins each segment's
+      // duration, so the full-speed span equality only applies fault-free.
       violations.push_back("task " + std::to_string(v) + " not contiguous");
     }
     for (TaskId parent : dag.parents(v)) {
-      if (segment_count[v] == 0 || segment_count[parent] == 0) continue;
+      if (first_start[v] == std::numeric_limits<Time>::max() ||
+          segment_count[parent] == 0) {
+        continue;
+      }
       if (first_start[v] < last_end[parent]) {
         violations.push_back("task " + std::to_string(v) + " starts at " +
                              std::to_string(first_start[v]) + " before parent " +

@@ -7,9 +7,32 @@
 //   1. every segment runs a task on a processor of the task's type;
 //   2. segments on the same processor never overlap;
 //   3. per-type concurrency never exceeds P_alpha;
-//   4. each task executes exactly work(v) ticks in total;
+//   4. each task *completes* exactly work(v) units in total (killed
+//      segments contribute nothing -- re-execution model);
 //   5. no segment of v starts before all parents of v have finished;
-//   6. in non-preemptive mode, each task forms one contiguous segment.
+//   6. in non-preemptive mode, each task forms one contiguous segment
+//      (killed attempts aside under a fault plan).
+//
+// With a fault plan (options.faults), additionally:
+//
+//   7. no segment overlaps an interval in which its processor is failed;
+//   8. every killed segment ends exactly at a fail instant of its
+//      processor (nothing else may discard work);
+//   9. segment durations are consistent with the processor's slowdown
+//      factors: at full speed work == duration; under factor(s) <= m,
+//      work <= duration <= m * (work + 1 + rate changes inside);
+//  10. a task with killed attempts still completes (subsumed by 4): the
+//      engine re-ran it to the full work(v).
+//
+// Tasks marked in options.cancelled_tasks (jobs withdrawn mid-flight by
+// the caller, e.g. the service's deadline path) are exempt from
+// completion (4) and from the killed-ends-at-failure rule (8) -- a
+// cancel kill may happen at any instant, with or without a fault plan --
+// but still respect types, overlap, capacity, and precedence, and must
+// have executed either all of work(v) or none of it.
+//
+// The fault checks replay the *plan* (FaultTimeline), never engine
+// state, so they stay independent evidence.
 //
 // check() returns the list of violations (empty == valid).
 #pragma once
@@ -17,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_plan.hh"
 #include "graph/kdag.hh"
 #include "machine/cluster.hh"
 #include "sim/trace.hh"
@@ -26,6 +50,14 @@ namespace fhs {
 struct CheckOptions {
   /// Also enforce invariant 6 (single contiguous segment per task).
   bool require_non_preemptive = false;
+  /// The fault plan the trace ran under (not owned); nullptr or empty
+  /// means fault-free, in which case killed/slowed segments are
+  /// themselves violations.
+  const FaultPlan* faults = nullptr;
+  /// Optional per-task bitmap (task_count entries, not owned): 1 marks a
+  /// task of a cancelled job, waiving completion and killed-at-failure
+  /// for that task (see header comment).
+  const std::vector<std::uint8_t>* cancelled_tasks = nullptr;
 };
 
 /// Returns human-readable descriptions of every violated invariant.

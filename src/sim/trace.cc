@@ -3,20 +3,46 @@
 #include <algorithm>
 #include <cassert>
 #include <ostream>
+#include <stdexcept>
 #include <string>
 
 namespace fhs {
 
+namespace {
+void require_interval(TaskId task, std::uint32_t processor, Time start, Time end) {
+  if (start >= end) {
+    throw std::invalid_argument(
+        "ExecutionTrace: empty or inverted segment [" + std::to_string(start) +
+        ", " + std::to_string(end) + ") for task " + std::to_string(task) +
+        " on p" + std::to_string(processor));
+  }
+}
+}  // namespace
+
 void ExecutionTrace::add(TaskId task, std::uint32_t processor, Time start, Time end) {
-  assert(start < end);
+  require_interval(task, processor, start, end);
   if (!segments_.empty()) {
     TraceSegment& prev = segments_.back();
-    if (prev.task == task && prev.processor == processor && prev.end == start) {
+    if (prev.task == task && prev.processor == processor && prev.end == start &&
+        prev.work_done < 0 && !prev.killed) {
       prev.end = end;
       return;
     }
   }
   segments_.push_back(TraceSegment{task, processor, start, end});
+}
+
+void ExecutionTrace::add_fault_segment(TaskId task, std::uint32_t processor,
+                                       Time start, Time end, Work work_done,
+                                       bool killed) {
+  require_interval(task, processor, start, end);
+  if (work_done < 0 || work_done > end - start) {
+    throw std::invalid_argument(
+        "ExecutionTrace: segment work " + std::to_string(work_done) +
+        " outside [0, " + std::to_string(end - start) + "] for task " +
+        std::to_string(task));
+  }
+  segments_.push_back(TraceSegment{task, processor, start, end, work_done, killed});
 }
 
 Time ExecutionTrace::makespan() const noexcept {

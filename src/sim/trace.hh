@@ -20,6 +20,20 @@ struct TraceSegment {
   std::uint32_t processor = 0;  // global processor id (see Cluster::offset)
   Time start = 0;
   Time end = 0;
+  /// Work units completed during the segment; -1 (the default, and the
+  /// only value the plain add() overload produces) means end - start,
+  /// i.e. a full-speed run.  Fault runs record an explicit value when a
+  /// slowdown made work < duration.
+  Work work_done = -1;
+  /// True when the segment ended with its processor failing (or its job
+  /// being cancelled): the work was discarded and does not count toward
+  /// the task's required total (re-execution model).
+  bool killed = false;
+
+  /// Work this segment contributed (resolves the -1 sentinel).
+  [[nodiscard]] Work work() const noexcept {
+    return work_done < 0 ? end - start : work_done;
+  }
 
   friend bool operator==(const TraceSegment&, const TraceSegment&) = default;
 };
@@ -29,8 +43,17 @@ class ExecutionTrace {
   void clear() { segments_.clear(); }
 
   /// Appends a segment, merging with the previous one when it is the same
-  /// task continuing on the same processor.
+  /// task continuing on the same processor.  Throws std::invalid_argument
+  /// on an empty or inverted interval (release builds included -- the
+  /// trace is the checker's evidence, so it must not silently corrupt).
   void add(TaskId task, std::uint32_t processor, Time start, Time end);
+
+  /// Fault-run variant: records the work actually completed (under a
+  /// slowdown, work < end - start) and whether the segment was killed by
+  /// a processor failure.  Never merges -- the checker verifies each
+  /// fault-era segment against the plan on its own.
+  void add_fault_segment(TaskId task, std::uint32_t processor, Time start, Time end,
+                         Work work_done, bool killed);
 
   [[nodiscard]] const std::vector<TraceSegment>& segments() const noexcept {
     return segments_;

@@ -1,0 +1,301 @@
+// Differential fault coverage over the whole scheduler registry.
+//
+// For every spec the registry knows (the paper's six policies plus the
+// Fig. 8 information variants) and every workload family, the same
+// seeded job runs three times:
+//
+//   A  without fault options            (the pre-fault engine path)
+//   B  with an *empty* FaultPlan        (the fault path, no events)
+//   C  with a real fail/recover/slow plan
+//
+// A and B must be byte-identical -- same trace segments, same result --
+// so wiring a fault plan through the engine cannot perturb fault-free
+// runs.  C must still produce a schedule the independent checker
+// accepts under the plan's fault invariants (every killed task re-ran
+// to completion, nothing occupied a failed processor), with killed-work
+// accounting that balances exactly.  The same differential runs against
+// the multi-job stream engine for each stream policy.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.hh"
+#include "machine/cluster.hh"
+#include "multijob/multijob.hh"
+#include "sched/registry.hh"
+#include "sim/engine.hh"
+#include "sim/schedule_checker.hh"
+#include "support/rng.hh"
+#include "workload/workload.hh"
+
+namespace fhs {
+namespace {
+
+constexpr std::uint64_t kSeed = 2024;
+
+/// Every distinct spec the registry exposes (paper list + Fig. 8 list).
+std::vector<std::string> all_registry_specs() {
+  std::vector<std::string> specs;
+  for (const SchedulerSpec& spec : paper_scheduler_names()) {
+    specs.push_back(spec.to_string());
+  }
+  for (const SchedulerSpec& spec : fig8_scheduler_names()) {
+    const std::string name = spec.to_string();
+    if (std::find(specs.begin(), specs.end(), name) == specs.end()) {
+      specs.push_back(name);
+    }
+  }
+  return specs;
+}
+
+/// A small seeded job of each family (kept small so the full registry
+/// sweep stays fast).
+KDag small_job(const std::string& family, std::uint64_t seed) {
+  Rng rng(seed);
+  if (family == "ep") {
+    EpParams p;
+    p.num_types = 4;
+    p.min_branches = 4;
+    p.max_branches = 6;
+    return generate(p, rng);
+  }
+  if (family == "tree") {
+    TreeParams p;
+    p.num_types = 4;
+    p.max_tasks = 96;
+    return generate(p, rng);
+  }
+  IrParams p;
+  p.num_types = 4;
+  p.min_iterations = 3;
+  p.max_iterations = 4;
+  p.min_maps = 10;
+  p.max_maps = 18;
+  p.min_reduces = 3;
+  p.max_reduces = 5;
+  return generate(p, rng);
+}
+
+/// fail+recover on two processors, a permanent slowdown on a third --
+/// every failure recovers, so no plan strands work.
+FaultPlan test_plan() {
+  return FaultPlan::parse(
+      "p1:fail@3;p1:recover@60;p5:slowx2@0;p2:fail@20;p2:recover@45");
+}
+
+Work killed_work(const ExecutionTrace& trace) {
+  Work total = 0;
+  for (const TraceSegment& seg : trace.segments()) {
+    if (seg.killed) total += seg.work();
+  }
+  return total;
+}
+
+std::size_t killed_segments(const ExecutionTrace& trace) {
+  std::size_t count = 0;
+  for (const TraceSegment& seg : trace.segments()) count += seg.killed ? 1 : 0;
+  return count;
+}
+
+class RegistryFaultDifferential : public testing::TestWithParam<std::string> {};
+
+TEST_P(RegistryFaultDifferential, EmptyPlanIsByteIdentical) {
+  const Cluster cluster({2, 2, 2, 2});
+  const FaultPlan empty;
+  for (const std::string family : {"ep", "tree", "ir"}) {
+    const KDag dag = small_job(family, kSeed);
+
+    SimOptions plain;
+    plain.record_trace = true;
+    ExecutionTrace trace_plain;
+    const auto sched_plain = make_scheduler(GetParam(), kSeed);
+    const SimResult without =
+        simulate(dag, cluster, *sched_plain, plain, &trace_plain);
+
+    SimOptions with_empty = plain;
+    with_empty.faults = &empty;
+    ExecutionTrace trace_empty;
+    const auto sched_empty = make_scheduler(GetParam(), kSeed);
+    const SimResult with =
+        simulate(dag, cluster, *sched_empty, with_empty, &trace_empty);
+
+    EXPECT_EQ(without.completion_time, with.completion_time) << family;
+    EXPECT_EQ(without.busy_ticks_per_type, with.busy_ticks_per_type) << family;
+    EXPECT_EQ(without.decision_points, with.decision_points) << family;
+    ASSERT_EQ(trace_plain.segments(), trace_empty.segments()) << family;
+    EXPECT_EQ(with.faults, FaultStats{}) << family;
+  }
+}
+
+TEST_P(RegistryFaultDifferential, FaultRunPassesCheckerAndCompletes) {
+  const Cluster cluster({2, 2, 2, 2});
+  const FaultPlan plan = test_plan();
+  for (const std::string family : {"ep", "tree", "ir"}) {
+    const KDag dag = small_job(family, kSeed);
+
+    SimOptions options;
+    options.record_trace = true;
+    options.faults = &plan;
+    ExecutionTrace trace;
+    const auto sched = make_scheduler(GetParam(), kSeed);
+    const SimResult result = simulate(dag, cluster, *sched, options, &trace);
+
+    EXPECT_GT(result.completion_time, 0) << family;
+    CheckOptions check;
+    check.faults = &plan;
+    // The checker's completion invariant (4) is the "every killed task
+    // re-ran to completion" guarantee; its fault invariants (7-9) are
+    // the "nothing occupied a failed processor" guarantee.
+    const auto violations = check_schedule(dag, cluster, trace, check);
+    EXPECT_TRUE(violations.empty())
+        << GetParam() << "/" << family << ": " << violations.front();
+
+    // Kill accounting balances: discarded work equals the killed
+    // segments' work, one kill per killed segment.
+    EXPECT_EQ(result.faults.work_discarded, killed_work(trace)) << family;
+    EXPECT_EQ(result.faults.tasks_killed, killed_segments(trace)) << family;
+    EXPECT_EQ(result.faults.failures, 2u) << family;
+    EXPECT_EQ(result.faults.slowdowns, 1u) << family;
+  }
+}
+
+TEST_P(RegistryFaultDifferential, DeterministicUnderFaults) {
+  const Cluster cluster({2, 2, 2, 2});
+  const FaultPlan plan = test_plan();
+  const KDag dag = small_job("ir", kSeed);
+  SimOptions options;
+  options.record_trace = true;
+  options.faults = &plan;
+
+  ExecutionTrace first_trace;
+  const auto first_sched = make_scheduler(GetParam(), kSeed);
+  const SimResult first = simulate(dag, cluster, *first_sched, options, &first_trace);
+  ExecutionTrace second_trace;
+  const auto second_sched = make_scheduler(GetParam(), kSeed);
+  const SimResult second =
+      simulate(dag, cluster, *second_sched, options, &second_trace);
+
+  EXPECT_EQ(first.completion_time, second.completion_time);
+  EXPECT_EQ(first.faults, second.faults);
+  ASSERT_EQ(first_trace.segments(), second_trace.segments());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegistrySpecs, RegistryFaultDifferential,
+                         testing::ValuesIn(all_registry_specs()),
+                         [](const testing::TestParamInfo<std::string>& param) {
+                           std::string name = param.param;
+                           for (char& c : name) {
+                             if (c == '+') c = '_';
+                           }
+                           return name;
+                         });
+
+// --- multi-job stream engine --------------------------------------------------
+
+class StreamFaultDifferential : public testing::TestWithParam<std::string> {};
+
+std::vector<JobArrival> small_stream() {
+  std::vector<JobArrival> jobs;
+  Time arrival = 0;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    jobs.push_back({small_job(seed % 2 == 0 ? "ep" : "ir", seed), arrival});
+    arrival += 25;
+  }
+  return jobs;
+}
+
+TEST_P(StreamFaultDifferential, EmptyPlanIsByteIdentical) {
+  const Cluster cluster({2, 2, 2, 2});
+  const std::vector<JobArrival> jobs = small_stream();
+  const FaultPlan empty;
+
+  MultiEngineOptions plain;
+  plain.record_trace = true;
+  const auto sched_plain = make_multijob_scheduler(GetParam());
+  const MultiJobResult without = multi_simulate(jobs, cluster, *sched_plain, plain);
+
+  MultiEngineOptions with_empty = plain;
+  with_empty.faults = &empty;
+  const auto sched_empty = make_multijob_scheduler(GetParam());
+  const MultiJobResult with = multi_simulate(jobs, cluster, *sched_empty, with_empty);
+
+  EXPECT_EQ(without.makespan, with.makespan);
+  EXPECT_EQ(without.completion, with.completion);
+  EXPECT_EQ(without.flow_time, with.flow_time);
+  ASSERT_EQ(without.trace.segments(), with.trace.segments());
+  EXPECT_EQ(with.faults, FaultStats{});
+}
+
+TEST_P(StreamFaultDifferential, FaultRunPassesCheckerAndAllJobsComplete) {
+  const Cluster cluster({2, 2, 2, 2});
+  const std::vector<JobArrival> jobs = small_stream();
+  const FaultPlan plan = test_plan();
+
+  MultiEngineOptions options;
+  options.record_trace = true;
+  options.faults = &plan;
+  const auto sched = make_multijob_scheduler(GetParam());
+  const MultiJobResult result = multi_simulate(jobs, cluster, *sched, options);
+
+  ASSERT_EQ(result.completion.size(), jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    EXPECT_GE(result.flow_time[j], 0) << "job " << j;
+  }
+  EXPECT_TRUE(result.cancelled.empty());
+
+  const auto violations = check_multijob_trace(jobs, cluster, result, &plan);
+  EXPECT_TRUE(violations.empty()) << GetParam() << ": " << violations.front();
+
+  EXPECT_EQ(result.faults.work_discarded, killed_work(result.trace));
+  EXPECT_EQ(result.faults.tasks_killed, killed_segments(result.trace));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStreamPolicies, StreamFaultDifferential,
+                         testing::Values("kgreedy", "fcfs", "srjf", "mqb"));
+
+// --- engine release guards ----------------------------------------------------
+
+KDag two_type_pair() {
+  KDagBuilder builder(2);
+  const TaskId a = builder.add_task(0, 3);
+  const TaskId b = builder.add_task(1, 4);
+  builder.add_edge(a, b);
+  return std::move(builder).build();
+}
+
+// A plan naming a processor outside the cluster must throw up front, in
+// release builds too (both engines), and the checker must flag a trace
+// segment on an unknown processor rather than index out of bounds.
+TEST(FaultGuards, EnginesRejectPlanNamingUnknownProcessor) {
+  const FaultPlan plan = FaultPlan::parse("p9:fail@5");
+
+  SimOptions options;
+  options.faults = &plan;
+  const auto sched = make_scheduler("kgreedy", 0);
+  EXPECT_THROW((void)simulate(two_type_pair(), Cluster({2, 2}), *sched, options),
+               std::invalid_argument);
+
+  const std::vector<JobArrival> jobs = {{two_type_pair(), 0}};
+  MultiEngineOptions stream_options;
+  stream_options.faults = &plan;
+  const auto stream_sched = make_multijob_scheduler("kgreedy");
+  EXPECT_THROW(
+      (void)multi_simulate(jobs, Cluster({2, 2}), *stream_sched, stream_options),
+      std::invalid_argument);
+}
+
+TEST(FaultGuards, CheckerFlagsSegmentOnUnknownProcessor) {
+  KDagBuilder builder(1);
+  (void)builder.add_task(0, 5);
+  const KDag dag = std::move(builder).build();
+  ExecutionTrace trace;
+  trace.add(0, 7, 0, 5);  // processor 7 of a 2-processor cluster
+  const auto violations = check_schedule(dag, Cluster({2}), trace);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().find("processor"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fhs

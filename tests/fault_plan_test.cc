@@ -1,0 +1,227 @@
+// Unit coverage for the fault-plan value type and its two runtime
+// companions: parsing/validation/canonicalization (FaultPlan), the
+// engine-side cursor (FaultInjector), and the checker-side interval
+// queries (FaultTimeline).  Also the release-build guards: a plan
+// naming a processor the cluster lacks must throw before any engine
+// touches its free lists, and a trace must refuse corrupt intervals.
+#include "fault/fault_plan.hh"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "fault/fault_injector.hh"
+#include "machine/cluster.hh"
+#include "sim/trace.hh"
+
+namespace fhs {
+namespace {
+
+TEST(FaultPlan, EmptyPlan) {
+  const FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.to_string(), "");
+  EXPECT_EQ(FaultPlan::parse(""), plan);
+  EXPECT_EQ(FaultPlan::parse("  ;  ; "), plan);
+  EXPECT_EQ(plan.max_processor(), 0u);
+  plan.validate_against(Cluster({1}));  // empty plan fits any cluster
+}
+
+TEST(FaultPlan, ParsesTheIssueExample) {
+  const FaultPlan plan = FaultPlan::parse("p3:fail@100;p3:recover@250;p0:slowx2@40");
+  ASSERT_EQ(plan.events().size(), 3u);
+  // Canonical order is (time, processor), not spec order.
+  EXPECT_EQ(plan.events()[0], (FaultEvent{40, 0, FaultKind::kSlow, 2}));
+  EXPECT_EQ(plan.events()[1], (FaultEvent{100, 3, FaultKind::kFail, 1}));
+  EXPECT_EQ(plan.events()[2], (FaultEvent{250, 3, FaultKind::kRecover, 1}));
+  EXPECT_EQ(plan.max_processor(), 3u);
+}
+
+TEST(FaultPlan, ToStringRoundTripsCanonically) {
+  const std::string spec = "P3:FAIL@100 ; p0:SlowX2@40;p3:recover@250";
+  const FaultPlan plan = FaultPlan::parse(spec);
+  const std::string canonical = plan.to_string();
+  EXPECT_EQ(canonical, "p0:slowx2@40;p3:fail@100;p3:recover@250");
+  EXPECT_EQ(FaultPlan::parse(canonical), plan);
+  EXPECT_EQ(FaultPlan::parse(canonical).to_string(), canonical);
+}
+
+TEST(FaultPlan, TiesAtOneTimeOrderByProcessor) {
+  const FaultPlan plan = FaultPlan::parse("p2:fail@5;p1:fail@5;p0:fail@5");
+  EXPECT_EQ(plan.to_string(), "p0:fail@5;p1:fail@5;p2:fail@5");
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW((void)FaultPlan::parse("q0:fail@5"), FaultPlanError);
+  EXPECT_THROW((void)FaultPlan::parse("p:fail@5"), FaultPlanError);
+  EXPECT_THROW((void)FaultPlan::parse("p0fail@5"), FaultPlanError);
+  EXPECT_THROW((void)FaultPlan::parse("p0:fail"), FaultPlanError);
+  EXPECT_THROW((void)FaultPlan::parse("p0:fail@"), FaultPlanError);
+  EXPECT_THROW((void)FaultPlan::parse("p0:fail@-3"), FaultPlanError);
+  EXPECT_THROW((void)FaultPlan::parse("p0:explode@5"), FaultPlanError);
+  EXPECT_THROW((void)FaultPlan::parse("p0:slow@5"), FaultPlanError);
+  EXPECT_THROW((void)FaultPlan::parse("p0:slowx@5"), FaultPlanError);
+  EXPECT_THROW((void)FaultPlan::parse("p0:slowx2extra@5"), FaultPlanError);
+  EXPECT_THROW((void)FaultPlan::parse("p0:fail@5trailing"), FaultPlanError);
+}
+
+TEST(FaultPlan, RejectsSlowFactorBelowTwo) {
+  EXPECT_THROW((void)FaultPlan::parse("p0:slowx1@5"), FaultPlanError);
+  EXPECT_THROW((void)FaultPlan::parse("p0:slowx0@5"), FaultPlanError);
+}
+
+TEST(FaultPlan, ErrorCarriesTheOffendingToken) {
+  try {
+    (void)FaultPlan::parse("p0:fail@5;p1:explode@9");
+    FAIL() << "expected FaultPlanError";
+  } catch (const FaultPlanError& error) {
+    EXPECT_EQ(error.token(), "p1:explode@9");
+  }
+}
+
+TEST(FaultPlan, StateMachineRejectsInconsistentSequences) {
+  // Fail while failed.
+  EXPECT_THROW((void)FaultPlan::parse("p0:fail@1;p0:fail@2"), FaultPlanError);
+  // Recover while healthy at full speed.
+  EXPECT_THROW((void)FaultPlan::parse("p0:recover@1"), FaultPlanError);
+  EXPECT_THROW((void)FaultPlan::parse("p0:fail@1;p0:recover@2;p0:recover@3"),
+               FaultPlanError);
+  // Slow while failed.
+  EXPECT_THROW((void)FaultPlan::parse("p0:fail@1;p0:slowx2@2"), FaultPlanError);
+  // Two events for one (processor, time).
+  EXPECT_THROW((void)FaultPlan::parse("p0:fail@5;p0:recover@5"), FaultPlanError);
+}
+
+TEST(FaultPlan, StateMachineAcceptsLegalSequences) {
+  // Recover ends a slowdown; re-slowing changes the factor.
+  EXPECT_NO_THROW((void)FaultPlan::parse("p0:slowx2@1;p0:recover@2"));
+  EXPECT_NO_THROW((void)FaultPlan::parse("p0:slowx2@1;p0:slowx4@5;p0:recover@9"));
+  // A slowed processor may still fail.
+  EXPECT_NO_THROW((void)FaultPlan::parse("p0:slowx2@1;p0:fail@5;p0:recover@9"));
+  // Independent processors do not interact.
+  EXPECT_NO_THROW((void)FaultPlan::parse("p0:fail@5;p1:recover@6;p1:slowx2@2"));
+}
+
+TEST(FaultPlan, ConstructorValidatesRawEvents) {
+  EXPECT_THROW(FaultPlan({{-1, 0, FaultKind::kFail, 1}}), FaultPlanError);
+  EXPECT_THROW(FaultPlan({{5, 0, FaultKind::kSlow, 1}}), FaultPlanError);
+  // Non-slow events must not carry a factor.
+  EXPECT_THROW(FaultPlan({{5, 0, FaultKind::kFail, 3}}), FaultPlanError);
+  EXPECT_NO_THROW(FaultPlan({{5, 0, FaultKind::kFail, 1}}));
+}
+
+// The release-build guard between user fault specs and engine free-list
+// indexing: out-of-range processor ids must throw, never index.
+TEST(FaultPlan, ValidateAgainstRejectsUnknownProcessor) {
+  const FaultPlan plan = FaultPlan::parse("p7:fail@10");
+  EXPECT_THROW(plan.validate_against(Cluster({2, 2})), std::invalid_argument);
+  EXPECT_NO_THROW(plan.validate_against(Cluster({4, 4})));  // p7 = last of 8
+  try {
+    plan.validate_against(Cluster({2, 2}));
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("p7"), std::string::npos);
+  }
+}
+
+TEST(FaultKindNames, RoundTrip) {
+  EXPECT_STREQ(to_string(FaultKind::kFail), "fail");
+  EXPECT_STREQ(to_string(FaultKind::kRecover), "recover");
+  EXPECT_STREQ(to_string(FaultKind::kSlow), "slow");
+}
+
+// --- FaultInjector ------------------------------------------------------------
+
+TEST(FaultInjector, CursorConsumesEventsInTimeOrder) {
+  const FaultPlan plan =
+      FaultPlan::parse("p1:fail@10;p0:slowx3@5;p1:recover@20;p0:recover@15");
+  FaultInjector injector(plan, 2);
+  EXPECT_EQ(injector.next_event_time(), 5);
+  EXPECT_FALSE(injector.is_down(1));
+  EXPECT_EQ(injector.factor(0), 1u);
+
+  auto events = injector.take_events_until(4);
+  EXPECT_TRUE(events.empty());
+
+  events = injector.take_events_until(10);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at, 5);
+  EXPECT_EQ(events[1].at, 10);
+  EXPECT_EQ(injector.factor(0), 3u);
+  EXPECT_TRUE(injector.is_down(1));
+  EXPECT_EQ(injector.down_since(1), 10);
+  EXPECT_EQ(injector.next_event_time(), 15);
+
+  events = injector.take_events_until(1000);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(injector.factor(0), 1u);
+  EXPECT_FALSE(injector.is_down(1));
+  EXPECT_EQ(injector.next_event_time(), kNoFaultEvent);
+}
+
+TEST(FaultInjector, WillRecoverSeparatesWaitFromStalled) {
+  const FaultPlan plan = FaultPlan::parse("p0:fail@5;p0:recover@50;p1:fail@5");
+  FaultInjector injector(plan, 2);
+  (void)injector.take_events_until(5);
+  EXPECT_TRUE(injector.is_down(0));
+  EXPECT_TRUE(injector.is_down(1));
+  EXPECT_TRUE(injector.will_recover(0));
+  EXPECT_FALSE(injector.will_recover(1));  // stalled forever
+  (void)injector.take_events_until(50);
+  EXPECT_FALSE(injector.is_down(0));
+}
+
+// --- FaultTimeline ------------------------------------------------------------
+
+TEST(FaultTimeline, DownOverlapsUsesHalfOpenIntervals) {
+  const FaultPlan plan = FaultPlan::parse("p0:fail@10;p0:recover@20");
+  const FaultTimeline timeline(plan, 2);
+  EXPECT_FALSE(timeline.down_overlaps(0, 0, 10));  // ends as the failure starts
+  EXPECT_TRUE(timeline.down_overlaps(0, 0, 11));
+  EXPECT_TRUE(timeline.down_overlaps(0, 15, 16));
+  EXPECT_TRUE(timeline.down_overlaps(0, 19, 25));
+  EXPECT_FALSE(timeline.down_overlaps(0, 20, 30));  // starts at recovery
+  EXPECT_FALSE(timeline.down_overlaps(1, 0, 100));  // other processor untouched
+}
+
+TEST(FaultTimeline, DownForeverAfterUnrecoveredFail) {
+  const FaultPlan plan = FaultPlan::parse("p0:fail@10");
+  const FaultTimeline timeline(plan, 1);
+  EXPECT_TRUE(timeline.down_overlaps(0, 1000000, 1000001));
+}
+
+TEST(FaultTimeline, FailsAtMatchesExactInstants) {
+  const FaultPlan plan = FaultPlan::parse("p0:fail@10;p0:recover@20;p0:fail@30");
+  const FaultTimeline timeline(plan, 1);
+  EXPECT_TRUE(timeline.fails_at(0, 10));
+  EXPECT_TRUE(timeline.fails_at(0, 30));
+  EXPECT_FALSE(timeline.fails_at(0, 20));
+  EXPECT_FALSE(timeline.fails_at(0, 11));
+}
+
+TEST(FaultTimeline, MaxFactorInAndRateChanges) {
+  const FaultPlan plan = FaultPlan::parse("p0:slowx2@10;p0:slowx5@20;p0:recover@30");
+  const FaultTimeline timeline(plan, 1);
+  EXPECT_EQ(timeline.max_factor_in(0, 0, 10), 1u);
+  EXPECT_EQ(timeline.max_factor_in(0, 0, 11), 2u);
+  EXPECT_EQ(timeline.max_factor_in(0, 15, 25), 5u);
+  EXPECT_EQ(timeline.max_factor_in(0, 30, 40), 1u);
+  EXPECT_EQ(timeline.rate_changes_in(0, 0, 100), 3u);
+  EXPECT_EQ(timeline.rate_changes_in(0, 10, 20), 0u);  // strictly inside
+  EXPECT_EQ(timeline.rate_changes_in(0, 9, 21), 2u);
+}
+
+// --- trace interval guard (release builds included) ---------------------------
+
+TEST(TraceGuards, RejectsEmptyAndInvertedIntervals) {
+  ExecutionTrace trace;
+  EXPECT_THROW(trace.add(0, 0, 5, 5), std::invalid_argument);
+  EXPECT_THROW(trace.add(0, 0, 7, 3), std::invalid_argument);
+  EXPECT_THROW(trace.add_fault_segment(0, 0, 5, 5, 0, true), std::invalid_argument);
+  EXPECT_THROW(trace.add_fault_segment(0, 0, 9, 2, 1, false), std::invalid_argument);
+  EXPECT_TRUE(trace.empty());
+  EXPECT_NO_THROW(trace.add(0, 0, 3, 7));
+}
+
+}  // namespace
+}  // namespace fhs

@@ -1,0 +1,297 @@
+// Property / fuzz coverage for fault semantics: randomly generated
+// fault plans plus the pathological corners (all-but-one processor
+// failed, fail at t=0, recover-never, a whole type stranded) against
+// both engines.  Two properties must hold for every plan that leaves
+// each needed type reachable:
+//
+//   liveness    the run terminates with every task complete (no
+//               deadlock, no stall) and the independent checker
+//               accepts the trace under the plan;
+//   accounting  re-execution balances exactly -- non-killed segments
+//               of each task sum to work(v), killed segments sum to
+//               FaultStats::work_discarded, one kill per killed
+//               segment.
+//
+// Plans that strand outstanding work forever must fail *loudly*
+// (std::runtime_error), never hang.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.hh"
+#include "machine/cluster.hh"
+#include "multijob/multijob.hh"
+#include "sched/registry.hh"
+#include "sim/engine.hh"
+#include "sim/schedule_checker.hh"
+#include "support/rng.hh"
+#include "workload/workload.hh"
+
+namespace fhs {
+namespace {
+
+KDag random_job(std::uint64_t seed) {
+  Rng rng(seed);
+  EpParams params;
+  params.num_types = 3;
+  params.assignment = TypeAssignment::kRandom;
+  params.min_branches = 3;
+  params.max_branches = 6;
+  return generate(params, rng);
+}
+
+/// A random plan in which every failure recovers and slowdowns are
+/// sprinkled freely -- by construction nothing can strand.
+FaultPlan random_recovering_plan(Rng& rng, std::uint32_t processors, Time horizon) {
+  std::vector<FaultEvent> events;
+  for (std::uint32_t proc = 0; proc < processors; ++proc) {
+    Time at = rng.uniform_int(0, horizon / 4);
+    // Walk the per-processor state machine forward in time.
+    int state = 0;  // 0 = up, 1 = slowed, 2 = down
+    while (at < horizon && rng.bernoulli(0.7)) {
+      FaultEvent event;
+      event.at = at;
+      event.processor = proc;
+      switch (state) {
+        case 0:
+        case 1:
+          if (rng.bernoulli(0.5)) {
+            event.kind = FaultKind::kFail;
+            state = 2;
+          } else {
+            event.kind = FaultKind::kSlow;
+            event.factor = static_cast<std::uint32_t>(rng.uniform_int(2, 5));
+            state = 1;
+          }
+          break;
+        default:
+          event.kind = FaultKind::kRecover;
+          state = 0;
+          break;
+      }
+      events.push_back(event);
+      at += rng.uniform_int(1, horizon / 4);
+    }
+    // Close any open failure so the plan never strands work.
+    if (state == 2) {
+      events.push_back({at, proc, FaultKind::kRecover, 1});
+    }
+  }
+  return FaultPlan(std::move(events));
+}
+
+/// Balanced re-execution accounting over a finished trace.
+void expect_balanced(const KDag& dag, const ExecutionTrace& trace,
+                     const FaultStats& stats, const std::string& label) {
+  std::map<TaskId, Work> completed;
+  Work discarded = 0;
+  std::size_t kills = 0;
+  for (const TraceSegment& seg : trace.segments()) {
+    if (seg.killed) {
+      discarded += seg.work();
+      ++kills;
+    } else {
+      completed[seg.task] += seg.work();
+    }
+  }
+  for (TaskId v = 0; v < dag.task_count(); ++v) {
+    EXPECT_EQ(completed[v], dag.work(v)) << label << ": task " << v;
+  }
+  EXPECT_EQ(stats.work_discarded, discarded) << label;
+  EXPECT_EQ(stats.tasks_killed, kills) << label;
+}
+
+TEST(FaultProperty, RandomRecoveringPlansKeepEveryInvariant) {
+  const Cluster cluster({2, 2, 2});
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    Rng rng(seed * 7919 + 1);
+    const FaultPlan plan =
+        random_recovering_plan(rng, cluster.total_processors(), 400);
+    const KDag dag = random_job(seed);
+
+    SimOptions options;
+    options.record_trace = true;
+    options.faults = &plan;
+    ExecutionTrace trace;
+    const auto sched = make_scheduler("mqb", seed);
+    const SimResult result = simulate(dag, cluster, *sched, options, &trace);
+
+    const std::string label = "seed " + std::to_string(seed);
+    EXPECT_GT(result.completion_time, 0) << label;
+    CheckOptions check;
+    check.faults = &plan;
+    const auto violations = check_schedule(dag, cluster, trace, check);
+    EXPECT_TRUE(violations.empty()) << label << ": " << violations.front();
+    expect_balanced(dag, trace, result.faults, label);
+  }
+}
+
+TEST(FaultProperty, RandomPlansOverStreams) {
+  const Cluster cluster({2, 2, 2});
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(seed * 104729 + 3);
+    const FaultPlan plan =
+        random_recovering_plan(rng, cluster.total_processors(), 600);
+    std::vector<JobArrival> jobs;
+    for (std::uint64_t j = 0; j < 3; ++j) {
+      jobs.push_back({random_job(seed * 10 + j), static_cast<Time>(j * 40)});
+    }
+
+    MultiEngineOptions options;
+    options.record_trace = true;
+    options.faults = &plan;
+    const auto sched = make_multijob_scheduler("kgreedy");
+    const MultiJobResult result = multi_simulate(jobs, cluster, *sched, options);
+
+    const std::string label = "seed " + std::to_string(seed);
+    const auto violations = check_multijob_trace(jobs, cluster, result, &plan);
+    EXPECT_TRUE(violations.empty()) << label << ": " << violations.front();
+    const KDag merged = merge_jobs(jobs, cluster.num_types());
+    expect_balanced(merged, result.trace, result.faults, label);
+  }
+}
+
+// --- pathological corners -----------------------------------------------------
+
+// All but one processor fails at t=0 and never recovers: the survivor
+// grinds through the whole job alone.  No deadlock, exact accounting.
+TEST(FaultPathological, AllButOneProcessorFailedForever) {
+  const Cluster cluster({4});
+  std::string spec;
+  for (int proc = 1; proc < 4; ++proc) {
+    if (!spec.empty()) spec += ';';
+    spec += 'p';
+    spec += std::to_string(proc);
+    spec += ":fail@0";
+  }
+  const FaultPlan plan = FaultPlan::parse(spec);
+
+  KDagBuilder builder(1);
+  Work total = 0;
+  for (int i = 0; i < 12; ++i) {
+    (void)builder.add_task(0, 1 + i % 4);
+    total += 1 + i % 4;
+  }
+  const KDag dag = std::move(builder).build();
+
+  SimOptions options;
+  options.record_trace = true;
+  options.faults = &plan;
+  ExecutionTrace trace;
+  const auto sched = make_scheduler("kgreedy", 0);
+  const SimResult result = simulate(dag, cluster, *sched, options, &trace);
+
+  // One processor serializes everything: completion equals total work,
+  // and nothing ever ran on a failed processor (fail@0 means no task
+  // can have started there first -- zero kills).
+  EXPECT_EQ(result.completion_time, total);
+  EXPECT_EQ(result.faults.tasks_killed, 0u);
+  EXPECT_EQ(result.faults.work_discarded, 0);
+  CheckOptions check;
+  check.faults = &plan;
+  EXPECT_TRUE(check_schedule(dag, cluster, trace, check).empty());
+}
+
+// Failing at t=0 and recovering later delays but cannot deadlock.
+TEST(FaultPathological, FailAtTimeZeroWithLateRecovery) {
+  const Cluster cluster({1, 1});
+  const FaultPlan plan = FaultPlan::parse("p0:fail@0;p1:fail@0;p0:recover@57");
+
+  KDagBuilder builder(2);
+  (void)builder.add_task(0, 4);
+  (void)builder.add_task(1, 3);
+  const KDag dag = std::move(builder).build();
+
+  SimOptions options;
+  options.record_trace = true;
+  options.faults = &plan;
+  ExecutionTrace trace;
+  const auto sched = make_scheduler("kgreedy", 0);
+  // p1 never recovers -- the type-1 task is stranded forever: the
+  // engine must fail loudly instead of spinning.
+  EXPECT_THROW((void)simulate(dag, cluster, *sched, options, &trace),
+               std::runtime_error);
+
+  // With the type-1 processor recovering too, everything completes
+  // after the outage.
+  const FaultPlan recovering =
+      FaultPlan::parse("p0:fail@0;p1:fail@0;p0:recover@57;p1:recover@57");
+  SimOptions ok = options;
+  ok.faults = &recovering;
+  ExecutionTrace ok_trace;
+  const auto sched2 = make_scheduler("kgreedy", 0);
+  const SimResult result = simulate(dag, cluster, *sched2, ok, &ok_trace);
+  EXPECT_EQ(result.completion_time, 57 + 4);
+  CheckOptions check;
+  check.faults = &recovering;
+  EXPECT_TRUE(check_schedule(dag, cluster, ok_trace, check).empty());
+}
+
+// A recover-never failure on one processor of a type is survivable as
+// long as a sibling stays up; killing the last sibling strands the type
+// and must throw, not hang -- in both engines.
+TEST(FaultPathological, RecoverNeverStrandsOnlyWhenTheTypeDies) {
+  KDagBuilder builder(2);
+  const TaskId a = builder.add_task(0, 6);
+  const TaskId b = builder.add_task(1, 2);
+  builder.add_edge(a, b);
+  const KDag dag = std::move(builder).build();
+
+  // Survivable: p0 dies forever at t=2, p1 (same type) carries on.
+  const FaultPlan survivable = FaultPlan::parse("p0:fail@2");
+  SimOptions options;
+  options.record_trace = true;
+  options.faults = &survivable;
+  ExecutionTrace trace;
+  const auto sched = make_scheduler("kgreedy", 0);
+  const SimResult result = simulate(dag, Cluster({2, 1}), *sched, options, &trace);
+  CheckOptions check;
+  check.faults = &survivable;
+  EXPECT_TRUE(check_schedule(dag, Cluster({2, 1}), trace, check).empty());
+  expect_balanced(dag, trace, result.faults, "survivable");
+
+  // Stranding: the only type-0 processor dies mid-task, forever.
+  const FaultPlan stranding = FaultPlan::parse("p0:fail@2");
+  SimOptions doomed;
+  doomed.faults = &stranding;
+  const auto sched2 = make_scheduler("kgreedy", 0);
+  EXPECT_THROW((void)simulate(dag, Cluster({1, 1}), *sched2, doomed),
+               std::runtime_error);
+
+  const std::vector<JobArrival> jobs = {{dag, 0}};
+  MultiEngineOptions stream_doomed;
+  stream_doomed.faults = &stranding;
+  const auto stream_sched = make_multijob_scheduler("kgreedy");
+  EXPECT_THROW(
+      (void)multi_simulate(jobs, Cluster({1, 1}), *stream_sched, stream_doomed),
+      std::runtime_error);
+}
+
+// A permanent slowdown is not a failure: everything still completes,
+// just slower, and the checker's duration bounds hold.
+TEST(FaultPathological, PermanentSlowdownEverywhere) {
+  const Cluster cluster({2});
+  const FaultPlan plan = FaultPlan::parse("p0:slowx4@0;p1:slowx4@0");
+  KDagBuilder builder(1);
+  (void)builder.add_task(0, 5);
+  (void)builder.add_task(0, 5);
+  const KDag dag = std::move(builder).build();
+
+  SimOptions options;
+  options.record_trace = true;
+  options.faults = &plan;
+  ExecutionTrace trace;
+  const auto sched = make_scheduler("kgreedy", 0);
+  const SimResult result = simulate(dag, cluster, *sched, options, &trace);
+  EXPECT_EQ(result.completion_time, 20);  // 5 units x 4 ticks each, in parallel
+  CheckOptions check;
+  check.faults = &plan;
+  EXPECT_TRUE(check_schedule(dag, cluster, trace, check).empty());
+  expect_balanced(dag, trace, result.faults, "slow");
+}
+
+}  // namespace
+}  // namespace fhs

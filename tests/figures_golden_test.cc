@@ -1,0 +1,150 @@
+// Golden-figure regression: the MQB-vs-KGreedy completion-time ratios
+// on the paper's three layered workload families (the headline numbers
+// behind Fig. 4) are pinned to committed values in
+// tests/data/figures_golden.json.
+//
+// The experiment runner folds per-cell samples deterministically (same
+// seed => bitwise identical statistics at any thread count), so the
+// goldens are exact on any conforming platform; the tolerance only
+// absorbs last-bit floating-point differences across libm builds.  A
+// scheduler change that shifts these numbers is *supposed* to fail
+// here -- regenerate deliberately with:
+//
+//   FHS_REGEN_GOLDEN=1 ./figures_golden_test
+//
+// and commit the diff together with the change that caused it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hh"
+#include "workload/workload.hh"
+
+namespace fhs {
+namespace {
+
+constexpr double kTolerance = 1e-9;  // relative
+
+struct FamilyGolden {
+  std::string family;
+  double kgreedy_ratio = 0.0;
+  double mqb_ratio = 0.0;
+  /// Paired mean completion-time reduction of MQB over KGreedy.
+  double mqb_reduction = 0.0;
+};
+
+/// Small layered instances of each family -- the shape of Fig. 4's
+/// layered panels, scaled down so the sweep runs in test time.
+ExperimentSpec family_spec(const std::string& family) {
+  ExperimentSpec spec;
+  spec.name = "golden-" + family;
+  spec.schedulers = {"kgreedy", "mqb"};
+  spec.instances = 30;
+  spec.seed = 42;
+  spec.cluster.num_types = 4;
+  spec.cluster.min_processors = 2;
+  spec.cluster.max_processors = 4;
+  if (family == "ep") {
+    EpParams p;
+    p.num_types = 4;
+    p.min_branches = 8;
+    p.max_branches = 16;
+    spec.workload = p;
+  } else if (family == "tree") {
+    TreeParams p;
+    p.num_types = 4;
+    p.max_tasks = 256;
+    spec.workload = p;
+  } else {
+    IrParams p;
+    p.num_types = 4;
+    p.min_iterations = 4;
+    p.max_iterations = 6;
+    p.min_maps = 20;
+    p.max_maps = 40;
+    spec.workload = p;
+  }
+  return spec;
+}
+
+FamilyGolden measure(const std::string& family) {
+  const ExperimentResult result = run_experiment(family_spec(family));
+  FamilyGolden golden;
+  golden.family = family;
+  golden.kgreedy_ratio = result.outcome("kgreedy").ratio.mean();
+  golden.mqb_ratio = result.outcome("mqb").ratio.mean();
+  golden.mqb_reduction = result.outcome("mqb").reduction_vs_baseline.mean();
+  return golden;
+}
+
+std::string golden_path() { return FHS_FIGURES_GOLDEN; }
+
+void write_goldens(const std::vector<FamilyGolden>& goldens) {
+  std::ofstream out(golden_path());
+  ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+  out << "{\n";
+  for (std::size_t i = 0; i < goldens.size(); ++i) {
+    const FamilyGolden& g = goldens[i];
+    out.precision(17);
+    out << "  \"" << g.family << "\": {\"kgreedy_ratio\": " << g.kgreedy_ratio
+        << ", \"mqb_ratio\": " << g.mqb_ratio
+        << ", \"mqb_reduction\": " << g.mqb_reduction << "}"
+        << (i + 1 < goldens.size() ? ",\n" : "\n");
+  }
+  out << "}\n";
+}
+
+/// Pulls `"key": <number>` out of the family's object in the (flat,
+/// generated-by-us) golden JSON.
+double extract(const std::string& text, const std::string& family,
+               const std::string& key) {
+  const std::size_t fam = text.find("\"" + family + "\"");
+  EXPECT_NE(fam, std::string::npos) << family << " missing from " << golden_path();
+  const std::size_t pos = text.find("\"" + key + "\":", fam);
+  EXPECT_NE(pos, std::string::npos) << key << " missing for " << family;
+  return std::strtod(text.c_str() + pos + key.size() + 3, nullptr);
+}
+
+TEST(FiguresGolden, MqbVsKGreedyRatiosMatchCommittedValues) {
+  const std::vector<std::string> families = {"ep", "tree", "ir"};
+  std::vector<FamilyGolden> measured;
+  measured.reserve(families.size());
+  for (const std::string& family : families) measured.push_back(measure(family));
+
+  if (std::getenv("FHS_REGEN_GOLDEN") != nullptr) {
+    write_goldens(measured);
+    GTEST_SKIP() << "regenerated " << golden_path();
+  }
+
+  std::ifstream in(golden_path());
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path()
+                         << " (regenerate with FHS_REGEN_GOLDEN=1)";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  for (const FamilyGolden& g : measured) {
+    const double want_kgreedy = extract(text, g.family, "kgreedy_ratio");
+    const double want_mqb = extract(text, g.family, "mqb_ratio");
+    const double want_reduction = extract(text, g.family, "mqb_reduction");
+    EXPECT_NEAR(g.kgreedy_ratio, want_kgreedy, kTolerance * want_kgreedy)
+        << g.family;
+    EXPECT_NEAR(g.mqb_ratio, want_mqb, kTolerance * want_mqb) << g.family;
+    EXPECT_NEAR(g.mqb_reduction, want_reduction,
+                kTolerance * std::abs(want_reduction))
+        << g.family;
+
+    // The paper's qualitative claim on layered workloads, independent of
+    // the exact pinned values: balancing beats the online baseline.
+    EXPECT_LT(g.mqb_ratio, g.kgreedy_ratio) << g.family;
+    EXPECT_GT(g.mqb_reduction, 0.0) << g.family;
+  }
+}
+
+}  // namespace
+}  // namespace fhs

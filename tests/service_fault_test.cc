@@ -1,0 +1,342 @@
+// Service-level fault handling: per-attempt deadlines with
+// retry-with-backoff (kTimedOut / kRetriesExhausted), the journal's
+// cancel/retry entry forms, replay equivalence of recorded
+// deadline/fault sessions, and fault-plan stats surfaced through
+// ServiceStats / its JSON export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/json.hh"
+#include "fault/fault_plan.hh"
+#include "graph/kdag.hh"
+#include "machine/cluster.hh"
+#include "multijob/multijob.hh"
+#include "service/journal.hh"
+#include "service/service.hh"
+#include "support/rng.hh"
+#include "workload/workload.hh"
+
+namespace fhs {
+namespace {
+
+KDag chain_job(ResourceType k,
+               std::initializer_list<std::pair<ResourceType, Work>> tasks) {
+  KDagBuilder b(k);
+  TaskId prev = kInvalidTask;
+  for (const auto& [type, work] : tasks) {
+    const TaskId t = b.add_task(type, work);
+    if (prev != kInvalidTask) b.add_edge(prev, t);
+    prev = t;
+  }
+  return std::move(b).build();
+}
+
+std::vector<JournalEntry> parse_journal(const std::string& text) {
+  std::istringstream in(text);
+  return read_journal(in);
+}
+
+// --- journal entry forms ------------------------------------------------------
+
+TEST(JournalFaultEntries, CancelEntryRoundTrips) {
+  const JournalEntry cancel = JournalEntry::make_cancel(7, 500);
+  const std::string line = journal_line(cancel);
+  EXPECT_EQ(line, "{\"ticket\": 7, \"epoch\": 500, \"cancel\": true}");
+  const JournalEntry parsed = parse_journal_line(line);
+  EXPECT_EQ(parsed.ticket, 7u);
+  EXPECT_EQ(parsed.epoch, 500);
+  EXPECT_TRUE(parsed.cancel);
+  EXPECT_EQ(parsed.effective_arrival(), 500);
+}
+
+TEST(JournalFaultEntries, RetryEntryRoundTrips) {
+  const KDag job = chain_job(1, {{0, 4}});
+  const JournalEntry retry = JournalEntry::make_retry(9, 500, 520, job);
+  const std::string line = journal_line(retry);
+  EXPECT_NE(line.find("\"arrival\": 520"), std::string::npos);
+  const JournalEntry parsed = parse_journal_line(line);
+  EXPECT_EQ(parsed.ticket, 9u);
+  EXPECT_EQ(parsed.epoch, 500);
+  EXPECT_EQ(parsed.arrival, 520);
+  EXPECT_FALSE(parsed.cancel);
+  EXPECT_EQ(parsed.effective_arrival(), 520);
+  EXPECT_EQ(parsed.dag.task_count(), 1u);
+}
+
+TEST(JournalFaultEntries, PlainEntryOmitsTheNewFields) {
+  // A fold entering at its write epoch serializes exactly as before the
+  // deadline/fault extension -- byte-compatible journals.
+  const KDag job = chain_job(1, {{0, 4}});
+  const JournalEntry plain(3, 100, job);
+  const std::string line = journal_line(plain);
+  EXPECT_EQ(line.find("arrival"), std::string::npos);
+  EXPECT_EQ(line.find("cancel"), std::string::npos);
+  const JournalEntry parsed = parse_journal_line(line);
+  EXPECT_EQ(parsed.arrival, -1);
+  EXPECT_EQ(parsed.effective_arrival(), 100);
+}
+
+TEST(JournalFaultEntries, RejectsContradictoryEntries) {
+  // A cancel entry must not carry a dag or an arrival.
+  EXPECT_THROW(
+      (void)parse_journal_line(
+          R"({"ticket": 1, "epoch": 5, "cancel": true, "kdag": "x"})"),
+      std::invalid_argument);
+  EXPECT_THROW((void)parse_journal_line(
+                   R"({"ticket": 1, "epoch": 5, "cancel": true, "arrival": 9})"),
+               std::invalid_argument);
+  // A retry fold cannot enter the engine before it was written.
+  const std::string early = journal_line(JournalEntry::make_retry(
+      1, 50, 50, chain_job(1, {{0, 1}})));  // arrival == epoch is fine...
+  EXPECT_NO_THROW((void)parse_journal_line(early));
+  EXPECT_THROW((void)parse_journal_line(
+                   R"({"ticket": 1, "epoch": 50, "arrival": 10, "kdag": "x"})"),
+               std::invalid_argument);
+}
+
+// --- deadline / retry lifecycle ----------------------------------------------
+
+TEST(ServiceDeadline, ConfigIsValidated) {
+  ServiceConfig config;
+  config.deadline = -1;
+  EXPECT_THROW(SchedulerService(Cluster({1}), config), std::invalid_argument);
+  config.deadline = 0;
+  config.max_attempts = 0;
+  EXPECT_THROW(SchedulerService(Cluster({1}), config), std::invalid_argument);
+  config.max_attempts = 1;
+  config.retry_backoff = -5;
+  EXPECT_THROW(SchedulerService(Cluster({1}), config), std::invalid_argument);
+}
+
+TEST(ServiceDeadline, SingleAttemptTimesOutExactlyAtExpiry) {
+  ServiceConfig config;
+  config.policy = "kgreedy";
+  config.epoch_length = 10;
+  config.deadline = 5;
+  SchedulerService service(Cluster({1}), config);
+
+  const auto ticket = service.submit(chain_job(1, {{0, 50}}));
+  ASSERT_TRUE(ticket.has_value());
+  service.drain();
+
+  const JobStatus status = service.poll(*ticket);
+  EXPECT_EQ(status.state, JobState::kTimedOut);
+  EXPECT_EQ(status.attempts, 1u);
+  // The worker slices to the expiry instant, so the cancel lands exactly
+  // `deadline` ticks after the attempt entered the engine.
+  EXPECT_EQ(status.completion - status.folded_epoch, 5);
+  EXPECT_EQ(status.flow_time, -1);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_TRUE(stats.deadline_enabled);
+  EXPECT_EQ(stats.timed_out, 1u);
+  EXPECT_EQ(stats.retried, 0u);
+  EXPECT_EQ(stats.retries_exhausted, 0u);
+  EXPECT_EQ(stats.completed, 0u);
+}
+
+TEST(ServiceDeadline, RetriesBackOffExponentiallyThenExhaust) {
+  ServiceConfig config;
+  config.policy = "kgreedy";
+  config.epoch_length = 10;
+  config.deadline = 5;
+  config.max_attempts = 3;
+  config.retry_backoff = 4;
+  std::ostringstream journal;
+  config.journal = &journal;
+  SchedulerService service(Cluster({1}), config);
+
+  const auto ticket = service.submit(chain_job(1, {{0, 50}}));
+  ASSERT_TRUE(ticket.has_value());
+  service.drain();
+
+  const JobStatus status = service.poll(*ticket);
+  EXPECT_EQ(status.state, JobState::kRetriesExhausted);
+  EXPECT_EQ(status.attempts, 3u);
+  // Final attempt still got the full deadline before the terminal cancel.
+  EXPECT_EQ(status.completion - status.folded_epoch, 5);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.timed_out, 3u);          // every attempt's cancel
+  EXPECT_EQ(stats.retried, 2u);            // attempts 2 and 3
+  EXPECT_EQ(stats.retries_exhausted, 1u);  // one terminal job
+  service.shutdown();
+
+  // The journal records one plain fold, then alternating cancel/retry
+  // entries; backoff doubles (4, then 8) between attempts.
+  const std::vector<JournalEntry> entries = parse_journal(journal.str());
+  ASSERT_EQ(entries.size(), 6u);  // fold, cancel, retry, cancel, retry, cancel
+  EXPECT_FALSE(entries[0].cancel);
+  EXPECT_TRUE(entries[1].cancel);
+  EXPECT_FALSE(entries[2].cancel);
+  EXPECT_TRUE(entries[3].cancel);
+  EXPECT_FALSE(entries[4].cancel);
+  EXPECT_TRUE(entries[5].cancel);
+  EXPECT_EQ(entries[1].epoch, entries[0].effective_arrival() + 5);
+  EXPECT_EQ(entries[2].effective_arrival(), entries[1].epoch + 4);  // backoff 4
+  EXPECT_EQ(entries[3].epoch, entries[2].effective_arrival() + 5);
+  EXPECT_EQ(entries[4].effective_arrival(), entries[3].epoch + 8);  // doubled
+  EXPECT_EQ(entries[5].epoch, entries[4].effective_arrival() + 5);
+
+  // Replay agrees: the ticket's last incarnation was cancelled.
+  const ReplayResult replay =
+      replay_journal(entries, Cluster({1}), config.policy);
+  EXPECT_TRUE(replay.cancelled_of(ticket->id));
+  EXPECT_EQ(replay.flow_time_of(ticket->id), 5);
+}
+
+TEST(ServiceDeadline, GenerousDeadlineCompletesNormally) {
+  ServiceConfig config;
+  config.policy = "kgreedy";
+  config.epoch_length = 10;
+  config.deadline = 100000;
+  config.max_attempts = 3;
+  SchedulerService service(Cluster({1}), config);
+
+  const auto ticket = service.submit(chain_job(1, {{0, 7}}));
+  ASSERT_TRUE(ticket.has_value());
+  service.drain();
+
+  const JobStatus status = service.poll(*ticket);
+  EXPECT_EQ(status.state, JobState::kCompleted);
+  EXPECT_EQ(status.attempts, 1u);
+  EXPECT_EQ(status.flow_time, 7);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.timed_out, 0u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(ServiceDeadline, MixedStreamReplaysIdentically) {
+  // Several jobs race one processor under a deadline that lets some
+  // finish and times others out for good.  Whatever the wall-clock fold
+  // pattern turned out to be, the journal must replay it exactly.
+  ServiceConfig config;
+  config.policy = "kgreedy";
+  config.epoch_length = 20;
+  config.deadline = 60;
+  config.max_attempts = 2;
+  config.retry_backoff = 10;
+  std::ostringstream journal;
+  config.journal = &journal;
+  SchedulerService service(Cluster({1}), config);
+
+  std::vector<JobTicket> tickets;
+  for (int i = 0; i < 6; ++i) {
+    const auto ticket = service.submit(chain_job(1, {{0, 25}}));
+    ASSERT_TRUE(ticket.has_value());
+    tickets.push_back(*ticket);
+  }
+  service.drain();
+
+  std::vector<JobStatus> statuses;
+  for (const JobTicket& ticket : tickets) statuses.push_back(service.poll(ticket));
+  service.shutdown();
+
+  const std::vector<JournalEntry> entries = parse_journal(journal.str());
+  MultiEngineOptions options;
+  options.record_trace = true;
+  const ReplayResult replay =
+      replay_journal(entries, Cluster({1}), config.policy, options);
+
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    const JobStatus& status = statuses[i];
+    if (status.state == JobState::kCompleted) {
+      EXPECT_FALSE(replay.cancelled_of(tickets[i].id)) << "ticket " << i;
+      EXPECT_EQ(replay.flow_time_of(tickets[i].id), status.flow_time)
+          << "ticket " << i;
+    } else {
+      ASSERT_EQ(status.state, JobState::kRetriesExhausted) << "ticket " << i;
+      EXPECT_TRUE(replay.cancelled_of(tickets[i].id)) << "ticket " << i;
+    }
+  }
+
+  // The replayed trace passes the independent checker: cancelled jobs'
+  // kill segments are waived, everything else is held to the full
+  // invariant set.
+  const auto violations =
+      check_multijob_trace(replay.jobs, Cluster({1}), replay.result);
+  EXPECT_TRUE(violations.empty()) << violations.front();
+}
+
+// --- fault plans through the service ------------------------------------------
+
+TEST(ServiceFaults, PlanDrivesEngineAndSurfacesStats) {
+  const FaultPlan plan = FaultPlan::parse("p0:slowx3@0;p3:fail@5;p3:recover@5000");
+  ServiceConfig config;
+  config.policy = "kgreedy";
+  config.epoch_length = 50;
+  config.faults = &plan;
+  std::ostringstream journal;
+  config.journal = &journal;
+  SchedulerService service(Cluster({2, 2}), config);
+
+  Rng rng(11);
+  EpParams params;
+  params.num_types = 2;
+  params.min_branches = 3;
+  params.max_branches = 6;
+  std::vector<JobTicket> tickets;
+  for (int i = 0; i < 5; ++i) {
+    const auto ticket = service.submit(generate(params, rng));
+    ASSERT_TRUE(ticket.has_value());
+    tickets.push_back(*ticket);
+  }
+  service.drain();
+
+  std::vector<JobStatus> statuses;
+  for (const JobTicket& ticket : tickets) statuses.push_back(service.poll(ticket));
+  const ServiceStats stats = service.stats();
+  service.shutdown();
+
+  EXPECT_TRUE(stats.faults_enabled);
+  EXPECT_EQ(stats.fault_slowdowns, 1u);
+  EXPECT_EQ(stats.fault_failures, 1u);
+  EXPECT_EQ(stats.completed, 5u);
+
+  // Replay under the same plan: identical flow times, valid schedule.
+  const std::vector<JournalEntry> entries = parse_journal(journal.str());
+  MultiEngineOptions options;
+  options.record_trace = true;
+  options.faults = &plan;
+  const ReplayResult replay =
+      replay_journal(entries, Cluster({2, 2}), config.policy, options);
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    EXPECT_EQ(replay.flow_time_of(tickets[i].id), statuses[i].flow_time)
+        << "ticket " << i;
+  }
+  const auto violations =
+      check_multijob_trace(replay.jobs, Cluster({2, 2}), replay.result, &plan);
+  EXPECT_TRUE(violations.empty()) << violations.front();
+}
+
+// --- stats JSON gating --------------------------------------------------------
+
+TEST(ServiceFaults, StatsJsonGatesTheNewFields) {
+  {
+    ServiceConfig config;
+    config.policy = "kgreedy";
+    SchedulerService service(Cluster({1}), config);
+    const std::string json = to_json(service.stats());
+    EXPECT_EQ(json.find("timed_out"), std::string::npos);
+    EXPECT_EQ(json.find("fault_failures"), std::string::npos);
+  }
+  {
+    const FaultPlan plan = FaultPlan::parse("p0:slowx2@0");
+    ServiceConfig config;
+    config.policy = "kgreedy";
+    config.deadline = 1000;
+    config.faults = &plan;
+    SchedulerService service(Cluster({1}), config);
+    const std::string json = to_json(service.stats());
+    EXPECT_NE(json.find("\"timed_out\": 0"), std::string::npos);
+    EXPECT_NE(json.find("\"fault_failures\": 0"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace fhs

@@ -55,13 +55,14 @@ RULES = {
 # timing helpers that are *supposed* to read clocks.
 DETERMINISTIC_MODULES = {
     "sim", "sched", "graph", "exp", "workload", "multijob", "flex", "metrics",
+    "fault",
 }
 
 # Modules on the simulate/schedule/serve hot path where ad-hoc console
 # output is either a perf bug (endl flush) or a data race (interleaved
 # cout from worker threads).
 HOT_MODULES = {
-    "sim", "sched", "graph", "multijob", "obs", "service", "flex", "exp",
+    "sim", "sched", "graph", "multijob", "obs", "service", "flex", "exp", "fault",
 }
 
 SOURCE_SUFFIXES = {".hh", ".h", ".cc", ".cpp", ".cxx", ".hpp"}

@@ -15,12 +15,17 @@
 //
 //   {"ticket": 7, "folded_epoch": 200, "completion": 430, "flow_time": 230}
 //
-// Rejected submissions produce {"submission": i, "rejected": true}.  A
+// Rejected submissions produce {"submission": i, "rejected": true}, and
+// jobs that exhaust their attempts under --deadline produce
+// {"ticket": 7, "timed_out": true, "attempts": 2, "completion": 900}.  A
 // final ServiceStats JSON document goes to --stats=<path> (or stderr).
+// --faults drives a deterministic fault plan inside the engine;
+// --deadline/--max-attempts/--backoff cancel and retry slow jobs.
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "exp/json.hh"
@@ -43,41 +48,66 @@ void emit_completion(std::ostream& out, std::uint64_t ticket, const JobStatus& s
       << ", \"flow_time\": " << status.flow_time << "}\n";
 }
 
-/// Replays a recorded journal and verifies it against the live flow
-/// times; returns the process exit code.
+void emit_timeout(std::ostream& out, std::uint64_t ticket, const JobStatus& status) {
+  out << "{\"ticket\": " << ticket << ", \"timed_out\": true, \"attempts\": "
+      << status.attempts << ", \"completion\": " << status.completion << "}\n";
+}
+
+/// Parses --faults; validates against the cluster when non-empty.
+FaultPlan parse_faults(const CliFlags& flags, const Cluster& cluster) {
+  const FaultPlan faults = FaultPlan::parse(flags.get_string("faults"));
+  if (!faults.empty()) faults.validate_against(cluster);
+  return faults;
+}
+
+/// Replays a recorded journal and verifies it against the live
+/// outcomes (flow times of completed jobs, terminal timeouts of the
+/// rest); returns the process exit code.
 int verify_replay(const std::string& journal_path, const Cluster& cluster,
-                  const std::string& policy,
-                  const std::vector<std::uint64_t>& tickets,
-                  const std::vector<Time>& live_flow) {
+                  const std::string& policy, const FaultPlan& faults,
+                  const std::vector<std::pair<std::uint64_t, Time>>& live_completed,
+                  const std::vector<std::uint64_t>& live_timed_out) {
   std::ifstream in(journal_path);
   if (!in) {
     std::cerr << "fhs_serve: cannot re-open journal " << journal_path << '\n';
     return 1;
   }
   const std::vector<JournalEntry> entries = read_journal(in);
-  if (entries.size() != tickets.size()) {
-    std::cerr << "fhs_serve: journal holds " << entries.size() << " entries but "
-              << tickets.size() << " jobs were admitted\n";
-    return 3;
-  }
   MultiEngineOptions options;
   options.record_trace = true;
+  if (!faults.empty()) options.faults = &faults;
   const ReplayResult replay = replay_journal(entries, cluster, policy, options);
-  for (std::size_t i = 0; i < tickets.size(); ++i) {
-    const Time replayed = replay.flow_time_of(tickets[i]);
-    if (replayed != live_flow[i]) {
-      std::cerr << "fhs_serve: replay DIVERGED at ticket " << tickets[i] << ": live "
-                << live_flow[i] << " vs replayed " << replayed << '\n';
+  for (const auto& [ticket, flow] : live_completed) {
+    if (replay.cancelled_of(ticket)) {
+      std::cerr << "fhs_serve: replay DIVERGED at ticket " << ticket
+                << ": live completed but replay cancelled it\n";
+      return 3;
+    }
+    const Time replayed = replay.flow_time_of(ticket);
+    if (replayed != flow) {
+      std::cerr << "fhs_serve: replay DIVERGED at ticket " << ticket << ": live "
+                << flow << " vs replayed " << replayed << '\n';
       return 3;
     }
   }
-  const auto violations = check_multijob_trace(replay.jobs, cluster, replay.result);
+  for (const std::uint64_t ticket : live_timed_out) {
+    if (!replay.cancelled_of(ticket)) {
+      std::cerr << "fhs_serve: replay DIVERGED at ticket " << ticket
+                << ": live timed out but replay completed it\n";
+      return 3;
+    }
+  }
+  const auto violations = check_multijob_trace(
+      replay.jobs, cluster, replay.result, faults.empty() ? nullptr : &faults);
   if (!violations.empty()) {
     std::cerr << "fhs_serve: replayed schedule invalid: " << violations.front() << '\n';
     return 3;
   }
-  std::cerr << "replay verified: " << tickets.size()
-            << " jobs, flow times identical, schedule valid\n";
+  std::cerr << "replay verified: " << live_completed.size() << " jobs";
+  if (!live_timed_out.empty()) {
+    std::cerr << " (+" << live_timed_out.size() << " timed out)";
+  }
+  std::cerr << ", flow times identical, schedule valid\n";
   return 0;
 }
 
@@ -88,25 +118,34 @@ int run_replay(const CliFlags& flags, const Cluster& cluster) {
     return 1;
   }
   const std::vector<JournalEntry> entries = read_journal(in);
+  const FaultPlan faults = parse_faults(flags, cluster);
   MultiEngineOptions options;
   options.record_trace = flags.get_bool("check");
+  if (!faults.empty()) options.faults = &faults;
   const ReplayResult replay =
       replay_journal(entries, cluster, flags.get_string("policy"), options);
-  for (std::size_t i = 0; i < entries.size(); ++i) {
+  for (std::size_t i = 0; i < replay.tickets.size(); ++i) {
+    if (!replay.result.cancelled.empty() && replay.result.cancelled[i] != 0) {
+      std::cout << "{\"ticket\": " << replay.tickets[i]
+                << ", \"folded_epoch\": " << replay.jobs[i].arrival
+                << ", \"cancelled\": true}\n";
+      continue;
+    }
     std::cout << "{\"ticket\": " << replay.tickets[i]
               << ", \"folded_epoch\": " << replay.jobs[i].arrival
               << ", \"completion\": " << replay.result.completion[i]
               << ", \"flow_time\": " << replay.result.flow_time[i] << "}\n";
   }
   if (flags.get_bool("check")) {
-    const auto violations = check_multijob_trace(replay.jobs, cluster, replay.result);
+    const auto violations = check_multijob_trace(
+        replay.jobs, cluster, replay.result, faults.empty() ? nullptr : &faults);
     if (!violations.empty()) {
       std::cerr << "fhs_serve: replayed schedule invalid: " << violations.front()
                 << '\n';
       return 2;
     }
   }
-  std::cerr << "replayed " << entries.size() << " jobs: makespan "
+  std::cerr << "replayed " << replay.tickets.size() << " jobs: makespan "
             << replay.result.makespan << ", mean flow "
             << replay.result.mean_flow_time() << '\n';
   return 0;
@@ -127,6 +166,11 @@ int run_serve(const CliFlags& flags, const Cluster& cluster) {
   } else {
     throw std::runtime_error("--overload must be reject or defer");
   }
+  const FaultPlan faults = parse_faults(flags, cluster);
+  if (!faults.empty()) config.faults = &faults;
+  config.deadline = flags.get_int("deadline");
+  config.max_attempts = static_cast<std::uint32_t>(flags.get_int("max-attempts"));
+  config.retry_backoff = flags.get_int("backoff");
   std::ofstream journal_file;
   const std::string journal_path = flags.get_string("journal");
   if (!journal_path.empty()) {
@@ -148,7 +192,8 @@ int run_serve(const CliFlags& flags, const Cluster& cluster) {
       flags.get_string("workload"), TypeAssignment::kLayered, cluster.num_types());
 
   std::vector<std::uint64_t> tickets;  // admitted, in submission == ticket order
-  std::vector<Time> live_flow;         // filled as completions are reported
+  std::vector<std::pair<std::uint64_t, Time>> live_completed;  // (ticket, flow)
+  std::vector<std::uint64_t> live_timed_out;  // terminal deadline outcomes
   std::size_t cursor = 0;  // tickets[cursor] is the next to report on stdout
   const auto stats_every = static_cast<std::size_t>(flags.get_int("stats-every"));
   std::size_t next_stats_dump = stats_every;
@@ -158,9 +203,16 @@ int run_serve(const CliFlags& flags, const Cluster& cluster) {
     const auto flush_completed = [&] {
       while (cursor < tickets.size()) {
         const JobStatus status = service.poll(JobTicket{tickets[cursor]});
-        if (status.state != JobState::kCompleted) break;
-        emit_completion(std::cout, tickets[cursor], status);
-        live_flow.push_back(status.flow_time);
+        if (status.state == JobState::kCompleted) {
+          emit_completion(std::cout, tickets[cursor], status);
+          live_completed.emplace_back(tickets[cursor], status.flow_time);
+        } else if (status.state == JobState::kTimedOut ||
+                   status.state == JobState::kRetriesExhausted) {
+          emit_timeout(std::cout, tickets[cursor], status);
+          live_timed_out.push_back(tickets[cursor]);
+        } else {
+          break;
+        }
         ++cursor;
         if (stats_every > 0 && cursor >= next_stats_dump) {
           const ServiceStats live = service.stats();
@@ -221,7 +273,8 @@ int run_serve(const CliFlags& flags, const Cluster& cluster) {
       std::cerr << "fhs_serve: --verify-replay requires --journal=<path>\n";
       return 1;
     }
-    return verify_replay(journal_path, cluster, config.policy, tickets, live_flow);
+    return verify_replay(journal_path, cluster, config.policy, faults,
+                         live_completed, live_timed_out);
   }
   return 0;
 }
@@ -237,6 +290,17 @@ int main(int argc, char** argv) {
   flags.define_double("max-outstanding", 1 << 14,
                       "admission: max outstanding work per processor (ticks)");
   flags.define("overload", "defer", "behaviour beyond a limit: reject | defer");
+  flags.define("faults", "",
+               "fault plan driven inside the engine, e.g. "
+               "p3:fail@100;p3:recover@250;p0:slowx2@40 (see fault/fault_plan.hh)");
+  flags.define_int("deadline", 0,
+                   "cancel an attempt still unfinished this many virtual ticks "
+                   "after it entered the engine (0 disables)");
+  flags.define_int("max-attempts", 1,
+                   "attempts per job before a timeout becomes terminal");
+  flags.define_int("backoff", 0,
+                   "virtual ticks before a retry enters the engine (doubles "
+                   "per attempt)");
   flags.define("journal", "", "record every fold to this JSONL file");
   flags.define("replay", "", "re-run a recorded journal instead of serving");
   flags.define_bool("check", false,

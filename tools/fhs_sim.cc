@@ -60,6 +60,9 @@ int main(int argc, char** argv) {
   flags.define_int("pmin", 10, "sampled processors per type, lower bound");
   flags.define_int("pmax", 20, "sampled processors per type, upper bound");
   flags.define_bool("preemptive", false, "preemptive scheduling quantum");
+  flags.define("faults", "",
+               "fault plan spec, e.g. p3:fail@100;p3:recover@250;p0:slowx2@40 "
+               "(see fault/fault_plan.hh)");
   flags.define_int("seed", 42, "RNG seed (job + cluster sampling)");
   flags.define_bool("timeline", false, "print the per-type utilization timeline");
   flags.define_bool("gantt", false, "print a per-processor Gantt chart");
@@ -94,15 +97,19 @@ int main(int argc, char** argv) {
 
     auto scheduler = make_scheduler(flags.get_string("scheduler"),
                                     static_cast<std::uint64_t>(flags.get_int("seed")));
+    const FaultPlan faults = FaultPlan::parse(flags.get_string("faults"));
+    if (!faults.empty()) faults.validate_against(cluster);
     ExecutionTrace trace;
     SimOptions options;
     options.mode = flags.get_bool("preemptive") ? ExecutionMode::kPreemptive
                                                 : ExecutionMode::kNonPreemptive;
     options.record_trace = true;
+    if (!faults.empty()) options.faults = &faults;
     const SimResult result = simulate(job, cluster, *scheduler, options, &trace);
 
     CheckOptions check;
     check.require_non_preemptive = !flags.get_bool("preemptive");
+    check.faults = options.faults;
     const auto violations = check_schedule(job, cluster, trace, check);
     if (!violations.empty()) {
       std::cerr << "INTERNAL ERROR: invalid schedule: " << violations.front() << '\n';
@@ -123,6 +130,14 @@ int main(int argc, char** argv) {
       std::cout << "  type " << static_cast<unsigned>(a) << ": P="
                 << cluster.processors(a) << " work=" << job.total_work(a)
                 << " utilization=" << result.utilization(a, cluster) << '\n';
+    }
+    if (!faults.empty()) {
+      std::cout << "faults: " << faults.to_string() << '\n'
+                << "  failures=" << result.faults.failures
+                << " recoveries=" << result.faults.recoveries
+                << " slowdowns=" << result.faults.slowdowns
+                << " tasks_killed=" << result.faults.tasks_killed
+                << " work_discarded=" << result.faults.work_discarded << '\n';
     }
     if (flags.get_bool("timeline")) {
       const UtilizationTimeline timeline(job, cluster, trace, 72);
