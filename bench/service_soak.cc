@@ -1,0 +1,239 @@
+// E16: sharded service soak -- millions of tasks through ShardedService
+// at increasing shard counts.
+//
+// The batch benches measure virtual-time schedule quality; this one
+// soaks the sharded substrate (src/shard/): several submitter threads
+// race submit() against N worker shards and we record wall-clock
+// throughput (jobs/sec, tasks/sec), submit-to-completion latency (P50
+// and P99 of the `service.e2e_ns` histogram, computed from
+// before/after registry deltas so back-to-back runs do not bleed into
+// each other), and steal counts.  The headline number is the
+// tasks/sec scaling curve vs shard count -- the tentpole acceptance
+// bar is >= 2x at 4 shards over 1.
+//
+// `--json=<path>` writes the BENCH_service.json record
+// (scripts/bench_service.sh regenerates the committed copy).  Exits
+// nonzero when any run fails to complete every accepted job, so the
+// CI smoke doubles as a correctness gate.
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/json.hh"
+#include "obs/metrics.hh"
+#include "shard/sharded_service.hh"
+#include "support/cli.hh"
+#include "support/rng.hh"
+#include "support/table.hh"
+#include "workload/workload.hh"
+
+namespace {
+
+using namespace fhs;
+
+struct SoakRecord {
+  std::size_t shards_requested = 0;
+  std::size_t shards = 0;  // after clamping to the smallest type pool
+  double seconds = 0.0;
+  double jobs_per_sec = 0.0;
+  double tasks_per_sec = 0.0;
+  double speedup = 1.0;  // tasks/sec relative to the 1-shard run
+  std::uint64_t p50_e2e_ns = 0;
+  std::uint64_t p99_e2e_ns = 0;
+  double mean_flow_time = 0.0;
+  std::uint64_t steals = 0;
+  std::uint64_t completed = 0;
+};
+
+/// e2e latency distribution of ONE run: the registry accumulates across
+/// runs, so subtract the pre-run snapshot bucket by bucket.
+obs::HistogramSnapshot delta_histogram(const obs::MetricsSnapshot& before,
+                                       const obs::MetricsSnapshot& after,
+                                       std::string_view name) {
+  obs::HistogramSnapshot delta;
+  const obs::HistogramSnapshot* b = before.histogram(name);
+  const obs::HistogramSnapshot* a = after.histogram(name);
+  if (a == nullptr) return delta;
+  delta = *a;
+  if (b != nullptr) {
+    delta.count -= b->count;
+    delta.sum -= b->sum;
+    for (std::size_t i = 0; i < obs::kHistogramBuckets; ++i) {
+      delta.buckets[i] -= b->buckets[i];
+    }
+  }
+  return delta;
+}
+
+std::vector<std::size_t> parse_shard_list(const std::string& text) {
+  std::vector<std::size_t> out;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (item.empty()) continue;
+    const long value = std::stol(item);
+    if (value <= 0) throw std::invalid_argument("--shards entries must be >= 1");
+    out.push_back(static_cast<std::size_t>(value));
+  }
+  if (out.empty()) throw std::invalid_argument("--shards list is empty");
+  return out;
+}
+
+void write_soak_json(std::ostream& out, std::size_t jobs, std::size_t tasks,
+                     std::size_t threads, const std::string& cluster,
+                     const std::vector<SoakRecord>& records) {
+  out << "{\n  \"name\": \"service_soak\",\n  \"jobs\": " << jobs
+      << ",\n  \"tasks\": " << tasks << ",\n  \"threads\": " << threads
+      << ",\n  \"cluster\": " << json_quote(cluster) << ",\n  \"runs\": [";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const SoakRecord& r = records[i];
+    out << (i ? ",\n    {" : "\n    {") << "\"shards\": " << r.shards
+        << ", \"seconds\": " << r.seconds << ", \"jobs_per_sec\": " << r.jobs_per_sec
+        << ", \"tasks_per_sec\": " << r.tasks_per_sec
+        << ", \"speedup_vs_1\": " << r.speedup << ", \"p50_e2e_ns\": " << r.p50_e2e_ns
+        << ", \"p99_e2e_ns\": " << r.p99_e2e_ns
+        << ", \"mean_flow_time\": " << r.mean_flow_time
+        << ", \"steals\": " << r.steals << ", \"completed\": " << r.completed << '}';
+  }
+  out << "\n  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fhs;
+  CliFlags flags;
+  flags.define_int("jobs", 6000, "submissions per shard-count run");
+  flags.define("shards", "1,2,4,8", "comma-separated shard counts to soak");
+  flags.define_int("threads", 8, "concurrent submitter threads");
+  flags.define_int("k", 2, "number of resource types");
+  flags.define_int("procs", 16, "processors per type");
+  flags.define_int("epoch", 100, "virtual ticks per worker slice");
+  flags.define_int("seed", 42, "master RNG seed");
+  flags.define("json", "", "write the BENCH_service.json record to this file");
+  try {
+    if (!flags.parse(argc, argv)) return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "service_soak: " << error.what() << '\n';
+    return 1;
+  }
+  const auto k = static_cast<ResourceType>(flags.get_int("k"));
+  const auto threads = static_cast<std::size_t>(flags.get_int("threads"));
+  const auto jobs = static_cast<std::size_t>(flags.get_int("jobs"));
+  const Cluster cluster(std::vector<std::uint32_t>(
+      k, static_cast<std::uint32_t>(flags.get_int("procs"))));
+  std::vector<std::size_t> shard_counts;
+  try {
+    shard_counts = parse_shard_list(flags.get_string("shards"));
+  } catch (const std::exception& error) {
+    std::cerr << "service_soak: " << error.what() << '\n';
+    return 1;
+  }
+
+  // Pre-generate every job once so the measured section is pure service
+  // work and every shard count sees the identical stream.
+  EpParams workload;
+  workload.num_types = k;
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  std::vector<KDag> dags;
+  std::size_t total_tasks = 0;
+  dags.reserve(jobs);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    dags.push_back(generate(workload, rng));
+    total_tasks += dags.back().task_count();
+  }
+
+  std::cout << "Service soak: " << jobs << " jobs (" << total_tasks << " tasks) x "
+            << shard_counts.size() << " shard counts, " << threads
+            << " submitter threads, cluster " << cluster.describe() << "\n\n";
+
+  Table table({"shards", "seconds", "jobs/sec", "tasks/sec", "speedup", "p50 e2e us",
+               "p99 e2e us", "steals"});
+  std::vector<SoakRecord> records;
+  double base_tasks_per_sec = 0.0;
+  bool all_completed = true;
+  for (const std::size_t shards : shard_counts) {
+    ShardedConfig config;
+    config.shards = shards;
+    config.epoch_length = flags.get_int("epoch");
+    // Soak the engines, not the admission valve: bounds generous enough
+    // that nothing rejects and submitters rarely block.
+    config.admission.max_queue_depth = std::size_t{1} << 14;
+    config.admission.max_outstanding_per_proc = 1 << 22;
+    config.admission.overload = OverloadPolicy::kDefer;
+    const obs::MetricsSnapshot before = obs::Registry::global().snapshot();
+    const auto started = std::chrono::steady_clock::now();
+    ServiceStats stats;
+    std::size_t actual_shards = 0;
+    {
+      ShardedService service(cluster, config);
+      actual_shards = service.shard_count();
+      std::vector<std::thread> submitters;
+      submitters.reserve(threads);
+      for (std::size_t t = 0; t < threads; ++t) {
+        submitters.emplace_back([&, t] {
+          for (std::size_t i = t; i < dags.size(); i += threads) {
+            (void)service.submit(dags[i]);
+          }
+        });
+      }
+      for (auto& thread : submitters) thread.join();
+      service.drain();
+      stats = service.stats();
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+            .count();
+    const obs::MetricsSnapshot after = obs::Registry::global().snapshot();
+    const obs::HistogramSnapshot e2e = delta_histogram(before, after, "service.e2e_ns");
+
+    SoakRecord record;
+    record.shards_requested = shards;
+    record.shards = actual_shards;
+    record.seconds = seconds;
+    record.completed = stats.completed;
+    record.jobs_per_sec =
+        seconds > 0.0 ? static_cast<double>(stats.completed) / seconds : 0.0;
+    record.tasks_per_sec =
+        seconds > 0.0 ? static_cast<double>(total_tasks) / seconds : 0.0;
+    if (base_tasks_per_sec == 0.0) base_tasks_per_sec = record.tasks_per_sec;
+    record.speedup =
+        base_tasks_per_sec > 0.0 ? record.tasks_per_sec / base_tasks_per_sec : 0.0;
+    record.p50_e2e_ns = e2e.quantile_bound(0.50);
+    record.p99_e2e_ns = e2e.quantile_bound(0.99);
+    record.mean_flow_time = stats.mean_flow_time;
+    record.steals = stats.steals;
+    if (stats.completed != jobs) {
+      std::cerr << "service_soak: " << shards << "-shard run completed "
+                << stats.completed << " of " << jobs << " jobs\n";
+      all_completed = false;
+    }
+    table.begin_row()
+        .add_cell(static_cast<double>(record.shards), 0)
+        .add_cell(record.seconds, 2)
+        .add_cell(record.jobs_per_sec, 0)
+        .add_cell(record.tasks_per_sec, 0)
+        .add_cell(record.speedup, 2)
+        .add_cell(static_cast<double>(record.p50_e2e_ns) / 1e3, 0)
+        .add_cell(static_cast<double>(record.p99_e2e_ns) / 1e3, 0)
+        .add_cell(static_cast<double>(record.steals), 0);
+    records.push_back(record);
+  }
+  table.print(std::cout);
+  std::cout << "\n(p50/p99 from the service.e2e_ns histogram delta of each run; "
+               "speedup is tasks/sec vs the first row)\n";
+  if (!flags.get_string("json").empty()) {
+    std::ofstream out(flags.get_string("json"));
+    if (!out) {
+      std::cerr << "service_soak: cannot open " << flags.get_string("json") << '\n';
+      return 1;
+    }
+    write_soak_json(out, jobs, total_tasks, threads, cluster.describe(), records);
+  }
+  return all_completed ? 0 : 2;
+}

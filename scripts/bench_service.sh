@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_service.json: a Release build of the sharded soak
+# bench (bench/service_soak.cc) over the default 1/2/4/8 shard ladder.
+# Run on a quiet machine -- the record is wall-clock throughput and
+# latency, so background load skews it.  CI does not re-run the full
+# soak; it replays a short smoke and diffs this file's *schema* only.
+#
+# Usage: scripts/bench_service.sh [build-dir]
+# Env:   FHS_SOAK_JOBS    submissions per shard count (default 6000,
+#                         about 2.3M tasks)
+#        FHS_SOAK_SHARDS  comma list of shard counts (default 1,2,4,8)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-${ROOT}/build-bench}"
+JOBS="${FHS_SOAK_JOBS:-6000}"
+SHARDS="${FHS_SOAK_SHARDS:-1,2,4,8}"
+
+cmake -B "${BUILD}" -S "${ROOT}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${BUILD}" -j"$(nproc)" --target service_soak
+
+"${BUILD}/bench/service_soak" \
+  --jobs="${JOBS}" \
+  --shards="${SHARDS}" \
+  --threads=8 \
+  --json="${ROOT}/BENCH_service.json"
+
+echo "wrote ${ROOT}/BENCH_service.json"

@@ -165,6 +165,11 @@ void write_json(std::ostream& out, const ServiceStats& stats) {
         << ",\n  \"fault_tasks_killed\": " << stats.fault_tasks_killed
         << ",\n  \"fault_work_discarded\": " << stats.fault_work_discarded;
   }
+  // Gated like the blocks above: a plain (unsharded) service keeps the
+  // exact pre-existing document bytes.
+  if (stats.shards > 0) {
+    out << ",\n  \"shards\": " << stats.shards << ",\n  \"steals\": " << stats.steals;
+  }
   out << "\n}\n";
 }
 

@@ -15,6 +15,9 @@ namespace fhs {
 std::string journal_line(const JournalEntry& entry) {
   std::ostringstream line;
   line << "{\"ticket\": " << entry.ticket << ", \"epoch\": " << entry.epoch;
+  if (entry.shard_aware()) {
+    line << ", \"shard\": " << entry.shard << ", \"seq\": " << entry.seq;
+  }
   if (entry.cancel) {
     line << ", \"cancel\": true}";
     return line.str();
@@ -44,6 +47,8 @@ class LineParser {
     bool saw_ticket = false;
     bool saw_epoch = false;
     bool saw_dag = false;
+    bool saw_shard = false;
+    bool saw_seq = false;
     expect('{');
     for (;;) {
       const std::string key = parse_string();
@@ -54,6 +59,12 @@ class LineParser {
       } else if (key == "epoch") {
         entry.epoch = static_cast<Time>(parse_uint());
         saw_epoch = true;
+      } else if (key == "shard") {
+        entry.shard = static_cast<std::uint32_t>(parse_uint());
+        saw_shard = true;
+      } else if (key == "seq") {
+        entry.seq = static_cast<std::int64_t>(parse_uint());
+        saw_seq = true;
       } else if (key == "arrival") {
         entry.arrival = static_cast<Time>(parse_uint());
       } else if (key == "cancel") {
@@ -76,6 +87,7 @@ class LineParser {
     skip_space();
     if (pos_ != text_.size()) fail("trailing content");
     if (!saw_ticket || !saw_epoch) fail("missing field");
+    if (saw_shard != saw_seq) fail("shard and seq must appear together");
     if (entry.cancel && (saw_dag || entry.arrival >= 0)) {
       fail("cancel entry must not carry a dag or arrival");
     }
@@ -191,7 +203,11 @@ JournalEntry parse_journal_line(const std::string& line) {
 std::vector<JournalEntry> read_journal(std::istream& in) {
   std::vector<JournalEntry> entries;
   std::string line;
-  Time previous_epoch = 0;
+  // Per-shard cursors: each shard's stream must keep non-decreasing
+  // epochs and contiguous 0-based sequence numbers; streams of distinct
+  // shards interleave freely (legacy entries all land on shard 0).
+  std::vector<Time> previous_epoch;
+  std::vector<std::int64_t> next_seq;
   std::uint64_t line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
@@ -202,12 +218,27 @@ std::vector<JournalEntry> read_journal(std::istream& in) {
       throw std::invalid_argument("read_journal: line " +
                                   std::to_string(line_number) + ": " + error.what());
     }
-    if (entries.back().epoch < previous_epoch) {
+    const JournalEntry& entry = entries.back();
+    if (entry.shard >= previous_epoch.size()) {
+      previous_epoch.resize(entry.shard + 1, 0);
+      next_seq.resize(entry.shard + 1, 0);
+    }
+    if (entry.epoch < previous_epoch[entry.shard]) {
       throw std::invalid_argument("read_journal: line " +
                                   std::to_string(line_number) +
-                                  ": epochs must be non-decreasing");
+                                  ": epochs must be non-decreasing within a shard");
     }
-    previous_epoch = entries.back().epoch;
+    previous_epoch[entry.shard] = entry.epoch;
+    if (entry.shard_aware()) {
+      if (entry.seq != next_seq[entry.shard]) {
+        throw std::invalid_argument(
+            "read_journal: line " + std::to_string(line_number) + ": shard " +
+            std::to_string(entry.shard) + " sequence must be contiguous (expected " +
+            std::to_string(next_seq[entry.shard]) + ", got " +
+            std::to_string(entry.seq) + ")");
+      }
+    }
+    ++next_seq[entry.shard];
   }
   return entries;
 }

@@ -23,6 +23,20 @@
 // cancelled at `epoch` (deadline expiry).  An entry with an `arrival`
 // field is a retry fold: written at `epoch` (epochs stay monotone) but
 // entering the engine at `arrival` >= epoch (the backoff delay).
+//
+// The sharded service (src/shard/) extends the format once more: each
+// entry carries the shard that folded the job and that shard's own
+// deterministic sequence number,
+//
+//   {"ticket": 7, "epoch": 400, "shard": 2, "seq": 5, "kdag": "..."}
+//
+// so a journal interleaved by several shard workers splits back into N
+// independent per-shard streams that each replay bit-identically
+// (src/shard/shard_journal.*).  Epochs are monotone *per shard* (each
+// shard owns its own virtual clock); `seq` is the 0-based position in
+// the shard's stream and must be contiguous.  Entries without a shard
+// field belong to shard 0, and a single-shard session omits both fields
+// entirely, so its journal stays byte-identical to the original format.
 #pragma once
 
 #include <cstdint>
@@ -36,7 +50,13 @@ namespace fhs {
 
 struct JournalEntry {
   std::uint64_t ticket = 0;
-  Time epoch = 0;  ///< virtual time the entry was written (monotone)
+  Time epoch = 0;  ///< virtual time the entry was written (monotone per shard)
+  /// Shard whose worker folded the job (0 for single-shard sessions).
+  std::uint32_t shard = 0;
+  /// 0-based position in the shard's own entry stream; -1 means "not a
+  /// shard-aware entry" (legacy single-shard format, which omits the
+  /// shard and seq fields entirely).
+  std::int64_t seq = -1;
   /// Engine arrival when it differs from `epoch` (retry folds enter at
   /// epoch + backoff); -1 means "same as epoch".
   Time arrival = -1;
@@ -73,6 +93,10 @@ struct JournalEntry {
   [[nodiscard]] Time effective_arrival() const noexcept {
     return arrival >= 0 ? arrival : epoch;
   }
+
+  /// True when the entry carries the shard-aware fields (a `seq` is
+  /// written iff a `shard` is).
+  [[nodiscard]] bool shard_aware() const noexcept { return seq >= 0; }
 };
 
 /// Appends entries to a caller-owned stream, one JSON line each,
@@ -93,7 +117,9 @@ class JournalWriter {
 [[nodiscard]] JournalEntry parse_journal_line(const std::string& line);
 
 /// Reads a whole journal (blank lines skipped); throws on malformed
-/// lines or non-monotone epochs.
+/// lines, epochs that decrease within a shard, or per-shard sequence
+/// numbers that are not contiguous from 0.  Entries from different
+/// shards may interleave freely (each shard owns its own clock).
 [[nodiscard]] std::vector<JournalEntry> read_journal(std::istream& in);
 
 }  // namespace fhs

@@ -273,6 +273,7 @@ ServiceStats SchedulerService::stats() const {
   const ResourceType k = cluster_.num_types();
   out.busy_ticks.resize(k);
   out.utilization.assign(k, 0.0);
+  out.processors.assign(cluster_.per_type().begin(), cluster_.per_type().end());
   for (ResourceType a = 0; a < k; ++a) {
     out.busy_ticks[a] = block.busy[a].load(std::memory_order_relaxed);
     if (out.virtual_now > 0) {

@@ -1,0 +1,99 @@
+#include "service/service_stats.hh"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace fhs {
+
+namespace {
+
+/// The reject breakdown must account for every rejection: the service
+/// tallies `rejected` and exactly one reason counter together, so any
+/// divergence means a torn snapshot or a merge bug.  Checked for every
+/// input and for the merged result (the satellite the breakdown was
+/// missing: a merge that dropped a reason field used to go unnoticed).
+void check_reject_breakdown(const ServiceStats& stats, const std::string& who) {
+  const std::uint64_t sum = stats.rejected_queue_full + stats.rejected_overloaded +
+                            stats.rejected_never_fits + stats.rejected_shutdown;
+  if (sum != stats.rejected) {
+    throw std::logic_error(
+        "merge_service_stats: " + who + ": reject breakdown sums to " +
+        std::to_string(sum) + " but rejected = " + std::to_string(stats.rejected));
+  }
+}
+
+}  // namespace
+
+ServiceStats merge_service_stats(std::span<const ServiceStats> parts) {
+  ServiceStats out;
+  out.shards = parts.size();
+  // Denominator of the merged per-type utilization: sum over shards of
+  // P_a * virtual_now (each shard contributes capacity-ticks on its own
+  // clock, so a shard that idled early does not dilute the others).
+  std::vector<double> capacity_ticks;
+  double flow_sum = 0.0;  // sum over shards of mean_flow_time * completed
+  for (std::size_t s = 0; s < parts.size(); ++s) {
+    const ServiceStats& part = parts[s];
+    check_reject_breakdown(part, "shard " + std::to_string(s));
+    out.submitted += part.submitted;
+    out.admitted += part.admitted;
+    out.rejected += part.rejected;
+    out.deferred += part.deferred;
+    out.completed += part.completed;
+    out.epochs += part.epochs;
+    out.virtual_now = std::max(out.virtual_now, part.virtual_now);
+    out.rejected_queue_full += part.rejected_queue_full;
+    out.rejected_overloaded += part.rejected_overloaded;
+    out.rejected_never_fits += part.rejected_never_fits;
+    out.rejected_shutdown += part.rejected_shutdown;
+    if (part.busy_ticks.size() > out.busy_ticks.size()) {
+      out.busy_ticks.resize(part.busy_ticks.size(), 0);
+      capacity_ticks.resize(part.busy_ticks.size(), 0.0);
+    }
+    for (std::size_t a = 0; a < part.busy_ticks.size(); ++a) {
+      out.busy_ticks[a] += part.busy_ticks[a];
+      const double procs =
+          a < part.processors.size() ? static_cast<double>(part.processors[a]) : 0.0;
+      capacity_ticks[a] += procs * static_cast<double>(part.virtual_now);
+    }
+    if (part.flow_time_bins.size() > out.flow_time_bins.size()) {
+      out.flow_time_bins.resize(part.flow_time_bins.size(), 0);
+    }
+    for (std::size_t b = 0; b < part.flow_time_bins.size(); ++b) {
+      out.flow_time_bins[b] += part.flow_time_bins[b];
+    }
+    flow_sum += part.mean_flow_time * static_cast<double>(part.completed);
+    out.max_flow_time = std::max(out.max_flow_time, part.max_flow_time);
+    out.deadline_enabled = out.deadline_enabled || part.deadline_enabled;
+    out.timed_out += part.timed_out;
+    out.retried += part.retried;
+    out.retries_exhausted += part.retries_exhausted;
+    out.faults_enabled = out.faults_enabled || part.faults_enabled;
+    out.fault_failures += part.fault_failures;
+    out.fault_recoveries += part.fault_recoveries;
+    out.fault_slowdowns += part.fault_slowdowns;
+    out.fault_tasks_killed += part.fault_tasks_killed;
+    out.fault_work_discarded += part.fault_work_discarded;
+    out.steals += part.steals;
+    if (part.processors.size() > out.processors.size()) {
+      out.processors.resize(part.processors.size(), 0);
+    }
+    for (std::size_t a = 0; a < part.processors.size(); ++a) {
+      out.processors[a] += part.processors[a];
+    }
+  }
+  out.utilization.assign(out.busy_ticks.size(), 0.0);
+  for (std::size_t a = 0; a < out.busy_ticks.size(); ++a) {
+    if (capacity_ticks[a] > 0.0) {
+      out.utilization[a] = static_cast<double>(out.busy_ticks[a]) / capacity_ticks[a];
+    }
+  }
+  if (out.completed > 0) {
+    out.mean_flow_time = flow_sum / static_cast<double>(out.completed);
+  }
+  check_reject_breakdown(out, "merged result");
+  return out;
+}
+
+}  // namespace fhs

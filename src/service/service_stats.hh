@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/kdag.hh"
@@ -49,6 +50,10 @@ struct ServiceStats {
   std::vector<Time> busy_ticks;
   /// busy_ticks[a] / (P_a * virtual_now); 0 before time advances.
   std::vector<double> utilization;
+  /// P_a of the cluster (or partition slice) these stats cover.  Not
+  /// serialized; merge_service_stats needs it to weight utilization
+  /// across shards whose virtual clocks advanced unequally.
+  std::vector<std::uint32_t> processors;
 
   /// Histogram of per-job flow times (see flow_time_bin).
   std::vector<std::uint64_t> flow_time_bins;
@@ -70,6 +75,24 @@ struct ServiceStats {
   std::uint64_t fault_slowdowns = 0;
   std::uint64_t fault_tasks_killed = 0;
   std::uint64_t fault_work_discarded = 0;
+
+  /// Sharding tallies (src/shard/): number of shards these stats merge
+  /// over (0 = a plain single service, keeping its JSON bytes unchanged)
+  /// and jobs moved between shards by work stealing.  Serialized only
+  /// when shards > 0.
+  std::uint64_t shards = 0;
+  std::uint64_t steals = 0;
 };
+
+/// Merge-on-read aggregation across shard snapshots: counters sum,
+/// virtual_now takes the max (each shard owns a clock), per-type busy
+/// ticks sum, utilization re-weights by each shard's P_a * virtual_now,
+/// flow-time histograms add bin-wise, and mean flow re-weights by
+/// completions.  Every input's rejected_{queue_full,overloaded,
+/// never_fits,shutdown} breakdown -- and the merged output's -- is
+/// asserted to sum to its `rejected` total; a violation (a torn or
+/// miscounted shard snapshot) throws std::logic_error instead of
+/// silently publishing inconsistent stats.
+[[nodiscard]] ServiceStats merge_service_stats(std::span<const ServiceStats> parts);
 
 }  // namespace fhs

@@ -1,0 +1,33 @@
+#include "shard/partition.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fhs {
+
+ShardPartition make_shard_partition(const Cluster& cluster, std::size_t requested) {
+  if (requested == 0) {
+    throw std::invalid_argument("make_shard_partition: requested shards must be >= 1");
+  }
+  std::size_t effective = requested;
+  for (ResourceType alpha = 0; alpha < cluster.num_types(); ++alpha) {
+    effective = std::min(effective, static_cast<std::size_t>(cluster.processors(alpha)));
+  }
+  effective = std::max<std::size_t>(effective, 1);
+
+  ShardPartition partition;
+  partition.requested = requested;
+  partition.shards.reserve(effective);
+  for (std::size_t s = 0; s < effective; ++s) {
+    std::vector<std::uint32_t> per_type(cluster.num_types());
+    for (ResourceType alpha = 0; alpha < cluster.num_types(); ++alpha) {
+      const std::uint32_t p = cluster.processors(alpha);
+      const auto n = static_cast<std::uint32_t>(effective);
+      per_type[alpha] = p / n + (static_cast<std::uint32_t>(s) < p % n ? 1u : 0u);
+    }
+    partition.shards.emplace_back(std::move(per_type));
+  }
+  return partition;
+}
+
+}  // namespace fhs

@@ -1,0 +1,40 @@
+// Type-aware cluster partitioning for the sharded service.
+//
+// A shard is a vertical slice of the machine: its own P_alpha
+// processors of *every* type, so any job the cluster can run, every
+// shard can run (no cross-shard task placement, which is what keeps a
+// shard's journal stream independently replayable and its schedule
+// independently checkable).  Processors are dealt round-robin per type
+// -- shard s gets floor(P_alpha / N) plus one of the first
+// (P_alpha mod N) remainders -- so the slices differ by at most one
+// processor per type.
+//
+// The shard count is clamped to min_alpha P_alpha: beyond that some
+// shard would own zero processors of a type and could no longer run
+// every job.  Callers read back the effective count from the partition.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "machine/cluster.hh"
+
+namespace fhs {
+
+struct ShardPartition {
+  /// One cluster slice per shard; all have the cluster's num_types().
+  std::vector<Cluster> shards;
+  /// The count asked for (>= shards.size(); differs when clamped).
+  std::size_t requested = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return shards.size(); }
+};
+
+/// Splits `cluster` into min(requested, min_alpha P_alpha) slices
+/// (at least 1).  Deterministic; per-type processor counts sum back to
+/// the original cluster exactly.  Throws std::invalid_argument when
+/// `requested` is 0.
+[[nodiscard]] ShardPartition make_shard_partition(const Cluster& cluster,
+                                                  std::size_t requested);
+
+}  // namespace fhs

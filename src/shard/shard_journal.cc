@@ -1,0 +1,76 @@
+#include "shard/shard_journal.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fhs {
+
+namespace {
+
+/// The shard holding the ticket's LAST fold (a future retry extension
+/// would fold the same ticket again; last fold wins, as in
+/// ReplayResult).  Returns shards.size() when the ticket is unknown.
+std::size_t shard_of_last_fold(const std::vector<ReplayResult>& shards,
+                               std::uint64_t ticket) {
+  for (std::size_t s = shards.size(); s-- > 0;) {
+    const auto& tickets = shards[s].tickets;
+    if (std::find(tickets.begin(), tickets.end(), ticket) != tickets.end()) {
+      return s;
+    }
+  }
+  return shards.size();
+}
+
+}  // namespace
+
+Time ShardReplayResult::flow_time_of(std::uint64_t ticket) const {
+  const std::size_t s = shard_of_last_fold(shards, ticket);
+  if (s == shards.size()) {
+    throw std::out_of_range("ShardReplayResult::flow_time_of: unknown ticket");
+  }
+  return shards[s].flow_time_of(ticket);
+}
+
+bool ShardReplayResult::cancelled_of(std::uint64_t ticket) const {
+  const std::size_t s = shard_of_last_fold(shards, ticket);
+  if (s == shards.size()) {
+    throw std::out_of_range("ShardReplayResult::cancelled_of: unknown ticket");
+  }
+  return shards[s].cancelled_of(ticket);
+}
+
+std::vector<std::vector<JournalEntry>> split_journal_by_shard(
+    std::span<const JournalEntry> entries) {
+  std::vector<std::vector<JournalEntry>> buckets(1);
+  for (const JournalEntry& entry : entries) {
+    if (entry.shard >= buckets.size()) buckets.resize(entry.shard + 1);
+    buckets[entry.shard].push_back(entry);
+  }
+  return buckets;
+}
+
+ShardReplayResult replay_shard_journal(std::span<const JournalEntry> entries,
+                                       const ShardPartition& partition,
+                                       const std::string& policy,
+                                       const MultiEngineOptions& options) {
+  const std::vector<std::vector<JournalEntry>> buckets =
+      split_journal_by_shard(entries);
+  if (buckets.size() > partition.size()) {
+    throw std::invalid_argument(
+        "replay_shard_journal: journal names shard " +
+        std::to_string(buckets.size() - 1) + " but the partition has only " +
+        std::to_string(partition.size()) + " shard(s)");
+  }
+  ShardReplayResult out;
+  out.shards.reserve(partition.size());
+  for (std::size_t s = 0; s < partition.size(); ++s) {
+    const std::span<const JournalEntry> stream =
+        s < buckets.size() ? std::span<const JournalEntry>(buckets[s])
+                           : std::span<const JournalEntry>();
+    out.shards.push_back(
+        replay_journal(stream, partition.shards[s], policy, options));
+  }
+  return out;
+}
+
+}  // namespace fhs

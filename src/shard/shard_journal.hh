@@ -1,0 +1,56 @@
+// Shard-aware journal replay.
+//
+// A sharded session's journal is ONE stream interleaving the folds of
+// every shard worker, each entry stamped {shard, seq} (journal.hh).
+// Because shards never share an engine -- a stolen job moves between
+// rings *before* it folds -- the stream splits into N independent
+// per-shard journals, and each replays bit-identically on its shard's
+// cluster slice with the plain single-engine replay_journal().
+//
+// Replay therefore works at ANY shard count: record with 8 shards,
+// split, and re-run each stream on the matching slice of the same
+// partition.  The invariants a valid journal satisfies (enforced by
+// read_journal): per-shard epochs are non-decreasing and per-shard
+// seq numbers are contiguous from 0.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "service/journal.hh"
+#include "service/service.hh"
+#include "shard/partition.hh"
+
+namespace fhs {
+
+/// Per-shard outcome of replaying a sharded session.
+struct ShardReplayResult {
+  /// One replay per shard, indexed by shard id (shards that folded
+  /// nothing replay an empty stream).
+  std::vector<ReplayResult> shards;
+
+  /// Flow time of the ticket's last fold, wherever it folded.  Throws
+  /// std::out_of_range for a ticket absent from every shard.
+  [[nodiscard]] Time flow_time_of(std::uint64_t ticket) const;
+  /// True when the ticket's last fold was cancelled.
+  [[nodiscard]] bool cancelled_of(std::uint64_t ticket) const;
+};
+
+/// Buckets entries by their shard stamp (legacy entries -> shard 0),
+/// preserving order within each shard.  The result has max(shard) + 1
+/// buckets (at least 1).
+[[nodiscard]] std::vector<std::vector<JournalEntry>> split_journal_by_shard(
+    std::span<const JournalEntry> entries);
+
+/// Replays a sharded session: splits the stream and replays each shard
+/// on its slice of `partition`.  `options` (fault plan etc.) applies to
+/// every shard, mirroring the live service.  Throws
+/// std::invalid_argument when an entry names a shard the partition
+/// does not have.
+[[nodiscard]] ShardReplayResult replay_shard_journal(
+    std::span<const JournalEntry> entries, const ShardPartition& partition,
+    const std::string& policy, const MultiEngineOptions& options = {});
+
+}  // namespace fhs

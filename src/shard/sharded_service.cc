@@ -1,0 +1,649 @@
+#include "shard/sharded_service.hh"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "multijob/multijob.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "support/mpmc_ring.hh"
+
+namespace fhs {
+
+namespace {
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+MultiEngineOptions engine_options(const ShardedConfig& config) {
+  MultiEngineOptions options;
+  options.faults = config.faults;
+  return options;
+}
+
+/// Stripes of the global ticket store: ticket ids are dense, so
+/// id -> (stripe, slot) spreads consecutive ids across stripes and a
+/// submit storm does not serialize on one lock.
+constexpr std::size_t kTicketStripes = 64;
+
+/// How long an idle shard sleeps between steal attempts while work is
+/// outstanding elsewhere.  Purely a wall-clock pacing knob: it bounds
+/// steal latency but has no effect on any virtual-time outcome.
+constexpr std::chrono::microseconds kStealRetrySleep{200};
+
+}  // namespace
+
+/// Shared obs registry handles, looked up once (registry lookups take a
+/// mutex; updates are relaxed atomics).  Counter names match the
+/// single-worker service so dashboards and the soak bench read one
+/// stream regardless of shard count; `service.steals` is new here.
+class ShardedService::ObsHandles {
+ public:
+  obs::Counter& submitted = obs::Registry::global().counter("service.submitted");
+  obs::Counter& admitted = obs::Registry::global().counter("service.admitted");
+  obs::Counter& deferred = obs::Registry::global().counter("service.deferred");
+  obs::Counter& completed = obs::Registry::global().counter("service.completed");
+  obs::Counter& reject_queue_full =
+      obs::Registry::global().counter("service.reject.queue_full");
+  obs::Counter& reject_overloaded =
+      obs::Registry::global().counter("service.reject.overloaded");
+  obs::Counter& reject_never_fits =
+      obs::Registry::global().counter("service.reject.never_fits");
+  obs::Counter& reject_type_mismatch =
+      obs::Registry::global().counter("service.reject.type_mismatch");
+  obs::Counter& reject_shutdown =
+      obs::Registry::global().counter("service.reject.shutdown");
+  obs::Counter& steals = obs::Registry::global().counter("service.steals");
+  obs::Histogram& submit_ns = obs::Registry::global().histogram("service.submit_ns");
+  obs::Histogram& defer_wait_ns =
+      obs::Registry::global().histogram("service.defer_wait_ns");
+  obs::Histogram& e2e_ns = obs::Registry::global().histogram("service.e2e_ns");
+  obs::Histogram& epoch_ns = obs::Registry::global().histogram("service.epoch_ns");
+  obs::Histogram& flow_ticks =
+      obs::Registry::global().histogram("service.flow_ticks");
+};
+
+namespace {
+
+/// Per-shard single-writer atomics behind stats(), mirroring the
+/// single-worker service's StatsBlock.  There is no `rejected` total:
+/// a snapshot computes it as the sum of the reason counters, so the
+/// breakdown invariant asserted by merge_service_stats holds by
+/// construction even when a snapshot races a submit.
+struct ShardStatsBlock {
+  std::atomic<std::uint64_t> submitted{0};
+  std::atomic<std::uint64_t> admitted{0};
+  std::atomic<std::uint64_t> deferred{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> epochs{0};
+  std::atomic<std::uint64_t> reject_queue_full{0};
+  std::atomic<std::uint64_t> reject_overloaded{0};
+  std::atomic<std::uint64_t> reject_never_fits{0};
+  std::atomic<std::uint64_t> reject_shutdown{0};
+  std::atomic<std::uint64_t> steals{0};
+  // Mirrors of the shard engine's FaultStats (worker-written per slice).
+  std::atomic<std::uint64_t> fault_failures{0};
+  std::atomic<std::uint64_t> fault_recoveries{0};
+  std::atomic<std::uint64_t> fault_slowdowns{0};
+  std::atomic<std::uint64_t> fault_tasks_killed{0};
+  std::atomic<std::uint64_t> fault_work_discarded{0};
+  std::atomic<Time> virtual_now{0};
+  std::atomic<std::int64_t> flow_sum{0};
+  std::atomic<Time> max_flow{0};
+  std::array<std::atomic<Time>, kMaxResourceTypes> busy{};
+  std::array<std::atomic<std::uint64_t>, kFlowTimeBins> bins{};
+};
+
+}  // namespace
+
+struct ShardedService::TicketStripe {
+  struct Record {
+    JobState state = JobState::kQueued;
+    std::uint32_t shard = 0;  ///< where the job folded (routing until then)
+    Time folded_epoch = -1;
+    Time completion = -1;
+    std::uint32_t attempts = 0;
+    std::chrono::steady_clock::time_point submitted_at;
+  };
+
+  mutable Mutex mutex;
+  /// Slot (id - 1) / kTicketStripes; grown on first touch (submits race
+  /// in id order only per stripe, so resize-to-fit is required).
+  std::vector<Record> records FHS_GUARDED_BY(mutex);
+};
+
+struct ShardedService::Shard {
+  const std::size_t index;
+  const Cluster cluster;  ///< this shard's slice
+  const std::size_t backlog_limit;
+
+  // Worker-thread-owned engine state: the slice runs outside any lock,
+  // and fold_job / advance_slice run only on this shard's worker.
+  std::unique_ptr<MultiJobScheduler> scheduler;  // fhs-lint: allow(guarded-field)
+  MultiJobEngine engine;                         // fhs-lint: allow(guarded-field)
+  std::vector<std::uint64_t> engine_ticket;      // fhs-lint: allow(guarded-field)
+  std::uint64_t folded = 0;                      // fhs-lint: allow(guarded-field)
+  std::uint64_t done = 0;                        // fhs-lint: allow(guarded-field)
+  std::uint64_t journal_seq = 0;                 // fhs-lint: allow(guarded-field)
+
+  /// Submission ring: internally synchronized (lock-free MPMC).
+  MpmcRing<Pending> ring;  // fhs-lint: allow(guarded-field)
+  /// Jobs pushed but not yet popped.  Incremented under admission_mutex
+  /// *before* the push (so the admission queue-depth check bounds ring
+  /// occupancy); decremented after a successful pop, by worker or thief.
+  std::atomic<std::size_t> ring_count{0};
+
+  Mutex admission_mutex;
+  AdmissionController admission FHS_GUARDED_BY(admission_mutex);
+  std::condition_variable space;  // deferred submitters wait
+
+  Mutex wake_mutex;
+  std::condition_variable wake;  // worker waits: ring empty and engine idle
+
+  std::unique_ptr<ShardStatsBlock> stats;  // fhs-lint: allow(guarded-field)
+  /// Joined under the service's join_mutex_.
+  std::thread worker;  // fhs-lint: allow(guarded-field)
+
+  Shard(std::size_t idx, const Cluster& slice, const ShardedConfig& config,
+        std::size_t ring_capacity)
+      : index(idx),
+        cluster(slice),
+        backlog_limit(config.max_engine_backlog > 0
+                          ? config.max_engine_backlog
+                          : std::max<std::size_t>(32, 4 * total_processors(slice))),
+        scheduler(make_multijob_scheduler(config.policy)),
+        engine(cluster, *scheduler, engine_options(config)),
+        ring(ring_capacity),
+        admission(config.admission, cluster),
+        stats(std::make_unique<ShardStatsBlock>()) {}
+
+  [[nodiscard]] static std::size_t total_processors(const Cluster& slice) {
+    std::size_t total = 0;
+    for (ResourceType a = 0; a < slice.num_types(); ++a) total += slice.processors(a);
+    return total;
+  }
+};
+
+ShardedService::ShardedService(const Cluster& cluster, ShardedConfig config)
+    : cluster_(cluster),
+      config_(std::move(config)),
+      partition_(make_shard_partition(cluster_, config_.shards)),
+      obs_(std::make_unique<ObsHandles>()),
+      journal_enabled_(config_.journal != nullptr) {
+  if (config_.epoch_length <= 0) {
+    throw std::invalid_argument("ShardedService: epoch_length must be positive");
+  }
+  if (config_.faults != nullptr && !config_.faults->empty()) {
+    // Shard-local indices: the plan must name processors every slice has.
+    for (const Cluster& slice : partition_.shards) {
+      config_.faults->validate_against(slice);
+    }
+  }
+  if (journal_enabled_) {
+    MutexLock lock(journal_mutex_);
+    journal_.emplace(*config_.journal);
+  }
+  stripes_.reserve(kTicketStripes);
+  for (std::size_t s = 0; s < kTicketStripes; ++s) {
+    stripes_.push_back(std::make_unique<TicketStripe>());
+  }
+  const std::size_t ring_capacity =
+      std::max(config_.ring_capacity, config_.admission.max_queue_depth);
+  shards_.reserve(partition_.size());
+  for (std::size_t s = 0; s < partition_.size(); ++s) {
+    shards_.push_back(
+        std::make_unique<Shard>(s, partition_.shards[s], config_, ring_capacity));
+  }
+  MutexLock join_lock(join_mutex_);
+  for (auto& shard : shards_) {
+    Shard* raw = shard.get();
+    raw->worker = std::thread([this, raw] { worker_loop(*raw); });
+  }
+}
+
+ShardedService::~ShardedService() { shutdown(); }
+
+ShardedService::TicketStripe& ShardedService::stripe_of(std::uint64_t ticket) const {
+  return *stripes_[(ticket - 1) % kTicketStripes];
+}
+
+std::optional<JobTicket> ShardedService::submit(KDag dag) {
+  const bool observed = obs::enabled();
+  const auto entered = std::chrono::steady_clock::now();
+  const std::size_t target =
+      route_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  Shard& shard = *shards_[target];
+  shard.stats->submitted.fetch_add(1, std::memory_order_relaxed);
+  if (observed) obs_->submitted.add(1);
+
+  enum class Outcome : std::uint8_t {
+    kAdmitted,
+    kShutdown,
+    kQueueFull,
+    kOverloaded,
+    kNeverFits,
+    kTypeMismatch,
+  };
+  Outcome outcome = Outcome::kAdmitted;
+  std::uint64_t id = 0;
+  bool deferred = false;
+  std::uint64_t defer_wait_ns = 0;
+  {
+    MutexLock lock(shard.admission_mutex);
+    if (stop_.load(std::memory_order_acquire)) {
+      outcome = Outcome::kShutdown;
+    } else if (cluster_.num_types() < dag.num_types()) {
+      outcome = Outcome::kTypeMismatch;
+    } else {
+      const std::size_t depth = shard.ring_count.load(std::memory_order_acquire);
+      const AdmissionVerdict verdict = shard.admission.verdict(dag, depth);
+      if (verdict != AdmissionVerdict::kAdmit) {
+        if (!shard.admission.fits_when_idle(dag)) {
+          outcome = Outcome::kNeverFits;
+        } else if (config_.admission.overload == OverloadPolicy::kReject) {
+          outcome = verdict == AdmissionVerdict::kQueueFull ? Outcome::kQueueFull
+                                                            : Outcome::kOverloaded;
+        } else {
+          deferred = true;
+          shard.stats->deferred.fetch_add(1, std::memory_order_relaxed);
+          if (observed) obs_->deferred.add(1);
+          const auto wait_started = std::chrono::steady_clock::now();
+          while (!stop_.load(std::memory_order_acquire) &&
+                 !shard.admission.admissible(
+                     dag, shard.ring_count.load(std::memory_order_acquire))) {
+            shard.space.wait(lock.native());
+          }
+          defer_wait_ns = elapsed_ns(wait_started);
+          if (stop_.load(std::memory_order_acquire)) outcome = Outcome::kShutdown;
+        }
+      }
+      if (outcome == Outcome::kAdmitted) {
+        shard.admission.on_admit(dag);
+        id = next_ticket_.fetch_add(1, std::memory_order_relaxed);
+        {
+          TicketStripe& stripe = stripe_of(id);
+          const std::size_t slot = (id - 1) / kTicketStripes;
+          MutexLock stripe_lock(stripe.mutex);
+          if (stripe.records.size() <= slot) stripe.records.resize(slot + 1);
+          TicketStripe::Record& record = stripe.records[slot];
+          record.shard = static_cast<std::uint32_t>(shard.index);
+          record.submitted_at = entered;
+        }
+        // Count before pushing: a pop only ever decrements after a
+        // successful push, so ring_count never underflows, and the
+        // admission queue-depth check above already saw depth+1 spots.
+        shard.ring_count.fetch_add(1, std::memory_order_acq_rel);
+        accepted_.fetch_add(1, std::memory_order_release);
+        Pending pending{id, std::move(dag)};
+        if (!shard.ring.try_push(pending)) {
+          // Unreachable: ring capacity >= max_queue_depth and pushes are
+          // serialized under admission_mutex, behind the depth check.
+          throw std::logic_error("ShardedService: submission ring overflow");
+        }
+      }
+    }
+  }
+  if (outcome == Outcome::kAdmitted) {
+    // Empty lock then notify: a worker between its ring_count check and
+    // its wait holds wake_mutex, so this cannot slip into that window.
+    { MutexLock wake_lock(shard.wake_mutex); }
+    shard.wake.notify_one();
+  }
+
+  if (deferred && observed) obs_->defer_wait_ns.record(defer_wait_ns);
+  auto reject = [&](std::atomic<std::uint64_t>& reason_stat,
+                    obs::Counter& reason_counter) -> std::optional<JobTicket> {
+    reason_stat.fetch_add(1, std::memory_order_relaxed);
+    if (observed) reason_counter.add(1);
+    return std::nullopt;
+  };
+  switch (outcome) {
+    case Outcome::kShutdown:
+      return reject(shard.stats->reject_shutdown, obs_->reject_shutdown);
+    case Outcome::kQueueFull:
+      return reject(shard.stats->reject_queue_full, obs_->reject_queue_full);
+    case Outcome::kOverloaded:
+      return reject(shard.stats->reject_overloaded, obs_->reject_overloaded);
+    case Outcome::kNeverFits:
+      return reject(shard.stats->reject_never_fits, obs_->reject_never_fits);
+    case Outcome::kTypeMismatch:
+      if (observed) obs_->reject_type_mismatch.add(1);
+      throw std::invalid_argument("ShardedService::submit: job K exceeds cluster K");
+    case Outcome::kAdmitted:
+      break;
+  }
+  shard.stats->admitted.fetch_add(1, std::memory_order_relaxed);
+  if (observed) {
+    obs_->admitted.add(1);
+    obs_->submit_ns.record(elapsed_ns(entered));
+  }
+  return JobTicket{id};
+}
+
+JobStatus ShardedService::poll(JobTicket ticket) const {
+  const std::uint64_t id = ticket.id;
+  if (id == 0 || id >= next_ticket_.load(std::memory_order_acquire)) {
+    throw std::out_of_range("ShardedService::poll: unknown ticket");
+  }
+  const TicketStripe& stripe = stripe_of(id);
+  const std::size_t slot = (id - 1) / kTicketStripes;
+  MutexLock lock(stripe.mutex);
+  JobStatus status;
+  if (slot >= stripe.records.size()) return status;  // submit still in flight
+  const TicketStripe::Record& record = stripe.records[slot];
+  status.state = record.state;
+  status.folded_epoch = record.folded_epoch;
+  status.completion = record.completion;
+  status.attempts = record.attempts;
+  if (record.state == JobState::kCompleted) {
+    status.flow_time = record.completion - record.folded_epoch;
+  }
+  return status;
+}
+
+void ShardedService::drain() {
+  MutexLock lock(drain_mutex_);
+  while (finished_.load(std::memory_order_acquire) !=
+         accepted_.load(std::memory_order_acquire)) {
+    drained_.wait(lock.native());
+  }
+}
+
+void ShardedService::shutdown() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    // Empty critical section: any submit that read stop_ == false holds
+    // admission_mutex until its push lands, so after this sweep every
+    // such job is in a ring where its worker (which exits only once its
+    // ring is empty) will still fold it.
+    { MutexLock lock(shard->admission_mutex); }
+    shard->space.notify_all();
+    { MutexLock lock(shard->wake_mutex); }
+    shard->wake.notify_all();
+  }
+  MutexLock join_lock(join_mutex_);
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+std::size_t ShardedService::fold_budget(const Shard& shard) const {
+  const std::uint64_t resident = shard.folded - shard.done;
+  return resident >= shard.backlog_limit
+             ? 0
+             : static_cast<std::size_t>(shard.backlog_limit - resident);
+}
+
+void ShardedService::append_journal(Shard& shard, const Pending& pending,
+                                    Time epoch) {
+  JournalEntry entry(pending.ticket, epoch, pending.dag);
+  if (shards_.size() > 1) {
+    // Single-shard sessions keep seq = -1: the stamps are omitted and
+    // the journal stays byte-identical to the single-worker format.
+    entry.shard = static_cast<std::uint32_t>(shard.index);
+    entry.seq = static_cast<std::int64_t>(shard.journal_seq++);
+  }
+  MutexLock lock(journal_mutex_);
+  journal_->append(entry);
+}
+
+void ShardedService::fold_job(Shard& shard, Pending pending) {
+  const Time epoch = shard.engine.now();
+  if (journal_enabled_) append_journal(shard, pending, epoch);
+  const std::uint32_t index = shard.engine.add_job(std::move(pending.dag), epoch);
+  if (shard.engine_ticket.size() != index) {
+    throw std::logic_error("ShardedService: engine index out of step");
+  }
+  shard.engine_ticket.push_back(pending.ticket);
+  ++shard.folded;
+  TicketStripe& stripe = stripe_of(pending.ticket);
+  const std::size_t slot = (pending.ticket - 1) / kTicketStripes;
+  MutexLock lock(stripe.mutex);
+  TicketStripe::Record& record = stripe.records[slot];
+  record.state = JobState::kScheduled;
+  record.shard = static_cast<std::uint32_t>(shard.index);
+  record.folded_epoch = epoch;
+  record.attempts = 1;
+}
+
+bool ShardedService::fold_from_ring(Shard& shard) {
+  std::size_t budget = fold_budget(shard);
+  bool folded = false;
+  while (budget > 0) {
+    std::optional<Pending> pending = shard.ring.try_pop();
+    if (!pending) break;
+    shard.ring_count.fetch_sub(1, std::memory_order_acq_rel);
+    fold_job(shard, std::move(*pending));
+    folded = true;
+    --budget;
+  }
+  if (folded) {
+    // Ring space freed; deferred submitters re-check under their lock.
+    { MutexLock lock(shard.admission_mutex); }
+    shard.space.notify_all();
+  }
+  return folded;
+}
+
+std::size_t ShardedService::try_steal(Shard& thief) {
+  std::size_t victim_index = thief.index;
+  std::size_t victim_backlog = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (s == thief.index) continue;
+    const std::size_t backlog =
+        shards_[s]->ring_count.load(std::memory_order_acquire);
+    if (backlog > victim_backlog) {
+      victim_backlog = backlog;
+      victim_index = s;
+    }
+  }
+  if (victim_backlog == 0) return 0;
+  Shard& victim = *shards_[victim_index];
+  // Take at most half the observed backlog: the victim's worker is
+  // likely mid-slice and will want the rest when it resurfaces.
+  std::size_t want = std::min((victim_backlog + 1) / 2, fold_budget(thief));
+  std::size_t got = 0;
+  while (got < want) {
+    std::optional<Pending> pending = victim.ring.try_pop();
+    if (!pending) break;
+    victim.ring_count.fetch_sub(1, std::memory_order_acq_rel);
+    // Transfer the admission accounting: the job's outstanding work
+    // leaves the victim's books and lands on the thief's, so each
+    // shard's overload limit keeps describing its own engine + ring.
+    {
+      MutexLock lock(victim.admission_mutex);
+      victim.admission.on_complete(pending->dag);
+    }
+    victim.space.notify_all();
+    {
+      MutexLock lock(thief.admission_mutex);
+      thief.admission.on_admit(pending->dag);
+    }
+    fold_job(thief, std::move(*pending));
+    ++got;
+  }
+  if (got > 0) {
+    thief.stats->steals.fetch_add(got, std::memory_order_relaxed);
+    if (obs::enabled()) obs_->steals.add(got);
+  }
+  return got;
+}
+
+void ShardedService::advance_slice(Shard& shard) {
+  const bool observed = obs::enabled();
+  const auto epoch_started = std::chrono::steady_clock::now();
+  obs::TraceSpan epoch_span("epoch", "shard");
+  const Time deadline = shard.engine.now() + config_.epoch_length;
+  shard.engine.advance_until(deadline);
+  const std::vector<std::uint32_t> done = shard.engine.take_completed();
+  ShardStatsBlock& stats = *shard.stats;
+  stats.epochs.fetch_add(1, std::memory_order_relaxed);
+  stats.virtual_now.store(shard.engine.now(), std::memory_order_relaxed);
+  const auto busy = shard.engine.busy_ticks();
+  for (ResourceType a = 0; a < shard.cluster.num_types(); ++a) {
+    stats.busy[a].store(busy[a], std::memory_order_relaxed);
+  }
+  if (config_.faults != nullptr) {
+    const FaultStats& faults = shard.engine.fault_stats();
+    stats.fault_failures.store(faults.failures, std::memory_order_relaxed);
+    stats.fault_recoveries.store(faults.recoveries, std::memory_order_relaxed);
+    stats.fault_slowdowns.store(faults.slowdowns, std::memory_order_relaxed);
+    stats.fault_tasks_killed.store(faults.tasks_killed, std::memory_order_relaxed);
+    stats.fault_work_discarded.store(
+        static_cast<std::uint64_t>(faults.work_discarded),
+        std::memory_order_relaxed);
+  }
+  for (const std::uint32_t index : done) {
+    const std::uint64_t ticket = shard.engine_ticket[index];
+    const Time completion = shard.engine.completion_time(index);
+    Time folded_epoch = 0;
+    std::chrono::steady_clock::time_point submitted_at;
+    {
+      TicketStripe& stripe = stripe_of(ticket);
+      const std::size_t slot = (ticket - 1) / kTicketStripes;
+      MutexLock lock(stripe.mutex);
+      TicketStripe::Record& record = stripe.records[slot];
+      record.state = JobState::kCompleted;
+      record.completion = completion;
+      folded_epoch = record.folded_epoch;
+      submitted_at = record.submitted_at;
+    }
+    {
+      MutexLock lock(shard.admission_mutex);
+      shard.admission.on_complete(shard.engine.job(index).dag);
+    }
+    ++shard.done;
+    const Time flow = completion - folded_epoch;
+    stats.completed.fetch_add(1, std::memory_order_relaxed);
+    stats.flow_sum.fetch_add(flow, std::memory_order_relaxed);
+    stats.bins[flow_time_bin(flow)].fetch_add(1, std::memory_order_relaxed);
+    Time prior = stats.max_flow.load(std::memory_order_relaxed);
+    while (flow > prior && !stats.max_flow.compare_exchange_weak(
+                               prior, flow, std::memory_order_relaxed)) {
+    }
+    if (observed) {
+      obs_->completed.add(1);
+      obs_->flow_ticks.record(static_cast<std::uint64_t>(flow));
+      obs_->e2e_ns.record(elapsed_ns(submitted_at));
+    }
+  }
+  if (!done.empty()) {
+    finished_.fetch_add(done.size(), std::memory_order_release);
+    shard.space.notify_all();
+    { MutexLock lock(drain_mutex_); }
+    drained_.notify_all();
+  }
+  if (observed) obs_->epoch_ns.record(elapsed_ns(epoch_started));
+}
+
+void ShardedService::wait_for_work(Shard& shard, bool steal_enabled) {
+  MutexLock lock(shard.wake_mutex);
+  while (!stop_.load(std::memory_order_acquire) &&
+         shard.ring_count.load(std::memory_order_acquire) == 0) {
+    if (steal_enabled && accepted_.load(std::memory_order_acquire) >
+                             finished_.load(std::memory_order_acquire)) {
+      // Work is in flight somewhere: nap, then resurface to try
+      // stealing from whichever ring has backed up.
+      shard.wake.wait_for(lock.native(), kStealRetrySleep);
+      return;
+    }
+    shard.wake.wait(lock.native());
+  }
+}
+
+void ShardedService::worker_loop(Shard& shard) {
+  const bool steal_enabled = config_.steal && shards_.size() > 1;
+  for (;;) {
+    bool folded = fold_from_ring(shard);
+    if (steal_enabled && !folded && shard.engine.idle()) {
+      folded = try_steal(shard) > 0;
+    }
+    if (!folded && shard.engine.idle()) {
+      if (stop_.load(std::memory_order_acquire)) {
+        // Under admission_mutex no submit is between its stop_ check
+        // and its push, so an empty ring here stays empty forever.
+        MutexLock lock(shard.admission_mutex);
+        if (shard.ring_count.load(std::memory_order_acquire) == 0) break;
+        continue;
+      }
+      wait_for_work(shard, steal_enabled);
+      continue;
+    }
+    advance_slice(shard);
+  }
+}
+
+ServiceStats ShardedService::snapshot_shard(const Shard& shard) const {
+  const ShardStatsBlock& block = *shard.stats;
+  ServiceStats out;
+  out.submitted = block.submitted.load(std::memory_order_relaxed);
+  out.admitted = block.admitted.load(std::memory_order_relaxed);
+  out.deferred = block.deferred.load(std::memory_order_relaxed);
+  out.completed = block.completed.load(std::memory_order_relaxed);
+  out.epochs = block.epochs.load(std::memory_order_relaxed);
+  out.rejected_queue_full = block.reject_queue_full.load(std::memory_order_relaxed);
+  out.rejected_overloaded = block.reject_overloaded.load(std::memory_order_relaxed);
+  out.rejected_never_fits = block.reject_never_fits.load(std::memory_order_relaxed);
+  out.rejected_shutdown = block.reject_shutdown.load(std::memory_order_relaxed);
+  // Summed, not separately counted: the reject breakdown then sums to
+  // `rejected` in every snapshot, which merge_service_stats asserts.
+  out.rejected = out.rejected_queue_full + out.rejected_overloaded +
+                 out.rejected_never_fits + out.rejected_shutdown;
+  out.virtual_now = block.virtual_now.load(std::memory_order_relaxed);
+  const ResourceType k = shard.cluster.num_types();
+  out.busy_ticks.resize(k);
+  out.utilization.assign(k, 0.0);
+  out.processors.assign(shard.cluster.per_type().begin(),
+                        shard.cluster.per_type().end());
+  for (ResourceType a = 0; a < k; ++a) {
+    out.busy_ticks[a] = block.busy[a].load(std::memory_order_relaxed);
+    if (out.virtual_now > 0) {
+      out.utilization[a] = static_cast<double>(out.busy_ticks[a]) /
+                           (static_cast<double>(shard.cluster.processors(a)) *
+                            static_cast<double>(out.virtual_now));
+    }
+  }
+  out.flow_time_bins.resize(kFlowTimeBins);
+  for (std::size_t b = 0; b < kFlowTimeBins; ++b) {
+    out.flow_time_bins[b] = block.bins[b].load(std::memory_order_relaxed);
+  }
+  out.max_flow_time = block.max_flow.load(std::memory_order_relaxed);
+  if (out.completed > 0) {
+    out.mean_flow_time =
+        static_cast<double>(block.flow_sum.load(std::memory_order_relaxed)) /
+        static_cast<double>(out.completed);
+  }
+  out.faults_enabled = config_.faults != nullptr && !config_.faults->empty();
+  out.fault_failures = block.fault_failures.load(std::memory_order_relaxed);
+  out.fault_recoveries = block.fault_recoveries.load(std::memory_order_relaxed);
+  out.fault_slowdowns = block.fault_slowdowns.load(std::memory_order_relaxed);
+  out.fault_tasks_killed = block.fault_tasks_killed.load(std::memory_order_relaxed);
+  out.fault_work_discarded =
+      block.fault_work_discarded.load(std::memory_order_relaxed);
+  out.steals = block.steals.load(std::memory_order_relaxed);
+  return out;
+}
+
+ServiceStats ShardedService::shard_stats(std::size_t shard) const {
+  if (shard >= shards_.size()) {
+    throw std::out_of_range("ShardedService::shard_stats: no such shard");
+  }
+  return snapshot_shard(*shards_[shard]);
+}
+
+ServiceStats ShardedService::stats() const {
+  std::vector<ServiceStats> parts;
+  parts.reserve(shards_.size());
+  for (const auto& shard : shards_) parts.push_back(snapshot_shard(*shard));
+  return merge_service_stats(parts);
+}
+
+}  // namespace fhs

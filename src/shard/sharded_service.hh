@@ -1,0 +1,182 @@
+// Sharded scale-out of the scheduling service (src/service/) with
+// cross-shard work stealing.
+//
+// ShardedService owns N worker shards.  Each shard is a vertical slice
+// of the cluster (partition.hh: its own processors of every type), with
+// its own MultiJobEngine, its own virtual clock, its own admission
+// controller, and its own bounded lock-free submission ring:
+//
+//   submitters ──round robin──▶ shard admission ──▶ MPMC ring
+//                                                      │  bounded fold at
+//                                                      ▼  epoch edges
+//                         shard worker: MultiJobEngine.advance_until()
+//                                                      │
+//   pollers  ◀──poll(ticket)── striped ticket store ◀──┘ completions
+//
+// The fold is *bounded* (max_engine_backlog jobs in the engine at
+// once): the excess stays in the submission ring, and because the ring
+// is multi-consumer (support/mpmc_ring.hh), an idle sibling shard pops
+// from the most loaded ring instead of sleeping -- work stealing at
+// admission granularity, before the job ever enters an engine.  A
+// stolen job transfers its admission accounting from victim to thief
+// and folds into the thief's engine like any other submission.
+//
+// Journal: one interleaved stream, each entry stamped with the shard
+// that folded it and that shard's own contiguous sequence number
+// (service/journal.hh), so shard_journal.hh splits it into N
+// independent streams that each replay bit-identically.  With one
+// shard the stamps are omitted and the journal is byte-identical to
+// the single-worker service's format.
+//
+// stats() snapshots every shard and merges on read
+// (merge_service_stats); per-type utilization uses each shard's own
+// clock for its capacity share, and the reject breakdown is asserted
+// to sum to `rejected` at merge time.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "machine/cluster.hh"
+#include "service/admission.hh"
+#include "service/journal.hh"
+#include "service/service.hh"
+#include "service/service_stats.hh"
+#include "shard/partition.hh"
+#include "support/mutex.hh"
+#include "support/thread_annotations.hh"
+
+namespace fhs {
+
+struct ShardedConfig {
+  /// Stream policy: "kgreedy" | "fcfs" | "srjf" | "mqb".
+  std::string policy = "mqb";
+  /// Virtual ticks per worker slice, per shard clock.
+  Time epoch_length = 100;
+  /// Applied independently per shard: queue depth caps each shard's
+  /// ring backlog, and outstanding-per-proc is relative to the slice's
+  /// own processors (limits scale down with the slice).
+  AdmissionConfig admission;
+  /// Requested shard count (>= 1); clamped to min_alpha P_alpha so
+  /// every shard can run every job (see partition.hh).  Read the
+  /// effective count back from shard_count().
+  std::size_t shards = 1;
+  /// Per-shard submission ring slots, rounded up to a power of two and
+  /// to at least admission.max_queue_depth (an admitted push never
+  /// finds the ring full).
+  std::size_t ring_capacity = 1024;
+  /// Cross-shard work stealing (no effect with one shard).
+  bool steal = true;
+  /// Max jobs resident in a shard's engine at once; the excess waits in
+  /// the submission ring, where siblings can steal it.  0 picks 4x the
+  /// slice's total processors (at least 32).
+  std::size_t max_engine_backlog = 0;
+  /// Optional record stream (caller keeps it alive; see journal.hh).
+  std::ostream* journal = nullptr;
+  /// Optional fault plan, interpreted with *shard-local* processor
+  /// indices and driven inside every shard's engine (not owned; must
+  /// outlive the service).  Must fit the smallest slice.
+  const FaultPlan* faults = nullptr;
+};
+
+/// N-shard scheduling service.  Thread-safe: any number of submitters
+/// and pollers; one worker thread per shard.  Reuses the single-worker
+/// service's ticket/status vocabulary (service.hh).
+class ShardedService {
+ public:
+  ShardedService(const Cluster& cluster, ShardedConfig config);
+  ~ShardedService();
+  ShardedService(const ShardedService&) = delete;
+  ShardedService& operator=(const ShardedService&) = delete;
+
+  /// Thread-safe.  Routes round-robin to a shard, admits against that
+  /// shard's controller, and enqueues on its ring.  Returns nullopt on
+  /// rejection or shutdown; blocks under OverloadPolicy::kDefer.
+  std::optional<JobTicket> submit(KDag dag);
+
+  /// Thread-safe.  Throws std::out_of_range for a ticket submit()
+  /// never issued.
+  [[nodiscard]] JobStatus poll(JobTicket ticket) const;
+
+  /// Blocks until every accepted job has completed.
+  void drain();
+
+  /// Stops every worker and joins them; accepted jobs finish first.
+  /// Idempotent; called by the destructor.  Later submits are rejected.
+  void shutdown();
+
+  /// Merged snapshot across shards (merge_service_stats: utilization
+  /// per shard clock, reject breakdown asserted, steals summed).
+  [[nodiscard]] ServiceStats stats() const;
+  /// One shard's own snapshot (its slice, its clock).
+  [[nodiscard]] ServiceStats shard_stats(std::size_t shard) const;
+
+  /// Effective shard count after clamping.
+  [[nodiscard]] std::size_t shard_count() const noexcept { return partition_.size(); }
+  [[nodiscard]] const ShardPartition& partition() const noexcept { return partition_; }
+  [[nodiscard]] const Cluster& cluster() const noexcept { return cluster_; }
+
+ private:
+  struct Pending {
+    std::uint64_t ticket = 0;
+    KDag dag;
+  };
+  struct Shard;         // per-shard state (engine, ring, worker); see .cc
+  struct TicketStripe;  // one lock stripe of the ticket store; see .cc
+  class ObsHandles;     // shared obs registry handles; see .cc
+
+  void worker_loop(Shard& shard);
+  /// Pops the shard's own ring into its engine, at most the remaining
+  /// backlog budget.  Returns whether anything folded.
+  bool fold_from_ring(Shard& shard);
+  /// Pops from the most loaded sibling ring (admission accounting moves
+  /// victim -> thief).  Returns the number of jobs stolen.
+  std::size_t try_steal(Shard& thief);
+  /// Folds one job into `shard`'s engine at its current virtual time,
+  /// journaling first.  Worker-thread only (the shard's own worker).
+  void fold_job(Shard& shard, Pending pending);
+  /// One engine slice plus completion harvest.  Worker-thread only.
+  void advance_slice(Shard& shard);
+  /// Sleeps until work arrives; with stealing enabled and jobs in
+  /// flight elsewhere, wakes periodically to re-try stealing.
+  void wait_for_work(Shard& shard, bool steal_enabled);
+  void append_journal(Shard& shard, const Pending& pending, Time epoch)
+      FHS_EXCLUDES(journal_mutex_);
+  [[nodiscard]] std::size_t fold_budget(const Shard& shard) const;
+  [[nodiscard]] TicketStripe& stripe_of(std::uint64_t ticket) const;
+  [[nodiscard]] ServiceStats snapshot_shard(const Shard& shard) const;
+
+  // Immutable after construction, read without any lock.
+  Cluster cluster_;                      // fhs-lint: allow(guarded-field)
+  ShardedConfig config_;                 // fhs-lint: allow(guarded-field)
+  ShardPartition partition_;             // fhs-lint: allow(guarded-field)
+  std::unique_ptr<ObsHandles> obs_;      // fhs-lint: allow(guarded-field)
+  const bool journal_enabled_;
+  std::vector<std::unique_ptr<Shard>> shards_;  // fhs-lint: allow(guarded-field)
+  /// Fixed stripe array (pointers stable; stripes lock individually).
+  std::vector<std::unique_ptr<TicketStripe>> stripes_;  // fhs-lint: allow(guarded-field)
+
+  std::atomic<std::uint64_t> route_{0};        ///< round-robin cursor
+  std::atomic<std::uint64_t> next_ticket_{1};  ///< ids are dense over accepted jobs
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> finished_{0};
+  std::atomic<bool> stop_{false};
+
+  /// Workers from several shards interleave appends on one stream.
+  mutable Mutex journal_mutex_;
+  std::optional<JournalWriter> journal_ FHS_GUARDED_BY(journal_mutex_);
+
+  mutable Mutex drain_mutex_;
+  std::condition_variable drained_;  // drain() waits: finished_ == accepted_
+
+  /// Serializes join: the destructor may race an explicit shutdown().
+  mutable Mutex join_mutex_;
+};
+
+}  // namespace fhs

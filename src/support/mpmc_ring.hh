@@ -1,0 +1,119 @@
+// Bounded lock-free MPMC ring (Vyukov's bounded queue).
+//
+// The sharded service's submission path: any number of submitter
+// threads push admitted jobs into a shard's ring; the shard worker pops
+// them at epoch boundaries, and -- because the ring is multi-consumer --
+// an *idle sibling shard* may pop from it too (cross-shard work
+// stealing at admission granularity, src/shard/sharded_service.*).
+//
+// Same discipline as the sweep engine's preallocated sample slots
+// (exp/sweep.hh): every slot is allocated up front, and a slot is handed
+// off between threads through one per-slot atomic sequence number, so
+// the hot path performs no allocation and takes no lock.  A push or pop
+// claims a position with one fetch_add on the head/tail cursor, then
+// publishes/consumes the slot's value under acquire/release on the
+// slot's own sequence -- the value itself is only ever touched by the
+// thread that currently owns the slot, which is what keeps the design
+// TSan-clean without any per-value synchronization.
+//
+// try_push/try_pop never block and never spuriously fail: try_push
+// returns false only when the ring is full, try_pop returns nullopt
+// only when it is empty (each modulo racing claims in flight).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace fhs {
+
+template <typename T>
+class MpmcRing {
+ public:
+  /// Capacity is rounded up to a power of two (>= 2).
+  explicit MpmcRing(std::size_t capacity)
+      : cells_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity)),
+        mask_(cells_.size() - 1) {
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcRing(const MpmcRing&) = delete;
+  MpmcRing& operator=(const MpmcRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return cells_.size(); }
+
+  /// Approximate occupancy (racy by nature; steal-target selection and
+  /// admission queue-depth accounting only need a load signal).
+  [[nodiscard]] std::size_t size_estimate() const noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+  /// False iff the ring is full; `value` is untouched then.
+  [[nodiscard]] bool try_push(T& value) {
+    Cell* cell = nullptr;
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::ptrdiff_t>(seq) -
+                        static_cast<std::ptrdiff_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // the slot still holds an unconsumed value: full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Nullopt iff the ring is empty.
+  [[nodiscard]] std::optional<T> try_pop() {
+    Cell* cell = nullptr;
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::ptrdiff_t>(seq) -
+                        static_cast<std::ptrdiff_t>(pos + 1);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return std::nullopt;  // the slot has not been published yet: empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    std::optional<T> out(std::move(cell->value));
+    cell->sequence.store(pos + mask_ + 1, std::memory_order_release);
+    return out;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> sequence{0};
+    T value{};
+  };
+
+  std::vector<Cell> cells_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::size_t> tail_{0};  // next push position
+  alignas(64) std::atomic<std::size_t> head_{0};  // next pop position
+};
+
+}  // namespace fhs

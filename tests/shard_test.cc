@@ -1,0 +1,565 @@
+#include "shard/sharded_service.hh"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "fault/fault_plan.hh"
+#include "graph/kdag.hh"
+#include "service/journal.hh"
+#include "service/service.hh"
+#include "service/service_stats.hh"
+#include "shard/partition.hh"
+#include "shard/shard_journal.hh"
+#include "support/mpmc_ring.hh"
+#include "support/rng.hh"
+#include "workload/workload.hh"
+
+namespace fhs {
+namespace {
+
+KDag chain_job(ResourceType k,
+               std::initializer_list<std::pair<ResourceType, Work>> tasks) {
+  KDagBuilder b(k);
+  TaskId prev = kInvalidTask;
+  for (const auto& [type, work] : tasks) {
+    const TaskId t = b.add_task(type, work);
+    if (prev != kInvalidTask) b.add_edge(prev, t);
+    prev = t;
+  }
+  return std::move(b).build();
+}
+
+std::vector<KDag> sample_jobs(std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  EpParams params;
+  params.num_types = 2;
+  params.min_branches = 3;
+  params.max_branches = 8;
+  std::vector<KDag> jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) jobs.push_back(generate(params, rng));
+  return jobs;
+}
+
+// --- MpmcRing -------------------------------------------------------------------
+
+TEST(MpmcRing, PushPopRoundTripsInOrderSingleThreaded) {
+  MpmcRing<int> ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    int value = i;
+    EXPECT_TRUE(ring.try_push(value));
+  }
+  int overflow = 99;
+  EXPECT_FALSE(ring.try_push(overflow));  // full
+  EXPECT_EQ(overflow, 99);                // untouched on failure
+  for (int i = 0; i < 4; ++i) {
+    const auto popped = ring.try_pop();
+    ASSERT_TRUE(popped.has_value());
+    EXPECT_EQ(*popped, i);  // FIFO for a single producer/consumer
+  }
+  EXPECT_FALSE(ring.try_pop().has_value());  // empty
+}
+
+TEST(MpmcRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(MpmcRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(MpmcRing<int>(5).capacity(), 8u);
+  EXPECT_EQ(MpmcRing<int>(64).capacity(), 64u);
+}
+
+TEST(MpmcRing, ConcurrentProducersAndConsumersLoseNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 5000;
+  MpmcRing<std::uint64_t> ring(256);
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<int> popped{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kProducers + kConsumers);
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&ring, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        std::uint64_t value =
+            static_cast<std::uint64_t>(p) * kPerProducer + static_cast<std::uint64_t>(i) + 1;
+        while (!ring.try_push(value)) std::this_thread::yield();
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (popped.load() < kProducers * kPerProducer) {
+        const auto value = ring.try_pop();
+        if (!value.has_value()) {
+          std::this_thread::yield();
+          continue;
+        }
+        sum.fetch_add(*value);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Every pushed value popped exactly once: the sum of 1..N is exact.
+  const std::uint64_t n = kProducers * kPerProducer;
+  EXPECT_EQ(sum.load(), n * (n + 1) / 2);
+  EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+// --- partition ------------------------------------------------------------------
+
+TEST(ShardPartition, SlicesSumBackToTheCluster) {
+  const Cluster cluster({8, 5, 3});
+  const ShardPartition partition = make_shard_partition(cluster, 3);
+  ASSERT_EQ(partition.size(), 3u);
+  for (ResourceType a = 0; a < cluster.num_types(); ++a) {
+    std::uint32_t total = 0;
+    for (const Cluster& slice : partition.shards) {
+      EXPECT_GE(slice.processors(a), 1u);  // every shard runs every type
+      total += slice.processors(a);
+    }
+    EXPECT_EQ(total, cluster.processors(a));
+  }
+}
+
+TEST(ShardPartition, SlicesDifferByAtMostOneProcessorPerType) {
+  const Cluster cluster({10, 7});
+  const ShardPartition partition = make_shard_partition(cluster, 4);
+  for (ResourceType a = 0; a < cluster.num_types(); ++a) {
+    std::uint32_t lo = cluster.processors(a);
+    std::uint32_t hi = 0;
+    for (const Cluster& slice : partition.shards) {
+      lo = std::min(lo, slice.processors(a));
+      hi = std::max(hi, slice.processors(a));
+    }
+    EXPECT_LE(hi - lo, 1u);
+  }
+}
+
+TEST(ShardPartition, ClampsToSmallestTypePool) {
+  // Only 2 processors of type 1: more than 2 shards would leave a shard
+  // typeless, so the count clamps.
+  const ShardPartition partition = make_shard_partition(Cluster({8, 2}), 8);
+  EXPECT_EQ(partition.size(), 2u);
+  EXPECT_EQ(partition.requested, 8u);
+}
+
+TEST(ShardPartition, ZeroShardsThrows) {
+  EXPECT_THROW((void)make_shard_partition(Cluster({4}), 0), std::invalid_argument);
+}
+
+// --- merge_service_stats --------------------------------------------------------
+
+ServiceStats part_with(std::uint64_t completed, double mean_flow, Time vnow,
+                       std::vector<Time> busy, std::vector<std::uint32_t> procs) {
+  ServiceStats part;
+  part.completed = completed;
+  part.admitted = completed;
+  part.submitted = completed;
+  part.mean_flow_time = mean_flow;
+  part.virtual_now = vnow;
+  part.busy_ticks = std::move(busy);
+  part.utilization.assign(part.busy_ticks.size(), 0.0);
+  part.processors = std::move(procs);
+  part.flow_time_bins.assign(kFlowTimeBins, 0);
+  return part;
+}
+
+TEST(MergeServiceStats, SumsCountersAndWeighsFlowByCompleted) {
+  std::vector<ServiceStats> parts;
+  parts.push_back(part_with(10, 100.0, 1000, {500, 0}, {2, 2}));
+  parts.push_back(part_with(30, 200.0, 2000, {1000, 2000}, {2, 2}));
+  const ServiceStats merged = merge_service_stats(parts);
+  EXPECT_EQ(merged.shards, 2u);
+  EXPECT_EQ(merged.completed, 40u);
+  EXPECT_EQ(merged.virtual_now, 2000);  // max across shard clocks
+  // Weighted mean: (10*100 + 30*200) / 40.
+  EXPECT_DOUBLE_EQ(merged.mean_flow_time, 175.0);
+  // Utilization denominators use each shard's own clock:
+  // type 0: (500 + 1000) / (2*1000 + 2*2000).
+  EXPECT_DOUBLE_EQ(merged.utilization[0], 1500.0 / 6000.0);
+  EXPECT_EQ(merged.processors[0], 4u);
+}
+
+TEST(MergeServiceStats, AssertsRejectBreakdownSumsToRejected) {
+  ServiceStats bad = part_with(1, 0.0, 10, {1}, {1});
+  bad.rejected = 3;
+  bad.rejected_queue_full = 1;  // breakdown sums to 1, not 3
+  std::vector<ServiceStats> parts{bad};
+  EXPECT_THROW((void)merge_service_stats(parts), std::logic_error);
+}
+
+TEST(MergeServiceStats, AcceptsConsistentBreakdown) {
+  ServiceStats part = part_with(1, 0.0, 10, {1}, {1});
+  part.rejected = 3;
+  part.rejected_queue_full = 1;
+  part.rejected_overloaded = 2;
+  std::vector<ServiceStats> parts{part};
+  const ServiceStats merged = merge_service_stats(parts);
+  EXPECT_EQ(merged.rejected, 3u);
+  EXPECT_EQ(merged.rejected_overloaded, 2u);
+}
+
+// --- journal shard fields -------------------------------------------------------
+
+TEST(ShardJournal, ShardAwareLineRoundTrips) {
+  JournalEntry entry(7, 400, chain_job(2, {{0, 5}, {1, 3}}));
+  entry.shard = 2;
+  entry.seq = 5;
+  const std::string line = journal_line(entry);
+  EXPECT_NE(line.find("\"shard\": 2"), std::string::npos);
+  EXPECT_NE(line.find("\"seq\": 5"), std::string::npos);
+  const JournalEntry parsed = parse_journal_line(line);
+  EXPECT_EQ(parsed.ticket, 7u);
+  EXPECT_EQ(parsed.shard, 2u);
+  EXPECT_EQ(parsed.seq, 5);
+  EXPECT_TRUE(parsed.shard_aware());
+  EXPECT_EQ(parsed.dag.task_count(), entry.dag.task_count());
+}
+
+TEST(ShardJournal, LegacyEntryOmitsShardFields) {
+  const JournalEntry entry(7, 400, chain_job(1, {{0, 5}}));
+  const std::string line = journal_line(entry);
+  EXPECT_EQ(line.find("\"shard\""), std::string::npos);
+  EXPECT_EQ(line.find("\"seq\""), std::string::npos);
+  EXPECT_FALSE(parse_journal_line(line).shard_aware());
+}
+
+TEST(ShardJournal, ReadJournalEnforcesPerShardSeqContiguity) {
+  JournalEntry a(1, 0, chain_job(1, {{0, 1}}));
+  a.shard = 0;
+  a.seq = 0;
+  JournalEntry b(2, 0, chain_job(1, {{0, 1}}));
+  b.shard = 0;
+  b.seq = 2;  // gap: 1 missing
+  std::stringstream stream;
+  stream << journal_line(a) << '\n' << journal_line(b) << '\n';
+  EXPECT_THROW((void)read_journal(stream), std::invalid_argument);
+}
+
+TEST(ShardJournal, ReadJournalEpochsMonotonePerShardNotGlobally) {
+  JournalEntry a(1, 500, chain_job(1, {{0, 1}}));
+  a.shard = 0;
+  a.seq = 0;
+  JournalEntry b(2, 100, chain_job(1, {{0, 1}}));  // earlier, but other shard
+  b.shard = 1;
+  b.seq = 0;
+  std::stringstream ok;
+  ok << journal_line(a) << '\n' << journal_line(b) << '\n';
+  EXPECT_EQ(read_journal(ok).size(), 2u);
+
+  JournalEntry c(3, 100, chain_job(1, {{0, 1}}));  // decreases within shard 0
+  c.shard = 0;
+  c.seq = 1;
+  std::stringstream bad;
+  bad << journal_line(a) << '\n' << journal_line(c) << '\n';
+  EXPECT_THROW((void)read_journal(bad), std::invalid_argument);
+}
+
+TEST(ShardJournal, SplitBucketsPreserveOrder) {
+  std::vector<JournalEntry> entries;
+  for (int i = 0; i < 6; ++i) {
+    JournalEntry entry(static_cast<std::uint64_t>(i + 1), i * 10,
+                       chain_job(1, {{0, 1}}));
+    entry.shard = static_cast<std::uint32_t>(i % 2);
+    entry.seq = i / 2;
+    entries.push_back(entry);
+  }
+  const auto buckets = split_journal_by_shard(entries);
+  ASSERT_EQ(buckets.size(), 2u);
+  ASSERT_EQ(buckets[0].size(), 3u);
+  EXPECT_EQ(buckets[0][0].ticket, 1u);
+  EXPECT_EQ(buckets[0][2].ticket, 5u);
+  EXPECT_EQ(buckets[1][1].ticket, 4u);
+}
+
+// --- sharded service ------------------------------------------------------------
+
+ShardedConfig roomy_config(std::size_t shards) {
+  ShardedConfig config;
+  config.shards = shards;
+  config.epoch_length = 50;
+  config.admission.max_queue_depth = 1 << 12;
+  config.admission.max_outstanding_per_proc = 1 << 20;
+  return config;
+}
+
+TEST(ShardedService, CompletesEveryAcceptedJobAcrossShardCounts) {
+  const std::vector<KDag> jobs = sample_jobs(120, 7);
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    ShardedService service(Cluster({8, 8}), roomy_config(shards));
+    EXPECT_EQ(service.shard_count(), shards);
+    std::vector<std::uint64_t> tickets;
+    for (const KDag& job : jobs) {
+      const auto ticket = service.submit(job);
+      ASSERT_TRUE(ticket.has_value());
+      tickets.push_back(ticket->id);
+    }
+    service.drain();
+    for (const std::uint64_t id : tickets) {
+      const JobStatus status = service.poll(JobTicket{id});
+      EXPECT_EQ(status.state, JobState::kCompleted);
+      EXPECT_GE(status.flow_time, 0);
+    }
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.completed, jobs.size());
+    EXPECT_EQ(stats.shards, shards);
+  }
+}
+
+TEST(ShardedService, TicketsAreDenseAndDistinctUnderConcurrentSubmitters) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 50;
+  ShardedService service(Cluster({4, 4}), roomy_config(4));
+  std::vector<std::vector<std::uint64_t>> per_thread(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&service, &per_thread, t] {
+        const std::vector<KDag> jobs = sample_jobs(kPerThread, 100 + t);
+        for (const KDag& job : jobs) {
+          const auto ticket = service.submit(job);
+          if (ticket.has_value()) per_thread[t].push_back(ticket->id);
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  service.drain();
+  std::set<std::uint64_t> all;
+  for (const auto& ids : per_thread) all.insert(ids.begin(), ids.end());
+  EXPECT_EQ(all.size(), kThreads * kPerThread);
+  EXPECT_EQ(*all.rbegin(), kThreads * kPerThread);  // dense from 1
+}
+
+TEST(ShardedService, PollUnknownTicketThrows) {
+  ShardedService service(Cluster({2}), roomy_config(2));
+  EXPECT_THROW((void)service.poll(JobTicket{0}), std::out_of_range);
+  EXPECT_THROW((void)service.poll(JobTicket{999}), std::out_of_range);
+}
+
+TEST(ShardedService, SubmitAfterShutdownIsRejectedAsShutdown) {
+  ShardedService service(Cluster({2, 2}), roomy_config(2));
+  service.shutdown();
+  EXPECT_FALSE(service.submit(chain_job(2, {{0, 5}})).has_value());
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.rejected_shutdown, 1u);
+  EXPECT_EQ(stats.rejected, 1u);
+}
+
+TEST(ShardedService, QueueFullRejectionsCountPerReason) {
+  ShardedConfig config = roomy_config(2);
+  config.admission.max_queue_depth = 1;
+  config.admission.overload = OverloadPolicy::kReject;
+  // A backlog cap of 1 keeps jobs in the ring, so depth-1 admission
+  // trips as soon as two jobs land on one shard back to back.
+  config.max_engine_backlog = 1;
+  config.steal = false;
+  ShardedService service(Cluster({2, 2}), config);
+  std::size_t rejected = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (!service.submit(chain_job(2, {{0, 200}, {1, 200}})).has_value()) ++rejected;
+  }
+  service.drain();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(rejected, stats.rejected);
+  EXPECT_EQ(stats.rejected, stats.rejected_queue_full + stats.rejected_overloaded +
+                                stats.rejected_never_fits + stats.rejected_shutdown);
+  EXPECT_GT(stats.rejected_queue_full, 0u);
+}
+
+// --- determinism: journal replay at 1/2/8 shards --------------------------------
+
+/// Runs a live sharded session over `jobs`, journaling, and checks:
+/// journal lines round-trip, replay reproduces every live flow time,
+/// replay is self-identical, and every shard's schedule passes the
+/// trace checker.  Returns merged stats for extra assertions.
+ServiceStats run_and_verify(std::size_t shards, const std::vector<KDag>& jobs,
+                            ShardedConfig config, const FaultPlan* faults) {
+  std::stringstream journal;
+  config.shards = shards;
+  config.journal = &journal;
+  config.faults = faults;
+  std::vector<std::pair<std::uint64_t, Time>> live;  // (ticket, flow)
+  ShardPartition partition;
+  ServiceStats stats;
+  {
+    ShardedService service(Cluster({8, 8}), config);
+    partition = service.partition();
+    std::vector<std::uint64_t> tickets;
+    for (const KDag& job : jobs) {
+      const auto ticket = service.submit(job);
+      if (ticket.has_value()) tickets.push_back(ticket->id);
+    }
+    service.drain();
+    for (const std::uint64_t id : tickets) {
+      const JobStatus status = service.poll(JobTicket{id});
+      EXPECT_EQ(status.state, JobState::kCompleted);
+      live.emplace_back(id, status.flow_time);
+    }
+    stats = service.stats();
+  }
+  // Journal round-trips byte-for-byte through parse + re-serialize.
+  const std::vector<JournalEntry> entries = read_journal(journal);
+  EXPECT_EQ(entries.size(), live.size());
+  {
+    std::stringstream reserialized;
+    for (const JournalEntry& entry : entries) {
+      reserialized << journal_line(entry) << '\n';
+    }
+    EXPECT_EQ(reserialized.str(), journal.str());
+  }
+  MultiEngineOptions options;
+  options.record_trace = true;
+  if (faults != nullptr && !faults->empty()) options.faults = faults;
+  const ShardReplayResult replay =
+      replay_shard_journal(entries, partition, config.policy, options);
+  EXPECT_EQ(replay.shards.size(), shards);
+  for (const auto& [ticket, flow] : live) {
+    EXPECT_EQ(replay.flow_time_of(ticket), flow) << "ticket " << ticket;
+  }
+  // Replay twice: bit-identical outcomes.
+  const ShardReplayResult again =
+      replay_shard_journal(entries, partition, config.policy, options);
+  for (std::size_t s = 0; s < shards; ++s) {
+    EXPECT_EQ(replay.shards[s].result.completion, again.shards[s].result.completion);
+    EXPECT_EQ(replay.shards[s].result.makespan, again.shards[s].result.makespan);
+  }
+  // Every shard's replayed schedule is checker-clean on its own slice.
+  // A shard whose entire backlog was stolen folded nothing: its replay
+  // has no trace to check, and an empty schedule is trivially valid.
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (replay.shards[s].jobs.empty()) continue;
+    const auto violations = check_multijob_trace(
+        replay.shards[s].jobs, partition.shards[s], replay.shards[s].result,
+        (faults != nullptr && !faults->empty()) ? faults : nullptr);
+    EXPECT_TRUE(violations.empty())
+        << "shard " << s << ": " << violations.front();
+  }
+  return stats;
+}
+
+TEST(ShardDeterminism, ReplayMatchesLiveAtOneTwoAndEightShards) {
+  const std::vector<KDag> jobs = sample_jobs(150, 21);
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    const ServiceStats stats =
+        run_and_verify(shards, jobs, roomy_config(shards), nullptr);
+    EXPECT_EQ(stats.completed, jobs.size());
+  }
+}
+
+TEST(ShardDeterminism, SingleShardJournalIsByteIdenticalToLegacyFormat) {
+  const std::vector<KDag> jobs = sample_jobs(40, 33);
+  std::stringstream sharded;
+  {
+    ShardedConfig config = roomy_config(1);
+    config.journal = &sharded;
+    ShardedService service(Cluster({8, 8}), config);
+    for (const KDag& job : jobs) ASSERT_TRUE(service.submit(job).has_value());
+    service.drain();
+  }
+  // No shard/seq stamps anywhere...
+  EXPECT_EQ(sharded.str().find("\"shard\""), std::string::npos);
+  EXPECT_EQ(sharded.str().find("\"seq\""), std::string::npos);
+  // ...and the single-worker service replays it directly.
+  std::stringstream copy(sharded.str());
+  const std::vector<JournalEntry> entries = read_journal(copy);
+  const ReplayResult replay = replay_journal(entries, Cluster({8, 8}), "mqb");
+  EXPECT_EQ(replay.tickets.size(), jobs.size());
+}
+
+TEST(ShardDeterminism, ReplayMatchesLiveUnderFaultPlan) {
+  // Shard-local processor indices: every shard of Cluster({8,8}) at
+  // 2 shards has 4+4 processors, so p0..p3 are valid everywhere.
+  const FaultPlan faults =
+      FaultPlan::parse("p0:fail@120;p0:recover@400;p1:slowx2@60");
+  const std::vector<KDag> jobs = sample_jobs(80, 55);
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}}) {
+    const ServiceStats stats =
+        run_and_verify(shards, jobs, roomy_config(shards), &faults);
+    EXPECT_TRUE(stats.faults_enabled);
+    EXPECT_GT(stats.fault_failures, 0u);
+  }
+}
+
+// --- work stealing --------------------------------------------------------------
+
+TEST(ShardStealing, PlugJobForcesStealsAndReplayStillMatches) {
+  // One enormous plug job followed by many small ones.  Round-robin
+  // lands the plug on shard 0; with a backlog cap of 1 its queue backs
+  // up in the ring, and the other shards -- done with their own small
+  // jobs -- must steal to finish the backlog.
+  std::vector<KDag> jobs;
+  jobs.push_back(chain_job(2, {{0, 4000}, {1, 4000}, {0, 4000}, {1, 4000}}));
+  const std::vector<KDag> small = sample_jobs(160, 77);
+  jobs.insert(jobs.end(), small.begin(), small.end());
+  ShardedConfig config = roomy_config(4);
+  config.max_engine_backlog = 1;
+  const ServiceStats stats = run_and_verify(4, jobs, config, nullptr);
+  EXPECT_EQ(stats.completed, jobs.size());
+  EXPECT_GT(stats.steals, 0u);
+  EXPECT_EQ(stats.shards, 4u);
+}
+
+TEST(ShardStealing, DisabledStealingStillCompletes) {
+  std::vector<KDag> jobs;
+  jobs.push_back(chain_job(2, {{0, 1000}, {1, 1000}}));
+  const std::vector<KDag> small = sample_jobs(60, 78);
+  jobs.insert(jobs.end(), small.begin(), small.end());
+  ShardedConfig config = roomy_config(4);
+  config.steal = false;
+  ShardedService service(Cluster({8, 8}), config);
+  for (const KDag& job : jobs) ASSERT_TRUE(service.submit(job).has_value());
+  service.drain();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, jobs.size());
+  EXPECT_EQ(stats.steals, 0u);
+}
+
+TEST(ShardedService, DeferBlocksThenCompletesEverything) {
+  ShardedConfig config = roomy_config(2);
+  config.admission.max_queue_depth = 2;
+  config.admission.overload = OverloadPolicy::kDefer;
+  config.max_engine_backlog = 1;
+  ShardedService service(Cluster({2, 2}), config);
+  const std::vector<KDag> jobs = sample_jobs(60, 91);
+  std::vector<std::uint64_t> tickets;
+  for (const KDag& job : jobs) {
+    const auto ticket = service.submit(job);  // may block; must not reject
+    ASSERT_TRUE(ticket.has_value());
+    tickets.push_back(ticket->id);
+  }
+  service.drain();
+  for (const std::uint64_t id : tickets) {
+    EXPECT_EQ(service.poll(JobTicket{id}).state, JobState::kCompleted);
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.completed, jobs.size());
+}
+
+TEST(ShardedService, MergedUtilizationStaysWithinUnitInterval) {
+  ShardedService service(Cluster({4, 4}), roomy_config(4));
+  const std::vector<KDag> jobs = sample_jobs(100, 13);
+  for (const KDag& job : jobs) ASSERT_TRUE(service.submit(job).has_value());
+  service.drain();
+  const ServiceStats stats = service.stats();
+  for (const double u : stats.utilization) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0 + 1e-9);
+  }
+  EXPECT_GT(stats.virtual_now, 0);
+}
+
+}  // namespace
+}  // namespace fhs

@@ -62,7 +62,8 @@ DETERMINISTIC_MODULES = {
 # output is either a perf bug (endl flush) or a data race (interleaved
 # cout from worker threads).
 HOT_MODULES = {
-    "sim", "sched", "graph", "multijob", "obs", "service", "flex", "exp", "fault",
+    "sim", "sched", "graph", "multijob", "obs", "service", "shard", "flex", "exp",
+    "fault",
 }
 
 SOURCE_SUFFIXES = {".hh", ".h", ".cc", ".cpp", ".cxx", ".hpp"}

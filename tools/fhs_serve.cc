@@ -21,6 +21,15 @@
 // final ServiceStats JSON document goes to --stats=<path> (or stderr).
 // --faults drives a deterministic fault plan inside the engine;
 // --deadline/--max-attempts/--backoff cancel and retry slow jobs.
+//
+// --shards=N (default 1) serves with the sharded service instead: N
+// worker shards over N slices of the cluster, with cross-shard work
+// stealing (src/shard/).  The journal then stamps each fold with its
+// shard, and --replay of such a journal needs the same --shards so the
+// streams land back on the partition that produced them.  --shards=1
+// keeps today's single-worker path and journal format, byte for byte.
+// The deadline/retry flags are single-worker only.
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -34,6 +43,8 @@
 #include "machine/cluster.hh"
 #include "obs/metrics.hh"
 #include "service/service.hh"
+#include "shard/shard_journal.hh"
+#include "shard/sharded_service.hh"
 #include "support/cli.hh"
 #include "support/rng.hh"
 #include "workload/workload.hh"
@@ -111,6 +122,96 @@ int verify_replay(const std::string& journal_path, const Cluster& cluster,
   return 0;
 }
 
+/// Sharded twin of verify_replay: splits the journal, replays every
+/// shard on its slice, and checks flow times plus per-shard schedules.
+int verify_shard_replay(
+    const std::string& journal_path, const ShardPartition& partition,
+    const std::string& policy, const FaultPlan& faults,
+    const std::vector<std::pair<std::uint64_t, Time>>& live_completed) {
+  std::ifstream in(journal_path);
+  if (!in) {
+    std::cerr << "fhs_serve: cannot re-open journal " << journal_path << '\n';
+    return 1;
+  }
+  const std::vector<JournalEntry> entries = read_journal(in);
+  MultiEngineOptions options;
+  options.record_trace = true;
+  if (!faults.empty()) options.faults = &faults;
+  const ShardReplayResult replay =
+      replay_shard_journal(entries, partition, policy, options);
+  for (const auto& [ticket, flow] : live_completed) {
+    const Time replayed = replay.flow_time_of(ticket);
+    if (replayed != flow) {
+      std::cerr << "fhs_serve: replay DIVERGED at ticket " << ticket << ": live "
+                << flow << " vs replayed " << replayed << '\n';
+      return 3;
+    }
+  }
+  for (std::size_t s = 0; s < replay.shards.size(); ++s) {
+    const ReplayResult& shard = replay.shards[s];
+    // A shard whose whole backlog was stolen folded nothing; its empty
+    // replay has no trace and is trivially valid.
+    if (shard.jobs.empty()) continue;
+    const auto violations =
+        check_multijob_trace(shard.jobs, partition.shards[s], shard.result,
+                             faults.empty() ? nullptr : &faults);
+    if (!violations.empty()) {
+      std::cerr << "fhs_serve: shard " << s
+                << " replayed schedule invalid: " << violations.front() << '\n';
+      return 3;
+    }
+  }
+  std::cerr << "replay verified: " << live_completed.size() << " jobs across "
+            << replay.shards.size()
+            << " shards, flow times identical, schedules valid\n";
+  return 0;
+}
+
+/// Replays a sharded journal (--shards > 1): per-shard streams on the
+/// partition's slices, reported in ticket order.
+int run_shard_replay(const CliFlags& flags, const Cluster& cluster,
+                     std::size_t shards,
+                     const std::vector<JournalEntry>& entries) {
+  const ShardPartition partition = make_shard_partition(cluster, shards);
+  const FaultPlan faults = parse_faults(flags, cluster);
+  MultiEngineOptions options;
+  options.record_trace = flags.get_bool("check");
+  if (!faults.empty()) options.faults = &faults;
+  const ShardReplayResult replay = replay_shard_journal(
+      entries, partition, flags.get_string("policy"), options);
+  // One line per ticket, in ticket (= acceptance) order, regardless of
+  // which shard ran the job.
+  std::vector<std::uint64_t> tickets;
+  for (const ReplayResult& shard : replay.shards) {
+    tickets.insert(tickets.end(), shard.tickets.begin(), shard.tickets.end());
+  }
+  std::sort(tickets.begin(), tickets.end());
+  std::size_t total = 0;
+  Time makespan = 0;
+  for (const std::uint64_t ticket : tickets) {
+    std::cout << "{\"ticket\": " << ticket
+              << ", \"flow_time\": " << replay.flow_time_of(ticket) << "}\n";
+  }
+  for (std::size_t s = 0; s < replay.shards.size(); ++s) {
+    const ReplayResult& shard = replay.shards[s];
+    total += shard.tickets.size();
+    makespan = std::max(makespan, shard.result.makespan);
+    if (flags.get_bool("check") && !shard.jobs.empty()) {
+      const auto violations =
+          check_multijob_trace(shard.jobs, partition.shards[s], shard.result,
+                               faults.empty() ? nullptr : &faults);
+      if (!violations.empty()) {
+        std::cerr << "fhs_serve: shard " << s
+                  << " replayed schedule invalid: " << violations.front() << '\n';
+        return 2;
+      }
+    }
+  }
+  std::cerr << "replayed " << total << " jobs on " << replay.shards.size()
+            << " shards: makespan " << makespan << '\n';
+  return 0;
+}
+
 int run_replay(const CliFlags& flags, const Cluster& cluster) {
   std::ifstream in(flags.get_string("replay"));
   if (!in) {
@@ -118,6 +219,16 @@ int run_replay(const CliFlags& flags, const Cluster& cluster) {
     return 1;
   }
   const std::vector<JournalEntry> entries = read_journal(in);
+  const auto shards = static_cast<std::size_t>(flags.get_int("shards"));
+  const bool shard_aware = std::any_of(
+      entries.begin(), entries.end(),
+      [](const JournalEntry& entry) { return entry.shard_aware(); });
+  if (shard_aware && shards <= 1) {
+    std::cerr << "fhs_serve: this journal was recorded by a sharded session; "
+                 "pass the original --shards=N\n";
+    return 1;
+  }
+  if (shards > 1) return run_shard_replay(flags, cluster, shards, entries);
   const FaultPlan faults = parse_faults(flags, cluster);
   MultiEngineOptions options;
   options.record_trace = flags.get_bool("check");
@@ -148,6 +259,129 @@ int run_replay(const CliFlags& flags, const Cluster& cluster) {
   std::cerr << "replayed " << replay.tickets.size() << " jobs: makespan "
             << replay.result.makespan << ", mean flow "
             << replay.result.mean_flow_time() << '\n';
+  return 0;
+}
+
+/// --shards > 1: serve with the sharded service.  Deadline/retry flags
+/// are single-worker features and rejected up front.
+int run_serve_sharded(const CliFlags& flags, const Cluster& cluster,
+                      std::size_t shards) {
+  if (flags.get_int("deadline") != 0 || flags.get_int("max-attempts") != 1 ||
+      flags.get_int("backoff") != 0) {
+    throw std::runtime_error(
+        "--deadline/--max-attempts/--backoff need the single-worker service "
+        "(--shards=1)");
+  }
+  ShardedConfig config;
+  config.policy = flags.get_string("policy");
+  config.epoch_length = flags.get_int("epoch");
+  config.shards = shards;
+  config.admission.max_queue_depth =
+      static_cast<std::size_t>(flags.get_int("max-queue"));
+  config.admission.max_outstanding_per_proc = flags.get_double("max-outstanding");
+  const std::string overload = flags.get_string("overload");
+  if (overload == "reject") {
+    config.admission.overload = OverloadPolicy::kReject;
+  } else if (overload == "defer") {
+    config.admission.overload = OverloadPolicy::kDefer;
+  } else {
+    throw std::runtime_error("--overload must be reject or defer");
+  }
+  const FaultPlan faults = parse_faults(flags, cluster);
+  if (!faults.empty()) config.faults = &faults;
+  std::ofstream journal_file;
+  const std::string journal_path = flags.get_string("journal");
+  if (!journal_path.empty()) {
+    journal_file.open(journal_path);
+    if (!journal_file) throw std::runtime_error("cannot open journal " + journal_path);
+    config.journal = &journal_file;
+  }
+
+  std::ifstream file;
+  std::istream* input = &std::cin;
+  if (!flags.positional().empty()) {
+    file.open(flags.positional().front());
+    if (!file) throw std::runtime_error("cannot open " + flags.positional().front());
+    input = &file;
+  }
+  const auto generate_count = static_cast<std::size_t>(flags.get_int("generate"));
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const WorkloadParams workload = parse_workload_family(
+      flags.get_string("workload"), TypeAssignment::kLayered, cluster.num_types());
+
+  std::vector<std::uint64_t> tickets;
+  std::vector<std::pair<std::uint64_t, Time>> live_completed;
+  std::size_t cursor = 0;
+  ServiceStats stats;
+  ShardPartition partition;
+  {
+    ShardedService service(cluster, config);
+    partition = service.partition();
+    if (service.shard_count() != shards) {
+      std::cerr << "fhs_serve: --shards=" << shards << " clamped to "
+                << service.shard_count() << " (cluster has a type with only "
+                << service.shard_count() << " processors)\n";
+    }
+    const auto flush_completed = [&] {
+      while (cursor < tickets.size()) {
+        const JobStatus status = service.poll(JobTicket{tickets[cursor]});
+        if (status.state != JobState::kCompleted) break;
+        emit_completion(std::cout, tickets[cursor], status);
+        live_completed.emplace_back(tickets[cursor], status.flow_time);
+        ++cursor;
+      }
+    };
+    std::size_t submitted = 0;
+    const auto submit_one = [&](KDag dag) {
+      const std::size_t submission = submitted++;
+      const auto ticket = service.submit(std::move(dag));
+      if (ticket.has_value()) {
+        tickets.push_back(ticket->id);
+      } else {
+        std::cout << "{\"submission\": " << submission << ", \"rejected\": true}\n";
+      }
+      flush_completed();
+    };
+    if (generate_count > 0) {
+      for (std::size_t i = 0; i < generate_count; ++i) {
+        submit_one(generate(workload, rng));
+      }
+    } else {
+      while (auto dag = read_next_kdag(*input)) submit_one(std::move(*dag));
+    }
+    service.drain();
+    flush_completed();
+    stats = service.stats();
+  }
+  journal_file.close();
+
+  const std::string stats_path = flags.get_string("stats");
+  if (!stats_path.empty()) {
+    std::ofstream out(stats_path);
+    write_json(out, stats);
+  } else {
+    write_json(std::cerr, stats);
+  }
+  const std::string metrics_path = flags.get_string("metrics-json");
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) throw std::runtime_error("cannot open " + metrics_path);
+    obs::write_json(out, obs::Registry::global().snapshot());
+  }
+  if (flags.get_bool("expect-backpressure") && stats.deferred == 0 &&
+      stats.rejected == 0) {
+    std::cerr << "fhs_serve: --expect-backpressure, but admission control never "
+                 "deferred or rejected a submission\n";
+    return 4;
+  }
+  if (flags.get_bool("verify-replay")) {
+    if (journal_path.empty()) {
+      std::cerr << "fhs_serve: --verify-replay requires --journal=<path>\n";
+      return 1;
+    }
+    return verify_shard_replay(journal_path, partition, config.policy, faults,
+                               live_completed);
+  }
   return 0;
 }
 
@@ -301,6 +535,9 @@ int main(int argc, char** argv) {
   flags.define_int("backoff", 0,
                    "virtual ticks before a retry enters the engine (doubles "
                    "per attempt)");
+  flags.define_int("shards", 1,
+                   "worker shards (1 = single-worker service; >1 slices the "
+                   "cluster, enables work stealing, stamps the journal)");
   flags.define("journal", "", "record every fold to this JSONL file");
   flags.define("replay", "", "re-run a recorded journal instead of serving");
   flags.define_bool("check", false,
@@ -325,6 +562,8 @@ int main(int argc, char** argv) {
     if (!flags.parse(argc, argv)) return 0;
     const Cluster cluster(flags.get_uint_list("cluster"));
     if (!flags.get_string("replay").empty()) return run_replay(flags, cluster);
+    const auto shards = static_cast<std::size_t>(flags.get_int("shards"));
+    if (shards > 1) return run_serve_sharded(flags, cluster, shards);
     return run_serve(flags, cluster);
   } catch (const std::exception& error) {
     std::cerr << "fhs_serve: " << error.what() << '\n';
