@@ -22,6 +22,7 @@
 #include "obs/trace.hh"
 #include "sched/registry.hh"
 #include "sim/engine.hh"
+#include "sim/legacy_engine.hh"
 #include "support/rng.hh"
 #include "workload/workload.hh"
 
@@ -71,6 +72,71 @@ BENCHMARK(BM_MaxDp);
 BENCHMARK(BM_DType);
 BENCHMARK(BM_ShiftBt);
 BENCHMARK(BM_Mqb);
+
+// --- engine events/sec headline (BENCH_engine.json) -------------------------
+//
+// One completion event per task; items/sec is therefore events/sec.
+// BM_EngineEvents runs the EngineCore-backed simulate(), BM_LegacyEngineEvents
+// the frozen pre-core engine on the identical job, so their ratio is the
+// core's speedup on this machine -- scripts/check_bench_engine.py gates
+// CI on that ratio against the committed BENCH_engine.json.
+
+void BM_EngineEventsOn(benchmark::State& state, bool legacy) {
+  const KDag dag = make_tree_job(static_cast<std::size_t>(state.range(0)));
+  const Cluster cluster({8, 8, 8, 8});
+  for (auto _ : state) {
+    auto sched = make_scheduler("kgreedy");
+    const SimResult result = legacy ? legacy_simulate(dag, cluster, *sched)
+                                    : simulate(dag, cluster, *sched);
+    benchmark::DoNotOptimize(result.completion_time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dag.task_count()));
+}
+void BM_EngineEvents(benchmark::State& state) {
+  BM_EngineEventsOn(state, /*legacy=*/false);
+}
+void BM_LegacyEngineEvents(benchmark::State& state) {
+  BM_EngineEventsOn(state, /*legacy=*/true);
+}
+BENCHMARK(BM_EngineEvents)->Arg(512)->Arg(4096);
+BENCHMARK(BM_LegacyEngineEvents)->Arg(512)->Arg(4096);
+
+// The wide-job headline: the paper's EP family with every branch in
+// flight at once on a service-scale cluster (256 processors), so ready
+// queues hold thousands of tasks.  This is where the core's structures
+// separate from the legacy engine's per-step O(P) passes (min-scan,
+// sort, survivor copy) and O(queue) erase-front -- and the shape the
+// sharded service layer actually runs.
+KDag make_wide_job(std::uint32_t branches) {
+  Rng rng(4321);
+  EpParams params;
+  params.num_types = 4;
+  params.min_branches = branches;
+  params.max_branches = branches;
+  return generate_ep(params, rng);
+}
+
+void BM_EngineEventsWideOn(benchmark::State& state, bool legacy) {
+  const KDag dag = make_wide_job(static_cast<std::uint32_t>(state.range(0)));
+  const Cluster cluster({64, 64, 64, 64});
+  for (auto _ : state) {
+    auto sched = make_scheduler("kgreedy");
+    const SimResult result = legacy ? legacy_simulate(dag, cluster, *sched)
+                                    : simulate(dag, cluster, *sched);
+    benchmark::DoNotOptimize(result.completion_time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dag.task_count()));
+}
+void BM_EngineEventsWide(benchmark::State& state) {
+  BM_EngineEventsWideOn(state, /*legacy=*/false);
+}
+void BM_LegacyEngineEventsWide(benchmark::State& state) {
+  BM_EngineEventsWideOn(state, /*legacy=*/true);
+}
+BENCHMARK(BM_EngineEventsWide)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_LegacyEngineEventsWide)->Arg(1024)->Arg(4096);
 
 void BM_EngineScaling(benchmark::State& state) {
   const KDag dag = make_tree_job(static_cast<std::size_t>(state.range(0)));
@@ -193,8 +259,10 @@ class CaptureReporter final : public benchmark::ConsoleReporter {
 
 void write_summary_json(std::ostream& out,
                         const std::vector<CaptureReporter::Entry>& entries) {
-  out << "{\n  \"name\": \"perf_microbench\",\n  \"time_unit\": \"ns\","
-      << "\n  \"benchmarks\": [";
+  // Versioned envelope (like BENCH_service.json): consumers check
+  // "schema" first, so the record can evolve without silent misreads.
+  out << "{\n  \"schema\": 1,\n  \"name\": \"perf_microbench\","
+      << "\n  \"time_unit\": \"ns\",\n  \"benchmarks\": [";
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const auto& entry = entries[i];
     out << (i ? ",\n    {" : "\n    {") << "\"name\": " << json_quote(entry.name)

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_engine.json: a Release build of the engine events/sec
+# microbenchmarks (bench/perf_microbench.cc), EngineCore vs the frozen
+# legacy engine on identical jobs.  The committed record's load-bearing
+# number is the per-case *speedup ratio* (engine / legacy on the same
+# machine), which is what scripts/check_bench_engine.py gates CI on --
+# ratios transfer across machines where absolute events/sec do not.
+#
+# Run on a quiet machine.
+#
+# Usage: scripts/bench_engine.sh [build-dir]
+# Env:   FHS_BENCH_MIN_TIME  google-benchmark min seconds per case
+#                            (default 2)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-${ROOT}/build-bench}"
+MIN_TIME="${FHS_BENCH_MIN_TIME:-2}"
+
+cmake -B "${BUILD}" -S "${ROOT}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${BUILD}" -j"$(nproc)" --target perf_microbench
+
+RAW="$(mktemp)"
+trap 'rm -f "${RAW}"' EXIT
+
+"${BUILD}/bench/perf_microbench" \
+  --benchmark_filter='EngineEvents|LegacyEngineEvents|EngineEventsWide|LegacyEngineEventsWide' \
+  --benchmark_min_time="${MIN_TIME}" \
+  --json="${RAW}"
+
+python3 "${ROOT}/scripts/check_bench_engine.py" \
+  --assemble "${RAW}" --out "${ROOT}/BENCH_engine.json"
+
+echo "wrote ${ROOT}/BENCH_engine.json"

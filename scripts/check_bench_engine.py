@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""Assemble and gate BENCH_engine.json (EngineCore vs legacy events/sec).
+
+The committed record pairs each EngineCore microbenchmark with its legacy
+twin and stores the speedup ratio (engine / legacy, both measured on the
+same machine in the same run).  Absolute events/sec do not transfer
+between machines; the ratio does, so CI gates on it: the geometric mean
+of the fresh per-case ratios must hold at least 90% of the committed
+geomean, i.e. the gate trips on a >10% relative slowdown of EngineCore
+against the frozen legacy engine.  The geomean -- not per-case ratios --
+is the gated quantity because single cases on a busy runner swing more
+than 10% from scheduling noise alone, while a real regression in the
+shared core moves every case together.
+
+Modes:
+  --assemble RAW --out FILE     build BENCH_engine.json from a
+                                perf_microbench --json capture
+  --gate RAW --committed FILE   compare a fresh capture against the
+                                committed record (exit 1 on regression)
+  --self-test                   exercise assemble+gate on synthetic data
+                                (run by ctest; no benchmark build needed)
+
+Optional with --gate:
+  --simulate-slowdown F         scale fresh engine throughput by F before
+                                gating; CI uses 0.8 to prove the gate
+                                actually fails when EngineCore regresses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SCHEMA = 1
+TOLERANCE = 0.9  # fresh geomean ratio must be >= TOLERANCE * committed
+HEADLINE = "EngineEventsWide/4096"
+
+
+def geomean(values):
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def load(path):
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def pair_cases(raw):
+    """Pairs BM_Engine* entries with their BM_Legacy* twins.
+
+    Returns {case: {"engine": ev/s, "legacy": ev/s, "speedup": ratio}}
+    where case is e.g. "EngineEventsWide/4096".
+    """
+    if raw.get("schema") != SCHEMA:
+        raise SystemExit(
+            f"check_bench_engine: raw capture schema {raw.get('schema')!r} != {SCHEMA}"
+        )
+    engine, legacy = {}, {}
+    for bench in raw.get("benchmarks", []):
+        name = bench.get("name", "")
+        rate = bench.get("items_per_second")
+        if rate is None or rate <= 0:
+            continue
+        if name.startswith("BM_Legacy"):
+            legacy[name[len("BM_Legacy"):]] = rate
+        elif name.startswith("BM_"):
+            engine[name[len("BM_"):]] = rate
+    cases = {}
+    for case, engine_rate in sorted(engine.items()):
+        legacy_rate = legacy.get(case)
+        if legacy_rate is None:
+            continue
+        cases[case] = {
+            "engine_events_per_sec": round(engine_rate, 1),
+            "legacy_events_per_sec": round(legacy_rate, 1),
+            "speedup": round(engine_rate / legacy_rate, 4),
+        }
+    if not cases:
+        raise SystemExit("check_bench_engine: no engine/legacy benchmark pairs in capture")
+    return cases
+
+
+def assemble(raw):
+    cases = pair_cases(raw)
+    if HEADLINE not in cases:
+        raise SystemExit(f"check_bench_engine: headline case {HEADLINE!r} missing from capture")
+    return {
+        "schema": SCHEMA,
+        "name": "bench_engine",
+        "headline": HEADLINE,
+        "headline_speedup": cases[HEADLINE]["speedup"],
+        "geomean_speedup": round(geomean([c["speedup"] for c in cases.values()]), 4),
+        "cases": cases,
+    }
+
+
+def gate(raw, committed, slowdown=1.0):
+    """Returns a list of regression messages (empty == pass)."""
+    if committed.get("schema") != SCHEMA:
+        raise SystemExit(
+            f"check_bench_engine: committed schema {committed.get('schema')!r} != {SCHEMA}"
+        )
+    fresh = pair_cases(raw)
+    failures = []
+    fresh_ratios = []
+    for case, record in committed.get("cases", {}).items():
+        fresh_case = fresh.get(case)
+        if fresh_case is None:
+            failures.append(f"{case}: missing from fresh capture")
+            continue
+        fresh_ratio = fresh_case["speedup"] * slowdown
+        fresh_ratios.append(fresh_ratio)
+        print(f"  {case}: committed {record['speedup']:.2f}x, fresh {fresh_ratio:.2f}x")
+    if failures or not fresh_ratios:
+        return failures or ["no cases in committed record"]
+    committed_geomean = committed.get(
+        "geomean_speedup",
+        geomean([c["speedup"] for c in committed["cases"].values()]),
+    )
+    fresh_geomean = geomean(fresh_ratios)
+    floor = committed_geomean * TOLERANCE
+    print(
+        f"  geomean: committed {committed_geomean:.2f}x, "
+        f"fresh {fresh_geomean:.2f}x (floor {floor:.2f}x)"
+    )
+    if fresh_geomean < floor:
+        failures.append(
+            f"geomean speedup {fresh_geomean:.2f}x is below "
+            f"{TOLERANCE:.0%} of committed {committed_geomean:.2f}x"
+        )
+    return failures
+
+
+def synthetic_raw(engine_scale=1.0):
+    benchmarks = []
+    for case, engine_rate, legacy_rate in [
+        ("EngineEvents/512", 5.9e6, 6.3e6),
+        ("EngineEvents/4096", 5.6e6, 5.5e6),
+        ("EngineEventsWide/1024", 6.5e6, 3.1e6),
+        ("EngineEventsWide/4096", 6.3e6, 2.4e6),
+    ]:
+        benchmarks.append(
+            {"name": f"BM_{case}", "real_time": 1.0,
+             "items_per_second": engine_rate * engine_scale}
+        )
+        benchmarks.append(
+            {"name": f"BM_Legacy{case}", "real_time": 1.0,
+             "items_per_second": legacy_rate}
+        )
+    return {"schema": SCHEMA, "name": "perf_microbench",
+            "time_unit": "ns", "benchmarks": benchmarks}
+
+
+def self_test():
+    record = assemble(synthetic_raw())
+    assert record["headline_speedup"] > 2.0, record
+    assert not gate(synthetic_raw(), record), "identical capture must pass the gate"
+    # Small noise stays within the 10% tolerance band.
+    assert not gate(synthetic_raw(engine_scale=0.95), record)
+    # A 20% engine slowdown must trip the gate, both measured and simulated.
+    assert gate(synthetic_raw(engine_scale=0.8), record)
+    assert gate(synthetic_raw(), record, slowdown=0.8)
+    # A capture missing the paired cases is a hard error, not a silent pass.
+    try:
+        pair_cases({"schema": SCHEMA, "benchmarks": []})
+    except SystemExit:
+        pass
+    else:
+        raise AssertionError("empty capture must be rejected")
+    print("check_bench_engine self-test: ok")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--assemble", metavar="RAW")
+    parser.add_argument("--out", metavar="FILE")
+    parser.add_argument("--gate", metavar="RAW")
+    parser.add_argument("--committed", metavar="FILE")
+    parser.add_argument("--simulate-slowdown", type=float, default=1.0)
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        self_test()
+        return 0
+    if args.assemble:
+        if not args.out:
+            parser.error("--assemble requires --out")
+        record = assemble(load(args.assemble))
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2)
+            handle.write("\n")
+        print(
+            f"assembled {args.out}: headline {record['headline']} "
+            f"= {record['headline_speedup']:.2f}x"
+        )
+        return 0
+    if args.gate:
+        if not args.committed:
+            parser.error("--gate requires --committed")
+        failures = gate(load(args.gate), load(args.committed), args.simulate_slowdown)
+        if failures:
+            for failure in failures:
+                print(f"check_bench_engine: {failure}", file=sys.stderr)
+            return 1
+        print("check_bench_engine: no regression")
+        return 0
+    parser.error("one of --assemble, --gate, --self-test is required")
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

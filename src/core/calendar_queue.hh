@@ -1,0 +1,201 @@
+// Calendar queue over virtual time (the EngineCore event structure).
+//
+// A classic calendar queue (Brown 1988): a ring of `B` buckets covering
+// the near window [base, base + B*width), plus an overflow list for
+// events beyond it.  The engine's access pattern makes this fast and
+// simple:
+//
+//  * virtual time only moves forward, and the consumer seek()s the queue
+//    to it at every advance;
+//  * every entry still in the queue fires at or after the current virtual
+//    time (dues are consumed before time moves past them; lazily
+//    cancelled entries below the next due time are popped off while
+//    locating it), and pushes are never earlier than it either
+//    (completions are scheduled at now + duration, arrivals are
+//    validated >= now), so a bucket behind the seek cursor can neither
+//    hold nor receive an entry.
+//
+// So locating the minimum is a forward scan from the current time's
+// bucket: the first non-empty bucket holds the global minimum
+// (bucket time ranges are increasing).  When the near window empties,
+// the overflow entries are redistributed over a fresh window sized to
+// their span (`width = (max - min)/B + 1`), which is the calendar
+// queue's self-resizing trick.
+//
+// Ties break by a monotonically increasing push sequence number, so
+// equal-time events fire in insertion order (FIFO) -- this is what makes
+// the engine's arrival ordering reproduce the legacy (arrival, job)
+// min-heap byte for byte.
+//
+// Cancellation is lazy: the queue itself never removes an entry early.
+// Consumers that cancel (the engine re-scheduling a processor's
+// completion) tag entries with a generation and skip stale ones on pop,
+// which keeps the structure pointer-free and deterministic.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/kdag.hh"
+
+namespace fhs {
+
+template <typename Payload>
+class CalendarQueue {
+ public:
+  struct Entry {
+    Time at = 0;
+    std::uint64_t seq = 0;  ///< push order; breaks equal-time ties FIFO
+    Payload payload{};
+  };
+
+  explicit CalendarQueue(std::size_t bucket_count = 256)
+      : buckets_(bucket_count), occupancy_((bucket_count + 63) / 64, 0) {
+    assert(bucket_count > 0);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Enqueues `payload` to fire at virtual time `at`.  Requires `at` to
+  /// be no earlier than the last seek() time (the engine only schedules
+  /// into the future).
+  void push(Time at, Payload payload) {
+    Entry entry{at, next_seq_++, std::move(payload)};
+    if (at >= far_threshold()) {
+      far_.push_back(std::move(entry));
+    } else {
+      const std::size_t bucket = bucket_of(at);
+      buckets_[bucket].push_back(std::move(entry));
+      mark_occupied(bucket);
+      ++near_count_;
+    }
+    ++size_;
+  }
+
+  /// Pointer to the minimum (time, seq) entry, or nullptr when empty.
+  /// Valid until the next push/pop.  Non-const: may redistribute the
+  /// overflow list into a fresh near window.
+  [[nodiscard]] const Entry* peek() {
+    if (size_ == 0) return nullptr;
+    const auto [bucket, index] = locate_min();
+    return &buckets_[bucket][index];
+  }
+
+  /// Removes and returns the minimum entry.  Requires !empty().
+  ///
+  /// Pops deliberately do NOT advance the scan cursor: the popped
+  /// minimum may be a lazily-cancelled entry timed well past the current
+  /// virtual time, and buckets between now and it must stay reachable
+  /// for future pushes.  Only seek() moves the cursor.
+  Entry pop() {
+    assert(size_ > 0);
+    const auto [bucket, index] = locate_min();
+    auto& entries = buckets_[bucket];
+    Entry out = std::move(entries[index]);
+    entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(index));
+    if (entries.empty()) clear_occupied(bucket);
+    --near_count_;
+    --size_;
+    return out;
+  }
+
+  /// Advances the minimum-scan cursor to virtual time `now`.  Requires
+  /// every remaining and future entry to fire at or after `now` (the
+  /// engine's invariant whenever its clock moves).
+  void seek(Time now) {
+    if (now <= base_) return;  // a refill may have re-based ahead of now
+    const auto bucket = static_cast<std::size_t>((now - base_) / width_);
+    cursor_ = bucket < buckets_.size() ? bucket : buckets_.size() - 1;
+  }
+
+ private:
+  [[nodiscard]] Time far_threshold() const noexcept {
+    return base_ + static_cast<Time>(buckets_.size()) * width_;
+  }
+
+  [[nodiscard]] std::size_t bucket_of(Time at) const noexcept {
+    // Entries at or before base_ clamp into bucket 0 (they can only
+    // exist while the cursor is still there; see refill()).
+    if (at <= base_) return 0;
+    return static_cast<std::size_t>((at - base_) / width_);
+  }
+
+  void mark_occupied(std::size_t bucket) noexcept {
+    occupancy_[bucket >> 6] |= std::uint64_t{1} << (bucket & 63);
+  }
+  void clear_occupied(std::size_t bucket) noexcept {
+    occupancy_[bucket >> 6] &= ~(std::uint64_t{1} << (bucket & 63));
+  }
+
+  /// First non-empty bucket at or after `from`, via the occupancy
+  /// bitmask (a handful of word scans instead of touching every bucket
+  /// header).  Requires at least one such bucket.
+  [[nodiscard]] std::size_t first_occupied(std::size_t from) const noexcept {
+    std::size_t word = from >> 6;
+    std::uint64_t bits = occupancy_[word] & (~std::uint64_t{0} << (from & 63));
+    while (bits == 0) {
+      ++word;
+      assert(word < occupancy_.size() && "CalendarQueue: near window lost an entry");
+      bits = occupancy_[word];
+    }
+    return (word << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+  }
+
+  /// Finds the minimum entry's (bucket, index).  The first non-empty
+  /// bucket at or after the cursor contains it, because bucket time
+  /// ranges increase and entries never land behind the cursor (they all
+  /// fire at or after the last seek() time).
+  std::pair<std::size_t, std::size_t> locate_min() {
+    if (near_count_ == 0) refill();
+    const std::size_t b = first_occupied(cursor_);
+    const auto& entries = buckets_[b];
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < entries.size(); ++i) {
+      if (entries[i].at < entries[best].at ||
+          (entries[i].at == entries[best].at && entries[i].seq < entries[best].seq)) {
+        best = i;
+      }
+    }
+    return {b, best};
+  }
+
+  /// Rebuilds the near window around the overflow entries: base at their
+  /// minimum, width sized so the whole span fits in one rotation.
+  void refill() {
+    assert(near_count_ == 0 && !far_.empty());
+    Time lo = far_.front().at;
+    Time hi = far_.front().at;
+    for (const Entry& entry : far_) {
+      lo = entry.at < lo ? entry.at : lo;
+      hi = entry.at > hi ? entry.at : hi;
+    }
+    base_ = lo;
+    width_ = (hi - lo) / static_cast<Time>(buckets_.size()) + 1;
+    cursor_ = 0;
+    for (Entry& entry : far_) {
+      assert(entry.at < far_threshold());
+      const std::size_t bucket = bucket_of(entry.at);
+      buckets_[bucket].push_back(std::move(entry));
+      mark_occupied(bucket);
+      ++near_count_;
+    }
+    far_.clear();
+  }
+
+  std::vector<std::vector<Entry>> buckets_;   // the near window
+  std::vector<std::uint64_t> occupancy_;      // bit per non-empty bucket
+  std::vector<Entry> far_;                    // overflow beyond the window
+  Time base_ = 0;
+  Time width_ = 1;
+  std::size_t cursor_ = 0;      // bucket of the last seek() time
+  std::size_t near_count_ = 0;  // entries across buckets_
+  std::size_t size_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace fhs

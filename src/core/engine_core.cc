@@ -1,0 +1,593 @@
+#include "core/engine_core.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <limits>
+#include <stdexcept>
+
+namespace fhs {
+
+namespace {
+constexpr Time kNoEventTime = std::numeric_limits<Time>::max();
+static_assert(kNoEventTime == kNoFaultEvent,
+              "fault-cursor and calendar-queue sentinels must agree");
+/// Dead queue prefix is compacted once it is this long and at least half
+/// the buffer, keeping pops amortized O(1) without sliding live entries.
+constexpr std::size_t kCompactHead = 1024;
+}  // namespace
+
+EngineCore::EngineCore(const Cluster& cluster, const EngineCoreOptions& options,
+                       EngineCoreListener* listener)
+    : cluster_(cluster), options_(options), listener_(listener) {
+  assert(listener_ != nullptr);
+  const ResourceType k = cluster_.num_types();
+  static_assert(kMaxResourceTypes <= 64,
+                "flush_admissions tracks touched types in a 64-bit mask");
+  queues_.resize(k);
+  queue_work_.assign(k, 0);
+  queue_version_.assign(k, 0);
+  free_procs_.resize(k);
+  for (ResourceType a = 0; a < k; ++a) {
+    // Free lists stay sorted descending so pop_back yields the smallest
+    // id (deterministic placement, same as both legacy engines).
+    const std::uint32_t p = cluster_.processors(a);
+    free_procs_[a].reserve(p);
+    for (std::uint32_t i = p; i-- > 0;) {
+      free_procs_[a].push_back(cluster_.offset(a) + i);
+    }
+  }
+  alive_per_type_.resize(k);
+  for (ResourceType a = 0; a < k; ++a) alive_per_type_[a] = cluster_.processors(a);
+  busy_ticks_per_type_.assign(k, 0);
+  dispatch_count_per_type_.assign(k, 0);
+  slots_.resize(cluster_.total_processors());
+  proc_gen_.assign(cluster_.total_processors(), 0);
+  occ_mask_.assign((cluster_.total_processors() + 63) / 64, 0);
+  occupied_of_type_.assign(k, 0);
+  if (options_.faults != nullptr && !options_.faults->empty()) {
+    options_.faults->validate_against(cluster_);
+    injector_.emplace(*options_.faults, cluster_.total_processors());
+    proc_factor_.assign(cluster_.total_processors(), 1);
+    proc_down_.assign(cluster_.total_processors(), 0);
+    proc_down_since_.assign(cluster_.total_processors(), 0);
+  }
+}
+
+std::uint32_t EngineCore::add_job(const KDag& dag, Time arrival) {
+  assert(arrival >= now_);
+  const std::uint32_t j = table_.add_job(dag);
+  const std::uint32_t base = table_.base(j);
+  for (ResourceType a = 0; a < dag.num_types(); ++a) {
+    queues_[a].buf.reserve(queues_[a].buf.size() + dag.task_count(a));
+  }
+  tasks_left_.push_back(dag.task_count());
+  completion_.push_back(-1);
+  cancelled_.push_back(0);
+  job_remaining_.push_back(dag.total_work());
+  if (preemptive()) {
+    const std::size_t total = table_.size();
+    ready_seq_.resize(total, 0);
+    last_proc_.resize(total, std::numeric_limits<std::uint32_t>::max());
+    last_end_.resize(total, -1);
+  }
+  (void)base;
+  events_.push(arrival, CoreEvent{CoreEvent::Kind::kArrival, j, 0});
+  ++pending_arrivals_;
+  return j;
+}
+
+void EngineCore::prepare() { apply_fault_events(); }
+
+bool EngineCore::idle() const noexcept {
+  if (occupied_count_ != 0 || pending_arrivals_ != 0) return false;
+  for (const ReadyQueue& q : queues_) {
+    if (q.head != q.buf.size()) return false;
+  }
+  return true;
+}
+
+// --- ready queues -----------------------------------------------------------
+
+void EngineCore::make_ready(std::uint32_t global) {
+  const ResourceType a = table_.type[global];
+  if (preemptive()) ready_seq_[global] = next_seq_++;
+  queues_[a].buf.push_back(global);
+  queue_work_[a] += table_.remaining[global];
+  ++queue_version_[a];
+}
+
+void EngineCore::flush_admissions() {
+  if (admit_buf_.empty()) return;
+  std::uint64_t touched = 0;
+  for (const std::uint32_t global : admit_buf_) {
+    const ResourceType a = table_.type[global];
+    if (preemptive()) ready_seq_[global] = next_seq_++;
+    queues_[a].buf.push_back(global);
+    queue_work_[a] += table_.remaining[global];
+    touched |= std::uint64_t{1} << a;
+  }
+  admit_buf_.clear();
+  for (ResourceType a = 0; touched != 0; ++a, touched >>= 1) {
+    if ((touched & 1) != 0) ++queue_version_[a];
+  }
+}
+
+void EngineCore::requeue(std::uint32_t global) {
+  // Re-insert a preempted task keeping the queue ordered by the sequence
+  // in which tasks first became ready (FIFO semantics).
+  const ResourceType a = table_.type[global];
+  ReadyQueue& q = queues_[a];
+  const auto begin = q.buf.begin() + static_cast<std::ptrdiff_t>(q.head);
+  const auto pos = std::lower_bound(
+      begin, q.buf.end(), ready_seq_[global],
+      [this](std::uint32_t lhs, std::uint64_t seq) { return ready_seq_[lhs] < seq; });
+  q.buf.insert(pos, global);
+  queue_work_[a] += table_.remaining[global];
+  ++queue_version_[a];
+}
+
+void EngineCore::remove_from_queue(ReadyQueue& q, std::size_t index) {
+  if (index == 0) {
+    ++q.head;  // the FIFO fast path: O(1) front pop
+    if (q.head >= kCompactHead && q.head * 2 >= q.buf.size()) {
+      q.buf.erase(q.buf.begin(), q.buf.begin() + static_cast<std::ptrdiff_t>(q.head));
+      q.head = 0;
+    }
+    return;
+  }
+  q.buf.erase(q.buf.begin() + static_cast<std::ptrdiff_t>(q.head + index));
+}
+
+void EngineCore::enforce_work_conservation() const {
+  for (ResourceType a = 0; a < cluster_.num_types(); ++a) {
+    if (!free_procs_[a].empty() && queues_[a].head != queues_[a].buf.size()) {
+      throw std::logic_error(options_.conservation_error);
+    }
+  }
+}
+
+// --- dispatch-side -----------------------------------------------------------
+
+void EngineCore::assign(ResourceType alpha, std::size_t index) {
+  ReadyQueue& q = queues_.at(alpha);
+  if (index >= q.buf.size() - q.head) {
+    throw std::logic_error(options_.bad_index_error);
+  }
+  auto& frees = free_procs_.at(alpha);
+  if (frees.empty()) {
+    throw std::logic_error(options_.no_processor_error);
+  }
+  const std::uint32_t global = q.buf[q.head + index];
+  remove_from_queue(q, index);
+  ++queue_version_[alpha];
+  queue_work_[alpha] -= table_.remaining[global];
+
+  std::uint32_t proc;
+  if (preemptive()) {
+    // Processor affinity: a preempted task resumes on its previous
+    // processor when that processor is free (reallocation is free in the
+    // paper's model, but affinity keeps traces minimal and makes
+    // preemptive FIFO coincide exactly with non-preemptive FIFO).
+    const auto prev = std::find(frees.begin(), frees.end(), last_proc_[global]);
+    if (prev != frees.end()) {
+      proc = *prev;
+      frees.erase(prev);
+    } else {
+      proc = frees.back();  // smallest free id (list kept descending)
+      frees.pop_back();
+    }
+    // A true preemption: the task had started, and it now resumes after a
+    // gap or on a different processor.
+    if (table_.remaining[global] < table_.total_work[global] &&
+        (proc != last_proc_[global] || now_ != last_end_[global])) {
+      ++preemptions_;
+    }
+  } else {
+    proc = frees.back();
+    frees.pop_back();
+  }
+
+  ProcSlot& slot = slots_[proc];
+  slot.task = global;
+  slot.type = alpha;
+  slot.started = now_;
+  slot.synced = now_;
+  slot.credit = 0;
+  slot.done = 0;
+  slot.factor = injector_.has_value() ? proc_factor_[proc] : 1;
+  slot.pure = slot.factor == 1;
+  slot.occupied = true;
+  ++occupied_count_;
+  occ_mask_[proc >> 6] |= std::uint64_t{1} << (proc & 63);
+  ++occupied_of_type_[alpha];
+  ++dispatch_count_per_type_[alpha];
+  push_completion_event(proc);
+}
+
+void EngineCore::push_completion_event(std::uint32_t proc) {
+  const ProcSlot& slot = slots_[proc];
+  // Absolute completion time at the current rate; exactly invariant
+  // under partial elapses (see the header), so pushed once per occupancy
+  // or rescale.
+  const Time at = now_ +
+                  static_cast<Time>(slot.factor) * table_.remaining[slot.task] -
+                  slot.credit;
+  events_.push(at, CoreEvent{CoreEvent::Kind::kCompletion, proc, proc_gen_[proc]});
+}
+
+void EngineCore::release_processor(std::uint32_t proc) {
+  ProcSlot& slot = slots_[proc];
+  auto& frees = free_procs_[slot.type];
+  const auto pos = std::lower_bound(frees.begin(), frees.end(), proc,
+                                    std::greater<std::uint32_t>{});
+  frees.insert(pos, proc);
+  slot.occupied = false;
+  --occupied_count_;
+  occ_mask_[proc >> 6] &= ~(std::uint64_t{1} << (proc & 63));
+  --occupied_of_type_[slot.type];
+  ++proc_gen_[proc];  // lazily cancels the outstanding completion event
+}
+
+void EngineCore::materialize(std::uint32_t proc) {
+  // Syncs the slot's lazy work accounting up to now_.  Exact: integer
+  // credit arithmetic telescopes across any split of the elapsed span
+  // (see the ProcSlot comment), and every factor change materializes at
+  // its event time first, so `factor` was constant since `synced`.
+  ProcSlot& slot = slots_[proc];
+  const Time dt = now_ - slot.synced;
+  if (dt == 0) return;
+  slot.synced = now_;
+  const Work units = (slot.credit + dt) / slot.factor;
+  slot.credit = (slot.credit + dt) % slot.factor;
+  slot.done += units;
+  table_.remaining[slot.task] -= units;
+  job_remaining_[table_.job[slot.task]] -= units;
+}
+
+Work EngineCore::job_remaining(std::uint32_t j) const {
+  // Fold in the not-yet-materialized progress of the job's running
+  // tasks (a pure read: slots stay lazy).
+  Work pending = 0;
+  for (std::size_t w = 0; w < occ_mask_.size(); ++w) {
+    std::uint64_t bits = occ_mask_[w];
+    while (bits != 0) {
+      const auto proc = static_cast<std::uint32_t>(
+          (w << 6) + static_cast<std::size_t>(std::countr_zero(bits)));
+      bits &= bits - 1;
+      const ProcSlot& slot = slots_[proc];
+      if (table_.job[slot.task] != j) continue;
+      pending += (slot.credit + (now_ - slot.synced)) / slot.factor;
+    }
+  }
+  return job_remaining_.at(j) - pending;
+}
+
+void EngineCore::record_segment(std::uint32_t proc, bool killed) {
+  const ProcSlot& slot = slots_[proc];
+  if (!options_.record_trace || now_ <= slot.started) return;
+  ExecutionTrace* trace = options_.trace != nullptr ? options_.trace : &trace_;
+  if (slot.pure && !killed) {
+    trace->add(slot.task, proc, slot.started, now_);
+  } else {
+    trace->add_fault_segment(slot.task, proc, slot.started, now_, slot.done, killed);
+  }
+}
+
+// --- event loop --------------------------------------------------------------
+
+Time EngineCore::next_valid_event_time() {
+  Time next = kNoEventTime;
+  while (const auto* entry = events_.peek()) {
+    const CoreEvent& event = entry->payload;
+    if (event.kind == CoreEvent::Kind::kCompletion &&
+        event.gen != proc_gen_[event.id]) {
+      (void)events_.pop();  // stale: the processor was released or rescaled
+      continue;
+    }
+    next = entry->at;
+    break;
+  }
+  if (injector_.has_value()) {
+    next = std::min(next, injector_->next_event_time());
+  }
+  return next;
+}
+
+void EngineCore::admit_arrivals() {
+  // Arrivals that fired with the last advance (staged there so same-tick
+  // completions behind them in the event order were not missed).  They
+  // enter the queues after that tick's completion-woken children, as in
+  // the legacy engines.
+  if (!deferred_arrivals_.empty()) {
+    for (const std::uint32_t j : deferred_arrivals_) {
+      --pending_arrivals_;
+      if (cancelled_[j] != 0) continue;  // cancelled before it ever arrived
+      for (const std::uint32_t root : table_.roots(j)) make_ready(root);
+    }
+    deferred_arrivals_.clear();
+  }
+  // Arrivals already due when pushed (t=0 jobs, add_job at the current
+  // time).  With none pending this is one counter check -- the steady
+  // state of every single-job run.
+  if (pending_arrivals_ == 0) return;
+  while (const auto* entry = events_.peek()) {
+    const CoreEvent& event = entry->payload;
+    if (event.kind == CoreEvent::Kind::kCompletion) {
+      if (event.gen != proc_gen_[event.id]) {
+        (void)events_.pop();
+        continue;
+      }
+      // A valid completion is strictly in the future, so nothing earlier
+      // (in particular no due arrival) can be behind it.
+      assert(entry->at > now_);
+      break;
+    }
+    if (entry->at > now_) break;
+    const std::uint32_t j = event.id;
+    (void)events_.pop();
+    --pending_arrivals_;
+    if (cancelled_[j] != 0) continue;  // cancelled before it ever arrived
+    for (const std::uint32_t root : table_.roots(j)) make_ready(root);
+  }
+}
+
+bool EngineCore::step(Time deadline, const DispatchFn& dispatch) {
+  admit_arrivals();
+  dispatch();
+  ++decisions_;
+  enforce_work_conservation();
+  const Time next = next_valid_event_time();
+  if (next == kNoEventTime || next > deadline) return false;
+  assert(next > now_);
+  advance_to(next);
+  if (preemptive()) recall_running();
+  return true;
+}
+
+void EngineCore::advance_until(Time deadline, const DispatchFn& dispatch) {
+  while (step(deadline, dispatch)) {
+  }
+  // No event left at or before the deadline: idle (or partially execute
+  // running tasks) through the rest of the slice.
+  elapse_running(deadline - now_);
+  now_ = deadline;
+  events_.seek(now_);
+}
+
+void EngineCore::drain(const DispatchFn& dispatch) {
+  while (completed_tasks_ < total_tasks()) {
+    if (!step(kNoEventTime - 1, dispatch)) {
+      listener_->on_stranded(total_tasks() - completed_tasks_);
+    }
+  }
+}
+
+void EngineCore::advance_to(Time next) {
+  const Time dt = next - now_;
+  now_ = next;
+  events_.seek(now_);
+  elapse_running(dt);
+  // Consume every event due exactly now.  Valid completion events name
+  // the finishing processors outright (their absolute times are exact;
+  // see the header), so no slot scan is needed; stale entries retire
+  // here instead of surfacing later; arrivals are staged for the next
+  // step's admission, after this tick's completion-woken children (the
+  // legacy FIFO order).  Nothing can remain below `now_`: the stale
+  // prefix before the next valid event was already popped while
+  // locating it.
+  completing_.clear();
+  while (const auto* entry = events_.peek()) {
+    if (entry->at != now_) break;
+    const CoreEvent event = entry->payload;
+    (void)events_.pop();
+    if (event.kind == CoreEvent::Kind::kArrival) {
+      deferred_arrivals_.push_back(event.id);
+    } else if (event.gen == proc_gen_[event.id]) {
+      completing_.push_back(event.id);
+    }
+  }
+  // Pop order is push order among ties; legacy completed in ascending
+  // processor order.
+  std::sort(completing_.begin(), completing_.end());
+  process_completions();
+  apply_fault_events();
+}
+
+void EngineCore::elapse_running(Time dt) {
+  // Busy ticks accumulate per type (dt * occupied count); per-slot work
+  // progress stays lazy until a materialization point.  O(K) per
+  // advance where the legacy engines walked every running task.
+  if (dt == 0) return;
+  for (ResourceType a = 0; a < cluster_.num_types(); ++a) {
+    busy_ticks_per_type_[a] += dt * occupied_of_type_[a];
+  }
+}
+
+void EngineCore::process_completions() {
+  // Complete finished tasks in processor order (deterministic); children
+  // they wake are staged and admitted in one batched flush per tick.
+  for (const std::uint32_t p : completing_) {
+    ProcSlot& slot = slots_[p];
+    materialize(p);
+    assert(slot.occupied && table_.remaining[slot.task] == 0);
+    const std::uint32_t global = slot.task;
+    record_segment(p, /*killed=*/false);
+    release_processor(p);
+    ++completed_tasks_;
+    const std::uint32_t j = table_.job[global];
+    assert(tasks_left_[j] > 0);
+    if (--tasks_left_[j] == 0) {
+      completion_[j] = now_;
+      ++jobs_completed_;
+      listener_->on_job_complete(j);
+    }
+    for (const std::uint32_t child : table_.children(global)) {
+      assert(table_.indegree[child] > 0);
+      if (--table_.indegree[child] == 0) admit_buf_.push_back(child);
+    }
+  }
+  flush_admissions();
+}
+
+void EngineCore::recall_running() {
+  // Preemptive mode: return every running task to its queue so the next
+  // dispatch reconsiders the full allocation.  On a slowed processor any
+  // sub-unit credit is dropped (only whole completed units were ever
+  // subtracted from remaining work, so accounting stays exact).
+  for_each_occupied([&](std::uint32_t p) {
+    materialize(p);
+    const std::uint32_t global = slots_[p].task;
+    record_segment(p, /*killed=*/false);
+    release_processor(p);
+    last_proc_[global] = p;
+    last_end_[global] = now_;
+    requeue(global);
+  });
+}
+
+// --- cancellation ------------------------------------------------------------
+
+std::size_t EngineCore::cancel_job(std::uint32_t j) {
+  if (j >= table_.job_count()) {
+    throw std::out_of_range("MultiJobEngine::cancel_job: unknown job");
+  }
+  if (cancelled_.at(j) != 0) {
+    throw std::logic_error("MultiJobEngine::cancel_job: job already cancelled");
+  }
+  if (tasks_left_.at(j) == 0) {
+    throw std::logic_error("MultiJobEngine::cancel_job: job already completed");
+  }
+  cancelled_[j] = 1;
+  // Withdraw the job's queued ready tasks (order of survivors preserved).
+  for (ResourceType a = 0; a < cluster_.num_types(); ++a) {
+    ReadyQueue& q = queues_[a];
+    std::size_t kept = q.head;
+    for (std::size_t i = q.head; i < q.buf.size(); ++i) {
+      const std::uint32_t global = q.buf[i];
+      if (table_.job[global] == j) {
+        queue_work_[a] -= table_.remaining[global];
+        continue;
+      }
+      q.buf[kept++] = q.buf[i];
+    }
+    q.buf.resize(kept);
+    ++queue_version_[a];
+  }
+  // Kill its running tasks in legacy running-list order (ascending
+  // processor id between advances); their processors come straight back.
+  std::size_t killed = 0;
+  for_each_occupied([&](std::uint32_t proc) {
+    if (table_.job[slots_[proc].task] != j) return;
+    materialize(proc);
+    record_segment(proc, /*killed=*/true);
+    release_processor(proc);
+    ++killed;
+  });
+  // The job is finished for accounting purposes (drain, finish), but the
+  // listener's on_job_complete never fires for a cancellation.
+  completed_tasks_ += tasks_left_[j];
+  tasks_left_[j] = 0;
+  completion_[j] = now_;
+  job_remaining_[j] = 0;
+  ++jobs_completed_;
+  return killed;
+}
+
+// --- fault plumbing ----------------------------------------------------------
+
+void EngineCore::apply_fault_events() {
+  if (!injector_.has_value()) return;
+  for (const FaultEvent& event : injector_->take_events_until(now_)) {
+    switch (event.kind) {
+      case FaultKind::kFail:
+        on_fail(event);
+        break;
+      case FaultKind::kRecover:
+        on_recover(event);
+        break;
+      case FaultKind::kSlow:
+        ++fault_stats_.slowdowns;
+        rescale_processor(event.processor, event.factor);
+        break;
+    }
+  }
+}
+
+void EngineCore::on_fail(const FaultEvent& event) {
+  const std::uint32_t proc = event.processor;
+  ++fault_stats_.failures;
+  const ResourceType alpha = cluster_.type_of_processor(proc);
+  assert(alive_per_type_[alpha] > 0);
+  --alive_per_type_[alpha];
+  proc_down_[proc] = 1;
+  proc_down_since_[proc] = event.at;
+  proc_factor_[proc] = 1;  // a recovered processor restarts at full speed
+  ProcSlot& slot = slots_[proc];
+  if (slot.occupied) {
+    // Kill the occupant: record the doomed segment, discard every unit
+    // the task has ever completed, and send it back to the ready queue
+    // from scratch (re-execution model).
+    materialize(proc);
+    const std::uint32_t victim = slot.task;
+    record_segment(proc, /*killed=*/true);
+    ++fault_stats_.tasks_killed;
+    const Work discarded = table_.total_work[victim] - table_.remaining[victim];
+    fault_stats_.work_discarded += discarded;
+    job_remaining_[table_.job[victim]] += discarded;
+    table_.remaining[victim] = table_.total_work[victim];
+    slot.occupied = false;
+    --occupied_count_;
+    occ_mask_[proc >> 6] &= ~(std::uint64_t{1} << (proc & 63));
+    --occupied_of_type_[slot.type];
+    ++proc_gen_[proc];  // cancels the pending completion event
+    make_ready(victim);
+    listener_->on_fail_applied(/*killed=*/true, discarded);
+    return;
+  }
+  // Idle processor: pull it out of its free list.
+  auto& frees = free_procs_[alpha];
+  const auto pos = std::find(frees.begin(), frees.end(), proc);
+  assert(pos != frees.end());
+  frees.erase(pos);
+  listener_->on_fail_applied(/*killed=*/false, 0);
+}
+
+void EngineCore::on_recover(const FaultEvent& event) {
+  const std::uint32_t proc = event.processor;
+  if (proc_down_[proc] != 0) {
+    ++fault_stats_.recoveries;
+    const Time latency = event.at - proc_down_since_[proc];
+    proc_down_[proc] = 0;
+    proc_factor_[proc] = 1;
+    const ResourceType alpha = cluster_.type_of_processor(proc);
+    ++alive_per_type_[alpha];
+    auto& frees = free_procs_[alpha];
+    const auto pos = std::lower_bound(frees.begin(), frees.end(), proc,
+                                      std::greater<std::uint32_t>{});
+    frees.insert(pos, proc);
+    listener_->on_recover_applied(latency);
+    return;
+  }
+  // Recovery from a slowdown: back to full speed in place.
+  rescale_processor(proc, 1);
+}
+
+void EngineCore::rescale_processor(std::uint32_t proc, std::uint32_t new_factor) {
+  // Changes a live processor's rate, carrying any running task's credit
+  // over proportionally (credit' = floor(credit * new / old), which
+  // keeps credit' < new and never over-credits).
+  const std::uint32_t old_factor = proc_factor_[proc];
+  proc_factor_[proc] = new_factor;
+  ProcSlot& slot = slots_[proc];
+  if (!slot.occupied) return;
+  materialize(proc);  // progress so far accrued at the old rate
+  slot.credit = slot.credit * new_factor / old_factor;
+  slot.factor = new_factor;
+  if (new_factor != 1) slot.pure = false;
+  // The completion moves: cancel the old event, push the new time.
+  ++proc_gen_[proc];
+  push_completion_event(proc);
+}
+
+}  // namespace fhs

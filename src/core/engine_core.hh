@@ -1,0 +1,369 @@
+// EngineCore: the one event loop both engines are thin adapters over.
+//
+// Before this layer, src/sim/engine.cc (single job) and src/multijob/
+// (job stream) each carried their own copy of the same machinery: FIFO
+// ready queues, descending free-processor lists, a linear scan for the
+// next completion, fault-event application, trace recording.  EngineCore
+// consolidates all of it over two cache-friendly structures:
+//
+//  * TaskTable -- structure-of-arrays task state (core/task_table.hh);
+//  * CalendarQueue -- the event set keyed on virtual time
+//    (core/calendar_queue.hh), holding task completions and job
+//    arrivals.  Fault-plan events stay in the FaultInjector cursor (a
+//    static sorted list is already an optimal event structure); the next
+//    event is the min of both.
+//
+// Completions are scheduled at assign time as absolute event times:
+// now + factor*remaining - credit.  Under the engines' integer credit
+// arithmetic (units = (credit+dt)/factor, credit' = (credit+dt)%factor)
+// that absolute time is exactly invariant across partial elapses, so an
+// event pushed once stays correct until the processor is released,
+// killed, or rescaled -- each of which bumps the processor's generation
+// counter, lazily cancelling the stale entry.
+//
+// The stepping API:
+//
+//  * prepare()        -- applies t=0 fault events (call after the
+//                        scheduler's own prepare);
+//  * step()           -- admit due arrivals, run one dispatch, advance
+//                        to the next event at or before a deadline;
+//  * advance_until()  -- step to a deadline, then idle/partially
+//                        execute through the rest of the slice;
+//  * drain()          -- step until every admitted task completed.
+//
+// Ready-task admission is batched per (type, tick): children woken by a
+// completion pass are staged and appended to their type queues in one
+// contiguous flush, one queue-version bump per touched type.  Ready
+// queues are head-indexed rings, so the FIFO pop every greedy policy
+// performs is O(1) instead of the legacy O(queue) erase.
+//
+// Everything observable -- trace segments, decision counts, busy ticks,
+// fault stats, queue contents at each decision -- is byte-identical to
+// the legacy engines (differential-tested in tests/core_differential_
+// test.cc against the frozen copy in sim/legacy_engine.cc).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/calendar_queue.hh"
+#include "core/task_table.hh"
+#include "fault/fault_injector.hh"
+#include "fault/fault_plan.hh"
+#include "graph/kdag.hh"
+#include "machine/cluster.hh"
+#include "sim/trace.hh"
+
+namespace fhs {
+
+enum class ExecutionMode { kNonPreemptive, kPreemptive };
+
+struct EngineCoreOptions {
+  ExecutionMode mode = ExecutionMode::kNonPreemptive;
+  /// Record per-processor segments (into `trace` if set, else the
+  /// core-owned trace returned by take_trace()).
+  bool record_trace = false;
+  /// Optional fault plan (not owned; must outlive the core).  nullptr or
+  /// an empty plan reproduces the fault-free engine byte for byte.
+  const FaultPlan* faults = nullptr;
+  /// Optional external trace target (not owned).
+  ExecutionTrace* trace = nullptr;
+  // Engine-flavored diagnostics, so adapters keep their documented
+  // exception messages.
+  const char* bad_index_error = "EngineCore: dispatch assigned a bad queue index";
+  const char* no_processor_error =
+      "EngineCore: dispatch assigned with no free processor";
+  const char* conservation_error =
+      "EngineCore: dispatch left a free processor idle while a matching task "
+      "was ready";
+};
+
+/// Engine-specific reactions to core events.  Callbacks fire at the
+/// exact points the legacy engines took the same actions, so adapters
+/// can reproduce obs counters and exception behavior bit for bit.
+class EngineCoreListener {
+ public:
+  virtual ~EngineCoreListener() = default;
+  /// Last task of job `j` completed (not fired for cancellations).
+  virtual void on_job_complete(std::uint32_t j) { (void)j; }
+  /// A fail event was applied; `killed` when it killed a running task,
+  /// which had completed `discarded` units now thrown away.
+  virtual void on_fail_applied(bool killed, Work discarded) {
+    (void)killed;
+    (void)discarded;
+  }
+  /// A down processor recovered after `latency` ticks.
+  virtual void on_recover_applied(Time latency) { (void)latency; }
+  /// drain() found incomplete tasks but no future event.  Implementations
+  /// throw their engine's documented exception.
+  virtual void on_stranded(std::size_t outstanding) = 0;
+};
+
+class EngineCore {
+ public:
+  using DispatchFn = std::function<void()>;
+
+  /// Validates the fault plan against the cluster (std::invalid_argument
+  /// on a processor outside it, as the legacy engines threw).
+  EngineCore(const Cluster& cluster, const EngineCoreOptions& options,
+             EngineCoreListener* listener);
+
+  /// Appends a job whose roots become ready at `arrival` (>= now()).
+  /// Returns the dense job index (== TaskTable job index).
+  std::uint32_t add_job(const KDag& dag, Time arrival);
+
+  /// Applies t=0 fault events; call once after the scheduler's prepare()
+  /// and before the first step.
+  void prepare();
+
+  /// One decision cycle: admit due arrivals, run `dispatch`, enforce
+  /// work conservation, then advance to the next event if it is at or
+  /// before `deadline`.  Returns false (dispatch has still run) when no
+  /// such event exists.
+  bool step(Time deadline, const DispatchFn& dispatch);
+
+  /// Steps through every event at or before `deadline`, then idles (or
+  /// partially executes running tasks) up to exactly `deadline`.
+  void advance_until(Time deadline, const DispatchFn& dispatch);
+
+  /// Steps until every admitted task completed; a stall with tasks
+  /// outstanding goes to the listener's on_stranded (which throws).
+  void drain(const DispatchFn& dispatch);
+
+  /// Cancels job `j` at the current virtual time: queued tasks
+  /// withdrawn, running tasks killed (killed trace segments recorded),
+  /// a not-yet-arrived job never starts.  Returns running tasks killed.
+  std::size_t cancel_job(std::uint32_t j);
+
+  // --- dispatch-side mutations ---------------------------------------------
+  /// Assigns the ready `alpha`-task at queue position `index` to a free
+  /// alpha-processor (smallest id; in preemptive mode, the task's
+  /// previous processor when free).
+  void assign(ResourceType alpha, std::size_t index);
+
+  // --- queries ---------------------------------------------------------------
+  [[nodiscard]] Time now() const noexcept { return now_; }
+  [[nodiscard]] ResourceType num_types() const noexcept {
+    return cluster_.num_types();
+  }
+  [[nodiscard]] const Cluster& cluster() const noexcept { return cluster_; }
+  [[nodiscard]] const TaskTable& table() const noexcept { return table_; }
+
+  [[nodiscard]] std::uint32_t free_processors(ResourceType alpha) const {
+    return static_cast<std::uint32_t>(free_procs_.at(alpha).size());
+  }
+  /// Alive processors under a fault plan (the static width without one).
+  [[nodiscard]] std::uint32_t alive_processors(ResourceType alpha) const {
+    return alive_per_type_.at(alpha);
+  }
+  /// Ready alpha-tasks (global ids), oldest-ready first.
+  [[nodiscard]] std::span<const std::uint32_t> ready_tasks(ResourceType alpha) const {
+    const ReadyQueue& q = queues_.at(alpha);
+    return {q.buf.data() + q.head, q.buf.data() + q.buf.size()};
+  }
+  [[nodiscard]] std::size_t queue_size(ResourceType alpha) const {
+    const ReadyQueue& q = queues_.at(alpha);
+    return q.buf.size() - q.head;
+  }
+  [[nodiscard]] Work queue_work(ResourceType alpha) const {
+    return queue_work_.at(alpha);
+  }
+  /// Bumped on every mutation of the alpha queue (adapters cache derived
+  /// views keyed on this).
+  [[nodiscard]] std::uint64_t queue_version(ResourceType alpha) const {
+    return queue_version_.at(alpha);
+  }
+  [[nodiscard]] Work remaining_work(std::uint32_t global) const {
+    return table_.remaining.at(global);
+  }
+  [[nodiscard]] std::uint32_t job_of(std::uint32_t global) const {
+    return table_.job.at(global);
+  }
+  [[nodiscard]] TaskId local_task(std::uint32_t global) const {
+    return table_.local_id(global);
+  }
+
+  [[nodiscard]] std::size_t total_tasks() const noexcept { return table_.size(); }
+  [[nodiscard]] std::size_t completed_tasks() const noexcept {
+    return completed_tasks_;
+  }
+  [[nodiscard]] std::uint64_t decisions() const noexcept { return decisions_; }
+  [[nodiscard]] std::uint64_t preemptions() const noexcept { return preemptions_; }
+  [[nodiscard]] std::span<const Time> busy_ticks() const noexcept {
+    return busy_ticks_per_type_;
+  }
+  [[nodiscard]] std::uint64_t dispatches(ResourceType alpha) const {
+    return dispatch_count_per_type_.at(alpha);
+  }
+  [[nodiscard]] const FaultStats& fault_stats() const noexcept {
+    return fault_stats_;
+  }
+  [[nodiscard]] bool has_injector() const noexcept { return injector_.has_value(); }
+
+  [[nodiscard]] std::size_t job_count() const noexcept { return table_.job_count(); }
+  [[nodiscard]] std::size_t jobs_completed() const noexcept { return jobs_completed_; }
+  [[nodiscard]] std::size_t tasks_left(std::uint32_t j) const {
+    return tasks_left_.at(j);
+  }
+  /// Absolute completion time of job `j` (-1 until it finishes).
+  [[nodiscard]] Time completion(std::uint32_t j) const { return completion_.at(j); }
+  [[nodiscard]] bool job_cancelled(std::uint32_t j) const {
+    return cancelled_.at(j) != 0;
+  }
+  /// Remaining work of job `j`, including the not-yet-materialized
+  /// progress of its currently running tasks.
+  [[nodiscard]] Work job_remaining(std::uint32_t j) const;
+  /// True when nothing is running, ready, or pending arrival.
+  [[nodiscard]] bool idle() const noexcept;
+
+  /// Moves the core-owned trace out (engines that did not pass an
+  /// external trace target).
+  [[nodiscard]] ExecutionTrace take_trace() noexcept { return std::move(trace_); }
+
+ private:
+  struct CoreEvent {
+    enum class Kind : std::uint8_t { kCompletion, kArrival };
+    Kind kind = Kind::kCompletion;
+    std::uint32_t id = 0;   ///< processor (completion) or job (arrival)
+    std::uint64_t gen = 0;  ///< completion: processor generation snapshot
+  };
+
+  /// One concrete processor's occupancy slot.
+  ///
+  /// Work accounting is lazy: `credit`, `done`, and the task's remaining
+  /// work are synced only at materialization points (completion, kill,
+  /// recall, rescale) by materialize(), not every tick.  Integer credit
+  /// arithmetic telescopes exactly -- (c+d1)/f + ((c+d1)%f+d2)/f ==
+  /// (c+d1+d2)/f -- so batched sync is bit-identical to per-advance
+  /// updates.
+  struct ProcSlot {
+    std::uint32_t task = kInvalidTask;
+    ResourceType type = 0;
+    Time started = 0;          ///< when this continuous run began
+    Time synced = 0;           ///< last materialization time
+    Time credit = 0;           ///< ticks toward the next unit, in [0, factor)
+    Work done = 0;             ///< units completed during this run
+    std::uint32_t factor = 1;  ///< ticks per unit right now
+    bool pure = true;          ///< ran at factor 1 the whole time
+    bool occupied = false;
+  };
+
+  /// FIFO ready queue with a head index: popping the front (the FIFO
+  /// fast path) advances `head` in O(1); the dead prefix is compacted
+  /// away once it dominates the buffer.
+  struct ReadyQueue {
+    std::vector<std::uint32_t> buf;
+    std::size_t head = 0;
+  };
+
+  [[nodiscard]] bool preemptive() const noexcept {
+    return options_.mode == ExecutionMode::kPreemptive;
+  }
+
+  void make_ready(std::uint32_t global);
+  void flush_admissions();
+  void requeue(std::uint32_t global);
+  void remove_from_queue(ReadyQueue& q, std::size_t index);
+  void enforce_work_conservation() const;
+
+  [[nodiscard]] Time next_valid_event_time();
+  void admit_arrivals();
+  void advance_to(Time next);
+  void elapse_running(Time dt);
+  void process_completions();
+  void recall_running();
+  void materialize(std::uint32_t proc);
+
+  /// Visits every occupied processor in ascending id order (the legacy
+  /// running-list order after its per-advance sort).  Snapshots each
+  /// mask word, so the callback may release the processor it is handed.
+  template <typename Fn>
+  void for_each_occupied(Fn&& fn) {
+    for (std::size_t w = 0; w < occ_mask_.size(); ++w) {
+      std::uint64_t bits = occ_mask_[w];
+      while (bits != 0) {
+        const auto b = static_cast<std::uint32_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        fn(static_cast<std::uint32_t>((w << 6) + b));
+      }
+    }
+  }
+
+  void apply_fault_events();
+  void on_fail(const FaultEvent& event);
+  void on_recover(const FaultEvent& event);
+  void rescale_processor(std::uint32_t proc, std::uint32_t new_factor);
+
+  void record_segment(std::uint32_t proc, bool killed);
+  void release_processor(std::uint32_t proc);
+  void push_completion_event(std::uint32_t proc);
+
+  Cluster cluster_;
+  EngineCoreOptions options_;
+  EngineCoreListener* listener_;
+
+  TaskTable table_;
+  CalendarQueue<CoreEvent> events_;
+  ExecutionTrace trace_;  ///< used when options_.trace is null
+
+  Time now_ = 0;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t preemptions_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t completed_tasks_ = 0;
+  std::size_t jobs_completed_ = 0;
+  std::size_t pending_arrivals_ = 0;
+  std::uint32_t occupied_count_ = 0;
+
+  // Per type.
+  std::vector<ReadyQueue> queues_;
+  std::vector<Work> queue_work_;
+  std::vector<std::uint64_t> queue_version_;
+  std::vector<std::vector<std::uint32_t>> free_procs_;  // sorted descending
+  std::vector<std::uint32_t> alive_per_type_;
+  std::vector<Time> busy_ticks_per_type_;
+  std::vector<std::uint64_t> dispatch_count_per_type_;
+
+  // Per processor.
+  std::vector<ProcSlot> slots_;
+  std::vector<std::uint64_t> proc_gen_;  ///< bumped on release/kill/rescale
+  /// Bit per occupied processor; ascending bit order is the legacy
+  /// running-list order after its per-advance sort (cancel_job kills in
+  /// this order, which the killed-segment order depends on).
+  std::vector<std::uint64_t> occ_mask_;
+  /// Occupied processors per type (busy ticks accumulate as dt * count,
+  /// so elapsing is O(K) instead of O(P) per advance).
+  std::vector<std::uint32_t> occupied_of_type_;
+
+  // Per task, preemptive mode only (empty otherwise).
+  std::vector<std::uint64_t> ready_seq_;
+  std::vector<std::uint32_t> last_proc_;  ///< previous processor (affinity)
+  std::vector<Time> last_end_;            ///< when the previous run ended
+
+  // Per job.
+  std::vector<std::size_t> tasks_left_;
+  std::vector<Time> completion_;
+  std::vector<std::uint8_t> cancelled_;
+  std::vector<Work> job_remaining_;
+
+  std::vector<std::uint32_t> admit_buf_;  ///< staged (type, tick) admissions
+  /// Processors whose valid completion event fired this tick (scratch
+  /// for advance_to; sorted ascending before completions are applied).
+  std::vector<std::uint32_t> completing_;
+  /// Jobs whose arrival event fired with the last advance; admitted at
+  /// the next step, after that tick's completion-woken children.
+  std::vector<std::uint32_t> deferred_arrivals_;
+
+  // Fault state; engaged only when options_.faults is a non-empty plan.
+  std::optional<FaultInjector> injector_;
+  std::vector<std::uint32_t> proc_factor_;
+  std::vector<std::uint8_t> proc_down_;
+  std::vector<Time> proc_down_since_;
+  FaultStats fault_stats_;
+};
+
+}  // namespace fhs

@@ -1,0 +1,54 @@
+#include "core/task_table.hh"
+
+#include <stdexcept>
+
+namespace fhs {
+
+std::uint32_t TaskTable::add_job(const KDag& dag) {
+  const auto j = static_cast<std::uint32_t>(job_base.size());
+  const auto base_id = static_cast<std::uint32_t>(size());
+  const std::size_t n = dag.task_count();
+
+  if (child_offset.empty()) child_offset.push_back(0);
+  if (root_offset.empty()) root_offset.push_back(0);
+
+  type.reserve(size() + n);
+  total_work.reserve(size() + n);
+  remaining.reserve(size() + n);
+  indegree.reserve(size() + n);
+  due.reserve(size() + n);
+  job.reserve(size() + n);
+  child_offset.reserve(size() + n + 1);
+  child_list.reserve(child_list.size() + dag.edge_count());
+
+  for (TaskId v = 0; v < n; ++v) {
+    type.push_back(dag.type(v));
+    total_work.push_back(dag.work(v));
+    remaining.push_back(dag.work(v));
+    indegree.push_back(static_cast<std::uint32_t>(dag.parent_count(v)));
+    due.push_back(0);
+    job.push_back(j);
+    for (const TaskId child : dag.children(v)) {
+      child_list.push_back(base_id + child);
+    }
+    child_offset.push_back(static_cast<std::uint32_t>(child_list.size()));
+  }
+
+  job_base.push_back(base_id);
+  job_task_count.push_back(static_cast<std::uint32_t>(n));
+  for (const TaskId root : dag.roots()) root_list.push_back(base_id + root);
+  root_offset.push_back(static_cast<std::uint32_t>(root_list.size()));
+  return j;
+}
+
+void TaskTable::set_due(std::uint32_t j, std::span<const Time> due_dates) {
+  if (due_dates.size() != job_size(j)) {
+    throw std::invalid_argument("TaskTable::set_due: one due date per task required");
+  }
+  const std::uint32_t begin = base(j);
+  for (std::size_t v = 0; v < due_dates.size(); ++v) {
+    due[begin + v] = due_dates[v];
+  }
+}
+
+}  // namespace fhs

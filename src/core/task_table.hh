@@ -1,0 +1,82 @@
+// Structure-of-arrays task state shared by every engine.
+//
+// The legacy engines kept per-job KDag objects plus scattered per-engine
+// vectors (remaining work here, indegrees there, GlobalTask{job, task}
+// pairs in the queues).  TaskTable flattens all scheduling-time task
+// state into parallel columns indexed by a dense *global* task id: job
+// j's local task v is global id job_base(j) + v, the same numbering the
+// multi-job trace uses (trace_task_offset).  The hot loops (elapse,
+// completion wake-up, ready-queue bookkeeping) touch only the column
+// they need, and a ready queue is just a vector of 32-bit ids.
+//
+// Columns are mutable where the engine mutates them (remaining,
+// indegree); the rest describe the job graph and stay fixed after
+// add_job.  Edges are stored CSR with global child ids -- jobs only ever
+// have intra-job edges, so appending a job never touches earlier rows.
+//
+// The `due` column is reserved for the deadline-aware scheduler family
+// (EDD/ShiftBT variants operate on due dates); engines default it to 0
+// and callers may fill it per job via set_due().
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/kdag.hh"
+
+namespace fhs {
+
+class TaskTable {
+ public:
+  /// Appends every task of `dag` as a new job.  Returns the job's dense
+  /// index; its tasks occupy global ids [job_base(j), job_base(j) + n).
+  std::uint32_t add_job(const KDag& dag);
+
+  [[nodiscard]] std::size_t size() const noexcept { return type.size(); }
+  [[nodiscard]] std::size_t job_count() const noexcept { return job_base.size(); }
+
+  [[nodiscard]] std::uint32_t base(std::uint32_t j) const { return job_base.at(j); }
+  [[nodiscard]] std::uint32_t job_size(std::uint32_t j) const {
+    return job_task_count.at(j);
+  }
+  /// Local task id within its job.
+  [[nodiscard]] TaskId local_id(std::uint32_t global) const {
+    return global - job_base[job[global]];
+  }
+
+  /// Children of a task, as global ids.
+  [[nodiscard]] std::span<const std::uint32_t> children(std::uint32_t global) const {
+    return {child_list.data() + child_offset[global],
+            child_list.data() + child_offset[global + 1]};
+  }
+
+  /// Root tasks (no parents) of job `j`, as global ids.
+  [[nodiscard]] std::span<const std::uint32_t> roots(std::uint32_t j) const {
+    return {root_list.data() + root_offset[j],
+            root_list.data() + root_offset[j + 1]};
+  }
+
+  /// Fills the due-date column for job `j` (one entry per local task).
+  void set_due(std::uint32_t j, std::span<const Time> due_dates);
+
+  // Parallel columns, indexed by global task id.
+  std::vector<ResourceType> type;
+  std::vector<Work> total_work;
+  std::vector<Work> remaining;          ///< engine-mutated
+  std::vector<std::uint32_t> indegree;  ///< remaining parents; engine-mutated
+  std::vector<Time> due;                ///< 0 unless set_due() filled it
+  std::vector<std::uint32_t> job;
+
+  // CSR children over global ids (intra-job edges only).
+  std::vector<std::uint32_t> child_offset;  ///< size() + 1 entries
+  std::vector<std::uint32_t> child_list;
+
+  // Per-job slices.
+  std::vector<std::uint32_t> job_base;
+  std::vector<std::uint32_t> job_task_count;
+  std::vector<std::uint32_t> root_offset;  ///< job_count() + 1 entries
+  std::vector<std::uint32_t> root_list;    ///< global ids
+};
+
+}  // namespace fhs

@@ -14,10 +14,6 @@
 
 namespace fhs {
 
-namespace {
-constexpr Time kNoEvent = std::numeric_limits<Time>::max();
-}  // namespace
-
 double MultiJobResult::mean_flow_time() const {
   if (flow_time.empty()) return 0.0;
   return std::accumulate(flow_time.begin(), flow_time.end(), 0.0) /
@@ -35,80 +31,61 @@ void MultiJobScheduler::admit(std::uint32_t, const JobArrival&) {}
 
 // --- MultiJobEngine -------------------------------------------------------------
 
+namespace {
+
+EngineCoreOptions make_core_options(const MultiEngineOptions& options) {
+  EngineCoreOptions core_options;
+  core_options.mode = ExecutionMode::kNonPreemptive;
+  core_options.record_trace = options.record_trace;
+  core_options.faults = options.faults;
+  core_options.bad_index_error = "MultiJobScheduler::dispatch assigned a bad index";
+  core_options.no_processor_error =
+      "MultiJobScheduler::dispatch assigned with no free processor";
+  core_options.conservation_error =
+      "MultiJobScheduler::dispatch left a free processor idle";
+  return core_options;
+}
+
+}  // namespace
+
 MultiJobEngine::MultiJobEngine(const Cluster& cluster, MultiJobScheduler& scheduler,
                                const MultiEngineOptions& options)
-    : cluster_(cluster), scheduler_(scheduler), options_(options) {
-  const ResourceType k = cluster_.num_types();
-  queues_.resize(k);
-  queue_work_.assign(k, 0);
-  busy_ticks_per_type_.assign(k, 0);
-  free_procs_.resize(k);
-  for (ResourceType a = 0; a < k; ++a) {
-    const std::uint32_t p = cluster_.processors(a);
-    free_procs_[a].reserve(p);
-    for (std::uint32_t i = p; i-- > 0;) {
-      free_procs_[a].push_back(cluster_.offset(a) + i);
-    }
-  }
-  alive_per_type_.resize(k);
-  for (ResourceType a = 0; a < k; ++a) alive_per_type_[a] = cluster_.processors(a);
-  if (options_.faults != nullptr && !options_.faults->empty()) {
-    options_.faults->validate_against(cluster_);
-    injector_.emplace(*options_.faults, cluster_.total_processors());
-    proc_factor_.assign(cluster_.total_processors(), 1);
-    proc_down_.assign(cluster_.total_processors(), 0);
-    proc_down_since_.assign(cluster_.total_processors(), 0);
-  }
-  scheduler_.prepare(cluster_);
-  apply_fault_events();  // t=0 events take effect before any dispatch
+    : scheduler_(scheduler),
+      core_(cluster, make_core_options(options), this),
+      mirror_(cluster.num_types()) {
+  scheduler_.prepare(core_.cluster());
+  core_.prepare();  // t=0 fault events take effect before any dispatch
 }
 
 std::uint32_t MultiJobEngine::add_job(KDag dag, Time arrival) {
-  if (arrival < now_) {
+  if (arrival < core_.now()) {
     throw std::invalid_argument("MultiJobEngine::add_job: arrival in the past");
   }
-  if (cluster_.num_types() < dag.num_types()) {
+  if (core_.num_types() < dag.num_types()) {
     throw std::invalid_argument("MultiJobEngine::add_job: job K exceeds cluster K");
   }
   const auto index = static_cast<std::uint32_t>(jobs_.size());
   jobs_.push_back(JobArrival{std::move(dag), arrival});
   const JobArrival& job = jobs_.back();
-  const KDag& d = job.dag;
-  remaining_parents_.emplace_back(d.task_count());
-  for (TaskId v = 0; v < d.task_count(); ++v) {
-    remaining_parents_[index][v] = static_cast<std::uint32_t>(d.parent_count(v));
-  }
-  remaining_job_work_.push_back(d.total_work());
-  tasks_left_.push_back(d.task_count());
-  completion_.push_back(-1);
-  cancelled_.push_back(0);
-  task_offset_.push_back(static_cast<TaskId>(total_tasks_));
-  total_tasks_ += d.task_count();
+  const std::uint32_t core_index = core_.add_job(job.dag, arrival);
+  assert(core_index == index);
+  (void)core_index;
   scheduler_.admit(index, job);
-  pending_.push(PendingArrival{arrival, index});
   if (obs::enabled()) {
     obs::Registry::global().counter("multijob.jobs_admitted").add(1);
   }
   return index;
 }
 
-bool MultiJobEngine::idle() const noexcept {
-  if (!running_.empty() || !pending_.empty()) return false;
-  for (const auto& queue : queues_) {
-    if (!queue.empty()) return false;
-  }
-  return true;
-}
-
 bool MultiJobEngine::job_done(std::uint32_t j) const {
-  return tasks_left_.at(j) == 0;
+  return core_.tasks_left(j) == 0;
 }
 
 Time MultiJobEngine::completion_time(std::uint32_t j) const {
   if (!job_done(j)) {
     throw std::logic_error("MultiJobEngine::completion_time: job still running");
   }
-  return completion_.at(j);
+  return core_.completion(j);
 }
 
 std::vector<std::uint32_t> MultiJobEngine::take_completed() {
@@ -117,19 +94,30 @@ std::vector<std::uint32_t> MultiJobEngine::take_completed() {
 
 // --- MultiDispatchContext ---------------------------------------------------------
 
-ResourceType MultiJobEngine::num_types() const noexcept { return cluster_.num_types(); }
+ResourceType MultiJobEngine::num_types() const noexcept { return core_.num_types(); }
 
 std::uint32_t MultiJobEngine::free_processors(ResourceType alpha) const {
-  return static_cast<std::uint32_t>(free_procs_.at(alpha).size());
+  return core_.free_processors(alpha);
 }
 
 std::uint32_t MultiJobEngine::total_processors(ResourceType alpha) const {
   // Alive count under a fault plan (equals the static width without one).
-  return alive_per_type_.at(alpha);
+  return core_.alive_processors(alpha);
 }
 
 std::span<const GlobalTask> MultiJobEngine::ready(ResourceType alpha) const {
-  return queues_.at(alpha);
+  ReadyMirror& mirror = mirror_.at(alpha);
+  const std::uint64_t version = core_.queue_version(alpha);
+  if (mirror.version != version) {
+    const auto tasks = core_.ready_tasks(alpha);
+    mirror.tasks.clear();
+    mirror.tasks.reserve(tasks.size());
+    for (const std::uint32_t global : tasks) {
+      mirror.tasks.push_back(GlobalTask{core_.job_of(global), core_.local_task(global)});
+    }
+    mirror.version = version;
+  }
+  return mirror.tasks;
 }
 
 Work MultiJobEngine::task_work(GlobalTask id) const {
@@ -137,253 +125,61 @@ Work MultiJobEngine::task_work(GlobalTask id) const {
 }
 
 Work MultiJobEngine::queue_work(ResourceType alpha) const {
-  return queue_work_.at(alpha);
+  return core_.queue_work(alpha);
 }
 
 Work MultiJobEngine::remaining_job_work(std::uint32_t job) const {
-  return remaining_job_work_.at(job);
+  return core_.job_remaining(job);
 }
 
 void MultiJobEngine::assign(ResourceType alpha, std::size_t index) {
-  auto& queue = queues_.at(alpha);
-  if (index >= queue.size()) {
-    throw std::logic_error("MultiJobScheduler::dispatch assigned a bad index");
-  }
-  auto& frees = free_procs_.at(alpha);
-  if (frees.empty()) {
-    throw std::logic_error(
-        "MultiJobScheduler::dispatch assigned with no free processor");
-  }
-  const GlobalTask id = queue[index];
-  queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(index));
-  const Work work = jobs_[id.job].dag.work(id.task);
-  queue_work_[alpha] -= work;
-  const std::uint32_t proc = frees.back();
-  frees.pop_back();
-  RunningTask run{id, proc, alpha, now_, work};
-  if (injector_.has_value()) {
-    run.factor = proc_factor_[proc];
-    run.pure = run.factor == 1;
-  }
-  running_.push_back(run);
+  core_.assign(alpha, index);
 }
 
-// --- event loop -------------------------------------------------------------------
+// --- EngineCoreListener -----------------------------------------------------------
 
-void MultiJobEngine::make_ready(GlobalTask id) {
-  const ResourceType alpha = jobs_[id.job].dag.type(id.task);
-  queues_[alpha].push_back(id);
-  queue_work_[alpha] += jobs_[id.job].dag.work(id.task);
-}
-
-void MultiJobEngine::admit_arrivals() {
-  while (!pending_.empty() && pending_.top().arrival <= now_) {
-    const std::uint32_t j = pending_.top().job;
-    pending_.pop();
-    if (cancelled_[j] != 0) continue;  // cancelled before it ever arrived
-    for (TaskId root : jobs_[j].dag.roots()) {
-      make_ready(GlobalTask{j, root});
-    }
-  }
-}
-
-void MultiJobEngine::elapse(Time dt) {
-  if (dt == 0) return;
-  for (RunningTask& r : running_) {
-    busy_ticks_per_type_[r.type] += dt;
-    const Work units = (r.credit + dt) / r.factor;
-    r.credit = (r.credit + dt) % r.factor;
-    r.done += units;
-    r.remaining -= units;
-    remaining_job_work_[r.id.job] -= units;
-  }
-}
-
-void MultiJobEngine::record_segment(const RunningTask& r, bool killed) {
-  if (!options_.record_trace || now_ <= r.start) return;
-  const TaskId task = task_offset_[r.id.job] + r.id.task;
-  if (r.pure && !killed) {
-    trace_.add(task, r.processor, r.start, now_);
-  } else {
-    trace_.add_fault_segment(task, r.processor, r.start, now_, r.done, killed);
-  }
-}
-
-void MultiJobEngine::release_processor(ResourceType alpha, std::uint32_t proc) {
-  auto& frees = free_procs_[alpha];
-  const auto pos = std::lower_bound(frees.begin(), frees.end(), proc,
-                                    std::greater<std::uint32_t>{});
-  frees.insert(pos, proc);
-}
-
-void MultiJobEngine::process_completions() {
-  // Completions in processor order, so results are deterministic.
-  std::sort(running_.begin(), running_.end(),
-            [](const auto& a, const auto& b) { return a.processor < b.processor; });
-  std::vector<RunningTask> still_running;
-  still_running.reserve(running_.size());
-  for (const RunningTask& r : running_) {
-    if (r.remaining > 0) {
-      still_running.push_back(r);
-      continue;
-    }
-    release_processor(r.type, r.processor);
-    ++completed_tasks_;
-    record_segment(r, /*killed=*/false);
-    const KDag& dag = jobs_[r.id.job].dag;
-    if (--tasks_left_[r.id.job] == 0) {
-      completion_[r.id.job] = now_;
-      ++jobs_completed_;
-      newly_completed_.push_back(r.id.job);
-      if (obs::enabled()) {
-        obs::Registry::global().counter("multijob.jobs_completed").add(1);
-      }
-    }
-    for (TaskId child : dag.children(r.id.task)) {
-      if (--remaining_parents_[r.id.job][child] == 0) {
-        make_ready(GlobalTask{r.id.job, child});
-      }
-    }
-  }
-  running_ = std::move(still_running);
-}
-
-void MultiJobEngine::apply_fault_events() {
-  if (!injector_.has_value()) return;
-  for (const FaultEvent& event : injector_->take_events_until(now_)) {
-    switch (event.kind) {
-      case FaultKind::kFail:
-        on_fail(event);
-        break;
-      case FaultKind::kRecover:
-        on_recover(event);
-        break;
-      case FaultKind::kSlow:
-        ++fault_stats_.slowdowns;
-        rescale_processor(event.processor, event.factor);
-        break;
-    }
-  }
-}
-
-void MultiJobEngine::on_fail(const FaultEvent& event) {
-  const std::uint32_t proc = event.processor;
-  ++fault_stats_.failures;
-  const ResourceType alpha = cluster_.type_of_processor(proc);
-  assert(alive_per_type_[alpha] > 0);
-  --alive_per_type_[alpha];
-  proc_down_[proc] = 1;
-  proc_down_since_[proc] = event.at;
-  proc_factor_[proc] = 1;
+void MultiJobEngine::on_job_complete(std::uint32_t j) {
+  newly_completed_.push_back(j);
   if (obs::enabled()) {
-    obs::Registry::global().counter("multijob.fault.failures").add(1);
+    obs::Registry::global().counter("multijob.jobs_completed").add(1);
   }
-  // Kill the occupant, if any: the task re-enters its FIFO queue from
-  // scratch (re-execution model, same as the single-job engine).
-  for (std::size_t i = 0; i < running_.size(); ++i) {
-    if (running_[i].processor != proc) continue;
-    const RunningTask victim = running_[i];
-    running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(i));
-    record_segment(victim, /*killed=*/true);
-    ++fault_stats_.tasks_killed;
-    const Work task_work = jobs_[victim.id.job].dag.work(victim.id.task);
-    const Work discarded = task_work - victim.remaining;
-    fault_stats_.work_discarded += discarded;
-    remaining_job_work_[victim.id.job] += discarded;
-    make_ready(victim.id);
-    if (obs::enabled()) {
-      auto& registry = obs::Registry::global();
-      registry.counter("multijob.fault.tasks_killed").add(1);
-      registry.counter("multijob.fault.work_discarded")
-          .add(static_cast<std::uint64_t>(discarded));
-    }
-    return;
-  }
-  // Idle processor: pull it out of its free list.
-  auto& frees = free_procs_[alpha];
-  const auto pos = std::find(frees.begin(), frees.end(), proc);
-  assert(pos != frees.end());
-  frees.erase(pos);
 }
 
-void MultiJobEngine::on_recover(const FaultEvent& event) {
-  const std::uint32_t proc = event.processor;
-  if (proc_down_[proc] != 0) {
-    ++fault_stats_.recoveries;
-    if (obs::enabled()) {
-      auto& registry = obs::Registry::global();
-      registry.counter("multijob.fault.recoveries").add(1);
-      registry.histogram("multijob.fault.recovery_latency")
-          .record(static_cast<std::uint64_t>(event.at - proc_down_since_[proc]));
-    }
-    proc_down_[proc] = 0;
-    proc_factor_[proc] = 1;
-    ++alive_per_type_[cluster_.type_of_processor(proc)];
-    release_processor(cluster_.type_of_processor(proc), proc);
-    return;
+void MultiJobEngine::on_fail_applied(bool killed, Work discarded) {
+  if (!obs::enabled()) return;
+  auto& registry = obs::Registry::global();
+  registry.counter("multijob.fault.failures").add(1);
+  if (killed) {
+    registry.counter("multijob.fault.tasks_killed").add(1);
+    registry.counter("multijob.fault.work_discarded")
+        .add(static_cast<std::uint64_t>(discarded));
   }
-  // Recovery from a slowdown: back to full speed in place.
-  rescale_processor(proc, 1);
 }
 
-void MultiJobEngine::rescale_processor(std::uint32_t proc, std::uint32_t new_factor) {
-  const std::uint32_t old_factor = proc_factor_[proc];
-  proc_factor_[proc] = new_factor;
-  for (RunningTask& r : running_) {
-    if (r.processor != proc) continue;
-    r.credit = r.credit * new_factor / old_factor;
-    r.factor = new_factor;
-    if (new_factor != 1) r.pure = false;
-    return;
-  }
+void MultiJobEngine::on_recover_applied(Time latency) {
+  if (!obs::enabled()) return;
+  auto& registry = obs::Registry::global();
+  registry.counter("multijob.fault.recoveries").add(1);
+  registry.histogram("multijob.fault.recovery_latency")
+      .record(static_cast<std::uint64_t>(latency));
 }
+
+void MultiJobEngine::on_stranded(std::size_t) {
+  // A fault plan stranding work is a property of the *input* (like the
+  // single-job engine's std::runtime_error); a stall without one is an
+  // engine bug.
+  if (core_.has_injector()) {
+    throw std::runtime_error(
+        "MultiJobEngine: stalled with tasks outstanding (fault plan "
+        "leaves no processor for them and schedules no recovery)");
+  }
+  throw std::logic_error("MultiJobEngine: stalled with tasks outstanding");
+}
+
+// --- control ---------------------------------------------------------------------
 
 std::size_t MultiJobEngine::cancel_job(std::uint32_t j) {
-  if (j >= jobs_.size()) {
-    throw std::out_of_range("MultiJobEngine::cancel_job: unknown job");
-  }
-  if (cancelled_.at(j) != 0) {
-    throw std::logic_error("MultiJobEngine::cancel_job: job already cancelled");
-  }
-  if (tasks_left_.at(j) == 0) {
-    throw std::logic_error("MultiJobEngine::cancel_job: job already completed");
-  }
-  cancelled_[j] = 1;
-  // Withdraw the job's queued ready tasks.
-  for (ResourceType a = 0; a < cluster_.num_types(); ++a) {
-    auto& queue = queues_[a];
-    std::size_t kept = 0;
-    for (std::size_t i = 0; i < queue.size(); ++i) {
-      if (queue[i].job == j) {
-        queue_work_[a] -= jobs_[j].dag.work(queue[i].task);
-        continue;
-      }
-      queue[kept++] = queue[i];
-    }
-    queue.resize(kept);
-  }
-  // Kill its running tasks; their processors come straight back.
-  std::size_t killed = 0;
-  std::vector<RunningTask> still_running;
-  still_running.reserve(running_.size());
-  for (const RunningTask& r : running_) {
-    if (r.id.job != j) {
-      still_running.push_back(r);
-      continue;
-    }
-    record_segment(r, /*killed=*/true);
-    release_processor(r.type, r.processor);
-    ++killed;
-  }
-  running_ = std::move(still_running);
-  // The job is finished for accounting purposes (drain, finish), but is
-  // never reported through take_completed -- the caller knows it
-  // cancelled the job and handles the outcome itself.
-  completed_tasks_ += tasks_left_[j];
-  tasks_left_[j] = 0;
-  completion_[j] = now_;
-  remaining_job_work_[j] = 0;
-  ++jobs_completed_;
+  const std::size_t killed = core_.cancel_job(j);
   if (obs::enabled()) {
     auto& registry = obs::Registry::global();
     registry.counter("multijob.jobs_cancelled").add(1);
@@ -394,102 +190,61 @@ std::size_t MultiJobEngine::cancel_job(std::uint32_t j) {
 }
 
 bool MultiJobEngine::job_cancelled(std::uint32_t j) const {
-  return cancelled_.at(j) != 0;
-}
-
-void MultiJobEngine::enforce_work_conservation() const {
-  for (ResourceType a = 0; a < cluster_.num_types(); ++a) {
-    if (!free_procs_[a].empty() && !queues_[a].empty()) {
-      throw std::logic_error("MultiJobScheduler::dispatch left a free processor idle");
-    }
-  }
-}
-
-bool MultiJobEngine::step(Time deadline) {
-  admit_arrivals();
-  scheduler_.dispatch(*this);
-  enforce_work_conservation();
-  Time next_event = pending_.empty() ? kNoEvent : pending_.top().arrival;
-  for (const RunningTask& r : running_) {
-    next_event =
-        std::min(next_event, now_ + static_cast<Time>(r.factor) * r.remaining -
-                                 r.credit);
-  }
-  if (injector_.has_value()) {
-    // Plan events are decision points too: capacity changes and the
-    // scheduler must re-decide (e.g. a ready task waiting on recovery).
-    next_event = std::min(next_event, injector_->next_event_time());
-  }
-  if (next_event == kNoEvent || next_event > deadline) return false;
-  assert(next_event > now_);
-  elapse(next_event - now_);
-  now_ = next_event;
-  process_completions();
-  apply_fault_events();
-  return true;
+  return core_.job_cancelled(j);
 }
 
 void MultiJobEngine::advance_until(Time deadline) {
-  if (deadline < now_) {
+  if (deadline < core_.now()) {
     throw std::invalid_argument("MultiJobEngine::advance_until: deadline in the past");
   }
-  std::uint64_t decisions = 0;
-  while (step(deadline)) {
-    ++decisions;
-  }
-  // No event left at or before the deadline: idle (or partially execute
-  // running tasks) through the rest of the slice.
-  elapse(deadline - now_);
-  now_ = deadline;
+  const std::uint64_t before = core_.decisions();
+  core_.advance_until(deadline, [this] { scheduler_.dispatch(*this); });
   if (obs::enabled()) {
     auto& registry = obs::Registry::global();
     registry.counter("multijob.epochs").add(1);
-    // +1: the final step() that found nothing still ran a dispatch.
-    registry.counter("multijob.decisions").add(decisions + 1);
+    // The core counts the final probe that found no event too, matching
+    // the historical "decisions + 1" accounting for a slice.
+    registry.counter("multijob.decisions").add(core_.decisions() - before);
   }
 }
 
 void MultiJobEngine::run_to_completion() {
-  std::uint64_t decisions = 0;
-  while (completed_tasks_ < total_tasks_) {
-    if (!step(kNoEvent - 1)) {
-      // A fault plan stranding work is a property of the *input* (like
-      // the single-job engine's std::runtime_error); a stall without one
-      // is an engine bug.
-      if (injector_.has_value()) {
-        throw std::runtime_error(
-            "MultiJobEngine: stalled with tasks outstanding (fault plan "
-            "leaves no processor for them and schedules no recovery)");
-      }
-      throw std::logic_error("MultiJobEngine: stalled with tasks outstanding");
-    }
-    ++decisions;
-  }
+  const std::uint64_t before = core_.decisions();
+  core_.drain([this] { scheduler_.dispatch(*this); });
+  const std::uint64_t decisions = core_.decisions() - before;
   if (obs::enabled() && decisions > 0) {
     obs::Registry::global().counter("multijob.decisions").add(decisions);
   }
 }
 
 MultiJobResult MultiJobEngine::finish() {
-  if (completed_tasks_ < total_tasks_) {
+  if (core_.completed_tasks() < core_.total_tasks()) {
     throw std::logic_error("MultiJobEngine::finish: tasks outstanding");
   }
   MultiJobResult result;
-  result.makespan = now_;
+  result.makespan = core_.now();
   result.completion.reserve(jobs_.size());
   result.flow_time.reserve(jobs_.size());
-  for (std::size_t j = 0; j < jobs_.size(); ++j) {
-    result.completion.push_back(completion_[j]);
-    result.flow_time.push_back(completion_[j] - jobs_[j].arrival);
+  for (std::uint32_t j = 0; j < jobs_.size(); ++j) {
+    result.completion.push_back(core_.completion(j));
+    result.flow_time.push_back(core_.completion(j) - jobs_[j].arrival);
   }
-  result.busy_ticks_per_type = busy_ticks_per_type_;
-  if (std::find(cancelled_.begin(), cancelled_.end(), std::uint8_t{1}) !=
-      cancelled_.end()) {
-    result.cancelled = cancelled_;
+  const auto busy = core_.busy_ticks();
+  result.busy_ticks_per_type.assign(busy.begin(), busy.end());
+  bool any_cancelled = false;
+  for (std::uint32_t j = 0; j < jobs_.size(); ++j) {
+    any_cancelled = any_cancelled || core_.job_cancelled(j);
   }
-  result.faults = fault_stats_;
-  result.trace = std::move(trace_);
-  result.trace_task_offset = task_offset_;
+  if (any_cancelled) {
+    result.cancelled.reserve(jobs_.size());
+    for (std::uint32_t j = 0; j < jobs_.size(); ++j) {
+      result.cancelled.push_back(core_.job_cancelled(j) ? 1 : 0);
+    }
+  }
+  result.faults = core_.fault_stats();
+  result.trace = core_.take_trace();
+  const auto& bases = core_.table().job_base;
+  result.trace_task_offset.assign(bases.begin(), bases.end());
   return result;
 }
 

@@ -23,13 +23,13 @@
 
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <memory>
-#include <optional>
-#include <queue>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "core/engine_core.hh"
 #include "fault/fault_injector.hh"
 #include "fault/fault_plan.hh"
 #include "graph/kdag.hh"
@@ -130,10 +130,21 @@ struct MultiEngineOptions {
 /// (e.g. the service worker) serialize access themselves.  Jobs own
 /// their K-DAGs and keep stable addresses, so schedulers may retain
 /// pointers into them (JobAnalysis does).
-class MultiJobEngine final : public MultiDispatchContext {
+///
+/// This is a thin adapter over the shared EngineCore (core/
+/// engine_core.hh): the core owns the task table, ready queues, and the
+/// calendar-queue event loop; this class binds the GlobalTask view the
+/// stream policies see, the multijob.* obs counters, and the documented
+/// exception messages.
+class MultiJobEngine final : public MultiDispatchContext,
+                             private EngineCoreListener {
  public:
   MultiJobEngine(const Cluster& cluster, MultiJobScheduler& scheduler,
                  const MultiEngineOptions& options = {});
+  // The engine registers itself as the core's listener, so its address
+  // must stay stable.
+  MultiJobEngine(const MultiJobEngine&) = delete;
+  MultiJobEngine& operator=(const MultiJobEngine&) = delete;
 
   /// Injects a job whose roots become ready at `arrival` (>= now()).
   /// Returns the job's dense index.
@@ -154,7 +165,9 @@ class MultiJobEngine final : public MultiDispatchContext {
   [[nodiscard]] bool job_cancelled(std::uint32_t j) const;
 
   /// Tallies of fault-plan activity so far (all zero without a plan).
-  [[nodiscard]] const FaultStats& fault_stats() const noexcept { return fault_stats_; }
+  [[nodiscard]] const FaultStats& fault_stats() const noexcept {
+    return core_.fault_stats();
+  }
 
   /// Advances virtual time to exactly `deadline`, processing every
   /// arrival/completion event on the way (a bounded slice).
@@ -163,17 +176,19 @@ class MultiJobEngine final : public MultiDispatchContext {
   void run_to_completion();
 
   /// True when nothing is running, ready, or pending arrival.
-  [[nodiscard]] bool idle() const noexcept;
+  [[nodiscard]] bool idle() const noexcept { return core_.idle(); }
   [[nodiscard]] std::size_t job_count() const noexcept { return jobs_.size(); }
-  [[nodiscard]] std::size_t jobs_completed() const noexcept { return jobs_completed_; }
+  [[nodiscard]] std::size_t jobs_completed() const noexcept {
+    return core_.jobs_completed();
+  }
   [[nodiscard]] const JobArrival& job(std::uint32_t j) const { return jobs_.at(j); }
   [[nodiscard]] bool job_done(std::uint32_t j) const;
   /// Absolute completion time of a finished job.
   [[nodiscard]] Time completion_time(std::uint32_t j) const;
   [[nodiscard]] std::span<const Time> busy_ticks() const noexcept {
-    return busy_ticks_per_type_;
+    return core_.busy_ticks();
   }
-  [[nodiscard]] const Cluster& cluster() const noexcept { return cluster_; }
+  [[nodiscard]] const Cluster& cluster() const noexcept { return core_.cluster(); }
 
   /// Job indices that completed since the last call (in completion
   /// order); the service drains this after each slice.
@@ -184,7 +199,7 @@ class MultiJobEngine final : public MultiDispatchContext {
 
   // --- MultiDispatchContext ---------------------------------------------------
   [[nodiscard]] ResourceType num_types() const noexcept override;
-  [[nodiscard]] Time now() const noexcept override { return now_; }
+  [[nodiscard]] Time now() const noexcept override { return core_.now(); }
   [[nodiscard]] std::uint32_t free_processors(ResourceType alpha) const override;
   [[nodiscard]] std::uint32_t total_processors(ResourceType alpha) const override;
   [[nodiscard]] std::span<const GlobalTask> ready(ResourceType alpha) const override;
@@ -194,82 +209,25 @@ class MultiJobEngine final : public MultiDispatchContext {
   void assign(ResourceType alpha, std::size_t index) override;
 
  private:
-  struct RunningTask {
-    GlobalTask id;
-    std::uint32_t processor = 0;
-    ResourceType type = 0;
-    Time start = 0;
-    Work remaining = 0;
-    // Fault-mode extras (inert at full speed without a plan):
-    Work done = 0;             // units completed during this run
-    Time credit = 0;           // ticks toward the next unit, in [0, factor)
-    std::uint32_t factor = 1;  // ticks per unit on this processor right now
-    bool pure = true;          // ran at factor 1 the whole time
-  };
-  struct PendingArrival {
-    Time arrival = 0;
-    std::uint32_t job = 0;
-    /// Min-heap order: earliest arrival first, ties by insertion order.
-    [[nodiscard]] bool operator>(const PendingArrival& other) const noexcept {
-      return arrival != other.arrival ? arrival > other.arrival : job > other.job;
-    }
+  // --- EngineCoreListener ----------------------------------------------------
+  void on_job_complete(std::uint32_t j) override;
+  void on_fail_applied(bool killed, Work discarded) override;
+  void on_recover_applied(Time latency) override;
+  [[noreturn]] void on_stranded(std::size_t outstanding) override;
+
+  /// Cached GlobalTask view of one core ready queue, rebuilt lazily when
+  /// the core's queue version moves (the core stores flat global ids;
+  /// stream policies see {job, local task} pairs).
+  struct ReadyMirror {
+    std::uint64_t version = std::numeric_limits<std::uint64_t>::max();
+    std::vector<GlobalTask> tasks;
   };
 
-  void make_ready(GlobalTask id);
-  void admit_arrivals();
-  /// Elapses `dt` ticks of execution on every running task.
-  void elapse(Time dt);
-  /// Frees processors, wakes children, and records completions for every
-  /// running task that reached zero remaining work.
-  void process_completions();
-  void enforce_work_conservation() const;
-  /// Dispatches and processes the next event if it is at or before
-  /// `deadline`; returns false (without advancing) otherwise.
-  bool step(Time deadline);
-  /// Applies every fault-plan event due at the current virtual time.
-  void apply_fault_events();
-  void on_fail(const FaultEvent& event);
-  void on_recover(const FaultEvent& event);
-  void rescale_processor(std::uint32_t proc, std::uint32_t new_factor);
-  /// Records [r.start, now) in the combined trace (no-op when empty).
-  void record_segment(const RunningTask& r, bool killed);
-  void release_processor(ResourceType alpha, std::uint32_t proc);
-
-  Cluster cluster_;
   MultiJobScheduler& scheduler_;
-  MultiEngineOptions options_;
-
   std::deque<JobArrival> jobs_;  // deque: stable addresses for schedulers
-  std::priority_queue<PendingArrival, std::vector<PendingArrival>,
-                      std::greater<PendingArrival>>
-      pending_;
-
-  Time now_ = 0;
-  std::size_t total_tasks_ = 0;
-  std::size_t completed_tasks_ = 0;
-  std::size_t jobs_completed_ = 0;
-  std::vector<std::vector<std::uint32_t>> remaining_parents_;
-  std::vector<Work> remaining_job_work_;
-  std::vector<std::size_t> tasks_left_;
-  std::vector<Time> completion_;
+  EngineCore core_;
+  mutable std::vector<ReadyMirror> mirror_;  // per type
   std::vector<std::uint32_t> newly_completed_;
-  std::vector<std::vector<GlobalTask>> queues_;
-  std::vector<Work> queue_work_;
-  std::vector<std::vector<std::uint32_t>> free_procs_;
-  std::vector<RunningTask> running_;
-  std::vector<Time> busy_ticks_per_type_;
-  ExecutionTrace trace_;
-  std::vector<TaskId> task_offset_;
-  std::vector<std::uint8_t> cancelled_;  // per job
-
-  // Fault state; engaged only when options_.faults is a non-empty plan.
-  // proc_* vectors are indexed by global processor id.
-  std::optional<FaultInjector> injector_;
-  std::vector<std::uint32_t> alive_per_type_;
-  std::vector<std::uint32_t> proc_factor_;  // ticks per unit of work
-  std::vector<std::uint8_t> proc_down_;
-  std::vector<Time> proc_down_since_;
-  FaultStats fault_stats_;
 };
 
 /// Simulates the stream in one shot.  Jobs must be sorted by

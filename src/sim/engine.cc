@@ -1,13 +1,19 @@
+// The single-job engine as a thin adapter over core/engine_core.hh.
+//
+// Everything mechanical -- ready queues, event selection, fault
+// application, trace recording -- lives in EngineCore; this file only
+// binds the DispatchContext the policies see, the sim-flavored exception
+// messages, and the obs contract (sim.* counters flushed once per run).
+// The pre-core engine is frozen in legacy_engine.cc and the two are
+// differential-tested byte for byte in tests/core_differential_test.cc.
 #include "sim/engine.hh"
 
-#include <algorithm>
-#include <cassert>
 #include <chrono>
-#include <limits>
-#include <optional>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
+#include "core/engine_core.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -28,458 +34,71 @@ namespace {
 /// obs registry once per simulate() call (see obs/metrics.hh).
 constexpr std::uint64_t kDispatchSamplePeriod = 64;
 
-/// One task currently executing on a concrete processor.
-struct Running {
-  TaskId task;
-  std::uint32_t processor;  // global id
-  ResourceType type;
-  Work remaining;
-  Time started;  // when this continuous run began (for trace segments)
-  // Fault-mode extras (inert at full speed without a plan):
-  Work done = 0;             // units completed during this run
-  Time credit = 0;           // ticks toward the next unit, in [0, factor)
-  std::uint32_t factor = 1;  // ticks per unit on this processor right now
-  bool pure = true;          // ran at factor 1 the whole time (plain trace add)
+/// Sim-flavored core reactions: the recovery-latency histogram and the
+/// documented stranded-job exceptions.
+class SimListener final : public EngineCoreListener {
+ public:
+  void on_recover_applied(Time latency) override {
+    recovery_latency_.record(static_cast<std::uint64_t>(latency));
+  }
+  void on_stranded(std::size_t outstanding) override {
+    if (has_injector_) {
+      throw std::runtime_error(
+          "simulate: fault plan stranded " + std::to_string(outstanding) +
+          " outstanding task(s): every matching processor is failed and "
+          "no further recovery is scheduled");
+    }
+    throw std::logic_error("simulate: no runnable task but job incomplete");
+  }
+
+  void set_has_injector(bool value) noexcept { has_injector_ = value; }
+  [[nodiscard]] const obs::LocalHistogram& recovery_latency() const noexcept {
+    return recovery_latency_;
+  }
+
+ private:
+  bool has_injector_ = false;
+  obs::LocalHistogram recovery_latency_;
 };
 
-/// Engine state + the DispatchContext view handed to the policy.
-class Simulation final : public DispatchContext {
+/// The DispatchContext view over an EngineCore running one job: the job's
+/// global ids coincide with its local TaskIds (job base 0), so the
+/// policies see exactly the legacy queue contents.
+class SimContext final : public DispatchContext {
  public:
-  Simulation(const KDag& dag, const Cluster& cluster, const SimOptions& options,
-             ExecutionTrace* trace)
-      : dag_(dag), cluster_(cluster), options_(options), trace_(trace) {
-    if (cluster.num_types() < dag.num_types()) {
-      throw std::invalid_argument(
-          "simulate: job uses more resource types than the cluster provides");
-    }
-    const std::size_t n = dag.task_count();
-    const ResourceType k = dag.num_types();
-    remaining_parents_.resize(n);
-    remaining_work_.resize(n);
-    ready_seq_.assign(n, 0);
-    last_proc_.assign(n, std::numeric_limits<std::uint32_t>::max());
-    last_end_.assign(n, -1);
-    for (TaskId v = 0; v < n; ++v) {
-      remaining_parents_[v] = static_cast<std::uint32_t>(dag.parent_count(v));
-      remaining_work_[v] = dag.work(v);
-    }
-    queues_.resize(k);
-    queue_work_.assign(k, 0);
-    free_procs_.resize(k);
-    for (ResourceType a = 0; a < k; ++a) {
-      // Preallocate each ready queue to its type's task population so
-      // make_ready/requeue never reallocate inside the dispatch loop.
-      queues_[a].reserve(dag.task_count(a));
-      // Keep free lists sorted descending so pop_back yields the smallest
-      // id (deterministic placement).
-      const std::uint32_t p = cluster.processors(a);
-      free_procs_[a].reserve(p);
-      for (std::uint32_t i = p; i-- > 0;) {
-        free_procs_[a].push_back(cluster.offset(a) + i);
-      }
-    }
-    running_.reserve(cluster.total_processors());
-    scratch_running_.reserve(cluster.total_processors());
-    obs_dispatches_per_type_.assign(k, 0);
-    result_.busy_ticks_per_type.assign(k, 0);
-    alive_per_type_.resize(k);
-    for (ResourceType a = 0; a < k; ++a) alive_per_type_[a] = cluster.processors(a);
-    if (options.faults != nullptr && !options.faults->empty()) {
-      options.faults->validate_against(cluster);
-      injector_.emplace(*options.faults, cluster.total_processors());
-      proc_factor_.assign(cluster.total_processors(), 1);
-      proc_down_.assign(cluster.total_processors(), 0);
-      proc_down_since_.assign(cluster.total_processors(), 0);
-    }
-    for (TaskId root : dag.roots()) make_ready(root);
-  }
+  SimContext(EngineCore& core, ResourceType num_types)
+      : core_(core), num_types_(num_types) {}
 
-  // --- DispatchContext ----------------------------------------------------
   [[nodiscard]] ResourceType num_types() const noexcept override {
-    return dag_.num_types();
+    return num_types_;
   }
-  [[nodiscard]] Time now() const noexcept override { return now_; }
+  [[nodiscard]] Time now() const noexcept override { return core_.now(); }
   [[nodiscard]] std::uint32_t free_processors(ResourceType alpha) const override {
-    return static_cast<std::uint32_t>(free_procs_.at(alpha).size());
+    return core_.free_processors(alpha);
   }
   // Under a fault plan this is the *alive* count, so capacity loss is
   // visible to utilization-balancing policies; without one it equals the
   // static cluster width.
   [[nodiscard]] std::uint32_t total_processors(ResourceType alpha) const override {
-    return alive_per_type_.at(alpha);
+    return core_.alive_processors(alpha);
   }
   [[nodiscard]] ReadySpan ready(ResourceType alpha) const override {
-    return make_ready_span(queues_.at(alpha));
+    return make_ready_span(core_.ready_tasks(alpha));
   }
   [[nodiscard]] Work queue_work(ResourceType alpha) const override {
-    return queue_work_.at(alpha);
+    return core_.queue_work(alpha);
   }
   [[nodiscard]] Work remaining_work(TaskId task) const override {
-    return remaining_work_.at(task);
+    return core_.remaining_work(task);
   }
-
   void assign(ResourceType alpha, std::size_t index) override {
-    auto& queue = queues_.at(alpha);
-    if (index >= queue.size()) {
-      throw std::logic_error("Scheduler::dispatch assigned a bad queue index");
-    }
-    auto& frees = free_procs_.at(alpha);
-    if (frees.empty()) {
-      throw std::logic_error("Scheduler::dispatch assigned with no free processor");
-    }
-    const TaskId task = queue[index];
-    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(index));
+    core_.assign(alpha, index);
     invalidate_ready_spans();
-    queue_work_[alpha] -= remaining_work_[task];
-    // Processor affinity: a preempted task resumes on its previous
-    // processor when that processor is free (reallocation is free in the
-    // paper's model, but affinity keeps traces minimal and makes
-    // preemptive FIFO coincide exactly with non-preemptive FIFO).
-    std::uint32_t proc;
-    const auto prev = std::find(frees.begin(), frees.end(), last_proc_[task]);
-    if (prev != frees.end()) {
-      proc = *prev;
-      frees.erase(prev);
-    } else {
-      proc = frees.back();  // smallest free id (list kept descending)
-      frees.pop_back();
-    }
-    // A true preemption: the task had started, and it now resumes after a
-    // gap or on a different processor.
-    if (remaining_work_[task] < dag_.work(task) &&
-        (proc != last_proc_[task] || now_ != last_end_[task])) {
-      ++result_.preemptions;
-    }
-    Running run{task, proc, alpha, remaining_work_[task], now_};
-    if (injector_.has_value()) {
-      run.factor = proc_factor_[proc];
-      run.pure = run.factor == 1;
-    }
-    running_.push_back(run);
-    ++obs_dispatches_per_type_[alpha];
-  }
-
-  // --- main loop ------------------------------------------------------------
-  SimResult run(Scheduler& scheduler) {
-    const bool observed = obs::enabled();
-    obs::TraceSpan span("simulate", "sim");
-    scheduler.prepare(dag_, cluster_);
-    apply_fault_events();  // t=0 events take effect before the first dispatch
-    const std::size_t n = dag_.task_count();
-    while (completed_ < n) {
-      if (observed) {
-        std::size_t depth = 0;
-        for (const auto& queue : queues_) depth += queue.size();
-        obs_ready_depth_.record(depth);
-        if (result_.decision_points % kDispatchSamplePeriod == 0) {
-          const auto t0 = std::chrono::steady_clock::now();
-          scheduler.dispatch(*this);
-          obs_dispatch_ns_.record(static_cast<std::uint64_t>(
-              std::chrono::duration_cast<std::chrono::nanoseconds>(
-                  std::chrono::steady_clock::now() - t0)
-                  .count()));
-        } else {
-          scheduler.dispatch(*this);
-        }
-      } else {
-        scheduler.dispatch(*this);
-      }
-      ++result_.decision_points;
-      enforce_work_conservation();
-      if (running_.empty()) {
-        // Under faults the job may merely be *waiting*: everything ready
-        // needs a processor that is down right now.  Jump to the next
-        // plan event and re-decide; only a plan with no further events
-        // leaves the job truly stranded.
-        if (injector_.has_value() &&
-            injector_->next_event_time() != kNoFaultEvent) {
-          now_ = injector_->next_event_time();
-          apply_fault_events();
-          continue;
-        }
-        if (injector_.has_value()) {
-          throw std::runtime_error(
-              "simulate: fault plan stranded " +
-              std::to_string(n - completed_) +
-              " outstanding task(s): every matching processor is failed and "
-              "no further recovery is scheduled");
-        }
-        throw std::logic_error("simulate: no runnable task but job incomplete");
-      }
-      advance();
-      if (options_.mode == ExecutionMode::kPreemptive) recall_running();
-    }
-    result_.completion_time = now_;
-    if (observed) flush_obs();
-    return std::move(result_);
   }
 
  private:
-  /// One registry flush per run: a handful of mutex-guarded lookups and
-  /// relaxed atomic adds, amortized over the whole simulation.
-  void flush_obs() const {
-    auto& registry = obs::Registry::global();
-    registry.counter("sim.runs").add(1);
-    registry.counter("sim.decisions").add(result_.decision_points);
-    registry.counter("sim.preemptions").add(result_.preemptions);
-    registry.histogram("sim.ready_depth").merge(obs_ready_depth_);
-    registry.histogram("sim.dispatch_ns").merge(obs_dispatch_ns_);
-    std::uint64_t dispatches = 0;
-    for (ResourceType a = 0; a < num_types(); ++a) {
-      // Idle->busy processor transitions, i.e. task dispatches, per
-      // type; completions mirror them one-to-one, so one counter tells
-      // both sides of the busy/idle story.
-      registry.counter("sim.type" + std::to_string(a) + ".busy_transitions")
-          .add(obs_dispatches_per_type_[a]);
-      dispatches += obs_dispatches_per_type_[a];
-    }
-    registry.counter("sim.dispatches").add(dispatches);
-    if (injector_.has_value()) {
-      registry.counter("sim.fault.failures").add(result_.faults.failures);
-      registry.counter("sim.fault.recoveries").add(result_.faults.recoveries);
-      registry.counter("sim.fault.slowdowns").add(result_.faults.slowdowns);
-      registry.counter("sim.fault.tasks_killed").add(result_.faults.tasks_killed);
-      registry.counter("sim.fault.work_discarded")
-          .add(static_cast<std::uint64_t>(result_.faults.work_discarded));
-      registry.histogram("sim.fault.recovery_latency").merge(obs_recovery_latency_);
-    }
-  }
-  void make_ready(TaskId task) {
-    const ResourceType alpha = dag_.type(task);
-    ready_seq_[task] = next_seq_++;
-    queues_[alpha].push_back(task);
-    queue_work_[alpha] += remaining_work_[task];
-    invalidate_ready_spans();
-  }
-
-  /// Re-inserts a preempted task keeping the queue ordered by the
-  /// sequence in which tasks first became ready (FIFO semantics).
-  void requeue(TaskId task) {
-    const ResourceType alpha = dag_.type(task);
-    auto& queue = queues_[alpha];
-    const auto pos = std::lower_bound(
-        queue.begin(), queue.end(), ready_seq_[task],
-        [this](TaskId lhs, std::uint64_t seq) { return ready_seq_[lhs] < seq; });
-    queue.insert(pos, task);
-    queue_work_[alpha] += remaining_work_[task];
-    invalidate_ready_spans();
-  }
-
-  void enforce_work_conservation() const {
-    for (ResourceType a = 0; a < num_types(); ++a) {
-      if (!free_procs_[a].empty() && !queues_[a].empty()) {
-        throw std::logic_error(
-            "Scheduler::dispatch left a free processor idle while a matching "
-            "task was ready (policies must be work-conserving)");
-      }
-    }
-  }
-
-  /// Advances to the next event -- the earliest task completion at
-  /// current rates, or the next fault-plan event, whichever is sooner --
-  /// charging busy ticks and recording trace segments, then processes
-  /// completions followed by due fault events (completions first: a task
-  /// finishing at the instant its processor fails keeps its work).
-  void advance() {
-    Time dt = std::numeric_limits<Time>::max();
-    for (const Running& r : running_) {
-      dt = std::min(dt, static_cast<Time>(r.factor) * r.remaining - r.credit);
-    }
-    if (injector_.has_value() && injector_->next_event_time() != kNoFaultEvent) {
-      dt = std::min(dt, injector_->next_event_time() - now_);
-    }
-    assert(dt > 0);
-    now_ += dt;
-    for (Running& r : running_) {
-      result_.busy_ticks_per_type[r.type] += dt;
-      const Work units = (r.credit + dt) / r.factor;
-      r.credit = (r.credit + dt) % r.factor;
-      r.done += units;
-      r.remaining -= units;
-      remaining_work_[r.task] -= units;
-    }
-    // Complete finished tasks in processor order (deterministic).
-    std::sort(running_.begin(), running_.end(),
-              [](const Running& a, const Running& b) { return a.processor < b.processor; });
-    scratch_running_.clear();
-    for (const Running& r : running_) {
-      if (r.remaining > 0) {
-        scratch_running_.push_back(r);
-        continue;
-      }
-      record_segment(r);
-      release_processor(r);
-      ++completed_;
-      for (TaskId child : dag_.children(r.task)) {
-        assert(remaining_parents_[child] > 0);
-        if (--remaining_parents_[child] == 0) make_ready(child);
-      }
-    }
-    running_.swap(scratch_running_);
-    apply_fault_events();
-  }
-
-  /// Preemptive mode: return every running task to its queue so the next
-  /// dispatch reconsiders the full allocation.  On a slowed processor any
-  /// sub-unit credit is dropped (only whole completed units were ever
-  /// subtracted from remaining_work_, so accounting stays exact).
-  void recall_running() {
-    for (const Running& r : running_) {
-      record_segment(r);
-      release_processor(r);
-      last_proc_[r.task] = r.processor;
-      last_end_[r.task] = now_;
-      requeue(r.task);
-    }
-    running_.clear();
-  }
-
-  /// Closes the continuous run [r.started, now_) in the trace.  The
-  /// trace merges back-to-back runs of the same task on the same
-  /// processor (a "preemption" that changes nothing).  Runs that touched
-  /// a slowdown carry their explicit work count and never merge.
-  void record_segment(const Running& r, bool killed = false) {
-    if (trace_ == nullptr || !options_.record_trace || now_ <= r.started) return;
-    if (r.pure && !killed) {
-      trace_->add(r.task, r.processor, r.started, now_);
-    } else {
-      trace_->add_fault_segment(r.task, r.processor, r.started, now_, r.done,
-                                killed);
-    }
-  }
-
-  // --- fault plumbing -------------------------------------------------------
-  /// Applies every plan event due at or before now_ (the engine only
-  /// ever lands exactly on event times, so in practice "at now_").
-  void apply_fault_events() {
-    if (!injector_.has_value()) return;
-    for (const FaultEvent& event : injector_->take_events_until(now_)) {
-      switch (event.kind) {
-        case FaultKind::kFail:
-          on_fail(event);
-          break;
-        case FaultKind::kRecover:
-          on_recover(event);
-          break;
-        case FaultKind::kSlow:
-          on_slow(event);
-          break;
-      }
-    }
-  }
-
-  void on_fail(const FaultEvent& event) {
-    const std::uint32_t proc = event.processor;
-    ++result_.faults.failures;
-    const ResourceType alpha = cluster_.type_of_processor(proc);
-    assert(alive_per_type_[alpha] > 0);
-    --alive_per_type_[alpha];
-    proc_down_[proc] = 1;
-    proc_down_since_[proc] = event.at;
-    proc_factor_[proc] = 1;  // a recovered processor restarts at full speed
-    // Kill the occupant, if any: record the doomed segment, discard every
-    // unit the task has ever completed, and send it back to the ready
-    // queue from scratch (re-execution model).
-    for (std::size_t i = 0; i < running_.size(); ++i) {
-      if (running_[i].processor != proc) continue;
-      const Running victim = running_[i];
-      running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(i));
-      record_segment(victim, /*killed=*/true);
-      ++result_.faults.tasks_killed;
-      result_.faults.work_discarded += dag_.work(victim.task) -
-                                       remaining_work_[victim.task];
-      remaining_work_[victim.task] = dag_.work(victim.task);
-      make_ready(victim.task);
-      return;
-    }
-    // Idle processor: pull it out of its free list.
-    auto& frees = free_procs_[alpha];
-    const auto pos = std::find(frees.begin(), frees.end(), proc);
-    assert(pos != frees.end());
-    frees.erase(pos);
-  }
-
-  void on_recover(const FaultEvent& event) {
-    const std::uint32_t proc = event.processor;
-    if (proc_down_[proc] != 0) {
-      ++result_.faults.recoveries;
-      obs_recovery_latency_.record(
-          static_cast<std::uint64_t>(event.at - proc_down_since_[proc]));
-      proc_down_[proc] = 0;
-      proc_factor_[proc] = 1;
-      const ResourceType alpha = cluster_.type_of_processor(proc);
-      ++alive_per_type_[alpha];
-      auto& frees = free_procs_[alpha];
-      const auto pos = std::lower_bound(frees.begin(), frees.end(), proc,
-                                        std::greater<std::uint32_t>{});
-      frees.insert(pos, proc);
-      return;
-    }
-    // Recovery from a slowdown: back to full speed in place.
-    rescale_processor(proc, 1);
-  }
-
-  void on_slow(const FaultEvent& event) {
-    ++result_.faults.slowdowns;
-    rescale_processor(event.processor, event.factor);
-  }
-
-  /// Changes a live processor's rate, carrying any running task's credit
-  /// over proportionally (credit' = floor(credit * new / old), which
-  /// keeps credit' < new and never over-credits).
-  void rescale_processor(std::uint32_t proc, std::uint32_t new_factor) {
-    const std::uint32_t old_factor = proc_factor_[proc];
-    proc_factor_[proc] = new_factor;
-    for (Running& r : running_) {
-      if (r.processor != proc) continue;
-      r.credit = r.credit * new_factor / old_factor;
-      r.factor = new_factor;
-      if (new_factor != 1) r.pure = false;
-      return;
-    }
-  }
-
-  void release_processor(const Running& r) {
-    auto& frees = free_procs_[r.type];
-    // Insert keeping descending order.
-    const auto pos = std::lower_bound(frees.begin(), frees.end(), r.processor,
-                                      std::greater<std::uint32_t>{});
-    frees.insert(pos, r.processor);
-  }
-
-  const KDag& dag_;
-  const Cluster& cluster_;
-  SimOptions options_;
-  ExecutionTrace* trace_;
-
-  Time now_ = 0;
-  std::size_t completed_ = 0;
-  std::uint64_t next_seq_ = 0;
-  std::vector<std::uint32_t> remaining_parents_;
-  std::vector<Work> remaining_work_;
-  std::vector<std::uint64_t> ready_seq_;
-  std::vector<std::uint32_t> last_proc_;  // previous processor (affinity)
-  std::vector<Time> last_end_;            // when the previous run ended
-  std::vector<std::vector<TaskId>> queues_;
-  std::vector<Work> queue_work_;
-  std::vector<std::vector<std::uint32_t>> free_procs_;
-  std::vector<Running> running_;
-  std::vector<Running> scratch_running_;  // reused by advance(); never shrinks
-  SimResult result_;
-
-  // Fault state; engaged only when options_.faults is a non-empty plan.
-  // proc_* vectors are indexed by global processor id.
-  std::optional<FaultInjector> injector_;
-  std::vector<std::uint32_t> alive_per_type_;
-  std::vector<std::uint32_t> proc_factor_;  // ticks per unit of work
-  std::vector<std::uint8_t> proc_down_;
-  std::vector<Time> proc_down_since_;
-
-  // Local observability aggregation, flushed once by flush_obs().
-  std::vector<std::uint64_t> obs_dispatches_per_type_;
-  obs::LocalHistogram obs_ready_depth_;
-  obs::LocalHistogram obs_dispatch_ns_;
-  obs::LocalHistogram obs_recovery_latency_;
+  EngineCore& core_;
+  ResourceType num_types_;
 };
 
 }  // namespace
@@ -487,8 +106,97 @@ class Simulation final : public DispatchContext {
 SimResult simulate(const KDag& dag, const Cluster& cluster, Scheduler& scheduler,
                    const SimOptions& options, ExecutionTrace* trace) {
   if (trace != nullptr) trace->clear();
-  Simulation sim(dag, cluster, options, trace);
-  return sim.run(scheduler);
+  if (cluster.num_types() < dag.num_types()) {
+    throw std::invalid_argument(
+        "simulate: job uses more resource types than the cluster provides");
+  }
+
+  EngineCoreOptions core_options;
+  core_options.mode = options.mode;
+  core_options.record_trace = options.record_trace && trace != nullptr;
+  core_options.faults = options.faults;
+  core_options.trace = trace;
+  core_options.bad_index_error = "Scheduler::dispatch assigned a bad queue index";
+  core_options.no_processor_error =
+      "Scheduler::dispatch assigned with no free processor";
+  core_options.conservation_error =
+      "Scheduler::dispatch left a free processor idle while a matching "
+      "task was ready (policies must be work-conserving)";
+
+  SimListener listener;
+  EngineCore core(cluster, core_options, &listener);
+  listener.set_has_injector(core.has_injector());
+  core.add_job(dag, 0);
+  SimContext context(core, dag.num_types());
+
+  const bool observed = obs::enabled();
+  obs::TraceSpan span("simulate", "sim");
+  scheduler.prepare(dag, cluster);
+  core.prepare();  // t=0 fault events take effect before the first dispatch
+
+  obs::LocalHistogram ready_depth;
+  obs::LocalHistogram dispatch_ns;
+  const auto dispatch = [&] {
+    if (!observed) {
+      scheduler.dispatch(context);
+      return;
+    }
+    std::size_t depth = 0;
+    for (ResourceType a = 0; a < dag.num_types(); ++a) depth += core.queue_size(a);
+    ready_depth.record(depth);
+    if (core.decisions() % kDispatchSamplePeriod == 0) {
+      const auto t0 = std::chrono::steady_clock::now();
+      scheduler.dispatch(context);
+      dispatch_ns.record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+    } else {
+      scheduler.dispatch(context);
+    }
+  };
+  core.drain(dispatch);
+
+  SimResult result;
+  result.completion_time = core.now();
+  const auto busy = core.busy_ticks();
+  result.busy_ticks_per_type.assign(
+      busy.begin(), busy.begin() + static_cast<std::ptrdiff_t>(dag.num_types()));
+  result.decision_points = core.decisions();
+  result.preemptions = core.preemptions();
+  result.faults = core.fault_stats();
+
+  if (observed) {
+    // One registry flush per run: a handful of mutex-guarded lookups and
+    // relaxed atomic adds, amortized over the whole simulation.
+    auto& registry = obs::Registry::global();
+    registry.counter("sim.runs").add(1);
+    registry.counter("sim.decisions").add(result.decision_points);
+    registry.counter("sim.preemptions").add(result.preemptions);
+    registry.histogram("sim.ready_depth").merge(ready_depth);
+    registry.histogram("sim.dispatch_ns").merge(dispatch_ns);
+    std::uint64_t dispatches = 0;
+    for (ResourceType a = 0; a < dag.num_types(); ++a) {
+      // Idle->busy processor transitions, i.e. task dispatches, per
+      // type; completions mirror them one-to-one, so one counter tells
+      // both sides of the busy/idle story.
+      registry.counter("sim.type" + std::to_string(a) + ".busy_transitions")
+          .add(core.dispatches(a));
+      dispatches += core.dispatches(a);
+    }
+    registry.counter("sim.dispatches").add(dispatches);
+    if (core.has_injector()) {
+      registry.counter("sim.fault.failures").add(result.faults.failures);
+      registry.counter("sim.fault.recoveries").add(result.faults.recoveries);
+      registry.counter("sim.fault.slowdowns").add(result.faults.slowdowns);
+      registry.counter("sim.fault.tasks_killed").add(result.faults.tasks_killed);
+      registry.counter("sim.fault.work_discarded")
+          .add(static_cast<std::uint64_t>(result.faults.work_discarded));
+      registry.histogram("sim.fault.recovery_latency")
+          .merge(listener.recovery_latency());
+    }
+  }
+  return result;
 }
 
 }  // namespace fhs

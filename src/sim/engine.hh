@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/engine_core.hh"  // ExecutionMode lives with the shared core
 #include "fault/fault_injector.hh"
 #include "fault/fault_plan.hh"
 #include "graph/kdag.hh"
@@ -29,8 +30,6 @@
 #include "sim/trace.hh"
 
 namespace fhs {
-
-enum class ExecutionMode { kNonPreemptive, kPreemptive };
 
 struct SimOptions {
   ExecutionMode mode = ExecutionMode::kNonPreemptive;

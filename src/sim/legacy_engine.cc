@@ -1,0 +1,391 @@
+// The pre-EngineCore engine, frozen as a differential/benchmark
+// reference.  See legacy_engine.hh for why this copy exists; the
+// observability plumbing of the original was dropped (the adapter in
+// engine.cc owns the obs contract now), everything else is verbatim.
+#include "sim/legacy_engine.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace fhs {
+
+namespace {
+
+/// One task currently executing on a concrete processor.
+struct Running {
+  TaskId task;
+  std::uint32_t processor;  // global id
+  ResourceType type;
+  Work remaining;
+  Time started;  // when this continuous run began (for trace segments)
+  // Fault-mode extras (inert at full speed without a plan):
+  Work done = 0;             // units completed during this run
+  Time credit = 0;           // ticks toward the next unit, in [0, factor)
+  std::uint32_t factor = 1;  // ticks per unit on this processor right now
+  bool pure = true;          // ran at factor 1 the whole time (plain trace add)
+};
+
+/// Engine state + the DispatchContext view handed to the policy.
+class LegacySimulation final : public DispatchContext {
+ public:
+  LegacySimulation(const KDag& dag, const Cluster& cluster,
+                   const SimOptions& options, ExecutionTrace* trace)
+      : dag_(dag), cluster_(cluster), options_(options), trace_(trace) {
+    if (cluster.num_types() < dag.num_types()) {
+      throw std::invalid_argument(
+          "simulate: job uses more resource types than the cluster provides");
+    }
+    const std::size_t n = dag.task_count();
+    const ResourceType k = dag.num_types();
+    remaining_parents_.resize(n);
+    remaining_work_.resize(n);
+    ready_seq_.assign(n, 0);
+    last_proc_.assign(n, std::numeric_limits<std::uint32_t>::max());
+    last_end_.assign(n, -1);
+    for (TaskId v = 0; v < n; ++v) {
+      remaining_parents_[v] = static_cast<std::uint32_t>(dag.parent_count(v));
+      remaining_work_[v] = dag.work(v);
+    }
+    queues_.resize(k);
+    queue_work_.assign(k, 0);
+    free_procs_.resize(k);
+    for (ResourceType a = 0; a < k; ++a) {
+      queues_[a].reserve(dag.task_count(a));
+      // Keep free lists sorted descending so pop_back yields the smallest
+      // id (deterministic placement).
+      const std::uint32_t p = cluster.processors(a);
+      free_procs_[a].reserve(p);
+      for (std::uint32_t i = p; i-- > 0;) {
+        free_procs_[a].push_back(cluster.offset(a) + i);
+      }
+    }
+    running_.reserve(cluster.total_processors());
+    scratch_running_.reserve(cluster.total_processors());
+    result_.busy_ticks_per_type.assign(k, 0);
+    alive_per_type_.resize(k);
+    for (ResourceType a = 0; a < k; ++a) alive_per_type_[a] = cluster.processors(a);
+    if (options.faults != nullptr && !options.faults->empty()) {
+      options.faults->validate_against(cluster);
+      injector_.emplace(*options.faults, cluster.total_processors());
+      proc_factor_.assign(cluster.total_processors(), 1);
+      proc_down_.assign(cluster.total_processors(), 0);
+      proc_down_since_.assign(cluster.total_processors(), 0);
+    }
+    for (TaskId root : dag.roots()) make_ready(root);
+  }
+
+  // --- DispatchContext ----------------------------------------------------
+  [[nodiscard]] ResourceType num_types() const noexcept override {
+    return dag_.num_types();
+  }
+  [[nodiscard]] Time now() const noexcept override { return now_; }
+  [[nodiscard]] std::uint32_t free_processors(ResourceType alpha) const override {
+    return static_cast<std::uint32_t>(free_procs_.at(alpha).size());
+  }
+  [[nodiscard]] std::uint32_t total_processors(ResourceType alpha) const override {
+    return alive_per_type_.at(alpha);
+  }
+  [[nodiscard]] ReadySpan ready(ResourceType alpha) const override {
+    return make_ready_span(queues_.at(alpha));
+  }
+  [[nodiscard]] Work queue_work(ResourceType alpha) const override {
+    return queue_work_.at(alpha);
+  }
+  [[nodiscard]] Work remaining_work(TaskId task) const override {
+    return remaining_work_.at(task);
+  }
+
+  void assign(ResourceType alpha, std::size_t index) override {
+    auto& queue = queues_.at(alpha);
+    if (index >= queue.size()) {
+      throw std::logic_error("Scheduler::dispatch assigned a bad queue index");
+    }
+    auto& frees = free_procs_.at(alpha);
+    if (frees.empty()) {
+      throw std::logic_error("Scheduler::dispatch assigned with no free processor");
+    }
+    const TaskId task = queue[index];
+    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(index));
+    invalidate_ready_spans();
+    queue_work_[alpha] -= remaining_work_[task];
+    std::uint32_t proc;
+    const auto prev = std::find(frees.begin(), frees.end(), last_proc_[task]);
+    if (prev != frees.end()) {
+      proc = *prev;
+      frees.erase(prev);
+    } else {
+      proc = frees.back();  // smallest free id (list kept descending)
+      frees.pop_back();
+    }
+    if (remaining_work_[task] < dag_.work(task) &&
+        (proc != last_proc_[task] || now_ != last_end_[task])) {
+      ++result_.preemptions;
+    }
+    Running run{task, proc, alpha, remaining_work_[task], now_};
+    if (injector_.has_value()) {
+      run.factor = proc_factor_[proc];
+      run.pure = run.factor == 1;
+    }
+    running_.push_back(run);
+  }
+
+  // --- main loop ------------------------------------------------------------
+  SimResult run(Scheduler& scheduler) {
+    scheduler.prepare(dag_, cluster_);
+    apply_fault_events();  // t=0 events take effect before the first dispatch
+    const std::size_t n = dag_.task_count();
+    while (completed_ < n) {
+      scheduler.dispatch(*this);
+      ++result_.decision_points;
+      enforce_work_conservation();
+      if (running_.empty()) {
+        if (injector_.has_value() &&
+            injector_->next_event_time() != kNoFaultEvent) {
+          now_ = injector_->next_event_time();
+          apply_fault_events();
+          continue;
+        }
+        if (injector_.has_value()) {
+          throw std::runtime_error(
+              "simulate: fault plan stranded " +
+              std::to_string(n - completed_) +
+              " outstanding task(s): every matching processor is failed and "
+              "no further recovery is scheduled");
+        }
+        throw std::logic_error("simulate: no runnable task but job incomplete");
+      }
+      advance();
+      if (options_.mode == ExecutionMode::kPreemptive) recall_running();
+    }
+    result_.completion_time = now_;
+    return std::move(result_);
+  }
+
+ private:
+  void make_ready(TaskId task) {
+    const ResourceType alpha = dag_.type(task);
+    ready_seq_[task] = next_seq_++;
+    queues_[alpha].push_back(task);
+    queue_work_[alpha] += remaining_work_[task];
+    invalidate_ready_spans();
+  }
+
+  /// Re-inserts a preempted task keeping the queue ordered by the
+  /// sequence in which tasks first became ready (FIFO semantics).
+  void requeue(TaskId task) {
+    const ResourceType alpha = dag_.type(task);
+    auto& queue = queues_[alpha];
+    const auto pos = std::lower_bound(
+        queue.begin(), queue.end(), ready_seq_[task],
+        [this](TaskId lhs, std::uint64_t seq) { return ready_seq_[lhs] < seq; });
+    queue.insert(pos, task);
+    queue_work_[alpha] += remaining_work_[task];
+    invalidate_ready_spans();
+  }
+
+  void enforce_work_conservation() const {
+    for (ResourceType a = 0; a < num_types(); ++a) {
+      if (!free_procs_[a].empty() && !queues_[a].empty()) {
+        throw std::logic_error(
+            "Scheduler::dispatch left a free processor idle while a matching "
+            "task was ready (policies must be work-conserving)");
+      }
+    }
+  }
+
+  /// Advances to the next event -- the earliest task completion at
+  /// current rates, or the next fault-plan event, whichever is sooner.
+  void advance() {
+    Time dt = std::numeric_limits<Time>::max();
+    for (const Running& r : running_) {
+      dt = std::min(dt, static_cast<Time>(r.factor) * r.remaining - r.credit);
+    }
+    if (injector_.has_value() && injector_->next_event_time() != kNoFaultEvent) {
+      dt = std::min(dt, injector_->next_event_time() - now_);
+    }
+    assert(dt > 0);
+    now_ += dt;
+    for (Running& r : running_) {
+      result_.busy_ticks_per_type[r.type] += dt;
+      const Work units = (r.credit + dt) / r.factor;
+      r.credit = (r.credit + dt) % r.factor;
+      r.done += units;
+      r.remaining -= units;
+      remaining_work_[r.task] -= units;
+    }
+    // Complete finished tasks in processor order (deterministic).
+    std::sort(running_.begin(), running_.end(),
+              [](const Running& a, const Running& b) { return a.processor < b.processor; });
+    scratch_running_.clear();
+    for (const Running& r : running_) {
+      if (r.remaining > 0) {
+        scratch_running_.push_back(r);
+        continue;
+      }
+      record_segment(r);
+      release_processor(r);
+      ++completed_;
+      for (TaskId child : dag_.children(r.task)) {
+        assert(remaining_parents_[child] > 0);
+        if (--remaining_parents_[child] == 0) make_ready(child);
+      }
+    }
+    running_.swap(scratch_running_);
+    apply_fault_events();
+  }
+
+  /// Preemptive mode: return every running task to its queue so the next
+  /// dispatch reconsiders the full allocation.
+  void recall_running() {
+    for (const Running& r : running_) {
+      record_segment(r);
+      release_processor(r);
+      last_proc_[r.task] = r.processor;
+      last_end_[r.task] = now_;
+      requeue(r.task);
+    }
+    running_.clear();
+  }
+
+  void record_segment(const Running& r, bool killed = false) {
+    if (trace_ == nullptr || !options_.record_trace || now_ <= r.started) return;
+    if (r.pure && !killed) {
+      trace_->add(r.task, r.processor, r.started, now_);
+    } else {
+      trace_->add_fault_segment(r.task, r.processor, r.started, now_, r.done,
+                                killed);
+    }
+  }
+
+  // --- fault plumbing -------------------------------------------------------
+  void apply_fault_events() {
+    if (!injector_.has_value()) return;
+    for (const FaultEvent& event : injector_->take_events_until(now_)) {
+      switch (event.kind) {
+        case FaultKind::kFail:
+          on_fail(event);
+          break;
+        case FaultKind::kRecover:
+          on_recover(event);
+          break;
+        case FaultKind::kSlow:
+          on_slow(event);
+          break;
+      }
+    }
+  }
+
+  void on_fail(const FaultEvent& event) {
+    const std::uint32_t proc = event.processor;
+    ++result_.faults.failures;
+    const ResourceType alpha = cluster_.type_of_processor(proc);
+    assert(alive_per_type_[alpha] > 0);
+    --alive_per_type_[alpha];
+    proc_down_[proc] = 1;
+    proc_down_since_[proc] = event.at;
+    proc_factor_[proc] = 1;  // a recovered processor restarts at full speed
+    for (std::size_t i = 0; i < running_.size(); ++i) {
+      if (running_[i].processor != proc) continue;
+      const Running victim = running_[i];
+      running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(i));
+      record_segment(victim, /*killed=*/true);
+      ++result_.faults.tasks_killed;
+      result_.faults.work_discarded += dag_.work(victim.task) -
+                                       remaining_work_[victim.task];
+      remaining_work_[victim.task] = dag_.work(victim.task);
+      make_ready(victim.task);
+      return;
+    }
+    // Idle processor: pull it out of its free list.
+    auto& frees = free_procs_[alpha];
+    const auto pos = std::find(frees.begin(), frees.end(), proc);
+    assert(pos != frees.end());
+    frees.erase(pos);
+  }
+
+  void on_recover(const FaultEvent& event) {
+    const std::uint32_t proc = event.processor;
+    if (proc_down_[proc] != 0) {
+      ++result_.faults.recoveries;
+      proc_down_[proc] = 0;
+      proc_factor_[proc] = 1;
+      const ResourceType alpha = cluster_.type_of_processor(proc);
+      ++alive_per_type_[alpha];
+      auto& frees = free_procs_[alpha];
+      const auto pos = std::lower_bound(frees.begin(), frees.end(), proc,
+                                        std::greater<std::uint32_t>{});
+      frees.insert(pos, proc);
+      return;
+    }
+    // Recovery from a slowdown: back to full speed in place.
+    rescale_processor(proc, 1);
+  }
+
+  void on_slow(const FaultEvent& event) {
+    ++result_.faults.slowdowns;
+    rescale_processor(event.processor, event.factor);
+  }
+
+  void rescale_processor(std::uint32_t proc, std::uint32_t new_factor) {
+    const std::uint32_t old_factor = proc_factor_[proc];
+    proc_factor_[proc] = new_factor;
+    for (Running& r : running_) {
+      if (r.processor != proc) continue;
+      r.credit = r.credit * new_factor / old_factor;
+      r.factor = new_factor;
+      if (new_factor != 1) r.pure = false;
+      return;
+    }
+  }
+
+  void release_processor(const Running& r) {
+    auto& frees = free_procs_[r.type];
+    // Insert keeping descending order.
+    const auto pos = std::lower_bound(frees.begin(), frees.end(), r.processor,
+                                      std::greater<std::uint32_t>{});
+    frees.insert(pos, r.processor);
+  }
+
+  const KDag& dag_;
+  const Cluster& cluster_;
+  SimOptions options_;
+  ExecutionTrace* trace_;
+
+  Time now_ = 0;
+  std::size_t completed_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::vector<std::uint32_t> remaining_parents_;
+  std::vector<Work> remaining_work_;
+  std::vector<std::uint64_t> ready_seq_;
+  std::vector<std::uint32_t> last_proc_;  // previous processor (affinity)
+  std::vector<Time> last_end_;            // when the previous run ended
+  std::vector<std::vector<TaskId>> queues_;
+  std::vector<Work> queue_work_;
+  std::vector<std::vector<std::uint32_t>> free_procs_;
+  std::vector<Running> running_;
+  std::vector<Running> scratch_running_;  // reused by advance(); never shrinks
+  SimResult result_;
+
+  // Fault state; engaged only when options_.faults is a non-empty plan.
+  std::optional<FaultInjector> injector_;
+  std::vector<std::uint32_t> alive_per_type_;
+  std::vector<std::uint32_t> proc_factor_;  // ticks per unit of work
+  std::vector<std::uint8_t> proc_down_;
+  std::vector<Time> proc_down_since_;
+};
+
+}  // namespace
+
+SimResult legacy_simulate(const KDag& dag, const Cluster& cluster,
+                          Scheduler& scheduler, const SimOptions& options,
+                          ExecutionTrace* trace) {
+  if (trace != nullptr) trace->clear();
+  LegacySimulation sim(dag, cluster, options, trace);
+  return sim.run(scheduler);
+}
+
+}  // namespace fhs

@@ -1,0 +1,26 @@
+// Frozen pre-EngineCore single-job engine.
+//
+// This is the linear-scan event loop sim/engine.cc shipped before the
+// core/ redesign, kept verbatim (minus observability plumbing) for two
+// consumers:
+//
+//  * tests/core_differential_test.cc -- proves the EngineCore adapter
+//    produces byte-identical traces and results against this reference
+//    over every registered policy, workload family, and fault plan;
+//  * tools/perf_microbench -- the events/sec baseline the headline
+//    speedup in BENCH_engine.json is measured against.
+//
+// Do not extend this file; new engine work goes through core/.
+#pragma once
+
+#include "sim/engine.hh"
+
+namespace fhs {
+
+/// Identical contract to simulate() (sim/engine.hh), executed by the
+/// frozen legacy engine.
+SimResult legacy_simulate(const KDag& dag, const Cluster& cluster,
+                          Scheduler& scheduler, const SimOptions& options = {},
+                          ExecutionTrace* trace = nullptr);
+
+}  // namespace fhs

@@ -1,0 +1,241 @@
+// EngineCore differential gate: the redesigned engine must be
+// byte-identical to the frozen legacy engine.
+//
+// simulate() now runs on the shared EngineCore (SoA TaskTable +
+// calendar-queue events); the pre-core implementation is frozen verbatim
+// in sim/legacy_engine.cc.  For every spec the registry knows, every
+// workload family, both execution modes, and both fault settings, the
+// same seeded job runs through both engines and everything observable
+// must match exactly: trace segments (start/end/processor/killed flags),
+// completion time, per-type busy ticks, decision counts, preemption
+// counts, and fault statistics.  Any divergence -- even a reordered
+// equal-time event -- fails here before it can perturb a figure.
+//
+// A TaskTable unit suite rides along: the SoA columns, CSR children, and
+// global-id mapping are the substrate the differential runs on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/task_table.hh"
+#include "fault/fault_plan.hh"
+#include "machine/cluster.hh"
+#include "sched/registry.hh"
+#include "sim/engine.hh"
+#include "sim/legacy_engine.hh"
+#include "support/rng.hh"
+#include "workload/workload.hh"
+
+namespace fhs {
+namespace {
+
+constexpr std::uint64_t kSeed = 2024;
+
+/// Every distinct spec the registry exposes (paper list + Fig. 8 list).
+std::vector<std::string> all_registry_specs() {
+  std::vector<std::string> specs;
+  for (const SchedulerSpec& spec : paper_scheduler_names()) {
+    specs.push_back(spec.to_string());
+  }
+  for (const SchedulerSpec& spec : fig8_scheduler_names()) {
+    const std::string name = spec.to_string();
+    if (std::find(specs.begin(), specs.end(), name) == specs.end()) {
+      specs.push_back(name);
+    }
+  }
+  return specs;
+}
+
+/// A small seeded job of each family (same shapes as the fault
+/// differential, so the two gates cover identical inputs).
+KDag small_job(const std::string& family, std::uint64_t seed) {
+  Rng rng(seed);
+  if (family == "ep") {
+    EpParams p;
+    p.num_types = 4;
+    p.min_branches = 4;
+    p.max_branches = 6;
+    return generate(p, rng);
+  }
+  if (family == "tree") {
+    TreeParams p;
+    p.num_types = 4;
+    p.max_tasks = 96;
+    return generate(p, rng);
+  }
+  IrParams p;
+  p.num_types = 4;
+  p.min_iterations = 3;
+  p.max_iterations = 4;
+  p.min_maps = 10;
+  p.max_maps = 18;
+  p.min_reduces = 3;
+  p.max_reduces = 5;
+  return generate(p, rng);
+}
+
+/// fail+recover on two processors, a permanent slowdown on a third --
+/// every failure recovers, so no plan strands work.
+FaultPlan recovering_plan() {
+  return FaultPlan::parse(
+      "p1:fail@3;p1:recover@60;p5:slowx2@0;p2:fail@20;p2:recover@45");
+}
+
+void expect_identical(const SimResult& legacy, const SimResult& core,
+                      const ExecutionTrace& legacy_trace,
+                      const ExecutionTrace& core_trace, const std::string& label) {
+  EXPECT_EQ(legacy.completion_time, core.completion_time) << label;
+  EXPECT_EQ(legacy.busy_ticks_per_type, core.busy_ticks_per_type) << label;
+  EXPECT_EQ(legacy.decision_points, core.decision_points) << label;
+  EXPECT_EQ(legacy.preemptions, core.preemptions) << label;
+  EXPECT_EQ(legacy.faults, core.faults) << label;
+  ASSERT_EQ(legacy_trace.segments(), core_trace.segments()) << label;
+}
+
+class EngineCoreDifferential : public testing::TestWithParam<std::string> {};
+
+TEST_P(EngineCoreDifferential, MatchesLegacyByteForByte) {
+  const Cluster cluster({2, 2, 2, 2});
+  const FaultPlan plan = recovering_plan();
+  for (const std::string family : {"ep", "tree", "ir"}) {
+    for (const ExecutionMode mode :
+         {ExecutionMode::kNonPreemptive, ExecutionMode::kPreemptive}) {
+      for (const bool faulty : {false, true}) {
+        const KDag dag = small_job(family, kSeed);
+        SimOptions options;
+        options.mode = mode;
+        options.record_trace = true;
+        if (faulty) options.faults = &plan;
+        const std::string label =
+            GetParam() + "/" + family +
+            (mode == ExecutionMode::kPreemptive ? "/preemptive" : "/non-preemptive") +
+            (faulty ? "/faults" : "/no-faults");
+
+        ExecutionTrace legacy_trace;
+        const auto legacy_sched = make_scheduler(GetParam(), kSeed);
+        const SimResult legacy =
+            legacy_simulate(dag, cluster, *legacy_sched, options, &legacy_trace);
+
+        ExecutionTrace core_trace;
+        const auto core_sched = make_scheduler(GetParam(), kSeed);
+        const SimResult core =
+            simulate(dag, cluster, *core_sched, options, &core_trace);
+
+        expect_identical(legacy, core, legacy_trace, core_trace, label);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegistrySpecs, EngineCoreDifferential,
+                         testing::ValuesIn(all_registry_specs()),
+                         [](const testing::TestParamInfo<std::string>& param) {
+                           std::string name = param.param;
+                           for (char& c : name) {
+                             if (c == '+') c = '_';
+                           }
+                           return name;
+                         });
+
+// Both engines must agree on guard behavior too, not just happy paths.
+TEST(EngineCoreDifferential, GuardExceptionsMatchLegacy) {
+  KDagBuilder builder(3);
+  (void)builder.add_task(2, 5);
+  const KDag wide = std::move(builder).build();
+  const Cluster narrow({2, 2});
+  const auto sched = make_scheduler("kgreedy", 0);
+  EXPECT_THROW((void)legacy_simulate(wide, narrow, *sched), std::invalid_argument);
+  EXPECT_THROW((void)simulate(wide, narrow, *sched), std::invalid_argument);
+}
+
+// --- TaskTable ----------------------------------------------------------------
+
+KDag diamond(ResourceType num_types = 2) {
+  KDagBuilder builder(num_types);
+  const TaskId a = builder.add_task(0, 3);
+  const TaskId b = builder.add_task(1, 4);
+  const TaskId c = builder.add_task(1, 5);
+  const TaskId d = builder.add_task(0, 6);
+  builder.add_edge(a, b);
+  builder.add_edge(a, c);
+  builder.add_edge(b, d);
+  builder.add_edge(c, d);
+  return std::move(builder).build();
+}
+
+TEST(TaskTable, ColumnsMirrorTheDag) {
+  TaskTable table;
+  const KDag dag = diamond();
+  ASSERT_EQ(table.add_job(dag), 0u);
+  ASSERT_EQ(table.size(), dag.task_count());
+  for (TaskId v = 0; v < dag.task_count(); ++v) {
+    EXPECT_EQ(table.type[v], dag.type(v)) << v;
+    EXPECT_EQ(table.total_work[v], dag.work(v)) << v;
+    EXPECT_EQ(table.remaining[v], dag.work(v)) << v;
+    EXPECT_EQ(table.indegree[v], dag.parent_count(v)) << v;
+    EXPECT_EQ(table.due[v], 0) << v;
+    EXPECT_EQ(table.job[v], 0u) << v;
+  }
+}
+
+TEST(TaskTable, SecondJobGetsOffsetGlobalIds) {
+  TaskTable table;
+  const KDag first = diamond();
+  const KDag second = diamond(3);
+  ASSERT_EQ(table.add_job(first), 0u);
+  ASSERT_EQ(table.add_job(second), 1u);
+  ASSERT_EQ(table.job_count(), 2u);
+  EXPECT_EQ(table.base(1), first.task_count());
+  EXPECT_EQ(table.job_size(1), second.task_count());
+  // Global id <-> (job, local) round-trips.
+  const std::uint32_t global = table.base(1) + 2;
+  EXPECT_EQ(table.job[global], 1u);
+  EXPECT_EQ(table.local_id(global), 2u);
+  // CSR children are global ids confined to their own job: appending the
+  // second job must not disturb the first job's rows.
+  for (std::uint32_t j = 0; j < 2; ++j) {
+    const KDag& dag = j == 0 ? first : second;
+    for (TaskId v = 0; v < dag.task_count(); ++v) {
+      const auto children = table.children(table.base(j) + v);
+      const auto expected = dag.children(v);
+      ASSERT_EQ(children.size(), expected.size()) << "job " << j << " task " << v;
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        EXPECT_EQ(children[i], table.base(j) + expected[i]);
+      }
+    }
+  }
+}
+
+TEST(TaskTable, RootsArePerJobGlobalIds) {
+  TaskTable table;
+  const KDag dag = diamond();
+  (void)table.add_job(dag);
+  (void)table.add_job(dag);
+  for (std::uint32_t j = 0; j < 2; ++j) {
+    const auto roots = table.roots(j);
+    ASSERT_EQ(roots.size(), dag.roots().size());
+    for (std::size_t i = 0; i < roots.size(); ++i) {
+      EXPECT_EQ(roots[i], table.base(j) + dag.roots()[i]);
+    }
+  }
+}
+
+TEST(TaskTable, SetDueFillsOneJobOnly) {
+  TaskTable table;
+  const KDag dag = diamond();
+  (void)table.add_job(dag);
+  (void)table.add_job(dag);
+  const std::vector<Time> due = {10, 20, 30, 40};
+  table.set_due(1, due);
+  for (TaskId v = 0; v < dag.task_count(); ++v) {
+    EXPECT_EQ(table.due[v], 0) << v;
+    EXPECT_EQ(table.due[table.base(1) + v], due[v]) << v;
+  }
+  const std::vector<Time> short_due = {1};
+  EXPECT_THROW(table.set_due(0, short_due), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fhs

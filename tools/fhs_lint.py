@@ -55,7 +55,7 @@ RULES = {
 # timing helpers that are *supposed* to read clocks.
 DETERMINISTIC_MODULES = {
     "sim", "sched", "graph", "exp", "workload", "multijob", "flex", "metrics",
-    "fault",
+    "fault", "core",
 }
 
 # Modules on the simulate/schedule/serve hot path where ad-hoc console
@@ -63,7 +63,7 @@ DETERMINISTIC_MODULES = {
 # cout from worker threads).
 HOT_MODULES = {
     "sim", "sched", "graph", "multijob", "obs", "service", "shard", "flex", "exp",
-    "fault",
+    "fault", "core",
 }
 
 SOURCE_SUFFIXES = {".hh", ".h", ".cc", ".cpp", ".cxx", ".hpp"}
