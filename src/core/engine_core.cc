@@ -41,6 +41,8 @@ EngineCore::EngineCore(const Cluster& cluster, const EngineCoreOptions& options,
   for (ResourceType a = 0; a < k; ++a) alive_per_type_[a] = cluster_.processors(a);
   busy_ticks_per_type_.assign(k, 0);
   dispatch_count_per_type_.assign(k, 0);
+  dyn_power_of_type_.assign(k, 0);
+  energy_milli_per_type_.assign(k, 0);
   slots_.resize(cluster_.total_processors());
   proc_gen_.assign(cluster_.total_processors(), 0);
   occ_mask_.assign((cluster_.total_processors() + 63) / 64, 0);
@@ -202,6 +204,7 @@ void EngineCore::assign(ResourceType alpha, std::size_t index) {
   occ_mask_[proc >> 6] |= std::uint64_t{1} << (proc & 63);
   ++occupied_of_type_[alpha];
   ++dispatch_count_per_type_[alpha];
+  energy_on_occupy(alpha, slot.factor);
   push_completion_event(proc);
 }
 
@@ -226,6 +229,7 @@ void EngineCore::release_processor(std::uint32_t proc) {
   --occupied_count_;
   occ_mask_[proc >> 6] &= ~(std::uint64_t{1} << (proc & 63));
   --occupied_of_type_[slot.type];
+  energy_on_vacate(slot.type, slot.factor);
   ++proc_gen_[proc];  // lazily cancels the outstanding completion event
 }
 
@@ -402,6 +406,16 @@ void EngineCore::elapse_running(Time dt) {
   for (ResourceType a = 0; a < cluster_.num_types(); ++a) {
     busy_ticks_per_type_[a] += dt * occupied_of_type_[a];
   }
+  if (options_.energy.has_value()) {
+    // Power = idle floor for every alive processor + the busy occupants'
+    // dynamic draw (maintained incrementally at assign/release/rescale).
+    const std::uint64_t idle = options_.energy->idle_power_milli;
+    for (ResourceType a = 0; a < cluster_.num_types(); ++a) {
+      energy_milli_per_type_[a] +=
+          static_cast<std::uint64_t>(dt) *
+          (idle * alive_per_type_[a] + dyn_power_of_type_[a]);
+    }
+  }
 }
 
 void EngineCore::process_completions() {
@@ -540,6 +554,7 @@ void EngineCore::on_fail(const FaultEvent& event) {
     --occupied_count_;
     occ_mask_[proc >> 6] &= ~(std::uint64_t{1} << (proc & 63));
     --occupied_of_type_[slot.type];
+    energy_on_vacate(slot.type, slot.factor);
     ++proc_gen_[proc];  // cancels the pending completion event
     make_ready(victim);
     listener_->on_fail_applied(/*killed=*/true, discarded);
@@ -582,6 +597,8 @@ void EngineCore::rescale_processor(std::uint32_t proc, std::uint32_t new_factor)
   ProcSlot& slot = slots_[proc];
   if (!slot.occupied) return;
   materialize(proc);  // progress so far accrued at the old rate
+  energy_on_vacate(slot.type, slot.factor);
+  energy_on_occupy(slot.type, new_factor);
   slot.credit = slot.credit * new_factor / old_factor;
   slot.factor = new_factor;
   if (new_factor != 1) slot.pure = false;

@@ -62,6 +62,22 @@ namespace fhs {
 
 enum class ExecutionMode { kNonPreemptive, kPreemptive };
 
+/// Per-tick power accounting (ROADMAP "deadline- and energy-aware
+/// scheduler family").  All integer, in milli-units per tick, so energy
+/// totals are exactly deterministic.
+///
+/// A busy processor draws busy_power_milli / f^3 dynamic power at slow
+/// factor f (cubic DVFS: the fault layer's slowx machinery *is* the rate
+/// scaling -- running at 1/f speed costs 1/f^3 power, so a slowed
+/// processor trades completion time for energy) plus the idle floor; an
+/// alive idle processor draws idle_power_milli; a failed (down)
+/// processor draws nothing.  Per-type energy integrates in O(K) per
+/// advance alongside busy ticks.
+struct EnergyModel {
+  std::uint32_t busy_power_milli = 1000;  ///< dynamic power at full speed
+  std::uint32_t idle_power_milli = 100;   ///< floor for every alive processor
+};
+
 struct EngineCoreOptions {
   ExecutionMode mode = ExecutionMode::kNonPreemptive;
   /// Record per-processor segments (into `trace` if set, else the
@@ -72,6 +88,9 @@ struct EngineCoreOptions {
   const FaultPlan* faults = nullptr;
   /// Optional external trace target (not owned).
   ExecutionTrace* trace = nullptr;
+  /// Engage per-tick power accounting (disabled costs nothing on the
+  /// elapse hot path).
+  std::optional<EnergyModel> energy;
   // Engine-flavored diagnostics, so adapters keep their documented
   // exception messages.
   const char* bad_index_error = "EngineCore: dispatch assigned a bad queue index";
@@ -204,6 +223,20 @@ class EngineCore {
   }
   [[nodiscard]] bool has_injector() const noexcept { return injector_.has_value(); }
 
+  [[nodiscard]] bool energy_enabled() const noexcept {
+    return options_.energy.has_value();
+  }
+  /// Accumulated energy per type in milli-units (empty meaningfully only
+  /// when energy accounting is enabled; zeros otherwise).
+  [[nodiscard]] std::span<const std::uint64_t> energy_milli() const noexcept {
+    return energy_milli_per_type_;
+  }
+  [[nodiscard]] std::uint64_t total_energy_milli() const noexcept {
+    std::uint64_t total = 0;
+    for (const std::uint64_t e : energy_milli_per_type_) total += e;
+    return total;
+  }
+
   [[nodiscard]] std::size_t job_count() const noexcept { return table_.job_count(); }
   [[nodiscard]] std::size_t jobs_completed() const noexcept { return jobs_completed_; }
   [[nodiscard]] std::size_t tasks_left(std::uint32_t j) const {
@@ -302,6 +335,18 @@ class EngineCore {
   void release_processor(std::uint32_t proc);
   void push_completion_event(std::uint32_t proc);
 
+  /// Dynamic (above-idle) power of a busy processor at slow factor f.
+  [[nodiscard]] std::uint32_t dynamic_power(std::uint32_t factor) const {
+    const std::uint64_t cube = std::uint64_t{factor} * factor * factor;
+    return static_cast<std::uint32_t>(options_.energy->busy_power_milli / cube);
+  }
+  void energy_on_occupy(ResourceType alpha, std::uint32_t factor) {
+    if (options_.energy.has_value()) dyn_power_of_type_[alpha] += dynamic_power(factor);
+  }
+  void energy_on_vacate(ResourceType alpha, std::uint32_t factor) {
+    if (options_.energy.has_value()) dyn_power_of_type_[alpha] -= dynamic_power(factor);
+  }
+
   Cluster cluster_;
   EngineCoreOptions options_;
   EngineCoreListener* listener_;
@@ -327,6 +372,10 @@ class EngineCore {
   std::vector<std::uint32_t> alive_per_type_;
   std::vector<Time> busy_ticks_per_type_;
   std::vector<std::uint64_t> dispatch_count_per_type_;
+  /// Energy accounting (all zero unless options_.energy is set):
+  /// sum of the busy occupants' dynamic power, and the integral.
+  std::vector<std::uint32_t> dyn_power_of_type_;
+  std::vector<std::uint64_t> energy_milli_per_type_;
 
   // Per processor.
   std::vector<ProcSlot> slots_;

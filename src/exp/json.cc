@@ -156,7 +156,8 @@ void write_json(std::ostream& out, const ServiceStats& stats) {
   if (stats.deadline_enabled) {
     out << ",\n  \"timed_out\": " << stats.timed_out
         << ",\n  \"retried\": " << stats.retried
-        << ",\n  \"retries_exhausted\": " << stats.retries_exhausted;
+        << ",\n  \"retries_exhausted\": " << stats.retries_exhausted
+        << ",\n  \"rejected_unschedulable\": " << stats.rejected_unschedulable;
   }
   if (stats.faults_enabled) {
     out << ",\n  \"fault_failures\": " << stats.fault_failures
@@ -164,6 +165,13 @@ void write_json(std::ostream& out, const ServiceStats& stats) {
         << ",\n  \"fault_slowdowns\": " << stats.fault_slowdowns
         << ",\n  \"fault_tasks_killed\": " << stats.fault_tasks_killed
         << ",\n  \"fault_work_discarded\": " << stats.fault_work_discarded;
+  }
+  if (stats.energy_enabled) {
+    out << ",\n  \"energy_milli\": [";
+    for (std::size_t a = 0; a < stats.energy_milli_per_type.size(); ++a) {
+      out << (a ? ", " : "") << stats.energy_milli_per_type[a];
+    }
+    out << "],\n  \"total_energy_milli\": " << stats.total_energy_milli;
   }
   // Gated like the blocks above: a plain (unsharded) service keeps the
   // exact pre-existing document bytes.

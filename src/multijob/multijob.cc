@@ -38,6 +38,7 @@ EngineCoreOptions make_core_options(const MultiEngineOptions& options) {
   core_options.mode = ExecutionMode::kNonPreemptive;
   core_options.record_trace = options.record_trace;
   core_options.faults = options.faults;
+  core_options.energy = options.energy;
   core_options.bad_index_error = "MultiJobScheduler::dispatch assigned a bad index";
   core_options.no_processor_error =
       "MultiJobScheduler::dispatch assigned with no free processor";
@@ -242,6 +243,10 @@ MultiJobResult MultiJobEngine::finish() {
     }
   }
   result.faults = core_.fault_stats();
+  if (core_.energy_enabled()) {
+    const auto energy = core_.energy_milli();
+    result.energy_milli_per_type.assign(energy.begin(), energy.end());
+  }
   result.trace = core_.take_trace();
   const auto& bases = core_.table().job_base;
   result.trace_task_offset.assign(bases.begin(), bases.end());

@@ -25,6 +25,7 @@
 #include <deque>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -105,6 +106,9 @@ struct MultiJobResult {
   std::vector<std::uint8_t> cancelled;
   /// What the fault plan did (all zero without one).
   FaultStats faults;
+  /// Accumulated energy per type in milli-units (filled only when the
+  /// run enabled MultiEngineOptions.energy; empty otherwise).
+  std::vector<std::uint64_t> energy_milli_per_type;
   /// Combined execution trace over all jobs (only filled when the run
   /// recorded one); job j's task v appears as task trace_task_offset[j]+v.
   ExecutionTrace trace;
@@ -124,6 +128,9 @@ struct MultiEngineOptions {
   /// recover restores the processor; total_processors reports alive
   /// counts.  nullptr or empty reproduces the fault-free engine exactly.
   const FaultPlan* faults = nullptr;
+  /// Per-tick power accounting (core/engine_core.hh EnergyModel); unset
+  /// costs nothing and keeps results byte-identical to before.
+  std::optional<EnergyModel> energy;
 };
 
 /// Incremental multi-job simulation engine.  Single-threaded: callers
@@ -187,6 +194,14 @@ class MultiJobEngine final : public MultiDispatchContext,
   [[nodiscard]] Time completion_time(std::uint32_t j) const;
   [[nodiscard]] std::span<const Time> busy_ticks() const noexcept {
     return core_.busy_ticks();
+  }
+  [[nodiscard]] bool energy_enabled() const noexcept { return core_.energy_enabled(); }
+  /// Accumulated energy per type in milli-units (zeros unless enabled).
+  [[nodiscard]] std::span<const std::uint64_t> energy_milli() const noexcept {
+    return core_.energy_milli();
+  }
+  [[nodiscard]] std::uint64_t total_energy_milli() const noexcept {
+    return core_.total_energy_milli();
   }
   [[nodiscard]] const Cluster& cluster() const noexcept { return core_.cluster(); }
 

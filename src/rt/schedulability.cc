@@ -1,0 +1,17 @@
+#include "rt/schedulability.hh"
+
+#include "metrics/bounds.hh"
+
+namespace fhs {
+
+Time rt_lower_bound(const KDag& dag, const Cluster& cluster) {
+  return completion_time_lower_bound(dag, cluster);
+}
+
+bool rt_schedulable(const KDag& dag, const Cluster& cluster, Time deadline) {
+  if (deadline <= 0) return true;  // no deadline, nothing to prove
+  if (dag.num_types() > cluster.num_types()) return false;
+  return rt_lower_bound(dag, cluster) <= deadline;
+}
+
+}  // namespace fhs

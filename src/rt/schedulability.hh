@@ -1,0 +1,41 @@
+// Utilization-based schedulability test for deadline admission (ROADMAP
+// "deadline- and energy-aware online scheduler family"; the shape of
+// yass bf.c's yass_dpm_schedulability_test, lifted to K-DAGs).
+//
+// Any schedule of job J on this cluster needs at least
+//
+//   L(J) = max( T_inf(J),  max_alpha ceil(T1(J, alpha) / P_alpha) )
+//
+// ticks (the paper's §V-A lower bound): the critical path is
+// irreducible, and the busiest resource type must chew through its
+// total work.  A job whose relative deadline is below L(J) therefore
+// *provably* cannot meet it -- no scheduler, no idle cluster, no luck
+// can help -- so the service admission layer rejects it up front
+// (AdmissionVerdict::kUnschedulable) instead of running it, burning
+// processor-ticks, and cancelling it at expiry.
+//
+// The test is necessary, not sufficient: it uses the cluster's static
+// processor counts (fault outages and queue contention only make things
+// worse), so passing it never guarantees the deadline.  That is the
+// right polarity for admission -- false "schedulable" degrades to the
+// existing timeout path; false "unschedulable" would wrongly reject.
+#pragma once
+
+#include "graph/kdag.hh"
+#include "machine/cluster.hh"
+
+namespace fhs {
+
+/// L(J): the completion-time lower bound used as the admission yardstick
+/// (equals metrics/bounds completion_time_lower_bound).
+[[nodiscard]] Time rt_lower_bound(const KDag& dag, const Cluster& cluster);
+
+/// True when `deadline` (relative, > 0) is not provably unreachable:
+/// deadline >= L(J).  A non-positive deadline means "no deadline" and is
+/// always schedulable.  Jobs whose types exceed the cluster's are not
+/// schedulable on it at all (callers normally reject those earlier as
+/// kTypeMismatch).
+[[nodiscard]] bool rt_schedulable(const KDag& dag, const Cluster& cluster,
+                                  Time deadline);
+
+}  // namespace fhs

@@ -1,0 +1,201 @@
+#include "rt/stream_rt.hh"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/analysis.hh"
+#include "graph/kdag_algorithms.hh"
+
+namespace fhs {
+
+namespace {
+
+/// Static per-job deadline data, built once at admit().
+struct RtJobState {
+  Time arrival = 0;
+  Time deadline = 0;            ///< absolute: arrival + T_inf(J)
+  std::vector<Time> due;        ///< due(v) = T_inf - remaining_span(v)
+};
+
+/// Shared state management for the deadline family: builds RtJobState in
+/// admit() and provides the per-type max-score dispatch loop (a copy of
+/// the multijob priority loop, which is file-local there); ties break
+/// oldest-ready first.
+class RtStreamScheduler : public MultiJobScheduler {
+ public:
+  void prepare(const Cluster&) override { states_.clear(); }
+
+  void admit(std::uint32_t job, const JobArrival& arrival) override {
+    if (job != states_.size()) {
+      throw std::logic_error("RtStreamScheduler::admit: non-dense job index");
+    }
+    RtJobState state;
+    state.arrival = arrival.arrival;
+    state.due = due_dates(arrival.dag);
+    state.deadline = state.arrival + static_cast<Time>(span(arrival.dag));
+    states_.push_back(std::move(state));
+  }
+
+  void dispatch(MultiDispatchContext& ctx) final {
+    gang_pass(ctx);
+    for (ResourceType alpha = 0; alpha < ctx.num_types(); ++alpha) {
+      while (ctx.free_processors(alpha) > 0) {
+        const auto queue = ctx.ready(alpha);
+        if (queue.empty()) break;
+        std::size_t best = 0;
+        double best_score = score(queue[0], ctx);
+        for (std::size_t i = 1; i < queue.size(); ++i) {
+          const double s = score(queue[i], ctx);
+          if (s > best_score) {
+            best_score = s;
+            best = i;
+          }
+        }
+        ctx.assign(alpha, best);
+      }
+    }
+  }
+
+ protected:
+  [[nodiscard]] virtual double score(GlobalTask id,
+                                     const MultiDispatchContext& ctx) const = 0;
+  /// Hook for Gang-EDF; the plain policies do nothing here.
+  virtual void gang_pass(MultiDispatchContext& ctx) { (void)ctx; }
+
+  /// Absolute latest-start deadline of a ready task.
+  [[nodiscard]] Time task_deadline(GlobalTask id) const {
+    const RtJobState& state = states_[id.job];
+    return state.arrival + state.due[id.task];
+  }
+  [[nodiscard]] const RtJobState& state(std::uint32_t job) const {
+    return states_[job];
+  }
+
+ private:
+  std::vector<RtJobState> states_;
+};
+
+class StreamEdf final : public RtStreamScheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "EDF"; }
+
+ protected:
+  [[nodiscard]] double score(GlobalTask id,
+                             const MultiDispatchContext&) const override {
+    return -static_cast<double>(task_deadline(id));  // earliest deadline first
+  }
+};
+
+class StreamLlf final : public RtStreamScheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "LLF"; }
+
+ protected:
+  [[nodiscard]] double score(GlobalTask id,
+                             const MultiDispatchContext& ctx) const override {
+    // laxity = absolute deadline - now - volume pressure; `now` is common
+    // to every candidate of one decision point, so it drops out of the
+    // ranking but is kept for the laxity reading to be meaningful.
+    Work procs = 0;
+    for (ResourceType a = 0; a < ctx.num_types(); ++a) {
+      procs += ctx.total_processors(a);
+    }
+    const Work pressure = ctx.remaining_job_work(id.job) / std::max<Work>(procs, 1);
+    const Time laxity =
+        task_deadline(id) - ctx.now() - static_cast<Time>(pressure);
+    return -static_cast<double>(laxity);  // least laxity first
+  }
+};
+
+class GangEdf final : public RtStreamScheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "Gang-EDF"; }
+
+ protected:
+  [[nodiscard]] double score(GlobalTask id,
+                             const MultiDispatchContext&) const override {
+    return -static_cast<double>(task_deadline(id));  // EDF fill pass
+  }
+
+  void gang_pass(MultiDispatchContext& ctx) override {
+    // Census of the ready frontier: distinct jobs and their per-type
+    // ready-task counts, gathered in queue order (deterministic).
+    const ResourceType k = ctx.num_types();
+    jobs_.clear();
+    counts_.clear();
+    for (ResourceType alpha = 0; alpha < k; ++alpha) {
+      for (const GlobalTask id : ctx.ready(alpha)) {
+        std::size_t slot = 0;
+        while (slot < jobs_.size() && jobs_[slot] != id.job) ++slot;
+        if (slot == jobs_.size()) {
+          jobs_.push_back(id.job);
+          counts_.resize(counts_.size() + k, 0);
+        }
+        ++counts_[slot * k + alpha];
+      }
+    }
+    // EDF job order: earliest absolute job deadline first, older job on
+    // ties (stable, and job indices are arrival-ordered).
+    order_.resize(jobs_.size());
+    for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+    std::stable_sort(order_.begin(), order_.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       const Time da = state(jobs_[a]).deadline;
+                       const Time db = state(jobs_[b]).deadline;
+                       if (da != db) return da < db;
+                       return jobs_[a] < jobs_[b];
+                     });
+    // Co-schedule each job whose whole frontier fits what is free right
+    // now; later jobs see the shrunken free counts.  Jobs that do not
+    // fit are skipped -- the EDF fill pass (base dispatch) places their
+    // tasks piecemeal, so no processor is ever withheld.
+    for (const std::size_t slot : order_) {
+      bool fits = true;
+      for (ResourceType a = 0; a < k && fits; ++a) {
+        fits = counts_[slot * k + a] <= ctx.free_processors(a);
+      }
+      if (!fits) continue;
+      const std::uint32_t job = jobs_[slot];
+      for (ResourceType a = 0; a < k; ++a) {
+        for (std::uint32_t placed = 0; placed < counts_[slot * k + a]; ++placed) {
+          // Re-fetch after every assign: spans invalidate.
+          const auto queue = ctx.ready(a);
+          std::size_t i = 0;
+          while (i < queue.size() && queue[i].job != job) ++i;
+          if (i == queue.size()) {
+            throw std::logic_error("GangEdf: censused ready task vanished");
+          }
+          ctx.assign(a, i);
+        }
+      }
+    }
+  }
+
+ private:
+  // Scratch reused across dispatches.
+  std::vector<std::uint32_t> jobs_;
+  std::vector<std::uint32_t> counts_;  ///< [slot * num_types + alpha]
+  std::vector<std::size_t> order_;
+};
+
+}  // namespace
+
+std::unique_ptr<MultiJobScheduler> make_stream_edf() {
+  return std::make_unique<StreamEdf>();
+}
+std::unique_ptr<MultiJobScheduler> make_stream_llf() {
+  return std::make_unique<StreamLlf>();
+}
+std::unique_ptr<MultiJobScheduler> make_gang_edf() {
+  return std::make_unique<GangEdf>();
+}
+
+std::unique_ptr<MultiJobScheduler> make_stream_scheduler(const std::string& spec) {
+  if (spec == "edf") return make_stream_edf();
+  if (spec == "llf") return make_stream_llf();
+  if (spec == "gang") return make_gang_edf();
+  return make_multijob_scheduler(spec);
+}
+
+}  // namespace fhs

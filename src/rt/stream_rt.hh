@@ -1,0 +1,47 @@
+// Deadline-aware stream policies: EDF, LLF, and gang co-scheduling over
+// the multi-job engine (ROADMAP "deadline- and energy-aware online
+// scheduler family"; the FHS lift of yass edf.c / llf.c / gang-edf.c).
+//
+// Per job j arriving at r_j, the absolute job deadline is its earliest
+// possible completion d_j = r_j + T_inf(J_j), and each task inherits the
+// absolute latest-start deadline r_j + due(v) from the due dates of
+// src/graph/analysis (due(v) = T_inf - remaining_span(v)).  The family:
+//
+//  * EDF       -- earliest absolute task deadline r_j + due(v) first.
+//  * LLF       -- least slack first.  In a DAG setting the span-based
+//    remaining-time estimate is already folded into due(v) (pure-span
+//    LLF collapses into EDF), so the dynamic slack term uses the *other*
+//    side of the paper's lower bound L(J): the work-volume pressure
+//    ceil(W_rem(j) / P_total).  laxity(v, t) = r_j + due(v) - t -
+//    W_rem(j)/P_total; volume drains as the job executes, so urgency is
+//    dynamic where EDF's is static.
+//  * Gang-EDF  -- jobs in EDF order by d_j; a job whose entire ready
+//    frontier fits the currently free processors of every type is
+//    co-scheduled as one gang (all its ready tasks start together,
+//    across types).  Leftover processors are then filled in plain EDF
+//    task order, so gang grouping only reorders work -- it never
+//    withholds a processor, keeping the engine's work-conservation
+//    invariant intact.
+//
+// All three read task works / remaining job work, i.e. offline
+// information in the §II sense -- same class as SRJF and global MQB.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "multijob/multijob.hh"
+
+namespace fhs {
+
+[[nodiscard]] std::unique_ptr<MultiJobScheduler> make_stream_edf();
+[[nodiscard]] std::unique_ptr<MultiJobScheduler> make_stream_llf();
+[[nodiscard]] std::unique_ptr<MultiJobScheduler> make_gang_edf();
+
+/// Extended stream-policy factory: "edf" | "llf" | "gang" plus every
+/// make_multijob_scheduler() name ("kgreedy" | "fcfs" | "srjf" | "mqb").
+/// The service layer resolves --policy through this.
+[[nodiscard]] std::unique_ptr<MultiJobScheduler> make_stream_scheduler(
+    const std::string& spec);
+
+}  // namespace fhs

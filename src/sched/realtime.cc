@@ -1,0 +1,40 @@
+#include "sched/realtime.hh"
+
+#include "graph/analysis.hh"
+
+namespace fhs {
+
+namespace {
+
+std::vector<Time> finish_deadlines(const KDag& dag) {
+  std::vector<Time> deadline = due_dates(dag);
+  for (TaskId v = 0; v < dag.task_count(); ++v) {
+    deadline[v] += static_cast<Time>(dag.work(v));
+  }
+  return deadline;
+}
+
+}  // namespace
+
+void EdfScheduler::prepare(const KDag& dag, const Cluster& cluster) {
+  (void)cluster;
+  deadline_ = finish_deadlines(dag);
+}
+
+double EdfScheduler::score(TaskId task, const DispatchContext& ctx) const {
+  (void)ctx;
+  return -static_cast<double>(deadline_[task]);  // earliest deadline first
+}
+
+void LlfScheduler::prepare(const KDag& dag, const Cluster& cluster) {
+  (void)cluster;
+  deadline_ = finish_deadlines(dag);
+}
+
+double LlfScheduler::score(TaskId task, const DispatchContext& ctx) const {
+  const Time laxity = deadline_[task] - ctx.now() -
+                      static_cast<Time>(ctx.remaining_work(task));
+  return -static_cast<double>(laxity);  // least laxity first
+}
+
+}  // namespace fhs

@@ -1,0 +1,57 @@
+// Deadline-aware single-job policies: EDF and LLF over the task due
+// dates of src/graph/analysis (ROADMAP "deadline- and energy-aware
+// online scheduler family"; Liu & Layland 1973 for EDF, Mok 1983 for
+// least-laxity).
+//
+// The due date due(v) = T_inf(J) - remaining_span(v) is the latest
+// start of v that cannot delay the job, so a *finish-by* deadline for
+// the task itself is dl(v) = due(v) + work(v).  The two policies rank a
+// typed ready queue by:
+//
+//   EDF:  earliest dl(v) first                       (static per job)
+//   LLF:  least laxity dl(v) - now - remaining(v)    (dynamic)
+//
+// For a task that has never run, remaining(v) == work(v) and the two
+// orders coincide (laxity == due(v) - now, and `now` is common to one
+// decision point); they diverge exactly when remaining work differs
+// from total work -- preemptive recalls and fault-kill re-execution.
+// The stream versions in src/rt/ add the cross-job terms (arrival
+// offsets, utilization-bound slack) where the family earns its keep.
+//
+// Both use work/remaining-work, i.e. offline information per the §II
+// boundary -- same class as LSpan/MaxDp/ShiftBT.
+#pragma once
+
+#include <vector>
+
+#include "sched/priority_scheduler.hh"
+
+namespace fhs {
+
+/// Earliest-deadline-first by task finish deadline due(v) + work(v).
+class EdfScheduler final : public PriorityScheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "EDF"; }
+  void prepare(const KDag& dag, const Cluster& cluster) override;
+
+ protected:
+  [[nodiscard]] double score(TaskId task, const DispatchContext& ctx) const override;
+
+ private:
+  std::vector<Time> deadline_;  // due(v) + work(v)
+};
+
+/// Least-laxity-first: laxity(v, t) = dl(v) - t - remaining(v).
+class LlfScheduler final : public PriorityScheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "LLF"; }
+  void prepare(const KDag& dag, const Cluster& cluster) override;
+
+ protected:
+  [[nodiscard]] double score(TaskId task, const DispatchContext& ctx) const override;
+
+ private:
+  std::vector<Time> deadline_;  // due(v) + work(v)
+};
+
+}  // namespace fhs

@@ -7,6 +7,7 @@
 #include "sched/dtype.hh"
 #include "sched/lspan.hh"
 #include "sched/maxdp.hh"
+#include "sched/realtime.hh"
 #include "sched/shiftbt.hh"
 
 namespace fhs {
@@ -81,6 +82,10 @@ SchedulerSpec SchedulerSpec::parse(const std::string& text) {
     spec.policy = PolicyKind::kShiftBt;
   } else if (head == "edd") {
     spec.policy = PolicyKind::kEdd;
+  } else if (head == "edf") {
+    spec.policy = PolicyKind::kEdf;
+  } else if (head == "llf") {
+    spec.policy = PolicyKind::kLlf;
   } else if (head == "mqb") {
     spec.policy = PolicyKind::kMqb;
   } else {
@@ -151,6 +156,8 @@ std::string SchedulerSpec::to_string() const {
     case PolicyKind::kDType: return "dtype";
     case PolicyKind::kShiftBt: return "shiftbt";
     case PolicyKind::kEdd: return "edd";
+    case PolicyKind::kEdf: return "edf";
+    case PolicyKind::kLlf: return "llf";
     case PolicyKind::kMqb: {
       std::string text = "mqb";
       if (mqb.info.scope == InfoScope::kOneStep) text += "+1step";
@@ -173,6 +180,8 @@ std::unique_ptr<Scheduler> SchedulerSpec::instantiate(std::uint64_t seed) const 
     case PolicyKind::kDType: return std::make_unique<DTypeScheduler>();
     case PolicyKind::kShiftBt: return std::make_unique<ShiftBtScheduler>();
     case PolicyKind::kEdd: return std::make_unique<EddScheduler>();
+    case PolicyKind::kEdf: return std::make_unique<EdfScheduler>();
+    case PolicyKind::kLlf: return std::make_unique<LlfScheduler>();
     case PolicyKind::kMqb: {
       MqbOptions options = mqb;
       options.info.noise_seed = seed;
@@ -184,7 +193,7 @@ std::unique_ptr<Scheduler> SchedulerSpec::instantiate(std::uint64_t seed) const 
 
 const std::vector<std::string>& valid_policy_names() {
   static const std::vector<std::string> kNames = {
-      "kgreedy", "lspan", "maxdp", "dtype", "shiftbt", "edd", "mqb"};
+      "kgreedy", "lspan", "maxdp", "dtype", "shiftbt", "edd", "edf", "llf", "mqb"};
   return kNames;
 }
 
@@ -193,8 +202,9 @@ const std::vector<SchedulerSpec>& all_scheduler_specs() {
     std::vector<SchedulerSpec> specs;
     for (const char* text :
          {"kgreedy", "kgreedy+lifo", "kgreedy+random", "lspan", "maxdp", "dtype",
-          "shiftbt", "edd", "mqb", "mqb+exp", "mqb+noise", "mqb+1step", "mqb+1step+exp",
-          "mqb+1step+noise", "mqb+minonly", "mqb+sumsq", "mqb+noself"}) {
+          "shiftbt", "edd", "edf", "llf", "mqb", "mqb+exp", "mqb+noise", "mqb+1step",
+          "mqb+1step+exp", "mqb+1step+noise", "mqb+minonly", "mqb+sumsq",
+          "mqb+noself"}) {
       specs.push_back(SchedulerSpec::parse(text));
     }
     return specs;

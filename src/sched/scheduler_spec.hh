@@ -14,7 +14,7 @@
 // Grammar (case-insensitive, '+'-separated tokens):
 //
 //   kgreedy[+fifo|+lifo|+random]
-//   lspan | maxdp | dtype | shiftbt | edd
+//   lspan | maxdp | dtype | shiftbt | edd | edf | llf
 //   mqb[+all|+1step][+pre|+exp|+noise][+minonly|+sumsq][+noself]
 //
 // Parse errors are SchedulerSpecError, which carries the offending token
@@ -42,6 +42,8 @@ enum class PolicyKind : std::uint8_t {
   kDType,
   kShiftBt,
   kEdd,
+  kEdf,
+  kLlf,
   kMqb,
 };
 

@@ -2,11 +2,13 @@
 
 #include <stdexcept>
 
+#include "rt/schedulability.hh"
+
 namespace fhs {
 
 AdmissionController::AdmissionController(const AdmissionConfig& config,
                                          const Cluster& cluster)
-    : config_(config) {
+    : config_(config), cluster_(cluster) {
   if (config.max_queue_depth == 0) {
     throw std::invalid_argument("AdmissionController: zero queue depth admits nothing");
   }
@@ -22,6 +24,7 @@ const char* to_string(AdmissionVerdict verdict) noexcept {
   switch (verdict) {
     case AdmissionVerdict::kAdmit: return "admit";
     case AdmissionVerdict::kTypeMismatch: return "type_mismatch";
+    case AdmissionVerdict::kUnschedulable: return "unschedulable";
     case AdmissionVerdict::kQueueFull: return "queue_full";
     case AdmissionVerdict::kOverloaded: return "overloaded";
   }
@@ -34,6 +37,12 @@ AdmissionVerdict AdmissionController::verdict(const KDag& dag,
   // the check to the cluster's types, silently admitting jobs with work
   // of a type the cluster cannot execute at all.
   if (dag.num_types() > processors_.size()) return AdmissionVerdict::kTypeMismatch;
+  // Infeasibility is a property of the job, not of the current load:
+  // checked before the load limits so the reject reason is stable.
+  if (config_.utilization_admission && config_.deadline > 0 &&
+      !rt_schedulable(dag, cluster_, config_.deadline)) {
+    return AdmissionVerdict::kUnschedulable;
+  }
   if (queue_depth >= config_.max_queue_depth) return AdmissionVerdict::kQueueFull;
   for (ResourceType a = 0; a < dag.num_types(); ++a) {
     const double would_be =
@@ -48,6 +57,12 @@ AdmissionVerdict AdmissionController::verdict(const KDag& dag,
 
 bool AdmissionController::fits_when_idle(const KDag& dag) const noexcept {
   if (dag.num_types() > processors_.size()) return false;
+  // An unschedulable job never becomes schedulable by waiting; deferring
+  // it would block the submitter forever.
+  if (config_.utilization_admission && config_.deadline > 0 &&
+      !rt_schedulable(dag, cluster_, config_.deadline)) {
+    return false;
+  }
   for (ResourceType a = 0; a < dag.num_types(); ++a) {
     const double alone = static_cast<double>(dag.total_work(a)) /
                          static_cast<double>(processors_[a]);

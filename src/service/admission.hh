@@ -40,15 +40,25 @@ struct AdmissionConfig {
   /// l_alpha / P_alpha may not exceed this many ticks.
   double max_outstanding_per_proc = 1 << 14;
   OverloadPolicy overload = OverloadPolicy::kReject;
+  /// Utilization schedulability test (rt/schedulability.hh): reject a
+  /// job whose completion-time lower bound L(J) = max(span, max_alpha
+  /// ceil(W_alpha / P_alpha)) already exceeds `deadline` -- it provably
+  /// cannot finish in time even alone on an idle cluster, so admitting
+  /// it only burns capacity on an attempt the deadline reaper will
+  /// cancel.  Ignored unless `deadline` > 0 (SchedulerService fills the
+  /// deadline in from its own config when left at 0 here).
+  bool utilization_admission = false;
+  Time deadline = 0;
 };
 
 /// Why a submission was (or was not) admitted; kAdmit means all limits
 /// hold.  The service surfaces these as per-reason reject counters.
 enum class AdmissionVerdict {
   kAdmit,
-  kTypeMismatch,  ///< the job uses resource types the cluster doesn't have
-  kQueueFull,     ///< max_queue_depth reached
-  kOverloaded,    ///< outstanding l_alpha / P_alpha limit exceeded
+  kTypeMismatch,   ///< the job uses resource types the cluster doesn't have
+  kUnschedulable,  ///< L(J) exceeds the deadline: infeasible even when idle
+  kQueueFull,      ///< max_queue_depth reached
+  kOverloaded,     ///< outstanding l_alpha / P_alpha limit exceeded
 };
 
 [[nodiscard]] const char* to_string(AdmissionVerdict verdict) noexcept;
@@ -89,6 +99,7 @@ class AdmissionController {
 
  private:
   AdmissionConfig config_;
+  Cluster cluster_;  ///< kept whole for the rt_schedulable bound
   std::vector<std::uint32_t> processors_;  // P_alpha
   std::vector<Work> outstanding_;          // l_alpha
 };

@@ -9,6 +9,7 @@
 
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "rt/stream_rt.hh"
 
 namespace fhs {
 
@@ -24,7 +25,19 @@ std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) noexcept {
 MultiEngineOptions engine_options(const ServiceConfig& config) {
   MultiEngineOptions options;
   options.faults = config.faults;
+  options.energy = config.energy;
   return options;
+}
+
+/// The utilization admission test checks L(J) against the service's
+/// per-attempt deadline; callers normally leave AdmissionConfig::deadline
+/// at 0 and let the service's own deadline flow in here.
+AdmissionConfig admission_config(const ServiceConfig& config) {
+  AdmissionConfig admission = config.admission;
+  if (admission.utilization_admission && admission.deadline == 0) {
+    admission.deadline = config.deadline;
+  }
+  return admission;
 }
 
 }  // namespace
@@ -46,6 +59,7 @@ class SchedulerService::StatsBlock {
   std::atomic<std::uint64_t> reject_queue_full{0};
   std::atomic<std::uint64_t> reject_overloaded{0};
   std::atomic<std::uint64_t> reject_never_fits{0};
+  std::atomic<std::uint64_t> reject_unschedulable{0};
   std::atomic<std::uint64_t> reject_shutdown{0};
   std::atomic<std::uint64_t> timed_out{0};
   std::atomic<std::uint64_t> retried{0};
@@ -60,6 +74,7 @@ class SchedulerService::StatsBlock {
   std::atomic<std::int64_t> flow_sum{0};
   std::atomic<Time> max_flow{0};
   std::array<std::atomic<Time>, kMaxResourceTypes> busy{};
+  std::array<std::atomic<std::uint64_t>, kMaxResourceTypes> energy_milli{};
   std::array<std::atomic<std::uint64_t>, kFlowTimeBins> bins{};
 
   obs::Counter& obs_submitted = obs::Registry::global().counter("service.submitted");
@@ -72,6 +87,8 @@ class SchedulerService::StatsBlock {
       obs::Registry::global().counter("service.reject.overloaded");
   obs::Counter& obs_reject_never_fits =
       obs::Registry::global().counter("service.reject.never_fits");
+  obs::Counter& obs_reject_unschedulable =
+      obs::Registry::global().counter("service.reject.unschedulable");
   obs::Counter& obs_reject_type_mismatch =
       obs::Registry::global().counter("service.reject.type_mismatch");
   obs::Counter& obs_reject_shutdown =
@@ -95,8 +112,8 @@ class SchedulerService::StatsBlock {
 SchedulerService::SchedulerService(const Cluster& cluster, ServiceConfig config)
     : cluster_(cluster),
       config_(std::move(config)),
-      scheduler_(make_multijob_scheduler(config_.policy)),
-      admission_(config_.admission, cluster_),
+      scheduler_(make_stream_scheduler(config_.policy)),
+      admission_(admission_config(config_), cluster_),
       engine_(cluster_, *scheduler_, engine_options(config_)),
       stats_(std::make_unique<StatsBlock>()) {
   if (config_.epoch_length <= 0) {
@@ -136,6 +153,7 @@ std::optional<JobTicket> SchedulerService::submit(KDag dag) {
     kQueueFull,
     kOverloaded,
     kNeverFits,
+    kUnschedulable,
     kTypeMismatch,
   };
   Outcome outcome = Outcome::kAdmitted;
@@ -150,7 +168,11 @@ std::optional<JobTicket> SchedulerService::submit(KDag dag) {
       outcome = Outcome::kTypeMismatch;
     } else {
       const AdmissionVerdict verdict = admission_.verdict(dag, inbox_.size());
-      if (verdict != AdmissionVerdict::kAdmit) {
+      if (verdict == AdmissionVerdict::kUnschedulable) {
+        // Provably cannot meet the deadline even alone on an idle
+        // cluster -- a job-shaped rejection, never deferrable.
+        outcome = Outcome::kUnschedulable;
+      } else if (verdict != AdmissionVerdict::kAdmit) {
         // A job too large to ever fit is a rejection even under kDefer --
         // waiting for it would deadlock the submitter.
         if (!admission_.fits_when_idle(dag)) {
@@ -204,6 +226,8 @@ std::optional<JobTicket> SchedulerService::submit(KDag dag) {
       return reject(stats_->reject_overloaded, stats_->obs_reject_overloaded);
     case Outcome::kNeverFits:
       return reject(stats_->reject_never_fits, stats_->obs_reject_never_fits);
+    case Outcome::kUnschedulable:
+      return reject(stats_->reject_unschedulable, stats_->obs_reject_unschedulable);
     case Outcome::kTypeMismatch:
       if (observed) stats_->obs_reject_type_mismatch.add(1);
       throw std::invalid_argument("SchedulerService::submit: job K exceeds cluster K");
@@ -268,6 +292,8 @@ ServiceStats SchedulerService::stats() const {
   out.rejected_queue_full = block.reject_queue_full.load(std::memory_order_relaxed);
   out.rejected_overloaded = block.reject_overloaded.load(std::memory_order_relaxed);
   out.rejected_never_fits = block.reject_never_fits.load(std::memory_order_relaxed);
+  out.rejected_unschedulable =
+      block.reject_unschedulable.load(std::memory_order_relaxed);
   out.rejected_shutdown = block.reject_shutdown.load(std::memory_order_relaxed);
   out.virtual_now = block.virtual_now.load(std::memory_order_relaxed);
   const ResourceType k = cluster_.num_types();
@@ -304,6 +330,15 @@ ServiceStats SchedulerService::stats() const {
   out.fault_tasks_killed = block.fault_tasks_killed.load(std::memory_order_relaxed);
   out.fault_work_discarded =
       block.fault_work_discarded.load(std::memory_order_relaxed);
+  out.energy_enabled = config_.energy.has_value();
+  if (out.energy_enabled) {
+    out.energy_milli_per_type.resize(k);
+    for (ResourceType a = 0; a < k; ++a) {
+      out.energy_milli_per_type[a] =
+          block.energy_milli[a].load(std::memory_order_relaxed);
+      out.total_energy_milli += out.energy_milli_per_type[a];
+    }
+  }
   return out;
 }
 
@@ -361,10 +396,7 @@ void SchedulerService::check_deadlines() {
     stats_->timed_out.fetch_add(1, std::memory_order_relaxed);
     if (observed) stats_->obs_timed_out.add(1);
     if (record.attempts < config_.max_attempts) {
-      const Time backoff =
-          config_.retry_backoff <= 0
-              ? 0
-              : config_.retry_backoff << (record.attempts - 1);
+      const Time backoff = backoff_for_attempt(config_.retry_backoff, record.attempts);
       const Time arrival = now + backoff;
       KDag dag = engine_.job(index).dag;
       if (journal_) {
@@ -427,6 +459,12 @@ void SchedulerService::worker_loop() {
     const auto busy = engine_.busy_ticks();
     for (ResourceType a = 0; a < cluster_.num_types(); ++a) {
       stats_->busy[a].store(busy[a], std::memory_order_relaxed);
+    }
+    if (config_.energy.has_value()) {
+      const auto energy = engine_.energy_milli();
+      for (ResourceType a = 0; a < cluster_.num_types(); ++a) {
+        stats_->energy_milli[a].store(energy[a], std::memory_order_relaxed);
+      }
     }
     if (config_.faults != nullptr) {
       const FaultStats& faults = engine_.fault_stats();
@@ -502,7 +540,7 @@ bool ReplayResult::cancelled_of(std::uint64_t ticket) const {
 ReplayResult replay_journal(std::span<const JournalEntry> entries,
                             const Cluster& cluster, const std::string& policy,
                             const MultiEngineOptions& options) {
-  const auto scheduler = make_multijob_scheduler(policy);
+  const auto scheduler = make_stream_scheduler(policy);
   MultiJobEngine engine(cluster, *scheduler, options);
   ReplayResult out;
   out.tickets.reserve(entries.size());

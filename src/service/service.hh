@@ -22,6 +22,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <queue>
@@ -40,8 +41,31 @@
 
 namespace fhs {
 
+/// Exponential retry backoff stops doubling here: attempt n+1 waits
+/// base * 2^min(n-1, kMaxBackoffShift).  Without the clamp the shift
+/// reaches the width of Time (64 bits) once enough attempts time out,
+/// which is undefined behaviour -- and under C++20's wrapping semantics
+/// would produce a negative backoff, i.e. a retry arriving in the past.
+inline constexpr std::uint32_t kMaxBackoffShift = 16;
+
+/// Virtual ticks attempt `attempts + 1` waits after the `attempts`-th
+/// attempt timed out: base * 2^min(attempts-1, kMaxBackoffShift),
+/// saturating well below Time's max so `cancel time + backoff` cannot
+/// overflow either.  Pure so the clamp is testable without driving a
+/// service through dozens of virtual-time retries.
+[[nodiscard]] constexpr Time backoff_for_attempt(Time base,
+                                                 std::uint32_t attempts) noexcept {
+  if (base <= 0 || attempts == 0) return 0;
+  const std::uint32_t shift =
+      attempts - 1 < kMaxBackoffShift ? attempts - 1 : kMaxBackoffShift;
+  constexpr Time kCeiling = std::numeric_limits<Time>::max() / 4;
+  if (base > (kCeiling >> shift)) return kCeiling;
+  return base << shift;
+}
+
 struct ServiceConfig {
-  /// Stream policy: "kgreedy" | "fcfs" | "srjf" | "mqb".
+  /// Stream policy: "kgreedy" | "fcfs" | "srjf" | "mqb" | "edf" | "llf"
+  /// | "gang" (the deadline family lives in rt/stream_rt.hh).
   std::string policy = "mqb";
   /// Virtual ticks per worker slice; new submissions fold in at slice
   /// boundaries, so this bounds a job's admission latency in virtual time.
@@ -61,9 +85,13 @@ struct ServiceConfig {
   /// terminal (kTimedOut).
   std::uint32_t max_attempts = 1;
   /// Virtual ticks before attempt n+1 enters the engine, doubling per
-  /// retry: attempt n+1 arrives at cancel time + retry_backoff * 2^(n-1).
-  /// 0 re-folds immediately.
+  /// retry: attempt n+1 arrives at cancel time + retry_backoff *
+  /// 2^min(n-1, kMaxBackoffShift) (see backoff_for_attempt for the
+  /// clamp).  0 re-folds immediately.
   Time retry_backoff = 0;
+  /// Per-processor power model (engine_core.hh); engaging it makes the
+  /// engine integrate energy, surfaced through stats() as energy_milli.
+  std::optional<EnergyModel> energy;
 };
 
 enum class JobState : std::uint8_t {

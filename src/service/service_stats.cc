@@ -15,7 +15,8 @@ namespace {
 /// missing: a merge that dropped a reason field used to go unnoticed).
 void check_reject_breakdown(const ServiceStats& stats, const std::string& who) {
   const std::uint64_t sum = stats.rejected_queue_full + stats.rejected_overloaded +
-                            stats.rejected_never_fits + stats.rejected_shutdown;
+                            stats.rejected_never_fits + stats.rejected_unschedulable +
+                            stats.rejected_shutdown;
   if (sum != stats.rejected) {
     throw std::logic_error(
         "merge_service_stats: " + who + ": reject breakdown sums to " +
@@ -46,6 +47,7 @@ ServiceStats merge_service_stats(std::span<const ServiceStats> parts) {
     out.rejected_queue_full += part.rejected_queue_full;
     out.rejected_overloaded += part.rejected_overloaded;
     out.rejected_never_fits += part.rejected_never_fits;
+    out.rejected_unschedulable += part.rejected_unschedulable;
     out.rejected_shutdown += part.rejected_shutdown;
     if (part.busy_ticks.size() > out.busy_ticks.size()) {
       out.busy_ticks.resize(part.busy_ticks.size(), 0);
@@ -75,6 +77,14 @@ ServiceStats merge_service_stats(std::span<const ServiceStats> parts) {
     out.fault_slowdowns += part.fault_slowdowns;
     out.fault_tasks_killed += part.fault_tasks_killed;
     out.fault_work_discarded += part.fault_work_discarded;
+    out.energy_enabled = out.energy_enabled || part.energy_enabled;
+    if (part.energy_milli_per_type.size() > out.energy_milli_per_type.size()) {
+      out.energy_milli_per_type.resize(part.energy_milli_per_type.size(), 0);
+    }
+    for (std::size_t a = 0; a < part.energy_milli_per_type.size(); ++a) {
+      out.energy_milli_per_type[a] += part.energy_milli_per_type[a];
+    }
+    out.total_energy_milli += part.total_energy_milli;
     out.steals += part.steals;
     if (part.processors.size() > out.processors.size()) {
       out.processors.resize(part.processors.size(), 0);

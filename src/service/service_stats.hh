@@ -44,6 +44,7 @@ struct ServiceStats {
   std::uint64_t rejected_queue_full = 0;   ///< inbox at max_queue_depth
   std::uint64_t rejected_overloaded = 0;   ///< outstanding-work limit (kReject)
   std::uint64_t rejected_never_fits = 0;   ///< too big to ever fit (kDefer)
+  std::uint64_t rejected_unschedulable = 0;  ///< L(J) exceeds the deadline
   std::uint64_t rejected_shutdown = 0;     ///< submitted during/after shutdown
 
   /// Per resource type, indexed [0, num_types).
@@ -75,6 +76,13 @@ struct ServiceStats {
   std::uint64_t fault_slowdowns = 0;
   std::uint64_t fault_tasks_killed = 0;
   std::uint64_t fault_work_discarded = 0;
+
+  /// Energy tallies mirrored from the engine's EnergyModel integration
+  /// (only meaningful -- and only serialized -- when the config carries
+  /// an energy model).  Milliwatt-ticks per resource type and their sum.
+  bool energy_enabled = false;
+  std::vector<std::uint64_t> energy_milli_per_type;
+  std::uint64_t total_energy_milli = 0;
 
   /// Sharding tallies (src/shard/): number of shards these stats merge
   /// over (0 = a plain single service, keeping its JSON bytes unchanged)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <queue>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -10,6 +11,7 @@
 #include "multijob/multijob.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "rt/stream_rt.hh"
 #include "support/mpmc_ring.hh"
 
 namespace fhs {
@@ -26,8 +28,24 @@ std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) noexcept {
 MultiEngineOptions engine_options(const ShardedConfig& config) {
   MultiEngineOptions options;
   options.faults = config.faults;
+  options.energy = config.energy;
   return options;
 }
+
+/// One armed deadline on a shard's own clock.  The engine index is
+/// captured at arm time and stays valid for the attempt's lifetime:
+/// retries re-fold on the same shard (never through a ring, so never
+/// stolen), and stale entries are skipped via the ticket record.
+struct ShardDeadline {
+  Time expiry = 0;
+  std::uint64_t ticket = 0;
+  std::uint32_t engine_index = 0;
+  std::uint32_t attempt = 0;
+  [[nodiscard]] bool operator>(const ShardDeadline& other) const noexcept {
+    if (expiry != other.expiry) return expiry > other.expiry;
+    return ticket > other.ticket;
+  }
+};
 
 /// Stripes of the global ticket store: ticket ids are dense, so
 /// id -> (stripe, slot) spreads consecutive ids across stripes and a
@@ -38,6 +56,18 @@ constexpr std::size_t kTicketStripes = 64;
 /// outstanding elsewhere.  Purely a wall-clock pacing knob: it bounds
 /// steal latency but has no effect on any virtual-time outcome.
 constexpr std::chrono::microseconds kStealRetrySleep{200};
+
+/// Per-shard admission config; like the single-worker service, the
+/// utilization test's deadline defaults from the service deadline.  The
+/// L(J) bound is computed against the shard's own slice -- correct, as
+/// a job runs entirely on the shard that folds it.
+AdmissionConfig admission_config(const ShardedConfig& config) {
+  AdmissionConfig admission = config.admission;
+  if (admission.utilization_admission && admission.deadline == 0) {
+    admission.deadline = config.deadline;
+  }
+  return admission;
+}
 
 }  // namespace
 
@@ -57,11 +87,17 @@ class ShardedService::ObsHandles {
       obs::Registry::global().counter("service.reject.overloaded");
   obs::Counter& reject_never_fits =
       obs::Registry::global().counter("service.reject.never_fits");
+  obs::Counter& reject_unschedulable =
+      obs::Registry::global().counter("service.reject.unschedulable");
   obs::Counter& reject_type_mismatch =
       obs::Registry::global().counter("service.reject.type_mismatch");
   obs::Counter& reject_shutdown =
       obs::Registry::global().counter("service.reject.shutdown");
   obs::Counter& steals = obs::Registry::global().counter("service.steals");
+  obs::Counter& timed_out = obs::Registry::global().counter("service.timed_out");
+  obs::Counter& retried = obs::Registry::global().counter("service.retried");
+  obs::Counter& retries_exhausted =
+      obs::Registry::global().counter("service.retries_exhausted");
   obs::Histogram& submit_ns = obs::Registry::global().histogram("service.submit_ns");
   obs::Histogram& defer_wait_ns =
       obs::Registry::global().histogram("service.defer_wait_ns");
@@ -87,8 +123,12 @@ struct ShardStatsBlock {
   std::atomic<std::uint64_t> reject_queue_full{0};
   std::atomic<std::uint64_t> reject_overloaded{0};
   std::atomic<std::uint64_t> reject_never_fits{0};
+  std::atomic<std::uint64_t> reject_unschedulable{0};
   std::atomic<std::uint64_t> reject_shutdown{0};
   std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::uint64_t> timed_out{0};
+  std::atomic<std::uint64_t> retried{0};
+  std::atomic<std::uint64_t> retries_exhausted{0};
   // Mirrors of the shard engine's FaultStats (worker-written per slice).
   std::atomic<std::uint64_t> fault_failures{0};
   std::atomic<std::uint64_t> fault_recoveries{0};
@@ -99,6 +139,7 @@ struct ShardStatsBlock {
   std::atomic<std::int64_t> flow_sum{0};
   std::atomic<Time> max_flow{0};
   std::array<std::atomic<Time>, kMaxResourceTypes> busy{};
+  std::array<std::atomic<std::uint64_t>, kMaxResourceTypes> energy_milli{};
   std::array<std::atomic<std::uint64_t>, kFlowTimeBins> bins{};
 };
 
@@ -133,6 +174,10 @@ struct ShardedService::Shard {
   std::uint64_t folded = 0;                      // fhs-lint: allow(guarded-field)
   std::uint64_t done = 0;                        // fhs-lint: allow(guarded-field)
   std::uint64_t journal_seq = 0;                 // fhs-lint: allow(guarded-field)
+  /// Armed deadlines on this shard's clock; worker-only like the engine.
+  std::priority_queue<ShardDeadline, std::vector<ShardDeadline>,
+                      std::greater<ShardDeadline>>
+      deadlines;  // fhs-lint: allow(guarded-field)
 
   /// Submission ring: internally synchronized (lock-free MPMC).
   MpmcRing<Pending> ring;  // fhs-lint: allow(guarded-field)
@@ -159,10 +204,10 @@ struct ShardedService::Shard {
         backlog_limit(config.max_engine_backlog > 0
                           ? config.max_engine_backlog
                           : std::max<std::size_t>(32, 4 * total_processors(slice))),
-        scheduler(make_multijob_scheduler(config.policy)),
+        scheduler(make_stream_scheduler(config.policy)),
         engine(cluster, *scheduler, engine_options(config)),
         ring(ring_capacity),
-        admission(config.admission, cluster),
+        admission(admission_config(config), cluster),
         stats(std::make_unique<ShardStatsBlock>()) {}
 
   [[nodiscard]] static std::size_t total_processors(const Cluster& slice) {
@@ -180,6 +225,13 @@ ShardedService::ShardedService(const Cluster& cluster, ShardedConfig config)
       journal_enabled_(config_.journal != nullptr) {
   if (config_.epoch_length <= 0) {
     throw std::invalid_argument("ShardedService: epoch_length must be positive");
+  }
+  if (config_.deadline < 0 || config_.retry_backoff < 0) {
+    throw std::invalid_argument(
+        "ShardedService: deadline and retry_backoff must be >= 0");
+  }
+  if (config_.max_attempts == 0) {
+    throw std::invalid_argument("ShardedService: max_attempts must be >= 1");
   }
   if (config_.faults != nullptr && !config_.faults->empty()) {
     // Shard-local indices: the plan must name processors every slice has.
@@ -230,6 +282,7 @@ std::optional<JobTicket> ShardedService::submit(KDag dag) {
     kQueueFull,
     kOverloaded,
     kNeverFits,
+    kUnschedulable,
     kTypeMismatch,
   };
   Outcome outcome = Outcome::kAdmitted;
@@ -245,7 +298,9 @@ std::optional<JobTicket> ShardedService::submit(KDag dag) {
     } else {
       const std::size_t depth = shard.ring_count.load(std::memory_order_acquire);
       const AdmissionVerdict verdict = shard.admission.verdict(dag, depth);
-      if (verdict != AdmissionVerdict::kAdmit) {
+      if (verdict == AdmissionVerdict::kUnschedulable) {
+        outcome = Outcome::kUnschedulable;
+      } else if (verdict != AdmissionVerdict::kAdmit) {
         if (!shard.admission.fits_when_idle(dag)) {
           outcome = Outcome::kNeverFits;
         } else if (config_.admission.overload == OverloadPolicy::kReject) {
@@ -314,6 +369,8 @@ std::optional<JobTicket> ShardedService::submit(KDag dag) {
       return reject(shard.stats->reject_overloaded, obs_->reject_overloaded);
     case Outcome::kNeverFits:
       return reject(shard.stats->reject_never_fits, obs_->reject_never_fits);
+    case Outcome::kUnschedulable:
+      return reject(shard.stats->reject_unschedulable, obs_->reject_unschedulable);
     case Outcome::kTypeMismatch:
       if (observed) obs_->reject_type_mismatch.add(1);
       throw std::invalid_argument("ShardedService::submit: job K exceeds cluster K");
@@ -382,9 +439,7 @@ std::size_t ShardedService::fold_budget(const Shard& shard) const {
              : static_cast<std::size_t>(shard.backlog_limit - resident);
 }
 
-void ShardedService::append_journal(Shard& shard, const Pending& pending,
-                                    Time epoch) {
-  JournalEntry entry(pending.ticket, epoch, pending.dag);
+void ShardedService::append_stamped(Shard& shard, JournalEntry entry) {
   if (shards_.size() > 1) {
     // Single-shard sessions keep seq = -1: the stamps are omitted and
     // the journal stays byte-identical to the single-worker format.
@@ -393,6 +448,11 @@ void ShardedService::append_journal(Shard& shard, const Pending& pending,
   }
   MutexLock lock(journal_mutex_);
   journal_->append(entry);
+}
+
+void ShardedService::append_journal(Shard& shard, const Pending& pending,
+                                    Time epoch) {
+  append_stamped(shard, JournalEntry(pending.ticket, epoch, pending.dag));
 }
 
 void ShardedService::fold_job(Shard& shard, Pending pending) {
@@ -404,6 +464,10 @@ void ShardedService::fold_job(Shard& shard, Pending pending) {
   }
   shard.engine_ticket.push_back(pending.ticket);
   ++shard.folded;
+  if (config_.deadline > 0) {
+    shard.deadlines.push(
+        ShardDeadline{epoch + config_.deadline, pending.ticket, index, 1});
+  }
   TicketStripe& stripe = stripe_of(pending.ticket);
   const std::size_t slot = (pending.ticket - 1) / kTicketStripes;
   MutexLock lock(stripe.mutex);
@@ -481,8 +545,13 @@ void ShardedService::advance_slice(Shard& shard) {
   const bool observed = obs::enabled();
   const auto epoch_started = std::chrono::steady_clock::now();
   obs::TraceSpan epoch_span("epoch", "shard");
-  const Time deadline = shard.engine.now() + config_.epoch_length;
-  shard.engine.advance_until(deadline);
+  Time slice_end = shard.engine.now() + config_.epoch_length;
+  if (!shard.deadlines.empty()) {
+    // Stop the slice at the next expiry so attempts are cancelled
+    // exactly when they time out, not at the next epoch edge.
+    slice_end = std::min(slice_end, shard.deadlines.top().expiry);
+  }
+  shard.engine.advance_until(slice_end);
   const std::vector<std::uint32_t> done = shard.engine.take_completed();
   ShardStatsBlock& stats = *shard.stats;
   stats.epochs.fetch_add(1, std::memory_order_relaxed);
@@ -490,6 +559,12 @@ void ShardedService::advance_slice(Shard& shard) {
   const auto busy = shard.engine.busy_ticks();
   for (ResourceType a = 0; a < shard.cluster.num_types(); ++a) {
     stats.busy[a].store(busy[a], std::memory_order_relaxed);
+  }
+  if (config_.energy.has_value()) {
+    const auto energy = shard.engine.energy_milli();
+    for (ResourceType a = 0; a < shard.cluster.num_types(); ++a) {
+      stats.energy_milli[a].store(energy[a], std::memory_order_relaxed);
+    }
   }
   if (config_.faults != nullptr) {
     const FaultStats& faults = shard.engine.fault_stats();
@@ -541,7 +616,90 @@ void ShardedService::advance_slice(Shard& shard) {
     { MutexLock lock(drain_mutex_); }
     drained_.notify_all();
   }
+  check_deadlines(shard);
   if (observed) obs_->epoch_ns.record(elapsed_ns(epoch_started));
+}
+
+void ShardedService::check_deadlines(Shard& shard) {
+  if (config_.deadline <= 0) return;
+  const bool observed = obs::enabled();
+  ShardStatsBlock& stats = *shard.stats;
+  while (!shard.deadlines.empty() &&
+         shard.deadlines.top().expiry <= shard.engine.now()) {
+    const ShardDeadline entry = shard.deadlines.top();
+    shard.deadlines.pop();
+    TicketStripe& stripe = stripe_of(entry.ticket);
+    const std::size_t slot = (entry.ticket - 1) / kTicketStripes;
+    {
+      // Stale check only; record updates are re-taken below so the
+      // stripe lock never nests with the admission or journal locks.
+      MutexLock lock(stripe.mutex);
+      const TicketStripe::Record& record = stripe.records[slot];
+      if (record.state != JobState::kScheduled ||
+          record.attempts != entry.attempt) {
+        continue;  // the attempt completed in time or was superseded
+      }
+    }
+    const std::uint32_t index = entry.engine_index;
+    const Time now = shard.engine.now();
+    (void)shard.engine.cancel_job(index);
+    if (journal_enabled_) {
+      append_stamped(shard, JournalEntry::make_cancel(entry.ticket, now));
+    }
+    {
+      MutexLock lock(shard.admission_mutex);
+      shard.admission.on_complete(shard.engine.job(index).dag);
+    }
+    shard.space.notify_all();
+    stats.timed_out.fetch_add(1, std::memory_order_relaxed);
+    if (observed) obs_->timed_out.add(1);
+    if (entry.attempt < config_.max_attempts) {
+      const Time backoff = backoff_for_attempt(config_.retry_backoff, entry.attempt);
+      const Time arrival = now + backoff;
+      KDag dag = shard.engine.job(index).dag;
+      if (journal_enabled_) {
+        append_stamped(shard,
+                       JournalEntry::make_retry(entry.ticket, now, arrival, dag));
+      }
+      const std::uint32_t new_index = shard.engine.add_job(std::move(dag), arrival);
+      if (shard.engine_ticket.size() != new_index) {
+        throw std::logic_error("ShardedService: engine index out of step");
+      }
+      shard.engine_ticket.push_back(entry.ticket);
+      ++shard.folded;
+      ++shard.done;  // the cancelled attempt left the engine's backlog
+      {
+        MutexLock lock(shard.admission_mutex);
+        shard.admission.on_admit(shard.engine.job(new_index).dag);
+      }
+      shard.deadlines.push(ShardDeadline{arrival + config_.deadline, entry.ticket,
+                                         new_index, entry.attempt + 1});
+      {
+        MutexLock lock(stripe.mutex);
+        TicketStripe::Record& record = stripe.records[slot];
+        record.folded_epoch = arrival;
+        record.attempts = entry.attempt + 1;
+      }
+      stats.retried.fetch_add(1, std::memory_order_relaxed);
+      if (observed) obs_->retried.add(1);
+    } else {
+      ++shard.done;
+      {
+        MutexLock lock(stripe.mutex);
+        TicketStripe::Record& record = stripe.records[slot];
+        record.state = config_.max_attempts == 1 ? JobState::kTimedOut
+                                                 : JobState::kRetriesExhausted;
+        record.completion = now;
+      }
+      if (config_.max_attempts > 1) {
+        stats.retries_exhausted.fetch_add(1, std::memory_order_relaxed);
+        if (observed) obs_->retries_exhausted.add(1);
+      }
+      finished_.fetch_add(1, std::memory_order_release);
+      { MutexLock lock(drain_mutex_); }
+      drained_.notify_all();
+    }
+  }
 }
 
 void ShardedService::wait_for_work(Shard& shard, bool steal_enabled) {
@@ -592,11 +750,14 @@ ServiceStats ShardedService::snapshot_shard(const Shard& shard) const {
   out.rejected_queue_full = block.reject_queue_full.load(std::memory_order_relaxed);
   out.rejected_overloaded = block.reject_overloaded.load(std::memory_order_relaxed);
   out.rejected_never_fits = block.reject_never_fits.load(std::memory_order_relaxed);
+  out.rejected_unschedulable =
+      block.reject_unschedulable.load(std::memory_order_relaxed);
   out.rejected_shutdown = block.reject_shutdown.load(std::memory_order_relaxed);
   // Summed, not separately counted: the reject breakdown then sums to
   // `rejected` in every snapshot, which merge_service_stats asserts.
   out.rejected = out.rejected_queue_full + out.rejected_overloaded +
-                 out.rejected_never_fits + out.rejected_shutdown;
+                 out.rejected_never_fits + out.rejected_unschedulable +
+                 out.rejected_shutdown;
   out.virtual_now = block.virtual_now.load(std::memory_order_relaxed);
   const ResourceType k = shard.cluster.num_types();
   out.busy_ticks.resize(k);
@@ -620,6 +781,19 @@ ServiceStats ShardedService::snapshot_shard(const Shard& shard) const {
     out.mean_flow_time =
         static_cast<double>(block.flow_sum.load(std::memory_order_relaxed)) /
         static_cast<double>(out.completed);
+  }
+  out.deadline_enabled = config_.deadline > 0;
+  out.timed_out = block.timed_out.load(std::memory_order_relaxed);
+  out.retried = block.retried.load(std::memory_order_relaxed);
+  out.retries_exhausted = block.retries_exhausted.load(std::memory_order_relaxed);
+  out.energy_enabled = config_.energy.has_value();
+  if (out.energy_enabled) {
+    out.energy_milli_per_type.resize(k);
+    for (ResourceType a = 0; a < k; ++a) {
+      out.energy_milli_per_type[a] =
+          block.energy_milli[a].load(std::memory_order_relaxed);
+      out.total_energy_milli += out.energy_milli_per_type[a];
+    }
   }
   out.faults_enabled = config_.faults != nullptr && !config_.faults->empty();
   out.fault_failures = block.fault_failures.load(std::memory_order_relaxed);

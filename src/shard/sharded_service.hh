@@ -55,7 +55,8 @@
 namespace fhs {
 
 struct ShardedConfig {
-  /// Stream policy: "kgreedy" | "fcfs" | "srjf" | "mqb".
+  /// Stream policy: "kgreedy" | "fcfs" | "srjf" | "mqb" | "edf" | "llf"
+  /// | "gang" (the deadline family lives in rt/stream_rt.hh).
   std::string policy = "mqb";
   /// Virtual ticks per worker slice, per shard clock.
   Time epoch_length = 100;
@@ -83,6 +84,19 @@ struct ShardedConfig {
   /// indices and driven inside every shard's engine (not owned; must
   /// outlive the service).  Must fit the smallest slice.
   const FaultPlan* faults = nullptr;
+  /// Per-attempt deadline in each shard's virtual clock; semantics match
+  /// ServiceConfig::deadline (an attempt still unfinished `deadline`
+  /// ticks after it folded is cancelled).  0 disables.  A retried job
+  /// re-folds on the shard that cancelled it -- retries never migrate,
+  /// so each shard's journal stream stays independently replayable.
+  Time deadline = 0;
+  /// Attempts per job (>= 1); see ServiceConfig::max_attempts.
+  std::uint32_t max_attempts = 1;
+  /// Backoff base before a retry, doubling per attempt with the
+  /// kMaxBackoffShift clamp (see backoff_for_attempt in service.hh).
+  Time retry_backoff = 0;
+  /// Per-processor power model, driven inside every shard's engine.
+  std::optional<EnergyModel> energy;
 };
 
 /// N-shard scheduling service.  Thread-safe: any number of submitters
@@ -143,10 +157,18 @@ class ShardedService {
   void fold_job(Shard& shard, Pending pending);
   /// One engine slice plus completion harvest.  Worker-thread only.
   void advance_slice(Shard& shard);
+  /// Cancels expired attempts on this shard's clock, re-folding with
+  /// backoff while attempts remain.  Worker-thread only; runs after the
+  /// harvest (completion exactly at expiry wins, like the single-worker
+  /// service).
+  void check_deadlines(Shard& shard);
   /// Sleeps until work arrives; with stealing enabled and jobs in
   /// flight elsewhere, wakes periodically to re-try stealing.
   void wait_for_work(Shard& shard, bool steal_enabled);
   void append_journal(Shard& shard, const Pending& pending, Time epoch)
+      FHS_EXCLUDES(journal_mutex_);
+  /// Stamps shard/seq (multi-shard sessions) and appends.
+  void append_stamped(Shard& shard, JournalEntry entry)
       FHS_EXCLUDES(journal_mutex_);
   [[nodiscard]] std::size_t fold_budget(const Shard& shard) const;
   [[nodiscard]] TicketStripe& stripe_of(std::uint64_t ticket) const;

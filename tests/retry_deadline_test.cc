@@ -1,0 +1,421 @@
+// Retry/deadline correctness sweep: the exponential-backoff clamp (the
+// pre-fix shift reached the width of Time -- UB), attempt-number
+// plumbing across retries, expiry exactly at an epoch boundary, and
+// deadline == retry_backoff collisions, in both the single-worker and
+// the sharded service, with journal replay checked against the live
+// session.
+#include "service/service.hh"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "fault/fault_plan.hh"
+#include "shard/shard_journal.hh"
+#include "shard/sharded_service.hh"
+
+namespace fhs {
+namespace {
+
+KDag chain_job(ResourceType k, std::initializer_list<std::pair<ResourceType, Work>> tasks) {
+  KDagBuilder b(k);
+  TaskId prev = kInvalidTask;
+  for (const auto& [type, work] : tasks) {
+    const TaskId t = b.add_task(type, work);
+    if (prev != kInvalidTask) b.add_edge(prev, t);
+    prev = t;
+  }
+  return std::move(b).build();
+}
+
+std::vector<JournalEntry> parse_journal(const std::string& text) {
+  std::istringstream in(text);
+  return read_journal(in);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: the backoff clamp itself (pure, so high attempt counts are
+// testable without driving a service through dozens of virtual retries).
+
+TEST(RetryBackoff, DoublesUntilTheShiftClamp) {
+  EXPECT_EQ(backoff_for_attempt(4, 1), 4);
+  EXPECT_EQ(backoff_for_attempt(4, 2), 8);
+  EXPECT_EQ(backoff_for_attempt(4, 3), 16);
+  EXPECT_EQ(backoff_for_attempt(4, kMaxBackoffShift + 1), Time{4} << kMaxBackoffShift);
+  // Past the clamp the backoff stops growing instead of shifting wider.
+  EXPECT_EQ(backoff_for_attempt(4, kMaxBackoffShift + 2), Time{4} << kMaxBackoffShift);
+  EXPECT_EQ(backoff_for_attempt(4, 1000), Time{4} << kMaxBackoffShift);
+}
+
+TEST(RetryBackoff, ShiftPastTypeWidthIsDefined) {
+  // Regression for the pre-fix `base << (attempts - 1)`: attempt 70
+  // shifted a 64-bit Time by 69, which is undefined behaviour (UBSan
+  // flags it; C++20 wrapping would yield a *negative* backoff).  The
+  // volatile keeps the call out of constant folding so the sanitizer
+  // sees the runtime shift.
+  volatile std::uint32_t attempts = 70;
+  EXPECT_EQ(backoff_for_attempt(4, attempts), Time{4} << kMaxBackoffShift);
+}
+
+TEST(RetryBackoff, SaturatesBelowTimeMax) {
+  // Even a huge base cannot overflow: the result caps at Time max / 4,
+  // so cancel_time + backoff is safe too.
+  constexpr Time kCeiling = std::numeric_limits<Time>::max() / 4;
+  const Time huge = std::numeric_limits<Time>::max() / 2;
+  EXPECT_EQ(backoff_for_attempt(huge, 1), kCeiling);
+  EXPECT_EQ(backoff_for_attempt(huge, 40), kCeiling);
+  EXPECT_EQ(backoff_for_attempt(kCeiling, 2), kCeiling);
+  EXPECT_LE(backoff_for_attempt(kCeiling - 1, 1), kCeiling);
+}
+
+TEST(RetryBackoff, EdgeCases) {
+  EXPECT_EQ(backoff_for_attempt(0, 5), 0);   // no backoff configured
+  EXPECT_EQ(backoff_for_attempt(-3, 5), 0);  // defensive: negative base
+  EXPECT_EQ(backoff_for_attempt(4, 0), 0);   // no attempt yet
+}
+
+// End-to-end: 70 attempts walk the shift far past 64 bits.  Pre-fix this
+// run executes the undefined shift (UBSan aborts); post-fix the backoffs
+// clamp and the virtual timeline stays exact.
+TEST(RetryBackoff, ServiceSurvivesSeventyAttempts) {
+  ServiceConfig config;
+  config.policy = "kgreedy";
+  config.epoch_length = 1'000'000;  // one slice per retry era
+  config.deadline = 5;
+  config.max_attempts = 70;
+  config.retry_backoff = 1;
+  SchedulerService service(Cluster({1}), config);
+  const auto ticket = service.submit(chain_job(1, {{0, 1000}}));  // can never finish
+  ASSERT_TRUE(ticket.has_value());
+  service.drain();
+
+  Time expected = 0;
+  for (std::uint32_t attempt = 1; attempt <= 70; ++attempt) {
+    expected += config.deadline;  // each attempt runs out its full deadline
+    if (attempt < 70) expected += backoff_for_attempt(config.retry_backoff, attempt);
+  }
+  const JobStatus status = service.poll(*ticket);
+  EXPECT_EQ(status.state, JobState::kRetriesExhausted);
+  EXPECT_EQ(status.attempts, 70u);
+  EXPECT_EQ(status.completion, expected);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.timed_out, 70u);
+  EXPECT_EQ(stats.retried, 69u);
+  EXPECT_EQ(stats.retries_exhausted, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: attempt-number plumbing.  A retry that outlives the
+// *original* attempt's expiry must not be cancelled by it.
+
+TEST(RetryAttempts, RetryOutlivesOriginalExpiry) {
+  // Attempt 1 runs on a 10x-slowed processor and is cancelled at its
+  // expiry (t = 20).  The processor recovers, and attempt 2 (re-folded at
+  // t = 30) completes at t = 45 -- past the original attempt's deadline.
+  // If the reaper confused attempt numbers (or trusted stale heap
+  // entries), the surviving retry would be spuriously cancelled.
+  const FaultPlan plan = FaultPlan::parse("p0:slowx10@0;p0:recover@25");
+  ServiceConfig config;
+  config.policy = "kgreedy";
+  config.deadline = 20;
+  config.max_attempts = 2;
+  config.retry_backoff = 10;
+  config.faults = &plan;
+  SchedulerService service(Cluster({1}), config);
+  const auto ticket = service.submit(chain_job(1, {{0, 15}}));
+  ASSERT_TRUE(ticket.has_value());
+  service.drain();
+
+  const JobStatus status = service.poll(*ticket);
+  EXPECT_EQ(status.state, JobState::kCompleted);
+  EXPECT_EQ(status.attempts, 2u);
+  EXPECT_EQ(status.folded_epoch, 30);  // cancel at 20 + backoff 10
+  EXPECT_EQ(status.completion, 45);
+  EXPECT_EQ(status.flow_time, 15);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.timed_out, 1u);
+  EXPECT_EQ(stats.retried, 1u);
+  EXPECT_EQ(stats.retries_exhausted, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: expiry exactly at an epoch boundary.  Completion is
+// harvested before the reaper runs, so finishing *at* the deadline wins.
+
+TEST(DeadlineBoundary, CompletionAtExpiryWins) {
+  ServiceConfig config;
+  config.policy = "kgreedy";
+  config.epoch_length = 50;
+  config.deadline = 50;  // == epoch_length: expiry lands on a slice edge
+  SchedulerService service(Cluster({1}), config);
+  const auto ticket = service.submit(chain_job(1, {{0, 50}}));
+  ASSERT_TRUE(ticket.has_value());
+  service.drain();
+  const JobStatus status = service.poll(*ticket);
+  EXPECT_EQ(status.state, JobState::kCompleted);
+  EXPECT_EQ(status.completion, 50);
+  EXPECT_EQ(status.flow_time, 50);
+  EXPECT_EQ(service.stats().timed_out, 0u);
+}
+
+TEST(DeadlineBoundary, OneTickLateIsCancelledAtTheBoundary) {
+  ServiceConfig config;
+  config.policy = "kgreedy";
+  config.epoch_length = 50;
+  config.deadline = 50;
+  SchedulerService service(Cluster({1}), config);
+  const auto ticket = service.submit(chain_job(1, {{0, 51}}));
+  ASSERT_TRUE(ticket.has_value());
+  service.drain();
+  const JobStatus status = service.poll(*ticket);
+  EXPECT_EQ(status.state, JobState::kTimedOut);
+  EXPECT_EQ(status.completion, 50);  // cancelled exactly at expiry
+  EXPECT_EQ(service.stats().timed_out, 1u);
+}
+
+TEST(DeadlineBoundary, ExpiryBetweenEpochEdgesStillFiresOnTime) {
+  // deadline 50 with epoch 40: the expiry (50) is mid-epoch; the worker
+  // must bound its slice at the deadline, not overshoot to 80.
+  ServiceConfig config;
+  config.policy = "kgreedy";
+  config.epoch_length = 40;
+  config.deadline = 50;
+  SchedulerService service(Cluster({1}), config);
+  const auto ticket = service.submit(chain_job(1, {{0, 200}}));
+  ASSERT_TRUE(ticket.has_value());
+  service.drain();
+  const JobStatus status = service.poll(*ticket);
+  EXPECT_EQ(status.state, JobState::kTimedOut);
+  EXPECT_EQ(status.completion, 50);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: deadline == retry_backoff collisions.  Cancels, re-arrivals,
+// and later expiries all land on the same ticks; the order must be
+// deterministic and the journal must replay to the live outcome.
+
+TEST(DeadlineCollision, SingleJobTimelineIsExact) {
+  std::ostringstream journal;
+  ServiceConfig config;
+  config.policy = "kgreedy";
+  config.epoch_length = 10;
+  config.deadline = 50;
+  config.retry_backoff = 50;  // == deadline: re-arrival at 2x, expiry at 3x
+  config.max_attempts = 2;
+  config.journal = &journal;
+  Time completion = -1;
+  std::uint64_t ticket_id = 0;
+  {
+    SchedulerService service(Cluster({1}), config);
+    const auto ticket = service.submit(chain_job(1, {{0, 1000}}));
+    ASSERT_TRUE(ticket.has_value());
+    ticket_id = ticket->id;
+    service.drain();
+    const JobStatus status = service.poll(*ticket);
+    EXPECT_EQ(status.state, JobState::kRetriesExhausted);
+    EXPECT_EQ(status.attempts, 2u);
+    EXPECT_EQ(status.folded_epoch, 100);  // cancel 50 + backoff 50
+    EXPECT_EQ(status.completion, 150);
+    completion = status.completion;
+  }
+  const auto entries = parse_journal(journal.str());
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_FALSE(entries[0].cancel);  // fold @ 0
+  EXPECT_EQ(entries[0].epoch, 0);
+  EXPECT_TRUE(entries[1].cancel);  // attempt 1 cancelled @ 50
+  EXPECT_EQ(entries[1].epoch, 50);
+  EXPECT_FALSE(entries[2].cancel);  // retry written @ 50, enters @ 100
+  EXPECT_EQ(entries[2].effective_arrival(), entries[1].epoch + config.retry_backoff);
+  EXPECT_TRUE(entries[3].cancel);  // attempt 2 cancelled @ 150
+  EXPECT_EQ(entries[3].epoch, completion);
+
+  const ReplayResult replay = replay_journal(entries, Cluster({1}), config.policy);
+  EXPECT_TRUE(replay.cancelled_of(ticket_id));
+  EXPECT_EQ(replay.flow_time_of(ticket_id), 50);  // last fold: 100 -> 150
+
+  // Bit-identity: a second identical session writes the same bytes.
+  std::ostringstream second;
+  ServiceConfig again = config;
+  again.journal = &second;
+  {
+    SchedulerService service(Cluster({1}), again);
+    ASSERT_TRUE(service.submit(chain_job(1, {{0, 1000}})).has_value());
+    service.drain();
+  }
+  EXPECT_EQ(journal.str(), second.str());
+}
+
+TEST(DeadlineCollision, ManyJobsReplayToLiveOutcomes) {
+  // Several colliding jobs: same-tick cancels and re-arrivals are ordered
+  // by ticket, and replaying the journal reproduces every live outcome.
+  std::ostringstream journal;
+  ServiceConfig config;
+  config.policy = "mqb";
+  config.epoch_length = 10;
+  config.deadline = 50;
+  config.retry_backoff = 50;
+  config.max_attempts = 2;
+  config.journal = &journal;
+  SchedulerService service(Cluster({1}), config);
+  std::vector<JobTicket> tickets;
+  for (int i = 0; i < 3; ++i) {
+    const auto ticket = service.submit(chain_job(1, {{0, 1000}}));
+    ASSERT_TRUE(ticket.has_value());
+    tickets.push_back(*ticket);
+  }
+  service.drain();
+  service.shutdown();
+
+  const auto entries = parse_journal(journal.str());
+  const ReplayResult replay = replay_journal(entries, Cluster({1}), config.policy);
+  for (const JobTicket& ticket : tickets) {
+    const JobStatus status = service.poll(ticket);
+    EXPECT_EQ(status.state, JobState::kRetriesExhausted);
+    EXPECT_EQ(status.attempts, 2u);
+    EXPECT_TRUE(replay.cancelled_of(ticket.id));
+    EXPECT_EQ(replay.flow_time_of(ticket.id), status.completion - status.folded_epoch);
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.timed_out, 6u);
+  EXPECT_EQ(stats.retried, 3u);
+  EXPECT_EQ(stats.retries_exhausted, 3u);
+  EXPECT_EQ(stats.completed, 0u);
+
+  // Replaying the same journal twice is deterministic.
+  const ReplayResult replay2 = replay_journal(entries, Cluster({1}), config.policy);
+  EXPECT_EQ(replay.result.completion, replay2.result.completion);
+}
+
+// ---------------------------------------------------------------------------
+// The same sweep against the sharded service: per-shard clocks, retries
+// that never migrate shards, and shard-aware journal replay.
+
+TEST(ShardedDeadline, BoundaryCompletionWinsPerShard) {
+  ShardedConfig config;
+  config.policy = "kgreedy";
+  config.epoch_length = 50;
+  config.deadline = 50;
+  config.shards = 2;
+  config.steal = false;
+  ShardedService service(Cluster({2}), config);
+  ASSERT_EQ(service.shard_count(), 2u);
+  std::vector<JobTicket> tickets;
+  for (int i = 0; i < 2; ++i) {
+    const auto ticket = service.submit(chain_job(1, {{0, 50}}));
+    ASSERT_TRUE(ticket.has_value());
+    tickets.push_back(*ticket);
+  }
+  service.drain();
+  for (const JobTicket& ticket : tickets) {
+    const JobStatus status = service.poll(ticket);
+    EXPECT_EQ(status.state, JobState::kCompleted);
+    EXPECT_EQ(status.completion, 50);
+  }
+  EXPECT_EQ(service.stats().timed_out, 0u);
+}
+
+TEST(ShardedDeadline, CollisionSweepReplaysShardAware) {
+  std::ostringstream journal;
+  ShardedConfig config;
+  config.policy = "mqb";
+  config.epoch_length = 10;
+  config.deadline = 50;
+  config.retry_backoff = 50;
+  config.max_attempts = 2;
+  config.shards = 2;
+  config.steal = false;  // keep each job's timeline on its home shard
+  config.journal = &journal;
+  ShardedService service(Cluster({2}), config);
+  ASSERT_EQ(service.shard_count(), 2u);
+  std::vector<JobTicket> tickets;
+  for (int i = 0; i < 4; ++i) {
+    const auto ticket = service.submit(chain_job(1, {{0, 1000}}));
+    ASSERT_TRUE(ticket.has_value());
+    tickets.push_back(*ticket);
+  }
+  service.drain();
+  service.shutdown();
+
+  for (const JobTicket& ticket : tickets) {
+    const JobStatus status = service.poll(ticket);
+    EXPECT_EQ(status.state, JobState::kRetriesExhausted);
+    EXPECT_EQ(status.attempts, 2u);
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.timed_out, 8u);
+  EXPECT_EQ(stats.retried, 4u);
+  EXPECT_EQ(stats.retries_exhausted, 4u);
+
+  const auto entries = parse_journal(journal.str());
+  const ShardReplayResult replay =
+      replay_shard_journal(entries, service.partition(), config.policy);
+  for (const JobTicket& ticket : tickets) {
+    const JobStatus status = service.poll(ticket);
+    EXPECT_TRUE(replay.cancelled_of(ticket.id));
+    EXPECT_EQ(replay.flow_time_of(ticket.id), status.completion - status.folded_epoch);
+  }
+
+  // Bit-identity of the replay: same split, same per-shard results.
+  const ShardReplayResult replay2 =
+      replay_shard_journal(entries, service.partition(), config.policy);
+  ASSERT_EQ(replay.shards.size(), replay2.shards.size());
+  for (std::size_t s = 0; s < replay.shards.size(); ++s) {
+    EXPECT_EQ(replay.shards[s].result.completion, replay2.shards[s].result.completion);
+    EXPECT_EQ(replay.shards[s].result.makespan, replay2.shards[s].result.makespan);
+  }
+}
+
+TEST(ShardedDeadline, RetryStaysOnItsHomeShard) {
+  // One job per shard, each timing out once then completing: the retry
+  // folds on the shard that cancelled it, so every ticket appears in
+  // exactly one per-shard journal stream.
+  std::ostringstream journal;
+  ShardedConfig config;
+  config.policy = "kgreedy";
+  config.epoch_length = 10;
+  config.deadline = 30;
+  config.retry_backoff = 5;
+  config.max_attempts = 2;
+  config.shards = 2;
+  config.steal = false;
+  config.journal = &journal;
+  ShardedService service(Cluster({2}), config);
+  ASSERT_EQ(service.shard_count(), 2u);
+  std::vector<JobTicket> tickets;
+  for (int i = 0; i < 2; ++i) {
+    const auto ticket = service.submit(chain_job(1, {{0, 1000}}));
+    ASSERT_TRUE(ticket.has_value());
+    tickets.push_back(*ticket);
+  }
+  service.drain();
+  service.shutdown();
+
+  for (const JobTicket& ticket : tickets) {
+    const JobStatus status = service.poll(ticket);
+    // Attempt 1 cancelled at 30 on the home shard's clock; attempt 2
+    // folds there at 35 and is cancelled at 65.
+    EXPECT_EQ(status.state, JobState::kRetriesExhausted);
+    EXPECT_EQ(status.attempts, 2u);
+    EXPECT_EQ(status.folded_epoch, 35);
+    EXPECT_EQ(status.completion, 65);
+  }
+  const auto split = split_journal_by_shard(parse_journal(journal.str()));
+  ASSERT_EQ(split.size(), 2u);
+  for (const auto& stream : split) {
+    // fold, cancel, retry, cancel -- one ticket's whole story per shard.
+    ASSERT_EQ(stream.size(), 4u);
+    for (const JournalEntry& entry : stream) {
+      EXPECT_EQ(entry.ticket, stream[0].ticket);
+    }
+    EXPECT_TRUE(stream[1].cancel);
+    EXPECT_EQ(stream[2].effective_arrival(), 35);
+    EXPECT_TRUE(stream[3].cancel);
+    EXPECT_EQ(stream[3].epoch, 65);
+  }
+}
+
+}  // namespace
+}  // namespace fhs

@@ -1,0 +1,376 @@
+// Deadline- and energy-aware scheduler family (src/rt/, sched/realtime):
+// the L(J) schedulability test and its admission wiring, single-job and
+// stream EDF/LLF, gang co-scheduling, and the engine's energy accounting
+// surfaced through ServiceStats / to_json.
+#include "rt/stream_rt.hh"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "exp/json.hh"
+#include "fault/fault_plan.hh"
+#include "metrics/bounds.hh"
+#include "rt/schedulability.hh"
+#include "sched/realtime.hh"
+#include "sched/registry.hh"
+#include "service/admission.hh"
+#include "service/service.hh"
+
+namespace fhs {
+namespace {
+
+KDag chain_job(ResourceType k, std::initializer_list<std::pair<ResourceType, Work>> tasks) {
+  KDagBuilder b(k);
+  TaskId prev = kInvalidTask;
+  for (const auto& [type, work] : tasks) {
+    const TaskId t = b.add_task(type, work);
+    if (prev != kInvalidTask) b.add_edge(prev, t);
+    prev = t;
+  }
+  return std::move(b).build();
+}
+
+// ---------------------------------------------------------------------------
+// rt_schedulable: the L(J) yardstick.
+
+TEST(RtSchedulability, LowerBoundMatchesMetricsBounds) {
+  const KDag dag = chain_job(2, {{0, 6}, {1, 3}, {0, 6}});
+  const Cluster cluster({2, 1});
+  EXPECT_EQ(rt_lower_bound(dag, cluster), completion_time_lower_bound(dag, cluster));
+}
+
+TEST(RtSchedulability, DeadlineBelowLowerBoundIsInfeasible) {
+  // A 10-tick serial chain on one processor: L(J) = 10, no scheduler can
+  // beat it.
+  const KDag dag = chain_job(1, {{0, 5}, {0, 5}});
+  const Cluster cluster({1});
+  EXPECT_FALSE(rt_schedulable(dag, cluster, 9));
+  EXPECT_TRUE(rt_schedulable(dag, cluster, 10));  // exactly L(J): not provably late
+  EXPECT_TRUE(rt_schedulable(dag, cluster, 11));
+}
+
+TEST(RtSchedulability, VolumeBoundDominatesWideJobs) {
+  // Ten independent unit tasks on one processor: span 1 but W/P = 10.
+  KDagBuilder b(1);
+  for (int i = 0; i < 10; ++i) b.add_task(0, 1);
+  const KDag dag = std::move(b).build();
+  EXPECT_EQ(rt_lower_bound(dag, Cluster({1})), 10);
+  EXPECT_FALSE(rt_schedulable(dag, Cluster({1}), 9));
+  EXPECT_TRUE(rt_schedulable(dag, Cluster({10}), 1));
+}
+
+TEST(RtSchedulability, NonPositiveDeadlineMeansNoDeadline) {
+  const KDag dag = chain_job(1, {{0, 100}});
+  EXPECT_TRUE(rt_schedulable(dag, Cluster({1}), 0));
+  EXPECT_TRUE(rt_schedulable(dag, Cluster({1}), -5));
+}
+
+TEST(RtSchedulability, TypeMismatchIsNeverSchedulable) {
+  const KDag dag = chain_job(2, {{0, 1}, {1, 1}});
+  EXPECT_FALSE(rt_schedulable(dag, Cluster({1}), 1000));
+}
+
+// ---------------------------------------------------------------------------
+// Admission wiring: utilization_admission + deadline => kUnschedulable.
+
+TEST(RtAdmission, InfeasibleJobRejectedUpFront) {
+  AdmissionConfig config;
+  config.utilization_admission = true;
+  config.deadline = 5;
+  AdmissionController admission(config, Cluster({1}));
+  const KDag dag = chain_job(1, {{0, 10}});  // L(J) = 10 > 5
+  EXPECT_EQ(admission.verdict(dag, 0), AdmissionVerdict::kUnschedulable);
+  EXPECT_FALSE(admission.fits_when_idle(dag));
+}
+
+TEST(RtAdmission, SameJobWithoutDeadlineIsAdmitted) {
+  AdmissionConfig config;
+  config.utilization_admission = true;  // armed, but no deadline to test against
+  AdmissionController admission(config, Cluster({1}));
+  const KDag dag = chain_job(1, {{0, 10}});
+  EXPECT_EQ(admission.verdict(dag, 0), AdmissionVerdict::kAdmit);
+  EXPECT_TRUE(admission.fits_when_idle(dag));
+}
+
+TEST(RtAdmission, FeasibleJobPassesTheTest) {
+  AdmissionConfig config;
+  config.utilization_admission = true;
+  config.deadline = 10;
+  AdmissionController admission(config, Cluster({1}));
+  EXPECT_EQ(admission.verdict(chain_job(1, {{0, 10}}), 0), AdmissionVerdict::kAdmit);
+}
+
+TEST(RtAdmission, UnschedulableVerdictName) {
+  EXPECT_STREQ(to_string(AdmissionVerdict::kUnschedulable), "unschedulable");
+}
+
+// Acceptance pair at the service level: the same job is rejected with a
+// deadline it provably cannot meet and admitted without one.
+TEST(RtAdmission, ServiceRejectsInfeasibleAndCountsIt) {
+  const KDag dag = chain_job(1, {{0, 10}});
+  {
+    ServiceConfig config;
+    config.policy = "edf";
+    config.deadline = 5;  // < L(J) = 10
+    config.admission.utilization_admission = true;
+    SchedulerService service(Cluster({1}), config);
+    EXPECT_FALSE(service.submit(dag).has_value());
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.rejected, 1u);
+    EXPECT_EQ(stats.rejected_unschedulable, 1u);
+    EXPECT_EQ(stats.admitted, 0u);
+  }
+  {
+    ServiceConfig config;
+    config.policy = "edf";
+    config.admission.utilization_admission = true;  // no deadline set
+    SchedulerService service(Cluster({1}), config);
+    const auto ticket = service.submit(dag);
+    ASSERT_TRUE(ticket.has_value());
+    service.drain();
+    EXPECT_EQ(service.poll(*ticket).state, JobState::kCompleted);
+    EXPECT_EQ(service.stats().rejected_unschedulable, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Single-job EDF/LLF (sched/realtime.hh).
+
+TEST(RtSingleJob, EdfRunsCriticalChainBeforeFifoOrder) {
+  // Builder order puts the slack tasks first, so FIFO (kgreedy) starts
+  // them and strands the critical chain; EDF reads dl(v) = due(v) +
+  // work(v) and starts the chain head immediately.
+  KDagBuilder b(1);
+  b.add_task(0, 4);                    // b: dl = 12
+  b.add_task(0, 4);                    // c: dl = 12
+  const TaskId a = b.add_task(0, 2);   // a: dl = 2 (heads the span-12 chain)
+  const TaskId a2 = b.add_task(0, 9);  // a2: dl = 11 (< the slack tasks' 12)
+  const TaskId a3 = b.add_task(0, 1);  // a3: dl = 12
+  b.add_edge(a, a2);
+  b.add_edge(a2, a3);
+  const KDag dag = std::move(b).build();
+  const Cluster cluster({2});
+
+  EdfScheduler edf;
+  EXPECT_EQ(edf.name(), "EDF");
+  EXPECT_EQ(simulate(dag, cluster, edf).completion_time, 12);
+
+  LlfScheduler llf;  // never-run tasks: laxity order == deadline order
+  EXPECT_EQ(llf.name(), "LLF");
+  EXPECT_EQ(simulate(dag, cluster, llf).completion_time, 12);
+
+  auto fifo = make_scheduler("kgreedy");
+  EXPECT_EQ(simulate(dag, cluster, *fifo).completion_time, 16);
+}
+
+// ---------------------------------------------------------------------------
+// Stream policies (rt/stream_rt.hh) over the multi-job engine.
+
+TEST(RtStream, EdfPrefersEarlierTaskDeadlineAcrossJobs) {
+  // Job 0: fork r(1) -> {c1(8), c2(1)}; T_inf = 9, so dl(c1) = 1 and
+  // dl(c2) = 8.  Job 1: single task of 3 arriving at 2 (dl = 2).  On one
+  // processor EDF runs job 1 before c2 at t = 9; FIFO ready order runs
+  // c2 first.
+  std::vector<JobArrival> jobs;
+  {
+    KDagBuilder b(1);
+    const TaskId r = b.add_task(0, 1);
+    const TaskId c1 = b.add_task(0, 8);
+    const TaskId c2 = b.add_task(0, 1);
+    b.add_edge(r, c1);
+    b.add_edge(r, c2);
+    jobs.push_back({std::move(b).build(), 0});
+  }
+  jobs.push_back({chain_job(1, {{0, 3}}), 2});
+
+  auto edf = make_stream_edf();
+  const MultiJobResult with_edf = multi_simulate(jobs, Cluster({1}), *edf);
+  EXPECT_EQ(with_edf.completion[1], 12);  // job 1 jumps the queue
+  EXPECT_EQ(with_edf.completion[0], 13);
+
+  auto fifo = make_multijob_scheduler("kgreedy");
+  const MultiJobResult with_fifo = multi_simulate(jobs, Cluster({1}), *fifo);
+  EXPECT_EQ(with_fifo.completion[0], 10);  // c2 keeps its ready-order slot
+  EXPECT_EQ(with_fifo.completion[1], 13);
+}
+
+TEST(RtStream, LlfVolumePressureBreaksEdfTies) {
+  // Two single-task jobs arrive together; both task deadlines are their
+  // (equal) arrivals, so EDF falls back to FIFO and runs job 0 (work 2)
+  // first.  LLF's laxity subtracts W_rem / P_total, so the 10-unit job
+  // is the more negative (urgent) one and runs first.
+  std::vector<JobArrival> jobs;
+  jobs.push_back({chain_job(1, {{0, 2}}), 0});
+  jobs.push_back({chain_job(1, {{0, 10}}), 0});
+
+  auto edf = make_stream_edf();
+  const MultiJobResult with_edf = multi_simulate(jobs, Cluster({1}), *edf);
+  EXPECT_EQ(with_edf.completion[0], 2);
+  EXPECT_EQ(with_edf.completion[1], 12);
+
+  auto llf = make_stream_llf();
+  const MultiJobResult with_llf = multi_simulate(jobs, Cluster({1}), *llf);
+  EXPECT_EQ(with_llf.completion[1], 10);  // big job first under volume pressure
+  EXPECT_EQ(with_llf.completion[0], 12);
+}
+
+TEST(RtStream, GangCoSchedulesWholeFrontier) {
+  // Job 0: two independent 5-unit tasks (gang of width 2).  Job 1: one
+  // 3-unit task with the earlier job deadline d = T_inf = 3.  On two
+  // processors Gang-EDF places job 1 first, job 0's gang no longer fits,
+  // and the EDF fill pass keeps the spare processor busy (work
+  // conservation is engine-enforced).
+  std::vector<JobArrival> jobs;
+  {
+    KDagBuilder b(1);
+    b.add_task(0, 5);
+    b.add_task(0, 5);
+    jobs.push_back({std::move(b).build(), 0});
+  }
+  jobs.push_back({chain_job(1, {{0, 3}}), 0});
+
+  auto gang = make_gang_edf();
+  const MultiJobResult with_gang = multi_simulate(jobs, Cluster({2}), *gang);
+  EXPECT_EQ(with_gang.completion[1], 3);
+  EXPECT_EQ(with_gang.completion[0], 8);  // second gang member starts at 3
+
+  auto edf = make_stream_edf();  // plain EDF ties at dl 0 -> FIFO -> job 0 pair
+  const MultiJobResult with_edf = multi_simulate(jobs, Cluster({2}), *edf);
+  EXPECT_EQ(with_edf.completion[0], 5);
+  EXPECT_EQ(with_edf.completion[1], 8);
+
+  // With room for everyone the gangs co-schedule immediately.
+  const MultiJobResult roomy = multi_simulate(jobs, Cluster({3}), *gang);
+  EXPECT_EQ(roomy.completion[0], 5);
+  EXPECT_EQ(roomy.completion[1], 3);
+}
+
+TEST(RtStream, FactoryCoversFamilyAndFallsBack) {
+  EXPECT_NE(make_stream_scheduler("edf"), nullptr);
+  EXPECT_NE(make_stream_scheduler("llf"), nullptr);
+  EXPECT_NE(make_stream_scheduler("gang"), nullptr);
+  EXPECT_NE(make_stream_scheduler("mqb"), nullptr);      // batch family passthrough
+  EXPECT_NE(make_stream_scheduler("kgreedy"), nullptr);
+  EXPECT_THROW((void)make_stream_scheduler("bogus"), std::invalid_argument);
+}
+
+TEST(RtStream, DeterministicAcrossRuns) {
+  std::vector<JobArrival> jobs;
+  for (int i = 0; i < 8; ++i) {
+    jobs.push_back({chain_job(2, {{0, 3 + i}, {1, 2}, {0, 1 + i % 3}}), Time{2} * i});
+  }
+  for (const char* spec : {"edf", "llf", "gang"}) {
+    auto first = make_stream_scheduler(spec);
+    auto second = make_stream_scheduler(spec);
+    const MultiJobResult a = multi_simulate(jobs, Cluster({2, 1}), *first);
+    const MultiJobResult b = multi_simulate(jobs, Cluster({2, 1}), *second);
+    EXPECT_EQ(a.completion, b.completion) << spec;
+    EXPECT_EQ(a.makespan, b.makespan) << spec;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Energy accounting (core EnergyModel through multijob and the service).
+
+TEST(RtEnergy, DisabledCostsNothingAndStaysEmpty) {
+  std::vector<JobArrival> jobs;
+  jobs.push_back({chain_job(1, {{0, 10}}), 0});
+  auto sched = make_stream_edf();
+  const MultiJobResult result = multi_simulate(jobs, Cluster({1}), *sched);
+  EXPECT_TRUE(result.energy_milli_per_type.empty());
+}
+
+TEST(RtEnergy, BusyAndIdleIntegrateExactly) {
+  // One 10-tick task on a 2-processor type: the busy processor draws
+  // 1000 + 100 mW, the idle sibling draws the 100 mW floor.
+  std::vector<JobArrival> jobs;
+  jobs.push_back({chain_job(1, {{0, 10}}), 0});
+  auto sched = make_stream_edf();
+  MultiEngineOptions options;
+  options.energy = EnergyModel{};
+  const MultiJobResult result = multi_simulate(jobs, Cluster({2}), *sched, options);
+  ASSERT_EQ(result.energy_milli_per_type.size(), 1u);
+  EXPECT_EQ(result.energy_milli_per_type[0], 10u * 1100u + 10u * 100u);
+}
+
+TEST(RtEnergy, SlowdownScalesDynamicPowerCubically) {
+  // slowx2 from t = 0: the run takes twice as long but dynamic power
+  // drops to 1000 / 2^3 = 125 mW -- the DVFS trade the Pareto experiment
+  // (EXPERIMENTS.md E18) sweeps.  20 * (125 + 100) = 4500 < 11000.
+  const FaultPlan plan = FaultPlan::parse("p0:slowx2@0");
+  std::vector<JobArrival> jobs;
+  jobs.push_back({chain_job(1, {{0, 10}}), 0});
+  auto sched = make_stream_edf();
+  MultiEngineOptions options;
+  options.energy = EnergyModel{};
+  options.faults = &plan;
+  const MultiJobResult slowed = multi_simulate(jobs, Cluster({1}), *sched, options);
+  EXPECT_EQ(slowed.makespan, 20);
+  ASSERT_EQ(slowed.energy_milli_per_type.size(), 1u);
+  EXPECT_EQ(slowed.energy_milli_per_type[0], 4500u);
+
+  MultiEngineOptions full_speed;
+  full_speed.energy = EnergyModel{};
+  auto sched2 = make_stream_edf();
+  const MultiJobResult fast = multi_simulate(jobs, Cluster({1}), *sched2, full_speed);
+  EXPECT_EQ(fast.makespan, 10);
+  EXPECT_EQ(fast.energy_milli_per_type[0], 11000u);
+}
+
+TEST(RtEnergy, ServiceStatsSurfaceAndJsonGate) {
+  ServiceConfig config;
+  config.policy = "llf";
+  config.epoch_length = 10;  // slice ends at the job's completion: no idle tail
+  config.energy = EnergyModel{};
+  SchedulerService service(Cluster({1}), config);
+  const auto ticket = service.submit(chain_job(1, {{0, 10}}));
+  ASSERT_TRUE(ticket.has_value());
+  service.drain();
+  const ServiceStats stats = service.stats();
+  EXPECT_TRUE(stats.energy_enabled);
+  ASSERT_EQ(stats.energy_milli_per_type.size(), 1u);
+  EXPECT_EQ(stats.energy_milli_per_type[0], 11000u);
+  EXPECT_EQ(stats.total_energy_milli, 11000u);
+  const std::string json = to_json(stats);
+  EXPECT_NE(json.find("\"total_energy_milli\": 11000"), std::string::npos);
+  EXPECT_NE(json.find("\"energy_milli\": [11000]"), std::string::npos);
+}
+
+TEST(RtEnergy, JsonOmitsEnergyWhenDisabled) {
+  ServiceConfig config;
+  SchedulerService service(Cluster({1}), config);
+  const auto ticket = service.submit(chain_job(1, {{0, 4}}));
+  ASSERT_TRUE(ticket.has_value());
+  service.drain();
+  const ServiceStats stats = service.stats();
+  EXPECT_FALSE(stats.energy_enabled);
+  const std::string json = to_json(stats);
+  EXPECT_EQ(json.find("energy"), std::string::npos);
+  EXPECT_EQ(json.find("unschedulable"), std::string::npos);  // deadline gate too
+}
+
+TEST(RtEnergy, MergeSumsEnergyAcrossShards) {
+  ServiceStats a;
+  a.energy_enabled = true;
+  a.energy_milli_per_type = {100, 200};
+  a.total_energy_milli = 300;
+  a.busy_ticks = {0, 0};
+  a.utilization = {0.0, 0.0};
+  a.processors = {1, 1};
+  a.flow_time_bins.assign(kFlowTimeBins, 0);
+  ServiceStats b = a;
+  b.energy_milli_per_type = {5, 7};
+  b.total_energy_milli = 12;
+  const ServiceStats parts[] = {a, b};
+  const ServiceStats merged = merge_service_stats(parts);
+  EXPECT_TRUE(merged.energy_enabled);
+  ASSERT_EQ(merged.energy_milli_per_type.size(), 2u);
+  EXPECT_EQ(merged.energy_milli_per_type[0], 105u);
+  EXPECT_EQ(merged.energy_milli_per_type[1], 207u);
+  EXPECT_EQ(merged.total_energy_milli, 312u);
+}
+
+}  // namespace
+}  // namespace fhs

@@ -55,7 +55,7 @@ RULES = {
 # timing helpers that are *supposed* to read clocks.
 DETERMINISTIC_MODULES = {
     "sim", "sched", "graph", "exp", "workload", "multijob", "flex", "metrics",
-    "fault", "core",
+    "fault", "core", "rt",
 }
 
 # Modules on the simulate/schedule/serve hot path where ad-hoc console
@@ -63,7 +63,7 @@ DETERMINISTIC_MODULES = {
 # cout from worker threads).
 HOT_MODULES = {
     "sim", "sched", "graph", "multijob", "obs", "service", "shard", "flex", "exp",
-    "fault", "core",
+    "fault", "core", "rt",
 }
 
 SOURCE_SUFFIXES = {".hh", ".h", ".cc", ".cpp", ".cxx", ".hpp"}

@@ -28,7 +28,11 @@
 // shard, and --replay of such a journal needs the same --shards so the
 // streams land back on the partition that produced them.  --shards=1
 // keeps today's single-worker path and journal format, byte for byte.
-// The deadline/retry flags are single-worker only.
+// The deadline/retry flags work in both modes (a sharded retry re-folds
+// on the shard that cancelled it).  --policy=edf|llf|gang selects the
+// deadline-aware scheduler family (rt/stream_rt.hh), --admit=util
+// rejects jobs whose L(J) lower bound already exceeds --deadline, and
+// --energy integrates the engine power model into the final stats.
 #include <algorithm>
 #include <fstream>
 #include <iostream>
@@ -127,7 +131,8 @@ int verify_replay(const std::string& journal_path, const Cluster& cluster,
 int verify_shard_replay(
     const std::string& journal_path, const ShardPartition& partition,
     const std::string& policy, const FaultPlan& faults,
-    const std::vector<std::pair<std::uint64_t, Time>>& live_completed) {
+    const std::vector<std::pair<std::uint64_t, Time>>& live_completed,
+    const std::vector<std::uint64_t>& live_timed_out) {
   std::ifstream in(journal_path);
   if (!in) {
     std::cerr << "fhs_serve: cannot re-open journal " << journal_path << '\n';
@@ -140,10 +145,22 @@ int verify_shard_replay(
   const ShardReplayResult replay =
       replay_shard_journal(entries, partition, policy, options);
   for (const auto& [ticket, flow] : live_completed) {
+    if (replay.cancelled_of(ticket)) {
+      std::cerr << "fhs_serve: replay DIVERGED at ticket " << ticket
+                << ": live completed but replay cancelled it\n";
+      return 3;
+    }
     const Time replayed = replay.flow_time_of(ticket);
     if (replayed != flow) {
       std::cerr << "fhs_serve: replay DIVERGED at ticket " << ticket << ": live "
                 << flow << " vs replayed " << replayed << '\n';
+      return 3;
+    }
+  }
+  for (const std::uint64_t ticket : live_timed_out) {
+    if (!replay.cancelled_of(ticket)) {
+      std::cerr << "fhs_serve: replay DIVERGED at ticket " << ticket
+                << ": live timed out but replay completed it\n";
       return 3;
     }
   }
@@ -161,8 +178,11 @@ int verify_shard_replay(
       return 3;
     }
   }
-  std::cerr << "replay verified: " << live_completed.size() << " jobs across "
-            << replay.shards.size()
+  std::cerr << "replay verified: " << live_completed.size() << " jobs";
+  if (!live_timed_out.empty()) {
+    std::cerr << " (+" << live_timed_out.size() << " timed out)";
+  }
+  std::cerr << " across " << replay.shards.size()
             << " shards, flow times identical, schedules valid\n";
   return 0;
 }
@@ -262,16 +282,21 @@ int run_replay(const CliFlags& flags, const Cluster& cluster) {
   return 0;
 }
 
-/// --shards > 1: serve with the sharded service.  Deadline/retry flags
-/// are single-worker features and rejected up front.
+/// Shared parsing of the --admit and --energy flags.
+void apply_admit_energy(const CliFlags& flags, AdmissionConfig& admission,
+                        std::optional<EnergyModel>& energy) {
+  const std::string admit = flags.get_string("admit");
+  if (admit == "util") {
+    admission.utilization_admission = true;
+  } else if (!admit.empty()) {
+    throw std::runtime_error("--admit must be util (or empty)");
+  }
+  if (flags.get_bool("energy")) energy = EnergyModel{};
+}
+
+/// --shards > 1: serve with the sharded service.
 int run_serve_sharded(const CliFlags& flags, const Cluster& cluster,
                       std::size_t shards) {
-  if (flags.get_int("deadline") != 0 || flags.get_int("max-attempts") != 1 ||
-      flags.get_int("backoff") != 0) {
-    throw std::runtime_error(
-        "--deadline/--max-attempts/--backoff need the single-worker service "
-        "(--shards=1)");
-  }
   ShardedConfig config;
   config.policy = flags.get_string("policy");
   config.epoch_length = flags.get_int("epoch");
@@ -279,6 +304,10 @@ int run_serve_sharded(const CliFlags& flags, const Cluster& cluster,
   config.admission.max_queue_depth =
       static_cast<std::size_t>(flags.get_int("max-queue"));
   config.admission.max_outstanding_per_proc = flags.get_double("max-outstanding");
+  config.deadline = flags.get_int("deadline");
+  config.max_attempts = static_cast<std::uint32_t>(flags.get_int("max-attempts"));
+  config.retry_backoff = flags.get_int("backoff");
+  apply_admit_energy(flags, config.admission, config.energy);
   const std::string overload = flags.get_string("overload");
   if (overload == "reject") {
     config.admission.overload = OverloadPolicy::kReject;
@@ -311,6 +340,7 @@ int run_serve_sharded(const CliFlags& flags, const Cluster& cluster,
 
   std::vector<std::uint64_t> tickets;
   std::vector<std::pair<std::uint64_t, Time>> live_completed;
+  std::vector<std::uint64_t> live_timed_out;
   std::size_t cursor = 0;
   ServiceStats stats;
   ShardPartition partition;
@@ -325,9 +355,16 @@ int run_serve_sharded(const CliFlags& flags, const Cluster& cluster,
     const auto flush_completed = [&] {
       while (cursor < tickets.size()) {
         const JobStatus status = service.poll(JobTicket{tickets[cursor]});
-        if (status.state != JobState::kCompleted) break;
-        emit_completion(std::cout, tickets[cursor], status);
-        live_completed.emplace_back(tickets[cursor], status.flow_time);
+        if (status.state == JobState::kCompleted) {
+          emit_completion(std::cout, tickets[cursor], status);
+          live_completed.emplace_back(tickets[cursor], status.flow_time);
+        } else if (status.state == JobState::kTimedOut ||
+                   status.state == JobState::kRetriesExhausted) {
+          emit_timeout(std::cout, tickets[cursor], status);
+          live_timed_out.push_back(tickets[cursor]);
+        } else {
+          break;
+        }
         ++cursor;
       }
     };
@@ -380,7 +417,7 @@ int run_serve_sharded(const CliFlags& flags, const Cluster& cluster,
       return 1;
     }
     return verify_shard_replay(journal_path, partition, config.policy, faults,
-                               live_completed);
+                               live_completed, live_timed_out);
   }
   return 0;
 }
@@ -405,6 +442,7 @@ int run_serve(const CliFlags& flags, const Cluster& cluster) {
   config.deadline = flags.get_int("deadline");
   config.max_attempts = static_cast<std::uint32_t>(flags.get_int("max-attempts"));
   config.retry_backoff = flags.get_int("backoff");
+  apply_admit_energy(flags, config.admission, config.energy);
   std::ofstream journal_file;
   const std::string journal_path = flags.get_string("journal");
   if (!journal_path.empty()) {
@@ -517,7 +555,8 @@ int run_serve(const CliFlags& flags, const Cluster& cluster) {
 
 int main(int argc, char** argv) {
   CliFlags flags;
-  flags.define("policy", "mqb", "stream policy: kgreedy | fcfs | srjf | mqb");
+  flags.define("policy", "mqb",
+               "stream policy: kgreedy | fcfs | srjf | mqb | edf | llf | gang");
   flags.define_uint_list("cluster", "8,8,8,8", "per-type processor counts, e.g. 8,8");
   flags.define_int("epoch", 100, "virtual ticks per worker slice");
   flags.define_int("max-queue", 64, "admission: max submissions awaiting a fold");
@@ -534,7 +573,13 @@ int main(int argc, char** argv) {
                    "attempts per job before a timeout becomes terminal");
   flags.define_int("backoff", 0,
                    "virtual ticks before a retry enters the engine (doubles "
-                   "per attempt)");
+                   "per attempt, clamped at 2^16x)");
+  flags.define("admit", "",
+               "extra admission test: util rejects jobs whose completion-time "
+               "lower bound L(J) already exceeds --deadline");
+  flags.define_bool("energy", false,
+                    "integrate the engine power model (1000mW busy, 100mW idle "
+                    "floor, cubic slowdown scaling) into the final stats");
   flags.define_int("shards", 1,
                    "worker shards (1 = single-worker service; >1 slices the "
                    "cluster, enables work stealing, stamps the journal)");
