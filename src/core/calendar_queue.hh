@@ -48,7 +48,7 @@ template <typename Payload>
 class CalendarQueue {
  public:
   struct Entry {
-    Time at = 0;
+    VirtualTime at{};
     std::uint64_t seq = 0;  ///< push order; breaks equal-time ties FIFO
     Payload payload{};
   };
@@ -64,7 +64,7 @@ class CalendarQueue {
   /// Enqueues `payload` to fire at virtual time `at`.  Requires `at` to
   /// be no earlier than the last seek() time (the engine only schedules
   /// into the future).
-  void push(Time at, Payload payload) {
+  void push(VirtualTime at, Payload payload) {
     Entry entry{at, next_seq_++, std::move(payload)};
     if (at >= far_threshold()) {
       far_.push_back(std::move(entry));
@@ -107,22 +107,32 @@ class CalendarQueue {
   /// Advances the minimum-scan cursor to virtual time `now`.  Requires
   /// every remaining and future entry to fire at or after `now` (the
   /// engine's invariant whenever its clock moves).
-  void seek(Time now) {
+  void seek(VirtualTime now) {
     if (now <= base_) return;  // a refill may have re-based ahead of now
     const auto bucket = static_cast<std::size_t>((now - base_) / width_);
     cursor_ = bucket < buckets_.size() ? bucket : buckets_.size() - 1;
   }
 
  private:
-  [[nodiscard]] Time far_threshold() const noexcept {
-    return base_ + static_cast<Time>(buckets_.size()) * width_;
+  [[nodiscard]] VirtualTime far_threshold() const noexcept {
+    // Deliberately saturating: a window that would run past the int64
+    // rail clamps there, and out-of-range entries fold into the last
+    // bucket (see bucket_of) -- the pre-checked.hh expression could
+    // overflow signed arithmetic here.
+    return VirtualTime{saturating_add(
+        base_.raw(),
+        saturating_mul(static_cast<std::int64_t>(buckets_.size()), width_.raw()))};
   }
 
-  [[nodiscard]] std::size_t bucket_of(Time at) const noexcept {
+  [[nodiscard]] std::size_t bucket_of(VirtualTime at) const noexcept {
     // Entries at or before base_ clamp into bucket 0 (they can only
-    // exist while the cursor is still there; see refill()).
+    // exist while the cursor is still there; see refill()).  Entries
+    // past the (saturated) window clamp into the last bucket, which is
+    // safe for the forward min-scan: everything there is later than any
+    // other bucket's range.
     if (at <= base_) return 0;
-    return static_cast<std::size_t>((at - base_) / width_);
+    const auto bucket = static_cast<std::size_t>((at - base_) / width_);
+    return bucket < buckets_.size() ? bucket : buckets_.size() - 1;
   }
 
   void mark_occupied(std::size_t bucket) noexcept {
@@ -168,17 +178,17 @@ class CalendarQueue {
   /// minimum, width sized so the whole span fits in one rotation.
   void refill() {
     assert(near_count_ == 0 && !far_.empty());
-    Time lo = far_.front().at;
-    Time hi = far_.front().at;
+    VirtualTime lo = far_.front().at;
+    VirtualTime hi = far_.front().at;
     for (const Entry& entry : far_) {
       lo = entry.at < lo ? entry.at : lo;
       hi = entry.at > hi ? entry.at : hi;
     }
     base_ = lo;
-    width_ = (hi - lo) / static_cast<Time>(buckets_.size()) + 1;
+    width_ = (hi - lo) / static_cast<std::int64_t>(buckets_.size()) + VirtualDur{1};
     cursor_ = 0;
     for (Entry& entry : far_) {
-      assert(entry.at < far_threshold());
+      assert(entry.at < far_threshold() || far_threshold() == VirtualTime::max());
       const std::size_t bucket = bucket_of(entry.at);
       buckets_[bucket].push_back(std::move(entry));
       mark_occupied(bucket);
@@ -190,8 +200,8 @@ class CalendarQueue {
   std::vector<std::vector<Entry>> buckets_;   // the near window
   std::vector<std::uint64_t> occupancy_;      // bit per non-empty bucket
   std::vector<Entry> far_;                    // overflow beyond the window
-  Time base_ = 0;
-  Time width_ = 1;
+  VirtualTime base_{0};
+  VirtualDur width_{1};
   std::size_t cursor_ = 0;      // bucket of the last seek() time
   std::size_t near_count_ = 0;  // entries across buckets_
   std::size_t size_ = 0;

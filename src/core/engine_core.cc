@@ -10,8 +10,11 @@ namespace fhs {
 
 namespace {
 constexpr Time kNoEventTime = std::numeric_limits<Time>::max();
+constexpr VirtualTime kNoEvent = VirtualTime::max();
 static_assert(kNoEventTime == kNoFaultEvent,
               "fault-cursor and calendar-queue sentinels must agree");
+static_assert(kNoEvent.raw() == kNoEventTime,
+              "strong and raw no-event sentinels must agree");
 /// Dead queue prefix is compacted once it is this long and at least half
 /// the buffer, keeping pops amortized O(1) without sliding live entries.
 constexpr std::size_t kCompactHead = 1024;
@@ -39,10 +42,10 @@ EngineCore::EngineCore(const Cluster& cluster, const EngineCoreOptions& options,
   }
   alive_per_type_.resize(k);
   for (ResourceType a = 0; a < k; ++a) alive_per_type_[a] = cluster_.processors(a);
-  busy_ticks_per_type_.assign(k, 0);
+  busy_ticks_per_type_.assign(k, VirtualDur{0});
   dispatch_count_per_type_.assign(k, 0);
   dyn_power_of_type_.assign(k, 0);
-  energy_milli_per_type_.assign(k, 0);
+  energy_milli_per_type_.assign(k, EnergyMilli{0});
   slots_.resize(cluster_.total_processors());
   proc_gen_.assign(cluster_.total_processors(), 0);
   occ_mask_.assign((cluster_.total_processors() + 63) / 64, 0);
@@ -52,12 +55,12 @@ EngineCore::EngineCore(const Cluster& cluster, const EngineCoreOptions& options,
     injector_.emplace(*options_.faults, cluster_.total_processors());
     proc_factor_.assign(cluster_.total_processors(), 1);
     proc_down_.assign(cluster_.total_processors(), 0);
-    proc_down_since_.assign(cluster_.total_processors(), 0);
+    proc_down_since_.assign(cluster_.total_processors(), VirtualTime{0});
   }
 }
 
 std::uint32_t EngineCore::add_job(const KDag& dag, Time arrival) {
-  assert(arrival >= now_);
+  assert(VirtualTime{arrival} >= now_);
   const std::uint32_t j = table_.add_job(dag);
   const std::uint32_t base = table_.base(j);
   for (ResourceType a = 0; a < dag.num_types(); ++a) {
@@ -71,10 +74,10 @@ std::uint32_t EngineCore::add_job(const KDag& dag, Time arrival) {
     const std::size_t total = table_.size();
     ready_seq_.resize(total, 0);
     last_proc_.resize(total, std::numeric_limits<std::uint32_t>::max());
-    last_end_.resize(total, -1);
+    last_end_.resize(total, VirtualTime{-1});
   }
   (void)base;
-  events_.push(arrival, CoreEvent{CoreEvent::Kind::kArrival, j, 0});
+  events_.push(VirtualTime{arrival}, CoreEvent{CoreEvent::Kind::kArrival, j, 0});
   ++pending_arrivals_;
   return j;
 }
@@ -195,7 +198,7 @@ void EngineCore::assign(ResourceType alpha, std::size_t index) {
   slot.type = alpha;
   slot.started = now_;
   slot.synced = now_;
-  slot.credit = 0;
+  slot.credit = Credit{};
   slot.done = 0;
   slot.factor = injector_.has_value() ? proc_factor_[proc] : 1;
   slot.pure = slot.factor == 1;
@@ -213,10 +216,12 @@ void EngineCore::push_completion_event(std::uint32_t proc) {
   // Absolute completion time at the current rate; exactly invariant
   // under partial elapses (see the header), so pushed once per occupancy
   // or rescale.
-  const Time at = now_ +
-                  static_cast<Time>(slot.factor) * table_.remaining[slot.task] -
-                  slot.credit;
-  events_.push(at, CoreEvent{CoreEvent::Kind::kCompletion, proc, proc_gen_[proc]});
+  const VirtualDur to_go =
+      checked_mul(VirtualDur{table_.remaining[slot.task]},
+                  static_cast<std::int64_t>(slot.factor)) -
+      slot.credit.as_dur();
+  events_.push(now_ + to_go,
+               CoreEvent{CoreEvent::Kind::kCompletion, proc, proc_gen_[proc]});
 }
 
 void EngineCore::release_processor(std::uint32_t proc) {
@@ -239,11 +244,12 @@ void EngineCore::materialize(std::uint32_t proc) {
   // (see the ProcSlot comment), and every factor change materializes at
   // its event time first, so `factor` was constant since `synced`.
   ProcSlot& slot = slots_[proc];
-  const Time dt = now_ - slot.synced;
-  if (dt == 0) return;
+  const VirtualDur dt = now_ - slot.synced;
+  if (dt.zero()) return;
   slot.synced = now_;
-  const Work units = (slot.credit + dt) / slot.factor;
-  slot.credit = (slot.credit + dt) % slot.factor;
+  const VirtualDur accumulated = slot.credit + dt;
+  const Work units = accumulated.full_units(slot.factor);
+  slot.credit = carry(accumulated, slot.factor);
   slot.done += units;
   table_.remaining[slot.task] -= units;
   job_remaining_[table_.job[slot.task]] -= units;
@@ -261,7 +267,7 @@ Work EngineCore::job_remaining(std::uint32_t j) const {
       bits &= bits - 1;
       const ProcSlot& slot = slots_[proc];
       if (table_.job[slot.task] != j) continue;
-      pending += (slot.credit + (now_ - slot.synced)) / slot.factor;
+      pending += (slot.credit + (now_ - slot.synced)).full_units(slot.factor);
     }
   }
   return job_remaining_.at(j) - pending;
@@ -272,16 +278,17 @@ void EngineCore::record_segment(std::uint32_t proc, bool killed) {
   if (!options_.record_trace || now_ <= slot.started) return;
   ExecutionTrace* trace = options_.trace != nullptr ? options_.trace : &trace_;
   if (slot.pure && !killed) {
-    trace->add(slot.task, proc, slot.started, now_);
+    trace->add(slot.task, proc, slot.started.raw(), now_.raw());
   } else {
-    trace->add_fault_segment(slot.task, proc, slot.started, now_, slot.done, killed);
+    trace->add_fault_segment(slot.task, proc, slot.started.raw(), now_.raw(),
+                             slot.done, killed);
   }
 }
 
 // --- event loop --------------------------------------------------------------
 
-Time EngineCore::next_valid_event_time() {
-  Time next = kNoEventTime;
+VirtualTime EngineCore::next_valid_event_time() {
+  VirtualTime next = kNoEvent;
   while (const auto* entry = events_.peek()) {
     const CoreEvent& event = entry->payload;
     if (event.kind == CoreEvent::Kind::kCompletion &&
@@ -293,7 +300,7 @@ Time EngineCore::next_valid_event_time() {
     break;
   }
   if (injector_.has_value()) {
-    next = std::min(next, injector_->next_event_time());
+    next = std::min(next, VirtualTime{injector_->next_event_time()});
   }
   return next;
 }
@@ -341,8 +348,8 @@ bool EngineCore::step(Time deadline, const DispatchFn& dispatch) {
   dispatch();
   ++decisions_;
   enforce_work_conservation();
-  const Time next = next_valid_event_time();
-  if (next == kNoEventTime || next > deadline) return false;
+  const VirtualTime next = next_valid_event_time();
+  if (next == kNoEvent || next > VirtualTime{deadline}) return false;
   assert(next > now_);
   advance_to(next);
   if (preemptive()) recall_running();
@@ -354,8 +361,8 @@ void EngineCore::advance_until(Time deadline, const DispatchFn& dispatch) {
   }
   // No event left at or before the deadline: idle (or partially execute
   // running tasks) through the rest of the slice.
-  elapse_running(deadline - now_);
-  now_ = deadline;
+  elapse_running(VirtualTime{deadline} - now_);
+  now_ = VirtualTime{deadline};
   events_.seek(now_);
 }
 
@@ -367,8 +374,8 @@ void EngineCore::drain(const DispatchFn& dispatch) {
   }
 }
 
-void EngineCore::advance_to(Time next) {
-  const Time dt = next - now_;
+void EngineCore::advance_to(VirtualTime next) {
+  const VirtualDur dt = next - now_;
   now_ = next;
   events_.seek(now_);
   elapse_running(dt);
@@ -398,13 +405,14 @@ void EngineCore::advance_to(Time next) {
   apply_fault_events();
 }
 
-void EngineCore::elapse_running(Time dt) {
+void EngineCore::elapse_running(VirtualDur dt) {
   // Busy ticks accumulate per type (dt * occupied count); per-slot work
   // progress stays lazy until a materialization point.  O(K) per
   // advance where the legacy engines walked every running task.
-  if (dt == 0) return;
+  if (dt.zero()) return;
   for (ResourceType a = 0; a < cluster_.num_types(); ++a) {
-    busy_ticks_per_type_[a] += dt * occupied_of_type_[a];
+    busy_ticks_per_type_[a] +=
+        checked_mul(dt, static_cast<std::int64_t>(occupied_of_type_[a]));
   }
   if (options_.energy.has_value()) {
     // Power = idle floor for every alive processor + the busy occupants'
@@ -412,8 +420,7 @@ void EngineCore::elapse_running(Time dt) {
     const std::uint64_t idle = options_.energy->idle_power_milli;
     for (ResourceType a = 0; a < cluster_.num_types(); ++a) {
       energy_milli_per_type_[a] +=
-          static_cast<std::uint64_t>(dt) *
-          (idle * alive_per_type_[a] + dyn_power_of_type_[a]);
+          EnergyMilli::over(dt, idle * alive_per_type_[a] + dyn_power_of_type_[a]);
     }
   }
 }
@@ -432,7 +439,7 @@ void EngineCore::process_completions() {
     const std::uint32_t j = table_.job[global];
     assert(tasks_left_[j] > 0);
     if (--tasks_left_[j] == 0) {
-      completion_[j] = now_;
+      completion_[j] = now_.raw();
       ++jobs_completed_;
       listener_->on_job_complete(j);
     }
@@ -502,7 +509,7 @@ std::size_t EngineCore::cancel_job(std::uint32_t j) {
   // listener's on_job_complete never fires for a cancellation.
   completed_tasks_ += tasks_left_[j];
   tasks_left_[j] = 0;
-  completion_[j] = now_;
+  completion_[j] = now_.raw();
   job_remaining_[j] = 0;
   ++jobs_completed_;
   return killed;
@@ -512,7 +519,7 @@ std::size_t EngineCore::cancel_job(std::uint32_t j) {
 
 void EngineCore::apply_fault_events() {
   if (!injector_.has_value()) return;
-  for (const FaultEvent& event : injector_->take_events_until(now_)) {
+  for (const FaultEvent& event : injector_->take_events_until(now_.raw())) {
     switch (event.kind) {
       case FaultKind::kFail:
         on_fail(event);
@@ -535,7 +542,7 @@ void EngineCore::on_fail(const FaultEvent& event) {
   assert(alive_per_type_[alpha] > 0);
   --alive_per_type_[alpha];
   proc_down_[proc] = 1;
-  proc_down_since_[proc] = event.at;
+  proc_down_since_[proc] = VirtualTime{event.at};
   proc_factor_[proc] = 1;  // a recovered processor restarts at full speed
   ProcSlot& slot = slots_[proc];
   if (slot.occupied) {
@@ -572,7 +579,7 @@ void EngineCore::on_recover(const FaultEvent& event) {
   const std::uint32_t proc = event.processor;
   if (proc_down_[proc] != 0) {
     ++fault_stats_.recoveries;
-    const Time latency = event.at - proc_down_since_[proc];
+    const VirtualDur latency = VirtualTime{event.at} - proc_down_since_[proc];
     proc_down_[proc] = 0;
     proc_factor_[proc] = 1;
     const ResourceType alpha = cluster_.type_of_processor(proc);
@@ -581,7 +588,7 @@ void EngineCore::on_recover(const FaultEvent& event) {
     const auto pos = std::lower_bound(frees.begin(), frees.end(), proc,
                                       std::greater<std::uint32_t>{});
     frees.insert(pos, proc);
-    listener_->on_recover_applied(latency);
+    listener_->on_recover_applied(latency.raw());
     return;
   }
   // Recovery from a slowdown: back to full speed in place.
@@ -599,7 +606,7 @@ void EngineCore::rescale_processor(std::uint32_t proc, std::uint32_t new_factor)
   materialize(proc);  // progress so far accrued at the old rate
   energy_on_vacate(slot.type, slot.factor);
   energy_on_occupy(slot.type, new_factor);
-  slot.credit = slot.credit * new_factor / old_factor;
+  slot.credit = slot.credit.rescaled(new_factor, old_factor);
   slot.factor = new_factor;
   if (new_factor != 1) slot.pure = false;
   // The completion moves: cancel the old event, push the new time.

@@ -57,6 +57,7 @@
 #include "graph/kdag.hh"
 #include "machine/cluster.hh"
 #include "sim/trace.hh"
+#include "support/checked.hh"
 
 namespace fhs {
 
@@ -165,7 +166,7 @@ class EngineCore {
   void assign(ResourceType alpha, std::size_t index);
 
   // --- queries ---------------------------------------------------------------
-  [[nodiscard]] Time now() const noexcept { return now_; }
+  [[nodiscard]] Time now() const noexcept { return now_.raw(); }
   [[nodiscard]] ResourceType num_types() const noexcept {
     return cluster_.num_types();
   }
@@ -212,7 +213,7 @@ class EngineCore {
   }
   [[nodiscard]] std::uint64_t decisions() const noexcept { return decisions_; }
   [[nodiscard]] std::uint64_t preemptions() const noexcept { return preemptions_; }
-  [[nodiscard]] std::span<const Time> busy_ticks() const noexcept {
+  [[nodiscard]] std::span<const VirtualDur> busy_ticks() const noexcept {
     return busy_ticks_per_type_;
   }
   [[nodiscard]] std::uint64_t dispatches(ResourceType alpha) const {
@@ -228,13 +229,13 @@ class EngineCore {
   }
   /// Accumulated energy per type in milli-units (empty meaningfully only
   /// when energy accounting is enabled; zeros otherwise).
-  [[nodiscard]] std::span<const std::uint64_t> energy_milli() const noexcept {
+  [[nodiscard]] std::span<const EnergyMilli> energy_milli() const noexcept {
     return energy_milli_per_type_;
   }
   [[nodiscard]] std::uint64_t total_energy_milli() const noexcept {
-    std::uint64_t total = 0;
-    for (const std::uint64_t e : energy_milli_per_type_) total += e;
-    return total;
+    EnergyMilli total{};
+    for (const EnergyMilli e : energy_milli_per_type_) total += e;
+    return total.u64();
   }
 
   [[nodiscard]] std::size_t job_count() const noexcept { return table_.job_count(); }
@@ -276,9 +277,9 @@ class EngineCore {
   struct ProcSlot {
     std::uint32_t task = kInvalidTask;
     ResourceType type = 0;
-    Time started = 0;          ///< when this continuous run began
-    Time synced = 0;           ///< last materialization time
-    Time credit = 0;           ///< ticks toward the next unit, in [0, factor)
+    VirtualTime started{};     ///< when this continuous run began
+    VirtualTime synced{};      ///< last materialization time
+    Credit credit{};           ///< ticks toward the next unit, in [0, factor)
     Work done = 0;             ///< units completed during this run
     std::uint32_t factor = 1;  ///< ticks per unit right now
     bool pure = true;          ///< ran at factor 1 the whole time
@@ -303,10 +304,10 @@ class EngineCore {
   void remove_from_queue(ReadyQueue& q, std::size_t index);
   void enforce_work_conservation() const;
 
-  [[nodiscard]] Time next_valid_event_time();
+  [[nodiscard]] VirtualTime next_valid_event_time();
   void admit_arrivals();
-  void advance_to(Time next);
-  void elapse_running(Time dt);
+  void advance_to(VirtualTime next);
+  void elapse_running(VirtualDur dt);
   void process_completions();
   void recall_running();
   void materialize(std::uint32_t proc);
@@ -355,7 +356,7 @@ class EngineCore {
   CalendarQueue<CoreEvent> events_;
   ExecutionTrace trace_;  ///< used when options_.trace is null
 
-  Time now_ = 0;
+  VirtualTime now_{0};
   std::uint64_t decisions_ = 0;
   std::uint64_t preemptions_ = 0;
   std::uint64_t next_seq_ = 0;
@@ -370,12 +371,12 @@ class EngineCore {
   std::vector<std::uint64_t> queue_version_;
   std::vector<std::vector<std::uint32_t>> free_procs_;  // sorted descending
   std::vector<std::uint32_t> alive_per_type_;
-  std::vector<Time> busy_ticks_per_type_;
+  std::vector<VirtualDur> busy_ticks_per_type_;
   std::vector<std::uint64_t> dispatch_count_per_type_;
   /// Energy accounting (all zero unless options_.energy is set):
   /// sum of the busy occupants' dynamic power, and the integral.
   std::vector<std::uint32_t> dyn_power_of_type_;
-  std::vector<std::uint64_t> energy_milli_per_type_;
+  std::vector<EnergyMilli> energy_milli_per_type_;
 
   // Per processor.
   std::vector<ProcSlot> slots_;
@@ -391,7 +392,7 @@ class EngineCore {
   // Per task, preemptive mode only (empty otherwise).
   std::vector<std::uint64_t> ready_seq_;
   std::vector<std::uint32_t> last_proc_;  ///< previous processor (affinity)
-  std::vector<Time> last_end_;            ///< when the previous run ended
+  std::vector<VirtualTime> last_end_;     ///< when the previous run ended
 
   // Per job.
   std::vector<std::size_t> tasks_left_;
@@ -411,7 +412,7 @@ class EngineCore {
   std::optional<FaultInjector> injector_;
   std::vector<std::uint32_t> proc_factor_;
   std::vector<std::uint8_t> proc_down_;
-  std::vector<Time> proc_down_since_;
+  std::vector<VirtualTime> proc_down_since_;
   FaultStats fault_stats_;
 };
 

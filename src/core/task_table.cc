@@ -26,7 +26,7 @@ std::uint32_t TaskTable::add_job(const KDag& dag) {
     total_work.push_back(dag.work(v));
     remaining.push_back(dag.work(v));
     indegree.push_back(static_cast<std::uint32_t>(dag.parent_count(v)));
-    due.push_back(0);
+    due.push_back(VirtualTime{0});
     job.push_back(j);
     for (const TaskId child : dag.children(v)) {
       child_list.push_back(base_id + child);
@@ -47,7 +47,7 @@ void TaskTable::set_due(std::uint32_t j, std::span<const Time> due_dates) {
   }
   const std::uint32_t begin = base(j);
   for (std::size_t v = 0; v < due_dates.size(); ++v) {
-    due[begin + v] = due_dates[v];
+    due[begin + v] = VirtualTime{due_dates[v]};
   }
 }
 

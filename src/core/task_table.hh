@@ -58,6 +58,7 @@ class TaskTable {
   }
 
   /// Fills the due-date column for job `j` (one entry per local task).
+  /// Takes raw Time at the boundary; the column stores strong instants.
   void set_due(std::uint32_t j, std::span<const Time> due_dates);
 
   // Parallel columns, indexed by global task id.
@@ -65,7 +66,7 @@ class TaskTable {
   std::vector<Work> total_work;
   std::vector<Work> remaining;          ///< engine-mutated
   std::vector<std::uint32_t> indegree;  ///< remaining parents; engine-mutated
-  std::vector<Time> due;                ///< 0 unless set_due() filled it
+  std::vector<VirtualTime> due;         ///< 0 unless set_due() filled it
   std::vector<std::uint32_t> job;
 
   // CSR children over global ids (intra-job edges only).

@@ -10,7 +10,7 @@ FaultInjector::FaultInjector(const FaultPlan& plan, std::uint32_t total_processo
     : events_(plan.events().begin(), plan.events().end()),
       down_(total_processors, 0),
       factor_(total_processors, 1),
-      down_since_(total_processors, -1) {
+      down_since_(total_processors, VirtualTime{-1}) {
   if (!plan.empty() && plan.max_processor() >= total_processors) {
     throw std::invalid_argument("FaultInjector: plan names processor p" +
                                 std::to_string(plan.max_processor()) +
@@ -30,7 +30,7 @@ std::span<const FaultEvent> FaultInjector::take_events_until(Time now) {
     switch (event.kind) {
       case FaultKind::kFail:
         down_[event.processor] = 1;
-        down_since_[event.processor] = event.at;
+        down_since_[event.processor] = VirtualTime{event.at};
         break;
       case FaultKind::kRecover:
         down_[event.processor] = 0;
@@ -63,7 +63,7 @@ FaultTimeline::FaultTimeline(const FaultPlan& plan, std::uint32_t total_processo
     std::uint32_t factor = 1;
     if (event.kind == FaultKind::kFail) factor = 0;
     if (event.kind == FaultKind::kSlow) factor = event.factor;
-    timeline_[event.processor].push_back(Breakpoint{event.at, factor});
+    timeline_[event.processor].push_back(Breakpoint{VirtualTime{event.at}, factor});
   }
   // Plan events are already (time, processor)-sorted, so each
   // per-processor subsequence is time-sorted too.
@@ -71,19 +71,21 @@ FaultTimeline::FaultTimeline(const FaultPlan& plan, std::uint32_t total_processo
 
 bool FaultTimeline::down_overlaps(std::uint32_t proc, Time begin, Time end) const {
   std::uint32_t state = 1;
-  Time since = 0;
+  VirtualTime since{0};
   for (const Breakpoint& bp : timeline_.at(proc)) {
-    if (state == 0 && since < end && bp.at > begin) return true;
+    if (state == 0 && since < VirtualTime{end} && bp.at > VirtualTime{begin}) {
+      return true;
+    }
     state = bp.factor;
     since = bp.at;
   }
-  return state == 0 && since < end;
+  return state == 0 && since < VirtualTime{end};
 }
 
 bool FaultTimeline::fails_at(std::uint32_t proc, Time at) const {
   std::uint32_t state = 1;
   for (const Breakpoint& bp : timeline_.at(proc)) {
-    if (bp.factor == 0 && state != 0 && bp.at == at) return true;
+    if (bp.factor == 0 && state != 0 && bp.at == VirtualTime{at}) return true;
     state = bp.factor;
   }
   return false;
@@ -93,15 +95,17 @@ std::uint32_t FaultTimeline::max_factor_in(std::uint32_t proc, Time begin,
                                            Time end) const {
   std::uint32_t best = 1;
   std::uint32_t state = 1;
-  Time since = 0;
+  VirtualTime since{0};
   for (const Breakpoint& bp : timeline_.at(proc)) {
     // `state` holds over [since, bp.at).
-    if (state > 1 && since < end && bp.at > begin) best = std::max(best, state);
+    if (state > 1 && since < VirtualTime{end} && bp.at > VirtualTime{begin}) {
+      best = std::max(best, state);
+    }
     state = bp.factor;
     since = bp.at;
   }
   // `state` holds over [since, infinity).
-  if (state > 1 && since < end) best = std::max(best, state);
+  if (state > 1 && since < VirtualTime{end}) best = std::max(best, state);
   return best;
 }
 
@@ -109,7 +113,7 @@ std::size_t FaultTimeline::rate_changes_in(std::uint32_t proc, Time begin,
                                            Time end) const {
   std::size_t changes = 0;
   for (const Breakpoint& bp : timeline_.at(proc)) {
-    if (bp.at > begin && bp.at < end) ++changes;
+    if (bp.at > VirtualTime{begin} && bp.at < VirtualTime{end}) ++changes;
   }
   return changes;
 }

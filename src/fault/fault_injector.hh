@@ -56,7 +56,9 @@ class FaultInjector {
   }
   /// Time of the fail event that downed this processor (engines use it
   /// for the recovery-latency histogram).
-  [[nodiscard]] Time down_since(std::uint32_t proc) const { return down_since_.at(proc); }
+  [[nodiscard]] Time down_since(std::uint32_t proc) const {
+    return down_since_.at(proc).raw();
+  }
 
   /// True when an unconsumed recover event exists for `proc` -- the
   /// difference between "wait for recovery" and "stalled forever".
@@ -67,7 +69,7 @@ class FaultInjector {
   std::size_t cursor_ = 0;
   std::vector<std::uint8_t> down_;
   std::vector<std::uint32_t> factor_;
-  std::vector<Time> down_since_;
+  std::vector<VirtualTime> down_since_;
 };
 
 /// Checker-side interval queries over a plan (no engine state).
@@ -95,7 +97,7 @@ class FaultTimeline {
   /// Per processor: (time, state-after) breakpoints, state 0 = down,
   /// otherwise the factor; starts implicitly at (0, 1).
   struct Breakpoint {
-    Time at = 0;
+    VirtualTime at{};
     std::uint32_t factor = 1;  // 0 encodes "down"
   };
   std::vector<std::vector<Breakpoint>> timeline_;

@@ -18,12 +18,19 @@
 #include <string>
 #include <vector>
 
+#include "support/checked.hh"
+
 namespace fhs {
 
 using TaskId = std::uint32_t;
 using ResourceType = std::uint32_t;
 using Work = std::int64_t;
-using Time = std::int64_t;
+/// Raw interchange representation of a virtual-time instant.  `Time` is
+/// the wire/boundary type (parsers, JSON, public module APIs); hot-path
+/// arithmetic inside DETERMINISTIC/HOT modules goes through the strong
+/// types in support/checked.hh (VirtualTime/VirtualDur/Credit), which
+/// share this representation.  fhs-lint: allow(time-arith)
+using Time = VirtualTime::rep;
 
 inline constexpr TaskId kInvalidTask = std::numeric_limits<TaskId>::max();
 /// Hard cap on the number of resource types: keeps per-type arrays small

@@ -80,10 +80,13 @@ void write_svg_gantt(std::ostream& out, const KDag& dag, const Cluster& cluster,
         << seg.start << ", " << seg.end << ")</title></rect>\n";
   }
 
-  // Time axis: 8 ticks.
+  // Time axis: 8 ticks.  `horizon * i` overflows int64 for horizons past
+  // max/8, so the product saturates instead: axis labels clamp at the
+  // rail rather than wrapping negative (the pre-checked.hh expression
+  // was undefined behaviour there).
   const double axis_y = top_margin + lanes_height + 12.0;
   for (int i = 0; i <= 8; ++i) {
-    const Time t = horizon * i / 8;
+    const Time t = saturating_mul(horizon, i) / 8;
     const double x = left_margin + x_per_tick * static_cast<double>(t);
     out << "  <line x1=\"" << x << "\" y1=\"" << top_margin + lanes_height
         << "\" x2=\"" << x << "\" y2=\"" << top_margin + lanes_height + 4.0

@@ -231,7 +231,8 @@ MultiJobResult MultiJobEngine::finish() {
     result.flow_time.push_back(core_.completion(j) - jobs_[j].arrival);
   }
   const auto busy = core_.busy_ticks();
-  result.busy_ticks_per_type.assign(busy.begin(), busy.end());
+  result.busy_ticks_per_type.reserve(busy.size());
+  for (const VirtualDur d : busy) result.busy_ticks_per_type.push_back(d.raw());
   bool any_cancelled = false;
   for (std::uint32_t j = 0; j < jobs_.size(); ++j) {
     any_cancelled = any_cancelled || core_.job_cancelled(j);
@@ -245,7 +246,8 @@ MultiJobResult MultiJobEngine::finish() {
   result.faults = core_.fault_stats();
   if (core_.energy_enabled()) {
     const auto energy = core_.energy_milli();
-    result.energy_milli_per_type.assign(energy.begin(), energy.end());
+    result.energy_milli_per_type.reserve(energy.size());
+    for (const EnergyMilli e : energy) result.energy_milli_per_type.push_back(e.u64());
   }
   result.trace = core_.take_trace();
   const auto& bases = core_.table().job_base;

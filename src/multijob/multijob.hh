@@ -192,12 +192,12 @@ class MultiJobEngine final : public MultiDispatchContext,
   [[nodiscard]] bool job_done(std::uint32_t j) const;
   /// Absolute completion time of a finished job.
   [[nodiscard]] Time completion_time(std::uint32_t j) const;
-  [[nodiscard]] std::span<const Time> busy_ticks() const noexcept {
+  [[nodiscard]] std::span<const VirtualDur> busy_ticks() const noexcept {
     return core_.busy_ticks();
   }
   [[nodiscard]] bool energy_enabled() const noexcept { return core_.energy_enabled(); }
   /// Accumulated energy per type in milli-units (zeros unless enabled).
-  [[nodiscard]] std::span<const std::uint64_t> energy_milli() const noexcept {
+  [[nodiscard]] std::span<const EnergyMilli> energy_milli() const noexcept {
     return core_.energy_milli();
   }
   [[nodiscard]] std::uint64_t total_energy_milli() const noexcept {

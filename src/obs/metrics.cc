@@ -13,9 +13,17 @@ namespace fhs::obs {
 std::uint64_t HistogramSnapshot::quantile_bound(double q) const noexcept {
   if (count == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
-  // Rank of the q-quantile sample, 1-based, rounded up.
-  const auto rank = static_cast<std::uint64_t>(
-      std::max<double>(1.0, q * static_cast<double>(count) + 0.5));
+  // Rank of the q-quantile sample, 1-based, rounded up.  The scaled rank
+  // is clamped against `count` BEFORE the double->uint64 cast: for
+  // counts near 2^64 and q ~= 1.0, `q * count + 0.5` rounds to >= 2^64,
+  // and casting that is undefined behaviour (caught by the
+  // FHS_SANITIZE_INTEGER lane).  `scaled < (double)count` is a safe
+  // guard because any double below (double)count is exactly
+  // representable-in-range.
+  const double scaled = std::max<double>(1.0, q * static_cast<double>(count) + 0.5);
+  const std::uint64_t rank =
+      scaled < static_cast<double>(count) ? static_cast<std::uint64_t>(scaled)
+                                          : count;
   std::uint64_t seen = 0;
   for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
     seen += buckets[b];

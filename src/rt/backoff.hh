@@ -1,0 +1,47 @@
+// Retry backoff arithmetic (strong-typed home of the PR 8 overflow fix).
+//
+// Exponential retry backoff is the one place the service multiplies a
+// duration by an unbounded power of two, which is exactly how the
+// original `base << shift` UB slipped in: at attempt >= 65 the shift
+// reached the width of Time.  The strong-typed version keeps the same
+// observable clamp semantics -- saturate at kBackoffCeiling, never trap,
+// even in debug builds -- by testing against the ceiling BEFORE
+// shifting, so checked_shl only ever runs on an in-range value.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "support/checked.hh"
+
+namespace fhs {
+
+/// Exponential retry backoff stops doubling here: attempt n+1 waits
+/// base * 2^min(n-1, kMaxBackoffShift).  Without the clamp the shift
+/// reaches the width of Time (64 bits) once enough attempts time out,
+/// which is undefined behaviour -- and under C++20's wrapping semantics
+/// would produce a negative backoff, i.e. a retry arriving in the past.
+inline constexpr std::uint32_t kMaxBackoffShift = 16;
+
+/// Backoffs saturate here: max/4, so `cancel time + backoff` cannot
+/// overflow either.
+inline constexpr VirtualDur kBackoffCeiling{
+    std::numeric_limits<std::int64_t>::max() / 4};
+
+/// Virtual ticks attempt `attempts + 1` waits after the `attempts`-th
+/// attempt timed out: base * 2^min(attempts-1, kMaxBackoffShift),
+/// saturating at kBackoffCeiling.  Pure so the clamp is testable without
+/// driving a service through dozens of virtual-time retries.  The
+/// ceiling test precedes the shift, so the checked_shl below is always
+/// in range (saturation is a documented outcome here, not an error --
+/// it must not trap in debug builds).
+[[nodiscard]] constexpr VirtualDur backoff_for_attempt(
+    VirtualDur base, std::uint32_t attempts) noexcept {
+  if (base.raw() <= 0 || attempts == 0) return VirtualDur{0};
+  const std::uint32_t shift =
+      attempts - 1 < kMaxBackoffShift ? attempts - 1 : kMaxBackoffShift;
+  if (base.raw() > (kBackoffCeiling.raw() >> shift)) return kBackoffCeiling;
+  return checked_shl(base, shift);
+}
+
+}  // namespace fhs

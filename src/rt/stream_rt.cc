@@ -13,9 +13,9 @@ namespace {
 
 /// Static per-job deadline data, built once at admit().
 struct RtJobState {
-  Time arrival = 0;
-  Time deadline = 0;            ///< absolute: arrival + T_inf(J)
-  std::vector<Time> due;        ///< due(v) = T_inf - remaining_span(v)
+  VirtualTime arrival{};
+  VirtualTime deadline{};          ///< absolute: arrival + T_inf(J)
+  std::vector<VirtualDur> due;     ///< due(v) = T_inf - remaining_span(v)
 };
 
 /// Shared state management for the deadline family: builds RtJobState in
@@ -31,9 +31,11 @@ class RtStreamScheduler : public MultiJobScheduler {
       throw std::logic_error("RtStreamScheduler::admit: non-dense job index");
     }
     RtJobState state;
-    state.arrival = arrival.arrival;
-    state.due = due_dates(arrival.dag);
-    state.deadline = state.arrival + static_cast<Time>(span(arrival.dag));
+    state.arrival = VirtualTime{arrival.arrival};
+    const std::vector<Time> raw_due = due_dates(arrival.dag);
+    state.due.reserve(raw_due.size());
+    for (const Time d : raw_due) state.due.push_back(VirtualDur{d});
+    state.deadline = state.arrival + VirtualDur{static_cast<Time>(span(arrival.dag))};
     states_.push_back(std::move(state));
   }
 
@@ -64,7 +66,7 @@ class RtStreamScheduler : public MultiJobScheduler {
   virtual void gang_pass(MultiDispatchContext& ctx) { (void)ctx; }
 
   /// Absolute latest-start deadline of a ready task.
-  [[nodiscard]] Time task_deadline(GlobalTask id) const {
+  [[nodiscard]] VirtualTime task_deadline(GlobalTask id) const {
     const RtJobState& state = states_[id.job];
     return state.arrival + state.due[id.task];
   }
@@ -83,7 +85,7 @@ class StreamEdf final : public RtStreamScheduler {
  protected:
   [[nodiscard]] double score(GlobalTask id,
                              const MultiDispatchContext&) const override {
-    return -static_cast<double>(task_deadline(id));  // earliest deadline first
+    return -static_cast<double>(task_deadline(id).raw());  // earliest deadline first
   }
 };
 
@@ -102,9 +104,9 @@ class StreamLlf final : public RtStreamScheduler {
       procs += ctx.total_processors(a);
     }
     const Work pressure = ctx.remaining_job_work(id.job) / std::max<Work>(procs, 1);
-    const Time laxity =
-        task_deadline(id) - ctx.now() - static_cast<Time>(pressure);
-    return -static_cast<double>(laxity);  // least laxity first
+    const VirtualDur laxity = (task_deadline(id) - VirtualTime{ctx.now()}) -
+                              VirtualDur{static_cast<Time>(pressure)};
+    return -static_cast<double>(laxity.raw());  // least laxity first
   }
 };
 
@@ -115,7 +117,7 @@ class GangEdf final : public RtStreamScheduler {
  protected:
   [[nodiscard]] double score(GlobalTask id,
                              const MultiDispatchContext&) const override {
-    return -static_cast<double>(task_deadline(id));  // EDF fill pass
+    return -static_cast<double>(task_deadline(id).raw());  // EDF fill pass
   }
 
   void gang_pass(MultiDispatchContext& ctx) override {
@@ -141,8 +143,8 @@ class GangEdf final : public RtStreamScheduler {
     for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
     std::stable_sort(order_.begin(), order_.end(),
                      [&](std::size_t a, std::size_t b) {
-                       const Time da = state(jobs_[a]).deadline;
-                       const Time db = state(jobs_[b]).deadline;
+                       const VirtualTime da = state(jobs_[a]).deadline;
+                       const VirtualTime db = state(jobs_[b]).deadline;
                        if (da != db) return da < db;
                        return jobs_[a] < jobs_[b];
                      });

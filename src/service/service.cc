@@ -458,12 +458,12 @@ void SchedulerService::worker_loop() {
     stats_->virtual_now.store(engine_.now(), std::memory_order_relaxed);
     const auto busy = engine_.busy_ticks();
     for (ResourceType a = 0; a < cluster_.num_types(); ++a) {
-      stats_->busy[a].store(busy[a], std::memory_order_relaxed);
+      stats_->busy[a].store(busy[a].raw(), std::memory_order_relaxed);
     }
     if (config_.energy.has_value()) {
       const auto energy = engine_.energy_milli();
       for (ResourceType a = 0; a < cluster_.num_types(); ++a) {
-        stats_->energy_milli[a].store(energy[a], std::memory_order_relaxed);
+        stats_->energy_milli[a].store(energy[a].u64(), std::memory_order_relaxed);
       }
     }
     if (config_.faults != nullptr) {

@@ -33,6 +33,7 @@
 
 #include "machine/cluster.hh"
 #include "multijob/multijob.hh"
+#include "rt/backoff.hh"
 #include "service/admission.hh"
 #include "service/journal.hh"
 #include "service/service_stats.hh"
@@ -41,26 +42,12 @@
 
 namespace fhs {
 
-/// Exponential retry backoff stops doubling here: attempt n+1 waits
-/// base * 2^min(n-1, kMaxBackoffShift).  Without the clamp the shift
-/// reaches the width of Time (64 bits) once enough attempts time out,
-/// which is undefined behaviour -- and under C++20's wrapping semantics
-/// would produce a negative backoff, i.e. a retry arriving in the past.
-inline constexpr std::uint32_t kMaxBackoffShift = 16;
-
-/// Virtual ticks attempt `attempts + 1` waits after the `attempts`-th
-/// attempt timed out: base * 2^min(attempts-1, kMaxBackoffShift),
-/// saturating well below Time's max so `cancel time + backoff` cannot
-/// overflow either.  Pure so the clamp is testable without driving a
-/// service through dozens of virtual-time retries.
+/// Raw-Time convenience over rt/backoff.hh (the strong-typed home of
+/// the clamp; kMaxBackoffShift lives there too).  The service configs
+/// carry raw ticks, so this is the boundary adapter.
 [[nodiscard]] constexpr Time backoff_for_attempt(Time base,
                                                  std::uint32_t attempts) noexcept {
-  if (base <= 0 || attempts == 0) return 0;
-  const std::uint32_t shift =
-      attempts - 1 < kMaxBackoffShift ? attempts - 1 : kMaxBackoffShift;
-  constexpr Time kCeiling = std::numeric_limits<Time>::max() / 4;
-  if (base > (kCeiling >> shift)) return kCeiling;
-  return base << shift;
+  return backoff_for_attempt(VirtualDur{base}, attempts).raw();
 }
 
 struct ServiceConfig {

@@ -558,12 +558,12 @@ void ShardedService::advance_slice(Shard& shard) {
   stats.virtual_now.store(shard.engine.now(), std::memory_order_relaxed);
   const auto busy = shard.engine.busy_ticks();
   for (ResourceType a = 0; a < shard.cluster.num_types(); ++a) {
-    stats.busy[a].store(busy[a], std::memory_order_relaxed);
+    stats.busy[a].store(busy[a].raw(), std::memory_order_relaxed);
   }
   if (config_.energy.has_value()) {
     const auto energy = shard.engine.energy_milli();
     for (ResourceType a = 0; a < shard.cluster.num_types(); ++a) {
-      stats.energy_milli[a].store(energy[a], std::memory_order_relaxed);
+      stats.energy_milli[a].store(energy[a].u64(), std::memory_order_relaxed);
     }
   }
   if (config_.faults != nullptr) {

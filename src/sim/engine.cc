@@ -160,8 +160,10 @@ SimResult simulate(const KDag& dag, const Cluster& cluster, Scheduler& scheduler
   SimResult result;
   result.completion_time = core.now();
   const auto busy = core.busy_ticks();
-  result.busy_ticks_per_type.assign(
-      busy.begin(), busy.begin() + static_cast<std::ptrdiff_t>(dag.num_types()));
+  result.busy_ticks_per_type.reserve(dag.num_types());
+  for (ResourceType a = 0; a < dag.num_types(); ++a) {
+    result.busy_ticks_per_type.push_back(busy[a].raw());
+  }
   result.decision_points = core.decisions();
   result.preemptions = core.preemptions();
   result.faults = core.fault_stats();

@@ -335,6 +335,8 @@ class LegacySimulation final : public DispatchContext {
     proc_factor_[proc] = new_factor;
     for (Running& r : running_) {
       if (r.processor != proc) continue;
+      // Frozen differential oracle: stays on raw arithmetic by design.
+      // fhs-lint: allow(time-arith)
       r.credit = r.credit * new_factor / old_factor;
       r.factor = new_factor;
       if (new_factor != 1) r.pure = false;

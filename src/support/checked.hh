@@ -1,0 +1,347 @@
+// Checked arithmetic type system for virtual time, credit, and energy.
+//
+// The engine's correctness story rests on exact int64 arithmetic over
+// virtual time: utilization balancing is argued via integer credit
+// telescoping, and the one real arithmetic bug so far (the retry-backoff
+// shift overflow) was caught only because a test happened to drive UBSan
+// past attempt 65.  This header turns that bug class from runtime-lucky
+// into statically detectable:
+//
+//  * Strong types.  VirtualTime (an absolute instant), VirtualDur (a
+//    span of ticks), Credit (sub-unit ticks toward the next work unit on
+//    a slowed processor), and EnergyMilli (accumulated milli-units of
+//    energy) each wrap one int64_t.  Construction from a raw integer is
+//    explicit, mixing units does not compile (time + time, time * time,
+//    dur << n have no overloads), and the operators that do exist encode
+//    the unit algebra:
+//
+//        VirtualTime - VirtualTime -> VirtualDur
+//        VirtualTime +/- VirtualDur -> VirtualTime
+//        VirtualDur +/- VirtualDur -> VirtualDur
+//        VirtualDur / int64        -> VirtualDur   (floor)
+//        VirtualDur / VirtualDur   -> int64        (ratio)
+//        Credit + VirtualDur       -> VirtualDur   (accumulated ticks)
+//        EnergyMilli + EnergyMilli -> EnergyMilli
+//
+//  * Checked helpers.  Anything overflow-prone (multiply, shift-left,
+//    additions that may saturate) has no built-in operator and must go
+//    through checked_mul / checked_shl / saturating_add, which trap in
+//    debug builds (assertions enabled) and saturate to the int64 range
+//    in release builds.  Saturation is deterministic and sign-correct;
+//    the debug trap pinpoints the offending call under any test run.
+//
+//  * Zero overhead in release.  Every type is a trivially copyable
+//    single-int64 struct with constexpr inline operators; on any
+//    optimizing build the generated code is identical to raw int64
+//    arithmetic (the engine bench gate, scripts/check_bench_engine.py,
+//    holds this as a CI invariant).
+//
+// Static enforcement around this header:
+//  * tools/fhs_lint.py rule `time-arith` bans raw int64 declarations and
+//    built-in * / << on time-like identifiers in DETERMINISTIC/HOT
+//    modules, and rule `module-layering` keeps core/support below
+//    service/shard/rt;
+//  * tests/compile_fail/checked_*.cc prove unit violations do not build;
+//  * the FHS_SANITIZE_INTEGER CMake lane runs the suite under integer
+//    sanitizers (tools/sanitize_integer_ignorelist.txt documents the
+//    intentional wraps this header's saturations are NOT among -- the
+//    helpers detect overflow via __builtin_*_overflow, which never
+//    executes UB).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <type_traits>
+
+namespace fhs {
+
+/// True when the checked helpers trap on overflow (debug builds); false
+/// when they saturate (release builds).  Tests branch on this to assert
+/// both semantics.
+#ifdef NDEBUG
+inline constexpr bool kCheckedTraps = false;
+#else
+inline constexpr bool kCheckedTraps = true;
+#endif
+
+namespace detail {
+
+[[noreturn]] inline void checked_trap(const char* what) noexcept {
+  std::fputs("fhs checked arithmetic: ", stderr);
+  std::fputs(what, stderr);
+  std::fputs("\n", stderr);
+  std::abort();
+}
+
+inline constexpr std::int64_t kI64Max = std::numeric_limits<std::int64_t>::max();
+inline constexpr std::int64_t kI64Min = std::numeric_limits<std::int64_t>::min();
+
+}  // namespace detail
+
+/// a * b with overflow checked: traps in debug, saturates (sign-correct)
+/// in release.  Overflow inside a constant expression saturates, so
+/// constexpr contexts stay compilable and deterministic.
+[[nodiscard]] constexpr std::int64_t checked_mul(std::int64_t a,
+                                                 std::int64_t b) noexcept {
+  std::int64_t out = 0;
+  if (!__builtin_mul_overflow(a, b, &out)) return out;
+  if (!std::is_constant_evaluated() && kCheckedTraps) {
+    detail::checked_trap("checked_mul overflow");
+  }
+  return (a < 0) == (b < 0) ? detail::kI64Max : detail::kI64Min;
+}
+
+/// a + b with overflow checked: traps in debug, saturates in release.
+[[nodiscard]] constexpr std::int64_t checked_add(std::int64_t a,
+                                                 std::int64_t b) noexcept {
+  std::int64_t out = 0;
+  if (!__builtin_add_overflow(a, b, &out)) return out;
+  if (!std::is_constant_evaluated() && kCheckedTraps) {
+    detail::checked_trap("checked_add overflow");
+  }
+  return a > 0 ? detail::kI64Max : detail::kI64Min;
+}
+
+/// a << shift as arithmetic (a * 2^shift) with the overflow class the
+/// retry backoff hit: traps in debug, saturates in release.  Any shift
+/// >= 63 of a non-zero value is an overflow by definition.
+[[nodiscard]] constexpr std::int64_t checked_shl(std::int64_t v,
+                                                 std::uint32_t shift) noexcept {
+  if (v == 0) return 0;
+  const bool overflows = shift >= 63 ||
+                         (v > 0 ? v > (detail::kI64Max >> shift)
+                                : v < (detail::kI64Min >> shift));
+  if (!overflows) return v * (std::int64_t{1} << shift);
+  if (!std::is_constant_evaluated() && kCheckedTraps) {
+    detail::checked_trap("checked_shl overflow");
+  }
+  return v > 0 ? detail::kI64Max : detail::kI64Min;
+}
+
+/// a + b saturating in BOTH build modes: the designated escape hatch for
+/// accumulations where hitting the rail is an accepted, documented
+/// outcome (energy totals, busy-tick folds) rather than a bug.
+[[nodiscard]] constexpr std::int64_t saturating_add(std::int64_t a,
+                                                    std::int64_t b) noexcept {
+  std::int64_t out = 0;
+  if (!__builtin_add_overflow(a, b, &out)) return out;
+  return a > 0 ? detail::kI64Max : detail::kI64Min;
+}
+
+/// a * b saturating in BOTH build modes (window/threshold computations
+/// where clamping at the rail is the intended semantics).
+[[nodiscard]] constexpr std::int64_t saturating_mul(std::int64_t a,
+                                                    std::int64_t b) noexcept {
+  std::int64_t out = 0;
+  if (!__builtin_mul_overflow(a, b, &out)) return out;
+  return (a < 0) == (b < 0) ? detail::kI64Max : detail::kI64Min;
+}
+
+class VirtualTime;
+class Credit;
+
+/// A span of virtual ticks (the difference of two instants).
+class VirtualDur {
+ public:
+  using rep = std::int64_t;
+
+  constexpr VirtualDur() = default;
+  constexpr explicit VirtualDur(rep ticks) noexcept : v_(ticks) {}
+
+  [[nodiscard]] constexpr rep raw() const noexcept { return v_; }
+  [[nodiscard]] constexpr bool zero() const noexcept { return v_ == 0; }
+
+  [[nodiscard]] static constexpr VirtualDur max() noexcept {
+    return VirtualDur{detail::kI64Max};
+  }
+
+  friend constexpr VirtualDur operator+(VirtualDur a, VirtualDur b) noexcept {
+    return VirtualDur{checked_add(a.v_, b.v_)};
+  }
+  friend constexpr VirtualDur operator-(VirtualDur a, VirtualDur b) noexcept {
+    return VirtualDur{a.v_ - b.v_};
+  }
+  constexpr VirtualDur& operator+=(VirtualDur other) noexcept {
+    v_ = checked_add(v_, other.v_);
+    return *this;
+  }
+  constexpr VirtualDur& operator-=(VirtualDur other) noexcept {
+    v_ -= other.v_;
+    return *this;
+  }
+  /// Floor division by a scalar (bucket widths, per-unit splits).
+  friend constexpr VirtualDur operator/(VirtualDur a, rep divisor) noexcept {
+    return VirtualDur{a.v_ / divisor};
+  }
+  /// Ratio of two spans (how many widths fit in this span).
+  friend constexpr rep operator/(VirtualDur a, VirtualDur b) noexcept {
+    return a.v_ / b.v_;
+  }
+  /// Whole work units in this span at `factor` ticks per unit.
+  [[nodiscard]] constexpr rep full_units(std::uint32_t factor) const noexcept {
+    return v_ / static_cast<rep>(factor);
+  }
+
+  friend constexpr bool operator==(VirtualDur, VirtualDur) noexcept = default;
+  friend constexpr auto operator<=>(VirtualDur, VirtualDur) noexcept = default;
+
+ private:
+  rep v_ = 0;
+};
+
+/// d * n (and n * d) through the checked multiply.
+[[nodiscard]] constexpr VirtualDur checked_mul(VirtualDur d,
+                                               std::int64_t n) noexcept {
+  return VirtualDur{checked_mul(d.raw(), n)};
+}
+[[nodiscard]] constexpr VirtualDur checked_mul(std::int64_t n,
+                                               VirtualDur d) noexcept {
+  return VirtualDur{checked_mul(n, d.raw())};
+}
+[[nodiscard]] constexpr VirtualDur checked_shl(VirtualDur d,
+                                               std::uint32_t shift) noexcept {
+  return VirtualDur{checked_shl(d.raw(), shift)};
+}
+[[nodiscard]] constexpr VirtualDur saturating_add(VirtualDur a,
+                                                  VirtualDur b) noexcept {
+  return VirtualDur{saturating_add(a.raw(), b.raw())};
+}
+
+/// An absolute instant on the virtual clock.
+class VirtualTime {
+ public:
+  using rep = std::int64_t;
+
+  constexpr VirtualTime() = default;
+  constexpr explicit VirtualTime(rep at) noexcept : v_(at) {}
+
+  [[nodiscard]] constexpr rep raw() const noexcept { return v_; }
+
+  /// The "never" sentinel (same value the calendar queue and fault
+  /// cursor use for "no event").
+  [[nodiscard]] static constexpr VirtualTime max() noexcept {
+    return VirtualTime{detail::kI64Max};
+  }
+
+  friend constexpr VirtualDur operator-(VirtualTime a, VirtualTime b) noexcept {
+    return VirtualDur{a.v_ - b.v_};
+  }
+  friend constexpr VirtualTime operator+(VirtualTime t, VirtualDur d) noexcept {
+    return VirtualTime{checked_add(t.v_, d.raw())};
+  }
+  friend constexpr VirtualTime operator-(VirtualTime t, VirtualDur d) noexcept {
+    return VirtualTime{t.v_ - d.raw()};
+  }
+  constexpr VirtualTime& operator+=(VirtualDur d) noexcept {
+    v_ = checked_add(v_, d.raw());
+    return *this;
+  }
+  constexpr VirtualTime& operator-=(VirtualDur d) noexcept {
+    v_ -= d.raw();
+    return *this;
+  }
+
+  friend constexpr bool operator==(VirtualTime, VirtualTime) noexcept = default;
+  friend constexpr auto operator<=>(VirtualTime, VirtualTime) noexcept = default;
+
+ private:
+  rep v_ = 0;
+};
+
+/// Sub-unit ticks toward the next work unit on a (possibly slowed)
+/// processor; the engine keeps credit in [0, factor).  Credit is a
+/// duration-like quantity, but distinct: it only ever combines with a
+/// freshly elapsed span and a slowdown factor, via the exact integer
+/// telescoping identity (c + d1)/f + ((c + d1)%f + d2)/f == (c+d1+d2)/f.
+class Credit {
+ public:
+  using rep = std::int64_t;
+
+  constexpr Credit() = default;
+  constexpr explicit Credit(rep ticks) noexcept : v_(ticks) {}
+
+  [[nodiscard]] constexpr rep raw() const noexcept { return v_; }
+  [[nodiscard]] constexpr VirtualDur as_dur() const noexcept {
+    return VirtualDur{v_};
+  }
+
+  /// Accumulated ticks: this credit plus a newly elapsed span.  Feed the
+  /// result to full_units()/carry() to materialize work.
+  friend constexpr VirtualDur operator+(Credit c, VirtualDur d) noexcept {
+    return VirtualDur{checked_add(c.v_, d.raw())};
+  }
+
+  /// Credit carried over a rate change: floor(credit * new / old), which
+  /// keeps the result < new_factor and never over-credits.
+  [[nodiscard]] constexpr Credit rescaled(std::uint32_t new_factor,
+                                          std::uint32_t old_factor) const noexcept {
+    return Credit{checked_mul(v_, static_cast<rep>(new_factor)) /
+                  static_cast<rep>(old_factor)};
+  }
+
+  friend constexpr bool operator==(Credit, Credit) noexcept = default;
+  friend constexpr auto operator<=>(Credit, Credit) noexcept = default;
+
+ private:
+  rep v_ = 0;
+};
+
+/// The sub-unit remainder of an accumulated span at `factor` ticks per
+/// unit (the credit left after full_units() whole units materialize).
+[[nodiscard]] constexpr Credit carry(VirtualDur accumulated,
+                                     std::uint32_t factor) noexcept {
+  return Credit{accumulated.raw() % static_cast<std::int64_t>(factor)};
+}
+
+/// Accumulated energy in milli-units.  Additive only; totals saturate at
+/// the int64 rail rather than wrap (documented in the sanitizer lane's
+/// ignorelist notes).
+class EnergyMilli {
+ public:
+  using rep = std::int64_t;
+
+  constexpr EnergyMilli() = default;
+  constexpr explicit EnergyMilli(rep milli) noexcept : v_(milli) {}
+
+  [[nodiscard]] constexpr rep raw() const noexcept { return v_; }
+  /// Unsigned view for JSON/stats surfaces (energy is never negative).
+  [[nodiscard]] constexpr std::uint64_t u64() const noexcept {
+    return v_ > 0 ? static_cast<std::uint64_t>(v_) : 0;
+  }
+
+  /// Energy drawn over `dt` at `power_milli` milli-units per tick.
+  [[nodiscard]] static constexpr EnergyMilli over(VirtualDur dt,
+                                                  std::uint64_t power_milli) noexcept {
+    return EnergyMilli{
+        checked_mul(dt.raw(), static_cast<rep>(power_milli))};
+  }
+
+  friend constexpr EnergyMilli operator+(EnergyMilli a, EnergyMilli b) noexcept {
+    return EnergyMilli{saturating_add(a.v_, b.v_)};
+  }
+  constexpr EnergyMilli& operator+=(EnergyMilli other) noexcept {
+    v_ = saturating_add(v_, other.v_);
+    return *this;
+  }
+
+  friend constexpr bool operator==(EnergyMilli, EnergyMilli) noexcept = default;
+  friend constexpr auto operator<=>(EnergyMilli, EnergyMilli) noexcept = default;
+
+ private:
+  rep v_ = 0;
+};
+
+static_assert(std::is_trivially_copyable_v<VirtualTime> &&
+                  std::is_trivially_copyable_v<VirtualDur> &&
+                  std::is_trivially_copyable_v<Credit> &&
+                  std::is_trivially_copyable_v<EnergyMilli>,
+              "checked types must stay register-passable");
+static_assert(sizeof(VirtualTime) == sizeof(std::int64_t) &&
+                  sizeof(VirtualDur) == sizeof(std::int64_t) &&
+                  sizeof(Credit) == sizeof(std::int64_t) &&
+                  sizeof(EnergyMilli) == sizeof(std::int64_t),
+              "checked types must stay zero-overhead wrappers");
+
+}  // namespace fhs

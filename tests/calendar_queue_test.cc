@@ -29,9 +29,9 @@ struct Tagged {
 /// Blocks constant propagation: GCC otherwise folds literal push times
 /// through the (dead) near-bucket branch and raises a false
 /// -Warray-bounds on the tiny test windows.
-Time opaque(Time t) {
+VirtualTime opaque(Time t) {
   volatile Time v = t;
-  return v;
+  return VirtualTime{v};
 }
 
 TEST(CalendarQueue, StartsEmpty) {
@@ -48,7 +48,7 @@ TEST(CalendarQueue, EqualTimesFireInInsertionOrder) {
   EXPECT_EQ(queue.pop().payload, -1);
   for (int i = 0; i < 8; ++i) {
     const auto entry = queue.pop();
-    EXPECT_EQ(entry.at, 5);
+    EXPECT_EQ(entry.at.raw(), 5);
     EXPECT_EQ(entry.payload, i);
   }
   EXPECT_TRUE(queue.empty());
@@ -66,7 +66,7 @@ TEST(CalendarQueue, FarEntriesRefillInOrder) {
   while (!queue.empty()) {
     const auto entry = queue.pop();
     queue.seek(entry.at);
-    fired.emplace_back(entry.at, entry.payload);
+    fired.emplace_back(entry.at.raw(), entry.payload);
   }
   // Sorted by time, FIFO among the equal pair (payload 1 before 5).
   const std::vector<std::pair<Time, int>> expected = {
@@ -81,21 +81,21 @@ TEST(CalendarQueue, FarEntriesRefillInOrder) {
 TEST(CalendarQueue, PopOfFutureStaleEntryKeepsNearerBucketsReachable) {
   CalendarQueue<int> queue;
   queue.push(opaque(100), 0);  // becomes stale at time 10 (consumer-side cancel)
-  queue.seek(10);
-  ASSERT_EQ(queue.pop().at, 100);  // stale pop, well past now == 10
+  queue.seek(VirtualTime{10});
+  ASSERT_EQ(queue.pop().at.raw(), 100);  // stale pop, well past now == 10
   queue.push(opaque(20), 1);       // replacement event between now and 100
   const auto* entry = queue.peek();
   ASSERT_NE(entry, nullptr);
-  EXPECT_EQ(entry->at, 20);
+  EXPECT_EQ(entry->at.raw(), 20);
   EXPECT_EQ(queue.pop().payload, 1);
 }
 
 TEST(CalendarQueue, SeekBeforeBaseIsANoOp) {
   CalendarQueue<int> queue(4);
   queue.push(opaque(1000), 0);  // far entry; refill re-bases at 1000
-  ASSERT_EQ(queue.peek()->at, 1000);
-  queue.seek(5);  // behind the re-based window: must not move anything
-  EXPECT_EQ(queue.pop().at, 1000);
+  ASSERT_EQ(queue.peek()->at.raw(), 1000);
+  queue.seek(VirtualTime{5});  // behind the re-based window: must not move anything
+  EXPECT_EQ(queue.pop().at.raw(), 1000);
 }
 
 // The engine-like property drive.  Each processor-like slot has one live
@@ -123,7 +123,7 @@ TEST(CalendarQueue, ValidEventsFireInNondecreasingTimeUnderRandomInsertCancel) {
       const Time at =
           now + (rng.bernoulli(0.15) ? rng.uniform_int(5000, 200000)
                                      : rng.uniform_int(0, 400));
-      queue.push(at, Tagged{slot, gen[slot]});
+      queue.push(VirtualTime{at}, Tagged{slot, gen[slot]});
       live[slot] = 1;
       reference.emplace_back(at, slot);
     };
@@ -153,12 +153,12 @@ TEST(CalendarQueue, ValidEventsFireInNondecreasingTimeUnderRandomInsertCancel) {
         const auto entry = queue.pop();
         ASSERT_FALSE(reference.empty());
         const auto min = *std::min_element(reference.begin(), reference.end());
-        EXPECT_EQ(entry.at, min.first) << "seed " << seed << " step " << step;
-        EXPECT_GE(entry.at, last_fired);
-        EXPECT_GE(entry.at, now);
-        last_fired = entry.at;
-        now = entry.at;
-        queue.seek(now);
+        EXPECT_EQ(entry.at.raw(), min.first) << "seed " << seed << " step " << step;
+        EXPECT_GE(entry.at.raw(), last_fired);
+        EXPECT_GE(entry.at.raw(), now);
+        last_fired = entry.at.raw();
+        now = entry.at.raw();
+        queue.seek(entry.at);
         ++gen[entry.payload.id];  // the event is consumed; entry retired
         live[entry.payload.id] = 0;
         std::erase_if(reference,
@@ -173,8 +173,8 @@ TEST(CalendarQueue, ValidEventsFireInNondecreasingTimeUnderRandomInsertCancel) {
     while (!queue.empty()) {
       const auto entry = queue.pop();
       if (entry.payload.gen != gen[entry.payload.id]) continue;
-      EXPECT_GE(entry.at, last_fired);
-      last_fired = entry.at;
+      EXPECT_GE(entry.at.raw(), last_fired);
+      last_fired = entry.at.raw();
       queue.seek(entry.at);
       ++gen[entry.payload.id];
       std::erase_if(reference,

@@ -1,0 +1,253 @@
+// Boundary tests for support/checked.hh: the helpers' trap/saturate
+// split at the int64 rails, the unit algebra's exactness (the credit
+// telescoping identity), and the retry-backoff regression from PR 8
+// (base << attempts past shift 63 was UB; now it saturates to the
+// ceiling in release and the ceiling test fires before the shift, so
+// debug never traps on the backoff path either).
+//
+// Build-mode matrix: the tier-1 suite runs RelWithDebInfo (NDEBUG), so
+// kCheckedTraps is false and the saturation branches run; a Debug build
+// flips kCheckedTraps and the death-test branches run instead.  Both
+// are exercised in CI (the sanitize jobs build Debug).
+#include "support/checked.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "rt/backoff.hh"
+
+namespace fhs {
+namespace {
+
+constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+
+// Launders a value through a volatile so the call sites below are
+// runtime arithmetic: in a constant evaluation the helpers saturate by
+// design, which would hide the trap path the death tests assert.
+std::int64_t runtime(std::int64_t v) {
+  volatile std::int64_t x = v;
+  return x;
+}
+
+TEST(CheckedMul, ExactWithinRange) {
+  EXPECT_EQ(checked_mul(runtime(3), runtime(7)), 21);
+  EXPECT_EQ(checked_mul(runtime(-3), runtime(7)), -21);
+  EXPECT_EQ(checked_mul(runtime(kMax), runtime(1)), kMax);
+  EXPECT_EQ(checked_mul(runtime(kMin), runtime(1)), kMin);
+  EXPECT_EQ(checked_mul(runtime(kMax / 2), runtime(2)), kMax - 1);
+  EXPECT_EQ(checked_mul(runtime(0), runtime(kMin)), 0);
+}
+
+TEST(CheckedMul, SaturatesSignCorrectInRelease) {
+  if (kCheckedTraps) GTEST_SKIP() << "debug build: overflow traps instead";
+  EXPECT_EQ(checked_mul(runtime(kMax), runtime(2)), kMax);
+  EXPECT_EQ(checked_mul(runtime(kMin), runtime(2)), kMin);
+  EXPECT_EQ(checked_mul(runtime(kMax), runtime(-2)), kMin);
+  EXPECT_EQ(checked_mul(runtime(kMin), runtime(-1)), kMax);  // the INT64_MIN/-1 trap
+  EXPECT_EQ(checked_mul(runtime(-kMax), runtime(-2)), kMax);
+}
+
+TEST(CheckedMulDeathTest, TrapsInDebug) {
+  if (!kCheckedTraps) GTEST_SKIP() << "release build: overflow saturates";
+  EXPECT_DEATH((void)checked_mul(runtime(kMax), runtime(2)), "checked_mul overflow");
+  EXPECT_DEATH((void)checked_mul(runtime(kMin), runtime(-1)), "checked_mul overflow");
+}
+
+TEST(CheckedAdd, ExactAndSaturating) {
+  EXPECT_EQ(checked_add(runtime(kMax - 1), runtime(1)), kMax);
+  EXPECT_EQ(checked_add(runtime(kMin + 1), runtime(-1)), kMin);
+  EXPECT_EQ(checked_add(runtime(kMax), runtime(kMin)), -1);
+  if (kCheckedTraps) {
+    EXPECT_DEATH((void)checked_add(runtime(kMax), runtime(1)), "checked_add overflow");
+    EXPECT_DEATH((void)checked_add(runtime(kMin), runtime(-1)), "checked_add overflow");
+  } else {
+    EXPECT_EQ(checked_add(runtime(kMax), runtime(1)), kMax);
+    EXPECT_EQ(checked_add(runtime(kMin), runtime(-1)), kMin);
+  }
+}
+
+TEST(CheckedShl, ExactWithinRange) {
+  EXPECT_EQ(checked_shl(runtime(1), 0), 1);
+  EXPECT_EQ(checked_shl(runtime(1), 62), std::int64_t{1} << 62);
+  EXPECT_EQ(checked_shl(runtime(-1), 62), -(std::int64_t{1} << 62));
+  EXPECT_EQ(checked_shl(runtime(5), 3), 40);
+  // Zero shifts to zero at ANY width -- including the >= 64 shifts that
+  // are UB on raw int64 (the PR-8 bug class).
+  EXPECT_EQ(checked_shl(runtime(0), 64), 0);
+  EXPECT_EQ(checked_shl(runtime(0), 4096), 0);
+}
+
+TEST(CheckedShl, OverflowingShiftsSaturateInRelease) {
+  if (kCheckedTraps) GTEST_SKIP() << "debug build: overflow traps instead";
+  EXPECT_EQ(checked_shl(runtime(1), 63), kMax);
+  EXPECT_EQ(checked_shl(runtime(-1), 63), kMin);
+  EXPECT_EQ(checked_shl(runtime(2), 62), kMax);
+  // Mirrors backoff attempt 70 on raw ticks: shift width past 64 is a
+  // plain saturation, not UB (UBSan-proven in the sanitize lanes).
+  EXPECT_EQ(checked_shl(runtime(100), 70), kMax);
+  EXPECT_EQ(checked_shl(runtime(-100), 70), kMin);
+}
+
+TEST(CheckedShlDeathTest, TrapsInDebug) {
+  if (!kCheckedTraps) GTEST_SKIP() << "release build: overflow saturates";
+  EXPECT_DEATH((void)checked_shl(runtime(1), 63), "checked_shl overflow");
+  EXPECT_DEATH((void)checked_shl(runtime(100), 70), "checked_shl overflow");
+}
+
+TEST(Saturating, NeverTrapsInEitherMode) {
+  // saturating_add/_mul are the designated escape hatches: rails in both
+  // build modes, regardless of kCheckedTraps.
+  EXPECT_EQ(saturating_add(runtime(kMax), runtime(kMax)), kMax);
+  EXPECT_EQ(saturating_add(runtime(kMin), runtime(kMin)), kMin);
+  EXPECT_EQ(saturating_add(runtime(kMax), runtime(-1)), kMax - 1);
+  EXPECT_EQ(saturating_mul(runtime(kMax), runtime(kMax)), kMax);
+  EXPECT_EQ(saturating_mul(runtime(kMax), runtime(kMin)), kMin);
+  EXPECT_EQ(saturating_mul(runtime(kMin), runtime(kMin)), kMax);
+  EXPECT_EQ(saturating_mul(runtime(kMax / 4), runtime(2)), 2 * (kMax / 4));
+}
+
+TEST(Checked, ConstantEvaluationSaturatesInBothModes) {
+  // Overflow inside a constant expression cannot trap (abort is not
+  // constexpr); it saturates identically in debug and release, so
+  // constexpr results never depend on the build mode.
+  static_assert(checked_mul(kMax, 2) == kMax);
+  static_assert(checked_mul(kMin, -1) == kMax);
+  static_assert(checked_add(kMax, 1) == kMax);
+  static_assert(checked_shl(std::int64_t{1}, 63) == kMax);
+  static_assert(checked_shl(std::int64_t{-1}, 70) == kMin);
+  static_assert(saturating_add(kMax, 1) == kMax);
+  static_assert(checked_mul(std::int64_t{6}, std::int64_t{7}) == 42);
+}
+
+TEST(UnitAlgebra, TimeAndDuration) {
+  constexpr VirtualTime start{100};
+  constexpr VirtualTime end{250};
+  constexpr VirtualDur span = end - start;
+  static_assert(span.raw() == 150);
+  static_assert((start + span).raw() == 250);
+  static_assert((end - span).raw() == 100);
+  static_assert(VirtualTime::max().raw() == kMax);
+  static_assert(VirtualTime{} < start && start < end);
+  static_assert((VirtualDur{7} + VirtualDur{5}).raw() == 12);
+  static_assert((VirtualDur{7} - VirtualDur{5}).raw() == 2);
+  static_assert((VirtualDur{7} / 2).raw() == 3);
+  static_assert(VirtualDur{7} / VirtualDur{2} == 3);
+  static_assert(VirtualDur{7}.full_units(3) == 2);
+
+  VirtualTime t{10};
+  t += VirtualDur{5};
+  EXPECT_EQ(t.raw(), 15);
+  t -= VirtualDur{3};
+  EXPECT_EQ(t.raw(), 12);
+}
+
+TEST(UnitAlgebra, TimePlusDurationSaturatesAtTheRail) {
+  if (kCheckedTraps) GTEST_SKIP() << "debug build: overflow traps instead";
+  const VirtualTime far{runtime(kMax - 1)};
+  EXPECT_EQ((far + VirtualDur{runtime(100)}).raw(), kMax);
+  VirtualDur d{runtime(kMax)};
+  d += VirtualDur{runtime(kMax)};
+  EXPECT_EQ(d.raw(), kMax);
+}
+
+TEST(UnitAlgebra, CreditTelescoping) {
+  // The exact integer identity the engine's materialization step relies
+  // on: splitting an elapsed span at ANY point and carrying the credit
+  // yields the same unit count as consuming it whole.
+  //   (c + d1)/f + ((c + d1)%f + d2)/f == (c + d1 + d2)/f
+  for (std::uint32_t factor : {1u, 2u, 3u, 7u}) {
+    for (std::int64_t total = 0; total <= 40; ++total) {
+      const std::int64_t whole =
+          (Credit{} + VirtualDur{total}).full_units(factor);
+      for (std::int64_t d1 = 0; d1 <= total; ++d1) {
+        const VirtualDur acc1 = Credit{} + VirtualDur{d1};
+        const Credit mid = carry(acc1, factor);
+        const VirtualDur acc2 = mid + VirtualDur{total - d1};
+        EXPECT_EQ(acc1.full_units(factor) + acc2.full_units(factor), whole)
+            << "factor=" << factor << " total=" << total << " split=" << d1;
+      }
+    }
+  }
+}
+
+TEST(UnitAlgebra, CreditRescaleFloorsAndNeverOvercredits) {
+  // Rescaling credit c in [0, old) to a new factor keeps it in [0, new).
+  for (std::uint32_t old_f : {1u, 2u, 5u, 8u}) {
+    for (std::uint32_t new_f : {1u, 2u, 5u, 8u}) {
+      for (std::int64_t c = 0; c < old_f; ++c) {
+        const Credit scaled = Credit{c}.rescaled(new_f, old_f);
+        EXPECT_GE(scaled.raw(), 0);
+        EXPECT_LT(scaled.raw(), static_cast<std::int64_t>(new_f));
+        EXPECT_EQ(scaled.raw(), c * new_f / old_f);
+      }
+    }
+  }
+}
+
+TEST(UnitAlgebra, EnergyAccumulatesAndClampsUnsignedView) {
+  constexpr EnergyMilli e = EnergyMilli::over(VirtualDur{10}, 250);
+  static_assert(e.raw() == 2500);
+  static_assert(e.u64() == 2500u);
+  static_assert(EnergyMilli{-5}.u64() == 0u);  // negative never surfaces
+  EnergyMilli total;
+  total += e;
+  total += EnergyMilli{500};
+  EXPECT_EQ(total.u64(), 3000u);
+  // Totals saturate (never wrap) in both modes.
+  EnergyMilli rail{runtime(kMax)};
+  rail += EnergyMilli{runtime(1)};
+  EXPECT_EQ(rail.raw(), kMax);
+}
+
+TEST(Backoff, DoublesThenClampsAtTheShiftCap) {
+  constexpr VirtualDur base{100};
+  EXPECT_EQ(backoff_for_attempt(base, 0).raw(), 0);
+  for (std::uint32_t attempt = 1; attempt <= kMaxBackoffShift; ++attempt) {
+    EXPECT_EQ(backoff_for_attempt(base, attempt).raw(),
+              100 * (std::int64_t{1} << (attempt - 1)));
+  }
+  // Past the cap the delay freezes at base << kMaxBackoffShift.
+  const VirtualDur capped = backoff_for_attempt(base, kMaxBackoffShift + 1);
+  EXPECT_EQ(capped.raw(), 100 * (std::int64_t{1} << kMaxBackoffShift));
+  EXPECT_EQ(backoff_for_attempt(base, 1000).raw(), capped.raw());
+}
+
+TEST(Backoff, HugeBaseSaturatesToCeilingWithoutTrapping) {
+  // The PR-8 regression, now strongly typed: a base large enough that
+  // base << shift would overflow must return the ceiling -- in BOTH
+  // build modes, because the ceiling test fires before the shift (the
+  // clamp is the documented outcome, not an error).
+  const VirtualDur huge{runtime(kMax / 8)};
+  EXPECT_EQ(backoff_for_attempt(huge, 40).raw(), kBackoffCeiling.raw());
+  EXPECT_EQ(backoff_for_attempt(VirtualDur{runtime(kMax)}, 2).raw(),
+            kBackoffCeiling.raw());
+  EXPECT_EQ(backoff_for_attempt(VirtualDur{runtime(kMax)}, 70).raw(),
+            kBackoffCeiling.raw());
+  // Non-positive bases never back off.
+  EXPECT_EQ(backoff_for_attempt(VirtualDur{0}, 5).raw(), 0);
+  EXPECT_EQ(backoff_for_attempt(VirtualDur{-10}, 5).raw(), 0);
+}
+
+TEST(Backoff, ConstexprMirrorsRuntime) {
+  static_assert(backoff_for_attempt(VirtualDur{100}, 3).raw() == 400);
+  static_assert(backoff_for_attempt(VirtualDur{1}, 1).raw() == 1);
+  static_assert(
+      backoff_for_attempt(VirtualDur::max(), 70) == kBackoffCeiling);
+}
+
+TEST(ZeroOverhead, TypesStayRegisterSized) {
+  // Mirrors the header's static_asserts where a failure reports through
+  // gtest instead of a build break (belt and braces for refactors that
+  // bypass the header copy).
+  EXPECT_EQ(sizeof(VirtualTime), sizeof(std::int64_t));
+  EXPECT_EQ(sizeof(VirtualDur), sizeof(std::int64_t));
+  EXPECT_EQ(sizeof(Credit), sizeof(std::int64_t));
+  EXPECT_EQ(sizeof(EnergyMilli), sizeof(std::int64_t));
+  EXPECT_TRUE(std::is_trivially_copyable_v<VirtualTime>);
+}
+
+}  // namespace
+}  // namespace fhs

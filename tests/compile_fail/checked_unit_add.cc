@@ -1,0 +1,20 @@
+// Compile-fail fixture: adding two absolute instants has no physical
+// meaning, so support/checked.hh gives VirtualTime no operator+ for
+// another VirtualTime -- only VirtualTime + VirtualDur exists.
+//
+// Control: the unit-correct algebra (instant + span, instant - instant)
+// compiles everywhere.  Violation (-DFHS_COMPILE_FAIL_VIOLATE,
+// WILL_FAIL on every compiler): instant + instant must not build.
+#include "support/checked.hh"
+
+int main() {
+  const fhs::VirtualTime start{100};
+  const fhs::VirtualTime end{250};
+  const fhs::VirtualDur span = end - start;
+  const fhs::VirtualTime later = start + span;
+#ifdef FHS_COMPILE_FAIL_VIOLATE
+  const auto nonsense = start + end;  // instant + instant: no overload
+  return static_cast<int>(nonsense.raw());
+#endif
+  return static_cast<int>(later.raw() - span.raw());
+}

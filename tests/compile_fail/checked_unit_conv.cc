@@ -1,0 +1,27 @@
+// Compile-fail fixture: construction from a raw integer is explicit and
+// there is no implicit conversion back -- a raw tick count cannot slip
+// into a VirtualTime parameter (or between unit types) by accident.
+//
+// Control: explicit construction and .raw() extraction compile
+// everywhere.  Violation (-DFHS_COMPILE_FAIL_VIOLATE, WILL_FAIL on
+// every compiler): passing a bare int64 where an instant is expected
+// must not build.
+#include <cstdint>
+
+#include "support/checked.hh"
+
+namespace {
+constexpr std::int64_t age_at(fhs::VirtualTime now, fhs::VirtualTime born) {
+  return (now - born).raw();
+}
+}  // namespace
+
+int main() {
+  const std::int64_t raw_now = 500;
+  const fhs::VirtualTime now{raw_now};
+#ifdef FHS_COMPILE_FAIL_VIOLATE
+  return static_cast<int>(age_at(raw_now, now));  // raw int64 as instant
+#else
+  return static_cast<int>(age_at(now, fhs::VirtualTime{raw_now}));
+#endif
+}

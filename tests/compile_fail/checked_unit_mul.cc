@@ -1,0 +1,19 @@
+// Compile-fail fixture: the strong time types expose NO built-in
+// multiply -- silent int64 overflow is exactly the bug class the types
+// exist to kill.  Products must go through checked_mul (trap in debug,
+// saturate in release) or saturating_mul.
+//
+// Control: checked_mul compiles everywhere.  Violation
+// (-DFHS_COMPILE_FAIL_VIOLATE, WILL_FAIL on every compiler): built-in
+// `*` on a VirtualDur must not build.
+#include "support/checked.hh"
+
+int main() {
+  const fhs::VirtualDur unit_cost{7};
+  const fhs::VirtualDur scaled = fhs::checked_mul(unit_cost, 3);
+#ifdef FHS_COMPILE_FAIL_VIOLATE
+  const auto wrapped = unit_cost * 3;  // no operator*: overflow-prone
+  return static_cast<int>(wrapped.raw());
+#endif
+  return static_cast<int>(scaled.raw());
+}

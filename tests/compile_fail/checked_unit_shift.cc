@@ -1,0 +1,19 @@
+// Compile-fail fixture: shift-left on a duration (the PR-8 retry
+// backoff overflow: base << attempts reached UB at shift >= 64) has no
+// operator on the strong types; it must go through checked_shl, which
+// traps in debug and saturates in release.
+//
+// Control: checked_shl compiles everywhere.  Violation
+// (-DFHS_COMPILE_FAIL_VIOLATE, WILL_FAIL on every compiler): built-in
+// `<<` on a VirtualDur must not build.
+#include "support/checked.hh"
+
+int main() {
+  const fhs::VirtualDur base{16};
+  const fhs::VirtualDur doubled = fhs::checked_shl(base, 1);
+#ifdef FHS_COMPILE_FAIL_VIOLATE
+  const auto shifted = base << 1;  // no operator<<: UB at shift >= 64
+  return static_cast<int>(shifted.raw());
+#endif
+  return static_cast<int>(doubled.raw());
+}

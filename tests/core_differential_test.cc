@@ -175,7 +175,7 @@ TEST(TaskTable, ColumnsMirrorTheDag) {
     EXPECT_EQ(table.total_work[v], dag.work(v)) << v;
     EXPECT_EQ(table.remaining[v], dag.work(v)) << v;
     EXPECT_EQ(table.indegree[v], dag.parent_count(v)) << v;
-    EXPECT_EQ(table.due[v], 0) << v;
+    EXPECT_EQ(table.due[v].raw(), 0) << v;
     EXPECT_EQ(table.job[v], 0u) << v;
   }
 }
@@ -230,8 +230,8 @@ TEST(TaskTable, SetDueFillsOneJobOnly) {
   const std::vector<Time> due = {10, 20, 30, 40};
   table.set_due(1, due);
   for (TaskId v = 0; v < dag.task_count(); ++v) {
-    EXPECT_EQ(table.due[v], 0) << v;
-    EXPECT_EQ(table.due[table.base(1) + v], due[v]) << v;
+    EXPECT_EQ(table.due[v].raw(), 0) << v;
+    EXPECT_EQ(table.due[table.base(1) + v].raw(), due[v]) << v;
   }
   const std::vector<Time> short_due = {1};
   EXPECT_THROW(table.set_due(0, short_due), std::invalid_argument);

@@ -1,0 +1,24 @@
+// Clean fixture: the same shapes as trigger/src/core/time_arith_bad.cc
+// rewritten onto the strong types of support/checked.hh -- nothing here
+// may fire.
+#include <cstdint>
+
+#include "support/checked.hh"
+
+namespace fixture {
+
+struct Slot {
+  fhs::VirtualTime deadline{};
+  fhs::Credit credit{};
+  fhs::EnergyMilli energy{};
+  std::int64_t ticket_id = 0;  // "ticket" is not time-like
+};
+
+fhs::VirtualDur scale(const Slot& slot, std::int64_t factor) {
+  const fhs::VirtualDur grown = fhs::checked_mul(slot.credit.as_dur(), factor);
+  const fhs::VirtualDur shifted = fhs::checked_shl(slot.credit.as_dur(), 1);
+  const double util = 0.5 * static_cast<double>(slot.credit.raw());
+  return grown + shifted + fhs::VirtualDur{static_cast<std::int64_t>(util)};
+}
+
+}  // namespace fixture

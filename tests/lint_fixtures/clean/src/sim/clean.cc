@@ -25,7 +25,8 @@ int fold(const std::map<int, int>& weights) {
 void report(std::ostream& out, int value) { out << value << '\n'; }
 
 // Identifiers merely containing rule substrings must not match:
-// "runtime(" is not "time(", and a comment saying std::cout is text.
-int runtime(int ticks) { return ticks * 2; }
+// "runtime(" is not "time(", "ticket" is not "tick", and a comment
+// saying std::cout is text.
+int runtime(int tickets) { return tickets * 2; }
 
 }  // namespace fhs

@@ -1,0 +1,10 @@
+// Trigger fixture: a bottom-layer module (core/) including higher
+// layers.  Both includes must be flagged by module-layering; the
+// support/ include must not be (support is a sibling bottom layer).
+#include "rt/backoff.hh"
+#include "service/service.hh"
+#include "support/checked.hh"
+
+namespace fixture {
+int layering_anchor();
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Trigger fixture: raw int64 arithmetic on time-like quantities in a
+// deterministic module.  Every construct here must be flagged by the
+// time-arith rule (and the negatives below must NOT be).
+#include <cstdint>
+
+namespace fixture {
+
+struct Slot {
+  std::int64_t deadline_ticks = 0;      // decl: time-like name as raw int64
+  std::int64_t credit = 0;              // decl: single-segment match
+  std::uint64_t energy_milli = 0;       // negative: unsigned carries wire data
+  std::int64_t ticket_id = 0;           // negative: "ticket" is not "tick"
+};
+
+std::int64_t scale(Slot& slot, std::int64_t factor, unsigned shift) {
+  const auto base_epoch = slot.deadline_ticks;
+  const auto grown = slot.credit * factor;    // mul, time-like left operand
+  const auto doubled = 2 * base_epoch;        // mul, time-like right operand
+  const auto shifted = slot.credit << shift;  // arithmetic shift
+  const double util = 0.5 * slot.credit;      // negative: double line exempt
+  return grown + doubled + shifted + static_cast<std::int64_t>(util);
+}
+
+}  // namespace fixture

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <thread>
@@ -103,6 +104,26 @@ TEST(ObsHistogram, QuantileBounds) {
   EXPECT_GE(snapshot.quantile_bound(0.99), 990u);
   EXPECT_LE(snapshot.quantile_bound(1.0), snapshot.max * 2);
   EXPECT_EQ(HistogramSnapshot{}.quantile_bound(0.5), 0u);
+}
+
+TEST(ObsHistogram, QuantileBoundSurvivesSaturatedCounts) {
+  // Regression (found by the FHS_SANITIZE_INTEGER lane): for counts near
+  // 2^64 and q ~= 1.0, `q * count + 0.5` rounds to >= 2^64 and the
+  // double -> uint64 cast was undefined behaviour.  The rank is now
+  // clamped against count BEFORE the cast; the query must return the
+  // populated bucket's bound, not garbage.
+  HistogramSnapshot snap;
+  snap.count = std::numeric_limits<std::uint64_t>::max();
+  snap.buckets[0] = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(snap.quantile_bound(1.0), histogram_bucket_bound(0));
+  EXPECT_EQ(snap.quantile_bound(0.999999), histogram_bucket_bound(0));
+  EXPECT_EQ(snap.quantile_bound(0.0), histogram_bucket_bound(0));
+  // Mass in the last bucket: the saturated rank still lands there.
+  HistogramSnapshot top;
+  top.count = std::numeric_limits<std::uint64_t>::max();
+  top.buckets[kHistogramBuckets - 1] = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(top.quantile_bound(1.0),
+            histogram_bucket_bound(kHistogramBuckets - 1));
 }
 
 TEST(ObsHistogram, ConcurrentRecordsDropNothing) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "sched/kgreedy.hh"
 #include "sim/engine.hh"
 
@@ -73,6 +75,26 @@ TEST(Svg, EmptyTraceStillRenders) {
   ExecutionTrace empty;
   const std::string svg = svg_gantt_to_string(f.dag, f.cluster, empty);
   EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(Svg, NearMaxHorizonAxisSaturatesInsteadOfWrapping) {
+  // Regression (found while migrating onto support/checked.hh): the
+  // axis loop computed `horizon * i` for i up to 8, which overflows
+  // int64 for horizons past max/8 -- UB, and under wrapping semantics
+  // the late axis labels went negative.  The product now saturates, so
+  // labels clamp at the rail and the document stays well formed.
+  KDagBuilder b(1);
+  (void)b.add_task(0, 1);
+  const KDag dag = std::move(b).build();
+  const Cluster cluster(std::vector<std::uint32_t>{1});
+  ExecutionTrace trace;
+  const Time huge = std::numeric_limits<Time>::max() - 1;
+  trace.add(0, 0, huge - 1, huge);
+  const std::string svg = svg_gantt_to_string(dag, cluster, trace);
+  EXPECT_EQ(svg.rfind("<svg ", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // No negative axis label: every tick text is a clamped non-negative.
+  EXPECT_EQ(svg.find("text-anchor=\"middle\">-"), std::string::npos);
 }
 
 TEST(Svg, RealScheduleRenders) {

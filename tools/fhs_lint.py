@@ -26,6 +26,19 @@ syntactically:
                    other data member with FHS_GUARDED_BY (or carry an
                    explicit allow) so Clang's thread safety analysis
                    has a complete lock map.
+  time-arith       raw arithmetic on virtual-time-like quantities in
+                   deterministic/hot modules: declaring one as bare
+                   int64_t, or using built-in `*`/`<<` on it.  Time,
+                   durations, credit and energy must live in the strong
+                   types of support/checked.hh (VirtualTime, VirtualDur,
+                   Credit, EnergyMilli); overflow-prone products and
+                   shifts go through checked_mul/checked_shl/
+                   saturating_add, which trap in debug and saturate in
+                   release instead of silently wrapping.
+  module-layering  core/ and support/ are the bottom of the library DAG;
+                   an #include of service/, shard/ or rt/ from them
+                   inverts the layering (and would make the strong-type
+                   bedrock depend on its own consumers).
 
 Suppression: append `// fhs-lint: allow(<rule>[, <rule>...])` to the
 offending line, or place it alone on the line above.  Every allow is
@@ -48,6 +61,9 @@ RULES = {
     "pointer-order": "pointer-keyed ordered container in a deterministic module",
     "stream-hot-path": "std::cout/std::endl in a hot-path module",
     "guarded-field": "unannotated data member in a mutex-holding class",
+    "time-arith": "raw int64 arithmetic on a time-like quantity in a "
+                  "deterministic/hot module",
+    "module-layering": "core/support including a higher layer (service/shard/rt)",
 }
 
 # Modules whose outputs are part of the determinism contract (results,
@@ -237,6 +253,102 @@ def _strip_annotations(line: str) -> str:
     return re.sub(r"FHS_\w+\s*(\([^()]*\))?", "", line)
 
 
+# --- time-arith -------------------------------------------------------------
+# A *time-like* identifier is snake_case (PascalCase type names like
+# VirtualTime are the strong types themselves) with at least one segment
+# naming a virtual-time/credit/energy quantity.  Matching whole segments
+# keeps "ticket" from matching "tick" and "particle" from "tick".
+TIME_SEGMENTS = {
+    "time", "times", "tick", "ticks", "deadline", "deadlines", "epoch",
+    "backoff", "credit", "energy", "latency", "dur", "duration", "horizon",
+    "makespan", "expiry", "arrival", "arrivals",
+}
+IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+# int64 declaration whose declared name is time-like: `int64_t deadline`,
+# `std::vector<std::int64_t> busy_ticks` (the `>` hop), references and
+# pointers.  Casts never match: `static_cast<int64_t>(x)` has no
+# identifier directly after the closing angle.  Signed only: virtual
+# time is signed, while uint64_t legitimately carries wall-clock metrics
+# (obs) and wire-format fields (stats JSON).
+INT64_DECL_RE = re.compile(r"\b(?:std::)?int64_t\b[\s>&*]*([a-z][a-z0-9_]*)")
+# `ident * ...` / `... * ident` in a binary-operator position (the char
+# before a right-operand match must close a value: identifier, literal,
+# `)` or `]` -- which excludes unary derefs like `return *flow_time_ptr`).
+MUL_LEFT_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)\s*(?:\[[^\]]*\]\s*)?\*(?![*/])")
+MUL_RIGHT_RE = re.compile(r"([\w)\]])\s*\*\s*([A-Za-z_][A-Za-z0-9_]*)")
+SHL_LEFT_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)\s*(?:\[[^\]]*\]\s*)?<<")
+
+
+def is_time_like(ident: str) -> bool:
+    if not re.fullmatch(r"[a-z][a-z0-9_]*_?", ident):
+        return False  # PascalCase/ALL_CAPS names are types/constants
+    return any(seg in TIME_SEGMENTS for seg in ident.strip("_").split("_"))
+
+
+def check_time_arith(code: list[str], findings: list[Finding], path: pathlib.Path) -> None:
+    for i, line in enumerate(code):
+        # double/float math is statistics (utilization, means), not the
+        # exact integer timeline -- exempt.
+        if re.search(r"\b(?:double|float)\b", line):
+            continue
+        for match in INT64_DECL_RE.finditer(line):
+            if is_time_like(match.group(1)):
+                findings.append(Finding(
+                    path, i + 1, "time-arith",
+                    f"'{match.group(1)}' declared as raw int64; use "
+                    "VirtualTime/VirtualDur/Credit/EnergyMilli from "
+                    "support/checked.hh (the Time alias is for module "
+                    "boundaries only)",
+                ))
+        for match in MUL_LEFT_RE.finditer(line):
+            if is_time_like(match.group(1)):
+                findings.append(Finding(
+                    path, i + 1, "time-arith",
+                    f"built-in `*` on '{match.group(1)}' can overflow "
+                    "silently; use checked_mul/saturating_mul",
+                ))
+        for match in MUL_RIGHT_RE.finditer(line):
+            if is_time_like(match.group(2)):
+                findings.append(Finding(
+                    path, i + 1, "time-arith",
+                    f"built-in `*` on '{match.group(2)}' can overflow "
+                    "silently; use checked_mul/saturating_mul",
+                ))
+        # Left operand of `<<` only: `out << some_time` streams, which is
+        # fine; `some_time << n` is the overflow-prone arithmetic shift.
+        # Ostream chains have several `<<` per line; the arithmetic shift
+        # at most one.
+        if line.count("<<") == 1:
+            for match in SHL_LEFT_RE.finditer(line):
+                if is_time_like(match.group(1)):
+                    findings.append(Finding(
+                        path, i + 1, "time-arith",
+                        f"built-in `<<` on '{match.group(1)}' reaches UB at "
+                        "shift >= 64; use checked_shl",
+                    ))
+
+
+# --- module-layering --------------------------------------------------------
+# The library DAG's bottom layers.  Raw-text lines (not blanked code):
+# include paths live inside string literals.
+LAYERING_BOTTOM = {"core", "support"}
+LAYERING_FORBIDDEN_RE = re.compile(r'^\s*#\s*include\s*["<](service|shard|rt)/')
+
+
+def check_module_layering(
+    raw_lines: list[str], findings: list[Finding], path: pathlib.Path
+) -> None:
+    for i, line in enumerate(raw_lines):
+        match = LAYERING_FORBIDDEN_RE.match(line)
+        if match:
+            findings.append(Finding(
+                path, i + 1, "module-layering",
+                f"{module_of(path)}/ must not include {match.group(1)}/ "
+                "(layering inversion: the arithmetic bedrock would depend "
+                "on its consumers)",
+            ))
+
+
 def check_wall_clock(code: list[str], findings: list[Finding], path: pathlib.Path) -> None:
     for i, line in enumerate(code):
         for pattern, why in WALL_CLOCK_PATTERNS:
@@ -379,6 +491,11 @@ def lint_file(path: pathlib.Path, rules: set[str]) -> list[Finding]:
             check_pointer_order(code, findings, path)
     if module in HOT_MODULES and "stream-hot-path" in rules:
         check_stream_hot_path(code, findings, path)
+    if (module in DETERMINISTIC_MODULES or module in HOT_MODULES) \
+            and "time-arith" in rules:
+        check_time_arith(code, findings, path)
+    if module in LAYERING_BOTTOM and "module-layering" in rules:
+        check_module_layering(text.splitlines(), findings, path)
     if "guarded-field" in rules:
         check_guarded_field(code, findings, path)
     return [

@@ -68,6 +68,24 @@ class TriggerFixtures(unittest.TestCase):
         flagged = [l for l in lines if "[guarded-field]" in l]
         self.assertEqual(len(flagged), 2, lines)  # items_ and pushes_ only
 
+    def test_time_arith(self) -> None:
+        lines = self.findings_for("core/time_arith_bad.cc")
+        flagged = [l for l in lines if "[time-arith]" in l]
+        self.assertEqual(len(flagged), 5, lines)  # 2 decls + 2 muls + 1 shl
+        self.assertFalse(any("ticket_id" in l for l in lines),
+                         "'ticket' must not match the 'tick' segment")
+        self.assertFalse(any("energy_milli" in l for l in lines),
+                         "uint64_t boundary fields are exempt")
+        self.assertFalse(any("util" in l for l in lines),
+                         "double-typed statistics lines are exempt")
+
+    def test_module_layering(self) -> None:
+        lines = self.findings_for("core/layering_bad.cc")
+        flagged = [l for l in lines if "[module-layering]" in l]
+        self.assertEqual(len(flagged), 2, lines)  # rt/ + service/, not support/
+        self.assertFalse(any("support" in l for l in flagged),
+                         "support/ is a sibling bottom layer, not a violation")
+
     def test_whole_trigger_tree_fails(self) -> None:
         code, out, err = run_lint(str(FIXTURES / "trigger"))
         self.assertEqual(code, 1)
@@ -176,6 +194,33 @@ class ScannerCornerCases(unittest.TestCase):
         self.assertEqual(code, 0)
         code, _ = self.lint_text(hazard, relative="src/sim/case.cc")
         self.assertEqual(code, 1)
+
+    def test_time_arith_module_scoping(self) -> None:
+        # support/ hosts checked.hh itself and the CLI: raw int64 is its
+        # business.  The same decl inside core/ must fail.
+        hazard = "#include <cstdint>\nstd::int64_t deadline_ticks = 1;\n"
+        code, _ = self.lint_text(hazard, relative="src/support/case.cc")
+        self.assertEqual(code, 0)
+        code, _ = self.lint_text(hazard, relative="src/core/case.cc")
+        self.assertEqual(code, 1)
+
+    def test_ostream_chain_is_not_a_shift(self) -> None:
+        # Multi-`<<` lines are stream insertion chains, not arithmetic.
+        code, out = self.lint_text(
+            'void f(std::ostream& out, long flow_time) {\n'
+            '  out << flow_time << 0;\n'
+            '}\n',
+            relative="src/graph/case.cc",
+        )
+        self.assertEqual(code, 0, out)
+
+    def test_layering_include_in_comment_ignored(self) -> None:
+        code, out = self.lint_text(
+            '// #include "service/service.hh" -- discussed, rejected\n'
+            'int x = 0;\n',
+            relative="src/core/case.cc",
+        )
+        self.assertEqual(code, 0, out)
 
 
 if __name__ == "__main__":
