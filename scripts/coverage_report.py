@@ -9,7 +9,12 @@ for sources under the given source root.  Exits non-zero when total
 coverage falls below --fail-under -- the CI gate.
 
 Usage:
-  coverage_report.py BUILD_DIR SOURCE_ROOT [--fail-under PCT] [--gcov GCOV]
+  coverage_report.py BUILD_DIR SOURCE_ROOT [--fail-under PCT]
+                     [--fail-under-dir NAME=PCT]... [--gcov GCOV]
+
+--fail-under-dir adds a per-top-level-directory floor on top of the
+total gate (e.g. `--fail-under-dir opt=90`); naming a directory with no
+instrumented sources is an error, so a typo cannot silently pass.
 """
 
 import argparse
@@ -53,8 +58,21 @@ def main():
     parser.add_argument("source_root", help="only files under this root count")
     parser.add_argument("--fail-under", type=float, default=0.0,
                         help="minimum acceptable total line coverage in percent")
+    parser.add_argument("--fail-under-dir", action="append", default=[],
+                        metavar="NAME=PCT",
+                        help="per-directory floor, repeatable (e.g. opt=90)")
     parser.add_argument("--gcov", default="gcov")
     args = parser.parse_args()
+
+    dir_floors = {}
+    for spec in args.fail_under_dir:
+        name, _, pct = spec.partition("=")
+        try:
+            dir_floors[name] = float(pct)
+        except ValueError:
+            print(f"coverage_report: bad --fail-under-dir '{spec}' "
+                  "(expected NAME=PCT)", file=sys.stderr)
+            return 2
 
     source_root = os.path.realpath(args.source_root) + os.sep
     # file -> line -> max execution count over all TUs that compiled it.
@@ -103,11 +121,25 @@ def main():
     pct = 100.0 * total_covered / total_lines
     print(f"{'TOTAL':<16} {total_lines:>7} {total_covered:>8} {pct:>6.1f}%")
 
+    failed = False
+    for name, floor in sorted(dir_floors.items()):
+        if name not in by_dir:
+            print(f"coverage_report: --fail-under-dir names '{name}' but no "
+                  f"instrumented sources live under {source_root}{name}",
+                  file=sys.stderr)
+            return 2
+        covered, total = by_dir[name]
+        dir_pct = 100.0 * covered / total
+        if dir_pct < floor:
+            print(f"coverage_report: {name}/ at {dir_pct:.1f}% is below its "
+                  f"{floor:.1f}% floor", file=sys.stderr)
+            failed = True
+
     if pct < args.fail_under:
         print(f"coverage_report: total {pct:.1f}% is below the "
               f"{args.fail_under:.1f}% baseline", file=sys.stderr)
-        return 1
-    return 0
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

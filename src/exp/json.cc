@@ -48,7 +48,9 @@ void write_number(std::ostream& out, double value) {
   out.write(buffer, result.ptr - buffer);
 }
 
-void write_stats(std::ostream& out, const RunningStats& stats) {
+}  // namespace
+
+void write_json(std::ostream& out, const RunningStats& stats) {
   out << "{\"count\": " << stats.count();
   if (!stats.empty()) {
     out << ", \"mean\": ";
@@ -65,8 +67,6 @@ void write_stats(std::ostream& out, const RunningStats& stats) {
   out << '}';
 }
 
-}  // namespace
-
 void write_json(std::ostream& out, const ExperimentResult& result) {
   const ExperimentSpec& spec = result.spec;
   out << "{\n  \"name\": " << json_quote(spec.name)
@@ -81,15 +81,15 @@ void write_json(std::ostream& out, const ExperimentResult& result) {
     const SchedulerOutcome& o = result.outcomes[s];
     out << (s ? ",\n    {" : "\n    {") << "\"name\": " << json_quote(o.scheduler)
         << ", \"ratio\": ";
-    write_stats(out, o.ratio);
+    write_json(out, o.ratio);
     out << ", \"completion_time\": ";
-    write_stats(out, o.completion_time);
+    write_json(out, o.completion_time);
     out << ", \"mean_utilization\": ";
-    write_stats(out, o.mean_utilization);
+    write_json(out, o.mean_utilization);
     out << ", \"preemptions\": ";
-    write_stats(out, o.preemptions);
+    write_json(out, o.preemptions);
     out << ", \"reduction_vs_baseline\": ";
-    write_stats(out, o.reduction_vs_baseline);
+    write_json(out, o.reduction_vs_baseline);
     out << '}';
   }
   out << "\n  ]\n}\n";
@@ -108,7 +108,7 @@ void write_json(std::ostream& out, const SweepResult& sweep) {
   out << ", \"cells_per_second\": ";
   write_number(out, sweep.metrics.cells_per_second());
   out << ", \"cell_seconds\": ";
-  write_stats(out, sweep.metrics.cell_seconds);
+  write_json(out, sweep.metrics.cell_seconds);
   out << "},\n\"experiments\": [\n";
   for (std::size_t e = 0; e < sweep.results.size(); ++e) {
     if (e) out << ",\n";

@@ -20,8 +20,14 @@
 #include "exp/runner.hh"
 #include "exp/sweep.hh"
 #include "service/service_stats.hh"
+#include "support/stats.hh"
 
 namespace fhs {
+
+/// Serializes a RunningStats summary as {"count":..,"mean":..,"ci95":..,
+/// "min":..,"max":..,"stddev":..} (count only when empty).  Shared by
+/// every harness that reports statistics (exp results, opt/gap).
+void write_json(std::ostream& out, const RunningStats& stats);
 
 /// Serializes one experiment result as a JSON object.
 void write_json(std::ostream& out, const ExperimentResult& result);

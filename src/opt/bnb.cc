@@ -1,0 +1,459 @@
+#include "opt/bnb.hh"
+
+#include <algorithm>
+#include <deque>
+#include <iterator>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "metrics/bounds.hh"
+#include "sched/registry.hh"
+#include "support/parallel.hh"
+#include "support/rng.hh"
+
+namespace fhs {
+namespace {
+
+struct RunSlot {
+  TaskId task = kInvalidTask;
+  Time finish = 0;
+};
+
+/// One decision point: the completion state plus the running tasks.
+/// `running` is kept in ascending task-id order so dominance entries
+/// align positionally with the bits of `running_mask`.
+struct SearchState {
+  std::uint64_t completed = 0;
+  std::uint64_t running_mask = 0;
+  Time now = 0;
+  std::vector<RunSlot> running;
+};
+
+struct DomKey {
+  std::uint64_t completed = 0;
+  std::uint64_t running_mask = 0;
+  friend bool operator==(const DomKey&, const DomKey&) = default;
+};
+
+struct DomKeyHash {
+  std::size_t operator()(const DomKey& key) const noexcept {
+    return static_cast<std::size_t>(mix_seed(key.completed, key.running_mask));
+  }
+};
+
+/// (now, finish times in running-mask bit order).  `a` dominates `b`
+/// when every component of `a` is <= the matching component of `b`:
+/// every continuation of `b` is then feasible from `a` no later.
+struct DomEntry {
+  Time now = 0;
+  std::vector<Time> finish;
+};
+
+bool dominates(const DomEntry& a, const DomEntry& b) {
+  if (a.now > b.now) return false;
+  for (std::size_t i = 0; i < a.finish.size(); ++i) {
+    if (a.finish[i] > b.finish[i]) return false;
+  }
+  return true;
+}
+
+/// Dominance tables are per-subproblem; capping the key count makes
+/// pathological instances degrade to a slower search instead of
+/// unbounded memory (lookups stay sound, inserts stop).
+constexpr std::size_t kMaxDominanceKeys = std::size_t{1} << 21;
+
+/// Children materialized per expansion before the search visits them.
+/// Wide-open instances (many ready tasks, many free processors) have
+/// exponentially many per-type subsets; failing loudly beats paging.
+constexpr std::size_t kMaxChildrenPerNode = std::size_t{1} << 20;
+
+/// Branch-and-bound over one (sub)tree.  Each instance owns its
+/// dominance table and incumbent stream, so a run's node counts depend
+/// only on the root state and the seed values -- never on sibling
+/// subproblems or thread scheduling.
+class Solver {
+ public:
+  Solver(const KDag& dag, const Cluster& cluster, const BnbOptions& options,
+         std::span<const Work> tail_below)
+      : dag_(dag),
+        cluster_(cluster),
+        options_(options),
+        tail_below_(tail_below),
+        num_tasks_(dag.task_count()),
+        full_mask_(bit_below(num_tasks_)),
+        path_finish_(num_tasks_, 0),
+        slot_finish_(num_tasks_, 0),
+        remaining_(dag.num_types(), 0),
+        ready_(dag.num_types()),
+        choices_(dag.num_types()) {}
+
+  /// Installs the best-makespan-so-far this solver starts from.
+  /// `from_incumbent` attributes bound prunes to the warm start until
+  /// the search improves on it.
+  void seed(Time best, bool have, bool from_incumbent) {
+    best_ = best;
+    have_best_ = have;
+    best_is_incumbent_ = from_incumbent;
+  }
+
+  /// Visits `state` and, if it survives the prunes, returns its
+  /// children in deterministic order (largest start-sets first).
+  [[nodiscard]] std::vector<SearchState> expand(const SearchState& state) {
+    std::vector<SearchState> children;
+    if (exhausted_) return children;
+    if (stats.nodes_expanded >= options_.max_nodes) {
+      exhausted_ = true;
+      return children;
+    }
+    ++stats.nodes_expanded;
+    if (state.completed == full_mask_) {
+      record_solution(state.now);
+      return children;
+    }
+    if (options_.prune_bound && have_best_ && state_lower_bound(state) >= best_) {
+      if (best_is_incumbent_) {
+        ++stats.pruned_incumbent;
+      } else {
+        ++stats.pruned_bound;
+      }
+      return children;
+    }
+    if (options_.prune_dominance && !dominance_admit(state)) {
+      ++stats.pruned_dominance;
+      return children;
+    }
+    generate_children(state, children);
+    stats.children_generated += children.size();
+    return children;
+  }
+
+  /// Depth-first search of the whole subtree under `state`.
+  void search(const SearchState& state) {
+    const std::vector<SearchState> children = expand(state);
+    for (const SearchState& child : children) {
+      if (exhausted_) break;
+      search(child);
+    }
+  }
+
+  [[nodiscard]] Time best() const noexcept { return best_; }
+  [[nodiscard]] bool has_best() const noexcept { return have_best_; }
+  [[nodiscard]] bool best_is_incumbent() const noexcept { return best_is_incumbent_; }
+  [[nodiscard]] bool exhausted() const noexcept { return exhausted_; }
+
+  BnbStats stats;
+
+ private:
+  static std::uint64_t bit_below(std::size_t count) noexcept {
+    return count >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << count) - 1;
+  }
+
+  void record_solution(Time makespan) {
+    if (!have_best_ || makespan < best_) {
+      best_ = makespan;
+      have_best_ = true;
+      best_is_incumbent_ = false;
+    }
+  }
+
+  /// Lower bound on any completion reachable from `state`: the per-type
+  /// machine bound (remaining work, including the unfinished part of
+  /// running tasks, spread over P_alpha from `now`) and the precedence
+  /// bound (earliest-finish forward pass plus the longest chain below).
+  [[nodiscard]] Time state_lower_bound(const SearchState& state) {
+    Time bound = state.now;
+    std::fill(remaining_.begin(), remaining_.end(), Work{0});
+    const std::uint64_t started = state.completed | state.running_mask;
+    for (TaskId v = 0; v < num_tasks_; ++v) {
+      if ((started >> v) & 1u) continue;
+      remaining_[dag_.type(v)] += dag_.work(v);
+    }
+    for (const RunSlot& slot : state.running) {
+      remaining_[dag_.type(slot.task)] += slot.finish - state.now;
+      slot_finish_[slot.task] = slot.finish;
+    }
+    for (ResourceType alpha = 0; alpha < dag_.num_types(); ++alpha) {
+      if (remaining_[alpha] <= 0) continue;
+      const Work pool = cluster_.processors(alpha);
+      bound = std::max(bound, state.now + (remaining_[alpha] + pool - 1) / pool);
+    }
+    for (const TaskId v : dag_.topological_order()) {
+      if ((state.completed >> v) & 1u) continue;
+      Time finish = 0;
+      if ((state.running_mask >> v) & 1u) {
+        finish = slot_finish_[v];
+      } else {
+        Time start = state.now;
+        for (const TaskId parent : dag_.parents(v)) {
+          if ((state.completed >> parent) & 1u) continue;
+          start = std::max(start, path_finish_[parent]);
+        }
+        finish = start + dag_.work(v);
+      }
+      path_finish_[v] = finish;
+      bound = std::max(bound, finish + tail_below_[v]);
+    }
+    return bound;
+  }
+
+  /// Returns false when an already-seen state dominates `state`;
+  /// otherwise records `state` (displacing entries it dominates).
+  [[nodiscard]] bool dominance_admit(const SearchState& state) {
+    DomEntry entry;
+    entry.now = state.now;
+    entry.finish.reserve(state.running.size());
+    for (const RunSlot& slot : state.running) entry.finish.push_back(slot.finish);
+    const DomKey key{state.completed, state.running_mask};
+    auto found = seen_.find(key);
+    // Lookup-miss check, not iteration -- no order is observed.
+    if (found == seen_.end()) {  // fhs-lint: allow(unordered-iter)
+      if (seen_.size() >= kMaxDominanceKeys) return true;
+      seen_.emplace(key, std::vector<DomEntry>{std::move(entry)});
+      return true;
+    }
+    std::vector<DomEntry>& entries = found->second;
+    for (const DomEntry& existing : entries) {
+      if (dominates(existing, entry)) return false;
+    }
+    std::erase_if(entries,
+                  [&entry](const DomEntry& existing) { return dominates(entry, existing); });
+    entries.push_back(std::move(entry));
+    return true;
+  }
+
+  /// All per-type start subsets of `ready` tasks within free capacity,
+  /// composed across types; each choice is advanced to the next
+  /// completion event.  Subsets are emitted largest-first so greedy-like
+  /// schedules come first, and the empty global choice (deliberate
+  /// idling until the next completion) comes last.
+  void generate_children(const SearchState& state, std::vector<SearchState>& out) {
+    const ResourceType num_types = dag_.num_types();
+    const std::uint64_t started = state.completed | state.running_mask;
+    for (ResourceType alpha = 0; alpha < num_types; ++alpha) ready_[alpha].clear();
+    for (TaskId v = 0; v < num_tasks_; ++v) {
+      if ((started >> v) & 1u) continue;
+      bool runnable = true;
+      for (const TaskId parent : dag_.parents(v)) {
+        if (((state.completed >> parent) & 1u) == 0) {
+          runnable = false;
+          break;
+        }
+      }
+      if (runnable) ready_[dag_.type(v)].push_back(v);
+    }
+    for (ResourceType alpha = 0; alpha < num_types; ++alpha) {
+      std::size_t busy = 0;
+      for (const RunSlot& slot : state.running) {
+        if (dag_.type(slot.task) == alpha) ++busy;
+      }
+      const std::size_t free_slots = cluster_.processors(alpha) - busy;
+      choices_[alpha].clear();
+      subsets_of(ready_[alpha], std::min(free_slots, ready_[alpha].size()),
+                 choices_[alpha]);
+    }
+    compose_choices(state, 0, 0, out);
+  }
+
+  /// Appends every subset mask of `tasks` with size <= `take_max`,
+  /// ordered by descending size then lexicographic combination order.
+  /// The empty subset is always last.
+  void subsets_of(const std::vector<TaskId>& tasks, std::size_t take_max,
+                  std::vector<std::uint64_t>& out) {
+    for (std::size_t take = take_max; take > 0; --take) {
+      emit_combinations(tasks, take, 0, 0, out);
+    }
+    out.push_back(0);
+  }
+
+  void emit_combinations(const std::vector<TaskId>& tasks, std::size_t take,
+                         std::size_t start, std::uint64_t chosen,
+                         std::vector<std::uint64_t>& out) {
+    if (take == 0) {
+      out.push_back(chosen);
+      return;
+    }
+    for (std::size_t i = start; i + take <= tasks.size(); ++i) {
+      emit_combinations(tasks, take - 1, i + 1,
+                        chosen | (std::uint64_t{1} << tasks[i]), out);
+    }
+  }
+
+  void compose_choices(const SearchState& state, ResourceType alpha,
+                       std::uint64_t chosen, std::vector<SearchState>& out) {
+    if (alpha == dag_.num_types()) {
+      if (chosen == 0 && state.running.empty()) return;  // no progress possible
+      out.push_back(advance(state, chosen));
+      if (out.size() > kMaxChildrenPerNode) {
+        throw std::runtime_error(
+            "solve_optimal_makespan: branching too wide (more than 2^20 start "
+            "choices at one decision point); use a smaller cluster or instance");
+      }
+      return;
+    }
+    for (const std::uint64_t subset : choices_[alpha]) {
+      compose_choices(state, alpha + 1, chosen | subset, out);
+    }
+  }
+
+  /// Starts `chosen` at state.now, then advances to the next completion
+  /// event, retiring every task that finishes exactly there.
+  [[nodiscard]] SearchState advance(const SearchState& state, std::uint64_t chosen) {
+    SearchState child;
+    child.completed = state.completed;
+    child.running_mask = state.running_mask | chosen;
+    child.running = state.running;
+    for (TaskId v = 0; v < num_tasks_; ++v) {
+      if (((chosen >> v) & 1u) == 0) continue;
+      child.running.push_back(RunSlot{v, state.now + dag_.work(v)});
+    }
+    std::sort(child.running.begin(), child.running.end(),
+              [](const RunSlot& a, const RunSlot& b) { return a.task < b.task; });
+    Time next = child.running.front().finish;
+    for (const RunSlot& slot : child.running) next = std::min(next, slot.finish);
+    child.now = next;
+    std::vector<RunSlot> still_running;
+    still_running.reserve(child.running.size());
+    for (const RunSlot& slot : child.running) {
+      if (slot.finish == next) {
+        child.completed |= std::uint64_t{1} << slot.task;
+        child.running_mask &= ~(std::uint64_t{1} << slot.task);
+      } else {
+        still_running.push_back(slot);
+      }
+    }
+    child.running = std::move(still_running);
+    return child;
+  }
+
+  const KDag& dag_;
+  const Cluster& cluster_;
+  const BnbOptions& options_;
+  std::span<const Work> tail_below_;
+  const std::size_t num_tasks_;
+  const std::uint64_t full_mask_;
+
+  Time best_ = 0;
+  bool have_best_ = false;
+  bool best_is_incumbent_ = false;
+  bool exhausted_ = false;
+
+  std::unordered_map<DomKey, std::vector<DomEntry>, DomKeyHash> seen_;
+
+  // Scratch reused across nodes (one Solver is single-threaded).
+  std::vector<Time> path_finish_;
+  std::vector<Time> slot_finish_;
+  std::vector<Work> remaining_;
+  std::vector<std::vector<TaskId>> ready_;
+  std::vector<std::vector<std::uint64_t>> choices_;
+};
+
+void merge_stats(BnbStats& into, const BnbStats& from) {
+  into.nodes_expanded += from.nodes_expanded;
+  into.children_generated += from.children_generated;
+  into.pruned_bound += from.pruned_bound;
+  into.pruned_incumbent += from.pruned_incumbent;
+  into.pruned_dominance += from.pruned_dominance;
+}
+
+}  // namespace
+
+BnbResult solve_optimal_makespan(const KDag& dag, const Cluster& cluster,
+                                 const BnbOptions& options) {
+  const std::size_t num_tasks = dag.task_count();
+  if (num_tasks == 0 || num_tasks > kBnbMaxTasks) {
+    throw std::invalid_argument("solve_optimal_makespan: " +
+                                std::to_string(num_tasks) + " tasks; the exact " +
+                                "solver handles 1.." + std::to_string(kBnbMaxTasks));
+  }
+  if (dag.num_types() > cluster.num_types()) {
+    throw std::invalid_argument(
+        "solve_optimal_makespan: job uses more types than the cluster provides");
+  }
+
+  BnbResult result;
+  result.lower_bound = completion_time_lower_bound(dag, cluster);
+  result.incumbent =
+      options.initial_incumbent > 0
+          ? options.initial_incumbent
+          : schedule_makespan(dag, cluster, SchedulerSpec(PolicyKind::kMqb));
+
+  // L(J) <= OPT <= incumbent: equality proves optimality with zero search.
+  if (options.prune_incumbent && options.prune_bound &&
+      result.incumbent == result.lower_bound) {
+    result.optimum = result.incumbent;
+    result.proven = true;
+    return result;
+  }
+
+  // Longest chain strictly below each task (precedence-bound tail).
+  std::vector<Work> tail_below(num_tasks, 0);
+  const auto topo = dag.topological_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const TaskId v = *it;
+    for (const TaskId child : dag.children(v)) {
+      tail_below[v] = std::max(tail_below[v], dag.work(child) + tail_below[child]);
+    }
+  }
+
+  // Phase 1 -- sequential breadth-first split into independent
+  // subproblems.  The split depends on frontier_target only, never on
+  // the thread count, so results are reproducible at any parallelism.
+  Solver splitter(dag, cluster, options, tail_below);
+  splitter.seed(result.incumbent, options.prune_incumbent, true);
+  std::deque<SearchState> queue;
+  queue.emplace_back();
+  const std::size_t target = std::max<std::size_t>(1, options.frontier_target);
+  while (!queue.empty() && queue.size() < target && !splitter.exhausted()) {
+    const SearchState state = std::move(queue.front());
+    queue.pop_front();
+    for (SearchState& child : splitter.expand(state)) {
+      queue.push_back(std::move(child));
+    }
+  }
+  std::vector<SearchState> frontier(std::make_move_iterator(queue.begin()),
+                                    std::make_move_iterator(queue.end()));
+  result.stats = splitter.stats;
+  result.stats.subproblems = frontier.size();
+
+  // Phase 2 -- solve each subproblem independently (own dominance table,
+  // own incumbent stream seeded from the split phase; nothing is shared
+  // across workers), results folded in frontier order.
+  struct SubOutcome {
+    Time best = 0;
+    bool have = false;
+    bool exhausted = false;
+    BnbStats stats;
+  };
+  std::vector<SubOutcome> outcomes(frontier.size());
+  parallel_for_chunked(
+      frontier.size(), 1,
+      [&](std::size_t i) {
+        Solver sub(dag, cluster, options, tail_below);
+        sub.seed(splitter.best(), splitter.has_best(), splitter.best_is_incumbent());
+        sub.search(frontier[i]);
+        outcomes[i] =
+            SubOutcome{sub.best(), sub.has_best(), sub.exhausted(), sub.stats};
+      },
+      options.threads);
+
+  Time best = splitter.best();
+  bool have = splitter.has_best();
+  bool exhausted = splitter.exhausted();
+  for (const SubOutcome& outcome : outcomes) {
+    merge_stats(result.stats, outcome.stats);
+    if (outcome.have && (!have || outcome.best < best)) {
+      best = outcome.best;
+      have = true;
+    }
+    exhausted = exhausted || outcome.exhausted;
+  }
+  result.optimum = have ? best : result.incumbent;
+  result.proven = !exhausted;
+  return result;
+}
+
+}  // namespace fhs

@@ -1,0 +1,124 @@
+// Exact offline solver: parallel branch-and-bound over K-DAG schedules.
+//
+// Every ratio the experiment harness reports is measured against the
+// paper's lower bound L(J) = max(T_inf(J), max_alpha T1(J,alpha)/P_alpha),
+// which is loose on trees -- all policies cluster a few percent apart and
+// the gap cannot be attributed to the policies or to the bound.  This
+// module computes the *exact* non-preemptive optimal makespan for small
+// instances, so the harness can decompose T(J)/L(J) into a true policy
+// gap T(J)/OPT(J) and a bound gap OPT(J)/L(J).
+//
+// Search-space encoding.  In any feasible non-preemptive schedule every
+// task can be shifted left until its start hits time 0, a parent's
+// completion, or the instant a matching processor is released -- all of
+// which are completion times.  Some optimal schedule therefore starts
+// every task at 0 or at a task-completion event, and the solver branches
+// exactly over those schedules: a node is a decision point (event time,
+// completed set, running set with finish times); its children are the
+// per-type subsets of ready tasks that start there (bounded by free
+// processors), *including deliberate idling* -- unlike every registered
+// policy, the optimum is not always work-conserving.  After a choice the
+// node advances to the next completion.  Subsets are enumerated largest
+// first so greedy-like schedules (good incumbents) are found early.
+//
+// Pruning (each independently switchable, for soundness property tests):
+//  * bound     -- a per-node lower bound: the machine bound
+//                 now + ceil(remaining alpha-work / P_alpha) per type
+//                 (running tasks count their unfinished part) and the
+//                 precedence bound (earliest-finish forward pass plus the
+//                 longest chain below each task).  Nodes whose bound
+//                 cannot beat the best known makespan are cut.
+//  * incumbent -- the search starts from a feasible MQB schedule
+//                 (sched/registry schedule_makespan), so the bound prunes
+//                 from node one; when the incumbent already equals L(J)
+//                 the search is skipped entirely (proven optimal).
+//  * dominance -- two nodes with the same completed and running sets
+//                 compare by (now, per-task finish times); a node
+//                 pointwise >= an already-visited one is cut.
+//
+// Parallelization & determinism contract.  The root is expanded
+// breadth-first (sequentially) into a frontier of independent
+// subproblems, which are sharded over the same worker pool the sweep
+// engine uses (support/parallel parallel_for_chunked).  Each subproblem
+// owns its dominance table and incumbent stream (seeded from the
+// sequential phase; never shared across workers), and per-subproblem
+// results land in preallocated slots folded in frontier order -- the
+// same discipline as exp/sweep.  BnbResult (optimum, proven flag, and
+// every BnbStats counter) is therefore byte-identical at any thread
+// count; frontier_target, not the worker count, decides the split.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/kdag.hh"
+#include "machine/cluster.hh"
+
+namespace fhs {
+
+/// Hard cap on solvable instance size (completion sets are 64-bit masks;
+/// the intended regime is ~20-30 tasks).
+inline constexpr std::size_t kBnbMaxTasks = 32;
+
+struct BnbOptions {
+  /// Worker threads for the subproblem phase (0 = hardware concurrency).
+  /// Results never depend on this value.
+  std::size_t threads = 0;
+  /// Subproblems the root is split into before going parallel.  This --
+  /// not the thread count -- fixes the work decomposition, so results
+  /// are reproducible; change it only deliberately.
+  std::size_t frontier_target = 64;
+  /// Node budget per subproblem (and for the sequential split phase).
+  /// When exhausted the result degrades to proven == false with the best
+  /// makespan found so far.
+  std::uint64_t max_nodes = 20'000'000;
+  /// Warm-start makespan (a feasible schedule's completion time).  0
+  /// means "derive one by running MQB".
+  Time initial_incumbent = 0;
+  /// Pruning switches.  Disabling any rule never changes `optimum`,
+  /// only the node counts (tests/bnb_property_test.cc).
+  bool prune_bound = true;
+  bool prune_dominance = true;
+  bool prune_incumbent = true;
+};
+
+struct BnbStats {
+  /// Decision points visited (includes the sequential split phase).
+  std::uint64_t nodes_expanded = 0;
+  /// Children generated across all expansions.
+  std::uint64_t children_generated = 0;
+  /// Nodes cut by the lower bound against an *improved* best makespan.
+  std::uint64_t pruned_bound = 0;
+  /// Nodes cut by the lower bound against the still-unimproved warm
+  /// incumbent (what the MQB warm start alone buys).
+  std::uint64_t pruned_incumbent = 0;
+  /// Nodes cut by state dominance.
+  std::uint64_t pruned_dominance = 0;
+  /// Subproblems the frontier split produced (0 = answered during the
+  /// split or by the incumbent == L(J) shortcut).
+  std::uint64_t subproblems = 0;
+
+  friend bool operator==(const BnbStats&, const BnbStats&) = default;
+};
+
+struct BnbResult {
+  /// Best makespan found; the exact optimum when `proven`.
+  Time optimum = 0;
+  /// True iff the search space was exhausted within the node budget.
+  bool proven = false;
+  /// The warm-start (MQB) makespan the search began from.
+  Time incumbent = 0;
+  /// The paper's root lower bound L(J) (metrics/bounds).
+  Time lower_bound = 0;
+  BnbStats stats;
+
+  friend bool operator==(const BnbResult&, const BnbResult&) = default;
+};
+
+/// Computes the exact optimal non-preemptive makespan of `dag` on
+/// `cluster`.  Throws std::invalid_argument when the job has more than
+/// kBnbMaxTasks tasks or uses more types than the cluster provides.
+[[nodiscard]] BnbResult solve_optimal_makespan(const KDag& dag, const Cluster& cluster,
+                                               const BnbOptions& options = {});
+
+}  // namespace fhs

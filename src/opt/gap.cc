@@ -1,0 +1,125 @@
+#include "opt/gap.hh"
+
+#include <memory>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "exp/json.hh"
+#include "sim/engine.hh"
+#include "support/rng.hh"
+#include "support/table.hh"
+
+namespace fhs {
+
+GapResult run_gap_study(const GapSpec& spec) {
+  if (spec.schedulers.empty()) {
+    throw std::invalid_argument("run_gap_study: no schedulers");
+  }
+  if (spec.instances == 0) {
+    throw std::invalid_argument("run_gap_study: no instances");
+  }
+  GapResult result;
+  result.spec = spec;
+  result.policies.resize(spec.schedulers.size());
+  for (std::size_t s = 0; s < spec.schedulers.size(); ++s) {
+    result.policies[s].scheduler = spec.schedulers[s].to_string();
+  }
+  result.per_instance.reserve(spec.instances);
+
+  BnbOptions bnb = spec.bnb;
+  bnb.threads = spec.threads;
+
+  for (std::size_t i = 0; i < spec.instances; ++i) {
+    // Same derivation as exp/sweep: one stream for the (job, cluster)
+    // draw, one per scheduler -- adding or reordering policies never
+    // perturbs the instances.
+    Rng rng(mix_seed(spec.seed, i));
+    const KDag dag = generate(spec.workload, rng);
+    const Cluster cluster = spec.cluster.sample(rng);
+    if (dag.task_count() > kBnbMaxTasks) {
+      throw std::invalid_argument(
+          "run_gap_study: instance " + std::to_string(i) + " drew " +
+          std::to_string(dag.task_count()) + " tasks; cap the workload (e.g. "
+          "TreeParams.max_tasks) at " + std::to_string(kBnbMaxTasks));
+    }
+
+    const BnbResult exact = solve_optimal_makespan(dag, cluster, bnb);
+    result.per_instance.push_back(InstanceOptimum{dag.task_count(), exact});
+    if (exact.proven) ++result.proven;
+    result.bound_gap.add(static_cast<double>(exact.optimum) /
+                         static_cast<double>(exact.lower_bound));
+    result.nodes.add(static_cast<double>(exact.stats.nodes_expanded));
+
+    for (std::size_t s = 0; s < spec.schedulers.size(); ++s) {
+      const std::unique_ptr<Scheduler> scheduler =
+          spec.schedulers[s].instantiate(mix_seed(spec.seed, i, s + 1));
+      const SimResult run = simulate(dag, cluster, *scheduler);
+      PolicyGap& gap = result.policies[s];
+      gap.ratio_to_opt.add(static_cast<double>(run.completion_time) /
+                           static_cast<double>(exact.optimum));
+      gap.ratio_to_bound.add(static_cast<double>(run.completion_time) /
+                             static_cast<double>(exact.lower_bound));
+      if (run.completion_time == exact.optimum) ++gap.optimal_hits;
+    }
+  }
+  return result;
+}
+
+void print_gap_table(std::ostream& out, const GapResult& result) {
+  const GapSpec& spec = result.spec;
+  out << "gap study: " << spec.name << "  workload=" << workload_name(spec.workload)
+      << "  cluster=" << spec.cluster.describe() << "  instances=" << spec.instances
+      << "  seed=" << spec.seed << '\n';
+  out << "exact: proven " << result.proven << "/" << spec.instances
+      << "  bound gap OPT/L mean=" << format_double(result.bound_gap.mean())
+      << " max=" << format_double(result.bound_gap.max())
+      << "  nodes/instance mean=" << format_double(result.nodes.mean(), 0) << '\n';
+  Table table({"scheduler", "T/OPT", "ci95", "max", "T/L", "optimal"});
+  for (const PolicyGap& gap : result.policies) {
+    table.begin_row()
+        .add_cell(gap.scheduler)
+        .add_cell(gap.ratio_to_opt.mean())
+        .add_cell(gap.ratio_to_opt.ci95())
+        .add_cell(gap.ratio_to_opt.max())
+        .add_cell(gap.ratio_to_bound.mean())
+        .add_cell(std::to_string(gap.optimal_hits) + "/" +
+                  std::to_string(spec.instances));
+  }
+  table.print(out);
+}
+
+void write_json(std::ostream& out, const GapResult& result) {
+  const GapSpec& spec = result.spec;
+  out << "{\n  \"name\": " << json_quote(spec.name)
+      << ",\n  \"workload\": " << json_quote(workload_name(spec.workload))
+      << ",\n  \"cluster\": " << json_quote(spec.cluster.describe())
+      << ",\n  \"instances\": " << spec.instances << ",\n  \"seed\": " << spec.seed
+      << ",\n  \"proven\": " << result.proven << ",\n  \"bound_gap\": ";
+  write_json(out, result.bound_gap);
+  out << ",\n  \"nodes\": ";
+  write_json(out, result.nodes);
+  out << ",\n  \"optima\": [";
+  for (std::size_t i = 0; i < result.per_instance.size(); ++i) {
+    const InstanceOptimum& inst = result.per_instance[i];
+    out << (i ? ",\n    {" : "\n    {") << "\"tasks\": " << inst.tasks
+        << ", \"optimum\": " << inst.exact.optimum
+        << ", \"lower_bound\": " << inst.exact.lower_bound
+        << ", \"incumbent\": " << inst.exact.incumbent
+        << ", \"proven\": " << (inst.exact.proven ? "true" : "false")
+        << ", \"nodes\": " << inst.exact.stats.nodes_expanded << '}';
+  }
+  out << "\n  ],\n  \"schedulers\": [";
+  for (std::size_t s = 0; s < result.policies.size(); ++s) {
+    const PolicyGap& gap = result.policies[s];
+    out << (s ? ",\n    {" : "\n    {") << "\"name\": " << json_quote(gap.scheduler)
+        << ", \"ratio_to_opt\": ";
+    write_json(out, gap.ratio_to_opt);
+    out << ", \"ratio_to_bound\": ";
+    write_json(out, gap.ratio_to_bound);
+    out << ", \"optimal_hits\": " << gap.optimal_hits << '}';
+  }
+  out << "\n  ]\n}\n";
+}
+
+}  // namespace fhs

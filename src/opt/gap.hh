@@ -1,0 +1,93 @@
+// Optimality-gap harness (EXPERIMENTS E19).
+//
+// Every experiment table E1-E18 reports T(J)/L(J), the completion-time
+// ratio against the paper's lower bound.  This harness additionally
+// solves each instance exactly (opt/bnb) and decomposes that ratio:
+//
+//     T(J)/L(J)  =  T(J)/OPT(J)  *  OPT(J)/L(J)
+//                   ^ policy gap     ^ bound gap
+//
+// so "all policies cluster at ~1.2" can finally be attributed: how much
+// is scheduling loss and how much is L(J) being loose on the workload.
+//
+// Instance seeding mirrors exp/sweep exactly -- instance i draws
+// Rng(mix_seed(seed, i)) for the (job, cluster) pair and scheduler s
+// runs with mix_seed(seed, i, s + 1) -- so instance i here is instance i
+// of an equivalent run_experiment, just restricted to sizes the exact
+// solver can handle.  Instances run sequentially; each exact solve fans
+// out over the worker pool internally, so results are identical at any
+// thread count (the B&B determinism contract).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hh"
+#include "opt/bnb.hh"
+#include "sched/scheduler_spec.hh"
+#include "support/stats.hh"
+#include "workload/workload.hh"
+
+namespace fhs {
+
+struct GapSpec {
+  std::string name;
+  /// Workload to draw instances from.  Must be capped so every draw has
+  /// at most kBnbMaxTasks tasks (e.g. TreeParams.max_tasks = 20);
+  /// run_gap_study throws on the first oversized instance.
+  WorkloadParams workload;
+  ClusterParams cluster;
+  std::vector<SchedulerSpec> schedulers;
+  std::size_t instances = 24;
+  std::uint64_t seed = 42;
+  /// Worker threads for each exact solve (0 = hardware concurrency).
+  std::size_t threads = 0;
+  /// Solver knobs; the `threads` field above overrides bnb.threads.
+  BnbOptions bnb;
+};
+
+/// Per-policy decomposition across the instance set.
+struct PolicyGap {
+  std::string scheduler;
+  /// True policy gap T(J)/OPT(J).
+  RunningStats ratio_to_opt;
+  /// The ratio every other experiment reports, T(J)/L(J), on the same
+  /// instances (for side-by-side comparison).
+  RunningStats ratio_to_bound;
+  /// Instances where the policy's schedule was exactly optimal.
+  std::size_t optimal_hits = 0;
+};
+
+struct InstanceOptimum {
+  std::size_t tasks = 0;
+  BnbResult exact;
+};
+
+struct GapResult {
+  GapSpec spec;
+  /// Exact solve per instance, in instance order (golden files pin these).
+  std::vector<InstanceOptimum> per_instance;
+  std::vector<PolicyGap> policies;
+  /// Bound gap OPT(J)/L(J) across instances.
+  RunningStats bound_gap;
+  /// Nodes expanded per instance (search effort).
+  RunningStats nodes;
+  /// Instances solved to proven optimality within the node budget.
+  std::size_t proven = 0;
+};
+
+/// Runs the study (non-preemptive mode; the exact optimum is
+/// non-preemptive).  Throws std::invalid_argument on an empty scheduler
+/// list, zero instances, or an instance draw exceeding kBnbMaxTasks.
+[[nodiscard]] GapResult run_gap_study(const GapSpec& spec);
+
+/// Human-readable gap-decomposition table (support/table format).
+void print_gap_table(std::ostream& out, const GapResult& result);
+
+/// JSON document: header, per-instance optima, per-policy stats.
+void write_json(std::ostream& out, const GapResult& result);
+
+}  // namespace fhs

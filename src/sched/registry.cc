@@ -23,6 +23,14 @@ const std::vector<SchedulerSpec>& fig8_scheduler_names() {
   return kSpecs;
 }
 
+Time schedule_makespan(const KDag& dag, const Cluster& cluster, const SchedulerSpec& spec,
+                       ExecutionMode mode, std::uint64_t seed) {
+  const std::unique_ptr<Scheduler> scheduler = spec.instantiate(seed);
+  SimOptions options;
+  options.mode = mode;
+  return simulate(dag, cluster, *scheduler, options).completion_time;
+}
+
 std::vector<SchedulerSpec> split_scheduler_list(const std::string& list) {
   std::vector<SchedulerSpec> parts;
   std::stringstream stream(list);

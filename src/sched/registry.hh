@@ -19,7 +19,10 @@
 #include <string>
 #include <vector>
 
+#include "graph/kdag.hh"
+#include "machine/cluster.hh"
 #include "sched/scheduler_spec.hh"
+#include "sim/engine.hh"
 #include "sim/scheduler.hh"
 
 namespace fhs {
@@ -38,5 +41,15 @@ namespace fhs {
 /// Splits a comma-separated list of scheduler specs and parses each one;
 /// throws SchedulerSpecError on the first unknown name.
 [[nodiscard]] std::vector<SchedulerSpec> split_scheduler_list(const std::string& list);
+
+/// Instantiates `spec` and simulates it once on (dag, cluster), returning
+/// the completion time T(J).  One-stop makespan extraction: the exact
+/// solver (src/opt) warms its incumbent with the MQB schedule this way,
+/// and ad-hoc comparisons avoid re-spelling the instantiate + simulate
+/// dance.  Propagates whatever simulate throws.
+[[nodiscard]] Time schedule_makespan(const KDag& dag, const Cluster& cluster,
+                                     const SchedulerSpec& spec,
+                                     ExecutionMode mode = ExecutionMode::kNonPreemptive,
+                                     std::uint64_t seed = 0);
 
 }  // namespace fhs

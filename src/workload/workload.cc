@@ -42,4 +42,9 @@ WorkloadParams with_num_types(WorkloadParams params, ResourceType k) {
   return params;
 }
 
+WorkloadParams with_tree_task_cap(WorkloadParams params, std::size_t max_tasks) {
+  if (auto* tree = std::get_if<TreeParams>(&params)) tree->max_tasks = max_tasks;
+  return params;
+}
+
 }  // namespace fhs

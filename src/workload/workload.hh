@@ -120,5 +120,10 @@ using WorkloadParams = std::variant<EpParams, TreeParams, IrParams>;
 [[nodiscard]] ResourceType workload_num_types(const WorkloadParams& params);
 /// Returns a copy with the resource-type count replaced (for K sweeps).
 [[nodiscard]] WorkloadParams with_num_types(WorkloadParams params, ResourceType k);
+/// Returns a copy with the tree growth cap replaced (for exact-solver
+/// studies that need small instances); non-tree families are returned
+/// unchanged -- their size knobs are ranges, not a single cap.
+[[nodiscard]] WorkloadParams with_tree_task_cap(WorkloadParams params,
+                                                std::size_t max_tasks);
 
 }  // namespace fhs

@@ -1,0 +1,131 @@
+// Property tests for the branch-and-bound solver (src/opt):
+//  * pruning soundness -- disabling any pruning rule (dominance, bound,
+//    incumbent) never changes the returned optimum, only the node
+//    counts;
+//  * determinism -- the full BnbResult (optimum, proven, every counter)
+//    is byte-identical at 1, 4, and 8 worker threads;
+//  * the frontier split changes work decomposition, never the answer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "opt/bnb.hh"
+#include "support/rng.hh"
+#include "test_util.hh"
+
+namespace fhs {
+namespace {
+
+using testutil::random_unit_dag;
+
+struct Instance {
+  KDag dag;
+  Cluster cluster;
+};
+
+/// Random weighted DAG over `k` types with forward edges.
+KDag random_weighted_dag(std::size_t n, ResourceType k, double edge_prob,
+                         Work max_work, Rng& rng) {
+  KDagBuilder b(k);
+  std::vector<TaskId> ids;
+  ids.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ids.push_back(b.add_task(static_cast<ResourceType>(rng.uniform_below(k)),
+                             rng.uniform_int(1, max_work)));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(edge_prob)) b.add_edge(ids[i], ids[j]);
+    }
+  }
+  return std::move(b).build();
+}
+
+/// A mixed corpus: unit and weighted, sparse and dense, K in 1..3.
+std::vector<Instance> corpus(std::uint64_t seed, std::size_t count,
+                             std::size_t max_n) {
+  Rng rng(seed);
+  std::vector<Instance> instances;
+  instances.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t n = 4 + rng.uniform_below(max_n - 3);
+    const ResourceType k = static_cast<ResourceType>(1 + rng.uniform_below(3));
+    const double edge_prob = 0.1 + 0.3 * rng.uniform_real();
+    KDag dag = (i % 2 == 0) ? random_unit_dag(n, k, edge_prob, rng)
+                            : random_weighted_dag(n, k, edge_prob, 7, rng);
+    std::vector<std::uint32_t> procs(k);
+    for (auto& p : procs) p = static_cast<std::uint32_t>(rng.uniform_int(1, 3));
+    instances.push_back(Instance{std::move(dag), Cluster(procs)});
+  }
+  return instances;
+}
+
+TEST(BnBProperty, DisablingAnyPruningRuleNeverChangesTheOptimum) {
+  for (const Instance& inst : corpus(11, 10, 10)) {
+    const BnbResult baseline = solve_optimal_makespan(inst.dag, inst.cluster);
+    ASSERT_TRUE(baseline.proven);
+
+    BnbOptions no_dominance;
+    no_dominance.prune_dominance = false;
+    BnbOptions no_bound;
+    no_bound.prune_bound = false;
+    BnbOptions no_incumbent;
+    no_incumbent.prune_incumbent = false;
+    BnbOptions none;
+    none.prune_dominance = none.prune_bound = none.prune_incumbent = false;
+
+    for (const BnbOptions& options : {no_dominance, no_bound, no_incumbent, none}) {
+      const BnbResult variant = solve_optimal_makespan(inst.dag, inst.cluster, options);
+      ASSERT_TRUE(variant.proven);
+      EXPECT_EQ(variant.optimum, baseline.optimum)
+          << "dominance=" << options.prune_dominance
+          << " bound=" << options.prune_bound
+          << " incumbent=" << options.prune_incumbent;
+    }
+  }
+}
+
+TEST(BnBProperty, PruningOnlyShrinksTheSearch) {
+  for (const Instance& inst : corpus(13, 6, 9)) {
+    const BnbResult pruned = solve_optimal_makespan(inst.dag, inst.cluster);
+    BnbOptions none;
+    none.prune_dominance = none.prune_bound = none.prune_incumbent = false;
+    const BnbResult unpruned = solve_optimal_makespan(inst.dag, inst.cluster, none);
+    ASSERT_TRUE(unpruned.proven);
+    EXPECT_LE(pruned.stats.nodes_expanded, unpruned.stats.nodes_expanded);
+  }
+}
+
+TEST(BnBProperty, ByteIdenticalAtOneFourAndEightThreads) {
+  for (const Instance& inst : corpus(17, 8, 14)) {
+    BnbOptions one;
+    one.threads = 1;
+    const BnbResult base = solve_optimal_makespan(inst.dag, inst.cluster, one);
+    ASSERT_TRUE(base.proven);
+    for (const std::size_t threads : {std::size_t{4}, std::size_t{8}}) {
+      BnbOptions options;
+      options.threads = threads;
+      const BnbResult other = solve_optimal_makespan(inst.dag, inst.cluster, options);
+      // Full structural equality: optimum, proven, incumbent, bound, and
+      // every BnbStats counter (the determinism contract in bnb.hh).
+      EXPECT_EQ(other, base) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(BnBProperty, FrontierTargetChangesTheSplitNotTheAnswer) {
+  for (const Instance& inst : corpus(19, 6, 12)) {
+    const BnbResult baseline = solve_optimal_makespan(inst.dag, inst.cluster);
+    for (const std::size_t target : {std::size_t{1}, std::size_t{8}, std::size_t{512}}) {
+      BnbOptions options;
+      options.frontier_target = target;
+      const BnbResult variant = solve_optimal_makespan(inst.dag, inst.cluster, options);
+      ASSERT_TRUE(variant.proven) << "frontier_target=" << target;
+      EXPECT_EQ(variant.optimum, baseline.optimum) << "frontier_target=" << target;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fhs

@@ -1,0 +1,189 @@
+// Differential tests for the exact branch-and-bound solver (src/opt):
+// pinned closed-form instances, equality with the unit-work brute-force
+// oracle on exhaustive tiny instances, "never worse than any registered
+// policy" on weighted instances, and the decisive case every
+// work-conserving policy gets wrong -- the optimum deliberately idles.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "opt/bnb.hh"
+#include "sched/registry.hh"
+#include "sched/scheduler_spec.hh"
+#include "sim/engine.hh"
+#include "support/rng.hh"
+#include "test_util.hh"
+
+namespace fhs {
+namespace {
+
+using testutil::brute_force_optimal_makespan;
+using testutil::random_unit_dag;
+
+/// Random weighted DAG: `n` tasks over `k` types, forward edges with
+/// probability `edge_prob`, work uniform in [1, max_work].
+KDag random_weighted_dag(std::size_t n, ResourceType k, double edge_prob,
+                         Work max_work, Rng& rng) {
+  KDagBuilder b(k);
+  std::vector<TaskId> ids;
+  ids.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ids.push_back(b.add_task(static_cast<ResourceType>(rng.uniform_below(k)),
+                             rng.uniform_int(1, max_work)));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(edge_prob)) b.add_edge(ids[i], ids[j]);
+    }
+  }
+  return std::move(b).build();
+}
+
+TEST(BnB, ChainIsSerial) {
+  KDagBuilder b(1);
+  TaskId prev = b.add_task(0, 3);
+  for (const Work w : {1, 5, 2}) {
+    const TaskId next = b.add_task(0, w);
+    b.add_edge(prev, next);
+    prev = next;
+  }
+  const KDag dag = std::move(b).build();
+  const BnbResult result = solve_optimal_makespan(dag, Cluster({2}));
+  EXPECT_EQ(result.optimum, 11);
+  EXPECT_TRUE(result.proven);
+  // A chain's span equals L(J); the MQB incumbent hits it, so the
+  // shortcut answers with zero search.
+  EXPECT_EQ(result.lower_bound, 11);
+  EXPECT_EQ(result.stats.nodes_expanded, 0u);
+}
+
+TEST(BnB, IndependentTasksPack) {
+  KDagBuilder b(1);
+  for (int i = 0; i < 7; ++i) (void)b.add_task(0, 1);
+  const KDag dag = std::move(b).build();
+  const BnbResult result = solve_optimal_makespan(dag, Cluster({3}));
+  EXPECT_EQ(result.optimum, 3);  // ceil(7/3)
+  EXPECT_TRUE(result.proven);
+}
+
+// The reason the solver must consider *not* dispatching: W(t0, 10) is
+// ready at time 0 alongside the chain X(t1,1) -> Y(t0,1) -> Z(t1,10) on
+// P = (1, 1).  Any work-conserving policy must put W on the only t0
+// processor at time 0, blocking Y until t = 10 and finishing at 21.  The
+// optimum leaves the t0 processor idle for one tick (X at 0, Y at 1,
+// then W and Z in parallel) and finishes at L(J) = 12.
+TEST(BnB, DeliberateIdlingBeatsEveryWorkConservingPolicy) {
+  KDagBuilder b(2);
+  (void)b.add_task(0, 10);             // W
+  const TaskId x = b.add_task(1, 1);   // X
+  const TaskId y = b.add_task(0, 1);   // Y
+  const TaskId z = b.add_task(1, 10);  // Z
+  b.add_edge(x, y);
+  b.add_edge(y, z);
+  const KDag dag = std::move(b).build();
+  const Cluster cluster({1, 1});
+
+  const BnbResult result = solve_optimal_makespan(dag, cluster);
+  EXPECT_EQ(result.lower_bound, 12);
+  EXPECT_EQ(result.optimum, 12);
+  EXPECT_TRUE(result.proven);
+  EXPECT_EQ(result.incumbent, 21);  // MQB, like every policy, is forced to 21
+
+  for (const SchedulerSpec& spec : all_scheduler_specs()) {
+    EXPECT_EQ(schedule_makespan(dag, cluster, spec), 21) << spec.to_string();
+  }
+}
+
+// Satellite acceptance: on exhaustive tiny instances (n <= 8, K <= 2)
+// the B&B optimum is proven and equals the brute-force enumeration.
+TEST(BnB, MatchesBruteForceOnExhaustiveTinyInstances) {
+  Rng rng(2026);
+  for (std::size_t n = 2; n <= 8; ++n) {
+    for (ResourceType k = 1; k <= 2; ++k) {
+      for (const double edge_prob : {0.0, 0.2, 0.5}) {
+        for (int trial = 0; trial < 3; ++trial) {
+          const KDag dag = random_unit_dag(n, k, edge_prob, rng);
+          std::vector<std::uint32_t> procs(k);
+          for (auto& p : procs) p = static_cast<std::uint32_t>(rng.uniform_int(1, 3));
+          const Cluster cluster(procs);
+          const Time expected = brute_force_optimal_makespan(dag, cluster);
+          const BnbResult result = solve_optimal_makespan(dag, cluster);
+          EXPECT_TRUE(result.proven)
+              << "n=" << n << " k=" << k << " p=" << edge_prob;
+          EXPECT_EQ(result.optimum, expected)
+              << "n=" << n << " k=" << k << " p=" << edge_prob
+              << " trial=" << trial;
+        }
+      }
+    }
+  }
+}
+
+// On weighted instances (no brute-force oracle) the optimum must still
+// be sandwiched: L(J) <= OPT <= every registered policy's makespan.
+TEST(BnB, OptimumNeverExceedsAnyRegisteredPolicy) {
+  Rng rng(7);
+  for (int trial = 0; trial < 8; ++trial) {
+    const ResourceType k = static_cast<ResourceType>(1 + rng.uniform_below(3));
+    const KDag dag = random_weighted_dag(10, k, 0.25, 9, rng);
+    std::vector<std::uint32_t> procs(k);
+    for (auto& p : procs) p = static_cast<std::uint32_t>(rng.uniform_int(1, 3));
+    const Cluster cluster(procs);
+    const BnbResult result = solve_optimal_makespan(dag, cluster);
+    ASSERT_TRUE(result.proven) << "trial " << trial;
+    EXPECT_GE(result.optimum, result.lower_bound) << "trial " << trial;
+    for (const SchedulerSpec& spec : all_scheduler_specs()) {
+      EXPECT_LE(result.optimum, schedule_makespan(dag, cluster, spec))
+          << spec.to_string() << " trial " << trial;
+    }
+  }
+}
+
+TEST(BnB, HonorsCallerProvidedIncumbent) {
+  KDagBuilder b(1);
+  for (int i = 0; i < 5; ++i) (void)b.add_task(0, 2);
+  const KDag dag = std::move(b).build();
+  BnbOptions options;
+  options.initial_incumbent = 6;  // the true optimum: ceil(5/2) waves of 2
+  const BnbResult result = solve_optimal_makespan(dag, Cluster({2}), options);
+  EXPECT_EQ(result.incumbent, 6);
+  EXPECT_EQ(result.optimum, 6);
+  EXPECT_TRUE(result.proven);
+}
+
+TEST(BnB, NodeBudgetExhaustionDegradesToUnprovenIncumbent) {
+  KDagBuilder b(2);
+  (void)b.add_task(0, 10);
+  const TaskId x = b.add_task(1, 1);
+  const TaskId y = b.add_task(0, 1);
+  const TaskId z = b.add_task(1, 10);
+  b.add_edge(x, y);
+  b.add_edge(y, z);
+  const KDag dag = std::move(b).build();
+  BnbOptions options;
+  options.max_nodes = 1;
+  const BnbResult result = solve_optimal_makespan(dag, Cluster({1, 1}), options);
+  EXPECT_FALSE(result.proven);
+  // Whatever was found is still a feasible makespan, never below L(J)
+  // and never above the warm incumbent.
+  EXPECT_GE(result.optimum, result.lower_bound);
+  EXPECT_LE(result.optimum, result.incumbent);
+}
+
+TEST(BnB, RejectsOversizedAndMistypedInstances) {
+  KDagBuilder big(1);
+  for (std::size_t i = 0; i <= kBnbMaxTasks; ++i) (void)big.add_task(0, 1);
+  const KDag too_big = std::move(big).build();
+  EXPECT_THROW((void)solve_optimal_makespan(too_big, Cluster({1})),
+               std::invalid_argument);
+
+  KDagBuilder typed(2);
+  (void)typed.add_task(1, 1);
+  const KDag two_types = std::move(typed).build();
+  EXPECT_THROW((void)solve_optimal_makespan(two_types, Cluster({1})),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fhs

@@ -1,0 +1,127 @@
+// Golden exact-optima regression: the branch-and-bound optima for the
+// E1 tree-panel instance draws (layered tree, K = 4, capped at 20 tasks
+// so the solver proves optimality quickly) are pinned to committed
+// integers in tests/data/optimality_golden.json.
+//
+// Everything compared here is an exact integer tick count -- optimum,
+// L(J), the MQB incumbent -- so the comparison is equality, no
+// tolerance.  A solver or scheduler change that shifts these values is
+// *supposed* to fail here; regenerate deliberately with:
+//
+//   FHS_REGEN_GOLDEN=1 ./optimality_golden_test
+//
+// and commit the diff together with the change that caused it.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "opt/gap.hh"
+#include "workload/workload.hh"
+
+namespace fhs {
+namespace {
+
+/// The E1 tree panel, restricted to exact-solver sizes: same cluster
+/// distribution and seed as the figures golden, tree growth capped at 20
+/// tasks.  Instance i draws Rng(mix_seed(42, i)) exactly like an
+/// equivalent run_experiment.
+GapSpec panel_spec() {
+  GapSpec spec;
+  spec.name = "golden-tree-exact";
+  spec.schedulers = {"mqb"};
+  spec.instances = 12;
+  spec.seed = 42;
+  spec.cluster.num_types = 4;
+  spec.cluster.min_processors = 2;
+  spec.cluster.max_processors = 4;
+  TreeParams tree;
+  tree.num_types = 4;
+  tree.max_tasks = 20;
+  spec.workload = tree;
+  return spec;
+}
+
+std::string golden_path() { return FHS_OPTIMALITY_GOLDEN; }
+
+void write_golden(const GapResult& result) {
+  std::ofstream out(golden_path());
+  ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+  out << "{\n  \"instances\": [\n";
+  for (std::size_t i = 0; i < result.per_instance.size(); ++i) {
+    const InstanceOptimum& inst = result.per_instance[i];
+    out << "    {\"tasks\": " << inst.tasks << ", \"optimum\": " << inst.exact.optimum
+        << ", \"lower_bound\": " << inst.exact.lower_bound
+        << ", \"incumbent\": " << inst.exact.incumbent
+        << ", \"proven\": " << (inst.exact.proven ? "true" : "false") << "}"
+        << (i + 1 < result.per_instance.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+}
+
+/// Reads `"key": <integer>` scanning forward from `*cursor` in the
+/// (flat, generated-by-us) golden JSON, advancing the cursor past it.
+long long extract_int(const std::string& text, const std::string& key,
+                      std::size_t* cursor) {
+  const std::size_t pos = text.find("\"" + key + "\":", *cursor);
+  EXPECT_NE(pos, std::string::npos) << key << " missing from " << golden_path();
+  if (pos == std::string::npos) return -1;
+  *cursor = pos + key.size() + 3;
+  return std::strtoll(text.c_str() + *cursor, nullptr, 10);
+}
+
+bool extract_bool(const std::string& text, const std::string& key,
+                  std::size_t* cursor) {
+  const std::size_t pos = text.find("\"" + key + "\":", *cursor);
+  EXPECT_NE(pos, std::string::npos) << key << " missing from " << golden_path();
+  if (pos == std::string::npos) return false;
+  *cursor = pos + key.size() + 3;
+  while (*cursor < text.size() && text[*cursor] == ' ') ++*cursor;
+  return text.compare(*cursor, 4, "true") == 0;
+}
+
+TEST(OptimalityGolden, TreePanelOptimaMatchCommittedValues) {
+  const GapResult result = run_gap_study(panel_spec());
+
+  // Acceptance gate independent of the pinned values: every instance in
+  // the panel must be solved to *proven* optimality.
+  for (std::size_t i = 0; i < result.per_instance.size(); ++i) {
+    EXPECT_TRUE(result.per_instance[i].exact.proven) << "instance " << i;
+  }
+
+  if (std::getenv("FHS_REGEN_GOLDEN") != nullptr) {
+    write_golden(result);
+    GTEST_SKIP() << "regenerated " << golden_path();
+  }
+
+  std::ifstream in(golden_path());
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path()
+                         << " (regenerate with FHS_REGEN_GOLDEN=1)";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < result.per_instance.size(); ++i) {
+    const InstanceOptimum& inst = result.per_instance[i];
+    EXPECT_EQ(static_cast<long long>(inst.tasks),
+              extract_int(text, "tasks", &cursor))
+        << "instance " << i;
+    EXPECT_EQ(static_cast<long long>(inst.exact.optimum),
+              extract_int(text, "optimum", &cursor))
+        << "instance " << i;
+    EXPECT_EQ(static_cast<long long>(inst.exact.lower_bound),
+              extract_int(text, "lower_bound", &cursor))
+        << "instance " << i;
+    EXPECT_EQ(static_cast<long long>(inst.exact.incumbent),
+              extract_int(text, "incumbent", &cursor))
+        << "instance " << i;
+    EXPECT_EQ(inst.exact.proven, extract_bool(text, "proven", &cursor))
+        << "instance " << i;
+  }
+}
+
+}  // namespace
+}  // namespace fhs

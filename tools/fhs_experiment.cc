@@ -5,6 +5,13 @@
 //
 // Runs every named scheduler on the same distribution of (job, cluster)
 // instances and prints the completion-time-ratio table (or CSV/JSON).
+//
+// With --exact, each instance is additionally solved to optimality by
+// the branch-and-bound solver (src/opt) and the table reports true
+// optimality gaps T/OPT next to the usual T/L -- cap the workload with
+// --max-tasks so every draw fits the solver (<= 32 tasks):
+//
+//   fhs_experiment --workload=tree --max-tasks=20 --instances=24 --exact
 #include <iostream>
 #include <span>
 
@@ -12,8 +19,11 @@
 #include "exp/report.hh"
 #include "exp/tool_options.hh"
 #include "obs/metrics.hh"
+#include "opt/gap.hh"
 #include "sched/registry.hh"
 #include "support/cli.hh"
+#include "support/rng.hh"
+#include "workload/workload.hh"
 
 int main(int argc, char** argv) {
   using namespace fhs;
@@ -32,6 +42,14 @@ int main(int argc, char** argv) {
   flags.define_double("skew-factor", 0.2, "scale factor for --skew-type");
   flags.define_bool("csv", false, "emit the table as CSV");
   flags.define_bool("json", false, "emit the full result as JSON");
+  flags.define_bool("exact", false,
+                    "solve each instance exactly (B&B) and report true gaps");
+  flags.define_int("max-tasks", 0,
+                   "cap tree growth at this many tasks (0 = family default)");
+  flags.define_int("exact-max-tasks", 32,
+                   "refuse --exact instances larger than this");
+  flags.define_int("exact-max-nodes", 20000000,
+                   "B&B node budget per subproblem for --exact");
   try {
     if (!flags.parse(argc, argv)) return 0;
 
@@ -41,6 +59,11 @@ int main(int argc, char** argv) {
     ExperimentSpec spec;
     const std::string family = flags.get_string("workload");
     spec.workload = parse_workload_family(family, assignment, k);
+
+    if (flags.get_int("max-tasks") > 0) {
+      spec.workload = with_tree_task_cap(
+          spec.workload, static_cast<std::size_t>(flags.get_int("max-tasks")));
+    }
 
     const std::string cluster = flags.get_string("cluster");
     spec.cluster = parse_cluster_params(cluster, k);
@@ -56,6 +79,46 @@ int main(int argc, char** argv) {
                                              : ExecutionMode::kNonPreemptive;
     spec.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
     spec.threads = static_cast<std::size_t>(flags.get_int("threads"));
+
+    if (flags.get_bool("exact")) {
+      if (spec.mode == ExecutionMode::kPreemptive) {
+        throw std::invalid_argument(
+            "--exact computes the non-preemptive optimum; drop --preemptive");
+      }
+      GapSpec gap;
+      gap.name = spec.name;
+      gap.workload = spec.workload;
+      gap.cluster = spec.cluster;
+      gap.schedulers = spec.schedulers;
+      gap.instances = spec.instances;
+      gap.seed = spec.seed;
+      gap.threads = spec.threads;
+      gap.bnb.max_nodes =
+          static_cast<std::uint64_t>(flags.get_int("exact-max-nodes"));
+
+      // Pre-scan the instance draws (generation is cheap; solving is
+      // not) so an oversized draw fails fast with the flag to fix it.
+      const auto cap = static_cast<std::size_t>(flags.get_int("exact-max-tasks"));
+      for (std::size_t i = 0; i < gap.instances; ++i) {
+        Rng rng(mix_seed(gap.seed, i));
+        const KDag dag = generate(gap.workload, rng);
+        if (dag.task_count() > cap) {
+          throw std::invalid_argument(
+              "--exact: instance " + std::to_string(i) + " draws " +
+              std::to_string(dag.task_count()) +
+              " tasks (> --exact-max-tasks); shrink the workload, e.g. "
+              "--max-tasks=" + std::to_string(cap));
+        }
+      }
+
+      const GapResult gaps = run_gap_study(gap);
+      if (flags.get_bool("json")) {
+        write_json(std::cout, gaps);
+      } else {
+        print_gap_table(std::cout, gaps);
+      }
+      return 0;
+    }
 
     SweepOptions sweep_options;
     sweep_options.threads = static_cast<std::size_t>(flags.get_int("threads"));

@@ -71,7 +71,7 @@ RULES = {
 # timing helpers that are *supposed* to read clocks.
 DETERMINISTIC_MODULES = {
     "sim", "sched", "graph", "exp", "workload", "multijob", "flex", "metrics",
-    "fault", "core", "rt",
+    "fault", "core", "rt", "opt",
 }
 
 # Modules on the simulate/schedule/serve hot path where ad-hoc console
@@ -79,7 +79,7 @@ DETERMINISTIC_MODULES = {
 # cout from worker threads).
 HOT_MODULES = {
     "sim", "sched", "graph", "multijob", "obs", "service", "shard", "flex", "exp",
-    "fault", "core", "rt",
+    "fault", "core", "rt", "opt",
 }
 
 SOURCE_SUFFIXES = {".hh", ".h", ".cc", ".cpp", ".cxx", ".hpp"}
